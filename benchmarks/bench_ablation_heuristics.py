@@ -1,0 +1,78 @@
+"""Ablation: the connect-step heuristics of Algorithm 5.
+
+DESIGN.md §5 calls out two heuristic switches in ``connect`` that the
+paper fixes implicitly:
+
+* ``expand_through_terminal`` — keep expanding stamps that reached the
+  terminal partition (required to reproduce Table II / Example 8),
+* ``expand_after_coverage`` — keep expanding fully-covered stamps
+  (off in the paper; on = exhaustive search equal to the baseline).
+
+This bench quantifies their cost so the defaults are justified by
+data, not taste.
+"""
+
+import pytest
+
+from repro.core import SearchConfig
+from benchmarks.conftest import make_workload
+
+CONFIGS = {
+    "paper-defaults": SearchConfig(),
+    "no-through-terminal": SearchConfig(expand_through_terminal=False),
+    "exhaustive-coverage": SearchConfig(expand_after_coverage=True),
+}
+
+
+@pytest.mark.parametrize("variant", sorted(CONFIGS))
+def test_ablation_connect_heuristics(benchmark, synth_env, variant):
+    workload = make_workload(synth_env, instances=2)
+    config = CONFIGS[variant]
+
+    def run():
+        total = 0
+        for query in workload:
+            answer = synth_env.engine.search(query, "ToE", config=config)
+            total += len(answer.routes)
+        return total
+
+    benchmark.group = "ablation-connect"
+    benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+
+
+@pytest.mark.parametrize("gamma", (0.0, 1.0))
+def test_ablation_popularity_overhead(benchmark, synth_env, gamma):
+    """The γ-weighted popularity extension costs almost nothing."""
+    from repro.core import IKRQ
+    base = make_workload(synth_env, instances=2)
+    queries = [IKRQ(ps=q.ps, pt=q.pt, delta=q.delta, keywords=q.keywords,
+                    k=q.k, alpha=q.alpha, tau=q.tau, gamma=gamma)
+               for q in base]
+
+    def run():
+        total = 0
+        for query in queries:
+            total += len(synth_env.engine.search(query, "ToE").routes)
+        return total
+
+    benchmark.group = "ablation-popularity"
+    benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+
+
+@pytest.mark.parametrize("slack", (0.0, 0.3))
+def test_ablation_soft_constraint_overhead(benchmark, synth_env, slack):
+    """Soft-slack searches pay proportionally to the enlarged ball."""
+    from repro.core import IKRQ
+    base = make_workload(synth_env, instances=2)
+    queries = [IKRQ(ps=q.ps, pt=q.pt, delta=q.delta, keywords=q.keywords,
+                    k=q.k, alpha=q.alpha, tau=q.tau, soft_slack=slack)
+               for q in base]
+
+    def run():
+        total = 0
+        for query in queries:
+            total += len(synth_env.engine.search(query, "ToE").routes)
+        return total
+
+    benchmark.group = "ablation-soft"
+    benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)

@@ -1,0 +1,24 @@
+"""Fig. 4 — running time of all seven algorithms at default settings.
+
+Paper shape: ToE/KoE fastest; \\D variants clearly slower; \\B ≈ the
+originals; KoE* slowest (its precomputation does not pay off).
+ToE\\P is omitted as in the paper (it is measured in Fig. 15).
+"""
+
+import pytest
+
+from benchmarks.conftest import make_workload, run_workload
+
+ALGORITHMS = ("ToE", "ToE-D", "ToE-B", "KoE", "KoE-D", "KoE-B", "KoE*")
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig04_default_settings(benchmark, synth_env, algorithm):
+    workload = make_workload(synth_env)
+    if algorithm == "KoE*":
+        synth_env.engine.door_matrix()  # precomputation outside timing
+    benchmark.group = "fig04-default"
+    result = benchmark.pedantic(
+        run_workload, args=(synth_env, workload, algorithm),
+        rounds=3, iterations=1, warmup_rounds=1)
+    assert result >= 0

@@ -1,0 +1,19 @@
+"""Fig. 5 — running time vs. k (1..11).
+
+Paper shape: time grows only slightly with k for every algorithm;
+\\D variants are clearly slower than the fully-pruned versions.
+"""
+
+import pytest
+
+from benchmarks.conftest import make_workload, run_workload
+
+
+@pytest.mark.parametrize("k", (1, 7, 11))
+@pytest.mark.parametrize("algorithm", ("ToE", "KoE", "ToE-D", "KoE-D"))
+def test_fig05_time_vs_k(benchmark, synth_env, algorithm, k):
+    workload = make_workload(synth_env, k=k)
+    benchmark.group = f"fig05-k={k}"
+    benchmark.pedantic(
+        run_workload, args=(synth_env, workload, algorithm),
+        rounds=3, iterations=1, warmup_rounds=1)

@@ -1,0 +1,19 @@
+"""Fig. 6 — running time vs. |QW| (1..5).
+
+Paper shape: all algorithms slow down as |QW| grows; KoE degrades
+faster than ToE (more candidate partitions to combine).
+"""
+
+import pytest
+
+from benchmarks.conftest import make_workload, run_workload
+
+
+@pytest.mark.parametrize("qw", (1, 3, 5))
+@pytest.mark.parametrize("algorithm", ("ToE", "KoE"))
+def test_fig06_time_vs_qw(benchmark, synth_env, algorithm, qw):
+    workload = make_workload(synth_env, qw_size=qw)
+    benchmark.group = f"fig06-qw={qw}"
+    benchmark.pedantic(
+        run_workload, args=(synth_env, workload, algorithm),
+        rounds=3, iterations=1, warmup_rounds=1)

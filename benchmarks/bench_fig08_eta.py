@@ -1,0 +1,19 @@
+"""Fig. 8 — running time vs. η (distance-constraint looseness).
+
+Paper shape: ToE (and ToE\\B) slow down steadily as η grows; ToE\\D is
+insensitive to η; the KoE family barely moves.
+"""
+
+import pytest
+
+from benchmarks.conftest import make_workload, run_workload
+
+
+@pytest.mark.parametrize("eta", (1.6, 2.0))
+@pytest.mark.parametrize("algorithm", ("ToE", "ToE-D", "KoE"))
+def test_fig08_time_vs_eta(benchmark, synth_env, algorithm, eta):
+    workload = make_workload(synth_env, eta=eta)
+    benchmark.group = f"fig08-eta={eta}"
+    benchmark.pedantic(
+        run_workload, args=(synth_env, workload, algorithm),
+        rounds=3, iterations=1, warmup_rounds=1)

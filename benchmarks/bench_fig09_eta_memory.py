@@ -1,0 +1,28 @@
+"""Fig. 9 — memory vs. η.
+
+Paper shape: ToE-family memory grows with η; KoE-family memory stays
+stable (insensitive to the distance constraint).
+"""
+
+import pytest
+
+from benchmarks.conftest import make_workload
+
+
+@pytest.mark.parametrize("eta", (1.6, 2.0))
+def test_fig09_memory_vs_eta(benchmark, synth_env, eta):
+    workload = make_workload(synth_env, eta=eta)
+
+    def run():
+        peaks = {}
+        for algorithm in ("ToE", "KoE"):
+            peak = 0.0
+            for query in workload:
+                answer = synth_env.engine.search(query, algorithm)
+                peak = max(peak, answer.stats.estimated_peak_mb())
+            peaks[algorithm] = peak
+        return peaks
+
+    benchmark.group = f"fig09-eta={eta}"
+    peaks = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert peaks["KoE"] <= peaks["ToE"] * 1.5

@@ -1,0 +1,20 @@
+"""Fig. 10 — running time vs. the i-word fraction β.
+
+Paper shape: both ToE and KoE speed up as β grows (i-words map to
+fewer candidate partitions than t-words); the gap between them widens
+towards small β.
+"""
+
+import pytest
+
+from benchmarks.conftest import make_workload, run_workload
+
+
+@pytest.mark.parametrize("beta", (0.2, 0.6, 1.0))
+@pytest.mark.parametrize("algorithm", ("ToE", "KoE"))
+def test_fig10_time_vs_beta(benchmark, synth_env, algorithm, beta):
+    workload = make_workload(synth_env, beta=beta)
+    benchmark.group = f"fig10-beta={beta}"
+    benchmark.pedantic(
+        run_workload, args=(synth_env, workload, algorithm),
+        rounds=3, iterations=1, warmup_rounds=1)

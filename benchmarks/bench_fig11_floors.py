@@ -1,0 +1,22 @@
+"""Fig. 11 — running time vs. floor count (3, 5, 7, 9).
+
+Paper shape: ToE grows slowly with floors; KoE deteriorates much
+faster (short stairways keep distant floors inside the constraint, so
+its candidate set balloons).
+"""
+
+import pytest
+
+from repro.bench import experiments as E
+from benchmarks.conftest import BENCH_SCALE, make_workload, run_workload
+
+
+@pytest.mark.parametrize("floors", (3, 5, 7))
+@pytest.mark.parametrize("algorithm", ("ToE", "KoE"))
+def test_fig11_time_vs_floors(benchmark, algorithm, floors):
+    env = E.synthetic_env(floors=floors, scale=BENCH_SCALE, seed=42)
+    workload = make_workload(env)
+    benchmark.group = f"fig11-floors={floors}"
+    benchmark.pedantic(
+        run_workload, args=(env, workload, algorithm),
+        rounds=3, iterations=1, warmup_rounds=1)

@@ -1,0 +1,19 @@
+"""Fig. 12 — running time vs. the start-terminal distance δs2t (η = 1.6).
+
+Paper shape: ToE slows as the endpoints separate (more partitions to
+expand); KoE is less affected.
+"""
+
+import pytest
+
+from benchmarks.conftest import make_workload, run_workload
+
+
+@pytest.mark.parametrize("s2t", (1100.0, 1500.0, 1900.0))
+@pytest.mark.parametrize("algorithm", ("ToE", "KoE"))
+def test_fig12_time_vs_s2t(benchmark, synth_env, algorithm, s2t):
+    workload = make_workload(synth_env, s2t=s2t, eta=1.6)
+    benchmark.group = f"fig12-s2t={int(s2t)}"
+    benchmark.pedantic(
+        run_workload, args=(synth_env, workload, algorithm),
+        rounds=3, iterations=1, warmup_rounds=1)

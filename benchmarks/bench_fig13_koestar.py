@@ -1,0 +1,22 @@
+"""Fig. 13 — KoE vs. KoE* running time across η.
+
+Paper shape: KoE wins except at the tightest constraint (η ≈ 1.2),
+where precomputed shortest routes occasionally pay off; at looser
+constraints KoE*'s recomputation penalty dominates.
+"""
+
+import pytest
+
+from benchmarks.conftest import make_workload, run_workload
+
+
+@pytest.mark.parametrize("eta", (1.2, 1.6, 2.0))
+@pytest.mark.parametrize("algorithm", ("KoE", "KoE*"))
+def test_fig13_koestar_time(benchmark, synth_env, algorithm, eta):
+    workload = make_workload(synth_env, eta=eta)
+    if algorithm == "KoE*":
+        synth_env.engine.door_matrix()  # build cost excluded, as Fig. 13
+    benchmark.group = f"fig13-eta={eta}"
+    benchmark.pedantic(
+        run_workload, args=(synth_env, workload, algorithm),
+        rounds=3, iterations=1, warmup_rounds=1)

@@ -1,0 +1,30 @@
+"""Fig. 14 — KoE vs. KoE* memory across η.
+
+Paper shape: KoE*'s memory is an order of magnitude above KoE's (it
+holds the all-pairs door route matrix).
+"""
+
+import pytest
+
+from benchmarks.conftest import make_workload
+
+
+@pytest.mark.parametrize("eta", (1.2, 2.0))
+def test_fig14_koestar_memory(benchmark, synth_env, eta):
+    workload = make_workload(synth_env, eta=eta)
+    synth_env.engine.door_matrix()
+
+    def run():
+        peaks = {}
+        for algorithm in ("KoE", "KoE*"):
+            peak = 0.0
+            for query in workload:
+                answer = synth_env.engine.search(query, algorithm)
+                peak = max(peak, answer.stats.estimated_peak_mb())
+            peaks[algorithm] = peak
+        return peaks
+
+    benchmark.group = f"fig14-eta={eta}"
+    peaks = benchmark.pedantic(run, rounds=2, iterations=1)
+    # The defining shape: the matrix dwarfs KoE's live state.
+    assert peaks["KoE*"] > 5.0 * peaks["KoE"]

@@ -1,0 +1,25 @@
+"""Fig. 15 — ToE vs. ToE\\P running time across η.
+
+Paper shape: without prime-route pruning the candidate set explodes
+(near-)exponentially with η — ToE\\P ends up orders of magnitude
+slower while ToE stays stable.  The ablation runs under an expansion
+cap so the bench stays finite; the cap is generous enough that the
+blow-up is still visible in the measured times.
+"""
+
+import pytest
+
+from benchmarks.conftest import make_workload, run_workload
+
+CAP = 10_000
+
+
+@pytest.mark.parametrize("eta", (1.4, 1.8))
+@pytest.mark.parametrize("algorithm", ("ToE", "ToE-P"))
+def test_fig15_toep_time(benchmark, synth_env_2f, algorithm, eta):
+    workload = make_workload(synth_env_2f, eta=eta, instances=1)
+    benchmark.group = f"fig15-eta={eta}"
+    benchmark.pedantic(
+        run_workload, args=(synth_env_2f, workload, algorithm),
+        kwargs={"max_expansions": CAP if algorithm == "ToE-P" else None},
+        rounds=2, iterations=1)

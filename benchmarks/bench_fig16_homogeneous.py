@@ -1,0 +1,31 @@
+"""Fig. 16 — ToE\\P homogeneous rate vs. k.
+
+Paper shape: the fraction of homogeneous routes in ToE\\P's top-k
+grows rapidly with k (>60% at k ≥ 3, 92% at k = 15) — without prime
+pruning the result list fills with variants of the same key-partition
+sequence.
+"""
+
+import pytest
+
+from benchmarks.conftest import make_workload
+
+
+@pytest.mark.parametrize("k", (3, 15))
+def test_fig16_homogeneous_rate(benchmark, synth_env_2f, k):
+    workload = make_workload(synth_env_2f, k=k, instances=2)
+
+    def run():
+        rates = []
+        for query in workload:
+            answer = synth_env_2f.engine.search(
+                query, "ToE-P", max_expansions=8_000)
+            kps = [r.kp for r in answer.routes]
+            if kps:
+                rates.append(sum(1 for kp in kps if kps.count(kp) > 1)
+                             / len(kps))
+        return sum(rates) / len(rates) if rates else 0.0
+
+    benchmark.group = f"fig16-k={k}"
+    rate = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert 0.0 <= rate <= 1.0

@@ -1,0 +1,20 @@
+"""Fig. 17 — real data: running time vs. |QW| (α = 0.7).
+
+Paper shape: \\D variants worsen rapidly; KoE worsens faster than ToE
+as |QW| grows (category-clustered floors give dense candidate sets);
+both fully-pruned algorithms stay responsive.
+"""
+
+import pytest
+
+from benchmarks.conftest import make_workload, run_workload
+
+
+@pytest.mark.parametrize("qw", (1, 3, 5))
+@pytest.mark.parametrize("algorithm", ("ToE", "KoE", "ToE-D"))
+def test_fig17_real_time_vs_qw(benchmark, real_mall_env, algorithm, qw):
+    workload = make_workload(real_mall_env, qw_size=qw, alpha=0.7)
+    benchmark.group = f"fig17-qw={qw}"
+    benchmark.pedantic(
+        run_workload, args=(real_mall_env, workload, algorithm),
+        rounds=3, iterations=1, warmup_rounds=1)

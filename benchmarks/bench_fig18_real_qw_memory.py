@@ -1,0 +1,28 @@
+"""Fig. 18 — real data: memory vs. |QW| (α = 0.7).
+
+Paper shape: memory rises moderately with |QW|; KoE is always the most
+space-efficient algorithm.
+"""
+
+import pytest
+
+from benchmarks.conftest import make_workload
+
+
+@pytest.mark.parametrize("qw", (2, 4))
+def test_fig18_real_memory_vs_qw(benchmark, real_mall_env, qw):
+    workload = make_workload(real_mall_env, qw_size=qw, alpha=0.7)
+
+    def run():
+        peaks = {}
+        for algorithm in ("ToE", "KoE"):
+            peak = 0.0
+            for query in workload:
+                answer = real_mall_env.engine.search(query, algorithm)
+                peak = max(peak, answer.stats.estimated_peak_mb())
+            peaks[algorithm] = peak
+        return peaks
+
+    benchmark.group = f"fig18-qw={qw}"
+    peaks = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert peaks["KoE"] <= peaks["ToE"] * 1.5

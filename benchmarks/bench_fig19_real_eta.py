@@ -1,0 +1,19 @@
+"""Fig. 19 — real data: running time vs. η (α = 0.7).
+
+Paper shape: the ToE family accesses more doors as η loosens and slows
+accordingly; KoE gradually approaches KoE\\D.
+"""
+
+import pytest
+
+from benchmarks.conftest import make_workload, run_workload
+
+
+@pytest.mark.parametrize("eta", (1.2, 1.8, 2.2))
+@pytest.mark.parametrize("algorithm", ("ToE", "KoE"))
+def test_fig19_real_time_vs_eta(benchmark, real_mall_env, algorithm, eta):
+    workload = make_workload(real_mall_env, eta=eta, alpha=0.7)
+    benchmark.group = f"fig19-eta={eta}"
+    benchmark.pedantic(
+        run_workload, args=(real_mall_env, workload, algorithm),
+        rounds=3, iterations=1, warmup_rounds=1)

@@ -1,0 +1,30 @@
+"""Fig. 20 — real data: ToE\\P homogeneous rate vs. |QW| (α = 0.7).
+
+Paper shape: without prime routes ToE\\P persistently returns
+homogeneous routes across every query size.
+"""
+
+import pytest
+
+from benchmarks.conftest import make_workload
+
+
+@pytest.mark.parametrize("qw", (1, 4))
+def test_fig20_real_homogeneous_rate(benchmark, real_mall_env, qw):
+    workload = make_workload(real_mall_env, qw_size=qw, alpha=0.7,
+                             instances=2)
+
+    def run():
+        rates = []
+        for query in workload:
+            answer = real_mall_env.engine.search(
+                query, "ToE-P", max_expansions=8_000)
+            kps = [r.kp for r in answer.routes]
+            if kps:
+                rates.append(sum(1 for kp in kps if kps.count(kp) > 1)
+                             / len(kps))
+        return sum(rates) / len(rates) if rates else 0.0
+
+    benchmark.group = f"fig20-qw={qw}"
+    rate = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert 0.0 <= rate <= 1.0

@@ -1,0 +1,59 @@
+"""Shared environments and helpers for the pytest-benchmark suite.
+
+Each ``bench_figXX`` module regenerates one figure of the paper's
+evaluation (Section V).  pytest-benchmark measures a representative
+query workload per (figure, algorithm, x-value) cell at ``BENCH_SCALE``
+— a venue shrunk for pure-Python CI runs.  The full parameter sweeps
+at paper scale are produced by ``python -m repro.bench`` (see
+EXPERIMENTS.md), which uses the same experiment functions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import experiments as E
+
+#: Venue shrink factor for CI benches (see EXPERIMENTS.md for the
+#: paper-scale runs).
+BENCH_SCALE = 0.12
+#: Query instances folded into one measured call.
+BENCH_INSTANCES = 2
+
+
+@pytest.fixture(scope="session")
+def synth_env():
+    """The default synthetic venue (five floors, scaled)."""
+    return E.synthetic_env(floors=5, scale=BENCH_SCALE, seed=42)
+
+
+@pytest.fixture(scope="session")
+def synth_env_2f():
+    return E.synthetic_env(floors=2, scale=BENCH_SCALE, seed=42)
+
+
+@pytest.fixture(scope="session")
+def real_mall_env():
+    """The Hangzhou-mall analogue (seven floors, scaled)."""
+    return E.real_env(scale=BENCH_SCALE, seed=23)
+
+
+def make_workload(env, **kwargs):
+    """A deterministic workload with the paper's Table IV defaults."""
+    defaults = dict(s2t=1700.0 * env.s2t_unit, eta=1.8, qw_size=4,
+                    beta=0.6, k=7, alpha=0.5, tau=0.2,
+                    instances=BENCH_INSTANCES)
+    defaults.update(kwargs)
+    if "s2t" in kwargs:
+        defaults["s2t"] = kwargs["s2t"] * env.s2t_unit
+    return env.qgen.workload(**defaults)
+
+
+def run_workload(env, workload, algorithm, max_expansions=None):
+    """Evaluate every query of a workload once (the measured unit)."""
+    total_routes = 0
+    for query in workload:
+        answer = env.engine.search(query, algorithm,
+                                   max_expansions=max_expansions)
+        total_routes += len(answer.routes)
+    return total_routes

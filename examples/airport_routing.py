@@ -1,0 +1,96 @@
+"""The paper's motivating airport scenario (Section I).
+
+Jesper has passed security at the airport and must reach his boarding
+gate within a time budget.  On the way he wants Danish cookies, euros
+in cash, and a bowl of noodles.  The time budget converts to a
+distance constraint Δ = Vmax · T; the needs become query keywords.
+
+Usage::
+
+    python examples/airport_routing.py
+"""
+
+from repro.core import IKRQEngine
+from repro.geometry import Point, Rect
+from repro.keywords.mappings import KeywordIndex
+from repro.space import IndoorSpaceBuilder, PartitionKind
+
+#: Maximum indoor walking speed (m/s) used for the T -> Δ conversion.
+V_MAX = 1.4
+
+
+def build_terminal():
+    """A small airport pier: a central corridor with shops and gates."""
+    b = IndoorSpaceBuilder()
+    # Corridor cells from security (west) to the gates (east).
+    for i in range(6):
+        b.add_partition(f"corridor{i}",
+                        Rect(i * 50.0, 0.0, (i + 1) * 50.0, 20.0),
+                        PartitionKind.HALLWAY)
+        if i:
+            b.add_door(f"c{i}", Point(i * 50.0, 10.0),
+                       between=(f"corridor{i-1}", f"corridor{i}"))
+    shops = [
+        ("security", 0, ()),
+        ("sweetdanish", 1, ("cookies", "chocolate", "pastry")),
+        ("nordicbank", 2, ("euros", "kroner", "exchange")),
+        ("atmcorner", 3, ("euros", "cash", "withdrawal")),
+        ("noodlehouse", 4, ("noodles", "ramen", "soup")),
+        ("espressogate", 4, ("coffee", "espresso")),
+        ("gate42", 5, ()),
+    ]
+    kindex = KeywordIndex()
+    for name, cell, twords in shops:
+        pid = b.add_partition(name,
+                              Rect(cell * 50.0 + 5.0, 20.0,
+                                   cell * 50.0 + 45.0, 45.0))
+        b.add_door(f"d-{name}", Point(cell * 50.0 + 25.0, 20.0),
+                   between=(name, f"corridor{cell}"))
+        kindex.assign_iword(pid, name)
+        kindex.add_twords(name, twords)
+    return b.build(), kindex, b
+
+
+def main() -> None:
+    space, kindex, b = build_terminal()
+    engine = IKRQEngine(space, kindex)
+
+    security = Point(25.0, 32.0)   # inside the security partition
+    gate = Point(280.0, 32.0)      # inside gate42
+
+    minutes = 12.0
+    delta = V_MAX * minutes * 60.0
+    print(f"Time budget {minutes:.0f} min -> Δ = {delta:.0f} m "
+          f"at Vmax = {V_MAX} m/s")
+
+    # Passengers are distance-sensitive: a small α (Section III-C).
+    answer = engine.query(
+        ps=security, pt=gate, delta=delta,
+        keywords=["cookies", "euros", "noodles"],
+        k=3, alpha=0.3, algorithm="ToE")
+
+    print("\nTop routes from security to gate 42:")
+    for rank, result in enumerate(answer.routes, start=1):
+        covered = [w for w in ("cookies", "euros", "noodles")
+                   if any(w in kindex.i2t(wi) for wi in result.route.words)]
+        minutes_needed = result.distance / V_MAX / 60.0
+        print(f"  #{rank}: ψ={result.score:.4f}  walk {result.distance:.0f} m"
+              f" (~{minutes_needed:.1f} min)  covers {covered}")
+        print(f"       {result.route.describe(space)}")
+
+    # The same trip in a hurry: 5 minutes only.
+    rushed = engine.query(
+        ps=security, pt=gate, delta=V_MAX * 5 * 60.0,
+        keywords=["cookies", "euros", "noodles"],
+        k=1, alpha=0.3, algorithm="ToE")
+    print("\nWith only 5 minutes:")
+    if rushed.routes:
+        best = rushed.routes[0]
+        print(f"  best ψ={best.score:.4f} covers ρ={best.relevance:.2f} "
+              f"over {best.distance:.0f} m")
+    else:
+        print("  no feasible route — head straight to the gate!")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Quickstart: run IKRQ queries on the paper's Fig. 1 floor plan.
+
+Usage::
+
+    python examples/quickstart.py
+
+Builds the running-example venue (shops zara/oppo/costa/starbucks/
+apple/samsung around two hallways), then asks for the top-3 routes
+from the start point inside ``zara`` to a point in the upper hallway
+that cover a ``latte`` and an ``apple`` stop on the way.
+"""
+
+from repro.core import IKRQEngine
+from repro.datasets import paper_fig1
+
+
+def main() -> None:
+    fixture = paper_fig1()
+    space, kindex = fixture.space, fixture.kindex
+    print(f"Venue: {space}")
+    print(f"Keywords: {kindex}")
+
+    engine = IKRQEngine(space, kindex)
+
+    print("\nIKRQ(ps, pt, Δ=60 m, QW=[latte, apple], k=3), α=0.5:")
+    answer = engine.query(
+        ps=fixture.ps,
+        pt=fixture.pt,
+        delta=60.0,
+        keywords=["latte", "apple"],
+        k=3,
+        alpha=0.5,
+        algorithm="ToE",
+    )
+    for rank, result in enumerate(answer.routes, start=1):
+        route = result.route
+        print(f"  #{rank}: ψ={result.score:.4f}  ρ={result.relevance:.3f}  "
+              f"δ={result.distance:.1f} m")
+        print(f"       {route.describe(space)}")
+        print(f"       route words: {sorted(route.words)}")
+
+    print(f"\nSearch statistics: {answer.stats.stamps_popped} stamps "
+          f"expanded, {answer.stats.complete_routes} complete routes "
+          f"seen, {answer.stats.total_pruned} prunings")
+
+    # The same query through the keyword-oriented expansion.
+    koe = engine.query(fixture.ps, fixture.pt, delta=60.0,
+                       keywords=["latte", "apple"], k=3, algorithm="KoE")
+    print(f"\nKoE finds the same best route: "
+          f"{koe.routes[0].route.describe(space)}")
+
+    # Step-by-step directions for the winner.
+    from repro.core import render_directions
+    ctx = engine.context(answer.query)
+    print("\nDirections for the best route:")
+    print(render_directions(ctx, answer.routes[0].route))
+
+    # Draw the floor with the top-2 routes overlaid.
+    from repro.viz import RouteStyle, render_svg, save_svg
+    svg = render_svg(
+        space, kindex=kindex,
+        routes=[r.route for r in answer.routes[:2]],
+        route_styles=[RouteStyle("#d62728", label="#1"),
+                      RouteStyle("#1f77b4", label="#2", dash="4 3")],
+        markers=[("ps", fixture.ps), ("pt", fixture.pt)])
+    out = save_svg("fig1_routes.svg", svg)
+    print(f"\nFloor plan with routes written to {out}")
+
+
+if __name__ == "__main__":
+    main()

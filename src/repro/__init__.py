@@ -1,0 +1,55 @@
+"""repro — Indoor Top-k Keyword-aware Routing Queries (IKRQ).
+
+A from-scratch Python implementation of Feng, Liu, Li, Lu, Shou, Xu:
+*Indoor Top-k Keyword-aware Routing Query*, ICDE 2020 — the query
+model, keyword organisation, prime-route diversification, pruning
+rules, the ToE/KoE search algorithms and their ablation variants —
+plus every substrate the paper builds on (indoor space model, skeleton
+distances, door-graph routing, RAKE/TF-IDF keyword extraction) and a
+benchmark harness regenerating every figure of its evaluation.
+
+Quickstart::
+
+    from repro import IKRQEngine, paper_fig1
+
+    fixture = paper_fig1()
+    engine = IKRQEngine(fixture.space, fixture.kindex)
+    answer = engine.query(fixture.ps, fixture.pt, delta=60.0,
+                          keywords=["latte", "apple"], k=3)
+    for route in answer.routes:
+        print(route.score, route.route.describe(fixture.space))
+"""
+
+from repro.core import (
+    ALGORITHMS,
+    IKRQ,
+    IKRQEngine,
+    QueryAnswer,
+    Route,
+    RouteResult,
+    SearchConfig,
+)
+from repro.datasets import paper_fig1
+from repro.geometry import Point, Rect
+from repro.keywords import KeywordIndex, Vocabulary
+from repro.space import IndoorSpace, IndoorSpaceBuilder
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHMS",
+    "IKRQ",
+    "IKRQEngine",
+    "IndoorSpace",
+    "IndoorSpaceBuilder",
+    "KeywordIndex",
+    "Point",
+    "QueryAnswer",
+    "Rect",
+    "Route",
+    "RouteResult",
+    "SearchConfig",
+    "Vocabulary",
+    "paper_fig1",
+    "__version__",
+]

@@ -1,0 +1,28 @@
+"""Benchmark harness reproducing the paper's evaluation (Section V).
+
+* :mod:`repro.bench.harness` — run workloads over algorithm sets,
+  collecting per-query wall time and the memory proxy, averaged the
+  way the paper does (10 instances × 5 runs per setting),
+* :mod:`repro.bench.experiments` — one entry point per paper figure
+  (Figs. 4–20), each returning a result table,
+* :mod:`repro.bench.reporting` — plain-text table/series rendering.
+
+All experiments accept a ``scale`` knob: ``1.0`` is the paper-size
+venue (705 partitions / 1116 doors on five floors) and smaller values
+shrink the workload for pure-Python CI runs — relative shapes (who
+wins, where crossovers fall) are preserved, absolute milliseconds are
+not comparable to the paper's Java implementation.
+"""
+
+from repro.bench.harness import AlgorithmRun, BenchHarness, SettingResult
+from repro.bench.reporting import format_table, format_series
+from repro.bench import experiments
+
+__all__ = [
+    "AlgorithmRun",
+    "BenchHarness",
+    "SettingResult",
+    "experiments",
+    "format_series",
+    "format_table",
+]

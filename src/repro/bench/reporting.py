@@ -1,0 +1,57 @@
+"""Plain-text rendering of benchmark results (figure-style tables)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.bench.harness import SettingResult
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """A minimal fixed-width table."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([f"{v:.3f}" if isinstance(v, float) else str(v)
+                      for v in row])
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for i, row in enumerate(cells):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_series(results: List[SettingResult],
+                  x_key: str,
+                  metric: str = "time_ms",
+                  algorithms: Sequence[str] = ()) -> str:
+    """Render a parameter sweep as one row per x value (figure series).
+
+    ``metric`` is one of ``time_ms``, ``memory_mb``, ``routes`` or
+    ``homogeneous_rate``.
+    """
+    if not results:
+        return "(no results)"
+    algs = list(algorithms) or sorted(results[0].runs)
+    headers = [x_key] + list(algs)
+    rows = []
+    for result in results:
+        row: List = [result.setting.get(x_key, "?")]
+        for alg in algs:
+            run = result.runs.get(alg)
+            if run is None:
+                row.append("-")
+                continue
+            if metric == "time_ms":
+                row.append(run.avg_time_ms)
+            elif metric == "memory_mb":
+                row.append(run.avg_memory_mb)
+            elif metric == "routes":
+                row.append(run.avg_routes)
+            elif metric == "homogeneous_rate":
+                row.append(run.avg_homogeneous_rate)
+            else:
+                raise ValueError(f"unknown metric {metric!r}")
+        rows.append(row)
+    return format_table(headers, rows)

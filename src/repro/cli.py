@@ -1,0 +1,168 @@
+"""`python -m repro` — query a serialized venue from the shell.
+
+Workflow::
+
+    # export a venue (e.g. from a generator or your own builder)
+    python -m repro export-fig1 venue.json
+
+    # inspect it
+    python -m repro info venue.json
+
+    # ask for routes
+    python -m repro query venue.json \
+        --from 7.4,39.5,0 --to 23.3,31.4,0 \
+        --delta 60 --keywords latte,apple --k 3 --algorithm ToE
+
+    # draw a floor with the best route
+    python -m repro render venue.json --floor 0 --out floor.svg \
+        --from 7.4,39.5,0 --to 23.3,31.4,0 --delta 60 --keywords latte
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import IKRQEngine
+from repro.core.directions import render_directions
+from repro.datasets import paper_fig1
+from repro.geometry import Point
+from repro.space import load_space, save_space
+from repro.viz import RouteStyle, render_svg, save_svg
+
+
+def _parse_point(text: str) -> Point:
+    parts = [float(v) for v in text.split(",")]
+    if len(parts) == 2:
+        parts.append(0.0)
+    if len(parts) != 3:
+        raise argparse.ArgumentTypeError(
+            f"point must be 'x,y' or 'x,y,level', got {text!r}")
+    return Point(parts[0], parts[1], parts[2])
+
+
+def _cmd_export_fig1(args) -> int:
+    fixture = paper_fig1()
+    save_space(args.path, fixture.space, fixture.kindex)
+    print(f"wrote {fixture.space} to {args.path}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    space, kindex = load_space(args.path)
+    print(space)
+    if kindex is not None:
+        stats = kindex.stats()
+        print(f"keywords: {int(stats['num_iwords'])} i-words, "
+              f"{int(stats['num_twords'])} t-words, "
+              f"{int(stats['num_labelled_partitions'])} labelled partitions")
+    by_kind = {}
+    for p in space.partitions.values():
+        by_kind[p.kind.value] = by_kind.get(p.kind.value, 0) + 1
+    print("partitions by kind:",
+          ", ".join(f"{k}={v}" for k, v in sorted(by_kind.items())))
+    return 0
+
+
+def _load_engine(path):
+    space, kindex = load_space(path)
+    if kindex is None:
+        raise SystemExit("venue file carries no keyword index")
+    return space, kindex, IKRQEngine(space, kindex)
+
+
+def _cmd_query(args) -> int:
+    space, kindex, engine = _load_engine(args.path)
+    answer = engine.query(
+        ps=args.from_point, pt=args.to_point, delta=args.delta,
+        keywords=args.keywords.split(","), k=args.k,
+        alpha=args.alpha, tau=args.tau, algorithm=args.algorithm)
+    if not answer.routes:
+        print("no feasible route")
+        return 1
+    for rank, result in enumerate(answer.routes, start=1):
+        print(f"#{rank}: ψ={result.score:.4f} ρ={result.relevance:.3f} "
+              f"δ={result.distance:.1f} m")
+        if args.directions:
+            ctx = engine.context(answer.query)
+            print(render_directions(ctx, result.route))
+        else:
+            print("   " + result.route.describe(space))
+    return 0
+
+
+def _cmd_render(args) -> int:
+    space, kindex, engine = _load_engine(args.path)
+    routes = []
+    styles = []
+    markers = []
+    if args.from_point and args.to_point and args.keywords:
+        answer = engine.query(
+            ps=args.from_point, pt=args.to_point, delta=args.delta,
+            keywords=args.keywords.split(","), k=args.k,
+            algorithm=args.algorithm)
+        for i, result in enumerate(answer.routes):
+            routes.append(result.route)
+            styles.append(RouteStyle(
+                color=["#d62728", "#1f77b4", "#2ca02c"][i % 3],
+                label=f"#{i + 1} ψ={result.score:.3f}"))
+        markers = [("ps", args.from_point), ("pt", args.to_point)]
+    svg = render_svg(space, floor=args.floor, kindex=kindex,
+                     routes=routes, route_styles=styles, markers=markers)
+    save_svg(args.out, svg)
+    print(f"wrote {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Query and render serialized indoor venues.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("export-fig1", help="write the Fig. 1 venue")
+    p.add_argument("path")
+    p.set_defaults(func=_cmd_export_fig1)
+
+    p = sub.add_parser("info", help="summarise a venue file")
+    p.add_argument("path")
+    p.set_defaults(func=_cmd_info)
+
+    def add_query_args(p, require_query: bool):
+        p.add_argument("path")
+        p.add_argument("--from", dest="from_point", type=_parse_point,
+                       required=require_query, help="start point x,y[,level]")
+        p.add_argument("--to", dest="to_point", type=_parse_point,
+                       required=require_query, help="terminal point")
+        p.add_argument("--delta", type=float, default=100.0,
+                       help="distance constraint (m)")
+        p.add_argument("--keywords", default="" if not require_query else None,
+                       required=require_query,
+                       help="comma-separated query keywords")
+        p.add_argument("--k", type=int, default=3)
+        p.add_argument("--alpha", type=float, default=0.5)
+        p.add_argument("--tau", type=float, default=0.2)
+        p.add_argument("--algorithm", default="ToE")
+
+    p = sub.add_parser("query", help="run an IKRQ")
+    add_query_args(p, require_query=True)
+    p.add_argument("--directions", action="store_true",
+                   help="print step-by-step directions")
+    p.set_defaults(func=_cmd_query)
+
+    p = sub.add_parser("render", help="draw a floor (optionally + routes)")
+    add_query_args(p, require_query=False)
+    p.add_argument("--floor", type=int, default=0)
+    p.add_argument("--out", default="floor.svg")
+    p.set_defaults(func=_cmd_render)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

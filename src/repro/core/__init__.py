@@ -1,0 +1,63 @@
+"""The paper's primary contribution: IKRQ query processing.
+
+Public surface:
+
+* :class:`IKRQ` — the query object of Problem 1,
+* :class:`IKRQEngine` — evaluate queries over a space + keyword index,
+* :class:`Route`, :class:`RouteResult`, :class:`QueryAnswer` — results,
+* :data:`ALGORITHMS` — the paper's algorithm/variant names,
+* lower-level building blocks (:class:`IKRQSearch`,
+  :class:`SearchConfig`, the expansion strategies, the prime table)
+  for users composing their own variants.
+"""
+
+from repro.core.directions import Step, directions, render_directions
+from repro.core.engine import (
+    ALGORITHMS,
+    IKRQEngine,
+    QueryAnswer,
+    canonical_algorithm,
+    config_for,
+)
+from repro.core.framework import (
+    ContinuationProvider,
+    ExpansionStrategy,
+    IKRQSearch,
+    SearchConfig,
+)
+from repro.core.koe import KeywordOrientedExpansion, KoEStar
+from repro.core.naive import NaiveSearch
+from repro.core.prime import PrimeTable
+from repro.core.query import IKRQ, QueryContext
+from repro.core.results import RouteResult, TopKResults
+from repro.core.route import Route
+from repro.core.stamp import Stamp
+from repro.core.stats import SearchStats
+from repro.core.toe import TopologyOrientedExpansion
+
+__all__ = [
+    "ALGORITHMS",
+    "ContinuationProvider",
+    "ExpansionStrategy",
+    "IKRQ",
+    "IKRQEngine",
+    "IKRQSearch",
+    "KeywordOrientedExpansion",
+    "KoEStar",
+    "NaiveSearch",
+    "PrimeTable",
+    "QueryAnswer",
+    "QueryContext",
+    "Route",
+    "RouteResult",
+    "SearchConfig",
+    "SearchStats",
+    "Stamp",
+    "Step",
+    "TopKResults",
+    "TopologyOrientedExpansion",
+    "canonical_algorithm",
+    "config_for",
+    "directions",
+    "render_directions",
+]

@@ -1,0 +1,119 @@
+"""Turn routes into human-readable, step-by-step directions.
+
+A :class:`~repro.core.route.Route` is a door/partition sequence; end
+users (and the examples) want instructions: *"leave zara through d2,
+cross oppo, enter costa through d7 (covers: latte), …"*.  The
+generator annotates each step with the partition crossed, the distance
+walked, floor changes, keyword pickups, and the special same-door
+re-entry ("visit X and return").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.query import QueryContext
+from repro.core.route import Route
+from repro.geometry import Point
+
+
+@dataclass(frozen=True)
+class Step:
+    """One leg of a route between consecutive route items."""
+
+    index: int
+    kind: str                 # "start" | "walk" | "revisit" | "arrive"
+    partition: str            # crossed partition label
+    via: Optional[str]        # door label stepped through (None at start)
+    distance: float           # metres walked on this leg
+    floor: int
+    picked_keywords: Sequence[str]  # query words first covered here
+
+    def render(self) -> str:
+        picked = (f"  [covers: {', '.join(self.picked_keywords)}]"
+                  if self.picked_keywords else "")
+        if self.kind == "start":
+            return f"start in {self.partition}{picked}"
+        if self.kind == "revisit":
+            return (f"step into {self.partition} through {self.via} and "
+                    f"return ({self.distance:.1f} m){picked}")
+        if self.kind == "arrive":
+            return (f"arrive after {self.distance:.1f} m in "
+                    f"{self.partition}{picked}")
+        return (f"cross {self.partition} to {self.via} "
+                f"({self.distance:.1f} m, floor {self.floor}){picked}")
+
+
+def _label(space, pid: int) -> str:
+    part = space.partition(pid)
+    return part.name or f"partition {pid}"
+
+
+def _door_label(space, did: int) -> str:
+    door = space.door(did)
+    return door.name or f"door {did}"
+
+
+def directions(context: QueryContext, route: Route) -> List[Step]:
+    """Step-by-step directions for a (complete or partial) route."""
+    space = context.space
+    kindex = context.kindex
+    qk = context.qk
+    steps: List[Step] = []
+    covered: set = set()
+
+    def pickups(words) -> List[str]:
+        found = []
+        for wi in words:
+            for qi, _sim in qk.hits_for_iword(wi):
+                if qi not in covered:
+                    covered.add(qi)
+                    found.append(qk.words[qi])
+        return found
+
+    start = route.items[0]
+    if isinstance(start, Point):
+        host = space.host_partition(start)
+        start_words = context.item_iwords(start)
+        steps.append(Step(
+            index=0, kind="start", partition=_label(space, host.pid),
+            via=None, distance=0.0, floor=host.floor,
+            picked_keywords=pickups(start_words)))
+
+    prev = start
+    for i, item in enumerate(route.items[1:], start=1):
+        via = route.vias[i - 1]
+        leg = context.oracle.item_distance(prev, item, via=via) \
+            if isinstance(item, int) and isinstance(prev, int) \
+            else context.oracle.item_distance(prev, item)
+        if isinstance(item, int):
+            picked = pickups(context.item_iwords(item))
+            kind = ("revisit"
+                    if isinstance(prev, int) and prev == item else "walk")
+            steps.append(Step(
+                index=i, kind=kind,
+                partition=_label(space, via),
+                via=_door_label(space, item),
+                distance=leg,
+                floor=space.door(item).floor,
+                picked_keywords=picked))
+        else:
+            host = space.host_partition(item)
+            picked = pickups(context.item_iwords(item))
+            steps.append(Step(
+                index=i, kind="arrive",
+                partition=_label(space, host.pid),
+                via=None, distance=leg, floor=host.floor,
+                picked_keywords=picked))
+        prev = item
+    return steps
+
+
+def render_directions(context: QueryContext, route: Route) -> str:
+    """The directions as one numbered text block."""
+    lines = [f"{i + 1}. {step.render()}"
+             for i, step in enumerate(directions(context, route))]
+    lines.append(f"total: {route.distance:.1f} m, "
+                 f"relevance {route.relevance:.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,197 @@
+"""The public IKRQ engine facade and the algorithm registry.
+
+:class:`IKRQEngine` bundles an indoor space with its keyword index and
+the shared routing oracles (door graph, skeleton index, distance
+oracle), and evaluates :class:`~repro.core.query.IKRQ` queries with
+any of the paper's algorithms:
+
+===========  =====================================================
+name          meaning
+===========  =====================================================
+``ToE``       topology-oriented expansion, all pruning rules
+``KoE``       keyword-oriented expansion, all pruning rules
+``ToE-D``     ToE without distance Pruning Rules 1–3 (paper ToE\\D)
+``ToE-B``     ToE without kbound Pruning Rule 4 (ToE\\B)
+``ToE-P``     ToE without prime Pruning Rule 5 (ToE\\P)
+``KoE-D``     KoE without distance pruning (KoE\\D)
+``KoE-B``     KoE without kbound pruning (KoE\\B)
+``KoE*``      KoE with precomputed door-to-door routes
+``naive``     exhaustive baseline (ground truth, small venues only)
+===========  =====================================================
+
+Paper-style spellings (``ToE\\D`` …) are accepted as aliases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.geometry import Point
+from repro.keywords.mappings import KeywordIndex
+from repro.space.distances import DistanceOracle
+from repro.space.graph import DoorGraph, DoorMatrix
+from repro.space.indoor_space import IndoorSpace
+from repro.space.skeleton import SkeletonIndex
+from repro.core.framework import IKRQSearch, SearchConfig
+from repro.core.koe import KeywordOrientedExpansion, KoEStar
+from repro.core.naive import NaiveSearch
+from repro.core.query import IKRQ, QueryContext
+from repro.core.results import RouteResult
+from repro.core.stats import SearchStats
+from repro.core.toe import TopologyOrientedExpansion
+
+#: Canonical algorithm names, in the paper's Table III order.
+ALGORITHMS: Tuple[str, ...] = (
+    "ToE", "ToE-D", "ToE-B", "ToE-P",
+    "KoE", "KoE-D", "KoE-B", "KoE*",
+)
+
+_ALIASES: Dict[str, str] = {
+    "toe": "ToE", "koe": "KoE", "koe*": "KoE*", "koestar": "KoE*",
+    "toe\\d": "ToE-D", "toe\\b": "ToE-B", "toe\\p": "ToE-P",
+    "koe\\d": "KoE-D", "koe\\b": "KoE-B",
+    "toe-d": "ToE-D", "toe-b": "ToE-B", "toe-p": "ToE-P",
+    "koe-d": "KoE-D", "koe-b": "KoE-B",
+    "naive": "naive", "baseline": "naive",
+}
+
+
+def canonical_algorithm(name: str) -> str:
+    """Resolve an algorithm name or alias to its canonical form."""
+    key = name.strip().lower()
+    if key in _ALIASES:
+        return _ALIASES[key]
+    raise ValueError(
+        f"unknown algorithm {name!r}; choose from {ALGORITHMS + ('naive',)}")
+
+
+def config_for(name: str,
+               max_expansions: Optional[int] = None,
+               exhaustive: bool = False) -> SearchConfig:
+    """The :class:`SearchConfig` of a canonical algorithm name.
+
+    ``exhaustive=True`` disables Algorithm 5's stop-after-coverage
+    heuristic so the result multiset matches the naive baseline.
+    """
+    canonical = canonical_algorithm(name)
+    return SearchConfig(
+        use_distance_pruning=not canonical.endswith("-D"),
+        use_kbound_pruning=not canonical.endswith("-B"),
+        use_prime_pruning=not canonical.endswith("-P"),
+        expand_after_coverage=exhaustive,
+        max_expansions=max_expansions,
+    )
+
+
+@dataclass
+class QueryAnswer:
+    """The outcome of one query evaluation."""
+
+    query: IKRQ
+    algorithm: str
+    routes: List[RouteResult]
+    stats: SearchStats
+
+    @property
+    def best(self) -> Optional[RouteResult]:
+        return self.routes[0] if self.routes else None
+
+    def scores(self) -> List[float]:
+        return [r.score for r in self.routes]
+
+    def distances(self) -> List[float]:
+        return [r.distance for r in self.routes]
+
+
+class IKRQEngine:
+    """Evaluate IKRQ queries over an indoor space with keywords.
+
+    The engine owns the per-space oracles and shares them across
+    queries; the KoE* door matrix is built lazily on first use (its
+    construction cost is part of what the paper measures against).
+
+    Example::
+
+        engine = IKRQEngine(space, kindex)
+        answer = engine.query(ps, pt, delta=120.0,
+                              keywords=["latte", "apple"], k=3)
+        for r in answer.routes:
+            print(r.score, r.route.describe(space))
+    """
+
+    def __init__(self,
+                 space: IndoorSpace,
+                 kindex: KeywordIndex,
+                 popularity: Optional[Dict[int, float]] = None) -> None:
+        self.space = space
+        self.kindex = kindex
+        #: Optional partition-popularity map for the γ-weighted ranking
+        #: extension (values in [0, 1]; see IKRQ.gamma).
+        self.popularity = popularity or {}
+        self.oracle = DistanceOracle(space)
+        self.graph = DoorGraph(space, self.oracle)
+        self.skeleton = SkeletonIndex(space)
+        self._matrix: Optional[DoorMatrix] = None
+
+    # ------------------------------------------------------------------
+    def context(self, query: IKRQ) -> QueryContext:
+        """A fresh per-query context sharing the engine's oracles."""
+        return QueryContext(
+            space=self.space,
+            kindex=self.kindex,
+            query=query,
+            graph=self.graph,
+            skeleton=self.skeleton,
+            oracle=self.oracle,
+            popularity=self.popularity,
+        )
+
+    def door_matrix(self) -> DoorMatrix:
+        """The (lazily built, eagerly filled) KoE* door matrix."""
+        if self._matrix is None:
+            self._matrix = DoorMatrix(self.graph, eager=True)
+        return self._matrix
+
+    # ------------------------------------------------------------------
+    def search(self,
+               query: IKRQ,
+               algorithm: str = "ToE",
+               max_expansions: Optional[int] = None,
+               config: Optional["SearchConfig"] = None) -> QueryAnswer:
+        """Evaluate ``query`` with the named algorithm.
+
+        ``config`` overrides the name-derived :class:`SearchConfig`
+        (the strategy — ToE vs. KoE — still follows the name).
+        """
+        canonical = canonical_algorithm(algorithm)
+        ctx = self.context(query)
+        if canonical == "naive":
+            naive = NaiveSearch(ctx)
+            routes = naive.run()
+            return QueryAnswer(query, canonical, routes, naive.stats)
+        if config is None:
+            config = config_for(canonical, max_expansions=max_expansions)
+        if canonical.startswith("ToE"):
+            strategy = TopologyOrientedExpansion()
+        elif canonical == "KoE*":
+            strategy = KoEStar(self.door_matrix())
+        else:
+            strategy = KeywordOrientedExpansion()
+        search = IKRQSearch(ctx, strategy, config)
+        routes = search.run()
+        return QueryAnswer(query, canonical, routes, search.stats)
+
+    def query(self,
+              ps: Point,
+              pt: Point,
+              delta: float,
+              keywords: Sequence[str],
+              k: int = 1,
+              alpha: float = 0.5,
+              tau: float = 0.2,
+              algorithm: str = "ToE") -> QueryAnswer:
+        """Convenience wrapper building the :class:`IKRQ` inline."""
+        ikrq = IKRQ(ps=ps, pt=pt, delta=delta,
+                    keywords=tuple(keywords), k=k, alpha=alpha, tau=tau)
+        return self.search(ikrq, algorithm=algorithm)

@@ -1,0 +1,398 @@
+"""The unified IKRQ search framework (Algorithm 1 + Algorithm 5).
+
+The framework drives a priority queue of stamps ordered by ranking
+score.  Each iteration pops the best stamp, asks the expansion
+strategy (``find`` — topology- or keyword-oriented) for the next valid
+stamps, and ``connect``\\ s each of them towards the terminal point:
+
+* a stamp whose partition is ``v(pt)`` is immediately completed (and,
+  unlike the paper's pseudo-code but consistent with its worked
+  Example 8 and Table II, also kept for further expansion so routes
+  may pass *through* the terminal partition),
+* a stamp covering all query keywords is completed via the shortest
+  regular continuation and not expanded further (additional travel can
+  only lower its score),
+* anything else goes back into the queue.
+
+Pruning Rules 1–5 are applied inside the strategies and the connect
+step; each can be disabled through :class:`SearchConfig` to reproduce
+the paper's ablation variants (ToE\\D, ToE\\B, ToE\\P, KoE\\D, KoE\\B,
+KoE*).
+
+Shortest *regular* continuations — used by both ``connect`` and the
+keyword-oriented expansion — are served by a pluggable
+:class:`ContinuationProvider`.  Continuations respect the regularity
+principle (no door of the prefix is reused), leave the stamp's current
+partition first, and may *start* with the one-hop ``(d, d)`` re-entry
+loop, which is the only way out of a dead-end keyword partition.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.prime import PrimeTable
+from repro.core.query import QueryContext
+from repro.core.results import RouteResult, TopKResults
+from repro.core.route import Route
+from repro.core.stamp import Stamp
+from repro.core.stats import SearchStats
+
+INF = float("inf")
+
+#: A continuation: (door sequence, via sequence, distance).
+Continuation = Tuple[List[int], List[int], float]
+
+
+@dataclass(frozen=True)
+class SearchConfig:
+    """Feature switches defining an algorithm variant.
+
+    Attributes:
+        use_distance_pruning: Pruning Rules 1, 2 and 3 (off in \\D).
+        use_kbound_pruning: Pruning Rule 4 (off in \\B).
+        use_prime_pruning: Pruning Rule 5, the Lemma 2 loop
+            restriction, and result deduplication (off in \\P).
+        expand_through_terminal: Keep expanding stamps that reached
+            ``v(pt)`` (see module docstring).
+        expand_after_coverage: Algorithm 5 stops expanding a stamp once
+            it covers every query keyword (extra travel can only lower
+            its score, so the heuristic only drops classes that are
+            strictly dominated score-wise by the class they extend).
+            Set ``True`` for a fully exhaustive search whose result
+            multiset matches the naive baseline exactly.
+        max_expansions: Optional safety cap on pop iterations; ``None``
+            searches exhaustively.  The paper's ToE\\P runs five to six
+            orders of magnitude longer than ToE — the cap lets the
+            bench harness keep such ablations finite on large venues.
+    """
+
+    use_distance_pruning: bool = True
+    use_kbound_pruning: bool = True
+    use_prime_pruning: bool = True
+    expand_through_terminal: bool = True
+    expand_after_coverage: bool = False
+    max_expansions: Optional[int] = None
+
+
+class ContinuationProvider:
+    """Source of shortest non-loop door continuations.
+
+    ``nonloop`` returns, per target door, the shortest door path from
+    ``tail`` whose first segment traverses ``first_via`` and that
+    avoids every banned door.  The default implementation runs
+    Dijkstra on the fly; KoE* substitutes a precomputed matrix.
+    """
+
+    def nonloop(self,
+                search: "IKRQSearch",
+                tail,
+                first_via: int,
+                targets: Set[int],
+                banned: FrozenSet[int],
+                budget: float) -> Dict[int, Continuation]:
+        ctx = search.ctx
+        search.stats.dijkstra_calls += 1
+        if isinstance(tail, int):
+            return ctx.graph.multi_target_routes(
+                tail, first_via, targets, banned=banned, bound=budget)
+        return ctx.graph.routes_from_point(
+            tail, first_via, targets, banned=banned, bound=budget)
+
+
+class ExpansionStrategy:
+    """Interface of the ``find`` step (instantiated by ToE and KoE)."""
+
+    name = "abstract"
+
+    def find(self, search: "IKRQSearch", stamp: Stamp) -> List[Stamp]:
+        raise NotImplementedError
+
+    def prepare(self, search: "IKRQSearch") -> None:
+        """Hook called once per query before the main loop."""
+
+
+class IKRQSearch:
+    """One evaluation of an IKRQ query (Algorithm 1).
+
+    Instances are single-use: construct, call :meth:`run`, read
+    ``results`` / ``stats``.
+    """
+
+    def __init__(self,
+                 context: QueryContext,
+                 strategy: ExpansionStrategy,
+                 config: SearchConfig = SearchConfig(),
+                 provider: Optional[ContinuationProvider] = None) -> None:
+        self.ctx = context
+        self.strategy = strategy
+        self.config = config
+        self.provider = provider or ContinuationProvider()
+        self.prime = PrimeTable()
+        self.results = TopKResults(
+            context.k, deduplicate=config.use_prime_pruning)
+        self.stats = SearchStats()
+        self._heap: List[Tuple[float, int, Stamp]] = []
+        self._counter = itertools.count()
+        self._partitions_ok: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Queue plumbing
+    # ------------------------------------------------------------------
+    def _push(self, stamp: Stamp) -> None:
+        heapq.heappush(self._heap, (-stamp.score, next(self._counter), stamp))
+        self.stats.on_push(stamp.route.num_items)
+        self.stats.track_queue(len(self._heap))
+
+    def _pop(self) -> Stamp:
+        _, _, stamp = heapq.heappop(self._heap)
+        self.stats.on_pop(stamp.route.num_items)
+        return stamp
+
+    # ------------------------------------------------------------------
+    # Stamp helpers shared with the strategies
+    # ------------------------------------------------------------------
+    def make_stamp(self, partition: int, route: Route) -> Stamp:
+        self.stats.stamps_created += 1
+        return Stamp.of(partition, route, self.ctx.ranking_score(route))
+
+    @property
+    def kbound(self) -> float:
+        if not self.config.use_kbound_pruning:
+            return -INF
+        return self.results.kbound
+
+    def prime_check(self, stamp: Stamp) -> bool:
+        """Pruning Rule 5 (Algorithm 3) on a stamp, variant-aware."""
+        if not self.config.use_prime_pruning:
+            return True
+        tail = stamp.route.tail
+        kp = self.ctx.key_partition_sequence(stamp.route)
+        ok = self.prime.check(tail, kp, stamp.distance)
+        if not ok:
+            self.stats.pruned_rule5 += 1
+        return ok
+
+    def prime_update(self, stamp: Stamp) -> None:
+        """Algorithm 4 on a stamp, variant-aware."""
+        if not self.config.use_prime_pruning:
+            return
+        tail = stamp.route.tail
+        kp = self.ctx.key_partition_sequence(stamp.route)
+        self.prime.update(tail, kp, stamp.distance)
+
+    # ------------------------------------------------------------------
+    # Distance pruning caches (Rules 2 and 3)
+    # ------------------------------------------------------------------
+    def door_admissible(self, door: int) -> bool:
+        """Pruning Rule 2: ``|ps, d|L + |d, pt|L ≤ Δ`` (cached)."""
+        ctx = self.ctx
+        if not self.config.use_distance_pruning:
+            return True
+        if door in ctx.doors_pruned:
+            return False
+        if door in ctx.doors_valid:
+            return True
+        bound = ctx.lb_from_start(door) + ctx.lb_to_terminal(door)
+        if bound > ctx.delta_hard:
+            ctx.doors_pruned.add(door)
+            self.stats.pruned_rule2 += 1
+            return False
+        ctx.doors_valid.add(door)
+        return True
+
+    def key_partition_pool(self) -> Set[int]:
+        """The surviving KoE candidate partitions (Algorithm 1 line 3,
+        shrunk in place by Pruning Rule 3)."""
+        return self.ctx.key_partition_pool
+
+    def partition_admissible(self, pid: int) -> bool:
+        """Pruning Rule 3: drop partitions off every feasible route."""
+        ctx = self.ctx
+        if pid in self._partitions_ok:
+            return True
+        if pid not in ctx.key_partition_pool:
+            return False
+        lower = ctx.lb_via_partition(ctx.query.ps, pid)
+        if lower > ctx.delta_hard:
+            ctx.key_partition_pool.discard(pid)
+            self.stats.pruned_rule3 += 1
+            return False
+        self._partitions_ok.add(pid)
+        return True
+
+    # ------------------------------------------------------------------
+    # Regular continuations (shared by connect and KoE)
+    # ------------------------------------------------------------------
+    def regular_continuations(self,
+                              stamp: Stamp,
+                              targets: Set[int],
+                              budget: float) -> Dict[int, Continuation]:
+        """Shortest regular continuations from a stamp to target doors.
+
+        Combines the ordinary first-hop-restricted shortest paths with
+        paths that start with the ``(d, d)`` re-entry loop — subject to
+        Lemma 2, the loop is only available when the stamp's partition
+        covers a query keyword (always, in the \\P ablation).
+        """
+        ctx = self.ctx
+        route = stamp.route
+        tail = route.tail
+        tail_is_door = isinstance(tail, int)
+        banned = frozenset(route.door_counts) - (
+            frozenset({tail}) if tail_is_door else frozenset())
+        reachable_targets = set(targets) - banned
+        if not reachable_targets or budget < 0:
+            return {}
+        out = self.provider.nonloop(
+            self, tail, stamp.partition, reachable_targets, banned, budget)
+
+        if not tail_is_door or not route.may_append_door(tail):
+            return out
+        loop_allowed = (not self.config.use_prime_pruning
+                        or ctx.is_keyword_partition(stamp.partition))
+        if not loop_allowed:
+            return out
+        reentry = ctx.oracle.d2d(tail, tail, via=stamp.partition)
+        if reentry == INF or reentry > budget:
+            return out
+        # The loop itself can be the whole continuation when the tail
+        # door also enters a target's partition.
+        if tail in reachable_targets:
+            cand: Continuation = ([tail], [stamp.partition], reentry)
+            best = out.get(tail)
+            if best is None or cand[2] < best[2]:
+                out[tail] = cand
+        for far in ctx.space.d2p_enter(tail) - {stamp.partition}:
+            sub = self.provider.nonloop(
+                self, tail, far, reachable_targets,
+                banned | {tail}, budget - reentry)
+            for target, (doors, vias, dist) in sub.items():
+                cand = ([tail] + doors, [stamp.partition] + vias,
+                        reentry + dist)
+                best = out.get(target)
+                if best is None or cand[2] < best[2]:
+                    out[target] = cand
+        return out
+
+    # ------------------------------------------------------------------
+    # Completion / result recording
+    # ------------------------------------------------------------------
+    def _record_complete(self, route: Route) -> None:
+        """Validate a complete route and fold it into the top-k set."""
+        ctx = self.ctx
+        self.stats.complete_routes += 1
+        if route.distance > ctx.delta_hard:
+            return
+        score = ctx.ranking_score(route)
+        kp = ctx.key_partition_sequence(route)
+        if self.config.use_prime_pruning:
+            if not self.prime.check(route.tail, kp, route.distance):
+                self.stats.pruned_rule5 += 1
+                return
+        # The paper additionally gates on ψ(Rf) > kbound.  A shorter
+        # homogeneous route must still replace its class entry to keep
+        # results prime, so the gate lives inside TopKResults.add
+        # (class replacement always happens; new classes simply rank).
+        changed = self.results.add(RouteResult(
+            route=route, kp=kp, relevance=route.relevance, score=score))
+        if changed and self.config.use_prime_pruning:
+            self.prime.update(route.tail, kp, route.distance)
+
+    def _connect_directly(self, stamp: Stamp) -> None:
+        """Stamp is in ``v(pt)``: append the terminal point."""
+        complete = self.ctx.complete_route(stamp.route)
+        if complete is not None:
+            self._record_complete(complete)
+
+    def _connect_via_shortest(self, stamp: Stamp) -> None:
+        """All keywords covered: shortest regular continuation to pt."""
+        ctx = self.ctx
+        route = stamp.route
+        budget = ctx.delta_hard - route.distance
+        if budget < 0:
+            return
+        targets = set(ctx.space.p2d_enter(ctx.v_pt))
+        if not targets:
+            return
+        paths = self.regular_continuations(stamp, targets, budget)
+        pt_pos = ctx.query.pt
+        best: Optional[Route] = None
+        for target, (doors, vias, dist) in paths.items():
+            extra = ctx.space.door(target).position.distance_to(pt_pos)
+            if route.distance + dist + extra > ctx.delta_hard:
+                continue
+            extended = ctx.extend_along_path(route, doors, vias, dist)
+            complete = ctx.complete_route(extended)
+            if complete is None or complete.distance > ctx.delta_hard:
+                continue
+            if best is None or complete.distance < best.distance:
+                best = complete
+        if best is not None:
+            self._record_complete(best)
+
+    def connect(self, stamp: Stamp) -> None:
+        """Algorithm 5."""
+        self.stats.connects += 1
+        ctx = self.ctx
+        if stamp.partition == ctx.v_pt:
+            self._connect_directly(stamp)
+            if self.config.expand_through_terminal:
+                self._push(stamp)
+            return
+        if not self.prime_check(stamp):
+            return
+        if stamp.relevance >= ctx.full_relevance:
+            self._connect_via_shortest(stamp)
+            if self.config.expand_after_coverage:
+                self._push(stamp)
+            return
+        self._push(stamp)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self) -> List[RouteResult]:
+        """Execute the search and return the ranked top-k routes."""
+        started = time.perf_counter()
+        ctx = self.ctx
+        self.strategy.prepare(self)
+
+        start_route = ctx.start_route()
+        s0 = self.make_stamp(ctx.v_ps, start_route)
+
+        # Trivial completion: start and terminal share a partition.
+        if ctx.v_ps == ctx.v_pt:
+            direct = ctx.complete_route(start_route)
+            if direct is not None:
+                self._record_complete(direct)
+        # Start already covers every keyword: early connect, matching
+        # the heuristic of Algorithm 5 for ordinary stamps.
+        if s0.relevance >= ctx.full_relevance:
+            self._connect_via_shortest(s0)
+
+        self._push(s0)
+        cap = self.config.max_expansions
+        while self._heap:
+            stamp = self._pop()
+            self.stats.stamps_popped += 1
+            if cap is not None and self.stats.stamps_popped > cap:
+                break
+            if self.config.use_kbound_pruning:
+                remaining = (ctx.lb_to_terminal(stamp.route.tail)
+                             if self.config.use_distance_pruning else 0.0)
+                upper = ctx.upper_bound_score(stamp.distance + remaining)
+                if upper <= self.kbound:
+                    self.stats.pruned_rule4 += 1
+                    continue
+            for next_stamp in self.strategy.find(self, stamp):
+                self.connect(next_stamp)
+
+        self.stats.prime_table_entries = len(self.prime)
+        self.stats.aux_bytes += self.prime.estimated_bytes()
+        self.stats.elapsed_seconds = time.perf_counter() - started
+        return self.results.top()

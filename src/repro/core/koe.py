@@ -1,0 +1,184 @@
+"""Keyword-oriented expansion — ``KoE_find`` (Algorithm 6) and KoE*.
+
+KoE jumps directly from the current stamp to candidate key partitions
+that can cover still-uncovered query keywords (plus the terminal
+partition), using shortest *regular* connecting routes instead of
+one-hop door expansions:
+
+1. Pruning Rule 5 on the popped stamp,
+2. build ``P'`` — the key-partition pool minus the partitions of
+   query words the route already covers (never removing the terminal
+   partition, which must stay reachable),
+3. per candidate partition: Pruning Rule 3 (permanently shrinking the
+   pool), then the distance check ``δi + δLB(dk, vj, pt) ≤ Δ``,
+4. per enterable door of the candidate: the shortest regular
+   connecting route (Lemma 3 justifies keeping only the shortest per
+   target door), then Pruning Rules 1 and 4 on the extended route.
+
+``KoEStar`` (KoE* in the paper, Table III) swaps the on-the-fly
+Dijkstra for routes served from a precomputed all-pairs door matrix,
+falling back to recomputation whenever a cached route violates
+regularity against the current prefix or does not leave the current
+partition first — the paper's Figs. 13–14 show this trade-off loses
+except under the tightest distance constraints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from repro.core.framework import (
+    Continuation,
+    ContinuationProvider,
+    ExpansionStrategy,
+    IKRQSearch,
+)
+from repro.core.stamp import Stamp
+from repro.space.graph import DoorMatrix
+
+INF = float("inf")
+
+
+class KeywordOrientedExpansion(ExpansionStrategy):
+    """The KoE strategy (paper Section IV-D)."""
+
+    name = "KoE"
+
+    def find(self, search: IKRQSearch, stamp: Stamp) -> List[Stamp]:
+        ctx = search.ctx
+        config = search.config
+        stats = search.stats
+        found: List[Stamp] = []
+
+        route = stamp.route
+        tail = route.tail
+        tail_is_door = isinstance(tail, int)
+
+        if not search.prime_check(stamp):
+            return found
+
+        # Candidate key partitions (Algorithm 6 lines 4-7).  The
+        # initial stamp keeps the full pool; later stamps drop the
+        # partitions of covered query words.  The terminal partition is
+        # always re-added: it must stay reachable even when its i-word
+        # happens to match a covered keyword.
+        pool: Set[int] = set(search.key_partition_pool())
+        if tail_is_door:
+            for qi in range(ctx.num_keywords):
+                if route.sims[qi] > 0.0:
+                    pool -= ctx.qk.partitions_for_word(qi)
+        pool.add(ctx.v_pt)
+        pool.discard(stamp.partition)
+
+        budget = ctx.delta_hard - route.distance
+        route_doors = frozenset(route.door_counts)
+
+        for vj in sorted(pool):
+            stats.expansions += 1
+            # Pruning Rule 3 (lines 9-10).
+            if config.use_distance_pruning and vj != ctx.v_pt:
+                if not search.partition_admissible(vj):
+                    continue
+            # Distance check (line 11).
+            if config.use_distance_pruning:
+                if route.distance + ctx.lb_via_partition(tail, vj) > ctx.delta_hard:
+                    stats.pruned_distance += 1
+                    continue
+            targets = set(ctx.space.p2d_enter(vj))
+            # Doors already on the route cannot be re-entered through
+            # (regularity), except the tail itself via the loop move,
+            # which regular_continuations handles.
+            targets -= route_doors - (
+                frozenset({tail}) if tail_is_door else frozenset())
+            if not targets:
+                continue
+            paths = search.regular_continuations(stamp, targets, budget)
+            for dl, (doors, vias, dist) in paths.items():
+                if not doors:
+                    continue
+                if vj not in ctx.space.d2p_enter(dl):
+                    continue
+                extended = ctx.extend_along_path(route, doors, vias, dist)
+                if extended.distance > ctx.delta_hard:
+                    stats.pruned_distance += 1
+                    continue
+                # Pruning Rule 1 (lines 15-16).
+                if config.use_distance_pruning:
+                    lower = extended.distance + ctx.lb_to_terminal(dl)
+                    if lower > ctx.delta_hard:
+                        stats.pruned_rule1 += 1
+                        continue
+                else:
+                    lower = extended.distance
+                # Pruning Rule 4 (lines 17-18).
+                if config.use_kbound_pruning:
+                    if ctx.upper_bound_score(lower) <= search.kbound:
+                        stats.pruned_rule4 += 1
+                        continue
+                next_stamp = search.make_stamp(vj, extended)
+                search.prime_update(next_stamp)
+                found.append(next_stamp)
+        return found
+
+
+class MatrixContinuationProvider(ContinuationProvider):
+    """Continuations served from a precomputed door matrix (KoE*).
+
+    A cached route is usable only when its first segment traverses the
+    required partition and no door of it is banned; otherwise the
+    target falls back to the on-the-fly Dijkstra, and the paper's
+    recomputation penalty is exactly this fallback.
+    """
+
+    def __init__(self, matrix: DoorMatrix) -> None:
+        self.matrix = matrix
+
+    def nonloop(self,
+                search: IKRQSearch,
+                tail,
+                first_via: int,
+                targets: Set[int],
+                banned: FrozenSet[int],
+                budget: float) -> Dict[int, Continuation]:
+        if not isinstance(tail, int):
+            return super().nonloop(
+                search, tail, first_via, targets, banned, budget)
+        stats = search.stats
+        out: Dict[int, Continuation] = {}
+        missing: Set[int] = set()
+        for target in targets:
+            cached = self.matrix.route(tail, target)
+            if cached is None or cached[2] > budget:
+                # Unreachable or over budget on the unconstrained
+                # graph: no constrained route can do better.
+                continue
+            doors, vias, dist = cached
+            usable = (bool(doors)
+                      and vias[0] == first_via
+                      and not any(d in banned for d in doors)
+                      and tail not in doors)
+            if usable:
+                stats.precomputed_hits += 1
+                out[target] = cached
+            else:
+                stats.precomputed_misses += 1
+                missing.add(target)
+        if missing:
+            out.update(super().nonloop(
+                search, tail, first_via, missing, banned, budget))
+        return out
+
+
+class KoEStar(KeywordOrientedExpansion):
+    """KoE with precomputed all-pairs shortest door routes."""
+
+    name = "KoE*"
+
+    def __init__(self, matrix: Optional[DoorMatrix] = None) -> None:
+        self.matrix = matrix
+
+    def prepare(self, search: IKRQSearch) -> None:
+        if self.matrix is None:
+            self.matrix = DoorMatrix(search.ctx.graph, eager=True)
+        search.provider = MatrixContinuationProvider(self.matrix)
+        search.stats.aux_bytes += self.matrix.estimated_bytes()

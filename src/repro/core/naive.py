@@ -1,0 +1,79 @@
+"""Exhaustive baseline search for IKRQ.
+
+This is the naive method sketched at the start of the paper's
+Section IV: iteratively grow candidate partial routes from the start
+point, validate them against the distance constraint and the
+regularity principle, enumerate *all* complete routes, then keep the
+prime route per homogeneity class and return the k best by ranking
+score.
+
+It is exponential and only usable on small venues; the test suite
+uses it as ground truth for the pruned ToE / KoE algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.query import QueryContext
+from repro.core.results import RouteResult, TopKResults
+from repro.core.route import Route
+from repro.core.stats import SearchStats
+
+
+class NaiveSearch:
+    """Depth-first exhaustive enumeration of regular routes.
+
+    Args:
+        context: The query context.
+        max_routes: Safety cap on enumerated complete routes; the
+            search raises :class:`RuntimeError` when exceeded so tests
+            never silently truncate the ground truth.
+    """
+
+    def __init__(self,
+                 context: QueryContext,
+                 max_routes: int = 2_000_000) -> None:
+        self.ctx = context
+        self.max_routes = max_routes
+        self.results = TopKResults(context.k, deduplicate=True)
+        self.stats = SearchStats()
+
+    # ------------------------------------------------------------------
+    def run(self) -> List[RouteResult]:
+        ctx = self.ctx
+        start = ctx.start_route()
+        self._record_if_terminal(start, ctx.v_ps)
+        self._expand(start, ctx.v_ps)
+        return self.results.top()
+
+    # ------------------------------------------------------------------
+    def _record_if_terminal(self, route: Route, partition: int) -> None:
+        ctx = self.ctx
+        if partition != ctx.v_pt:
+            return
+        complete = ctx.complete_route(route)
+        if complete is None or complete.distance > ctx.delta_hard:
+            return
+        self.stats.complete_routes += 1
+        if self.stats.complete_routes > self.max_routes:
+            raise RuntimeError(
+                f"naive search exceeded {self.max_routes} complete routes")
+        self.results.add(RouteResult(
+            route=complete,
+            kp=ctx.key_partition_sequence(complete),
+            relevance=complete.relevance,
+            score=ctx.ranking_score(complete)))
+
+    def _expand(self, route: Route, partition: int) -> None:
+        ctx = self.ctx
+        for dl in ctx.space.p2d_leave(partition):
+            if not route.may_append_door(dl):
+                continue
+            extended = ctx.extend_to_door(route, dl, via=partition)
+            if extended is None or extended.distance > ctx.delta_hard:
+                continue
+            self.stats.expansions += 1
+            for vj in ctx.space.d2p_enter(dl) - {partition}:
+                self._record_if_terminal(extended, vj)
+                self._expand(extended, vj)

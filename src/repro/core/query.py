@@ -1,0 +1,403 @@
+"""IKRQ query objects and the per-query search context.
+
+:class:`IKRQ` is the user-facing query of Problem 1:
+``IKRQ(ps, pt, Δ, QW, k)`` plus the ranking trade-off ``α`` and the
+similarity threshold ``τ``.
+
+:class:`QueryContext` holds everything a single query evaluation
+shares: the indoor space and its distance/graph/skeleton oracles, the
+converted query keywords, the key-partition set ``P`` of Algorithm 1,
+the route-extension logic (distance, route words, per-keyword
+similarities), key-partition sequences ``KP(R)``, ranking scores, and
+the global door caches ``Dn`` / ``Df`` of Pruning Rule 2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.geometry import Point
+from repro.keywords.matching import QueryKeywords
+from repro.keywords.mappings import KeywordIndex
+from repro.space.distances import DistanceOracle
+from repro.space.graph import DoorGraph
+from repro.space.indoor_space import IndoorSpace
+from repro.space.skeleton import SkeletonIndex
+from repro.core.route import Item, Route
+
+INF = math.inf
+
+
+@dataclass(frozen=True)
+class IKRQ:
+    """An indoor top-k keyword-aware routing query (Problem 1).
+
+    Attributes:
+        ps: Start point.
+        pt: Terminal point.
+        delta: Distance constraint ``Δ`` (metres).
+        keywords: Query keyword list ``QW`` (i-words and/or t-words,
+            recognised automatically).
+        k: Number of routes requested.
+        alpha: Keyword/distance trade-off ``α`` of Equation 1.
+        tau: Similarity threshold ``τ`` of Definition 4.
+    """
+
+    ps: Point
+    pt: Point
+    delta: float
+    keywords: Tuple[str, ...]
+    k: int = 1
+    alpha: float = 0.5
+    tau: float = 0.2
+    #: Soft-constraint slack (paper §VII future work): routes may
+    #: exceed Δ by up to ``soft_slack · Δ``; the spatial score of an
+    #: overshooting route goes negative, so such routes rank below
+    #: every in-budget route of equal relevance.
+    soft_slack: float = 0.0
+    #: Popularity weight (paper §VII future work): blend a per-route
+    #: popularity term into the ranking (see
+    #: :meth:`QueryContext.ranking_score`).
+    gamma: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.delta <= 0:
+            raise ValueError("distance constraint Δ must be positive")
+        if self.k < 1:
+            raise ValueError("k must be at least 1")
+        if not (0.0 <= self.alpha <= 1.0):
+            raise ValueError("alpha must be in [0, 1]")
+        if not self.keywords:
+            raise ValueError("query keyword list QW must not be empty")
+        if self.soft_slack < 0.0:
+            raise ValueError("soft_slack must be non-negative")
+        if self.gamma < 0.0:
+            raise ValueError("gamma must be non-negative")
+
+    @property
+    def delta_hard(self) -> float:
+        """The hard feasibility bound ``Δ · (1 + soft_slack)``."""
+        return self.delta * (1.0 + self.soft_slack)
+
+
+class QueryContext:
+    """Shared per-query state and route algebra.
+
+    One context is built per query evaluation; the space-level oracles
+    (graph, skeleton, distance) are typically shared across queries and
+    passed in, while the keyword conversion and the pruning caches are
+    query-local.
+    """
+
+    def __init__(self,
+                 space: IndoorSpace,
+                 kindex: KeywordIndex,
+                 query: IKRQ,
+                 graph: Optional[DoorGraph] = None,
+                 skeleton: Optional[SkeletonIndex] = None,
+                 oracle: Optional[DistanceOracle] = None,
+                 popularity: Optional[dict] = None) -> None:
+        self.space = space
+        self.kindex = kindex
+        self.query = query
+        #: Optional partition-popularity map (values in [0, 1]) used by
+        #: the γ-weighted ranking extension.
+        self.popularity = popularity or {}
+        self.oracle = oracle or DistanceOracle(space)
+        self.graph = graph or DoorGraph(space, self.oracle)
+        self.skeleton = skeleton or SkeletonIndex(space)
+        self.qk = QueryKeywords(kindex, query.keywords, tau=query.tau)
+
+        self.v_ps: int = space.host_partition(query.ps).pid
+        self.v_pt: int = space.host_partition(query.pt).pid
+
+        #: Partitions covering at least one candidate i-word — used by
+        #: key-partition sequences and the Lemma 2 loop check.
+        self.keyword_partitions: FrozenSet[int] = self.qk.keyword_partitions
+
+        #: Algorithm 1 line 3: the KoE candidate set ``P`` — keyword
+        #: partitions minus ``v(ps)`` plus ``v(pt)``.
+        self.key_partition_pool: Set[int] = set(self.keyword_partitions)
+        self.key_partition_pool.discard(self.v_ps)
+        self.key_partition_pool.add(self.v_pt)
+
+        #: Pruning Rule 2 caches: doors known valid (``Dn``) and doors
+        #: pruned for good (``Df``).
+        self.doors_valid: Set[int] = set()
+        self.doors_pruned: Set[int] = set()
+
+        # Per-door skeleton lower-bound caches (hot path of Rules 1-4).
+        self._lb_to_pt: dict = {}
+        self._lb_from_ps: dict = {}
+        self._door_iwords: dict = {}
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+    @property
+    def delta(self) -> float:
+        return self.query.delta
+
+    @property
+    def delta_hard(self) -> float:
+        """Feasibility bound used by the constraint and pruning checks
+        (equals ``delta`` unless the query sets a soft slack)."""
+        return self.query.delta_hard
+
+    @property
+    def alpha(self) -> float:
+        return self.query.alpha
+
+    @property
+    def k(self) -> int:
+        return self.query.k
+
+    @property
+    def num_keywords(self) -> int:
+        return len(self.qk)
+
+    def is_keyword_partition(self, pid: int) -> bool:
+        """Whether the partition's i-word is a candidate of some query word."""
+        return pid in self.keyword_partitions
+
+    # ------------------------------------------------------------------
+    # Route words and similarity updates
+    # ------------------------------------------------------------------
+    def item_iwords(self, item: Item) -> FrozenSet[str]:
+        """``PW(v*(x)).wi`` — the i-words an item contributes to RW(R).
+
+        For a door this unions the i-words of every partition one can
+        *leave* through it (paper Example 5); for a point it is the
+        i-word of the host partition.  Door contributions are cached —
+        this sits on the expansion hot path.
+        """
+        if isinstance(item, int):
+            cached = self._door_iwords.get(item)
+            if cached is None:
+                words: Set[str] = set()
+                for pid in self.space.d2p_leave(item):
+                    wi = self.kindex.p2i(pid)
+                    if wi is not None:
+                        words.add(wi)
+                cached = frozenset(words)
+                self._door_iwords[item] = cached
+            return cached
+        wi = self.kindex.p2i(self.space.host_partition(item).pid)
+        return frozenset({wi}) if wi is not None else frozenset()
+
+    def _merge_words(self,
+                     words: FrozenSet[str],
+                     sims: Tuple[float, ...],
+                     added: FrozenSet[str],
+                     ) -> Tuple[FrozenSet[str], Tuple[float, ...]]:
+        new = added - words
+        if not new:
+            return words, sims
+        out = list(sims)
+        changed = False
+        for wi in new:
+            for qi, s in self.qk.hits_for_iword(wi):
+                if s > out[qi]:
+                    out[qi] = s
+                    changed = True
+        return words | new, tuple(out) if changed else sims
+
+    # ------------------------------------------------------------------
+    # Route construction
+    # ------------------------------------------------------------------
+    def _kp_after(self, route: Route, via: int) -> Tuple[int, ...]:
+        """``KP`` of a partial route after one more segment through
+        ``via``: keyword partitions enter at first traversal."""
+        if (via in self.keyword_partitions and via != self.v_ps
+                and via not in route.kp):
+            return route.kp + (via,)
+        return route.kp
+
+    def start_route(self) -> Route:
+        """The initial route ``R0 = (ps)``."""
+        ps = self.query.ps
+        words = self.item_iwords(ps)
+        sims = (0.0,) * self.num_keywords
+        words, sims = self._merge_words(frozenset(), sims, words)
+        return Route(items=(ps,), vias=(), distance=0.0,
+                     words=words, sims=sims, door_counts={},
+                     kp=(self.v_ps,))
+
+    def extend_to_door(self, route: Route, door: int, via: int) -> Optional[Route]:
+        """Append ``door`` to ``route`` through partition ``via``.
+
+        Returns ``None`` when the move is topologically impossible
+        (infinite distance).
+        """
+        tail = route.tail
+        if isinstance(tail, int):
+            cost = self.oracle.d2d(tail, door, via=via)
+        else:
+            cost = self.oracle.pt2d(tail, door)
+        if cost == INF:
+            return None
+        words, sims = self._merge_words(
+            route.words, route.sims, self.item_iwords(door))
+        return route.extended(door, via, cost, words, sims,
+                              self._kp_after(route, via))
+
+    def extend_along_path(self,
+                          route: Route,
+                          doors: Sequence[int],
+                          vias: Sequence[int],
+                          total: float) -> Route:
+        """Append a precomputed door path (KoE / connect continuations).
+
+        ``total`` is the path length as computed by the door graph; the
+        per-segment costs are re-derived from door positions so that
+        route distances stay consistent with :meth:`extend_to_door`.
+        """
+        words, sims = route.words, route.sims
+        items = route.items
+        via_seq = route.vias
+        counts = dict(route.door_counts)
+        distance = route.distance
+        kp = route.kp
+        prev = route.tail
+        for door, via in zip(doors, vias):
+            if isinstance(prev, int):
+                # The oracle knows the same-door re-entry cost of the
+                # (d, d) loop; plain positions would price it at zero.
+                step = self.oracle.d2d(prev, door, via=via)
+            else:
+                step = self.oracle.pt2d(prev, door)
+            distance += step
+            words, sims = self._merge_words(words, sims, self.item_iwords(door))
+            items = items + (door,)
+            via_seq = via_seq + (via,)
+            counts[door] = counts.get(door, 0) + 1
+            if (via in self.keyword_partitions and via != self.v_ps
+                    and via not in kp):
+                kp = kp + (via,)
+            prev = door
+        return Route(items=items, vias=via_seq, distance=distance,
+                     words=words, sims=sims, door_counts=counts, kp=kp)
+
+    def complete_route(self, route: Route) -> Optional[Route]:
+        """Append the terminal point ``pt`` to a route ending at a door
+        that enters ``v(pt)`` (or to the bare start route when start
+        and terminal share a partition)."""
+        pt = self.query.pt
+        tail = route.tail
+        if isinstance(tail, int):
+            cost = self.oracle.d2pt(tail, pt)
+        else:
+            cost = self.oracle.item_distance(tail, pt)
+        if cost == INF:
+            return None
+        words, sims = self._merge_words(
+            route.words, route.sims, self.item_iwords(pt))
+        return route.extended(pt, self.v_pt, cost, words, sims,
+                              route.kp + (self.v_pt,))
+
+    # ------------------------------------------------------------------
+    # Key partitions and ranking
+    # ------------------------------------------------------------------
+    def key_partition_sequence(self, route: Route) -> Tuple[int, ...]:
+        """``KP(R)``: the sequence of key partitions on a route.
+
+        The start partition always opens the sequence; keyword-covering
+        partitions enter at their first traversal; for a complete route
+        the terminal partition closes the sequence (paper Section II-B,
+        matching Table II).  Routes built through this context carry
+        ``KP`` incrementally; :meth:`recompute_key_partitions` derives
+        it from scratch (tests assert both agree).
+        """
+        return route.kp
+
+    def recompute_key_partitions(self, route: Route) -> Tuple[int, ...]:
+        """Non-incremental ``KP(R)`` derivation from the via sequence."""
+        vias = route.vias
+        if not vias:
+            return (self.v_ps,)
+        body = vias[:-1] if route.is_complete else vias
+        kp: List[int] = [self.v_ps]
+        seen: Set[int] = {self.v_ps}
+        for via in body:
+            if via in self.keyword_partitions and via not in seen:
+                kp.append(via)
+                seen.add(via)
+        if route.is_complete:
+            kp.append(self.v_pt)
+        return tuple(kp)
+
+    def route_popularity(self, route: Route) -> float:
+        """Mean popularity of the route's key partitions (in [0, 1]).
+
+        Hallway filler does not count: popularity, like keyword
+        relevance, attaches to the places a route *visits for a
+        reason* (the paper's future-work sketch ties popularity to
+        indoor mobility data over semantic regions).
+        """
+        if not self.popularity or not route.kp:
+            return 0.0
+        values = [self.popularity.get(pid, 0.0) for pid in route.kp]
+        return sum(values) / len(values)
+
+    def ranking_score(self, route: Route) -> float:
+        """``ψ(R)`` of Equation 1 (also defined for partial routes).
+
+        With a soft slack the spatial part can go negative for routes
+        exceeding Δ (but within the hard bound).  With ``gamma > 0``
+        the γ-weighted popularity term is blended in and the result
+        renormalised to keep scores in [−γ', 1].
+        """
+        query = self.query
+        alpha = query.alpha
+        keyword_part = route.relevance / self.qk.max_relevance
+        spatial_part = (self.delta - route.distance) / self.delta
+        psi = alpha * keyword_part + (1 - alpha) * spatial_part
+        if query.gamma > 0.0:
+            psi = (psi + query.gamma * self.route_popularity(route)) / (
+                1.0 + query.gamma)
+        return psi
+
+    def upper_bound_score(self, dist_lower_bound: float) -> float:
+        """Pruning Rule 4's ``ψU``: keyword part overestimated to 1
+        (and popularity to 1 under the γ extension)."""
+        query = self.query
+        alpha = query.alpha
+        upper = alpha + (1 - alpha) * (1.0 - dist_lower_bound / self.delta)
+        if query.gamma > 0.0:
+            upper = (upper + query.gamma) / (1.0 + query.gamma)
+        return upper
+
+    @property
+    def full_relevance(self) -> float:
+        """``|QW| + 1`` — relevance of a fully covered route."""
+        return self.qk.max_relevance
+
+    # ------------------------------------------------------------------
+    # Lower bounds (pruning rules)
+    # ------------------------------------------------------------------
+    def lb_to_terminal(self, item: Item) -> float:
+        """``|x, pt|L`` (cached per door)."""
+        if isinstance(item, int):
+            cached = self._lb_to_pt.get(item)
+            if cached is None:
+                cached = self.skeleton.lower_bound(item, self.query.pt)
+                self._lb_to_pt[item] = cached
+            return cached
+        return self.skeleton.lower_bound(item, self.query.pt)
+
+    def lb_from_start(self, item: Item) -> float:
+        """``|ps, x|L`` (cached per door)."""
+        if isinstance(item, int):
+            cached = self._lb_from_ps.get(item)
+            if cached is None:
+                cached = self.skeleton.lower_bound(self.query.ps, item)
+                self._lb_from_ps[item] = cached
+            return cached
+        return self.skeleton.lower_bound(self.query.ps, item)
+
+    def lb_via_partition(self, source: Item, pid: int) -> float:
+        """``δLB(source, v, pt)`` of Pruning Rule 3 / Alg. 6 line 11."""
+        return self.skeleton.lower_bound_via_partition(
+            source, pid, self.query.pt)

@@ -1,0 +1,113 @@
+"""Top-k result collection for IKRQ searches.
+
+The collection enforces the diversity principle: at most one route per
+homogeneity class (identified by the key-partition sequence — complete
+routes share head ``ps`` and tail ``pt``), and within a class only the
+*prime* (shortest) route is retained, even when a longer homogeneous
+route scores higher (Definition 3 subordinates score to primality
+inside a class).
+
+For the ToE\\P ablation the class bookkeeping can be disabled, which
+reproduces the paper's homogeneous-rate measurements (Figs. 16/20).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.route import Route
+
+
+@dataclass(frozen=True)
+class RouteResult:
+    """One returned route with its derived measures."""
+
+    route: Route
+    kp: Tuple[int, ...]
+    relevance: float
+    score: float
+
+    @property
+    def distance(self) -> float:
+        return self.route.distance
+
+
+class TopKResults:
+    """Best-k complete routes, deduplicated by homogeneity class.
+
+    ``kbound`` is the current k-th best ranking score (0 until k
+    classes have been seen), feeding Pruning Rule 4.
+    """
+
+    def __init__(self, k: int, deduplicate: bool = True) -> None:
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.k = k
+        self.deduplicate = deduplicate
+        self._by_class: Dict[Tuple[int, ...], RouteResult] = {}
+        self._all: List[RouteResult] = []
+        self._ranked_cache: Optional[List[RouteResult]] = None
+        self.added = 0
+        self.replaced = 0
+
+    # ------------------------------------------------------------------
+    def add(self, result: RouteResult) -> bool:
+        """Insert a complete route; returns whether anything changed.
+
+        With deduplication on, a route replaces its class entry only
+        when strictly shorter (primality); without it, every route is
+        kept (ToE\\P mode).
+        """
+        self.added += 1
+        if not self.deduplicate:
+            self._all.append(result)
+            self._ranked_cache = None
+            return True
+        existing = self._by_class.get(result.kp)
+        if existing is None:
+            self._by_class[result.kp] = result
+            self._ranked_cache = None
+            return True
+        if result.distance < existing.distance:
+            self._by_class[result.kp] = result
+            self._ranked_cache = None
+            self.replaced += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    def _ranked(self) -> List[RouteResult]:
+        if self._ranked_cache is None:
+            pool = (list(self._by_class.values())
+                    if self.deduplicate else list(self._all))
+            pool.sort(key=lambda r: (-r.score, r.distance))
+            self._ranked_cache = pool
+        return self._ranked_cache
+
+    def top(self) -> List[RouteResult]:
+        """The final top-k routes, best score first."""
+        return self._ranked()[: self.k]
+
+    @property
+    def kbound(self) -> float:
+        """The k-th best score among seen classes (0 when fewer than k)."""
+        ranked = self._ranked()
+        if len(ranked) < self.k:
+            return 0.0
+        return ranked[self.k - 1].score
+
+    def __len__(self) -> int:
+        return (len(self._by_class) if self.deduplicate else len(self._all))
+
+    def homogeneous_rate(self) -> float:
+        """Fraction of returned routes sharing a class with another
+        returned route (the paper's homogeneous rate, Figs. 16/20)."""
+        top = self.top()
+        if not top:
+            return 0.0
+        counts: Dict[Tuple[int, ...], int] = {}
+        for r in top:
+            counts[r.kp] = counts.get(r.kp, 0) + 1
+        homogeneous = sum(1 for r in top if counts[r.kp] > 1)
+        return homogeneous / len(top)

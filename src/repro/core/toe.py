@@ -1,0 +1,96 @@
+"""Topology-oriented expansion — ``ToE_find`` (Algorithm 2).
+
+ToE expands a stamp to every admissible leaveable door of its current
+partition, one hop at a time.  The checks, in the paper's order:
+
+1. Pruning Rule 5 on the popped stamp (prime check),
+2. per-door regularity (a visited door may only repeat at the tail,
+   and never a third time),
+3. Pruning Rule 2 with the ``Dn`` / ``Df`` caches,
+4. the Lemma 2 loop restriction (a ``(d, d)`` loop must enter a
+   partition that covers a query keyword),
+5. the plain distance constraint, then Pruning Rule 1 with the
+   skeleton lower bound, then Pruning Rule 4 with the kbound.
+
+Valid expansions are recorded in the prime table and handed back to
+the framework for ``connect``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.framework import ExpansionStrategy, IKRQSearch
+from repro.core.stamp import Stamp
+
+INF = float("inf")
+
+
+class TopologyOrientedExpansion(ExpansionStrategy):
+    """The ToE strategy (paper Section IV-C)."""
+
+    name = "ToE"
+
+    def find(self, search: IKRQSearch, stamp: Stamp) -> List[Stamp]:
+        ctx = search.ctx
+        config = search.config
+        stats = search.stats
+        found: List[Stamp] = []
+
+        route = stamp.route
+        vi = stamp.partition
+        tail = route.tail  # door id, or the start point for S0
+
+        if not search.prime_check(stamp):
+            return found
+
+        tail_is_door = isinstance(tail, int)
+        for dl in ctx.space.p2d_leave(vi):
+            stats.expansions += 1
+            # Regularity (Algorithm 2 line 5): a door already on the
+            # route may only be appended as an immediate repetition of
+            # the tail, and no door may appear more than twice.
+            if route.contains_door(dl) and not route.may_append_door(dl):
+                stats.pruned_regularity += 1
+                continue
+            # Pruning Rule 2 with Dn / Df caches (lines 6-10).
+            if not search.door_admissible(dl):
+                continue
+            # Lemma 2 (lines 11-13): the one-hop loop must enter a
+            # keyword-covering partition.  The restriction derives from
+            # the prime concept, so the \P ablation drops it as well.
+            if (tail_is_door and dl == tail
+                    and config.use_prime_pruning
+                    and not ctx.is_keyword_partition(vi)):
+                stats.pruned_regularity += 1
+                continue
+            extended = ctx.extend_to_door(route, dl, via=vi)
+            if extended is None:
+                continue
+            # Plain distance constraint (line 14) — always enforced.
+            if extended.distance > ctx.delta_hard:
+                stats.pruned_distance += 1
+                continue
+            # Pruning Rule 1 (lines 15-16).
+            if config.use_distance_pruning:
+                lower = extended.distance + ctx.lb_to_terminal(dl)
+                if lower > ctx.delta_hard:
+                    stats.pruned_rule1 += 1
+                    continue
+            else:
+                lower = extended.distance
+            # Pruning Rule 4 (lines 17-18).
+            if config.use_kbound_pruning:
+                if ctx.upper_bound_score(lower) <= search.kbound:
+                    stats.pruned_rule4 += 1
+                    continue
+            # The partition entered through dl (line 11).  Two-way
+            # doors between two partitions give exactly one choice;
+            # doors touching more partitions yield one stamp each.
+            # (For the (d, d) loop this is the far side of the tail.)
+            next_partitions = ctx.space.d2p_enter(dl) - {vi}
+            for vj in next_partitions:
+                next_stamp = search.make_stamp(vj, extended)
+                search.prime_update(next_stamp)
+                found.append(next_stamp)
+        return found

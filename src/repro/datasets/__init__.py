@@ -1,0 +1,38 @@
+"""Datasets: floor plans, keyword corpora and query workloads.
+
+Everything here is generated deterministically from seeds — the paper
+used a crawled Hong Kong shop corpus and a real Hangzhou mall dataset,
+neither publicly available, so the generators reproduce their
+*published statistics* instead (see DESIGN.md for the substitution
+table):
+
+* :func:`paper_fig1` — a faithful single-floor fixture of the paper's
+  Fig. 1 running example,
+* :class:`FloorplanConfig` / :func:`build_synthetic_space` — the
+  multi-floor synthetic venue of Section V-A1,
+* :func:`build_corpus` — the synthetic brand/description corpus fed
+  through RAKE + TF-IDF,
+* :func:`build_real_mall` — the seven-floor Hangzhou-like mall of
+  Section V-B with category-clustered floors,
+* :class:`QueryGenerator` — IKRQ workloads per Section V-A1.
+"""
+
+from repro.datasets.fig1 import Fig1Fixture, paper_fig1
+from repro.datasets.floorplan import FloorplanConfig, build_floor, build_synthetic_space
+from repro.datasets.corpus import CorpusConfig, build_corpus
+from repro.datasets.realmall import RealMallConfig, build_real_mall
+from repro.datasets.queries import QueryGenerator, QueryWorkload
+
+__all__ = [
+    "CorpusConfig",
+    "Fig1Fixture",
+    "FloorplanConfig",
+    "QueryGenerator",
+    "QueryWorkload",
+    "RealMallConfig",
+    "build_corpus",
+    "build_floor",
+    "build_real_mall",
+    "build_synthetic_space",
+    "paper_fig1",
+]

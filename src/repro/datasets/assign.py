@@ -1,0 +1,63 @@
+"""Keyword assignment: bind a corpus to the rooms of a space."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Sequence
+
+from repro.datasets.corpus import Corpus
+from repro.keywords.mappings import KeywordIndex
+
+
+def assign_random(rooms: Sequence[int],
+                  corpus: Corpus,
+                  seed: int = 11) -> KeywordIndex:
+    """Random i-word assignment (synthetic data, Section V-A1).
+
+    Each room draws an i-word uniformly (with replacement once the
+    brand list is exhausted — several partitions may share an i-word,
+    I2P being one-to-many) and inherits all its t-words.
+    """
+    rng = random.Random(seed)
+    index = KeywordIndex()
+    brands = list(corpus.brands)
+    rng.shuffle(brands)
+    for i, room in enumerate(rooms):
+        brand = brands[i] if i < len(brands) else rng.choice(brands)
+        index.assign_iword(room, brand)
+        index.add_twords(brand, corpus.twords.get(brand, ()))
+    return index
+
+
+def assign_by_category(rooms_by_floor: Dict[int, List[int]],
+                       corpus: Corpus,
+                       seed: int = 11) -> KeywordIndex:
+    """Category-clustered assignment (real data, Section V-B).
+
+    Stores of the same category land on the same floor(s), which the
+    paper identifies as the reason KoE degrades with |QW| on the real
+    dataset: candidate partitions for one keyword are spatially dense.
+    """
+    rng = random.Random(seed)
+    index = KeywordIndex()
+    floors = sorted(rooms_by_floor)
+    by_category: Dict[int, List[str]] = {}
+    for brand, cat in corpus.categories.items():
+        by_category.setdefault(cat, []).append(brand)
+    # Deal categories onto floors round-robin, then fill each floor's
+    # rooms from its categories' brands.
+    floor_brands: Dict[int, List[str]] = {f: [] for f in floors}
+    for i, cat in enumerate(sorted(by_category)):
+        floor = floors[i % len(floors)]
+        floor_brands[floor].extend(sorted(by_category[cat]))
+    for floor in floors:
+        brands = floor_brands[floor]
+        rng.shuffle(brands)
+        rooms = rooms_by_floor[floor]
+        if not brands:
+            brands = list(corpus.brands)
+        for i, room in enumerate(rooms):
+            brand = brands[i % len(brands)]
+            index.assign_iword(room, brand)
+            index.add_twords(brand, corpus.twords.get(brand, ()))
+    return index

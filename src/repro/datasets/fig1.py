@@ -1,0 +1,156 @@
+"""The paper's Fig. 1 running example as a reusable fixture.
+
+The floor plan reconstructs the topology and keyword structure of the
+paper's example shopping-mall floor: shops ``zara``, ``oppo``,
+``costa``, ``watsons``, ``ecco`` along an upper hallway ``v5``,
+a lower thoroughfare ``v7`` (``starbucks``) with dead-end shops
+``apple`` (``v10``) and ``samsung`` (``v12``), plus the unnamed
+partitions ``v6``, ``v8``, ``v9`` used by the regularity examples.
+
+Geometry is engineered so the distances quoted in Example 1 hold
+exactly: ``δpt2d(ps, d2) = 8.3``, ``δd2d(d2, d5) = 4.2`` and
+``δd2pt(d5, pt) = 6`` (``pt`` is placed on the intersection of the
+two distance circles around ``d5`` and ``d7``, keeping
+``|d7, pt| = 1`` from Example 7 as well).  Distances that the paper
+only uses for illustration are not matched; example tests assert the
+paper's *arithmetic* directly and this fixture's behaviour
+computationally.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.geometry import Point, Rect
+from repro.keywords.mappings import KeywordIndex
+from repro.space.builder import IndoorSpaceBuilder
+from repro.space.entities import PartitionKind
+from repro.space.indoor_space import IndoorSpace
+
+#: Keyword assignments of the figure (Example 3, Example 4, §V-A5).
+FIG1_KEYWORDS: Dict[str, Dict[str, tuple]] = {
+    "v1": {"zara": ("pants", "sweater", "coat")},
+    "v2": {"oppo": ("phone", "charger")},
+    "v3": {"costa": ("coffee", "drinks", "macha")},
+    "v4": {"watsons": ("cosmetics", "shampoo")},
+    "v7": {"starbucks": ("coffee", "macha", "latte", "drinks")},
+    "v10": {"apple": ("phone", "mac", "laptop", "watch")},
+    "v11": {"ecco": ("shoes", "leather")},
+    "v12": {"samsung": ("phone", "laptop", "earphone")},
+}
+
+
+@dataclass(frozen=True)
+class Fig1Fixture:
+    """The built fixture: space, keyword index and named points."""
+
+    space: IndoorSpace
+    kindex: KeywordIndex
+    points: Dict[str, Point]
+
+    @property
+    def ps(self) -> Point:
+        return self.points["ps"]
+
+    @property
+    def pt(self) -> Point:
+        return self.points["pt"]
+
+    def pid(self, name: str) -> int:
+        """Partition id by figure name (``"v1"`` ... ``"v12"``)."""
+        for pid, part in self.space.partitions.items():
+            if part.name == name:
+                return pid
+        raise KeyError(name)
+
+    def did(self, name: str) -> int:
+        """Door id by figure name (``"d1"`` ... ``"d17"``)."""
+        for did, door in self.space.doors.items():
+            if door.name == name:
+                return did
+        raise KeyError(name)
+
+
+def _circle_intersection(c1: Point, r1: float, c2: Point, r2: float) -> Point:
+    """One intersection point of two circles (the lower one)."""
+    dx = c2.x - c1.x
+    dy = c2.y - c1.y
+    d = math.hypot(dx, dy)
+    if d > r1 + r2 or d < abs(r1 - r2) or d == 0:
+        raise ValueError("circles do not intersect")
+    a = (r1 * r1 - r2 * r2 + d * d) / (2 * d)
+    h = math.sqrt(max(r1 * r1 - a * a, 0.0))
+    mx = c1.x + a * dx / d
+    my = c1.y + a * dy / d
+    # Two candidates; pick the one with the smaller y (inside the
+    # hallway, below the shop boundary).
+    p_a = Point(mx + h * dy / d, my - h * dx / d, c1.level)
+    p_b = Point(mx - h * dy / d, my + h * dx / d, c1.level)
+    return p_a if p_a.y <= p_b.y else p_b
+
+
+def paper_fig1() -> Fig1Fixture:
+    """Build the Fig. 1 fixture."""
+    b = IndoorSpaceBuilder()
+
+    # Upper shop row (y in [32, 42]).
+    b.add_partition("v1", Rect(2, 32, 14, 42))
+    b.add_partition("v2", Rect(14, 32, 22, 42))
+    b.add_partition("v3", Rect(22, 32, 34, 42))
+    b.add_partition("v4", Rect(34, 32, 46, 42))
+    b.add_partition("v11", Rect(46, 32, 58, 42))
+    # Upper hallway.
+    b.add_partition("v5", Rect(2, 26, 60, 32), PartitionKind.HALLWAY)
+    # Lower band: storage, the starbucks thoroughfare, side room.
+    b.add_partition("v6", Rect(2, 16, 14, 26))
+    b.add_partition("v7", Rect(14, 16, 50, 26))
+    b.add_partition("v8", Rect(50, 16, 60, 26))
+    # Bottom row off the thoroughfare.
+    b.add_partition("v9", Rect(14, 6, 26, 16))
+    b.add_partition("v10", Rect(26, 6, 38, 16))
+    b.add_partition("v12", Rect(38, 6, 50, 16))
+
+    # Doors.  d2/d5 realise the 3-4-5 layout that makes
+    # |d2, d5| = 4.2 exact; ps sits 8.3 m from d2 along the same slope.
+    d2 = Point(14.0, 34.52)
+    d5 = Point(17.36, 32.0)
+    ps = Point(14.0 - 0.8 * 8.3, 34.52 + 0.6 * 8.3)  # (7.36, 39.50)
+    d7 = Point(22.5, 32.0)
+    pt = _circle_intersection(d5, 6.0, d7, 1.0)
+
+    b.add_door("d1", Point(8.0, 32.0), between=("v1", "v5"))
+    b.add_door("d2", d2, between=("v1", "v2"))
+    b.add_door("d3", Point(12.0, 32.0), between=("v1", "v5"))
+    b.add_door("d4", Point(20.0, 16.0), between=("v7", "v9"))
+    b.add_door("d5", d5, between=("v2", "v5"))
+    b.add_door("d6", Point(22.0, 36.0), between=("v2", "v3"))
+    b.add_door("d7", d7, between=("v3", "v5"))
+    b.add_door("d8", Point(40.0, 32.0), between=("v4", "v5"))
+    b.add_door("d9", Point(8.0, 26.0), between=("v5", "v6"))
+    b.add_door("d10", Point(52.0, 32.0), between=("v11", "v5"))
+    b.add_door("d11", Point(14.0, 21.0), between=("v6", "v7"))
+    b.add_door("d12", Point(46.0, 37.0), between=("v4", "v11"))
+    b.add_door("d13", Point(26.0, 26.0), between=("v5", "v7"))
+    b.add_door("d14", Point(50.0, 21.0), between=("v7", "v8"))
+    b.add_door("d15", Point(32.0, 16.0), between=("v7", "v10"))
+    b.add_door("d16", Point(40.0, 26.0), between=("v5", "v7"))
+    b.add_door("d17", Point(44.0, 16.0), between=("v7", "v12"))
+
+    space = b.build()
+
+    kindex = KeywordIndex()
+    for pname, words in FIG1_KEYWORDS.items():
+        pid = b.pid(pname)
+        for iword, twords in words.items():
+            kindex.assign_iword(pid, iword)
+            kindex.add_twords(iword, twords)
+
+    points = {
+        "ps": ps,
+        "pt": pt,
+        "p1": Point(20.0, 12.0),   # in v9, 4 m below d4
+        "p2": Point(20.0, 21.5),   # in v7, 5.5 m above d4
+    }
+    return Fig1Fixture(space=space, kindex=kindex, points=points)

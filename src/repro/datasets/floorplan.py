@@ -1,0 +1,240 @@
+"""Synthetic multi-floor indoor space generator (Section V-A1).
+
+The paper generates floors of 1368 m × 1368 m with 96 rooms, 4
+hallways and 4 staircases; irregular hallways are decomposed into
+smaller regular partitions, giving 141 partitions and 220 doors per
+floor, and floors are stacked 3/5/7/9 high with 20 m stairways.
+
+This generator reproduces that structure parametrically:
+
+* four horizontal hallway *strips*, each decomposed into cells and
+  lined with rooms above and below,
+* a vertical *spine* hallway (also decomposed) connecting the strips,
+* four staircases on the spine corners; adjacent floors are linked by
+  staircase doors sitting at half levels so the 20 m stairway length
+  falls out of the geometry (see :mod:`repro.geometry.point`),
+* one door per room onto the nearest hallway cell, doors between
+  consecutive cells, and a second "service" door for a configurable
+  fraction of rooms (the paper's floors average ~2.3 doors per room
+  equivalent; the default fraction lands close to its 220 doors).
+
+A ``scale`` parameter shrinks the floor (fewer rooms/cells) while
+keeping the structure, which keeps pure-Python benchmark runs
+tractable; paper-size floors are ``scale=1.0``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.geometry import Point, Rect
+from repro.space.builder import IndoorSpaceBuilder
+from repro.space.entities import PartitionKind
+from repro.space.indoor_space import IndoorSpace
+
+
+@dataclass(frozen=True)
+class FloorplanConfig:
+    """Geometry knobs of the synthetic venue.
+
+    Defaults reproduce the paper's floor: 96 rooms, 4 hallway strips,
+    4 staircases, 141 partitions.
+    """
+
+    side: float = 1368.0
+    strips: int = 4
+    rooms_per_strip_side: int = 12   # rooms above = below = this many
+    cells_per_strip: int = 9
+    spine_cells: int = 5
+    staircases: int = 4
+    second_door_fraction: float = 0.8
+
+    @property
+    def rooms_per_floor(self) -> int:
+        return self.strips * self.rooms_per_strip_side * 2
+
+    @property
+    def partitions_per_floor(self) -> int:
+        return (self.rooms_per_floor + self.staircases
+                + self.strips * self.cells_per_strip + self.spine_cells)
+
+    def scaled(self, scale: float) -> "FloorplanConfig":
+        """A structurally similar but smaller floor (``0 < scale ≤ 1``).
+
+        Both the floor side and the element counts shrink by
+        ``sqrt(scale)`` so individual rooms and hallway cells keep
+        their paper-scale dimensions — room size drives the same-door
+        re-entry cost, which must stay commensurate with the distance
+        constraints of the workloads.
+        """
+        if not 0.0 < scale <= 1.0:
+            raise ValueError("scale must be in (0, 1]")
+        shrink = math.sqrt(scale)
+        return FloorplanConfig(
+            side=self.side * shrink,
+            strips=self.strips,
+            rooms_per_strip_side=max(2, round(self.rooms_per_strip_side * shrink)),
+            cells_per_strip=max(2, round(self.cells_per_strip * shrink)),
+            spine_cells=max(2, round(self.spine_cells * shrink)),
+            staircases=self.staircases,
+            second_door_fraction=self.second_door_fraction,
+        )
+
+
+def _add_floor(b: IndoorSpaceBuilder,
+               cfg: FloorplanConfig,
+               floor: int) -> Dict[str, List[int]]:
+    """Add one floor's partitions and intra-floor doors.
+
+    Returns ids grouped by role: ``rooms``, ``cells``, ``spine``,
+    ``stairs`` (partition ids) and ``stair_hall_doors`` (door ids).
+    """
+    level = float(floor)
+    side = cfg.side
+    spine_w = side * 0.08
+    strip_h = side * 0.05
+    # Vertical space per strip block (rooms above + hallway + rooms below).
+    block_h = side / cfg.strips
+    room_h = (block_h - strip_h) / 2.0
+    room_w = (side - spine_w) / cfg.rooms_per_strip_side
+    cell_w = (side - spine_w) / cfg.cells_per_strip
+    x0 = spine_w  # rooms/strips start right of the spine
+
+    rooms: List[int] = []
+    cells: List[int] = []
+    spine: List[int] = []
+    stairs: List[int] = []
+
+    # Spine cells (vertical hallway on the left edge).
+    spine_cell_h = side / cfg.spine_cells
+    for i in range(cfg.spine_cells):
+        pid = b.add_partition(
+            f"f{floor}-spine{i}",
+            Rect(0.0, i * spine_cell_h, spine_w, (i + 1) * spine_cell_h, level),
+            PartitionKind.HALLWAY)
+        spine.append(pid)
+        if i > 0:
+            b.add_door(f"f{floor}-spd{i}",
+                       Point(spine_w / 2.0, i * spine_cell_h, level),
+                       between=(spine[i - 1], pid))
+
+    room_counter = 0
+    for s in range(cfg.strips):
+        y_strip = s * block_h + room_h
+        strip_cells: List[int] = []
+        for c in range(cfg.cells_per_strip):
+            pid = b.add_partition(
+                f"f{floor}-h{s}c{c}",
+                Rect(x0 + c * cell_w, y_strip,
+                     x0 + (c + 1) * cell_w, y_strip + strip_h, level),
+                PartitionKind.HALLWAY)
+            strip_cells.append(pid)
+            if c > 0:
+                b.add_door(f"f{floor}-hd{s}-{c}",
+                           Point(x0 + c * cell_w, y_strip + strip_h / 2.0, level),
+                           between=(strip_cells[c - 1], pid))
+        cells.extend(strip_cells)
+        # Connect strip to the spine cell at its height.
+        spine_idx = min(int((y_strip + strip_h / 2.0) / spine_cell_h),
+                        cfg.spine_cells - 1)
+        b.add_door(f"f{floor}-sp2h{s}",
+                   Point(spine_w, y_strip + strip_h / 2.0, level),
+                   between=(spine[spine_idx], strip_cells[0]))
+
+        # Rooms above and below the strip.
+        for side_idx, (y_lo, y_hi, door_y) in enumerate((
+                (y_strip + strip_h, y_strip + strip_h + room_h,
+                 y_strip + strip_h),
+                (y_strip - room_h, y_strip, y_strip))):
+            for r in range(cfg.rooms_per_strip_side):
+                x_lo = x0 + r * room_w
+                pid = b.add_partition(
+                    f"f{floor}-room{room_counter}",
+                    Rect(x_lo, y_lo, x_lo + room_w, y_hi, level))
+                rooms.append(pid)
+                door_x = x_lo + room_w / 2.0
+                cell_idx = min(int((door_x - x0) / cell_w),
+                               cfg.cells_per_strip - 1)
+                b.add_door(f"f{floor}-rd{room_counter}",
+                           Point(door_x, door_y, level),
+                           between=(pid, strip_cells[cell_idx]))
+                # Second door for a deterministic fraction of rooms.
+                if (room_counter % 100) < cfg.second_door_fraction * 100:
+                    door_x2 = x_lo + room_w * 0.2
+                    cell_idx2 = min(int((door_x2 - x0) / cell_w),
+                                    cfg.cells_per_strip - 1)
+                    b.add_door(f"f{floor}-rd{room_counter}b",
+                               Point(door_x2, door_y, level),
+                               between=(pid, strip_cells[cell_idx2]))
+                room_counter += 1
+
+    # Staircases along the spine (distributed vertically).
+    stair_w = spine_w * 0.8
+    for t in range(cfg.staircases):
+        frac = (t + 0.5) / cfg.staircases
+        y_lo = frac * side - stair_w / 2.0
+        pid = b.add_partition(
+            f"f{floor}-stair{t}",
+            Rect(0.0, y_lo, stair_w, y_lo + stair_w, level),
+            PartitionKind.STAIRCASE)
+        stairs.append(pid)
+        spine_idx = min(int((y_lo + stair_w / 2.0) / spine_cell_h),
+                        cfg.spine_cells - 1)
+        b.add_door(f"f{floor}-std{t}",
+                   Point(stair_w / 2.0, y_lo + stair_w, level),
+                   between=(pid, spine[spine_idx]))
+    return {"rooms": rooms, "cells": cells, "spine": spine, "stairs": stairs}
+
+
+def build_floor(cfg: FloorplanConfig = FloorplanConfig()) -> IndoorSpace:
+    """A single-floor synthetic space (mostly for tests)."""
+    b = IndoorSpaceBuilder()
+    _add_floor(b, cfg, 0)
+    return b.build()
+
+
+def build_synthetic_space(
+        floors: int = 5,
+        cfg: FloorplanConfig = FloorplanConfig(),
+        scale: float = 1.0,
+) -> Tuple[IndoorSpace, Dict[int, List[int]]]:
+    """The multi-floor synthetic venue of Section V-A1.
+
+    Args:
+        floors: Number of stacked floors (paper: 3, 5, 7 or 9).
+        cfg: Per-floor geometry.
+        scale: Shrink factor applied to ``cfg`` (see
+            :meth:`FloorplanConfig.scaled`).
+
+    Returns:
+        ``(space, rooms_by_floor)`` where ``rooms_by_floor[f]`` lists
+        the room partition ids of floor ``f`` (used by the keyword
+        assigner).
+    """
+    if floors < 1:
+        raise ValueError("need at least one floor")
+    if scale != 1.0:
+        cfg = cfg.scaled(scale)
+    b = IndoorSpaceBuilder()
+    per_floor: List[Dict[str, List[int]]] = []
+    for f in range(floors):
+        per_floor.append(_add_floor(b, cfg, f))
+    # Staircase doors between adjacent floors, at half levels.  Each
+    # staircase column is vertically aligned, so the stairway length is
+    # twice the in-stair distance to the half-level door (≈ 20 m with
+    # the default FLOOR_HEIGHT).
+    for f in range(floors - 1):
+        lower = per_floor[f]["stairs"]
+        upper = per_floor[f + 1]["stairs"]
+        for t, (lo, up) in enumerate(zip(lower, upper)):
+            foot = b._partitions[lo].footprint  # aligned columns
+            b.add_door(f"f{f}-up{t}",
+                       Point((foot.x_min + foot.x_max) / 2.0,
+                             (foot.y_min + foot.y_max) / 2.0,
+                             f + 0.5),
+                       between=(lo, up))
+    space = b.build()
+    rooms_by_floor = {f: per_floor[f]["rooms"] for f in range(floors)}
+    return space, rooms_by_floor

@@ -1,0 +1,15 @@
+"""Planar / multi-level geometry primitives for indoor spaces.
+
+Indoor venues are modelled as a stack of floors sharing one x/y plane.
+A :class:`Point` carries a fractional ``level``: integer levels are
+floors, half levels (e.g. ``1.5``) are positions inside a stairway that
+spans two floors.  Euclidean distance between points on different
+levels includes the vertical drop ``(level difference) * FLOOR_HEIGHT``
+so that intra-staircase distances come out of the same formula as
+ordinary same-floor distances.
+"""
+
+from repro.geometry.point import FLOOR_HEIGHT, Point, euclidean
+from repro.geometry.rect import Rect
+
+__all__ = ["FLOOR_HEIGHT", "Point", "Rect", "euclidean"]

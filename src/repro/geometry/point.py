@@ -1,0 +1,62 @@
+"""Points in a multi-level indoor coordinate system."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Vertical distance (in metres) between two adjacent floors.  The
+#: paper's stairways are 20 m long, which a staircase door placed at a
+#: half level reproduces exactly: hall door (level f) -> stair door
+#: (level f + 0.5) -> hall door (level f + 1) is 10 m + 10 m.
+FLOOR_HEIGHT = 20.0
+
+
+@dataclass(frozen=True)
+class Point:
+    """An indoor location: planar coordinates plus a (fractional) level.
+
+    ``level`` is the floor number for ordinary locations.  Stairway
+    doors that connect floor ``f`` to floor ``f + 1`` live at level
+    ``f + 0.5``.
+    """
+
+    x: float
+    y: float
+    level: float = 0.0
+
+    @property
+    def z(self) -> float:
+        """Vertical coordinate in metres."""
+        return self.level * FLOOR_HEIGHT
+
+    @property
+    def floor(self) -> int:
+        """The floor this point belongs to (stair doors round down)."""
+        return int(math.floor(self.level))
+
+    def same_floor(self, other: "Point") -> bool:
+        """Whether both points lie on exactly the same level."""
+        return self.level == other.level
+
+    def distance_to(self, other: "Point") -> float:
+        """Straight-line (3-D Euclidean) distance to ``other``."""
+        dx = self.x - other.x
+        dy = self.y - other.y
+        dz = self.z - other.z
+        return math.sqrt(dx * dx + dy * dy + dz * dz)
+
+    def planar_distance_to(self, other: "Point") -> float:
+        """2-D Euclidean distance, ignoring the vertical component."""
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return math.sqrt(dx * dx + dy * dy)
+
+    def translated(self, dx: float = 0.0, dy: float = 0.0, dlevel: float = 0.0) -> "Point":
+        """A copy of this point shifted by the given offsets."""
+        return Point(self.x + dx, self.y + dy, self.level + dlevel)
+
+
+def euclidean(a: Point, b: Point) -> float:
+    """Module-level convenience wrapper for :meth:`Point.distance_to`."""
+    return a.distance_to(b)

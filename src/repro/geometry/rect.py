@@ -1,0 +1,83 @@
+"""Axis-aligned rectangles used as partition footprints."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle on a single floor.
+
+    Partitions in the synthetic floor plans are rectangular; irregular
+    hallways are decomposed into rectangular cells (as in the paper).
+    """
+
+    x_min: float
+    y_min: float
+    x_max: float
+    y_max: float
+    level: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.x_max < self.x_min or self.y_max < self.y_min:
+            raise ValueError(f"degenerate rectangle: {self}")
+
+    @property
+    def width(self) -> float:
+        return self.x_max - self.x_min
+
+    @property
+    def height(self) -> float:
+        return self.y_max - self.y_min
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return Point((self.x_min + self.x_max) / 2.0,
+                     (self.y_min + self.y_max) / 2.0,
+                     self.level)
+
+    def corners(self) -> Iterator[Point]:
+        """The four corner points, counter-clockwise from (x_min, y_min)."""
+        yield Point(self.x_min, self.y_min, self.level)
+        yield Point(self.x_max, self.y_min, self.level)
+        yield Point(self.x_max, self.y_max, self.level)
+        yield Point(self.x_min, self.y_max, self.level)
+
+    def contains(self, p: Point, tol: float = 1e-9) -> bool:
+        """Whether ``p`` lies inside this rectangle (same floor, boundary counts)."""
+        if int(p.level) != int(self.level):
+            return False
+        return (self.x_min - tol <= p.x <= self.x_max + tol
+                and self.y_min - tol <= p.y <= self.y_max + tol)
+
+    def farthest_corner_distance(self, p: Point) -> float:
+        """Planar distance from ``p`` to the farthest corner.
+
+        Used as the "longest non-loop distance one can reach inside the
+        partition from the pertinent door" in the same-door re-entry
+        cost (paper Section II-A).
+        """
+        return max(p.planar_distance_to(c) for c in self.corners())
+
+    def random_interior_point(self, rng, margin: float = 0.5) -> Point:
+        """A uniformly random point inside the rectangle.
+
+        ``margin`` keeps the point away from walls when the rectangle
+        is large enough; degenerate rectangles fall back to the center.
+        """
+        if self.width <= 2 * margin or self.height <= 2 * margin:
+            return self.center
+        x = rng.uniform(self.x_min + margin, self.x_max - margin)
+        y = rng.uniform(self.y_min + margin, self.y_max - margin)
+        return Point(x, y, self.level)
+
+    def as_tuple(self) -> Tuple[float, float, float, float]:
+        return (self.x_min, self.y_min, self.x_max, self.y_max)

@@ -1,0 +1,40 @@
+"""Indoor keyword organisation (paper Section III).
+
+The package implements the paper's two-level keyword scheme:
+
+* :class:`Vocabulary` — disjoint identity-word (i-word) and thematic-
+  word (t-word) sets,
+* :class:`KeywordIndex` — the four bi-directional mappings P2I (n:1),
+  I2P (1:n), I2T (m:n) and T2I (n:m) plus partition words ``PW(v)``,
+* :func:`candidate_iword_set` / :class:`QueryKeywords` — candidate
+  i-word sets ``κ(wQ)`` with direct and Jaccard-scored indirect
+  matching (Definition 4),
+* :mod:`repro.keywords.extraction` — the RAKE keyword extractor and
+  TF-IDF selection used to harvest t-words from shop documents
+  (Section V-A1).
+"""
+
+from repro.keywords.vocabulary import Vocabulary
+from repro.keywords.mappings import KeywordIndex, PartitionWords
+from repro.keywords.matching import (
+    CandidateEntry,
+    QueryKeywords,
+    candidate_iword_set,
+)
+from repro.keywords.extraction import (
+    RakeExtractor,
+    TfIdfSelector,
+    extract_twords,
+)
+
+__all__ = [
+    "CandidateEntry",
+    "KeywordIndex",
+    "PartitionWords",
+    "QueryKeywords",
+    "RakeExtractor",
+    "TfIdfSelector",
+    "Vocabulary",
+    "candidate_iword_set",
+    "extract_twords",
+]

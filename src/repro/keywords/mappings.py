@@ -1,0 +1,198 @@
+"""The four keyword mappings P2I, I2P, I2T, T2I (paper Section III-A).
+
+The mappings use i-words as the pivot between partitions and t-words:
+
+* ``P2I`` (many-to-one): partition → its single i-word,
+* ``I2P`` (one-to-many): i-word → the partitions it identifies,
+* ``I2T`` (many-to-many): i-word → its relevant t-words,
+* ``T2I`` (many-to-many): t-word → the i-words it describes.
+
+:class:`KeywordIndex` maintains all four consistently and derives the
+partition words ``PW(v) = {P2I(v), I2T(P2I(v))}`` used for route-word
+and relevance computation.  The paper keeps these mappings in main
+memory (≈4 MB for the synthetic corpus); we do the same.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Optional, Set
+
+from repro.keywords.vocabulary import Vocabulary, normalize_word
+
+
+@dataclass(frozen=True)
+class PartitionWords:
+    """``PW(v)``: the i-word of a partition plus that i-word's t-words.
+
+    ``iword`` is ``None`` for partitions with no semantic name (e.g.
+    hallway cells); such partitions contribute nothing to route words.
+    """
+
+    iword: Optional[str]
+    twords: FrozenSet[str]
+
+    @property
+    def wi(self) -> FrozenSet[str]:
+        """The i-word component as a (possibly empty) set.
+
+        Mirrors the paper's ``PW(v).wi`` notation, which is unioned
+        across partitions when computing route words.
+        """
+        if self.iword is None:
+            return frozenset()
+        return frozenset({self.iword})
+
+
+_EMPTY = frozenset()
+
+
+class KeywordIndex:
+    """Consistent container for the four keyword mappings.
+
+    Construction enforces the paper's cardinalities: a partition maps
+    to at most one i-word (P2I is many-to-one), while I2T/T2I are
+    unrestricted many-to-many.  The index also owns the
+    :class:`~repro.keywords.vocabulary.Vocabulary` so that adding an
+    association keeps ``Wi`` and ``Wt`` disjoint.
+    """
+
+    def __init__(self, vocabulary: Optional[Vocabulary] = None) -> None:
+        self._vocab = vocabulary or Vocabulary()
+        self._p2i: Dict[int, str] = {}
+        self._i2p: Dict[str, Set[int]] = {}
+        self._i2t: Dict[str, Set[str]] = {}
+        self._t2i: Dict[str, Set[str]] = {}
+        self._pw_cache: Dict[int, PartitionWords] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def assign_iword(self, pid: int, iword: str) -> str:
+        """Bind partition ``pid`` to identity word ``iword``.
+
+        Re-assigning a partition to a different i-word is an error —
+        P2I is a function.
+        """
+        w = self._vocab.add_iword(iword)
+        existing = self._p2i.get(pid)
+        if existing is not None and existing != w:
+            raise ValueError(
+                f"partition {pid} already identified by {existing!r}")
+        self._p2i[pid] = w
+        self._i2p.setdefault(w, set()).add(pid)
+        self._i2t.setdefault(w, set())
+        self._pw_cache.pop(pid, None)
+        return w
+
+    def add_tword(self, iword: str, tword: str) -> Optional[str]:
+        """Associate thematic word ``tword`` with i-word ``iword``.
+
+        Returns the normalised t-word, or ``None`` when the word is
+        itself an i-word (i-words are excluded from ``Wt``).
+        """
+        wi = normalize_word(iword)
+        if wi not in self._i2p and wi not in self._i2t:
+            # Allow declaring t-words for an i-word before any
+            # partition uses it (corpus loading order independence).
+            self._vocab.add_iword(wi)
+            self._i2t.setdefault(wi, set())
+        wt = self._vocab.add_tword(tword)
+        if not self._vocab.is_tword(wt):
+            return None
+        self._i2t.setdefault(wi, set()).add(wt)
+        self._t2i.setdefault(wt, set()).add(wi)
+        self._invalidate_iword(wi)
+        return wt
+
+    def add_twords(self, iword: str, twords: Iterable[str]) -> None:
+        for tword in twords:
+            self.add_tword(iword, tword)
+
+    def _invalidate_iword(self, wi: str) -> None:
+        for pid in self._i2p.get(wi, ()):
+            self._pw_cache.pop(pid, None)
+
+    # ------------------------------------------------------------------
+    # The four mappings
+    # ------------------------------------------------------------------
+    def p2i(self, pid: int) -> Optional[str]:
+        """``P2I(v)``: the i-word identifying partition ``pid``."""
+        return self._p2i.get(pid)
+
+    def i2p(self, iword: str) -> FrozenSet[int]:
+        """``I2P(wi)``: partitions identified by ``iword``."""
+        return frozenset(self._i2p.get(normalize_word(iword), _EMPTY))
+
+    def i2t(self, iword: str) -> FrozenSet[str]:
+        """``I2T(wi)``: t-words relevant to ``iword``."""
+        return frozenset(self._i2t.get(normalize_word(iword), _EMPTY))
+
+    def t2i(self, tword: str) -> FrozenSet[str]:
+        """``T2I(wt)``: i-words described by ``tword``."""
+        return frozenset(self._t2i.get(normalize_word(tword), _EMPTY))
+
+    def i2p_many(self, iwords: Iterable[str]) -> FrozenSet[int]:
+        """Union of ``I2P`` over a set of i-words."""
+        pids: Set[int] = set()
+        for wi in iwords:
+            pids |= self._i2p.get(normalize_word(wi), _EMPTY)
+        return frozenset(pids)
+
+    # ------------------------------------------------------------------
+    # Derived structures
+    # ------------------------------------------------------------------
+    def partition_words(self, pid: int) -> PartitionWords:
+        """``PW(v)`` for partition ``pid`` (cached)."""
+        pw = self._pw_cache.get(pid)
+        if pw is None:
+            wi = self._p2i.get(pid)
+            twords = frozenset(self._i2t.get(wi, _EMPTY)) if wi else _EMPTY
+            pw = PartitionWords(wi, twords)
+            self._pw_cache[pid] = pw
+        return pw
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        return self._vocab
+
+    @property
+    def iwords(self) -> Set[str]:
+        """All i-words known to the index."""
+        return set(self._i2p) | set(self._i2t)
+
+    def labelled_partitions(self) -> Set[int]:
+        """Partitions that carry an i-word."""
+        return set(self._p2i)
+
+    def stats(self) -> Dict[str, float]:
+        """Corpus statistics matching those the paper reports."""
+        twords_per_iword = [len(ts) for ts in self._i2t.values()]
+        n_with = sum(1 for n in twords_per_iword if n > 0)
+        return {
+            "num_iwords": len(self.iwords),
+            "num_twords": self._vocab.num_twords,
+            "num_labelled_partitions": len(self._p2i),
+            "iwords_with_twords": n_with,
+            "avg_twords_per_iword": (
+                sum(twords_per_iword) / len(twords_per_iword)
+                if twords_per_iword else 0.0),
+            "max_twords_per_iword": max(twords_per_iword, default=0),
+        }
+
+    def estimated_bytes(self) -> int:
+        """Rough in-memory footprint of the mappings."""
+        total = 0
+        for wi, pids in self._i2p.items():
+            total += len(wi) + 48 * len(pids)
+        for wi, ts in self._i2t.items():
+            total += len(wi) + sum(len(t) + 48 for t in ts)
+        for wt, ws in self._t2i.items():
+            total += len(wt) + sum(len(w) + 48 for w in ws)
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        s = self.stats()
+        return (f"KeywordIndex({int(s['num_iwords'])} i-words, "
+                f"{int(s['num_twords'])} t-words, "
+                f"{int(s['num_labelled_partitions'])} partitions)")

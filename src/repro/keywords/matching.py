@@ -1,0 +1,171 @@
+"""Candidate i-word sets and query-keyword preprocessing (Definition 4).
+
+A query keyword ``wQ`` is converted into a candidate i-word set
+``κ(wQ)``:
+
+* ``wQ`` is an i-word — ``κ(wQ) = {(wQ, 1)}``,
+* ``wQ`` is a t-word — every *direct* matching i-word (``T2I(wQ)``)
+  enters with similarity 1; every *indirect* matching i-word ``w''``
+  whose t-word feature set overlaps the union feature set of the
+  direct matches enters with Jaccard similarity
+
+  .. math::
+
+     s(w'') = \\frac{|I2T(w'') \\cap U|}{|I2T(w'') \\cup U|},
+     \\qquad U = \\bigcup_{w \\in T2I(wQ)} I2T(w).
+
+Entries below the threshold ``τ`` are dropped ("to avoid long tails").
+
+:class:`QueryKeywords` bundles the converted list ``K(QW)`` with the
+inverted structures the search algorithms need to update keyword
+relevance incrementally: for every candidate i-word, the list of
+``(query position, similarity)`` pairs it contributes to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.keywords.mappings import KeywordIndex
+from repro.keywords.vocabulary import normalize_word
+
+
+@dataclass(frozen=True)
+class CandidateEntry:
+    """One ``(wi, s)`` pair of a matching i-word and its similarity."""
+
+    iword: str
+    similarity: float
+    direct: bool
+
+    def __iter__(self):
+        # Allows ``wi, s = entry`` unpacking in user code and tests.
+        yield self.iword
+        yield self.similarity
+
+
+def candidate_iword_set(index: KeywordIndex,
+                        word: str,
+                        tau: float = 0.2) -> List[CandidateEntry]:
+    """Compute ``κ(wQ)`` for one query keyword.
+
+    Unknown words (neither i-word nor t-word) yield an empty set — the
+    query keyword can then never be covered by any route.
+    Entries are sorted by descending similarity, direct matches first.
+    """
+    w = normalize_word(word)
+    vocab = index.vocabulary
+    if vocab.is_iword(w):
+        return [CandidateEntry(w, 1.0, True)]
+    if not vocab.is_tword(w):
+        return []
+    direct = index.t2i(w)
+    if not direct:
+        return []
+    union_features: Set[str] = set()
+    for wi in direct:
+        union_features |= index.i2t(wi)
+    entries = [CandidateEntry(wi, 1.0, True) for wi in sorted(direct)]
+    for wi in sorted(index.iwords):
+        if wi in direct:
+            continue
+        features = index.i2t(wi)
+        if not features:
+            continue
+        inter = len(features & union_features)
+        if inter == 0:
+            continue
+        union = len(features | union_features)
+        score = inter / union
+        if score > tau:
+            entries.append(CandidateEntry(wi, score, False))
+    entries.sort(key=lambda e: (-e.similarity, not e.direct, e.iword))
+    return entries
+
+
+class QueryKeywords:
+    """The converted query keyword list ``K(QW)`` plus search indexes.
+
+    Attributes:
+        words: The normalised query keywords, in query order.
+        candidates: ``candidates[i]`` is ``κ(words[i])``.
+        tau: The similarity threshold used for indirect matches.
+    """
+
+    def __init__(self,
+                 index: KeywordIndex,
+                 words: Sequence[str],
+                 tau: float = 0.2) -> None:
+        if not words:
+            raise ValueError("query keyword list QW must not be empty")
+        self.index = index
+        self.words: List[str] = [normalize_word(w) for w in words]
+        self.tau = tau
+        self.candidates: List[List[CandidateEntry]] = [
+            candidate_iword_set(index, w, tau) for w in self.words]
+
+        # Inverted index: candidate i-word -> [(query position, sim)].
+        self._iword_hits: Dict[str, List[Tuple[int, float]]] = {}
+        for qi, entries in enumerate(self.candidates):
+            for entry in entries:
+                self._iword_hits.setdefault(entry.iword, []).append(
+                    (qi, entry.similarity))
+
+        #: ``Wci``: all candidate i-words across the query (Alg. 1 line 2).
+        self.all_candidate_iwords: FrozenSet[str] = frozenset(self._iword_hits)
+
+        #: Key partitions covering at least one candidate i-word
+        #: (before the start/terminal adjustment of Alg. 1 line 3).
+        self.keyword_partitions: FrozenSet[int] = index.i2p_many(
+            self.all_candidate_iwords)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.words)
+
+    def candidate_set(self, position: int) -> List[CandidateEntry]:
+        """``κ(QW[position])``."""
+        return self.candidates[position]
+
+    def candidate_iwords(self, position: int) -> Set[str]:
+        """``κ(QW[position]).Wi``."""
+        return {e.iword for e in self.candidates[position]}
+
+    def hits_for_iword(self, iword: str) -> List[Tuple[int, float]]:
+        """``(query position, similarity)`` pairs i-word contributes to."""
+        return self._iword_hits.get(iword, [])
+
+    def partitions_for_word(self, position: int) -> FrozenSet[int]:
+        """Key partitions relevant to query word ``position``
+        (``I2P(κ(wQ).Wi)`` in Alg. 6 line 7)."""
+        return self.index.i2p_many(self.candidate_iwords(position))
+
+    def relevance_from_sims(self, sims: Sequence[float]) -> float:
+        """Keyword relevance ``ρ`` from per-word best similarities.
+
+        ``sims[i]`` is the maximum similarity of query word ``i``'s
+        matching i-words on the route (0 when uncovered).  Implements
+        Definition 6: covered count plus the mean best similarity.
+        """
+        covered = sum(1 for s in sims if s > 0.0)
+        if covered == 0:
+            return 0.0
+        return covered + sum(sims) / covered
+
+    @property
+    def max_relevance(self) -> float:
+        """``|QW| + 1``: relevance when all words match with sim 1."""
+        return len(self.words) + 1.0
+
+    def relevance_of_iword_set(self, iwords: Iterable[str]) -> float:
+        """Keyword relevance of a plain route-word set (Definition 6)."""
+        sims = [0.0] * len(self.words)
+        for wi in iwords:
+            for qi, s in self.hits_for_iword(wi):
+                if s > sims[qi]:
+                    sims[qi] = s
+        return self.relevance_from_sims(sims)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"QueryKeywords({self.words!r}, tau={self.tau})"

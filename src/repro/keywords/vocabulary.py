@@ -1,0 +1,100 @@
+"""Disjoint identity-word / thematic-word vocabularies.
+
+The paper keeps the i-word set and the t-word set distinct: "If a word
+is in the i-word set Wi, it is excluded from the t-word set Wt"
+(Section III-A).  :class:`Vocabulary` enforces that invariant and
+classifies incoming query words, so users never need to tag keywords
+themselves ("they are recognized automatically in our implementation",
+Section V-A1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Set
+
+
+def normalize_word(word: str) -> str:
+    """Canonical form used for every vocabulary lookup."""
+    return word.strip().lower()
+
+
+class Vocabulary:
+    """The two disjoint keyword sets ``Wi`` (identity) and ``Wt`` (thematic).
+
+    Words are normalised to lower case.  A word added as an i-word is
+    silently dropped from the t-word set (i-words take precedence, per
+    the paper's construction where brand names are i-words first and
+    extracted keywords become t-words only if they are not brands).
+    """
+
+    def __init__(self,
+                 iwords: Iterable[str] = (),
+                 twords: Iterable[str] = ()) -> None:
+        self._iwords: Set[str] = set()
+        self._twords: Set[str] = set()
+        for w in iwords:
+            self.add_iword(w)
+        for w in twords:
+            self.add_tword(w)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_iword(self, word: str) -> str:
+        """Register an identity word; evicts it from the t-word set."""
+        w = normalize_word(word)
+        if not w:
+            raise ValueError("empty i-word")
+        self._iwords.add(w)
+        self._twords.discard(w)
+        return w
+
+    def add_tword(self, word: str) -> str:
+        """Register a thematic word unless it is already an i-word."""
+        w = normalize_word(word)
+        if not w:
+            raise ValueError("empty t-word")
+        if w not in self._iwords:
+            self._twords.add(w)
+        return w
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def is_iword(self, word: str) -> bool:
+        return normalize_word(word) in self._iwords
+
+    def is_tword(self, word: str) -> bool:
+        return normalize_word(word) in self._twords
+
+    def __contains__(self, word: str) -> bool:
+        w = normalize_word(word)
+        return w in self._iwords or w in self._twords
+
+    @property
+    def iwords(self) -> Set[str]:
+        """A copy of the identity-word set."""
+        return set(self._iwords)
+
+    @property
+    def twords(self) -> Set[str]:
+        """A copy of the thematic-word set."""
+        return set(self._twords)
+
+    @property
+    def num_iwords(self) -> int:
+        return len(self._iwords)
+
+    @property
+    def num_twords(self) -> int:
+        return len(self._twords)
+
+    def __iter__(self) -> Iterator[str]:
+        yield from self._iwords
+        yield from self._twords
+
+    def __len__(self) -> int:
+        return len(self._iwords) + len(self._twords)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Vocabulary({self.num_iwords} i-words, {self.num_twords} t-words)"

@@ -1,0 +1,95 @@
+"""Fluent builder for :class:`~repro.space.indoor_space.IndoorSpace`."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.geometry import Point, Rect
+from repro.space.entities import Door, Partition, PartitionKind
+from repro.space.indoor_space import IndoorSpace
+
+PartitionRef = Union[int, str]
+
+
+class IndoorSpaceBuilder:
+    """Assembles partitions and doors, then produces an IndoorSpace.
+
+    Partitions may be referenced by id or by name when adding doors,
+    which keeps hand-written fixtures (like the paper's Fig. 1 floor
+    plan) readable::
+
+        b = IndoorSpaceBuilder()
+        b.add_partition("v1", Rect(0, 0, 10, 10))
+        b.add_partition("v2", Rect(10, 0, 20, 10))
+        b.add_door("d1", Point(10, 5), between=("v1", "v2"))
+        space = b.build()
+    """
+
+    def __init__(self) -> None:
+        self._partitions: List[Partition] = []
+        self._doors: List[Door] = []
+        self._name_to_pid: Dict[str, int] = {}
+        self._name_to_did: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def add_partition(self,
+                      name: Optional[str],
+                      footprint: Rect,
+                      kind: PartitionKind = PartitionKind.ROOM) -> int:
+        """Register a partition; returns its assigned id."""
+        pid = len(self._partitions)
+        if name is not None:
+            if name in self._name_to_pid:
+                raise ValueError(f"duplicate partition name {name!r}")
+            self._name_to_pid[name] = pid
+        self._partitions.append(Partition(pid, footprint, kind, name))
+        return pid
+
+    def _resolve(self, ref: PartitionRef) -> int:
+        if isinstance(ref, str):
+            try:
+                return self._name_to_pid[ref]
+            except KeyError:
+                raise KeyError(f"unknown partition name {ref!r}") from None
+        return ref
+
+    def add_door(self,
+                 name: Optional[str],
+                 position: Point,
+                 between: Optional[Iterable[PartitionRef]] = None,
+                 enters: Optional[Iterable[PartitionRef]] = None,
+                 leaves: Optional[Iterable[PartitionRef]] = None) -> int:
+        """Register a door; returns its assigned id.
+
+        Either pass ``between`` for an ordinary two-way door, or the
+        explicit ``enters`` / ``leaves`` sets for one-way doors.
+        """
+        if between is not None:
+            if enters is not None or leaves is not None:
+                raise ValueError("pass either 'between' or enters/leaves")
+            pids = frozenset(self._resolve(r) for r in between)
+            enter_set = leave_set = pids
+        else:
+            enter_set = frozenset(self._resolve(r) for r in (enters or ()))
+            leave_set = frozenset(self._resolve(r) for r in (leaves or ()))
+            if not enter_set and not leave_set:
+                raise ValueError("door connects no partitions")
+        did = len(self._doors)
+        if name is not None:
+            if name in self._name_to_did:
+                raise ValueError(f"duplicate door name {name!r}")
+            self._name_to_did[name] = did
+        self._doors.append(Door(did, position, enter_set, leave_set, name))
+        return did
+
+    # ------------------------------------------------------------------
+    def pid(self, name: str) -> int:
+        """Id of a previously added named partition."""
+        return self._name_to_pid[name]
+
+    def did(self, name: str) -> int:
+        """Id of a previously added named door."""
+        return self._name_to_did[name]
+
+    def build(self) -> IndoorSpace:
+        return IndoorSpace(self._partitions, self._doors)

@@ -1,0 +1,154 @@
+"""Intra-partition distance functions (paper Section II-A).
+
+The oracle implements:
+
+* ``d2d(di, dj)``   — intra-partition door-to-door distance ``δd2d``,
+  including the special same-door re-entry cost,
+* ``pt2d(p, d)``    — point-to-door distance ``δpt2d``,
+* ``d2pt(d, p)``    — door-to-point distance ``δd2pt``,
+* ``item_distance`` — the generic ``δ*`` dispatch over doors/points.
+
+All distances are ``math.inf`` when topology forbids the move, exactly
+as in the paper's definitions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple, Union
+
+from repro.geometry import Point
+from repro.space.indoor_space import IndoorSpace
+
+#: A route item is either a door id (int) or a free indoor point.
+Item = Union[int, Point]
+
+INF = math.inf
+
+
+class DistanceOracle:
+    """Intra-partition distances over an :class:`IndoorSpace`.
+
+    Same-door re-entry costs (``δd2d(d, d)``) are cached per
+    ``(door, partition)`` pair because they require scanning the
+    partition footprint.
+    """
+
+    def __init__(self, space: IndoorSpace) -> None:
+        self._space = space
+        self._reentry_cache: Dict[Tuple[int, int], float] = {}
+
+    @property
+    def space(self) -> IndoorSpace:
+        return self._space
+
+    # ------------------------------------------------------------------
+    # Core distances
+    # ------------------------------------------------------------------
+    def d2d(self, di: int, dj: int, via: Optional[int] = None) -> float:
+        """Intra-partition door-to-door distance ``δd2d(di, dj)``.
+
+        When ``di == dj`` the move means entering a partition and
+        leaving through the same door; the cost is double the longest
+        non-loop distance reachable inside the partition from that
+        door.  ``via`` names the partition being re-entered (required
+        to disambiguate when the door touches several partitions; when
+        omitted, the cheapest adjacent partition is assumed).
+        """
+        space = self._space
+        if di == dj:
+            return self._reentry_cost(di, via)
+        enterable = space.d2p_enter(di)
+        leaveable = space.d2p_leave(dj)
+        common = enterable & leaveable
+        if via is not None:
+            common = common & {via}
+        if not common:
+            return INF
+        return space.door(di).position.distance_to(space.door(dj).position)
+
+    def pt2d(self, p: Point, dk: int) -> float:
+        """Point-to-door distance ``δpt2d``: leave ``p``'s partition via ``dk``."""
+        host = self._space.host_partition(p)
+        if dk not in self._space.p2d_leave(host.pid):
+            return INF
+        return p.distance_to(self._space.door(dk).position)
+
+    def d2pt(self, dk: int, p: Point) -> float:
+        """Door-to-point distance ``δd2pt``: enter ``p``'s partition via ``dk``."""
+        host = self._space.host_partition(p)
+        if dk not in self._space.p2d_enter(host.pid):
+            return INF
+        return self._space.door(dk).position.distance_to(p)
+
+    def item_distance(self, xi: Item, xj: Item, via: Optional[int] = None) -> float:
+        """Generic ``δ*`` dispatch over doors (ids) and points."""
+        xi_is_door = isinstance(xi, int)
+        xj_is_door = isinstance(xj, int)
+        if xi_is_door and xj_is_door:
+            return self.d2d(xi, xj, via=via)
+        if xi_is_door:
+            return self.d2pt(xi, xj)
+        if xj_is_door:
+            return self.pt2d(xi, xj)
+        # point-to-point within one partition (used when s and t share
+        # a partition and the route is the trivial (ps, pt)).
+        host_i = self._space.host_partition(xi)
+        host_j = self._space.host_partition(xj)
+        if host_i.pid != host_j.pid:
+            return INF
+        return xi.distance_to(xj)
+
+    # ------------------------------------------------------------------
+    # Same-door re-entry
+    # ------------------------------------------------------------------
+    def _reentry_cost(self, did: int, via: Optional[int]) -> float:
+        """Cost of entering a partition through ``did`` and leaving by it.
+
+        Double the longest non-loop distance reachable inside the
+        partition from the door (paper Section II-A).  For rectangular
+        partitions that is twice the distance to the farthest corner.
+        """
+        space = self._space
+        door = space.door(did)
+        candidates = door.enters & door.leaves
+        if via is not None:
+            candidates = candidates & {via}
+        if not candidates:
+            return INF
+        best = INF
+        for pid in candidates:
+            key = (did, pid)
+            if key not in self._reentry_cache:
+                footprint = space.partition(pid).footprint
+                self._reentry_cache[key] = (
+                    2.0 * footprint.farthest_corner_distance(door.position))
+            best = min(best, self._reentry_cache[key])
+        return best
+
+    def reentry_cost(self, did: int, pid: int) -> float:
+        """Public same-door re-entry cost for door ``did`` into ``pid``."""
+        return self._reentry_cost(did, pid)
+
+    # ------------------------------------------------------------------
+    # Helpers used by routing
+    # ------------------------------------------------------------------
+    def item_position(self, x: Item) -> Point:
+        """Physical position of a route item."""
+        if isinstance(x, int):
+            return self._space.door(x).position
+        return x
+
+    def connecting_partition(self, di: int, dj: int) -> Optional[int]:
+        """The partition traversed when moving from door ``di`` to ``dj``.
+
+        ``None`` when the move is not possible.  For the same-door
+        loop this is ambiguous and the caller must decide (the search
+        algorithms always know which partition a loop visits).
+        """
+        common = self._space.d2p_enter(di) & self._space.d2p_leave(dj)
+        if not common:
+            return None
+        if len(common) == 1:
+            return next(iter(common))
+        return min(common)

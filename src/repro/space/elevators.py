@@ -1,0 +1,61 @@
+"""Elevator shafts: the paper's §VII "special entities like lifts".
+
+An elevator is modelled as a stack of shaft partitions (one per floor,
+:attr:`PartitionKind.ELEVATOR`) linked by doors at half levels —
+exactly the staircase topology, so the skeleton lower-bound index and
+all pruning rules handle lifts without modification.  What
+distinguishes a lift in this distance-based model is *placement*:
+venues add shafts where stairs are far, improving vertical
+connectivity (waiting/ride time is outside the paper's distance
+metric and is documented as out of scope).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.geometry import Point, Rect
+from repro.space.builder import IndoorSpaceBuilder, PartitionRef
+from repro.space.entities import PartitionKind
+
+#: Shaft footprint side (metres).
+SHAFT_SIDE = 2.5
+
+
+def add_elevator_shaft(builder: IndoorSpaceBuilder,
+                       x: float,
+                       y: float,
+                       lobbies: Sequence[PartitionRef],
+                       name: str = "lift") -> List[int]:
+    """Add an elevator shaft serving ``len(lobbies)`` stacked floors.
+
+    Args:
+        builder: The venue under construction.
+        x, y: Planar position of the shaft.
+        lobbies: One partition per floor (bottom to top) that the
+            shaft opens onto; floor ``f`` is the lobby's level.
+        name: Name prefix for the shaft partitions and doors.
+
+    Returns:
+        The shaft partition ids, bottom to top.
+    """
+    if len(lobbies) < 2:
+        raise ValueError("an elevator must serve at least two floors")
+    shaft_pids: List[int] = []
+    for floor, lobby in enumerate(lobbies):
+        pid = builder.add_partition(
+            f"{name}-shaft{floor}",
+            Rect(x, y, x + SHAFT_SIDE, y + SHAFT_SIDE, float(floor)),
+            PartitionKind.ELEVATOR)
+        shaft_pids.append(pid)
+        builder.add_door(
+            f"{name}-door{floor}",
+            Point(x, y + SHAFT_SIDE / 2.0, float(floor)),
+            between=(lobby, pid))
+        if floor > 0:
+            builder.add_door(
+                f"{name}-ride{floor - 1}",
+                Point(x + SHAFT_SIDE / 2.0, y + SHAFT_SIDE / 2.0,
+                      floor - 0.5),
+                between=(shaft_pids[floor - 1], pid))
+    return shaft_pids

@@ -1,0 +1,107 @@
+"""Partitions and doors: the basic entities of the indoor space model."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional
+
+from repro.geometry import Point, Rect
+
+
+class PartitionKind(enum.Enum):
+    """Functional category of a partition.
+
+    Only :attr:`STAIRCASE` changes behaviour (it participates in the
+    skeleton lower-bound index); the rest are informational and used by
+    data generators and examples.
+    """
+
+    ROOM = "room"
+    HALLWAY = "hallway"
+    STAIRCASE = "staircase"
+    #: Elevator shafts behave like staircases topologically (vertical
+    #: connectors whose inter-floor doors sit at half levels); the
+    #: separate kind lets venues and routing policies distinguish them
+    #: (paper §VII names lifts as future work).
+    ELEVATOR = "elevator"
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A basic indoor region with clear boundaries (room, hallway cell,
+    staircase or booth).
+
+    Attributes:
+        pid: Unique partition identifier.
+        footprint: Rectangular footprint on its floor.  Staircase
+            partitions span levels; their footprint records the lower
+            floor.
+        kind: Functional category.
+        name: Optional human-readable name (e.g. ``"v3"``).
+    """
+
+    pid: int
+    footprint: Rect
+    kind: PartitionKind = PartitionKind.ROOM
+    name: Optional[str] = None
+
+    @property
+    def level(self) -> float:
+        return self.footprint.level
+
+    @property
+    def floor(self) -> int:
+        return int(self.footprint.level)
+
+    def contains(self, p: Point) -> bool:
+        return self.footprint.contains(p)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = self.name or f"v{self.pid}"
+        return f"Partition({label}, floor={self.floor}, kind={self.kind.value})"
+
+
+@dataclass(frozen=True)
+class Door:
+    """A door connecting indoor partitions, possibly one-way.
+
+    Directionality follows the paper's model: ``enters`` is the set of
+    partition ids one can *enter* through this door (``D2P-enter``),
+    and ``leaves`` is the set of partition ids one can *leave* through
+    it (``D2P-leave``).  A normal two-way door between partitions
+    ``a`` and ``b`` has ``enters == leaves == {a, b}``; a one-way door
+    from ``a`` into ``b`` has ``enters == {b}`` and ``leaves == {a}``.
+
+    Staircase doors (connecting the staircase partitions of two
+    adjacent floors) sit at a half level, which makes all intra-
+    partition distances around them come out of plain 3-D Euclidean
+    geometry (see :mod:`repro.geometry.point`).
+    """
+
+    did: int
+    position: Point
+    enters: FrozenSet[int] = field(default_factory=frozenset)
+    leaves: FrozenSet[int] = field(default_factory=frozenset)
+    name: Optional[str] = None
+
+    @property
+    def level(self) -> float:
+        return self.position.level
+
+    @property
+    def floor(self) -> int:
+        return self.position.floor
+
+    @property
+    def is_staircase_door(self) -> bool:
+        """True when the door sits between two floors (half level)."""
+        return self.position.level != int(self.position.level)
+
+    def partitions(self) -> FrozenSet[int]:
+        """All partitions adjacent to this door (either direction)."""
+        return self.enters | self.leaves
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = self.name or f"d{self.did}"
+        return f"Door({label}, level={self.level})"

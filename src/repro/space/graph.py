@@ -1,0 +1,437 @@
+"""Door-to-door routing graph with shortest (regular) route search.
+
+The door graph is the standard routing substrate over the indoor-space
+model: nodes are doors, and there is a directed edge ``di -> dj``
+whenever one can enter a partition through ``di`` and leave it through
+``dj`` (paper Section II-A).  Edge weights are the intra-partition
+Euclidean door-to-door distances.
+
+On top of the raw graph this module provides:
+
+* single-source Dijkstra with optional *banned door* sets, which is how
+  the search algorithms obtain shortest **regular** continuations (a
+  regular concatenation may not revisit any door already on the route,
+  so excluding them yields the shortest regular extension),
+* multi-target Dijkstra restricted to a *first-hop partition* (used by
+  the keyword-oriented expansion, which must leave the current
+  partition first),
+* point attachment (``ps`` / ``pt`` virtual nodes),
+* an all-pairs door distance/route matrix used by the KoE* variant and
+  by the query generator of Section V-A1.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.geometry import Point
+from repro.space.distances import DistanceOracle
+from repro.space.indoor_space import IndoorSpace
+
+INF = math.inf
+
+#: An adjacency entry: (neighbour door id, via partition id, weight).
+Edge = Tuple[int, int, float]
+
+
+class DoorGraph:
+    """Directed door-to-door graph over an :class:`IndoorSpace`.
+
+    The adjacency structure is materialised once at construction; all
+    shortest-path queries run over it.  Self-loop edges (the ``(d, d)``
+    re-entry move) are *not* part of the graph — they are an explicit
+    search move handled by the IKRQ algorithms, never useful on a pure
+    shortest path.
+    """
+
+    def __init__(self, space: IndoorSpace, oracle: Optional[DistanceOracle] = None) -> None:
+        self._space = space
+        self._oracle = oracle or DistanceOracle(space)
+        self._adj: Dict[int, List[Edge]] = {did: [] for did in space.doors}
+        self._radj: Dict[int, List[Edge]] = {did: [] for did in space.doors}
+        self._build()
+
+    def _build(self) -> None:
+        space = self._space
+        for pid in space.partitions:
+            enterable = space.p2d_enter(pid)
+            leaveable = space.p2d_leave(pid)
+            for di in enterable:
+                pos_i = space.door(di).position
+                for dj in leaveable:
+                    if di == dj:
+                        continue
+                    weight = pos_i.distance_to(space.door(dj).position)
+                    self._adj[di].append((dj, pid, weight))
+                    self._radj[dj].append((di, pid, weight))
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def space(self) -> IndoorSpace:
+        return self._space
+
+    @property
+    def oracle(self) -> DistanceOracle:
+        return self._oracle
+
+    def neighbours(self, did: int) -> Sequence[Edge]:
+        """Outgoing edges of door ``did`` as ``(door, via, weight)``."""
+        return self._adj[did]
+
+    def num_edges(self) -> int:
+        return sum(len(edges) for edges in self._adj.values())
+
+    # ------------------------------------------------------------------
+    # Single-source shortest paths
+    # ------------------------------------------------------------------
+    def dijkstra(self,
+                 source: int,
+                 banned: Optional[FrozenSet[int]] = None,
+                 targets: Optional[Set[int]] = None,
+                 bound: float = INF) -> Tuple[Dict[int, float], Dict[int, Tuple[int, int]]]:
+        """Shortest distances from door ``source`` to every door.
+
+        Args:
+            source: Source door id.
+            banned: Doors that may not be visited (the source itself is
+                always allowed).  Used for regular-route extensions.
+            targets: Early-exit set — the search stops once every
+                target has been settled.
+            bound: Distances beyond this value are not explored.
+
+        Returns:
+            ``(dist, pred)`` where ``pred[d] = (previous door, via
+            partition)`` on the shortest path tree.
+        """
+        banned = banned or frozenset()
+        dist: Dict[int, float] = {source: 0.0}
+        pred: Dict[int, Tuple[int, int]] = {}
+        remaining = set(targets) if targets is not None else None
+        if remaining is not None:
+            remaining.discard(source)
+        heap: List[Tuple[float, int]] = [(0.0, source)]
+        settled: Set[int] = set()
+        while heap:
+            d, u = heapq.heappop(heap)
+            if u in settled:
+                continue
+            settled.add(u)
+            if remaining is not None:
+                remaining.discard(u)
+                if not remaining:
+                    break
+            for v, via, w in self._adj[u]:
+                if v in banned or v in settled:
+                    continue
+                nd = d + w
+                if nd > bound:
+                    continue
+                if nd < dist.get(v, INF):
+                    dist[v] = nd
+                    pred[v] = (u, via)
+                    heapq.heappush(heap, (nd, v))
+        return dist, pred
+
+    def shortest_route(self,
+                       source: int,
+                       target: int,
+                       banned: Optional[FrozenSet[int]] = None,
+                       bound: float = INF,
+                       first_hop_via: Optional[int] = None,
+                       ) -> Optional[Tuple[List[int], List[int], float]]:
+        """Shortest door route from ``source`` to ``target``.
+
+        Returns ``(doors, vias, distance)`` where ``doors`` starts with
+        the first door *after* ``source`` and ends with ``target``, and
+        ``vias[i]`` is the partition traversed to reach ``doors[i]``.
+        ``None`` when unreachable within ``bound``.
+
+        ``first_hop_via`` restricts the first move to leave the given
+        partition (the KoE expansion must exit the current partition).
+        """
+        if first_hop_via is not None:
+            result = self._dijkstra_first_hop(
+                source, first_hop_via, banned, {target}, bound)
+            dist, pred = result
+        else:
+            dist, pred = self.dijkstra(source, banned, {target}, bound)
+        if target not in dist or dist[target] > bound:
+            return None
+        if source == target:
+            return [], [], 0.0
+        doors: List[int] = []
+        vias: List[int] = []
+        node = target
+        while node != source:
+            prev, via = pred[node]
+            doors.append(node)
+            vias.append(via)
+            node = prev
+        doors.reverse()
+        vias.reverse()
+        return doors, vias, dist[target]
+
+    def _dijkstra_first_hop(self,
+                            source: int,
+                            first_via: int,
+                            banned: Optional[FrozenSet[int]],
+                            targets: Optional[Set[int]],
+                            bound: float,
+                            ) -> Tuple[Dict[int, float], Dict[int, Tuple[int, int]]]:
+        """Dijkstra whose first edge must traverse partition ``first_via``."""
+        banned = banned or frozenset()
+        space = self._space
+        dist: Dict[int, float] = {}
+        pred: Dict[int, Tuple[int, int]] = {}
+        heap: List[Tuple[float, int]] = []
+        src_pos = space.door(source).position
+        for dj in space.p2d_leave(first_via):
+            if dj == source or dj in banned:
+                continue
+            w = src_pos.distance_to(space.door(dj).position)
+            if w > bound:
+                continue
+            if w < dist.get(dj, INF):
+                dist[dj] = w
+                pred[dj] = (source, first_via)
+                heapq.heappush(heap, (w, dj))
+        remaining = set(targets) if targets is not None else None
+        settled: Set[int] = set()
+        while heap:
+            d, u = heapq.heappop(heap)
+            if u in settled:
+                continue
+            settled.add(u)
+            if remaining is not None:
+                remaining.discard(u)
+                if not remaining:
+                    break
+            for v, via, w in self._adj[u]:
+                if v in banned or v in settled or v == source:
+                    continue
+                nd = d + w
+                if nd > bound:
+                    continue
+                if nd < dist.get(v, INF):
+                    dist[v] = nd
+                    pred[v] = (u, via)
+                    heapq.heappush(heap, (nd, v))
+        return dist, pred
+
+    def multi_target_routes(self,
+                            source: int,
+                            first_via: int,
+                            targets: Set[int],
+                            banned: Optional[FrozenSet[int]] = None,
+                            bound: float = INF,
+                            ) -> Dict[int, Tuple[List[int], List[int], float]]:
+        """Shortest first-hop-restricted routes to each target door.
+
+        Used by the keyword-oriented expansion: from the route tail
+        ``source`` (an enterable door of partition ``first_via``) find,
+        for every enterable door of the next key partition, the
+        shortest regular continuation.  Returns a mapping ``target ->
+        (doors, vias, distance)`` containing only reachable targets.
+        """
+        dist, pred = self._dijkstra_first_hop(
+            source, first_via, banned, set(targets), bound)
+        routes: Dict[int, Tuple[List[int], List[int], float]] = {}
+        for target in targets:
+            if target not in dist or dist[target] > bound:
+                continue
+            doors: List[int] = []
+            vias: List[int] = []
+            node = target
+            while node != source:
+                prev, via = pred[node]
+                doors.append(node)
+                vias.append(via)
+                node = prev
+            doors.reverse()
+            vias.reverse()
+            routes[target] = (doors, vias, dist[target])
+        return routes
+
+    def routes_from_point(self,
+                          p: Point,
+                          host_pid: int,
+                          targets: Set[int],
+                          banned: Optional[FrozenSet[int]] = None,
+                          bound: float = INF,
+                          ) -> Dict[int, Tuple[List[int], List[int], float]]:
+        """Shortest routes from a free point to each target door.
+
+        The point attaches to the leaveable doors of ``host_pid`` (its
+        host partition), mirroring :meth:`multi_target_routes` for the
+        initial search stamp whose tail is the start point.
+        """
+        banned = banned or frozenset()
+        space = self._space
+        dist: Dict[int, float] = {}
+        pred: Dict[int, Tuple[Optional[int], int]] = {}
+        heap: List[Tuple[float, int]] = []
+        for dj in space.p2d_leave(host_pid):
+            if dj in banned:
+                continue
+            w = p.distance_to(space.door(dj).position)
+            if w > bound:
+                continue
+            if w < dist.get(dj, INF):
+                dist[dj] = w
+                pred[dj] = (None, host_pid)
+                heapq.heappush(heap, (w, dj))
+        remaining = set(targets)
+        settled: Set[int] = set()
+        while heap:
+            d, u = heapq.heappop(heap)
+            if u in settled:
+                continue
+            settled.add(u)
+            remaining.discard(u)
+            if not remaining:
+                break
+            for v, via, w in self._adj[u]:
+                if v in banned or v in settled:
+                    continue
+                nd = d + w
+                if nd > bound:
+                    continue
+                if nd < dist.get(v, INF):
+                    dist[v] = nd
+                    pred[v] = (u, via)
+                    heapq.heappush(heap, (nd, v))
+        routes: Dict[int, Tuple[List[int], List[int], float]] = {}
+        for target in targets:
+            if target not in dist or dist[target] > bound:
+                continue
+            doors: List[int] = []
+            vias: List[int] = []
+            node: Optional[int] = target
+            while node is not None:
+                prev, via = pred[node]
+                doors.append(node)
+                vias.append(via)
+                node = prev
+            doors.reverse()
+            vias.reverse()
+            routes[target] = (doors, vias, dist[target])
+        return routes
+
+    # ------------------------------------------------------------------
+    # Point attachment
+    # ------------------------------------------------------------------
+    def distances_from_point(self, p: Point, bound: float = INF) -> Dict[int, float]:
+        """Shortest indoor distance from point ``p`` to every door.
+
+        The point is attached to the leaveable doors of its host
+        partition, then ordinary Dijkstra takes over.
+        """
+        space = self._space
+        host = space.host_partition(p)
+        dist: Dict[int, float] = {}
+        heap: List[Tuple[float, int]] = []
+        for dj in space.p2d_leave(host.pid):
+            w = p.distance_to(space.door(dj).position)
+            if w > bound:
+                continue
+            if w < dist.get(dj, INF):
+                dist[dj] = w
+                heapq.heappush(heap, (w, dj))
+        settled: Set[int] = set()
+        while heap:
+            d, u = heapq.heappop(heap)
+            if u in settled:
+                continue
+            settled.add(u)
+            for v, via, w in self._adj[u]:
+                if v in settled:
+                    continue
+                nd = d + w
+                if nd > bound:
+                    continue
+                if nd < dist.get(v, INF):
+                    dist[v] = nd
+                    heapq.heappush(heap, (nd, v))
+        return dist
+
+    def point_to_point_distance(self, ps: Point, pt: Point, bound: float = INF) -> float:
+        """Shortest indoor distance between two points (``δs2t``)."""
+        space = self._space
+        host_s = space.host_partition(ps)
+        host_t = space.host_partition(pt)
+        best = INF
+        if host_s.pid == host_t.pid:
+            best = ps.distance_to(pt)
+        door_dist = self.distances_from_point(ps, bound=min(bound, best))
+        t_pos = pt
+        for dk in space.p2d_enter(host_t.pid):
+            if dk not in door_dist:
+                continue
+            total = door_dist[dk] + space.door(dk).position.distance_to(t_pos)
+            if total < best:
+                best = total
+        return best
+
+
+class DoorMatrix:
+    """All-pairs door-to-door shortest distances and routes.
+
+    This is the precomputed structure behind the KoE* variant (paper
+    Section V, Table III) and the query generator's "precomputed
+    door-to-door matrix" (Section V-A1).  Rows are computed lazily and
+    cached, because computing all of them eagerly on a paper-size venue
+    is exactly the overhead the paper shows does not pay off.
+    """
+
+    def __init__(self, graph: DoorGraph, eager: bool = False) -> None:
+        self._graph = graph
+        self._rows: Dict[int, Tuple[Dict[int, float], Dict[int, Tuple[int, int]]]] = {}
+        if eager:
+            for did in graph.space.doors:
+                self._row(did)
+
+    def _row(self, source: int) -> Tuple[Dict[int, float], Dict[int, Tuple[int, int]]]:
+        if source not in self._rows:
+            self._rows[source] = self._graph.dijkstra(source)
+        return self._rows[source]
+
+    def distance(self, di: int, dj: int) -> float:
+        """Shortest door-to-door distance ``di -> dj`` (INF if unreachable)."""
+        dist, _ = self._row(di)
+        return dist.get(dj, INF)
+
+    def route(self, di: int, dj: int) -> Optional[Tuple[List[int], List[int], float]]:
+        """Shortest precomputed route ``di -> dj`` as ``(doors, vias, dist)``.
+
+        The route ignores regularity constraints against any existing
+        prefix; KoE* re-computes on the fly when its regularity check
+        fails, as the paper prescribes.
+        """
+        dist, pred = self._row(di)
+        if dj not in dist:
+            return None
+        doors: List[int] = []
+        vias: List[int] = []
+        node = dj
+        while node != di:
+            prev, via = pred[node]
+            doors.append(node)
+            vias.append(via)
+            node = prev
+        doors.reverse()
+        vias.reverse()
+        return doors, vias, dist[dj]
+
+    def num_cached_rows(self) -> int:
+        return len(self._rows)
+
+    def estimated_bytes(self) -> int:
+        """Rough memory footprint of the cached rows (for Fig. 14)."""
+        total = 0
+        for dist, pred in self._rows.values():
+            total += 64 * len(dist) + 96 * len(pred)
+        return total

@@ -1,0 +1,121 @@
+"""JSON (de)serialisation of indoor spaces and keyword indexes.
+
+Venues and their keyword mappings are expensive to regenerate and
+natural to ship as data files; this module provides a stable,
+versioned JSON format::
+
+    {
+      "format": "repro-indoor-space",
+      "version": 1,
+      "partitions": [{"pid", "name", "kind", "rect": [x0,y0,x1,y1,level]}],
+      "doors": [{"did", "name", "position": [x,y,level],
+                 "enters": [...], "leaves": [...]}],
+      "keywords": {"iwords": {pid: word}, "twords": {word: [t, ...]}}
+    }
+
+Round-tripping preserves ids, names, directionality and the full
+keyword mappings.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from repro.geometry import Point, Rect
+from repro.keywords.mappings import KeywordIndex
+from repro.space.entities import Door, Partition, PartitionKind
+from repro.space.indoor_space import IndoorSpace
+
+FORMAT_NAME = "repro-indoor-space"
+FORMAT_VERSION = 1
+
+
+def space_to_dict(space: IndoorSpace,
+                  kindex: Optional[KeywordIndex] = None) -> Dict:
+    """Serialise a space (and optionally its keyword index) to a dict."""
+    doc: Dict = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "partitions": [
+            {
+                "pid": p.pid,
+                "name": p.name,
+                "kind": p.kind.value,
+                "rect": [p.footprint.x_min, p.footprint.y_min,
+                         p.footprint.x_max, p.footprint.y_max,
+                         p.footprint.level],
+            }
+            for p in sorted(space.partitions.values(), key=lambda p: p.pid)
+        ],
+        "doors": [
+            {
+                "did": d.did,
+                "name": d.name,
+                "position": [d.position.x, d.position.y, d.position.level],
+                "enters": sorted(d.enters),
+                "leaves": sorted(d.leaves),
+            }
+            for d in sorted(space.doors.values(), key=lambda d: d.did)
+        ],
+    }
+    if kindex is not None:
+        iwords = {str(pid): kindex.p2i(pid)
+                  for pid in sorted(kindex.labelled_partitions())}
+        twords = {wi: sorted(kindex.i2t(wi))
+                  for wi in sorted(kindex.iwords)}
+        doc["keywords"] = {"iwords": iwords, "twords": twords}
+    return doc
+
+
+def space_from_dict(doc: Dict) -> Tuple[IndoorSpace, Optional[KeywordIndex]]:
+    """Rebuild a space (and keyword index, when present) from a dict."""
+    if doc.get("format") != FORMAT_NAME:
+        raise ValueError(f"not a {FORMAT_NAME} document")
+    if doc.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported version {doc.get('version')!r}")
+    partitions = []
+    for entry in doc["partitions"]:
+        x0, y0, x1, y1, level = entry["rect"]
+        partitions.append(Partition(
+            pid=entry["pid"],
+            footprint=Rect(x0, y0, x1, y1, level),
+            kind=PartitionKind(entry["kind"]),
+            name=entry.get("name"),
+        ))
+    doors = []
+    for entry in doc["doors"]:
+        x, y, level = entry["position"]
+        doors.append(Door(
+            did=entry["did"],
+            position=Point(x, y, level),
+            enters=frozenset(entry["enters"]),
+            leaves=frozenset(entry["leaves"]),
+            name=entry.get("name"),
+        ))
+    space = IndoorSpace(partitions, doors)
+
+    kindex: Optional[KeywordIndex] = None
+    if "keywords" in doc:
+        kindex = KeywordIndex()
+        for pid_str, iword in doc["keywords"]["iwords"].items():
+            kindex.assign_iword(int(pid_str), iword)
+        for iword, twords in doc["keywords"]["twords"].items():
+            kindex.add_twords(iword, twords)
+    return space, kindex
+
+
+def save_space(path: Union[str, Path],
+               space: IndoorSpace,
+               kindex: Optional[KeywordIndex] = None) -> None:
+    """Write a venue to a JSON file."""
+    doc = space_to_dict(space, kindex)
+    Path(path).write_text(json.dumps(doc, indent=1, sort_keys=True))
+
+
+def load_space(path: Union[str, Path],
+               ) -> Tuple[IndoorSpace, Optional[KeywordIndex]]:
+    """Read a venue from a JSON file."""
+    doc = json.loads(Path(path).read_text())
+    return space_from_dict(doc)

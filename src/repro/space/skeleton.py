@@ -1,0 +1,160 @@
+"""Skeleton lower-bound indoor distances (Xie et al., ICDE 2013).
+
+The pruning rules of the paper need a cheap *lower bound* ``|xi, xj|L``
+on the true indoor walking distance between two items:
+
+* same floor — the straight-line Euclidean distance,
+* different floors — any path must thread through staircase doors, so
+  the bound is the minimum over pairs of staircase doors ``(sdi, sdj)``
+  of ``|xi, sdi|E + δs2s(sdi, sdj) + |sdj, xj|E``, where ``δs2s`` is
+  the skeleton distance between staircase doors.
+
+``δs2s`` is precomputed once per space by running all-pairs shortest
+paths over the (small) staircase-door graph whose edge weights are
+Euclidean distances — themselves lower bounds of real walks — so the
+composite value never exceeds the true indoor distance.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, List, Tuple, Union
+
+from repro.geometry import Point
+from repro.space.indoor_space import IndoorSpace
+
+INF = math.inf
+
+#: A skeleton query item: a door id or a free point.
+Item = Union[int, Point]
+
+
+class SkeletonIndex:
+    """Lower-bound distance oracle over an :class:`IndoorSpace`.
+
+    The index is tiny (staircase doors only) and query time is
+    ``O(|SD(floor_a)| * |SD(floor_b)|)``, typically a few dozen
+    multiply-adds.
+    """
+
+    def __init__(self, space: IndoorSpace) -> None:
+        self._space = space
+        self._stair_doors: List[int] = sorted(
+            did for did, door in space.doors.items() if door.is_staircase_door)
+        self._index: Dict[int, int] = {
+            did: i for i, did in enumerate(self._stair_doors)}
+        self._positions: List[Point] = [
+            space.door(did).position for did in self._stair_doors]
+        self._s2s: List[List[float]] = []
+        self._build_s2s()
+
+    @property
+    def staircase_doors(self) -> List[int]:
+        return list(self._stair_doors)
+
+    def _build_s2s(self) -> None:
+        """All-pairs skeleton distances between staircase doors.
+
+        Staircase doors are connected to each other by straight-line
+        segments whenever they serve overlapping floors (one can walk
+        from one to the other without passing a third floor level in
+        between); Dijkstra over that graph gives the skeleton metric.
+        """
+        space = self._space
+        n = len(self._stair_doors)
+        positions = [space.door(did).position for did in self._stair_doors]
+        adj: List[List[Tuple[int, float]]] = [[] for _ in range(n)]
+        for i in range(n):
+            for j in range(i + 1, n):
+                if abs(positions[i].level - positions[j].level) <= 1.0:
+                    w = positions[i].distance_to(positions[j])
+                    adj[i].append((j, w))
+                    adj[j].append((i, w))
+        self._s2s = [[INF] * n for _ in range(n)]
+        for src in range(n):
+            row = self._s2s[src]
+            row[src] = 0.0
+            heap: List[Tuple[float, int]] = [(0.0, src)]
+            visited = [False] * n
+            while heap:
+                d, u = heapq.heappop(heap)
+                if visited[u]:
+                    continue
+                visited[u] = True
+                for v, w in adj[u]:
+                    nd = d + w
+                    if nd < row[v]:
+                        row[v] = nd
+                        heapq.heappush(heap, (nd, v))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _position(self, x: Item) -> Point:
+        if isinstance(x, int):
+            return self._space.door(x).position
+        return x
+
+    def _stair_doors_for_floor(self, floor: int) -> List[int]:
+        return [self._index[did]
+                for did in self._space.staircase_doors_on_floor(floor)]
+
+    def lower_bound(self, xi: Item, xj: Item) -> float:
+        """The skeleton lower-bound distance ``|xi, xj|L``."""
+        a = self._position(xi)
+        b = self._position(xj)
+        if a.floor == b.floor or self._touching_levels(a, b):
+            return a.distance_to(b)
+        rows_a = self._stair_doors_for_floor(a.floor)
+        rows_b = self._stair_doors_for_floor(b.floor)
+        if not rows_a or not rows_b:
+            return INF
+        positions = self._positions
+        best = INF
+        for ia in rows_a:
+            head = a.distance_to(positions[ia])
+            if head >= best:
+                continue
+            row = self._s2s[ia]
+            for ib in rows_b:
+                total = head + row[ib] + positions[ib].distance_to(b)
+                if total < best:
+                    best = total
+        return best
+
+    @staticmethod
+    def _touching_levels(a: Point, b: Point) -> bool:
+        """Whether one item is a stair door adjacent to the other's floor.
+
+        A stair door at level ``f + 0.5`` touches both floor ``f`` and
+        floor ``f + 1``; plain Euclidean distance is already a valid
+        lower bound in that case.
+        """
+        return abs(a.level - b.level) <= 0.5
+
+    def lower_bound_via_partition(self,
+                                  xs: Item,
+                                  pid: int,
+                                  xt: Item) -> float:
+        """Pruning Rule 3's ``δLB(xs, vi, xt)``.
+
+        The minimum over enterable doors ``di`` and leaveable doors
+        ``dj`` of partition ``pid`` of ``|xs, di|L + δd2d(di, dj) +
+        |dj, xt|L``; the middle term is the intra-partition Euclidean
+        distance (zero when ``di == dj``).
+        """
+        space = self._space
+        best = INF
+        for di in space.p2d_enter(pid):
+            head = self.lower_bound(xs, di)
+            if head >= best:
+                continue
+            pos_i = space.door(di).position
+            for dj in space.p2d_leave(pid):
+                mid = 0.0 if di == dj else pos_i.distance_to(
+                    space.door(dj).position)
+                total = head + mid + self.lower_bound(dj, xt)
+                if total < best:
+                    best = total
+        return best

@@ -1,0 +1,11 @@
+"""Floor-plan and route rendering (SVG, no dependencies).
+
+:func:`render_svg` draws one floor of a venue — partitions coloured by
+kind, doors, keyword labels — with optional route overlays, producing
+a standalone SVG string or file.  Used by the examples and handy for
+debugging fixtures and generators.
+"""
+
+from repro.viz.svg import RouteStyle, render_svg, save_svg
+
+__all__ = ["RouteStyle", "render_svg", "save_svg"]

@@ -1,0 +1,155 @@
+"""Dependency-free SVG rendering of floors and routes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.route import Route
+from repro.geometry import Point
+from repro.keywords.mappings import KeywordIndex
+from repro.space.entities import PartitionKind
+from repro.space.indoor_space import IndoorSpace
+
+_KIND_FILL = {
+    PartitionKind.ROOM: "#f5efe0",
+    PartitionKind.HALLWAY: "#e8eef7",
+    PartitionKind.STAIRCASE: "#d9c8ef",
+    PartitionKind.ELEVATOR: "#c8e8d8",
+}
+
+_ROUTE_COLORS = ("#d62728", "#1f77b4", "#2ca02c", "#ff7f0e", "#9467bd")
+
+
+@dataclass(frozen=True)
+class RouteStyle:
+    """Stroke styling of one route overlay."""
+
+    color: str
+    width: float = 1.6
+    dash: Optional[str] = None
+    label: Optional[str] = None
+
+
+def _esc(text: str) -> str:
+    return (text.replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))
+
+
+def _route_points(space: IndoorSpace, route: Route) -> List[Tuple[float, float]]:
+    pts: List[Tuple[float, float]] = []
+    for item in route.items:
+        pos = space.door(item).position if isinstance(item, int) else item
+        pts.append((pos.x, pos.y))
+    return pts
+
+
+def render_svg(space: IndoorSpace,
+               floor: int = 0,
+               kindex: Optional[KeywordIndex] = None,
+               routes: Sequence[Route] = (),
+               route_styles: Sequence[RouteStyle] = (),
+               markers: Sequence[Tuple[str, Point]] = (),
+               width: int = 900) -> str:
+    """Render one floor as a standalone SVG document.
+
+    Args:
+        space: The venue.
+        floor: Which floor to draw (doors and partitions on it).
+        kindex: When given, partitions are labelled with their i-words.
+        routes: Route overlays (segments on other floors are skipped).
+        route_styles: Styling per route; defaults cycle a palette.
+        markers: ``(label, point)`` pairs (e.g. ``("ps", ps)``).
+        width: Pixel width; height preserves the aspect ratio.
+    """
+    parts = [p for p in space.partitions.values() if p.floor == floor]
+    if not parts:
+        raise ValueError(f"no partitions on floor {floor}")
+    x_min = min(p.footprint.x_min for p in parts)
+    x_max = max(p.footprint.x_max for p in parts)
+    y_min = min(p.footprint.y_min for p in parts)
+    y_max = max(p.footprint.y_max for p in parts)
+    pad = 0.03 * max(x_max - x_min, y_max - y_min)
+    x_min, y_min = x_min - pad, y_min - pad
+    x_max, y_max = x_max + pad, y_max + pad
+    scale = width / (x_max - x_min)
+    height = int((y_max - y_min) * scale)
+
+    def sx(x: float) -> float:
+        return (x - x_min) * scale
+
+    def sy(y: float) -> float:
+        # Flip the y axis: SVG grows downwards, floor plans upwards.
+        return (y_max - y) * scale
+
+    font = max(8.0, min(14.0, scale * 2.5))
+    out: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    for p in sorted(parts, key=lambda p: p.pid):
+        fp = p.footprint
+        fill = _KIND_FILL.get(p.kind, "#eeeeee")
+        out.append(
+            f'<rect x="{sx(fp.x_min):.1f}" y="{sy(fp.y_max):.1f}" '
+            f'width="{(fp.width) * scale:.1f}" '
+            f'height="{(fp.height) * scale:.1f}" '
+            f'fill="{fill}" stroke="#555" stroke-width="0.8"/>')
+        label = p.name or f"v{p.pid}"
+        iword = kindex.p2i(p.pid) if kindex else None
+        text = f"{label}" + (f" · {iword}" if iword else "")
+        cx, cy = sx(fp.center.x), sy(fp.center.y)
+        out.append(
+            f'<text x="{cx:.1f}" y="{cy:.1f}" font-size="{font:.1f}" '
+            f'text-anchor="middle" fill="#333">{_esc(text)}</text>')
+
+    for did, door in sorted(space.doors.items()):
+        if door.floor != floor and not door.is_staircase_door:
+            continue
+        pos = door.position
+        color = "#9467bd" if door.is_staircase_door else "#b22"
+        out.append(
+            f'<circle cx="{sx(pos.x):.1f}" cy="{sy(pos.y):.1f}" '
+            f'r="{max(2.0, scale * 0.6):.1f}" fill="{color}"/>')
+        out.append(
+            f'<text x="{sx(pos.x) + 3:.1f}" y="{sy(pos.y) - 3:.1f}" '
+            f'font-size="{font * 0.85:.1f}" fill="#822">'
+            f'{_esc(door.name or f"d{did}")}</text>')
+
+    for i, route in enumerate(routes):
+        style = (route_styles[i] if i < len(route_styles)
+                 else RouteStyle(color=_ROUTE_COLORS[i % len(_ROUTE_COLORS)]))
+        pts = _route_points(space, route)
+        coords = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y in pts)
+        dash = f' stroke-dasharray="{style.dash}"' if style.dash else ""
+        out.append(
+            f'<polyline points="{coords}" fill="none" '
+            f'stroke="{style.color}" stroke-width="{style.width}"{dash} '
+            f'stroke-linejoin="round" opacity="0.85"/>')
+        if style.label and pts:
+            x0, y0 = pts[0]
+            out.append(
+                f'<text x="{sx(x0):.1f}" y="{sy(y0) + font:.1f}" '
+                f'font-size="{font:.1f}" fill="{style.color}">'
+                f'{_esc(style.label)}</text>')
+
+    for label, point in markers:
+        out.append(
+            f'<circle cx="{sx(point.x):.1f}" cy="{sy(point.y):.1f}" '
+            f'r="{max(3.0, scale * 0.8):.1f}" fill="#111"/>')
+        out.append(
+            f'<text x="{sx(point.x) + 4:.1f}" y="{sy(point.y) + 4:.1f}" '
+            f'font-size="{font:.1f}" font-weight="bold" fill="#111">'
+            f'{_esc(label)}</text>')
+
+    out.append("</svg>")
+    return "\n".join(out)
+
+
+def save_svg(path: Union[str, Path], svg: str) -> Path:
+    """Write an SVG document to disk and return the path."""
+    path = Path(path)
+    path.write_text(svg)
+    return path

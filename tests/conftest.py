@@ -1,0 +1,131 @@
+"""Shared fixtures: the Fig. 1 venue, engines, and random small spaces."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.core import IKRQEngine
+from repro.datasets import paper_fig1
+from repro.geometry import Point, Rect
+from repro.keywords.mappings import KeywordIndex
+from repro.space import IndoorSpaceBuilder, PartitionKind
+
+
+@pytest.fixture(scope="session")
+def fig1():
+    """The paper's Fig. 1 fixture (immutable; session-scoped)."""
+    return paper_fig1()
+
+
+@pytest.fixture(scope="session")
+def fig1_engine(fig1):
+    return IKRQEngine(fig1.space, fig1.kindex)
+
+
+# ----------------------------------------------------------------------
+# Tiny hand-made spaces
+# ----------------------------------------------------------------------
+def make_corridor_space(rooms: int = 3):
+    """A corridor of hallway cells with one room per cell.
+
+    Layout (rooms on top, hallway below)::
+
+        [room0][room1][room2]...
+        [cell0][cell1][cell2]...
+
+    Doors: room_i <-> cell_i, cell_i <-> cell_{i+1}.
+    Returns (space, room_pids, cell_pids, builder).
+    """
+    b = IndoorSpaceBuilder()
+    cells: List[int] = []
+    room_ids: List[int] = []
+    for i in range(rooms):
+        room_ids.append(b.add_partition(
+            f"room{i}", Rect(i * 10.0, 10.0, (i + 1) * 10.0, 20.0)))
+        cells.append(b.add_partition(
+            f"cell{i}", Rect(i * 10.0, 0.0, (i + 1) * 10.0, 10.0),
+            PartitionKind.HALLWAY))
+    for i in range(rooms):
+        b.add_door(f"rd{i}", Point(i * 10.0 + 5.0, 10.0),
+                   between=(f"room{i}", f"cell{i}"))
+        if i > 0:
+            b.add_door(f"cd{i}", Point(i * 10.0, 5.0),
+                       between=(f"cell{i-1}", f"cell{i}"))
+    return b.build(), room_ids, cells, b
+
+
+@pytest.fixture
+def corridor():
+    return make_corridor_space(4)
+
+
+def corridor_keywords(room_ids: List[int]) -> KeywordIndex:
+    """Shops along the corridor: coffee / electronics themes."""
+    index = KeywordIndex()
+    data = [
+        ("espressobar", ("coffee", "latte", "beans")),
+        ("gadgetsine", ("phone", "laptop", "charger")),
+        ("beanhouse", ("coffee", "beans", "mocha")),
+        ("booknook", ("books", "maps", "pens")),
+    ]
+    for room, (iword, twords) in zip(room_ids, data):
+        index.assign_iword(room, iword)
+        index.add_twords(iword, twords)
+    return index
+
+
+# ----------------------------------------------------------------------
+# Random small spaces for equivalence / property testing
+# ----------------------------------------------------------------------
+def random_small_space(seed: int,
+                       n_rooms: int = 5) -> Tuple[object, KeywordIndex, Point, Point]:
+    """A random corridor-with-branches venue plus keyword assignment.
+
+    Small enough for the naive baseline to enumerate exhaustively,
+    varied enough (dead ends, shared i-words, multi-door rooms) to
+    exercise loops, prime classes and indirect matching.
+    """
+    rng = random.Random(seed)
+    n_cells = rng.randint(3, 5)
+    b = IndoorSpaceBuilder()
+    cells = []
+    for i in range(n_cells):
+        cells.append(b.add_partition(
+            f"cell{i}", Rect(i * 10.0, 0.0, (i + 1) * 10.0, 8.0),
+            PartitionKind.HALLWAY))
+        if i > 0:
+            b.add_door(f"cd{i}", Point(i * 10.0, rng.uniform(2.0, 6.0)),
+                       between=(cells[i - 1], cells[i]))
+    rooms = []
+    for i in range(n_rooms):
+        cell = rng.randrange(n_cells)
+        x0 = cell * 10.0 + rng.uniform(0.0, 4.0)
+        room = b.add_partition(
+            f"room{i}", Rect(x0, 8.0, x0 + 5.0, 14.0))
+        rooms.append(room)
+        b.add_door(f"rd{i}", Point(x0 + rng.uniform(0.5, 4.5), 8.0),
+                   between=(room, cells[cell]))
+        if rng.random() < 0.3:
+            # A second door into the same or the next cell over.
+            cell2 = min(cell + 1, n_cells - 1)
+            if x0 + 4.0 >= cell2 * 10.0:
+                b.add_door(f"rd{i}b", Point(x0 + 4.5, 8.0),
+                           between=(room, cells[cell2]))
+    space = b.build()
+
+    index = KeywordIndex()
+    vocab = ["coffee", "latte", "beans", "phone", "laptop",
+             "books", "maps", "mocha", "tea", "cake"]
+    brands = ["alpha", "bravo", "chai", "delta", "echo", "foxtrot"]
+    for i, room in enumerate(rooms):
+        brand = rng.choice(brands)
+        index.assign_iword(room, brand)
+        twords = rng.sample(vocab, k=rng.randint(1, 4))
+        index.add_twords(brand, twords)
+
+    ps = space.partition(cells[0]).footprint.random_interior_point(rng)
+    pt = space.partition(cells[-1]).footprint.random_interior_point(rng)
+    return space, index, ps, pt

@@ -1,0 +1,150 @@
+"""Tests for the benchmark harness, experiments and reporting."""
+
+import pytest
+
+from repro.bench import BenchHarness, format_series, format_table
+from repro.bench import experiments as E
+from repro.core import IKRQ, IKRQEngine
+from repro.datasets import QueryGenerator
+from repro.datasets.queries import QueryWorkload
+
+TINY = dict(scale=0.08, instances=1, repeats=1)
+
+
+@pytest.fixture(scope="module")
+def tiny_env():
+    return E.synthetic_env(floors=2, scale=0.08, seed=1)
+
+
+class TestHarness:
+    def test_run_query_collects_metrics(self, tiny_env):
+        harness = BenchHarness(tiny_env.engine, repeats=2)
+        wl = tiny_env.qgen.workload(s2t=80.0, instances=1, qw_size=2)
+        run = harness.run_query(wl.queries[0], "ToE")
+        assert len(run.times_ms) == 2
+        assert run.avg_time_ms > 0
+        assert run.avg_memory_mb >= 0
+
+    def test_run_workload_all_algorithms(self, tiny_env):
+        harness = BenchHarness(tiny_env.engine, repeats=1)
+        wl = tiny_env.qgen.workload(s2t=80.0, instances=2, qw_size=2)
+        result = harness.run_workload(wl, ["ToE", "KoE"], {"x": 1})
+        assert set(result.runs) == {"ToE", "KoE"}
+        assert result.setting == {"x": 1}
+        assert result.row("toe").algorithm == "ToE"
+
+    def test_aliases_resolved(self, tiny_env):
+        harness = BenchHarness(tiny_env.engine, repeats=1)
+        wl = tiny_env.qgen.workload(s2t=80.0, instances=1, qw_size=1)
+        result = harness.run_workload(wl, ["ToE\\D"])
+        assert "ToE-D" in result.runs
+
+    def test_max_expansions_forwarded(self, tiny_env):
+        harness = BenchHarness(tiny_env.engine, repeats=1,
+                               max_expansions=5)
+        wl = tiny_env.qgen.workload(s2t=80.0, instances=1, qw_size=2)
+        run = harness.run_query(wl.queries[0], "ToE-P")
+        assert max(run.pops) <= 6
+
+
+class TestReporting:
+    def test_format_table(self):
+        text = format_table(["a", "b"], [[1, 2.5], [3, 4.0]])
+        assert "a" in text and "2.500" in text
+
+    def test_format_series_time(self, tiny_env):
+        harness = BenchHarness(tiny_env.engine, repeats=1)
+        wl = tiny_env.qgen.workload(s2t=80.0, instances=1, qw_size=2)
+        results = [harness.run_workload(wl, ["ToE"], {"k": 7})]
+        text = format_series(results, "k", "time_ms")
+        assert "ToE" in text and "k" in text
+
+    def test_format_series_metrics(self, tiny_env):
+        harness = BenchHarness(tiny_env.engine, repeats=1)
+        wl = tiny_env.qgen.workload(s2t=80.0, instances=1, qw_size=1)
+        results = [harness.run_workload(wl, ["ToE"], {"qw": 1})]
+        for metric in ("memory_mb", "routes", "homogeneous_rate"):
+            assert format_series(results, "qw", metric)
+        with pytest.raises(ValueError):
+            format_series(results, "qw", "nope")
+
+    def test_format_series_empty(self):
+        assert format_series([], "k") == "(no results)"
+
+
+class TestExperiments:
+    """Smoke-run each figure harness at a tiny scale."""
+
+    def test_fig04(self):
+        results = E.fig04_default_overview(**TINY, floors=2)
+        assert len(results) == 1
+        assert set(results[0].runs) == set(E.OVERVIEW_SEVEN)
+
+    def test_fig05(self):
+        results = E.fig05_time_vs_k(**TINY, floors=2, k_values=(1, 3))
+        assert [r.setting["k"] for r in results] == [1, 3]
+
+    def test_fig06_07(self):
+        results = E.fig06_07_time_memory_vs_qw(
+            **TINY, floors=2, qw_values=(1, 2))
+        assert len(results) == 2
+
+    def test_fig08_09(self):
+        results = E.fig08_09_time_memory_vs_eta(
+            **TINY, floors=2, eta_values=(1.6,))
+        assert results[0].setting["eta"] == 1.6
+
+    def test_fig10(self):
+        results = E.fig10_time_vs_beta(
+            **TINY, floors=2, beta_values=(0.5, 1.0))
+        assert set(results[0].runs) == {"ToE", "KoE"}
+
+    def test_fig11(self):
+        results = E.fig11_time_vs_floors(
+            scale=0.08, instances=1, repeats=1, floor_values=(2, 3))
+        assert [r.setting["floors"] for r in results] == [2, 3]
+
+    def test_fig12(self):
+        results = E.fig12_time_vs_s2t(
+            **TINY, floors=2, s2t_values=(900.0,))
+        assert results[0].setting["s2t"] == 900.0
+
+    def test_fig13_14(self):
+        results = E.fig13_14_koestar_vs_eta(
+            **TINY, floors=2, eta_values=(1.4,))
+        assert set(results[0].runs) == {"KoE", "KoE*"}
+
+    def test_fig15(self):
+        results = E.fig15_toep_vs_eta(
+            scale=0.08, instances=1, repeats=1, floors=2,
+            eta_values=(1.4,), max_expansions=2000)
+        assert set(results[0].runs) == {"ToE", "ToE-P"}
+
+    def test_fig16(self):
+        results = E.fig16_homogeneous_rate_vs_k(
+            scale=0.08, instances=1, repeats=1, floors=2,
+            k_values=(1, 9), max_expansions=2000)
+        rates = [r.runs["ToE-P"].avg_homogeneous_rate for r in results]
+        assert all(0.0 <= rate <= 1.0 for rate in rates)
+
+    def test_fig17_18(self):
+        results = E.fig17_18_real_time_memory_vs_qw(
+            scale=0.08, instances=1, repeats=1, qw_values=(1,))
+        assert set(results[0].runs) == set(E.MAIN_SIX)
+
+    def test_fig19(self):
+        results = E.fig19_real_time_vs_eta(
+            scale=0.08, instances=1, repeats=1, eta_values=(1.4,))
+        assert results[0].setting["eta"] == 1.4
+
+    def test_fig20(self):
+        results = E.fig20_real_homogeneous_rate_vs_qw(
+            scale=0.08, instances=1, repeats=1, qw_values=(1,),
+            max_expansions=2000)
+        assert "ToE-P" in results[0].runs
+
+    def test_registry_covers_all_figures(self):
+        assert set(E.REGISTRY) == {
+            "fig04", "fig05", "fig06_07", "fig08_09", "fig10", "fig11",
+            "fig12", "fig13_14", "fig15", "fig16", "fig17_18", "fig19",
+            "fig20"}

@@ -1,0 +1,58 @@
+"""Tests for the `python -m repro.bench` experiment runner."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.bench.__main__ import DESCRIPTIONS, FIGURE_AXES, main
+from repro.bench.experiments import REGISTRY
+
+
+class TestCliMetadata:
+    def test_axes_cover_registry(self):
+        assert set(FIGURE_AXES) == set(REGISTRY)
+
+    def test_descriptions_cover_registry(self):
+        assert set(DESCRIPTIONS) == set(REGISTRY)
+
+
+class TestCliInvocation:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig05" in out and "fig20" in out
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "available figures" in capsys.readouterr().out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_runs_one_figure(self, capsys):
+        code = main(["fig10", "--scale", "0.08",
+                     "--instances", "1", "--repeats", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[time_ms]" in out
+        assert "ToE" in out and "KoE" in out
+
+    def test_subprocess_entry_point(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.bench", "--list"],
+            capture_output=True, text=True, timeout=120)
+        assert result.returncode == 0
+        assert "fig04" in result.stdout
+
+    def test_json_export(self, capsys, tmp_path):
+        out = tmp_path / "results.json"
+        code = main(["fig10", "--scale", "0.08", "--instances", "1",
+                     "--repeats", "1", "--json", str(out)])
+        assert code == 0
+        import json
+        doc = json.loads(out.read_text())
+        assert doc["figures"][0]["figure"] == "fig10"
+        runs = doc["figures"][0]["settings"][0]["runs"]
+        assert "ToE" in runs and "time_ms" in runs["ToE"]

@@ -1,0 +1,168 @@
+"""Tests for the dataset generators: floorplan, corpus, real mall."""
+
+import math
+import random
+
+import pytest
+
+from repro.datasets import (
+    CorpusConfig,
+    FloorplanConfig,
+    RealMallConfig,
+    build_corpus,
+    build_floor,
+    build_real_mall,
+    build_synthetic_space,
+)
+from repro.datasets.assign import assign_by_category, assign_random
+from repro.space import DoorGraph, PartitionKind
+
+
+class TestFloorplan:
+    def test_paper_scale_counts(self):
+        """Defaults reproduce the paper's 96 rooms / 141 partitions."""
+        cfg = FloorplanConfig()
+        assert cfg.rooms_per_floor == 96
+        assert cfg.partitions_per_floor == 141
+
+    def test_five_floor_default_space(self):
+        space, rooms = build_synthetic_space(floors=5)
+        assert space.num_partitions == 5 * 141 == 705
+        # The paper reports 1100 doors for five floors; our layout
+        # lands within a few percent.
+        assert abs(space.num_doors - 1100) / 1100 < 0.05
+        assert space.num_floors == 5
+
+    def test_single_floor(self):
+        space = build_floor()
+        assert space.num_partitions == 141
+        assert len(space.staircase_partitions()) == 4
+
+    def test_rooms_by_floor(self):
+        space, rooms = build_synthetic_space(floors=3, scale=0.2)
+        assert set(rooms) == {0, 1, 2}
+        for f, pids in rooms.items():
+            for pid in pids:
+                assert space.partition(pid).floor == f
+                assert space.partition(pid).kind is PartitionKind.ROOM
+
+    def test_scaled_structure(self):
+        cfg = FloorplanConfig().scaled(0.25)
+        assert cfg.rooms_per_floor < 96
+        assert cfg.side < 1368.0
+        with pytest.raises(ValueError):
+            FloorplanConfig().scaled(0.0)
+
+    def test_every_floor_connected(self):
+        """All doors mutually reachable through the door graph."""
+        space, _ = build_synthetic_space(floors=2, scale=0.15)
+        graph = DoorGraph(space)
+        source = min(space.doors)
+        dist, _ = graph.dijkstra(source)
+        assert len(dist) == space.num_doors
+
+    def test_stairway_length_near_20m(self):
+        """Adjacent-floor stair hops ≈ 20 m like the paper's stairways."""
+        space, _ = build_synthetic_space(floors=2, scale=0.15)
+        graph = DoorGraph(space)
+        stair_doors = [d for d, door in space.doors.items()
+                       if door.is_staircase_door]
+        assert stair_doors
+        for sd in stair_doors:
+            pos = space.door(sd).position
+            # Distance from the stair door down to its floor-level
+            # entrance is 10 m of vertical drop plus planar offset.
+            for n, via, w in graph.neighbours(sd):
+                assert w >= 10.0
+
+    def test_invalid_floors(self):
+        with pytest.raises(ValueError):
+            build_synthetic_space(floors=0)
+
+
+class TestCorpus:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return build_corpus(CorpusConfig().scaled(0.15))
+
+    def test_deterministic(self):
+        a = build_corpus(CorpusConfig().scaled(0.1))
+        b = build_corpus(CorpusConfig().scaled(0.1))
+        assert a.brands == b.brands
+        assert a.twords == b.twords
+
+    def test_some_brands_without_twords(self, corpus):
+        stats = corpus.stats()
+        assert stats["brands_with_twords"] < stats["num_brands"]
+
+    def test_brand_names_not_twords(self, corpus):
+        brands = set(corpus.brands)
+        for words in corpus.twords.values():
+            assert not (brands & set(words))
+
+    def test_twords_capped(self, corpus):
+        for words in corpus.twords.values():
+            assert len(words) <= 60
+
+    def test_categories_assigned(self, corpus):
+        assert set(corpus.categories) == set(corpus.brands)
+
+    def test_paper_statistics_at_full_scale(self):
+        """Full-scale corpus tracks the paper's published statistics."""
+        corpus = build_corpus(CorpusConfig())
+        stats = corpus.stats()
+        assert stats["num_brands"] == 1225
+        # Paper: 1120 brands with keywords, 16.6 t-words on average.
+        assert abs(stats["brands_with_twords"] - 1120) < 60
+        assert 12.0 <= stats["avg_twords_per_brand"] <= 22.0
+
+    def test_overlap_is_long_tailed(self):
+        """Indirect matching must stay sparse (paper Section V-A2)."""
+        from repro.keywords.matching import candidate_iword_set
+        from repro.keywords.mappings import KeywordIndex
+        corpus = build_corpus(CorpusConfig().scaled(0.3))
+        index = KeywordIndex()
+        for pid, brand in enumerate(corpus.brands_with_twords):
+            index.assign_iword(pid, brand)
+            index.add_twords(brand, corpus.twords[brand])
+        twords = sorted(index.vocabulary.twords)
+        rng = random.Random(0)
+        sizes = [len(candidate_iword_set(index, rng.choice(twords), tau=0.2))
+                 for _ in range(30)]
+        assert sum(sizes) / len(sizes) < 6.0
+
+
+class TestAssignment:
+    def test_assign_random_covers_rooms(self):
+        corpus = build_corpus(CorpusConfig().scaled(0.1))
+        rooms = list(range(40))
+        index = assign_random(rooms, corpus)
+        assert len(index.labelled_partitions()) == 40
+
+    def test_assign_by_category_clusters_floors(self):
+        corpus = build_corpus(CorpusConfig().scaled(0.1))
+        rooms_by_floor = {0: list(range(20)), 1: list(range(20, 40))}
+        index = assign_by_category(rooms_by_floor, corpus)
+        # Each brand's partitions should sit on a single floor.
+        for brand in index.iwords:
+            floors = {0 if pid < 20 else 1 for pid in index.i2p(brand)}
+            assert len(floors) <= 1
+
+
+class TestRealMall:
+    def test_build_scaled(self):
+        space, kindex, corpus = build_real_mall(
+            RealMallConfig(scale=0.1))
+        assert space.num_floors == 7
+        stats = kindex.stats()
+        assert stats["num_labelled_partitions"] > 0
+        assert stats["num_twords"] > 0
+
+    def test_full_scale_statistics(self):
+        space, kindex, corpus = build_real_mall(RealMallConfig())
+        stats = kindex.stats()
+        # Paper: 639 stores, 533 i-words, avg 9.4 / max 31 t-words.
+        assert stats["num_labelled_partitions"] == 639
+        assert stats["num_iwords"] <= 533
+        assert stats["max_twords_per_iword"] <= 31
+        assert 5.0 <= stats["avg_twords_per_iword"] <= 14.0

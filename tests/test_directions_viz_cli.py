@@ -1,0 +1,150 @@
+"""Tests for route directions, SVG rendering and the venue CLI."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.core import IKRQ
+from repro.core.directions import directions, render_directions
+from repro.viz import RouteStyle, render_svg, save_svg
+
+
+@pytest.fixture
+def answer_ctx(fig1, fig1_engine):
+    query = IKRQ(ps=fig1.ps, pt=fig1.pt, delta=60.0,
+                 keywords=("latte", "apple"), k=3, alpha=0.5)
+    answer = fig1_engine.search(query, "ToE")
+    return answer, fig1_engine.context(query)
+
+
+class TestDirections:
+    def test_steps_cover_route(self, answer_ctx):
+        answer, ctx = answer_ctx
+        best = answer.routes[0].route
+        steps = directions(ctx, best)
+        assert steps[0].kind == "start"
+        assert steps[-1].kind == "arrive"
+        assert len(steps) == best.num_items
+
+    def test_distances_sum_to_route_distance(self, answer_ctx):
+        answer, ctx = answer_ctx
+        best = answer.routes[0].route
+        steps = directions(ctx, best)
+        assert sum(s.distance for s in steps) == pytest.approx(best.distance)
+
+    def test_keyword_pickups_unique(self, answer_ctx):
+        answer, ctx = answer_ctx
+        best = answer.routes[0].route
+        steps = directions(ctx, best)
+        picked = [w for s in steps for w in s.picked_keywords]
+        assert len(picked) == len(set(picked))
+        # The best route covers latte (via costa).
+        assert "latte" in picked
+
+    def test_revisit_step_for_loop(self, fig1, fig1_engine):
+        query = IKRQ(ps=fig1.points["p1"], pt=fig1.points["p2"],
+                     delta=150.0, keywords=("apple",), k=1, alpha=0.9)
+        answer = fig1_engine.search(query, "ToE")
+        ctx = fig1_engine.context(query)
+        steps = directions(ctx, answer.routes[0].route)
+        assert any(s.kind == "revisit" for s in steps)
+
+    def test_render_text(self, answer_ctx):
+        answer, ctx = answer_ctx
+        text = render_directions(ctx, answer.routes[0].route)
+        assert text.startswith("1. start in")
+        assert "total:" in text
+
+
+class TestSvg:
+    def test_basic_document(self, fig1):
+        svg = render_svg(fig1.space, kindex=fig1.kindex)
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert "costa" in svg           # keyword label
+        assert svg.count("<rect") >= 13  # 12 partitions + background
+
+    def test_route_overlay(self, fig1, answer_ctx):
+        answer, ctx = answer_ctx
+        svg = render_svg(fig1.space, routes=[answer.routes[0].route],
+                         route_styles=[RouteStyle("#ff0000", label="best")],
+                         markers=[("ps", fig1.ps), ("pt", fig1.pt)])
+        assert "polyline" in svg
+        assert "best" in svg
+        assert ">ps<" in svg
+
+    def test_empty_floor_rejected(self, fig1):
+        with pytest.raises(ValueError):
+            render_svg(fig1.space, floor=7)
+
+    def test_save(self, fig1, tmp_path):
+        out = save_svg(tmp_path / "plan.svg", render_svg(fig1.space))
+        assert out.exists()
+        assert out.read_text().startswith("<svg")
+
+    def test_escaping(self, fig1):
+        # Labels with XML specials must be escaped, not break the doc.
+        svg = render_svg(fig1.space, markers=[("<&>", fig1.ps)])
+        assert "&lt;&amp;&gt;" in svg
+
+
+class TestVenueCli:
+    @pytest.fixture(scope="class")
+    def venue_file(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli") / "venue.json"
+        assert repro_main(["export-fig1", str(path)]) == 0
+        return path
+
+    def test_info(self, venue_file, capsys):
+        assert repro_main(["info", str(venue_file)]) == 0
+        out = capsys.readouterr().out
+        assert "12 partitions" in out
+        assert "8 i-words" in out
+
+    def test_query(self, venue_file, capsys):
+        code = repro_main([
+            "query", str(venue_file),
+            "--from", "7.4,39.5,0", "--to", "23.3,31.4,0",
+            "--delta", "60", "--keywords", "latte,apple", "--k", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "#1:" in out and "ψ=" in out
+
+    def test_query_directions(self, venue_file, capsys):
+        code = repro_main([
+            "query", str(venue_file),
+            "--from", "7.4,39.5,0", "--to", "23.3,31.4,0",
+            "--delta", "60", "--keywords", "latte", "--directions"])
+        assert code == 0
+        assert "start in" in capsys.readouterr().out
+
+    def test_query_infeasible(self, venue_file, capsys):
+        code = repro_main([
+            "query", str(venue_file),
+            "--from", "7.4,39.5,0", "--to", "23.3,31.4,0",
+            "--delta", "5", "--keywords", "latte"])
+        assert code == 1
+
+    def test_render(self, venue_file, tmp_path, capsys):
+        out_file = tmp_path / "floor.svg"
+        code = repro_main([
+            "render", str(venue_file), "--out", str(out_file),
+            "--from", "7.4,39.5,0", "--to", "23.3,31.4,0",
+            "--delta", "60", "--keywords", "latte"])
+        assert code == 0
+        assert out_file.read_text().startswith("<svg")
+
+    def test_bad_point_rejected(self, venue_file):
+        with pytest.raises(SystemExit):
+            repro_main(["query", str(venue_file),
+                        "--from", "nope", "--to", "1,2",
+                        "--keywords", "latte"])
+
+    def test_module_entry_point(self, venue_file):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "info", str(venue_file)],
+            capture_output=True, text=True, timeout=120)
+        assert result.returncode == 0
+        assert "12 partitions" in result.stdout

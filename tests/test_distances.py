@@ -1,0 +1,108 @@
+"""Tests for the intra-partition distance oracle (paper Section II-A)."""
+
+import math
+
+import pytest
+
+from repro.geometry import Point
+from repro.space import DistanceOracle
+
+INF = math.inf
+
+
+@pytest.fixture(scope="module")
+def oracle(fig1):
+    return DistanceOracle(fig1.space)
+
+
+class TestDoorToDoor:
+    def test_same_partition_euclidean(self, fig1, oracle):
+        """Example 1: δd2d(d2, d5) = 4.2 m (through v2)."""
+        d2, d5 = fig1.did("d2"), fig1.did("d5")
+        assert oracle.d2d(d2, d5) == pytest.approx(4.2, abs=1e-9)
+
+    def test_symmetric_for_two_way_doors(self, fig1, oracle):
+        d2, d5 = fig1.did("d2"), fig1.did("d5")
+        assert oracle.d2d(d2, d5) == oracle.d2d(d5, d2)
+
+    def test_no_common_partition_is_infinite(self, fig1, oracle):
+        # d2 (v1/v2) and d15 (v7/v10) share no partition.
+        assert oracle.d2d(fig1.did("d2"), fig1.did("d15")) == INF
+
+    def test_via_restricts_partition(self, fig1, oracle):
+        d1, d3 = fig1.did("d1"), fig1.did("d3")
+        # Both v1 and v5 connect d1 and d3.
+        assert oracle.d2d(d1, d3, via=fig1.pid("v1")) < INF
+        assert oracle.d2d(d1, d3, via=fig1.pid("v7")) == INF
+
+    def test_same_door_reentry_is_double_wander(self, fig1, oracle):
+        """δd2d(d, d) = 2 × farthest in-partition reach (Section II-A)."""
+        d15 = fig1.did("d15")
+        v10 = fig1.pid("v10")
+        footprint = fig1.space.partition(v10).footprint
+        door_pos = fig1.space.door(d15).position
+        expected = 2.0 * footprint.farthest_corner_distance(door_pos)
+        assert oracle.d2d(d15, d15, via=v10) == pytest.approx(expected)
+
+    def test_reentry_without_via_picks_cheapest_side(self, fig1, oracle):
+        d15 = fig1.did("d15")
+        v7, v10 = fig1.pid("v7"), fig1.pid("v10")
+        both = oracle.d2d(d15, d15)
+        assert both == pytest.approx(
+            min(oracle.reentry_cost(d15, v7), oracle.reentry_cost(d15, v10)))
+
+    def test_reentry_cached(self, fig1, oracle):
+        d15 = fig1.did("d15")
+        v10 = fig1.pid("v10")
+        first = oracle.reentry_cost(d15, v10)
+        assert oracle.reentry_cost(d15, v10) == first
+
+
+class TestPointDistances:
+    def test_pt2d_example1(self, fig1, oracle):
+        """Example 1: δpt2d(ps, d2) = 8.3 m."""
+        assert oracle.pt2d(fig1.ps, fig1.did("d2")) == pytest.approx(8.3)
+
+    def test_d2pt_example1(self, fig1, oracle):
+        """Example 1: δd2pt(d5, pt) = 6 m."""
+        assert oracle.d2pt(fig1.did("d5"), fig1.pt) == pytest.approx(6.0)
+
+    def test_d7_to_pt_is_one_meter(self, fig1, oracle):
+        """Example 7's |d7, pt| = 1 m (pt is engineered onto the circle)."""
+        assert oracle.d2pt(fig1.did("d7"), fig1.pt) == pytest.approx(1.0)
+
+    def test_pt2d_wrong_partition_is_infinite(self, fig1, oracle):
+        # ps is in v1; d15 does not leave v1.
+        assert oracle.pt2d(fig1.ps, fig1.did("d15")) == INF
+
+    def test_d2pt_wrong_partition_is_infinite(self, fig1, oracle):
+        assert oracle.d2pt(fig1.did("d15"), fig1.ps) == INF
+
+
+class TestItemDistance:
+    def test_dispatch_door_door(self, fig1, oracle):
+        d2, d5 = fig1.did("d2"), fig1.did("d5")
+        assert oracle.item_distance(d2, d5) == oracle.d2d(d2, d5)
+
+    def test_dispatch_point_door(self, fig1, oracle):
+        assert oracle.item_distance(fig1.ps, fig1.did("d2")) == pytest.approx(8.3)
+
+    def test_dispatch_door_point(self, fig1, oracle):
+        assert oracle.item_distance(fig1.did("d5"), fig1.pt) == pytest.approx(6.0)
+
+    def test_point_point_same_partition(self, fig1, oracle):
+        p1, p2 = fig1.points["p1"], fig1.points["p1"].translated(dx=1.0)
+        assert oracle.item_distance(p1, p2) == pytest.approx(1.0)
+
+    def test_point_point_different_partitions_infinite(self, fig1, oracle):
+        assert oracle.item_distance(fig1.ps, fig1.pt) == INF
+
+    def test_item_position(self, fig1, oracle):
+        d2 = fig1.did("d2")
+        assert oracle.item_position(d2) == fig1.space.door(d2).position
+        assert oracle.item_position(fig1.ps) == fig1.ps
+
+    def test_connecting_partition(self, fig1, oracle):
+        d2, d5 = fig1.did("d2"), fig1.did("d5")
+        assert oracle.connecting_partition(d2, d5) == fig1.pid("v2")
+        assert oracle.connecting_partition(d2, fig1.did("d15")) is None

@@ -1,0 +1,172 @@
+"""Cross-algorithm equivalence on randomized small venues.
+
+The naive exhaustive search defines ground truth (all regular complete
+routes, prime-filtered, ranked by ψ).  The key guarantees tested:
+
+* ToE and its pruning ablations return exactly the ground truth —
+  Pruning Rules 1–5 are *lossless* for the topology-oriented search,
+* every route returned by any algorithm is regular, within Δ, prime
+  within its class, and correctly scored,
+* KoE returns a subset of ground-truth classes with identical class
+  representatives (its expansion intentionally skips partitions of
+  already-covered keywords, so lower-ranked classes can differ — see
+  DESIGN.md), and its top-1 matches whenever its class space contains
+  the global best.
+"""
+
+import pytest
+
+from repro.core import IKRQ, IKRQEngine, NaiveSearch
+from tests.conftest import random_small_space
+
+SEEDS = list(range(12))
+
+
+def build_query(space, kindex, ps, pt, seed):
+    import random
+    rng = random.Random(seed + 1000)
+    iwords = sorted(kindex.iwords)
+    twords = sorted(kindex.vocabulary.twords)
+    kws = [rng.choice(iwords)]
+    if twords and rng.random() < 0.7:
+        kws.append(rng.choice(twords))
+    return IKRQ(ps=ps, pt=pt,
+                delta=rng.uniform(45.0, 90.0),
+                keywords=tuple(kws),
+                k=rng.choice((1, 2, 3, 5)),
+                alpha=rng.choice((0.1, 0.5, 0.9)),
+                tau=0.2)
+
+
+@pytest.fixture(params=SEEDS)
+def scenario(request):
+    space, kindex, ps, pt = random_small_space(request.param)
+    engine = IKRQEngine(space, kindex)
+    query = build_query(space, kindex, ps, pt, request.param)
+    truth = engine.search(query, "naive")
+    return engine, query, truth
+
+
+def as_signature(routes):
+    return [(r.kp, round(r.distance, 6), round(r.score, 6))
+            for r in routes]
+
+
+class TestToEMatchesGroundTruth:
+    """Exhaustive ToE (Algorithm 5's stop-after-coverage heuristic
+    disabled) must reproduce the naive ground truth exactly — i.e.,
+    Pruning Rules 1–5 are lossless."""
+
+    @pytest.mark.parametrize("name", ["ToE", "ToE-D", "ToE-B"])
+    def test_exhaustive_toe_variants(self, scenario, name):
+        from repro.core import config_for
+        engine, query, truth = scenario
+        answer = engine.search(query, name,
+                               config=config_for(name, exhaustive=True))
+        assert as_signature(answer.routes) == as_signature(truth.routes)
+
+    def test_default_heuristic_only_drops_dominated_classes(self, scenario):
+        """Paper-default ToE may omit classes extending beyond full
+        keyword coverage; whatever it returns must match ground truth
+        rank-for-rank until the first omission, and its top-1 always
+        matches."""
+        engine, query, truth = scenario
+        answer = engine.search(query, "ToE")
+        truth_sig = as_signature(truth.routes)
+        got_sig = as_signature(answer.routes)
+        if truth_sig:
+            assert got_sig, "paper heuristic lost all routes"
+            assert got_sig[0] == truth_sig[0]
+        # Every returned class must be in the ground truth with the
+        # same prime distance and score.
+        truth_map = {kp: (d, s) for kp, d, s in truth_sig}
+        big = IKRQ(ps=query.ps, pt=query.pt, delta=query.delta,
+                   keywords=query.keywords, k=50,
+                   alpha=query.alpha, tau=query.tau)
+        full_map = {r.kp: (round(r.distance, 6), round(r.score, 6))
+                    for r in engine.search(big, "naive").routes}
+        for kp, d, s in got_sig:
+            assert full_map.get(kp) == (d, s)
+
+
+class TestResultValidity:
+    @pytest.mark.parametrize("algorithm", ["ToE", "KoE", "KoE*", "ToE-P"])
+    def test_returned_routes_valid(self, scenario, algorithm):
+        engine, query, truth = scenario
+        answer = engine.search(query, algorithm)
+        for r in answer.routes:
+            route = r.route
+            assert route.is_complete
+            assert route.is_regular()
+            assert route.distance <= query.delta + 1e-9
+            # Score consistency with Equation 1.
+            ctx = engine.context(query)
+            assert r.score == pytest.approx(ctx.ranking_score(route))
+
+    @pytest.mark.parametrize("algorithm", ["ToE", "KoE", "KoE*"])
+    def test_no_homogeneous_pairs(self, scenario, algorithm):
+        engine, query, truth = scenario
+        answer = engine.search(query, algorithm)
+        kps = [r.kp for r in answer.routes]
+        assert len(kps) == len(set(kps))
+
+    @pytest.mark.parametrize("algorithm", ["ToE", "KoE", "KoE*"])
+    def test_routes_are_prime_against_ground_truth(self, scenario, algorithm):
+        """No returned route may be longer than the ground-truth prime
+        of its homogeneity class."""
+        engine, query, truth = scenario
+        truth_by_class = {r.kp: r for r in truth.routes}
+        # The naive top-k may omit classes below rank k; recompute a
+        # full class map from an exhaustive run with a large k.
+        big = IKRQ(ps=query.ps, pt=query.pt, delta=query.delta,
+                   keywords=query.keywords, k=50,
+                   alpha=query.alpha, tau=query.tau)
+        full = {r.kp: r for r in engine.search(big, "naive").routes}
+        answer = engine.search(query, algorithm)
+        for r in answer.routes:
+            prime = full.get(r.kp)
+            assert prime is not None, f"{algorithm} invented class {r.kp}"
+            assert r.distance <= prime.distance + 1e-6, (
+                f"{algorithm} returned a non-prime route for {r.kp}")
+
+
+class TestKoEAgainstGroundTruth:
+    def test_koe_classes_match_truth_reps(self, scenario):
+        engine, query, truth = scenario
+        big = IKRQ(ps=query.ps, pt=query.pt, delta=query.delta,
+                   keywords=query.keywords, k=50,
+                   alpha=query.alpha, tau=query.tau)
+        full = {r.kp: r for r in engine.search(big, "naive").routes}
+        answer = engine.search(query, "KoE")
+        for r in answer.routes:
+            assert r.kp in full
+            assert r.distance == pytest.approx(full[r.kp].distance, abs=1e-6)
+
+    def test_koe_star_equals_koe(self, scenario):
+        engine, query, truth = scenario
+        koe = engine.search(query, "KoE")
+        star = engine.search(query, "KoE*")
+        assert as_signature(koe.routes) == as_signature(star.routes)
+
+    def test_koe_top1_at_least_naive_when_shared(self, scenario):
+        """When KoE reaches the globally best class, scores agree."""
+        engine, query, truth = scenario
+        if not truth.routes:
+            return
+        answer = engine.search(query, "KoE")
+        if not answer.routes:
+            return
+        best_truth = truth.routes[0]
+        if answer.routes[0].kp == best_truth.kp:
+            assert answer.routes[0].score == pytest.approx(best_truth.score)
+
+
+class TestToEPSuperset:
+    def test_toep_top1_not_worse(self, scenario):
+        """Without pruning the best-scoring route is still found."""
+        engine, query, truth = scenario
+        answer = engine.search(query, "ToE-P")
+        if truth.routes and answer.routes:
+            # ToE-P ranks by score without primality dedup, so its top
+            # score is >= the deduplicated ground truth's top score.
+            assert answer.routes[0].score >= truth.routes[0].score - 1e-9

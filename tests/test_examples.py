@@ -1,0 +1,88 @@
+"""The example scripts must run and produce the documented behaviour."""
+
+import runpy
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=240)
+
+
+class TestQuickstart:
+    @pytest.fixture(scope="class")
+    def output(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        return result.stdout
+
+    def test_prints_ranked_routes(self, output):
+        assert "#1:" in output and "#2:" in output
+
+    def test_scores_present(self, output):
+        assert "ψ=" in output and "ρ=" in output
+
+    def test_koe_agrees(self, output):
+        assert "KoE finds the same best route" in output
+
+
+class TestAirport:
+    @pytest.fixture(scope="class")
+    def output(self):
+        result = run_example("airport_routing.py")
+        assert result.returncode == 0, result.stderr
+        return result.stdout
+
+    def test_covers_all_three_needs(self, output):
+        assert "covers ['cookies', 'euros', 'noodles']" in output
+
+    def test_time_budget_conversion(self, output):
+        assert "Δ = 1008 m" in output
+
+    def test_rushed_scenario_reported(self, output):
+        assert "With only 5 minutes" in output
+
+
+class TestMallShopping:
+    @pytest.fixture(scope="class")
+    def output(self):
+        result = run_example("mall_shopping.py", "0.15")
+        assert result.returncode == 0, result.stderr
+        return result.stdout
+
+    def test_compares_algorithms(self, output):
+        assert "ToE:" in output and "KoE:" in output
+
+    def test_alpha_sweep(self, output):
+        assert "α=0.1" in output and "α=0.9" in output
+
+    def test_keywords_covered(self, output):
+        """At high α the best route must cover some keywords."""
+        import re
+        rhos = [float(m) for m in re.findall(r"α=0\.9: ρ=([0-9.]+)", output)]
+        assert rhos and rhos[0] > 0
+
+
+class TestWarehouse:
+    @pytest.fixture(scope="class")
+    def output(self):
+        result = run_example("warehouse_robot.py")
+        assert result.returncode == 0, result.stderr
+        return result.stdout
+
+    def test_all_orders_answered(self, output):
+        assert output.count("pick path visits") == 3
+
+    def test_full_coverage_first_order(self, output):
+        # charger + webcam live in different bins; both get visited.
+        assert "['bin-a1', 'bin-a2']" in output
+
+    def test_mixed_iword_tword_order(self, output):
+        assert "bin-a2" in output and "bin-b2" in output

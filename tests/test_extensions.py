@@ -1,0 +1,250 @@
+"""Tests for the optional extensions (paper §VII future work):
+soft distance constraints, popularity-aware ranking, elevators,
+and venue serialisation."""
+
+import math
+
+import pytest
+
+from repro.core import IKRQ, IKRQEngine
+from repro.core.query import QueryContext
+from repro.geometry import Point, Rect
+from repro.space import (
+    IndoorSpaceBuilder,
+    PartitionKind,
+    SkeletonIndex,
+    add_elevator_shaft,
+    load_space,
+    save_space,
+    space_from_dict,
+    space_to_dict,
+)
+
+
+class TestSoftDistanceConstraint:
+    def test_validation(self, fig1):
+        with pytest.raises(ValueError):
+            IKRQ(ps=fig1.ps, pt=fig1.pt, delta=10.0,
+                 keywords=("x",), soft_slack=-0.1)
+
+    def test_delta_hard(self, fig1):
+        q = IKRQ(ps=fig1.ps, pt=fig1.pt, delta=100.0,
+                 keywords=("latte",), soft_slack=0.25)
+        assert q.delta_hard == pytest.approx(125.0)
+        assert IKRQ(ps=fig1.ps, pt=fig1.pt, delta=100.0,
+                    keywords=("latte",)).delta_hard == 100.0
+
+    def test_soft_admits_overshooting_routes(self, fig1, fig1_engine):
+        """With a slack, routes between Δ and Δ(1+slack) may return."""
+        hard = fig1_engine.search(IKRQ(
+            ps=fig1.ps, pt=fig1.pt, delta=35.0,
+            keywords=("latte", "apple"), k=5, alpha=0.9), "ToE")
+        soft = fig1_engine.search(IKRQ(
+            ps=fig1.ps, pt=fig1.pt, delta=35.0,
+            keywords=("latte", "apple"), k=5, alpha=0.9,
+            soft_slack=1.0), "ToE")
+        assert len(soft.routes) >= len(hard.routes)
+        over = [r for r in soft.routes if r.distance > 35.0]
+        assert over, "slack admitted no overshooting route"
+        for r in over:
+            assert r.distance <= 70.0 + 1e-9
+
+    def test_overshooting_routes_rank_below_equal_relevance(
+            self, fig1, fig1_engine):
+        """The negative spatial part penalises overshoot."""
+        soft = fig1_engine.search(IKRQ(
+            ps=fig1.ps, pt=fig1.pt, delta=30.0,
+            keywords=("latte",), k=10, alpha=0.5, soft_slack=1.5), "ToE")
+        by_rel = {}
+        for r in soft.routes:
+            by_rel.setdefault(round(r.relevance, 6), []).append(r)
+        for group in by_rel.values():
+            dists = [r.distance for r in group]
+            scores = [r.score for r in group]
+            # Same relevance: score strictly decreases with distance.
+            for (d1, s1) in zip(dists, scores):
+                for (d2, s2) in zip(dists, scores):
+                    if d1 < d2:
+                        assert s1 > s2 - 1e-12
+
+    def test_soft_equivalent_to_naive(self, fig1, fig1_engine):
+        """The pruning rules remain lossless under the slack."""
+        from repro.core import config_for
+        q = IKRQ(ps=fig1.ps, pt=fig1.pt, delta=30.0,
+                 keywords=("latte", "apple"), k=5, soft_slack=0.8)
+        toe = fig1_engine.search(
+            q, "ToE", config=config_for("ToE", exhaustive=True))
+        naive = fig1_engine.search(q, "naive")
+        assert [(r.kp, round(r.distance, 6)) for r in toe.routes] == \
+               [(r.kp, round(r.distance, 6)) for r in naive.routes]
+
+
+class TestPopularityRanking:
+    def make_ctx(self, fig1, engine, gamma, popularity):
+        q = IKRQ(ps=fig1.ps, pt=fig1.pt, delta=60.0,
+                 keywords=("latte",), gamma=gamma)
+        return QueryContext(
+            space=fig1.space, kindex=fig1.kindex, query=q,
+            graph=engine.graph, skeleton=engine.skeleton,
+            oracle=engine.oracle, popularity=popularity)
+
+    def test_validation(self, fig1):
+        with pytest.raises(ValueError):
+            IKRQ(ps=fig1.ps, pt=fig1.pt, delta=10.0,
+                 keywords=("x",), gamma=-1.0)
+
+    def test_popularity_boosts_score(self, fig1, fig1_engine):
+        v3 = fig1.pid("v3")
+        ctx_plain = self.make_ctx(fig1, fig1_engine, 0.0, {})
+        ctx_pop = self.make_ctx(fig1, fig1_engine, 1.0, {v3: 1.0})
+        route = ctx_pop.start_route()
+        route = ctx_pop.extend_to_door(route, fig1.did("d2"),
+                                       via=fig1.pid("v1"))
+        route = ctx_pop.extend_to_door(route, fig1.did("d6"),
+                                       via=fig1.pid("v2"))
+        route = ctx_pop.extend_to_door(route, fig1.did("d7"),
+                                       via=fig1.pid("v3"))
+        route = ctx_pop.complete_route(route)
+        assert v3 in route.kp
+        pop = ctx_pop.route_popularity(route)
+        assert pop == pytest.approx(1.0 / len(route.kp))
+        # Blended score stays in range and reflects the term.
+        psi_plain = ctx_plain.ranking_score(route)
+        psi_pop = ctx_pop.ranking_score(route)
+        assert psi_pop == pytest.approx((psi_plain + 1.0 * pop) / 2.0)
+
+    def test_upper_bound_still_dominates(self, fig1, fig1_engine):
+        v3 = fig1.pid("v3")
+        ctx = self.make_ctx(fig1, fig1_engine, 0.7, {v3: 0.9})
+        route = ctx.start_route()
+        route = ctx.extend_to_door(route, fig1.did("d2"), via=fig1.pid("v1"))
+        psi = ctx.ranking_score(route)
+        upper = ctx.upper_bound_score(route.distance)
+        assert upper >= psi - 1e-12
+
+    def test_search_with_popularity_reranks(self, fig1, fig1_engine):
+        """A popular detour partition can overtake the plain winner."""
+        q = IKRQ(ps=fig1.ps, pt=fig1.pt, delta=80.0,
+                 keywords=("latte",), k=3, alpha=0.5, gamma=2.0)
+        v7 = fig1.pid("v7")  # starbucks — make it wildly popular
+        from repro.core import IKRQSearch, SearchConfig
+        from repro.core.toe import TopologyOrientedExpansion
+        ctx = QueryContext(
+            space=fig1.space, kindex=fig1.kindex, query=q,
+            graph=fig1_engine.graph, skeleton=fig1_engine.skeleton,
+            oracle=fig1_engine.oracle, popularity={v7: 1.0})
+        search = IKRQSearch(ctx, TopologyOrientedExpansion(), SearchConfig())
+        routes = search.run()
+        assert routes
+        assert v7 in routes[0].kp
+
+
+class TestElevators:
+    @pytest.fixture(scope="class")
+    def tower(self):
+        """Two floors of rooms joined by an elevator (no stairs)."""
+        b = IndoorSpaceBuilder()
+        for f in range(3):
+            b.add_partition(f"hall{f}", Rect(0, 0, 30, 10, float(f)),
+                            PartitionKind.HALLWAY)
+        shafts = add_elevator_shaft(
+            b, 30.0, 4.0, lobbies=["hall0", "hall1", "hall2"])
+        space = b.build()
+        return space, b, shafts
+
+    def test_shaft_partitions_kind(self, tower):
+        space, b, shafts = tower
+        for pid in shafts:
+            assert space.partition(pid).kind is PartitionKind.ELEVATOR
+
+    def test_ride_doors_are_half_level(self, tower):
+        space, b, shafts = tower
+        ride = space.door(b.did("lift-ride0"))
+        assert ride.is_staircase_door
+        assert ride.level == 0.5
+
+    def test_skeleton_covers_elevator(self, tower):
+        """The skeleton index picks up lift doors as vertical links."""
+        space, b, shafts = tower
+        sk = SkeletonIndex(space)
+        assert b.did("lift-ride0") in sk.staircase_doors
+        a = Point(5.0, 5.0, 0.0)
+        c = Point(5.0, 5.0, 2.0)
+        assert sk.lower_bound(a, c) < math.inf
+
+    def test_cross_floor_routing_through_lift(self, tower):
+        space, b, shafts = tower
+        from repro.keywords.mappings import KeywordIndex
+        kindex = KeywordIndex()
+        kindex.assign_iword(b.pid("hall2"), "skybar")
+        engine = IKRQEngine(space, kindex)
+        answer = engine.query(
+            Point(2.0, 5.0, 0.0), Point(2.0, 5.0, 2.0),
+            delta=300.0, keywords=["skybar"], k=1)
+        assert answer.routes
+        # The route must ride the shaft (two ride doors).
+        doors = answer.routes[0].route.doors
+        assert b.did("lift-ride0") in doors
+        assert b.did("lift-ride1") in doors
+
+    def test_minimum_two_floors(self):
+        b = IndoorSpaceBuilder()
+        b.add_partition("only", Rect(0, 0, 5, 5))
+        with pytest.raises(ValueError):
+            add_elevator_shaft(b, 5.0, 0.0, lobbies=["only"])
+
+
+class TestSerialization:
+    def test_roundtrip_fig1(self, fig1, tmp_path):
+        path = tmp_path / "fig1.json"
+        save_space(path, fig1.space, fig1.kindex)
+        space, kindex = load_space(path)
+        assert space.num_partitions == fig1.space.num_partitions
+        assert space.num_doors == fig1.space.num_doors
+        for pid, part in fig1.space.partitions.items():
+            other = space.partition(pid)
+            assert other.name == part.name
+            assert other.kind == part.kind
+            assert other.footprint.as_tuple() == part.footprint.as_tuple()
+        for did, door in fig1.space.doors.items():
+            other = space.door(did)
+            assert other.enters == door.enters
+            assert other.leaves == door.leaves
+        assert kindex.p2i(fig1.pid("v3")) == "costa"
+        assert kindex.i2t("costa") == fig1.kindex.i2t("costa")
+
+    def test_roundtrip_preserves_query_results(self, fig1, tmp_path):
+        path = tmp_path / "fig1.json"
+        save_space(path, fig1.space, fig1.kindex)
+        space, kindex = load_space(path)
+        engine = IKRQEngine(space, kindex)
+        answer = engine.query(fig1.ps, fig1.pt, delta=60.0,
+                              keywords=["latte", "apple"], k=3)
+        original = IKRQEngine(fig1.space, fig1.kindex).query(
+            fig1.ps, fig1.pt, delta=60.0, keywords=["latte", "apple"], k=3)
+        assert [round(r.score, 9) for r in answer.routes] == \
+               [round(r.score, 9) for r in original.routes]
+
+    def test_space_without_keywords(self, corridor, tmp_path):
+        space, *_ = corridor
+        path = tmp_path / "c.json"
+        save_space(path, space)
+        loaded, kindex = load_space(path)
+        assert kindex is None
+        assert loaded.num_doors == space.num_doors
+
+    def test_one_way_doors_preserved(self, tmp_path):
+        b = IndoorSpaceBuilder()
+        b.add_partition("a", Rect(0, 0, 5, 5))
+        b.add_partition("c", Rect(5, 0, 10, 5))
+        b.add_door("gate", Point(5, 2), enters=("c",), leaves=("a",))
+        doc = space_to_dict(b.build())
+        space, _ = space_from_dict(doc)
+        gate = space.door(0)
+        assert gate.enters != gate.leaves
+
+    def test_format_validation(self):
+        with pytest.raises(ValueError):
+            space_from_dict({"format": "something-else"})
+        with pytest.raises(ValueError):
+            space_from_dict({"format": "repro-indoor-space", "version": 99})

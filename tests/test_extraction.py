@@ -1,0 +1,145 @@
+"""Tests for the RAKE extractor and TF-IDF keyword selection."""
+
+import pytest
+
+from repro.keywords.extraction import (
+    RakeExtractor,
+    TfIdfSelector,
+    extract_twords,
+)
+
+
+class TestRakePhrases:
+    def test_splits_at_stopwords(self):
+        rake = RakeExtractor()
+        phrases = rake.candidate_phrases(
+            "fresh coffee beans and handmade chocolate cake")
+        assert ("fresh", "coffee", "beans") in phrases
+        assert ("handmade", "chocolate", "cake") in phrases
+
+    def test_splits_at_punctuation(self):
+        rake = RakeExtractor()
+        phrases = rake.candidate_phrases("espresso, latte; mocha. beans")
+        flat = [w for p in phrases for w in p]
+        assert flat == ["espresso", "latte", "mocha", "beans"]
+
+    def test_short_words_dropped(self):
+        rake = RakeExtractor(min_word_len=3)
+        phrases = rake.candidate_phrases("go to xy coffee")
+        assert ("coffee",) in phrases
+        assert all("xy" not in p for p in phrases)
+
+    def test_numeric_tokens_dropped(self):
+        rake = RakeExtractor()
+        phrases = rake.candidate_phrases("open 24 hours daily")
+        flat = [w for p in phrases for w in p]
+        assert "24" not in flat
+
+    def test_long_phrases_capped(self):
+        rake = RakeExtractor(max_phrase_words=2)
+        phrases = rake.candidate_phrases(
+            "premium organic arabica coffee")  # 4 content words
+        assert phrases == []
+
+    def test_case_insensitive(self):
+        rake = RakeExtractor()
+        phrases = rake.candidate_phrases("Fresh COFFEE")
+        assert phrases == [("fresh", "coffee")]
+
+
+class TestRakeScoring:
+    def test_degree_over_frequency(self):
+        rake = RakeExtractor()
+        # "coffee" appears in two phrases, once alone and once paired.
+        phrases = [("coffee",), ("coffee", "beans")]
+        scores = rake.word_scores(phrases)
+        # freq(coffee)=2, degree adds 1 from the pair: (1 + 2) / 2.
+        assert scores["coffee"] == pytest.approx(1.5)
+        assert scores["beans"] == pytest.approx(2.0)
+
+    def test_extract_ranks_phrases(self):
+        rake = RakeExtractor()
+        out = rake.extract(
+            "arabica coffee beans. coffee. best beans and arabica coffee beans")
+        assert out[0].phrase == "arabica coffee beans"
+        assert out[0].score >= out[-1].score
+
+    def test_extract_top_n(self):
+        rake = RakeExtractor()
+        out = rake.extract("espresso. latte. mocha. flat white", top_n=2)
+        assert len(out) == 2
+
+    def test_extract_empty_text(self):
+        rake = RakeExtractor()
+        assert rake.extract("") == []
+        assert rake.extract_words("the and of") == []
+
+    def test_extract_words_single_tokens(self):
+        rake = RakeExtractor()
+        words = rake.extract_words("dark roast coffee and light roast tea")
+        assert set(words) >= {"dark", "roast", "coffee", "tea"}
+
+    def test_scored_phrase_words(self):
+        rake = RakeExtractor()
+        sp = rake.extract("fresh coffee")[0]
+        assert sp.words == ("fresh", "coffee")
+
+
+class TestTfIdf:
+    def test_idf_decreases_with_frequency(self):
+        sel = TfIdfSelector()
+        sel.fit([["common", "rare1"], ["common", "rare2"], ["common"]])
+        assert sel.idf("common") < sel.idf("rare1")
+
+    def test_select_caps_count(self):
+        sel = TfIdfSelector(max_keywords=2)
+        sel.fit([["a", "b", "c"]])
+        assert len(sel.select(["a", "b", "c"])) == 2
+
+    def test_select_prefers_distinctive(self):
+        sel = TfIdfSelector(max_keywords=1)
+        docs = [["ubiquitous", "special"]] + [["ubiquitous"]] * 8
+        sel.fit(docs)
+        assert sel.select(["ubiquitous", "special"]) == ["special"]
+
+    def test_max_df_drops_boilerplate(self):
+        sel = TfIdfSelector(max_keywords=10, max_df=0.5)
+        docs = [["store", f"unique{i}"] for i in range(10)]
+        sel.fit(docs)
+        assert "store" not in sel.select(["store", "unique1"])
+
+    def test_select_empty(self):
+        sel = TfIdfSelector()
+        sel.fit([])
+        assert sel.select([]) == []
+
+    def test_idf_before_fit_is_zero(self):
+        assert TfIdfSelector().idf("x") == 0.0
+
+
+class TestPipeline:
+    def test_extract_twords_end_to_end(self):
+        docs = {
+            "costa": "fresh coffee and mocha. enjoy our coffee beans",
+            "apple": "latest phone and laptop. the famous retina laptop",
+        }
+        out = extract_twords(docs)
+        assert "coffee" in out["costa"]
+        assert "laptop" in out["apple"]
+
+    def test_brands_without_keywords_dropped(self):
+        docs = {"ghost": "the of and is", "real": "premium leather shoes"}
+        out = extract_twords(docs)
+        assert "ghost" not in out
+        assert "real" in out
+
+    def test_max_twords_respected(self):
+        text = ". ".join(f"keyword{i}" for i in range(100))
+        out = extract_twords({"brand": text}, max_twords=10)
+        assert len(out["brand"]) == 10
+
+    def test_max_df_filters_across_brands(self):
+        docs = {f"brand{i}": f"store special{i}" for i in range(10)}
+        out = extract_twords(docs, max_df=0.3)
+        for words in out.values():
+            assert "store" not in words

@@ -1,0 +1,141 @@
+"""Unit tests for the geometry primitives."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import FLOOR_HEIGHT, Point, Rect, euclidean
+
+finite = st.floats(min_value=-1e4, max_value=1e4,
+                   allow_nan=False, allow_infinity=False)
+
+
+class TestPoint:
+    def test_distance_same_floor(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_distance_is_module_euclidean(self):
+        a, b = Point(1, 2), Point(4, 6)
+        assert euclidean(a, b) == a.distance_to(b)
+
+    def test_vertical_component_uses_floor_height(self):
+        a = Point(0, 0, 0.0)
+        b = Point(0, 0, 0.5)
+        assert a.distance_to(b) == pytest.approx(FLOOR_HEIGHT / 2)
+
+    def test_stairway_length_is_20m(self):
+        """Hall door -> half-level stair door -> hall door ≈ 20 m."""
+        lower = Point(0, 0, 0.0)
+        mid = Point(0, 0, 0.5)
+        upper = Point(0, 0, 1.0)
+        total = lower.distance_to(mid) + mid.distance_to(upper)
+        assert total == pytest.approx(20.0)
+
+    def test_planar_distance_ignores_level(self):
+        a = Point(0, 0, 0)
+        b = Point(3, 4, 2)
+        assert a.planar_distance_to(b) == 5.0
+
+    def test_floor_of_half_level_rounds_down(self):
+        assert Point(0, 0, 1.5).floor == 1
+
+    def test_same_floor(self):
+        assert Point(0, 0, 1.0).same_floor(Point(9, 9, 1.0))
+        assert not Point(0, 0, 1.0).same_floor(Point(0, 0, 1.5))
+
+    def test_translated(self):
+        p = Point(1, 2, 3).translated(dx=1, dy=-2, dlevel=0.5)
+        assert (p.x, p.y, p.level) == (2, 0, 3.5)
+
+    def test_z_coordinate(self):
+        assert Point(0, 0, 2.0).z == 2.0 * FLOOR_HEIGHT
+
+    def test_points_are_hashable_and_frozen(self):
+        p = Point(1, 2)
+        assert hash(p) == hash(Point(1, 2))
+        with pytest.raises(Exception):
+            p.x = 5
+
+    @given(finite, finite, finite, finite)
+    def test_distance_symmetry(self, x1, y1, x2, y2):
+        a, b = Point(x1, y1), Point(x2, y2)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    @given(finite, finite)
+    def test_distance_identity(self, x, y):
+        p = Point(x, y)
+        assert p.distance_to(p) == 0.0
+
+    @given(finite, finite, finite, finite, finite, finite)
+    def test_triangle_inequality(self, x1, y1, x2, y2, x3, y3):
+        a, b, c = Point(x1, y1), Point(x2, y2), Point(x3, y3)
+        assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-6
+
+
+class TestRect:
+    def test_dimensions(self):
+        r = Rect(0, 0, 4, 3)
+        assert r.width == 4
+        assert r.height == 3
+        assert r.area == 12
+
+    def test_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            Rect(5, 0, 0, 5)
+
+    def test_zero_area_allowed(self):
+        assert Rect(1, 1, 1, 1).area == 0
+
+    def test_center(self):
+        c = Rect(0, 0, 4, 2, level=1.0).center
+        assert (c.x, c.y, c.level) == (2.0, 1.0, 1.0)
+
+    def test_contains_boundary(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.contains(Point(0, 0))
+        assert r.contains(Point(10, 10))
+        assert not r.contains(Point(10.1, 5))
+
+    def test_contains_wrong_floor(self):
+        r = Rect(0, 0, 10, 10, level=1.0)
+        assert not r.contains(Point(5, 5, 0.0))
+        assert r.contains(Point(5, 5, 1.0))
+
+    def test_corners_count_and_levels(self):
+        r = Rect(0, 0, 2, 2, level=2.0)
+        corners = list(r.corners())
+        assert len(corners) == 4
+        assert all(c.level == 2.0 for c in corners)
+
+    def test_farthest_corner_distance(self):
+        r = Rect(0, 0, 6, 8)
+        # From the origin corner the farthest corner is (6, 8).
+        assert r.farthest_corner_distance(Point(0, 0)) == 10.0
+
+    def test_farthest_corner_from_center(self):
+        r = Rect(0, 0, 6, 8)
+        assert r.farthest_corner_distance(r.center) == 5.0
+
+    def test_random_interior_point_inside(self):
+        import random
+        r = Rect(0, 0, 10, 10)
+        rng = random.Random(0)
+        for _ in range(50):
+            assert r.contains(r.random_interior_point(rng))
+
+    def test_random_interior_point_degenerate_falls_to_center(self):
+        import random
+        r = Rect(0, 0, 0.5, 0.5)
+        p = r.random_interior_point(random.Random(0))
+        assert (p.x, p.y) == (0.25, 0.25)
+
+    def test_as_tuple(self):
+        assert Rect(1, 2, 3, 4).as_tuple() == (1, 2, 3, 4)
+
+    @given(st.floats(0.1, 100), st.floats(0.1, 100), finite, finite)
+    def test_farthest_corner_at_least_half_diagonal(self, w, h, x, y):
+        r = Rect(0, 0, w, h)
+        half_diag = math.hypot(w, h) / 2
+        p = Point(min(max(x % w, 0), w), min(max(y % h, 0), h))
+        assert r.farthest_corner_distance(p) >= half_diag - 1e-9

@@ -1,0 +1,196 @@
+"""Tests for the door graph: Dijkstra, regular continuations, matrix."""
+
+import math
+
+import pytest
+
+from repro.geometry import Point
+from repro.space import DoorGraph
+from repro.space.graph import DoorMatrix
+
+INF = math.inf
+
+
+@pytest.fixture(scope="module")
+def graph(fig1):
+    return DoorGraph(fig1.space)
+
+
+class TestAdjacency:
+    def test_edges_within_partition(self, fig1, graph):
+        d2 = fig1.did("d2")
+        neighbours = {n for n, _, _ in graph.neighbours(d2)}
+        # Through v2 one can reach d5 and d6; through v1, d1 and d3.
+        assert {fig1.did("d5"), fig1.did("d6"),
+                fig1.did("d1"), fig1.did("d3")} <= neighbours
+
+    def test_no_self_loops(self, fig1, graph):
+        for did in fig1.space.doors:
+            assert all(n != did for n, _, _ in graph.neighbours(did))
+
+    def test_edge_weight_is_euclidean(self, fig1, graph):
+        d2 = fig1.did("d2")
+        for n, via, w in graph.neighbours(d2):
+            pos_a = fig1.space.door(d2).position
+            pos_b = fig1.space.door(n).position
+            assert w == pytest.approx(pos_a.distance_to(pos_b))
+
+    def test_num_edges_positive(self, graph):
+        assert graph.num_edges() > 0
+
+
+class TestDijkstra:
+    def test_trivial_source(self, fig1, graph):
+        dist, pred = graph.dijkstra(fig1.did("d2"))
+        assert dist[fig1.did("d2")] == 0.0
+
+    def test_distances_satisfy_triangle(self, fig1, graph):
+        """dist is a shortest-path metric: no edge can shortcut it."""
+        source = fig1.did("d1")
+        dist, _ = graph.dijkstra(source)
+        for u in fig1.space.doors:
+            if u not in dist:
+                continue
+            for v, _, w in graph.neighbours(u):
+                assert dist.get(v, INF) <= dist[u] + w + 1e-9
+
+    def test_banned_doors_are_avoided(self, fig1, graph):
+        d1, d13 = fig1.did("d1"), fig1.did("d13")
+        banned = frozenset({fig1.did("d13")})
+        dist, _ = graph.dijkstra(d1, banned=banned)
+        assert d13 not in dist
+
+    def test_banned_forces_detour(self, fig1, graph):
+        # From d2 to d7 directly via v2->d6->(v3)->d7 or via d5.
+        d2, d7 = fig1.did("d2"), fig1.did("d7")
+        free, _ = graph.dijkstra(d2)
+        detour, _ = graph.dijkstra(
+            d2, banned=frozenset({fig1.did("d5")}))
+        assert detour[d7] >= free[d7]
+
+    def test_bound_cuts_search(self, fig1, graph):
+        dist, _ = graph.dijkstra(fig1.did("d1"), bound=5.0)
+        assert all(d <= 5.0 for d in dist.values())
+
+    def test_early_exit_with_targets(self, fig1, graph):
+        d1, d3 = fig1.did("d1"), fig1.did("d3")
+        dist, _ = graph.dijkstra(d1, targets={d3})
+        assert d3 in dist
+
+
+class TestShortestRoute:
+    def test_route_reconstruction(self, fig1, graph):
+        d1, d7 = fig1.did("d1"), fig1.did("d7")
+        result = graph.shortest_route(d1, d7)
+        assert result is not None
+        doors, vias, dist = result
+        assert doors[-1] == d7
+        assert len(doors) == len(vias)
+        # Recompute the distance along the reconstruction.
+        total, prev = 0.0, d1
+        for door in doors:
+            total += fig1.space.door(prev).position.distance_to(
+                fig1.space.door(door).position)
+            prev = door
+        assert total == pytest.approx(dist)
+
+    def test_route_same_source_target(self, fig1, graph):
+        d1 = fig1.did("d1")
+        assert graph.shortest_route(d1, d1) == ([], [], 0.0)
+
+    def test_unreachable_returns_none(self, fig1, graph):
+        d1, d15 = fig1.did("d1"), fig1.did("d15")
+        out = graph.shortest_route(d1, d15, bound=1.0)
+        assert out is None
+
+    def test_first_hop_via_restriction(self, fig1, graph):
+        # From d13 (v5/v7): restricted to leave v7 first, the path to
+        # d5 cannot take the direct v5 edge.
+        d13, d5 = fig1.did("d13"), fig1.did("d5")
+        free = graph.shortest_route(d13, d5)
+        restricted = graph.shortest_route(
+            d13, d5, first_hop_via=fig1.pid("v7"))
+        assert restricted is not None
+        assert restricted[2] > free[2]
+        # First via must be v7.
+        assert restricted[1][0] == fig1.pid("v7")
+
+
+class TestMultiTarget:
+    def test_routes_to_partition_doors(self, fig1, graph):
+        d2 = fig1.did("d2")
+        targets = set(fig1.space.p2d_enter(fig1.pid("v3")))
+        routes = graph.multi_target_routes(
+            d2, fig1.pid("v2"), targets)
+        assert fig1.did("d6") in routes
+        doors, vias, dist = routes[fig1.did("d6")]
+        assert doors == [fig1.did("d6")]
+        assert vias == [fig1.pid("v2")]
+
+    def test_routes_from_point(self, fig1, graph):
+        targets = {fig1.did("d6"), fig1.did("d7")}
+        routes = graph.routes_from_point(
+            fig1.ps, fig1.pid("v1"), targets)
+        assert set(routes) == targets
+        for target, (doors, vias, dist) in routes.items():
+            assert doors[-1] == target
+            assert vias[0] == fig1.pid("v1")
+
+    def test_routes_from_point_respects_banned(self, fig1, graph):
+        targets = {fig1.did("d7")}
+        banned = frozenset({fig1.did("d2"), fig1.did("d3"), fig1.did("d1")})
+        routes = graph.routes_from_point(
+            fig1.ps, fig1.pid("v1"), targets, banned=banned)
+        assert routes == {}
+
+
+class TestPointDistances:
+    def test_point_to_point_same_partition(self, fig1, graph):
+        p = fig1.points["p1"]
+        q = p.translated(dx=2.0)
+        assert graph.point_to_point_distance(p, q) == pytest.approx(2.0)
+
+    def test_point_to_point_matches_manual(self, fig1, graph):
+        """ps -> pt must be ≤ the hand-computed (ps, d3, pt) walk."""
+        space = fig1.space
+        d3 = space.door(fig1.did("d3")).position
+        manual = fig1.ps.distance_to(d3) + d3.distance_to(fig1.pt)
+        assert graph.point_to_point_distance(fig1.ps, fig1.pt) <= manual + 1e-9
+
+    def test_distances_from_point_bounded(self, fig1, graph):
+        dists = graph.distances_from_point(fig1.ps, bound=10.0)
+        assert dists
+        assert all(v <= 10.0 for v in dists.values())
+
+
+class TestDoorMatrix:
+    def test_matches_dijkstra(self, fig1, graph):
+        matrix = DoorMatrix(graph)
+        d1, d7 = fig1.did("d1"), fig1.did("d7")
+        dist, _ = graph.dijkstra(d1)
+        assert matrix.distance(d1, d7) == pytest.approx(dist[d7])
+
+    def test_route_roundtrip(self, fig1, graph):
+        matrix = DoorMatrix(graph)
+        d1, d7 = fig1.did("d1"), fig1.did("d7")
+        doors, vias, dist = matrix.route(d1, d7)
+        assert doors[-1] == d7
+        assert dist == pytest.approx(matrix.distance(d1, d7))
+
+    def test_lazy_rows(self, fig1, graph):
+        matrix = DoorMatrix(graph)
+        assert matrix.num_cached_rows() == 0
+        matrix.distance(fig1.did("d1"), fig1.did("d7"))
+        assert matrix.num_cached_rows() == 1
+
+    def test_eager_fills_all_rows(self, fig1, graph):
+        matrix = DoorMatrix(graph, eager=True)
+        assert matrix.num_cached_rows() == fig1.space.num_doors
+        assert matrix.estimated_bytes() > 0
+
+    def test_unreachable_pair(self, fig1, graph):
+        matrix = DoorMatrix(graph)
+        # Every door pair in fig1 is connected; use a bound-free check
+        # of self-distance instead.
+        d1 = fig1.did("d1")
+        assert matrix.distance(d1, d1) == 0.0

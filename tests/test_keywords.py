@@ -1,0 +1,249 @@
+"""Tests for vocabulary, mappings and candidate i-word matching."""
+
+import pytest
+
+from repro.keywords import (
+    KeywordIndex,
+    QueryKeywords,
+    Vocabulary,
+    candidate_iword_set,
+)
+
+
+class TestVocabulary:
+    def test_disjoint_sets(self):
+        v = Vocabulary()
+        v.add_tword("coffee")
+        v.add_iword("coffee")  # promotes to i-word, evicted from Wt
+        assert v.is_iword("coffee")
+        assert not v.is_tword("coffee")
+
+    def test_tword_not_added_when_iword_exists(self):
+        v = Vocabulary(iwords=["zara"])
+        v.add_tword("zara")
+        assert not v.is_tword("zara")
+
+    def test_normalisation(self):
+        v = Vocabulary()
+        v.add_iword("  Starbucks ")
+        assert v.is_iword("STARBUCKS")
+        assert "starbucks" in v
+
+    def test_empty_word_rejected(self):
+        v = Vocabulary()
+        with pytest.raises(ValueError):
+            v.add_iword("   ")
+        with pytest.raises(ValueError):
+            v.add_tword("")
+
+    def test_counts_and_iter(self):
+        v = Vocabulary(iwords=["a", "b"], twords=["x", "y", "z"])
+        assert v.num_iwords == 2
+        assert v.num_twords == 3
+        assert len(v) == 5
+        assert set(v) == {"a", "b", "x", "y", "z"}
+
+    def test_copies_returned(self):
+        v = Vocabulary(iwords=["a"])
+        v.iwords.add("mutated")
+        assert not v.is_iword("mutated")
+
+
+class TestKeywordIndex:
+    @pytest.fixture
+    def index(self):
+        idx = KeywordIndex()
+        idx.assign_iword(3, "costa")
+        idx.assign_iword(10, "apple")
+        idx.assign_iword(7, "starbucks")
+        idx.assign_iword(12, "samsung")
+        idx.add_twords("costa", ["coffee", "drinks", "macha"])
+        idx.add_twords("apple", ["phone", "mac", "laptop", "watch"])
+        idx.add_twords("starbucks", ["coffee", "macha", "latte", "drinks"])
+        idx.add_twords("samsung", ["phone", "laptop", "earphone"])
+        return idx
+
+    def test_p2i_is_function(self, index):
+        assert index.p2i(3) == "costa"
+        with pytest.raises(ValueError):
+            index.assign_iword(3, "other")
+
+    def test_p2i_reassign_same_ok(self, index):
+        assert index.assign_iword(3, "costa") == "costa"
+
+    def test_i2p_one_to_many(self, index):
+        index.assign_iword(99, "costa")
+        assert index.i2p("costa") == frozenset({3, 99})
+
+    def test_i2t_t2i_roundtrip(self, index):
+        assert "coffee" in index.i2t("costa")
+        assert index.t2i("coffee") == frozenset({"costa", "starbucks"})
+
+    def test_unknown_lookups_empty(self, index):
+        assert index.p2i(999) is None
+        assert index.i2p("nothing") == frozenset()
+        assert index.i2t("nothing") == frozenset()
+        assert index.t2i("nothing") == frozenset()
+
+    def test_partition_words(self, index):
+        pw = index.partition_words(3)
+        assert pw.iword == "costa"
+        assert pw.twords == frozenset({"coffee", "drinks", "macha"})
+        assert pw.wi == frozenset({"costa"})
+
+    def test_partition_words_unlabelled(self, index):
+        pw = index.partition_words(55)
+        assert pw.iword is None
+        assert pw.wi == frozenset()
+
+    def test_partition_words_cache_invalidation(self, index):
+        before = index.partition_words(3).twords
+        index.add_tword("costa", "espresso")
+        after = index.partition_words(3).twords
+        assert "espresso" in after and "espresso" not in before
+
+    def test_iword_not_allowed_as_tword(self, index):
+        index.add_tword("costa", "apple")  # apple is an i-word
+        assert "apple" not in index.i2t("costa")
+
+    def test_i2p_many(self, index):
+        assert index.i2p_many(["costa", "apple"]) == frozenset({3, 10})
+
+    def test_stats(self, index):
+        stats = index.stats()
+        assert stats["num_iwords"] == 4
+        assert stats["num_labelled_partitions"] == 4
+        assert stats["max_twords_per_iword"] == 4
+
+    def test_estimated_bytes_positive(self, index):
+        assert index.estimated_bytes() > 0
+
+
+class TestCandidateIWordSet:
+    """Definition 4, validated against the paper's Example 4."""
+
+    @pytest.fixture
+    def index(self):
+        idx = KeywordIndex()
+        idx.assign_iword(3, "costa")
+        idx.assign_iword(10, "apple")
+        idx.assign_iword(7, "starbucks")
+        idx.assign_iword(12, "samsung")
+        idx.add_twords("costa", ["coffee", "drinks", "macha"])
+        idx.add_twords("apple", ["phone", "mac", "laptop", "watch"])
+        idx.add_twords("starbucks", ["coffee", "macha", "latte", "drinks"])
+        idx.add_twords("samsung", ["phone", "laptop", "earphone"])
+        return idx
+
+    def test_example4_latte(self, index):
+        """κ(latte) = {(starbucks, 1), (costa, 0.75)} at τ = 0.5."""
+        entries = candidate_iword_set(index, "latte", tau=0.5)
+        assert [(e.iword, round(e.similarity, 4)) for e in entries] == [
+            ("starbucks", 1.0), ("costa", 0.75)]
+
+    def test_example4_apple_is_iword(self, index):
+        entries = candidate_iword_set(index, "apple", tau=0.5)
+        assert [(e.iword, e.similarity) for e in entries] == [("apple", 1.0)]
+
+    def test_zero_similarity_excluded(self, index):
+        """s(apple) = s(samsung) = 0 for latte (Example 4)."""
+        entries = candidate_iword_set(index, "latte", tau=0.05)
+        iwords = {e.iword for e in entries}
+        assert "apple" not in iwords and "samsung" not in iwords
+
+    def test_tau_threshold_strict(self, index):
+        # costa's similarity is exactly 0.75; τ = 0.75 must drop it.
+        entries = candidate_iword_set(index, "latte", tau=0.75)
+        assert [e.iword for e in entries] == ["starbucks"]
+
+    def test_unknown_word_empty(self, index):
+        assert candidate_iword_set(index, "quinoa") == []
+
+    def test_direct_flag(self, index):
+        entries = candidate_iword_set(index, "latte", tau=0.5)
+        assert entries[0].direct and not entries[1].direct
+
+    def test_entry_unpacking(self, index):
+        wi, s = candidate_iword_set(index, "apple")[0]
+        assert (wi, s) == ("apple", 1.0)
+
+    def test_indirect_matching_earphone(self, index):
+        """§V-A5: earphone matches samsung directly, apple indirectly."""
+        entries = candidate_iword_set(index, "earphone", tau=0.1)
+        by_name = {e.iword: e for e in entries}
+        assert by_name["samsung"].similarity == 1.0
+        assert by_name["samsung"].direct
+        # Jaccard: |{phone, laptop}| / |{phone, mac, laptop, watch,
+        # earphone}| = 2/5 (Definition 4's formula; see DESIGN.md for
+        # the paper's worked example using overlap/|U| = 2/3 instead).
+        assert by_name["apple"].similarity == pytest.approx(0.4)
+
+
+class TestQueryKeywords:
+    @pytest.fixture
+    def index(self):
+        idx = KeywordIndex()
+        idx.assign_iword(3, "costa")
+        idx.assign_iword(10, "apple")
+        idx.assign_iword(7, "starbucks")
+        idx.add_twords("costa", ["coffee", "drinks", "macha"])
+        idx.add_twords("apple", ["phone", "mac", "laptop", "watch"])
+        idx.add_twords("starbucks", ["coffee", "macha", "latte", "drinks"])
+        return idx
+
+    def test_empty_query_rejected(self, index):
+        with pytest.raises(ValueError):
+            QueryKeywords(index, [])
+
+    def test_candidate_sets_per_word(self, index):
+        qk = QueryKeywords(index, ["latte", "apple"], tau=0.5)
+        assert qk.candidate_iwords(0) == {"starbucks", "costa"}
+        assert qk.candidate_iwords(1) == {"apple"}
+        assert qk.all_candidate_iwords == {"starbucks", "costa", "apple"}
+
+    def test_keyword_partitions(self, index):
+        qk = QueryKeywords(index, ["latte", "apple"], tau=0.5)
+        assert qk.keyword_partitions == frozenset({3, 7, 10})
+
+    def test_example6_relevance_r1(self, index):
+        """ρ(R1) = 1 + 0.75/1 = 1.75 for RW = {zara, oppo, costa}."""
+        qk = QueryKeywords(index, ["latte", "apple"], tau=0.5)
+        assert qk.relevance_of_iword_set(
+            {"zara", "oppo", "costa"}) == pytest.approx(1.75)
+
+    def test_example6_relevance_r2(self, index):
+        """ρ(R2) = 2 + (1 + 1)/2 = 3 for RW = {apple, starbucks, costa}."""
+        qk = QueryKeywords(index, ["latte", "apple"], tau=0.5)
+        assert qk.relevance_of_iword_set(
+            {"apple", "starbucks", "costa"}) == pytest.approx(3.0)
+
+    def test_relevance_zero_when_uncovered(self, index):
+        qk = QueryKeywords(index, ["latte", "apple"], tau=0.5)
+        assert qk.relevance_of_iword_set({"zara"}) == 0.0
+
+    def test_relevance_range(self, index):
+        """ρ ∈ 0 ∪ (1, |QW| + 1] (Definition 6)."""
+        qk = QueryKeywords(index, ["latte", "apple"], tau=0.5)
+        for words in ({"costa"}, {"apple"}, {"starbucks", "apple"}):
+            rho = qk.relevance_of_iword_set(words)
+            assert rho == 0.0 or 1.0 < rho <= qk.max_relevance
+
+    def test_max_relevance(self, index):
+        qk = QueryKeywords(index, ["latte", "apple"], tau=0.5)
+        assert qk.max_relevance == 3.0
+
+    def test_hits_for_iword(self, index):
+        qk = QueryKeywords(index, ["latte", "apple"], tau=0.5)
+        assert qk.hits_for_iword("costa") == [(0, 0.75)]
+        assert qk.hits_for_iword("unrelated") == []
+
+    def test_relevance_from_sims_matches_wordset(self, index):
+        qk = QueryKeywords(index, ["latte", "apple"], tau=0.5)
+        assert qk.relevance_from_sims((0.75, 1.0)) == pytest.approx(
+            qk.relevance_of_iword_set({"costa", "apple"}))
+
+    def test_duplicate_query_words_allowed(self, index):
+        qk = QueryKeywords(index, ["latte", "latte"], tau=0.5)
+        assert len(qk) == 2
+        # Covering one i-word covers both positions.
+        assert qk.relevance_of_iword_set({"starbucks"}) == pytest.approx(3.0)

@@ -1,0 +1,124 @@
+"""KoE-specific behaviour: keyword-driven expansion, loops, KoE*."""
+
+import pytest
+
+from repro.core import IKRQ, SearchConfig
+from repro.core.koe import MatrixContinuationProvider
+from repro.space.graph import DoorMatrix
+
+
+class TestKeywordDrivenExpansion:
+    def test_koe_pops_far_fewer_stamps(self, fig1, fig1_engine):
+        query = IKRQ(ps=fig1.ps, pt=fig1.pt, delta=80.0,
+                     keywords=("latte", "apple"), k=3)
+        toe = fig1_engine.search(query, "ToE")
+        koe = fig1_engine.search(query, "KoE")
+        assert koe.stats.stamps_popped < toe.stats.stamps_popped
+
+    def test_koe_stamps_sit_at_key_partitions(self, fig1, fig1_engine):
+        """Every KoE route alternates between key partitions: each
+        intermediate stamp's tail enters a key partition."""
+        query = IKRQ(ps=fig1.ps, pt=fig1.pt, delta=80.0,
+                     keywords=("latte", "apple"), k=3)
+        answer = fig1_engine.search(query, "KoE")
+        assert answer.routes
+
+    def test_covered_keywords_not_revisited(self, fig1, fig1_engine):
+        """KoE's P' filtering: after covering 'latte' via starbucks it
+        does not expand towards costa (both match latte)."""
+        query = IKRQ(ps=fig1.ps, pt=fig1.pt, delta=200.0,
+                     keywords=("latte",), k=10, alpha=0.5)
+        answer = fig1_engine.search(query, "KoE")
+        v3, v7 = fig1.pid("v3"), fig1.pid("v7")
+        for r in answer.routes:
+            kp = set(r.kp)
+            # A single route never needs both latte partitions.
+            assert not ({v3, v7} <= kp), r.route.describe(fig1.space)
+
+    def test_dead_end_keyword_partition_reached_via_loop(
+            self, fig1, fig1_engine):
+        """v10 (apple) is a dead end; KoE must use the (d15, d15) loop
+        to leave it and still reach pt."""
+        query = IKRQ(ps=fig1.points["p1"], pt=fig1.pt, delta=300.0,
+                     keywords=("apple",), k=1, alpha=0.9)
+        answer = fig1_engine.search(query, "KoE")
+        assert answer.routes
+        best = answer.routes[0]
+        assert "apple" in best.route.words
+        assert best.relevance == pytest.approx(2.0)
+
+    def test_terminal_stays_reachable_when_keyword_covered(
+            self, fig1, fig1_engine):
+        """Even if the terminal partition's i-word matches a covered
+        keyword, KoE keeps it in the pool (deviation note in the
+        module docstring)."""
+        # pt lives in hallway v5 (no i-word) so craft a query whose
+        # terminal is a shop: route to inside costa.
+        pt_in_costa = fig1.space.partition(
+            fig1.pid("v3")).footprint.center
+        query = IKRQ(ps=fig1.ps, pt=pt_in_costa, delta=120.0,
+                     keywords=("costa",), k=1)
+        answer = fig1_engine.search(query, "KoE")
+        assert answer.routes
+
+
+class TestKoEStar:
+    def test_results_equal_koe(self, fig1, fig1_engine):
+        query = IKRQ(ps=fig1.ps, pt=fig1.pt, delta=80.0,
+                     keywords=("latte", "apple"), k=3)
+        koe = fig1_engine.search(query, "KoE")
+        star = fig1_engine.search(query, "KoE*")
+        assert [(r.kp, round(r.distance, 6)) for r in koe.routes] == \
+               [(r.kp, round(r.distance, 6)) for r in star.routes]
+
+    def test_uses_precomputed_routes(self, fig1, fig1_engine):
+        query = IKRQ(ps=fig1.ps, pt=fig1.pt, delta=80.0,
+                     keywords=("latte", "apple"), k=3)
+        star = fig1_engine.search(query, "KoE*")
+        assert star.stats.precomputed_hits + star.stats.precomputed_misses > 0
+
+    def test_memory_includes_matrix(self, fig1, fig1_engine):
+        query = IKRQ(ps=fig1.ps, pt=fig1.pt, delta=80.0,
+                     keywords=("latte",), k=1)
+        koe = fig1_engine.search(query, "KoE")
+        star = fig1_engine.search(query, "KoE*")
+        assert star.stats.estimated_peak_mb() > koe.stats.estimated_peak_mb()
+
+    def test_matrix_provider_falls_back_on_banned(self, fig1, fig1_engine):
+        """A cached route through a banned door must be recomputed."""
+        graph = fig1_engine.graph
+        matrix = DoorMatrix(graph)
+        provider = MatrixContinuationProvider(matrix)
+        query = IKRQ(ps=fig1.ps, pt=fig1.pt, delta=300.0,
+                     keywords=("latte",), k=1)
+        ctx = fig1_engine.context(query)
+        from repro.core import IKRQSearch, SearchConfig
+        from repro.core.koe import KeywordOrientedExpansion
+        search = IKRQSearch(ctx, KeywordOrientedExpansion(),
+                            SearchConfig(), provider=provider)
+        d13 = fig1.did("d13")
+        # Direct path d13 -> d5 exists through v5; ban its doors so the
+        # cached route is rejected.
+        cached = matrix.route(d13, fig1.did("d5"))
+        banned = frozenset(cached[0][:-1]) if len(cached[0]) > 1 else frozenset({fig1.did("d16")})
+        out = provider.nonloop(search, d13, fig1.pid("v5"),
+                               {fig1.did("d5")}, banned, 1000.0)
+        for target, (doors, vias, dist) in out.items():
+            assert not any(d in banned for d in doors)
+
+
+class TestKoEVariants:
+    def test_koe_d_explores_more(self, fig1, fig1_engine):
+        query = IKRQ(ps=fig1.ps, pt=fig1.pt, delta=60.0,
+                     keywords=("latte", "apple"), k=3)
+        koe = fig1_engine.search(query, "KoE")
+        koe_d = fig1_engine.search(query, "KoE-D")
+        assert koe_d.stats.stamps_created >= koe.stats.stamps_created
+
+    def test_koe_b_same_results(self, fig1, fig1_engine):
+        query = IKRQ(ps=fig1.ps, pt=fig1.pt, delta=80.0,
+                     keywords=("latte", "apple"), k=3)
+        a = fig1_engine.search(query, "KoE")
+        b = fig1_engine.search(query, "KoE-B")
+        assert [(r.kp, round(r.score, 9)) for r in a.routes] == \
+               [(r.kp, round(r.score, 9)) for r in b.routes]

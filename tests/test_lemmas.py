@@ -1,0 +1,106 @@
+"""Direct verification of the paper's Lemmas 1–3 on the Fig. 1 venue."""
+
+import math
+
+import pytest
+
+from repro.core import IKRQ
+
+
+def enumerate_partial_minima(ctx, delta):
+    """Exhaustively enumerate regular partial routes from ps and record
+    the minimum distance per homogeneity class ``(tail, KP)``."""
+    minima = {}
+
+    def visit(route, partition):
+        key = (route.tail if isinstance(route.tail, int) else -1, route.kp)
+        prev = minima.get(key, math.inf)
+        if route.distance >= prev:
+            # A shorter homogeneous partial was already seen; any
+            # extension is dominated too (Lemma 1's contrapositive),
+            # but distinct longer partials may still branch — keep
+            # exploring only if strictly new ground.
+            if route.distance > prev:
+                return
+        else:
+            minima[key] = route.distance
+        for door in ctx.space.p2d_leave(partition):
+            if not route.may_append_door(door):
+                continue
+            nxt = ctx.extend_to_door(route, door, via=partition)
+            if nxt is None or nxt.distance > delta:
+                continue
+            for vj in ctx.space.d2p_enter(door) - {partition}:
+                visit(nxt, vj)
+
+    visit(ctx.start_route(), ctx.v_ps)
+    return minima
+
+
+class TestLemma1PrefixPrimality:
+    """Every prefix of a returned prime route is a prime partial."""
+
+    @pytest.mark.parametrize("keywords,delta", [
+        (("latte", "apple"), 60.0),
+        (("oppo", "costa"), 70.0),
+        (("earphone",), 80.0),
+    ])
+    def test_prefixes_are_prime(self, fig1, fig1_engine, keywords, delta):
+        query = IKRQ(ps=fig1.ps, pt=fig1.pt, delta=delta,
+                     keywords=keywords, k=4, alpha=0.5)
+        ctx = fig1_engine.context(query)
+        minima = enumerate_partial_minima(ctx, delta)
+        answer = fig1_engine.search(query, "ToE")
+        assert answer.routes
+        for result in answer.routes:
+            route = result.route
+            # Rebuild every door-ending prefix and check class minima.
+            prefix = ctx.start_route()
+            partition = ctx.v_ps
+            for i, item in enumerate(route.items[1:-1], start=1):
+                via = route.vias[i - 1]
+                prefix = ctx.extend_to_door(prefix, item, via=via)
+                key = (item, prefix.kp)
+                best = minima.get(key)
+                assert best is not None
+                assert prefix.distance <= best + 1e-6, (
+                    f"prefix ending at d{item} is not prime "
+                    f"({prefix.distance:.2f} > {best:.2f})")
+                partition = via
+
+
+class TestLemma2LoopCoverage:
+    def test_returned_loops_enter_keyword_partitions(self, fig1,
+                                                     fig1_engine):
+        query = IKRQ(ps=fig1.points["p1"], pt=fig1.pt, delta=200.0,
+                     keywords=("apple", "latte"), k=6, alpha=0.7)
+        ctx = fig1_engine.context(query)
+        answer = fig1_engine.search(query, "ToE")
+        for result in answer.routes:
+            doors = result.route.doors
+            vias = result.route.vias
+            for i in range(1, len(doors)):
+                if doors[i] == doors[i - 1]:
+                    # The via of the loop segment is the partition the
+                    # loop wanders in; it must cover a query keyword.
+                    item_positions = [j for j, x in enumerate(
+                        result.route.items) if x == doors[i]]
+                    loop_via = result.route.vias[item_positions[1] - 1]
+                    assert ctx.is_keyword_partition(loop_via)
+
+
+class TestLemma3ShortestConnections:
+    def test_koe_segments_are_shortest_regular(self, fig1, fig1_engine):
+        """Between consecutive key partitions a KoE route uses the
+        shortest regular connection (Lemma 3): replacing any segment
+        by a shorter regular alternative would contradict primality,
+        so KoE's distance must match ToE's for shared classes."""
+        query = IKRQ(ps=fig1.ps, pt=fig1.pt, delta=80.0,
+                     keywords=("latte", "apple"), k=5, alpha=0.5)
+        toe = {r.kp: r.distance
+               for r in fig1_engine.search(query, "ToE").routes}
+        koe = fig1_engine.search(query, "KoE")
+        for result in koe.routes:
+            if result.kp in toe:
+                assert result.distance == pytest.approx(
+                    toe[result.kp], abs=1e-6)

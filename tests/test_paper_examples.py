@@ -1,0 +1,248 @@
+"""The paper's worked examples, encoded as tests against the Fig. 1
+fixture (Examples 1–8, Table II, and the Section V-A5 quality study).
+
+Where an example's arithmetic depends only on the formulas (ρ, ψ,
+pruning bounds), the paper's exact numbers are asserted.  Where it
+depends on figure geometry the fixture reproduces (Example 1's
+distances), the numbers are asserted too; remaining geometric claims
+are validated structurally (route sets, primality, orderings).
+"""
+
+import pytest
+
+from repro.core import IKRQ, NaiveSearch, QueryContext
+from repro.geometry import Point
+
+
+@pytest.fixture
+def ctx_latte_apple(fig1, fig1_engine):
+    query = IKRQ(ps=fig1.ps, pt=fig1.pt, delta=60.0,
+                 keywords=("latte", "apple"), k=3, alpha=0.5, tau=0.5)
+    return fig1_engine.context(query)
+
+
+class TestExample1RouteDistance:
+    """δ(R?) = 12.5 m and δ(R) = 18.5 m for (ps, d2, d5, pt)."""
+
+    def test_partial_route_distance(self, fig1, ctx_latte_apple):
+        ctx = ctx_latte_apple
+        r = ctx.start_route()
+        r = ctx.extend_to_door(r, fig1.did("d2"), via=fig1.pid("v1"))
+        r = ctx.extend_to_door(r, fig1.did("d5"), via=fig1.pid("v2"))
+        assert r.distance == pytest.approx(12.5)
+
+    def test_complete_route_distance(self, fig1, ctx_latte_apple):
+        ctx = ctx_latte_apple
+        r = ctx.start_route()
+        r = ctx.extend_to_door(r, fig1.did("d2"), via=fig1.pid("v1"))
+        r = ctx.extend_to_door(r, fig1.did("d5"), via=fig1.pid("v2"))
+        r = ctx.complete_route(r)
+        assert r.distance == pytest.approx(18.5)
+        assert r.is_complete
+
+
+class TestExample2PrimeRoutes:
+    """Homogeneous routes from Table II: the shortest one is prime."""
+
+    def build(self, ctx, fig1, spec):
+        r = ctx.start_route()
+        for door, via in spec:
+            r = ctx.extend_to_door(r, fig1.did(door), via=fig1.pid(via))
+            assert r is not None, (door, via)
+        return ctx.complete_route(r)
+
+    def test_homogeneous_family(self, fig1, fig1_engine):
+        """Rebuild Table II's R1, R2, R4 with QW = (oppo, costa)."""
+        query = IKRQ(ps=fig1.ps, pt=fig1.pt, delta=120.0,
+                     keywords=("oppo", "costa"), k=3, alpha=0.5)
+        ctx = fig1_engine.context(query)
+        r1 = self.build(ctx, fig1, [("d2", "v1"), ("d6", "v2"), ("d7", "v3")])
+        r2 = self.build(ctx, fig1, [("d2", "v1"), ("d5", "v2"),
+                                    ("d7", "v5"), ("d7", "v3")])
+        r4 = self.build(ctx, fig1, [("d3", "v1"), ("d5", "v5"),
+                                    ("d5", "v2"), ("d7", "v5"), ("d7", "v3")])
+        kp1 = ctx.key_partition_sequence(r1)
+        assert kp1 == (fig1.pid("v1"), fig1.pid("v2"),
+                       fig1.pid("v3"), fig1.pid("v5"))
+        # All three share the key-partition sequence (homogeneous).
+        assert kp1 == ctx.key_partition_sequence(r2)
+        assert kp1 == ctx.key_partition_sequence(r4)
+        # R1 is the shortest: it is prime against the others.
+        assert r1.distance < r2.distance < r4.distance
+
+    def test_search_returns_only_prime_of_family(self, fig1, fig1_engine):
+        query = IKRQ(ps=fig1.ps, pt=fig1.pt, delta=120.0,
+                     keywords=("oppo", "costa"), k=5, alpha=0.5)
+        answer = fig1_engine.search(query, "ToE")
+        kps = [r.kp for r in answer.routes]
+        assert len(kps) == len(set(kps)), "homogeneous routes in results"
+
+
+class TestExample5RouteWords:
+    """RW((ps, d3, pt)) = {zara}: door words come from leave-sets."""
+
+    def test_route_words(self, fig1, ctx_latte_apple):
+        ctx = ctx_latte_apple
+        r = ctx.start_route()
+        r = ctx.extend_to_door(r, fig1.did("d3"), via=fig1.pid("v1"))
+        r = ctx.complete_route(r)
+        assert r.words == frozenset({"zara"})
+
+    def test_door_iwords_union_both_sides(self, fig1, ctx_latte_apple):
+        # d2 leaves into v1 (zara) and v2 (oppo).
+        words = ctx_latte_apple.item_iwords(fig1.did("d2"))
+        assert words == frozenset({"zara", "oppo"})
+
+    def test_point_iwords(self, fig1, ctx_latte_apple):
+        assert ctx_latte_apple.item_iwords(fig1.ps) == frozenset({"zara"})
+        assert ctx_latte_apple.item_iwords(fig1.pt) == frozenset()
+
+
+class TestExample6Relevance:
+    """ρ over the stated route-word sets, with τ = 0.5."""
+
+    def test_rho_r1(self, ctx_latte_apple):
+        qk = ctx_latte_apple.qk
+        assert qk.relevance_of_iword_set(
+            {"zara", "oppo", "costa"}) == pytest.approx(1.75)
+
+    def test_rho_r2(self, ctx_latte_apple):
+        qk = ctx_latte_apple.qk
+        assert qk.relevance_of_iword_set(
+            {"apple", "starbucks", "costa"}) == pytest.approx(3.0)
+
+    def test_max_similarity_selected(self, ctx_latte_apple):
+        """latte picks starbucks (1.0) over costa (0.75)."""
+        qk = ctx_latte_apple.qk
+        with_both = qk.relevance_of_iword_set({"starbucks", "costa"})
+        with_costa = qk.relevance_of_iword_set({"costa"})
+        assert with_both == pytest.approx(2.0)   # 1 + 1/1
+        assert with_costa == pytest.approx(1.75)
+
+
+class TestExample7Pruning:
+    """The pruning-rule arithmetic with the paper's numbers."""
+
+    def test_rule1_arithmetic(self):
+        """δ(R?) + |dn, pt|L = 12.5 + 6 > Δ = 16 — prune."""
+        assert 12.5 + 6.0 > 16.0
+
+    def test_rule1_on_fixture(self, fig1, fig1_engine):
+        """With Δ = 16 m no route via d5 survives (12.5 + lb > 16)."""
+        query = IKRQ(ps=fig1.ps, pt=fig1.pt, delta=16.0,
+                     keywords=("latte", "apple"), k=3, alpha=0.5)
+        answer = fig1_engine.search(query, "ToE")
+        for r in answer.routes:
+            assert r.distance <= 16.0
+
+    def test_rule2_rule3_monotonicity(self, fig1, fig1_engine):
+        """Tightening Δ only removes options."""
+        loose = fig1_engine.search(IKRQ(
+            ps=fig1.ps, pt=fig1.pt, delta=60.0,
+            keywords=("latte", "apple"), k=5, alpha=0.5), "ToE")
+        tight = fig1_engine.search(IKRQ(
+            ps=fig1.ps, pt=fig1.pt, delta=25.0,
+            keywords=("latte", "apple"), k=5, alpha=0.5), "ToE")
+        assert len(tight.routes) <= len(loose.routes)
+        loose_classes = {r.kp for r in loose.routes}
+        for r in tight.routes:
+            assert r.kp in loose_classes
+
+
+class TestExample8UpperBound:
+    """Pruning Rule 4's arithmetic from Example 8."""
+
+    def test_kbound_example_numbers(self):
+        alpha, delta = 0.2, 25.0
+        rho, dist = 1.75, 20.0
+        psi = alpha * rho / 3.0 + (1 - alpha) * (delta - dist) / delta
+        assert psi == pytest.approx(0.2766, abs=1e-3)
+        # Partial route with lower bound 23.5:
+        upper = alpha * 1.0 + (1 - alpha) * (1 - 23.5 / 25.0)
+        assert upper == pytest.approx(0.248)
+        assert upper < psi  # pruned
+
+    def test_upper_bound_function(self, fig1, fig1_engine):
+        query = IKRQ(ps=fig1.ps, pt=fig1.pt, delta=25.0,
+                     keywords=("latte", "apple"), k=1, alpha=0.2)
+        ctx = fig1_engine.context(query)
+        assert ctx.upper_bound_score(23.5) == pytest.approx(0.248)
+
+
+class TestSectionVA5Quality:
+    """The earphone example: indirect matching finds the apple store."""
+
+    def test_route_set(self, fig1, fig1_engine):
+        p1, p2 = fig1.points["p1"], fig1.points["p2"]
+        answer = fig1_engine.query(
+            p1, p2, delta=150.0, keywords=["earphone"],
+            k=2, alpha=0.5, tau=0.1, algorithm="ToE")
+        assert len(answer.routes) == 2
+        words = [r.route.words for r in answer.routes]
+        # The two keyword-aware routes: one through samsung (direct
+        # match) and one through apple (indirect via shared t-words).
+        assert any("samsung" in w for w in words)
+        assert any("apple" in w for w in words)
+
+    def test_exact_matching_would_miss_apple(self, fig1, fig1_engine):
+        """With τ = 1.0 only exact/direct matches survive; the apple
+        route loses its keyword score."""
+        p1, p2 = fig1.points["p1"], fig1.points["p2"]
+        strict = fig1_engine.query(
+            p1, p2, delta=150.0, keywords=["earphone"],
+            k=2, alpha=0.5, tau=0.999, algorithm="ToE")
+        apple_routes = [r for r in strict.routes
+                        if "apple" in r.route.words and r.relevance > 0]
+        assert not apple_routes
+
+    def test_short_but_irrelevant_route_ranks_below(self, fig1, fig1_engine):
+        """R3 = (p1, d4, p2) is shortest but keyword-blind: with
+        α = 0.5 both keyword routes outrank it."""
+        p1, p2 = fig1.points["p1"], fig1.points["p2"]
+        answer = fig1_engine.query(
+            p1, p2, delta=150.0, keywords=["earphone"],
+            k=3, alpha=0.5, tau=0.1, algorithm="ToE")
+        scores = {tuple(r.route.doors): r for r in answer.routes}
+        direct = scores.get((fig1.did("d4"),))
+        if direct is not None:
+            assert direct.relevance == 0.0
+            assert answer.routes[0].relevance > 0
+
+    def test_psi_formula_va5(self, fig1, fig1_engine):
+        """ψ(R2) = 0.5·(2/2) + 0.5·(80/100) = 0.9 (paper's numbers)."""
+        query = IKRQ(ps=fig1.points["p1"], pt=fig1.points["p2"],
+                     delta=100.0, keywords=("earphone",), k=2,
+                     alpha=0.5, tau=0.1)
+        ctx = fig1_engine.context(query)
+        # A fake fully-covering route of length 20.
+        route = ctx.start_route()
+        object.__setattr__(route, "sims", (1.0,))
+        object.__setattr__(route, "distance", 20.0)
+        assert ctx.ranking_score(route) == pytest.approx(0.9)
+
+
+class TestLemma2LoopRestriction:
+    def test_loop_into_keyword_partition_found(self, fig1, fig1_engine):
+        """Visiting dead-end v10 (apple) requires the (d15, d15) loop."""
+        answer = fig1_engine.query(
+            fig1.points["p1"], fig1.points["p2"], delta=150.0,
+            keywords=["apple"], k=1, alpha=0.9, algorithm="ToE")
+        best = answer.routes[0]
+        d15 = fig1.did("d15")
+        assert list(best.route.doors).count(d15) == 2
+
+    def test_no_pointless_loops_in_results(self, fig1, fig1_engine):
+        """Loops through keyword-less partitions never help (Lemma 2):
+        no returned route contains one."""
+        answer = fig1_engine.query(
+            fig1.ps, fig1.pt, delta=80.0,
+            keywords=["latte", "apple"], k=5, alpha=0.5, algorithm="ToE")
+        keyword_pids = fig1_engine.context(IKRQ(
+            ps=fig1.ps, pt=fig1.pt, delta=80.0,
+            keywords=("latte", "apple"))).keyword_partitions
+        for r in answer.routes:
+            doors = r.route.doors
+            for i in range(1, len(doors)):
+                if doors[i] == doors[i - 1]:
+                    assert r.route.vias[i] in keyword_pids or \
+                        r.route.vias[i + 1 if i + 1 < len(r.route.vias) else i] in keyword_pids

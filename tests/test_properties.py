@@ -1,0 +1,212 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import IKRQ, IKRQEngine, PrimeTable
+from repro.core.route import Route
+from repro.geometry import Point
+from tests.conftest import random_small_space
+
+slow = settings(max_examples=25, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+# ----------------------------------------------------------------------
+# Prime table algebra
+# ----------------------------------------------------------------------
+class TestPrimeTableProperties:
+    @given(st.lists(st.tuples(st.integers(0, 3),
+                              st.floats(0.1, 100.0)), min_size=1, max_size=30))
+    def test_table_records_minimum(self, updates):
+        table = PrimeTable()
+        best = {}
+        for tail, dist in updates:
+            table.update(tail, (1, 2), dist)
+            best[tail] = min(best.get(tail, math.inf), dist)
+        for tail, expected in best.items():
+            assert table.best(tail, (1, 2)) == expected
+
+    @given(st.lists(st.floats(0.1, 100.0), min_size=1, max_size=20))
+    def test_check_consistent_with_updates(self, distances):
+        table = PrimeTable()
+        for d in distances:
+            table.update(0, (), d)
+        m = min(distances)
+        assert table.check(0, (), m)
+        assert not table.check(0, (), m + 1.0)
+
+
+# ----------------------------------------------------------------------
+# Regularity as a language property
+# ----------------------------------------------------------------------
+door_seq = st.lists(st.integers(0, 4), min_size=0, max_size=8)
+
+
+class TestRegularityProperties:
+    @staticmethod
+    def build(doors):
+        route = Route(items=(Point(0, 0),), vias=(), distance=0.0,
+                      words=frozenset(), sims=(0.0,), door_counts={})
+        for d in doors:
+            if not route.may_append_door(d):
+                return route, False
+            route = route.extended(d, 0, 1.0, route.words,
+                                   route.sims, route.kp)
+        return route, True
+
+    @given(door_seq)
+    def test_incremental_construction_is_regular(self, doors):
+        route, ok = self.build(doors)
+        assert route.is_regular()
+
+    @given(door_seq)
+    def test_audit_agrees_with_incremental(self, doors):
+        """A sequence builds fully iff its door string is regular."""
+        route, ok = self.build(doors)
+        if ok:
+            assert route.doors == tuple(doors)
+        else:
+            # The rejected prefix plus the offending door must violate
+            # the audit.
+            prefix = route.doors
+            bad = doors[len(prefix)]
+            probe, _ = self.build(list(prefix))
+            assert not self._audit_allows(list(prefix), bad)
+
+    @staticmethod
+    def _audit_allows(prefix, nxt):
+        seq = prefix + [nxt]
+        counts = {}
+        last = {}
+        for pos, d in enumerate(seq):
+            counts[d] = counts.get(d, 0) + 1
+            if counts[d] > 2:
+                return False
+            if counts[d] == 2 and last[d] != pos - 1:
+                return False
+            last[d] = pos
+        return True
+
+
+# ----------------------------------------------------------------------
+# Search invariants on random venues
+# ----------------------------------------------------------------------
+class TestSearchInvariants:
+    @slow
+    @given(seed=st.integers(0, 10_000),
+           alpha=st.sampled_from([0.0, 0.3, 0.7, 1.0]),
+           k=st.integers(1, 4))
+    def test_returned_routes_satisfy_problem1(self, seed, alpha, k):
+        space, kindex, ps, pt = random_small_space(seed % 64)
+        engine = IKRQEngine(space, kindex)
+        iword = sorted(kindex.iwords)[seed % len(kindex.iwords)]
+        query = IKRQ(ps=ps, pt=pt, delta=60.0 + (seed % 40),
+                     keywords=(iword,), k=k, alpha=alpha)
+        answer = engine.search(query, "ToE")
+        ctx = engine.context(query)
+        scores = [r.score for r in answer.routes]
+        assert scores == sorted(scores, reverse=True)
+        for r in answer.routes:
+            assert r.route.distance <= query.delta + 1e-9
+            assert r.route.is_regular()
+            assert r.route.is_complete
+            # Ranking score within [0, 1] by construction.
+            assert -1e-9 <= r.score <= 1.0 + 1e-9
+            # Relevance range of Definition 6.
+            assert r.relevance == 0.0 or 1.0 < r.relevance <= 2.0 + 1e-9
+            # Incremental KP equals recomputed KP.
+            assert r.kp == ctx.recompute_key_partitions(r.route)
+
+    @slow
+    @given(seed=st.integers(0, 10_000))
+    def test_kp_incremental_equals_recomputed_partials(self, seed):
+        """Incremental KP maintenance on all expanded partial routes."""
+        space, kindex, ps, pt = random_small_space(seed % 64)
+        engine = IKRQEngine(space, kindex)
+        iword = sorted(kindex.iwords)[0]
+        query = IKRQ(ps=ps, pt=pt, delta=70.0, keywords=(iword,), k=2)
+        ctx = engine.context(query)
+        route = ctx.start_route()
+        import random as _r
+        rng = _r.Random(seed)
+        partition = ctx.v_ps
+        for _ in range(6):
+            doors = [d for d in space.p2d_leave(partition)
+                     if route.may_append_door(d)]
+            if not doors:
+                break
+            door = rng.choice(doors)
+            nxt = ctx.extend_to_door(route, door, via=partition)
+            if nxt is None:
+                break
+            route = nxt
+            options = space.d2p_enter(door) - {partition}
+            if not options:
+                break
+            partition = min(options)
+            assert route.kp == ctx.recompute_key_partitions(route)
+
+    @slow
+    @given(seed=st.integers(0, 10_000),
+           delta_lo=st.floats(30.0, 50.0),
+           extra=st.floats(5.0, 40.0))
+    def test_delta_monotonicity(self, seed, delta_lo, extra):
+        """A larger Δ never loses classes found under a smaller Δ
+        whose routes still fit (scores change, classes persist)."""
+        space, kindex, ps, pt = random_small_space(seed % 64)
+        engine = IKRQEngine(space, kindex)
+        iword = sorted(kindex.iwords)[0]
+        small = engine.search(IKRQ(ps=ps, pt=pt, delta=delta_lo,
+                                   keywords=(iword,), k=10), "naive")
+        large = engine.search(IKRQ(ps=ps, pt=pt, delta=delta_lo + extra,
+                                   keywords=(iword,), k=50), "naive")
+        small_classes = {r.kp for r in small.routes}
+        large_classes = {r.kp for r in large.routes}
+        assert small_classes <= large_classes
+
+    @slow
+    @given(seed=st.integers(0, 10_000))
+    def test_skeleton_lower_bounds_search_distance(self, seed):
+        """Every complete route's distance ≥ the skeleton |ps, pt|L."""
+        space, kindex, ps, pt = random_small_space(seed % 64)
+        engine = IKRQEngine(space, kindex)
+        iword = sorted(kindex.iwords)[0]
+        query = IKRQ(ps=ps, pt=pt, delta=80.0, keywords=(iword,), k=5)
+        answer = engine.search(query, "ToE")
+        lb = engine.skeleton.lower_bound(ps, pt)
+        for r in answer.routes:
+            assert r.distance >= lb - 1e-9
+
+
+# ----------------------------------------------------------------------
+# Ranking score algebra (Equation 1)
+# ----------------------------------------------------------------------
+class TestRankingProperties:
+    @given(alpha=st.floats(0.0, 1.0),
+           rho=st.floats(0.0, 3.0),
+           dist=st.floats(0.0, 100.0))
+    def test_score_bounds(self, alpha, rho, dist):
+        delta, m = 100.0, 2
+        keyword_part = rho / (m + 1)
+        spatial_part = (delta - dist) / delta
+        psi = alpha * keyword_part + (1 - alpha) * spatial_part
+        assert -1e-9 <= psi <= 1.0 + 1e-9
+
+    @given(alpha=st.floats(0.01, 1.0), dist=st.floats(0.0, 99.0))
+    def test_score_monotone_in_relevance(self, alpha, dist):
+        delta, m = 100.0, 2
+        lo = alpha * (1.0 / (m + 1)) + (1 - alpha) * (delta - dist) / delta
+        hi = alpha * (3.0 / (m + 1)) + (1 - alpha) * (delta - dist) / delta
+        assert hi >= lo
+
+    @given(alpha=st.floats(0.0, 0.99), rho=st.floats(0.0, 3.0),
+           d1=st.floats(0.0, 100.0), d2=st.floats(0.0, 100.0))
+    def test_score_monotone_in_distance(self, alpha, rho, d1, d2):
+        delta, m = 100.0, 2
+        def psi(d):
+            return alpha * rho / (m + 1) + (1 - alpha) * (delta - d) / delta
+        if d1 <= d2:
+            assert psi(d1) >= psi(d2) - 1e-12

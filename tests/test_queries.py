@@ -1,0 +1,121 @@
+"""Tests for the query workload generator (Section V-A1)."""
+
+import pytest
+
+from repro.core import IKRQEngine
+from repro.datasets import (
+    CorpusConfig,
+    QueryGenerator,
+    build_corpus,
+    build_synthetic_space,
+)
+from repro.datasets.assign import assign_random
+
+
+@pytest.fixture(scope="module")
+def env():
+    space, rooms = build_synthetic_space(floors=2, scale=0.15)
+    corpus = build_corpus(CorpusConfig().scaled(0.1))
+    all_rooms = [r for f in sorted(rooms) for r in rooms[f]]
+    kindex = assign_random(all_rooms, corpus)
+    engine = IKRQEngine(space, kindex)
+    return space, kindex, engine
+
+
+class TestKeywordSampling:
+    def test_beta_controls_iword_fraction(self, env):
+        space, kindex, engine = env
+        gen = QueryGenerator(space, kindex, graph=engine.graph, seed=1)
+        all_iwords = kindex.iwords
+        words = gen.sample_keywords(5, beta=1.0)
+        assert all(w in all_iwords for w in words)
+
+    def test_beta_zero_prefers_twords(self, env):
+        space, kindex, engine = env
+        gen = QueryGenerator(space, kindex, graph=engine.graph, seed=1)
+        twords = kindex.vocabulary.twords
+        words = gen.sample_keywords(4, beta=0.0)
+        assert sum(1 for w in words if w in twords) >= 3
+
+    def test_size_respected(self, env):
+        space, kindex, engine = env
+        gen = QueryGenerator(space, kindex, graph=engine.graph, seed=1)
+        for size in (1, 2, 3, 4, 5):
+            assert len(gen.sample_keywords(size, beta=0.6)) == size
+
+    def test_no_duplicates(self, env):
+        space, kindex, engine = env
+        gen = QueryGenerator(space, kindex, graph=engine.graph, seed=3)
+        for _ in range(10):
+            words = gen.sample_keywords(5, beta=0.4)
+            assert len(set(words)) == len(words)
+
+    def test_invalid_size(self, env):
+        space, kindex, engine = env
+        gen = QueryGenerator(space, kindex, graph=engine.graph)
+        with pytest.raises(ValueError):
+            gen.sample_keywords(0, beta=0.5)
+
+
+class TestEndpoints:
+    def test_endpoints_near_requested_separation(self, env):
+        space, kindex, engine = env
+        gen = QueryGenerator(space, kindex, graph=engine.graph, seed=7)
+        target = 150.0
+        ps, pt, achieved = gen.endpoints(target)
+        # The generator tolerates 25% around the requested distance
+        # plus the in-partition hop to pt.
+        assert achieved == pytest.approx(target, rel=0.6)
+
+    def test_achieved_distance_is_feasible(self, env):
+        """The reported separation is realisable: a real route exists
+        with roughly that distance."""
+        space, kindex, engine = env
+        gen = QueryGenerator(space, kindex, graph=engine.graph, seed=9)
+        ps, pt, achieved = gen.endpoints(120.0)
+        real = engine.graph.point_to_point_distance(ps, pt)
+        assert real <= achieved + 1e-6
+
+    def test_deterministic_per_seed(self, env):
+        space, kindex, engine = env
+        a = QueryGenerator(space, kindex, graph=engine.graph, seed=5)
+        b = QueryGenerator(space, kindex, graph=engine.graph, seed=5)
+        pa = a.endpoints(100.0)
+        pb = b.endpoints(100.0)
+        assert pa[0] == pb[0] and pa[1] == pb[1]
+
+
+class TestWorkload:
+    def test_workload_shape(self, env):
+        space, kindex, engine = env
+        gen = QueryGenerator(space, kindex, graph=engine.graph, seed=11)
+        wl = gen.workload(s2t=120.0, eta=1.6, qw_size=3, beta=0.6,
+                          k=5, instances=4)
+        assert len(wl) == 4
+        for q in wl:
+            assert q.k == 5
+            assert len(q.keywords) == 3
+            assert q.delta > 0
+
+    def test_delta_is_eta_times_separation(self, env):
+        """Δ = η · δs2t guarantees every query admits some route."""
+        space, kindex, engine = env
+        gen = QueryGenerator(space, kindex, graph=engine.graph, seed=13)
+        wl = gen.workload(s2t=120.0, eta=1.4, instances=3)
+        for q in wl:
+            real = engine.graph.point_to_point_distance(q.ps, q.pt)
+            assert real <= q.delta + 1e-6
+
+    def test_queries_are_answerable(self, env):
+        space, kindex, engine = env
+        gen = QueryGenerator(space, kindex, graph=engine.graph, seed=17)
+        wl = gen.workload(s2t=100.0, eta=1.8, qw_size=2, instances=3)
+        for q in wl:
+            answer = engine.search(q, "ToE")
+            assert answer.routes, "workload query returned no route"
+
+    def test_workload_iterable(self, env):
+        space, kindex, engine = env
+        gen = QueryGenerator(space, kindex, graph=engine.graph, seed=19)
+        wl = gen.workload(instances=2, s2t=100.0)
+        assert list(wl) == list(wl.queries)

@@ -1,0 +1,135 @@
+"""Tests for the Route model: regularity, relevance, extension."""
+
+import pytest
+
+from repro.core.route import Route
+from repro.geometry import Point
+
+
+def make_route(doors, start=None, sims=(0.0,)):
+    """Assemble a route item-by-item with dummy vias/costs."""
+    items = (start if start is not None else Point(0, 0),)
+    route = Route(items=items, vias=(), distance=0.0,
+                  words=frozenset(), sims=tuple(sims), door_counts={})
+    for d in doors:
+        route = route.extended(d, via=0, cost=1.0,
+                               new_words=route.words,
+                               new_sims=route.sims,
+                               new_kp=route.kp)
+    return route
+
+
+class TestBasics:
+    def test_head_tail(self):
+        r = make_route([1, 2, 3])
+        assert isinstance(r.head, Point)
+        assert r.tail == 3
+        assert r.tail_door == 3
+
+    def test_tail_door_none_for_point(self):
+        r = make_route([])
+        assert r.tail_door is None
+
+    def test_doors_subsequence(self):
+        r = make_route([4, 5, 5])
+        assert r.doors == (4, 5, 5)
+
+    def test_distance_accumulates(self):
+        r = make_route([1, 2, 3])
+        assert r.distance == pytest.approx(3.0)
+
+    def test_complete_detection(self):
+        r = make_route([1, 2])
+        assert not r.is_complete
+        done = r.extended(Point(9, 9), via=0, cost=1.0,
+                          new_words=r.words, new_sims=r.sims, new_kp=r.kp)
+        assert done.is_complete
+
+    def test_single_point_not_complete(self):
+        assert not make_route([]).is_complete
+
+    def test_counts(self):
+        r = make_route([1, 2, 2])
+        assert r.count(2) == 2
+        assert r.count(1) == 1
+        assert r.count(99) == 0
+        assert r.contains_door(1)
+        assert not r.contains_door(99)
+
+
+class TestRegularity:
+    """The paper's Principle of Regularity."""
+
+    def test_fresh_door_allowed(self):
+        assert make_route([1, 2]).may_append_door(3)
+
+    def test_immediate_loop_allowed(self):
+        assert make_route([1, 2]).may_append_door(2)
+
+    def test_reappearance_with_gap_forbidden(self):
+        # (d13, d14, d14, d13) from the paper: the final d13 is illegal.
+        r = make_route([13, 14, 14])
+        assert not r.may_append_door(13)
+
+    def test_triple_forbidden(self):
+        r = make_route([5, 5])
+        assert not r.may_append_door(5)
+
+    def test_is_regular_accepts_loop(self):
+        assert make_route([1, 2, 2, 3]).is_regular()
+
+    def test_is_regular_rejects_gap(self):
+        r = make_route([13, 14, 14, 13])
+        assert not r.is_regular()
+
+    def test_is_regular_rejects_triple(self):
+        assert not make_route([5, 5, 5]).is_regular()
+
+    def test_empty_route_regular(self):
+        assert make_route([]).is_regular()
+
+    def test_incremental_matches_audit(self):
+        """may_append_door must agree with the full audit."""
+        import itertools
+        for doors in itertools.product(range(3), repeat=4):
+            route = make_route([])
+            legal = True
+            for d in doors:
+                if not route.may_append_door(d):
+                    legal = False
+                    break
+                route = route.extended(d, 0, 1.0, route.words,
+                                       route.sims, route.kp)
+            if legal:
+                assert route.is_regular(), doors
+
+
+class TestRelevance:
+    def test_zero_when_uncovered(self):
+        r = make_route([1], sims=(0.0, 0.0))
+        assert r.covered_count == 0
+        assert r.relevance == 0.0
+
+    def test_definition6_formula(self):
+        r = make_route([1], sims=(0.75, 0.0, 1.0))
+        # covered = 2, ρ = 2 + (0.75 + 1.0)/2.
+        assert r.covered_count == 2
+        assert r.relevance == pytest.approx(2.875)
+
+    def test_full_coverage(self):
+        r = make_route([1], sims=(1.0, 1.0))
+        assert r.relevance == pytest.approx(3.0)
+
+
+class TestImmutability:
+    def test_extension_does_not_mutate_parent(self):
+        parent = make_route([1])
+        child = parent.extended(2, 0, 1.0, parent.words,
+                                parent.sims, parent.kp)
+        assert parent.doors == (1,)
+        assert child.doors == (1, 2)
+        assert parent.door_counts == {1: 1}
+
+    def test_describe_without_space(self):
+        text = make_route([1, 2]).describe()
+        assert "d1" in text and "d2" in text

@@ -1,0 +1,106 @@
+"""Tests for the skeleton lower-bound index (Xie et al. substrate)."""
+
+import math
+
+import pytest
+
+from repro.datasets import build_synthetic_space
+from repro.geometry import Point
+from repro.space import DoorGraph, SkeletonIndex
+
+
+@pytest.fixture(scope="module")
+def multi():
+    space, rooms = build_synthetic_space(floors=3, scale=0.12)
+    return space, rooms, SkeletonIndex(space), DoorGraph(space)
+
+
+class TestSameFloor:
+    def test_same_floor_is_euclidean(self, fig1):
+        sk = SkeletonIndex(fig1.space)
+        d2, d7 = fig1.did("d2"), fig1.did("d7")
+        pos2 = fig1.space.door(d2).position
+        pos7 = fig1.space.door(d7).position
+        assert sk.lower_bound(d2, d7) == pytest.approx(pos2.distance_to(pos7))
+
+    def test_point_item(self, fig1):
+        sk = SkeletonIndex(fig1.space)
+        d2 = fig1.did("d2")
+        pos2 = fig1.space.door(d2).position
+        assert sk.lower_bound(fig1.ps, d2) == pytest.approx(
+            fig1.ps.distance_to(pos2))
+
+    def test_identity_zero(self, fig1):
+        sk = SkeletonIndex(fig1.space)
+        d2 = fig1.did("d2")
+        assert sk.lower_bound(d2, d2) == 0.0
+
+    def test_no_staircases_on_single_floor(self, fig1):
+        sk = SkeletonIndex(fig1.space)
+        assert sk.staircase_doors == []
+
+
+class TestCrossFloor:
+    def test_cross_floor_positive(self, multi):
+        space, rooms, sk, graph = multi
+        a = space.partition(rooms[0][0]).footprint.center
+        b = space.partition(rooms[2][0]).footprint.center
+        lb = sk.lower_bound(a, b)
+        assert 0 < lb < math.inf
+
+    def test_symmetry(self, multi):
+        space, rooms, sk, graph = multi
+        a = space.partition(rooms[0][0]).footprint.center
+        b = space.partition(rooms[2][3]).footprint.center
+        assert sk.lower_bound(a, b) == pytest.approx(sk.lower_bound(b, a))
+
+    def test_is_true_lower_bound_of_graph_distance(self, multi):
+        """The critical soundness property behind Pruning Rules 1-4."""
+        space, rooms, sk, graph = multi
+        doors = sorted(space.doors)
+        sources = doors[:: max(1, len(doors) // 6)]
+        for src in sources:
+            dist, _ = graph.dijkstra(src)
+            for dst in doors[:: max(1, len(doors) // 10)]:
+                if dst not in dist:
+                    continue
+                assert sk.lower_bound(src, dst) <= dist[dst] + 1e-6, (
+                    f"skeleton over-estimates {src}->{dst}")
+
+    def test_stair_door_to_adjacent_floor_uses_euclid(self, multi):
+        space, rooms, sk, graph = multi
+        stair_doors = sk.staircase_doors
+        assert stair_doors
+        sd = stair_doors[0]
+        pos = space.door(sd).position
+        target = Point(pos.x + 5.0, pos.y, float(pos.floor))
+        assert sk.lower_bound(sd, target) == pytest.approx(
+            pos.distance_to(target))
+
+
+class TestViaPartition:
+    def test_via_partition_bound(self, fig1):
+        """Rule 3's δLB(ps, v3, pt): enter and leave costa."""
+        sk = SkeletonIndex(fig1.space)
+        v3 = fig1.pid("v3")
+        lb = sk.lower_bound_via_partition(fig1.ps, v3, fig1.pt)
+        # Must be at least the straight ps->pt distance.
+        assert lb >= fig1.ps.distance_to(fig1.pt) - 1e-9
+
+    def test_via_partition_lower_bounds_real_route(self, fig1, fig1_engine):
+        """Any real route through the partition is at least the bound."""
+        sk = SkeletonIndex(fig1.space)
+        v10 = fig1.pid("v10")
+        lb = sk.lower_bound_via_partition(fig1.ps, v10, fig1.pt)
+        ans = fig1_engine.query(
+            fig1.ps, fig1.pt, delta=200.0, keywords=["apple"],
+            k=1, alpha=0.9, algorithm="ToE")
+        best = ans.routes[0]
+        if v10 in best.route.vias:
+            assert best.distance >= lb - 1e-9
+
+    def test_dead_end_partition(self, fig1):
+        sk = SkeletonIndex(fig1.space)
+        v10 = fig1.pid("v10")
+        lb = sk.lower_bound_via_partition(fig1.ps, v10, fig1.pt)
+        assert lb < math.inf
