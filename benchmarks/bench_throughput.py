@@ -1,0 +1,27 @@
+#!/usr/bin/env python
+"""Shell entry point for the sequential-vs-batched throughput bench.
+
+Measures queries/second of bare ``engine.search`` calls against
+``QueryService.search_batch`` on the same traffic stream, verifying
+that both return identical results::
+
+    PYTHONPATH=src python benchmarks/bench_throughput.py
+    PYTHONPATH=src python benchmarks/bench_throughput.py \
+        --venue synthetic --pool 16 --repeat 5 --workers 4
+
+The measurement logic lives in :mod:`repro.bench.throughput` (also
+reachable as ``python -m repro.bench throughput``) so the CLI, the CI
+smoke run and this script share one implementation.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench.throughput import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

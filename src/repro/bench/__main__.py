@@ -23,6 +23,7 @@ import time
 from pathlib import Path
 
 from repro.bench import experiments as E
+from repro.bench import throughput as T
 from repro.bench.reporting import format_series
 
 #: Which series to print per figure: (x key, metrics).
@@ -57,6 +58,21 @@ DESCRIPTIONS = {
     "fig19": "real data: time vs. eta",
     "fig20": "real data: ToE\\P homogeneous rate vs. |QW|",
 }
+
+#: Non-figure experiments (not in the paper; engine-growth workloads).
+EXTRA_DESCRIPTIONS = {
+    "throughput": "queries/second: sequential vs. batched QueryService",
+}
+
+
+def run_throughput(args) -> dict:
+    print(f"\n=== throughput: {EXTRA_DESCRIPTIONS['throughput']} "
+          f"(venue={args.venue}, workers={args.workers}) ===")
+    result = T.run_throughput(
+        venue=args.venue, pool=args.pool, repeat=args.repeats_pool,
+        workers=args.workers, scale=args.scale)
+    print(T.format_report(result))
+    return result
 
 
 def run_figure(figure: str, scale: float, instances: int,
@@ -112,20 +128,36 @@ def main(argv=None) -> int:
                         help="runs per instance (paper: 5)")
     parser.add_argument("--json", type=Path, default=None,
                         help="also write results to this JSON file")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="thread-pool size for 'throughput'")
+    parser.add_argument("--venue", default="fig1",
+                        choices=("fig1", "synthetic"),
+                        help="venue for 'throughput'")
+    parser.add_argument("--pool", type=int, default=12,
+                        help="distinct queries for 'throughput'")
+    parser.add_argument("--repeats-pool", type=int, default=4,
+                        help="pool repetitions for 'throughput'")
     args = parser.parse_args(argv)
 
     if args.list or not args.figures:
         print("available figures:")
         for fig in E.REGISTRY:
             print(f"  {fig:10s} {DESCRIPTIONS[fig]}")
+        for name, text in EXTRA_DESCRIPTIONS.items():
+            print(f"  {name:10s} {text}")
         return 0
 
-    figures = list(E.REGISTRY) if "all" in args.figures else args.figures
-    unknown = [f for f in figures if f not in E.REGISTRY]
+    figures = (list(E.REGISTRY) + list(EXTRA_DESCRIPTIONS)
+               if "all" in args.figures else args.figures)
+    unknown = [f for f in figures
+               if f not in E.REGISTRY and f not in EXTRA_DESCRIPTIONS]
     if unknown:
         parser.error(f"unknown figures: {unknown}; use --list")
     documents = []
     for figure in figures:
+        if figure == "throughput":
+            documents.append(run_throughput(args))
+            continue
         documents.append(run_figure(
             figure, args.scale, args.instances, args.repeats))
     if args.json is not None:

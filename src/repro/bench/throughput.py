@@ -1,0 +1,208 @@
+"""Queries/second of sequential vs. batched IKRQ execution.
+
+The paper measures per-query latency; a production engine additionally
+cares about *throughput* under traffic.  This experiment replays a
+query stream — a pool of distinct queries drawn over a handful of
+``(ps, pt)`` endpoint pairs and keyword lists, repeated the way real
+kiosk/app traffic repeats — two ways:
+
+* **sequential**: one bare ``engine.search`` call per stream item,
+  the way a naive server would evaluate each request in isolation,
+* **batched**: one ``QueryService.search_batch`` call, which fans the
+  stream over worker threads and amortises per-endpoint attachment
+  maps, keyword conversion, Dijkstra workspaces, and repeated
+  identical requests across the batch.
+
+Both runs must return bit-identical results (route item sequences,
+distances and scores); the comparison is throughput only.
+
+Run it from the shell::
+
+    python benchmarks/bench_throughput.py --venue fig1 --pool 12 --repeat 4
+    python -m repro.bench throughput --workers 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.engine import IKRQEngine, QueryService, canonical_algorithm
+from repro.core.query import IKRQ
+from repro.datasets import paper_fig1
+from repro.space.entities import PartitionKind
+
+
+def _endpoint_pool(engine: IKRQEngine,
+                   rng: random.Random,
+                   count: int):
+    """Distinct ``(ps, pt)`` pairs anchored in hallway partitions."""
+    space = engine.space
+    hallways = [p for p in space.partitions.values()
+                if p.kind is PartitionKind.HALLWAY]
+    anchors = hallways or list(space.partitions.values())
+    pairs = []
+    for _ in range(count):
+        a = rng.choice(anchors)
+        b = rng.choice(anchors)
+        pairs.append((a.footprint.random_interior_point(rng),
+                      b.footprint.random_interior_point(rng)))
+    return pairs
+
+
+def _keyword_pool(engine: IKRQEngine,
+                  rng: random.Random,
+                  count: int) -> List[Tuple[str, ...]]:
+    iwords = sorted(engine.kindex.iwords)
+    twords = sorted(engine.kindex.vocabulary.twords)
+    pool: List[Tuple[str, ...]] = []
+    for _ in range(count):
+        kws = [rng.choice(iwords)]
+        if twords and rng.random() < 0.7:
+            kws.append(rng.choice(twords))
+        pool.append(tuple(kws))
+    return pool
+
+
+def build_stream(engine: IKRQEngine,
+                 pool: int = 12,
+                 repeat: int = 4,
+                 endpoints: int = 4,
+                 delta: float = 70.0,
+                 seed: int = 7) -> List[IKRQ]:
+    """A shuffled traffic stream of ``pool`` distinct queries × ``repeat``."""
+    rng = random.Random(seed)
+    pairs = _endpoint_pool(engine, rng, endpoints)
+    keywords = _keyword_pool(engine, rng, max(pool, 1))
+    distinct: List[IKRQ] = []
+    for i in range(pool):
+        ps, pt = pairs[i % len(pairs)]
+        distinct.append(IKRQ(
+            ps=ps, pt=pt,
+            delta=delta * rng.uniform(0.8, 1.2),
+            keywords=keywords[i],
+            k=rng.choice((1, 3, 5)),
+            alpha=rng.choice((0.3, 0.5, 0.7))))
+    stream = [distinct[i % pool] for i in range(pool * repeat)]
+    rng.shuffle(stream)
+    return stream
+
+
+def _signature(answers) -> List[list]:
+    """Exact result signature: items, vias, distance, score per route."""
+    return [[(tuple(repr(i) for i in r.route.items), r.route.vias,
+              r.distance, r.score) for r in answer.routes]
+            for answer in answers]
+
+
+def build_engine(venue: str, scale: float, seed: int) -> IKRQEngine:
+    if venue == "fig1":
+        fixture = paper_fig1()
+        return IKRQEngine(fixture.space, fixture.kindex)
+    if venue == "synthetic":
+        from repro.bench import experiments as E
+        return E.synthetic_env(floors=2, scale=scale, seed=seed).engine
+    raise ValueError(f"unknown venue {venue!r}; choose fig1 or synthetic")
+
+
+def run_throughput(venue: str = "fig1",
+                   algorithm: str = "ToE",
+                   pool: int = 12,
+                   repeat: int = 4,
+                   endpoints: int = 4,
+                   workers: int = 4,
+                   scale: float = 0.12,
+                   seed: int = 7,
+                   engine: Optional[IKRQEngine] = None) -> Dict:
+    """Measure sequential vs. batched q/s and verify identical results."""
+    algorithm = canonical_algorithm(algorithm)
+    engine = engine or build_engine(venue, scale, seed)
+    stream = build_stream(engine, pool=pool, repeat=repeat,
+                          endpoints=endpoints, seed=seed)
+    # Warm the engine-level oracles so neither mode pays one-time
+    # construction costs inside its timed region.
+    for query in stream[:min(3, len(stream))]:
+        engine.search(query, algorithm)
+
+    started = time.perf_counter()
+    sequential = [engine.search(query, algorithm) for query in stream]
+    sequential_s = time.perf_counter() - started
+
+    service = QueryService(engine, workers=workers)
+    started = time.perf_counter()
+    batched = service.search_batch(stream, algorithm, workers=workers)
+    batched_s = time.perf_counter() - started
+
+    if _signature(sequential) != _signature(batched):
+        raise AssertionError(
+            "batched results differ from sequential execution")
+
+    n = len(stream)
+    result = {
+        "venue": venue,
+        "algorithm": algorithm,
+        "queries": n,
+        "distinct_queries": pool,
+        "workers": workers,
+        "sequential_qps": n / sequential_s if sequential_s else float("inf"),
+        "batched_qps": n / batched_s if batched_s else float("inf"),
+        "sequential_seconds": sequential_s,
+        "batched_seconds": batched_s,
+        "verified_identical": True,
+        "service_stats": service.stats.as_dict(),
+    }
+    result["speedup"] = (result["batched_qps"] / result["sequential_qps"]
+                         if result["sequential_qps"] else float("inf"))
+    return result
+
+
+def format_report(result: Dict) -> str:
+    lines = [
+        f"venue={result['venue']} algorithm={result['algorithm']} "
+        f"queries={result['queries']} "
+        f"(distinct={result['distinct_queries']}) "
+        f"workers={result['workers']}",
+        f"  sequential : {result['sequential_qps']:10.1f} q/s "
+        f"({result['sequential_seconds'] * 1000.0:8.1f} ms)",
+        f"  batched    : {result['batched_qps']:10.1f} q/s "
+        f"({result['batched_seconds'] * 1000.0:8.1f} ms)",
+        f"  speedup    : {result['speedup']:10.2f}x   "
+        f"results identical: {result['verified_identical']}",
+        f"  service    : {result['service_stats']}",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark sequential vs. batched IKRQ throughput.")
+    parser.add_argument("--venue", default="fig1",
+                        choices=("fig1", "synthetic"))
+    parser.add_argument("--algorithm", default="ToE")
+    parser.add_argument("--pool", type=int, default=12,
+                        help="distinct queries in the traffic pool")
+    parser.add_argument("--repeat", type=int, default=4,
+                        help="how often the pool repeats in the stream")
+    parser.add_argument("--endpoints", type=int, default=4,
+                        help="distinct (ps, pt) endpoint pairs")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--scale", type=float, default=0.12,
+                        help="synthetic venue scale")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+    result = run_throughput(
+        venue=args.venue, algorithm=args.algorithm, pool=args.pool,
+        repeat=args.repeat, endpoints=args.endpoints, workers=args.workers,
+        scale=args.scale, seed=args.seed)
+    print(format_report(result))
+    # run_throughput raises when results diverge; the exit code gates
+    # on correctness only — a timing comparison is not a pass/fail
+    # criterion on shared CI runners.
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via wrapper
+    import sys
+    sys.exit(main())

@@ -24,7 +24,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.core import IKRQEngine
+from repro.core import IKRQ, IKRQEngine, QueryService
 from repro.core.directions import render_directions
 from repro.datasets import paper_fig1
 from repro.geometry import Point
@@ -74,10 +74,15 @@ def _load_engine(path):
 
 def _cmd_query(args) -> int:
     space, kindex, engine = _load_engine(args.path)
-    answer = engine.query(
-        ps=args.from_point, pt=args.to_point, delta=args.delta,
-        keywords=args.keywords.split(","), k=args.k,
-        alpha=args.alpha, tau=args.tau, algorithm=args.algorithm)
+    query = IKRQ(ps=args.from_point, pt=args.to_point, delta=args.delta,
+                 keywords=tuple(args.keywords.split(",")), k=args.k,
+                 alpha=args.alpha, tau=args.tau)
+    if args.workers > 0:
+        service = QueryService(engine, workers=args.workers)
+        answer = service.search_batch(
+            [query], algorithm=args.algorithm, workers=args.workers)[0]
+    else:
+        answer = engine.search(query, algorithm=args.algorithm)
     if not answer.routes:
         print("no feasible route")
         return 1
@@ -149,6 +154,10 @@ def build_parser() -> argparse.ArgumentParser:
     add_query_args(p, require_query=True)
     p.add_argument("--directions", action="store_true",
                    help="print step-by-step directions")
+    p.add_argument("--workers", type=int, default=0,
+                   help="evaluate through the batched QueryService layer "
+                        "(single queries run inline on its caches; "
+                        "0 = direct engine call)")
     p.set_defaults(func=_cmd_query)
 
     p = sub.add_parser("render", help="draw a floor (optionally + routes)")

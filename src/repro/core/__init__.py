@@ -16,6 +16,8 @@ from repro.core.engine import (
     ALGORITHMS,
     IKRQEngine,
     QueryAnswer,
+    QueryService,
+    ServiceStats,
     canonical_algorithm,
     config_for,
 )
@@ -48,6 +50,8 @@ __all__ = [
     "PrimeTable",
     "QueryAnswer",
     "QueryContext",
+    "QueryService",
+    "ServiceStats",
     "Route",
     "RouteResult",
     "SearchConfig",

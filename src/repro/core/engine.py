@@ -1,9 +1,15 @@
-"""The public IKRQ engine facade and the algorithm registry.
+"""The public IKRQ engine facade, the algorithm registry, and the
+batched :class:`QueryService` layer.
 
 :class:`IKRQEngine` bundles an indoor space with its keyword index and
 the shared routing oracles (door graph, skeleton index, distance
 oracle), and evaluates :class:`~repro.core.query.IKRQ` queries with
-any of the paper's algorithms:
+any of the paper's algorithms.  :class:`QueryService` sits on top of
+one engine and evaluates many queries over the shared immutable
+oracles — thread-pool fan-out, per-thread Dijkstra workspaces, and
+LRU caches for per-endpoint state that repeats across traffic.
+
+The algorithms:
 
 ===========  =====================================================
 name          meaning
@@ -24,13 +30,17 @@ Paper-style spellings (``ToE\\D`` …) are accepted as aliases.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.geometry import Point
+from repro.keywords.matching import QueryKeywords
 from repro.keywords.mappings import KeywordIndex
 from repro.space.distances import DistanceOracle
-from repro.space.graph import DoorGraph, DoorMatrix
+from repro.space.graph import DijkstraWorkspace, DoorGraph, DoorMatrix
 from repro.space.indoor_space import IndoorSpace
 from repro.space.skeleton import SkeletonIndex
 from repro.core.framework import IKRQSearch, SearchConfig
@@ -62,8 +72,16 @@ def canonical_algorithm(name: str) -> str:
     key = name.strip().lower()
     if key in _ALIASES:
         return _ALIASES[key]
+    by_canonical: Dict[str, List[str]] = {}
+    for alias, canonical in _ALIASES.items():
+        if alias != canonical.lower():
+            by_canonical.setdefault(canonical, []).append(alias)
+    accepted = ", ".join(
+        name + (" (aliases: " + ", ".join(sorted(by_canonical[name])) + ")"
+                if by_canonical.get(name) else "")
+        for name in ALGORITHMS + ("naive",))
     raise ValueError(
-        f"unknown algorithm {name!r}; choose from {ALGORITHMS + ('naive',)}")
+        f"unknown algorithm {name!r}; accepted names: {accepted}")
 
 
 def config_for(name: str,
@@ -123,7 +141,9 @@ class IKRQEngine:
     def __init__(self,
                  space: IndoorSpace,
                  kindex: KeywordIndex,
-                 popularity: Optional[Dict[int, float]] = None) -> None:
+                 popularity: Optional[Dict[int, float]] = None,
+                 door_matrix_eager: bool = True,
+                 door_matrix_max_rows: Optional[int] = None) -> None:
         self.space = space
         self.kindex = kindex
         #: Optional partition-popularity map for the γ-weighted ranking
@@ -132,10 +152,22 @@ class IKRQEngine:
         self.oracle = DistanceOracle(space)
         self.graph = DoorGraph(space, self.oracle)
         self.skeleton = SkeletonIndex(space)
+        #: Whether the KoE* door matrix is filled eagerly when first
+        #: requested.  The matrix itself defaults to lazy rows (the
+        #: mode the paper measures against); the engine defaults to
+        #: eager because it amortises one matrix over many queries —
+        #: this flag makes that an explicit, documented engine choice.
+        self.door_matrix_eager = door_matrix_eager
+        #: Optional memory budget: maximum resident matrix rows (LRU).
+        self.door_matrix_max_rows = door_matrix_max_rows
         self._matrix: Optional[DoorMatrix] = None
+        self._matrix_lock = threading.Lock()
 
     # ------------------------------------------------------------------
-    def context(self, query: IKRQ) -> QueryContext:
+    def context(self,
+                query: IKRQ,
+                workspace: Optional[DijkstraWorkspace] = None,
+                qk: Optional[QueryKeywords] = None) -> QueryContext:
         """A fresh per-query context sharing the engine's oracles."""
         return QueryContext(
             space=self.space,
@@ -145,27 +177,42 @@ class IKRQEngine:
             skeleton=self.skeleton,
             oracle=self.oracle,
             popularity=self.popularity,
+            workspace=workspace,
+            qk=qk,
         )
 
     def door_matrix(self) -> DoorMatrix:
-        """The (lazily built, eagerly filled) KoE* door matrix."""
-        if self._matrix is None:
-            self._matrix = DoorMatrix(self.graph, eager=True)
-        return self._matrix
+        """The lazily constructed KoE* door matrix.
+
+        Whether its rows are prebuilt (and how many stay resident) is
+        the engine choice configured by ``door_matrix_eager`` /
+        ``door_matrix_max_rows``.  Thread-safe: concurrent batched
+        queries build the matrix exactly once.
+        """
+        with self._matrix_lock:
+            if self._matrix is None:
+                self._matrix = DoorMatrix(
+                    self.graph, eager=self.door_matrix_eager,
+                    max_rows=self.door_matrix_max_rows)
+            return self._matrix
 
     # ------------------------------------------------------------------
     def search(self,
                query: IKRQ,
                algorithm: str = "ToE",
                max_expansions: Optional[int] = None,
-               config: Optional["SearchConfig"] = None) -> QueryAnswer:
+               config: Optional["SearchConfig"] = None,
+               context: Optional[QueryContext] = None) -> QueryAnswer:
         """Evaluate ``query`` with the named algorithm.
 
         ``config`` overrides the name-derived :class:`SearchConfig`
         (the strategy — ToE vs. KoE — still follows the name).
+        ``context`` supplies a prebuilt :class:`QueryContext` (the
+        batched :class:`QueryService` passes one carrying a per-thread
+        workspace and shared caches); it must wrap the same ``query``.
         """
         canonical = canonical_algorithm(algorithm)
-        ctx = self.context(query)
+        ctx = context if context is not None else self.context(query)
         if canonical == "naive":
             naive = NaiveSearch(ctx)
             routes = naive.run()
@@ -195,3 +242,205 @@ class IKRQEngine:
         ikrq = IKRQ(ps=ps, pt=pt, delta=delta,
                     keywords=tuple(keywords), k=k, alpha=alpha, tau=tau)
         return self.search(ikrq, algorithm=algorithm)
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate counters of one :class:`QueryService` instance."""
+
+    queries_served: int = 0
+    batches: int = 0
+    point_map_hits: int = 0
+    point_map_misses: int = 0
+    keyword_cache_hits: int = 0
+    keyword_cache_misses: int = 0
+    answer_hits: int = 0
+    answer_misses: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "queries_served": self.queries_served,
+            "batches": self.batches,
+            "point_map_hits": self.point_map_hits,
+            "point_map_misses": self.point_map_misses,
+            "keyword_cache_hits": self.keyword_cache_hits,
+            "keyword_cache_misses": self.keyword_cache_misses,
+            "answer_hits": self.answer_hits,
+            "answer_misses": self.answer_misses,
+        }
+
+
+class QueryService:
+    """Batched IKRQ evaluation over one engine's shared oracles.
+
+    The service is the traffic-facing layer: it answers exactly like
+    ``engine.search`` (results are bit-identical — every shared cache
+    holds values the per-query evaluation would recompute itself) but
+    amortises per-endpoint and per-keyword work across a query stream:
+
+    * ``search_batch`` fans a batch out over a thread pool; the engine
+      oracles (graph, skeleton, distance oracle, door matrix) are
+      immutable and shared, while each worker thread owns one reusable
+      epoch-versioned Dijkstra workspace,
+    * an LRU keyed on ``(ps, pt)`` caches per-endpoint state — the
+      unbounded start-point attachment tree (serving every
+      first-expansion continuation without a Dijkstra run) and the
+      skeleton lower-bound maps of Pruning Rules 1–4,
+    * an LRU keyed on ``(QW, τ)`` reuses converted query keywords, and
+      one shared door-i-word cache is populated once per space,
+    * an answer LRU serves repeated identical ``(query, algorithm)``
+      requests without re-searching — sound because the engine is
+      deterministic, so the cached answer *is* what a fresh evaluation
+      would return (``answer_cache_capacity=0`` disables it; cached
+      hits share the original's ``stats`` object).
+
+    Example::
+
+        service = QueryService(engine, workers=4)
+        answers = service.search_batch(queries, algorithm="ToE")
+    """
+
+    def __init__(self,
+                 engine: IKRQEngine,
+                 workers: int = 4,
+                 point_map_capacity: int = 128,
+                 keyword_cache_capacity: int = 512,
+                 answer_cache_capacity: int = 1024) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if point_map_capacity < 1 or keyword_cache_capacity < 1:
+            raise ValueError("cache capacities must be at least 1")
+        if answer_cache_capacity < 0:
+            raise ValueError("answer_cache_capacity must be non-negative")
+        self.engine = engine
+        self.workers = workers
+        self.point_map_capacity = point_map_capacity
+        self.keyword_cache_capacity = keyword_cache_capacity
+        self.answer_cache_capacity = answer_cache_capacity
+        self.stats = ServiceStats()
+        self._tls = threading.local()
+        self._lock = threading.Lock()
+        #: (ps, pt) -> {"start_map": (host, dist, pred),
+        #:              "lb_from_ps": {...}, "lb_to_pt": {...}}
+        self._point_maps: "OrderedDict[Tuple[Point, Point], dict]" = OrderedDict()
+        self._keyword_cache: "OrderedDict[Tuple[Tuple[str, ...], float], QueryKeywords]" = OrderedDict()
+        self._answer_cache: "OrderedDict[tuple, QueryAnswer]" = OrderedDict()
+        self._door_iwords: dict = {}
+
+    # ------------------------------------------------------------------
+    # Shared state
+    # ------------------------------------------------------------------
+    def _workspace(self) -> DijkstraWorkspace:
+        ws = getattr(self._tls, "workspace", None)
+        if ws is None:
+            ws = self.engine.graph.new_workspace()
+            self._tls.workspace = ws
+        return ws
+
+    def _endpoint_entry(self, ps: Point, pt: Point) -> dict:
+        key = (ps, pt)
+        with self._lock:
+            entry = self._point_maps.get(key)
+            if entry is not None:
+                self._point_maps.move_to_end(key)
+                self.stats.point_map_hits += 1
+                return entry
+            self.stats.point_map_misses += 1
+        # Compute outside the lock (a concurrent miss on the same key
+        # computes the same values; last write wins harmlessly).
+        start_map = self.engine.graph.point_attachment_map(
+            ps, workspace=self._workspace())
+        entry = {"start_map": start_map, "lb_from_ps": {}, "lb_to_pt": {}}
+        with self._lock:
+            entry = self._point_maps.setdefault(key, entry)
+            self._point_maps.move_to_end(key)
+            while len(self._point_maps) > self.point_map_capacity:
+                self._point_maps.popitem(last=False)
+        return entry
+
+    def _query_keywords(self, query: IKRQ) -> QueryKeywords:
+        key = (query.keywords, query.tau)
+        with self._lock:
+            qk = self._keyword_cache.get(key)
+            if qk is not None:
+                self._keyword_cache.move_to_end(key)
+                self.stats.keyword_cache_hits += 1
+                return qk
+            self.stats.keyword_cache_misses += 1
+        qk = QueryKeywords(self.engine.kindex, query.keywords, tau=query.tau)
+        with self._lock:
+            qk = self._keyword_cache.setdefault(key, qk)
+            self._keyword_cache.move_to_end(key)
+            while len(self._keyword_cache) > self.keyword_cache_capacity:
+                self._keyword_cache.popitem(last=False)
+        return qk
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def search(self,
+               query: IKRQ,
+               algorithm: str = "ToE",
+               max_expansions: Optional[int] = None,
+               config: Optional[SearchConfig] = None) -> QueryAnswer:
+        """Evaluate one query through the service's shared caches."""
+        cache_key = None
+        if self.answer_cache_capacity:
+            cache_key = (query, canonical_algorithm(algorithm),
+                         max_expansions, config)
+            with self._lock:
+                cached = self._answer_cache.get(cache_key)
+                if cached is not None:
+                    self._answer_cache.move_to_end(cache_key)
+                    self.stats.answer_hits += 1
+                    self.stats.queries_served += 1
+                    return cached
+                self.stats.answer_misses += 1
+        ctx = self.engine.context(
+            query, workspace=self._workspace(),
+            qk=self._query_keywords(query))
+        entry = self._endpoint_entry(query.ps, query.pt)
+        ctx.share_caches(
+            lb_from_ps=entry["lb_from_ps"],
+            lb_to_pt=entry["lb_to_pt"],
+            door_iwords=self._door_iwords,
+            start_map=entry["start_map"])
+        answer = self.engine.search(
+            query, algorithm, max_expansions=max_expansions,
+            config=config, context=ctx)
+        with self._lock:
+            self.stats.queries_served += 1
+            if cache_key is not None:
+                self._answer_cache[cache_key] = answer
+                self._answer_cache.move_to_end(cache_key)
+                while len(self._answer_cache) > self.answer_cache_capacity:
+                    self._answer_cache.popitem(last=False)
+        return answer
+
+    def search_batch(self,
+                     queries: Iterable[IKRQ],
+                     algorithm: str = "ToE",
+                     workers: Optional[int] = None,
+                     max_expansions: Optional[int] = None,
+                     config: Optional[SearchConfig] = None,
+                     ) -> List[QueryAnswer]:
+        """Evaluate many queries, preserving input order.
+
+        ``workers`` overrides the service default; with one worker (or
+        a single query) the batch runs inline on the calling thread,
+        still benefiting from the shared caches.
+        """
+        batch = list(queries)
+        pool_size = self.workers if workers is None else workers
+        if pool_size < 1:
+            raise ValueError("workers must be at least 1")
+        with self._lock:
+            self.stats.batches += 1
+        if pool_size == 1 or len(batch) <= 1:
+            return [self.search(q, algorithm, max_expansions, config)
+                    for q in batch]
+        with ThreadPoolExecutor(max_workers=pool_size,
+                                thread_name_prefix="ikrq") as pool:
+            return list(pool.map(
+                lambda q: self.search(q, algorithm, max_expansions, config),
+                batch))

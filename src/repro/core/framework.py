@@ -84,8 +84,11 @@ class ContinuationProvider:
 
     ``nonloop`` returns, per target door, the shortest door path from
     ``tail`` whose first segment traverses ``first_via`` and that
-    avoids every banned door.  The default implementation runs
-    Dijkstra on the fly; KoE* substitutes a precomputed matrix.
+    avoids every banned door.  The default implementation runs the
+    unified CSR Dijkstra on the fly (reusing the query's workspace, so
+    repeated calls allocate no per-node state); KoE* substitutes a
+    precomputed matrix, and batched execution may serve start-point
+    continuations from a shared attachment map.
     """
 
     def nonloop(self,
@@ -96,12 +99,20 @@ class ContinuationProvider:
                 banned: FrozenSet[int],
                 budget: float) -> Dict[int, Continuation]:
         ctx = search.ctx
-        search.stats.dijkstra_calls += 1
         if isinstance(tail, int):
+            search.stats.dijkstra_calls += 1
             return ctx.graph.multi_target_routes(
-                tail, first_via, targets, banned=banned, bound=budget)
+                tail, first_via, targets, banned=banned, bound=budget,
+                workspace=ctx.workspace)
+        cached = ctx.cached_point_routes(
+            tail, first_via, targets, banned, budget)
+        if cached is not None:
+            search.stats.point_cache_hits += 1
+            return cached
+        search.stats.dijkstra_calls += 1
         return ctx.graph.routes_from_point(
-            tail, first_via, targets, banned=banned, bound=budget)
+            tail, first_via, targets, banned=banned, bound=budget,
+            workspace=ctx.workspace)
 
 
 class ExpansionStrategy:
@@ -114,6 +125,9 @@ class ExpansionStrategy:
 
     def prepare(self, search: "IKRQSearch") -> None:
         """Hook called once per query before the main loop."""
+
+    def finish(self, search: "IKRQSearch") -> None:
+        """Hook called once per query after the main loop."""
 
 
 class IKRQSearch:
@@ -392,6 +406,7 @@ class IKRQSearch:
             for next_stamp in self.strategy.find(self, stamp):
                 self.connect(next_stamp)
 
+        self.strategy.finish(self)
         self.stats.prime_table_entries = len(self.prime)
         self.stats.aux_bytes += self.prime.estimated_bytes()
         self.stats.elapsed_seconds = time.perf_counter() - started

@@ -176,9 +176,19 @@ class KoEStar(KeywordOrientedExpansion):
 
     def __init__(self, matrix: Optional[DoorMatrix] = None) -> None:
         self.matrix = matrix
+        self._evictions_at_prepare = 0
 
     def prepare(self, search: IKRQSearch) -> None:
         if self.matrix is None:
             self.matrix = DoorMatrix(search.ctx.graph, eager=True)
         search.provider = MatrixContinuationProvider(self.matrix)
         search.stats.aux_bytes += self.matrix.estimated_bytes()
+        self._evictions_at_prepare = self.matrix.evictions
+
+    def finish(self, search: IKRQSearch) -> None:
+        # The matrix's eviction delta observed over this search.  With
+        # a matrix shared by concurrent batched searches the counter is
+        # approximate (other threads' evictions land in whichever
+        # searches overlap them); it is exact in sequential use.
+        search.stats.matrix_evictions = (
+            self.matrix.evictions - self._evictions_at_prepare)

@@ -22,7 +22,7 @@ from repro.geometry import Point
 from repro.keywords.matching import QueryKeywords
 from repro.keywords.mappings import KeywordIndex
 from repro.space.distances import DistanceOracle
-from repro.space.graph import DoorGraph
+from repro.space.graph import DijkstraWorkspace, DoorGraph, reconstruct_route
 from repro.space.indoor_space import IndoorSpace
 from repro.space.skeleton import SkeletonIndex
 from repro.core.route import Item, Route
@@ -98,7 +98,9 @@ class QueryContext:
                  graph: Optional[DoorGraph] = None,
                  skeleton: Optional[SkeletonIndex] = None,
                  oracle: Optional[DistanceOracle] = None,
-                 popularity: Optional[dict] = None) -> None:
+                 popularity: Optional[dict] = None,
+                 workspace: Optional[DijkstraWorkspace] = None,
+                 qk: Optional[QueryKeywords] = None) -> None:
         self.space = space
         self.kindex = kindex
         self.query = query
@@ -108,7 +110,14 @@ class QueryContext:
         self.oracle = oracle or DistanceOracle(space)
         self.graph = graph or DoorGraph(space, self.oracle)
         self.skeleton = skeleton or SkeletonIndex(space)
-        self.qk = QueryKeywords(kindex, query.keywords, tau=query.tau)
+        #: Dijkstra scratch state for every routing call of this query.
+        #: Defaults to the graph-owned workspace; batched evaluation
+        #: passes one workspace per worker thread instead.
+        self.workspace = workspace or self.graph.workspace
+        #: Converted query keywords.  ``QueryKeywords`` is immutable
+        #: after construction, so a batching layer may share one
+        #: instance across queries with identical ``(QW, τ)``.
+        self.qk = qk or QueryKeywords(kindex, query.keywords, tau=query.tau)
 
         self.v_ps: int = space.host_partition(query.ps).pid
         self.v_pt: int = space.host_partition(query.pt).pid
@@ -132,6 +141,61 @@ class QueryContext:
         self._lb_to_pt: dict = {}
         self._lb_from_ps: dict = {}
         self._door_iwords: dict = {}
+        # Optional start-point attachment tree (host pid, dist, pred)
+        # shared across queries with the same ps by QueryService.
+        self._start_map: Optional[tuple] = None
+
+    def share_caches(self,
+                     lb_from_ps: Optional[dict] = None,
+                     lb_to_pt: Optional[dict] = None,
+                     door_iwords: Optional[dict] = None,
+                     start_map: Optional[tuple] = None) -> None:
+        """Adopt caches shared across queries by a batching layer.
+
+        Every shared structure must hold exactly the values this
+        context would compute itself (the lower-bound maps are pure in
+        ``ps`` / ``pt``, the door i-words are pure in the space and
+        keyword index, and the start map is the unbounded
+        point-attachment tree of ``ps``) — sharing changes no
+        behaviour, it only avoids recomputation.
+        """
+        if lb_from_ps is not None:
+            self._lb_from_ps = lb_from_ps
+        if lb_to_pt is not None:
+            self._lb_to_pt = lb_to_pt
+        if door_iwords is not None:
+            self._door_iwords = door_iwords
+        if start_map is not None:
+            self._start_map = start_map
+
+    def cached_point_routes(self,
+                            p: Point,
+                            first_via: int,
+                            targets: Set[int],
+                            banned: FrozenSet[int],
+                            budget: float) -> Optional[dict]:
+        """Point continuations served from the shared start map.
+
+        Usable only for the exact case the map captures — the start
+        point with an empty banned set, leaving its host partition —
+        where the unbounded tree restricted to within-budget targets
+        equals a fresh bounded run.  Returns ``None`` otherwise, and
+        the caller falls back to the unified Dijkstra.
+        """
+        cached = self._start_map
+        if cached is None or banned:
+            return None
+        host_pid, dist, pred = cached
+        if first_via != host_pid or p != self.query.ps:
+            return None
+        routes = {}
+        for target in targets:
+            d = dist.get(target)
+            if d is None or d > budget:
+                continue
+            doors, vias = reconstruct_route(pred, None, target)
+            routes[target] = (doors, vias, d)
+        return routes
 
     # ------------------------------------------------------------------
     # Convenience accessors

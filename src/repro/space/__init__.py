@@ -12,7 +12,8 @@ from repro.space.entities import Door, Partition, PartitionKind
 from repro.space.indoor_space import IndoorSpace
 from repro.space.builder import IndoorSpaceBuilder
 from repro.space.distances import DistanceOracle
-from repro.space.graph import DoorGraph, DoorMatrix
+from repro.space.graph import (DijkstraWorkspace, DoorGraph, DoorMatrix,
+                              reconstruct_route)
 from repro.space.skeleton import SkeletonIndex
 from repro.space.elevators import add_elevator_shaft
 from repro.space.serialize import (
@@ -24,8 +25,10 @@ from repro.space.serialize import (
 
 __all__ = [
     "Door",
+    "DijkstraWorkspace",
     "DoorGraph",
     "DoorMatrix",
+    "reconstruct_route",
     "DistanceOracle",
     "IndoorSpace",
     "IndoorSpaceBuilder",

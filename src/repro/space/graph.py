@@ -6,25 +6,37 @@ whenever one can enter a partition through ``di`` and leave it through
 ``dj`` (paper Section II-A).  Edge weights are the intra-partition
 Euclidean door-to-door distances.
 
-On top of the raw graph this module provides:
+The adjacency is stored in CSR form — parallel flat buffers of
+neighbour indices, via-partition ids and weights over interned
+(densely renumbered) door ids — and every shortest-path entry point is
+a thin parameterisation of **one** Dijkstra inner loop
+(:meth:`DoorGraph._run_dijkstra`), differing only in its seed edges:
 
-* single-source Dijkstra with optional *banned door* sets, which is how
-  the search algorithms obtain shortest **regular** continuations (a
-  regular concatenation may not revisit any door already on the route,
-  so excluding them yields the shortest regular extension),
-* multi-target Dijkstra restricted to a *first-hop partition* (used by
-  the keyword-oriented expansion, which must leave the current
-  partition first),
-* point attachment (``ps`` / ``pt`` virtual nodes),
-* an all-pairs door distance/route matrix used by the KoE* variant and
-  by the query generator of Section V-A1.
+* single source (ordinary Dijkstra with optional *banned door* sets,
+  which is how the search algorithms obtain shortest **regular**
+  continuations),
+* first-hop restricted (the first move must leave a given partition,
+  used by the keyword-oriented expansion),
+* point-attached (``ps`` / ``pt`` virtual nodes seeded through the
+  leaveable doors of the host partition).
+
+Scratch state lives in a reusable, epoch-versioned
+:class:`DijkstraWorkspace`, so repeated calls — within one query and
+across a whole query batch — allocate nothing in the inner loop.
+Route reconstruction is one shared predecessor walk
+(:func:`reconstruct_route`) used by every caller, including
+:class:`DoorMatrix`.
 """
 
 from __future__ import annotations
 
 import heapq
 import math
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+import threading
+from array import array
+from collections import OrderedDict
+from typing import (Dict, FrozenSet, Iterable, List, Mapping, Optional,
+                    Sequence, Set, Tuple)
 
 from repro.geometry import Point
 from repro.space.distances import DistanceOracle
@@ -35,11 +47,111 @@ INF = math.inf
 #: An adjacency entry: (neighbour door id, via partition id, weight).
 Edge = Tuple[int, int, float]
 
+#: Predecessor sentinel (dense index space): the tree root.
+_ROOT = -1
+#: Predecessor sentinel: a point-attachment seed (``prev`` is ``None``).
+_POINT = -2
+
+
+def reconstruct_route(pred: Mapping[int, Tuple[Optional[int], int]],
+                      source: Optional[int],
+                      target: int) -> Tuple[List[int], List[int]]:
+    """Walk a predecessor mapping back from ``target`` to ``source``.
+
+    ``pred[d]`` is ``(previous door, via partition)``; the walk stops
+    when the previous door equals ``source`` (``None`` for
+    point-attached trees, whose first entry carries ``prev=None``).
+    Returns ``(doors, vias)`` where ``doors`` starts with the first
+    door *after* ``source`` and ends with ``target`` and ``vias[i]``
+    is the partition traversed to reach ``doors[i]``.
+    """
+    doors: List[int] = []
+    vias: List[int] = []
+    node: Optional[int] = target
+    while node != source:
+        prev, via = pred[node]
+        doors.append(node)
+        vias.append(via)
+        node = prev
+    doors.reverse()
+    vias.reverse()
+    return doors, vias
+
+
+class DijkstraWorkspace:
+    """Reusable scratch state for one CSR Dijkstra run at a time.
+
+    All per-node state is epoch-versioned: ``begin`` bumps the epoch
+    instead of clearing the flat arrays, so a workspace can be reused
+    for an unbounded number of runs with zero per-run allocation.  A
+    workspace belongs to exactly one thread at a time — concurrent
+    query evaluation uses one workspace per worker thread (see
+    ``QueryService``).
+    """
+
+    __slots__ = ("dist", "pred", "pred_via", "visit", "settled", "banned",
+                 "target", "epoch", "heap", "touched")
+
+    def __init__(self, num_nodes: int) -> None:
+        self.dist = array("d", [0.0] * num_nodes)
+        self.pred = array("q", [_ROOT] * num_nodes)
+        self.pred_via = array("q", [-1] * num_nodes)
+        self.visit = array("q", [0] * num_nodes)
+        self.settled = array("q", [0] * num_nodes)
+        self.banned = array("q", [0] * num_nodes)
+        self.target = array("q", [0] * num_nodes)
+        self.epoch = 0
+        self.heap: List[Tuple[float, int]] = []
+        self.touched: List[int] = []
+
+    def begin(self) -> int:
+        """Start a new run: bump the epoch and reset the hot lists."""
+        self.epoch += 1
+        self.heap.clear()
+        self.touched.clear()
+        return self.epoch
+
+
+class _PredView(Mapping):
+    """Read-only mapping view of a workspace's predecessor arrays.
+
+    Adapts the flat dense-index arrays to the door-id mapping interface
+    that :func:`reconstruct_route` (and dict-based callers such as
+    :class:`DoorMatrix`) consume, so the predecessor walk exists once.
+    """
+
+    __slots__ = ("_ws", "_graph")
+
+    def __init__(self, ws: DijkstraWorkspace, graph: "DoorGraph") -> None:
+        self._ws = ws
+        self._graph = graph
+
+    def __getitem__(self, did: int) -> Tuple[Optional[int], int]:
+        ws = self._ws
+        idx = self._graph._door_index[did]
+        if ws.visit[idx] != ws.epoch:
+            raise KeyError(did)
+        prev = ws.pred[idx]
+        if prev == _ROOT:
+            raise KeyError(did)
+        if prev == _POINT:
+            return None, ws.pred_via[idx]
+        return self._graph._door_ids[prev], ws.pred_via[idx]
+
+    def __iter__(self):  # pragma: no cover - Mapping protocol filler
+        ws = self._ws
+        for idx in ws.touched:
+            if ws.pred[idx] != _ROOT:
+                yield self._graph._door_ids[idx]
+
+    def __len__(self) -> int:  # pragma: no cover - Mapping protocol filler
+        return sum(1 for _ in self)
+
 
 class DoorGraph:
     """Directed door-to-door graph over an :class:`IndoorSpace`.
 
-    The adjacency structure is materialised once at construction; all
+    The CSR adjacency is materialised once at construction; all
     shortest-path queries run over it.  Self-loop edges (the ``(d, d)``
     re-entry move) are *not* part of the graph — they are an explicit
     search move handled by the IKRQ algorithms, never useful on a pure
@@ -49,23 +161,46 @@ class DoorGraph:
     def __init__(self, space: IndoorSpace, oracle: Optional[DistanceOracle] = None) -> None:
         self._space = space
         self._oracle = oracle or DistanceOracle(space)
-        self._adj: Dict[int, List[Edge]] = {did: [] for did in space.doors}
-        self._radj: Dict[int, List[Edge]] = {did: [] for did in space.doors}
-        self._build()
+        #: Door-id interning: dense index -> door id, ascending by door
+        #: id so heap ordering (and therefore equal-distance
+        #: tie-breaking) matches the id order of the dict-based
+        #: predecessor trees this structure replaced.
+        self._door_ids = array("q", sorted(space.doors))
+        self._door_index: Dict[int, int] = {
+            did: idx for idx, did in enumerate(self._door_ids)}
+        self._build_csr()
+        self._workspace_tls = threading.local()
 
-    def _build(self) -> None:
+    def _build_csr(self) -> None:
         space = self._space
+        index = self._door_index
+        per_node: List[List[Tuple[int, int, float]]] = [
+            [] for _ in self._door_ids]
         for pid in space.partitions:
             enterable = space.p2d_enter(pid)
             leaveable = space.p2d_leave(pid)
             for di in enterable:
                 pos_i = space.door(di).position
+                row = per_node[index[di]]
                 for dj in leaveable:
                     if di == dj:
                         continue
-                    weight = pos_i.distance_to(space.door(dj).position)
-                    self._adj[di].append((dj, pid, weight))
-                    self._radj[dj].append((di, pid, weight))
+                    row.append((index[dj], pid,
+                                pos_i.distance_to(space.door(dj).position)))
+        indptr = array("q", [0] * (len(per_node) + 1))
+        nbr = array("q")
+        via = array("q")
+        wt = array("d")
+        for idx, row in enumerate(per_node):
+            for j, pid, weight in row:
+                nbr.append(j)
+                via.append(pid)
+                wt.append(weight)
+            indptr[idx + 1] = len(nbr)
+        self._indptr = indptr
+        self._nbr = nbr
+        self._via = via
+        self._wt = wt
 
     # ------------------------------------------------------------------
     # Accessors
@@ -78,12 +213,198 @@ class DoorGraph:
     def oracle(self) -> DistanceOracle:
         return self._oracle
 
+    @property
+    def num_nodes(self) -> int:
+        return len(self._door_ids)
+
     def neighbours(self, did: int) -> Sequence[Edge]:
         """Outgoing edges of door ``did`` as ``(door, via, weight)``."""
-        return self._adj[did]
+        idx = self._door_index[did]
+        ids = self._door_ids
+        return [(ids[self._nbr[k]], self._via[k], self._wt[k])
+                for k in range(self._indptr[idx], self._indptr[idx + 1])]
 
     def num_edges(self) -> int:
-        return sum(len(edges) for edges in self._adj.values())
+        return len(self._nbr)
+
+    # ------------------------------------------------------------------
+    # Workspaces
+    # ------------------------------------------------------------------
+    def new_workspace(self) -> DijkstraWorkspace:
+        """A fresh workspace sized for this graph (one per thread)."""
+        return DijkstraWorkspace(len(self._door_ids))
+
+    @property
+    def workspace(self) -> DijkstraWorkspace:
+        """The graph-owned default workspace of the calling thread.
+
+        Thread-local so that bare concurrent ``engine.search`` calls
+        (without a ``QueryService``) never share scratch state.
+        """
+        ws = getattr(self._workspace_tls, "workspace", None)
+        if ws is None:
+            ws = self.new_workspace()
+            self._workspace_tls.workspace = ws
+        return ws
+
+    # ------------------------------------------------------------------
+    # The unified Dijkstra core
+    # ------------------------------------------------------------------
+    def _run_dijkstra(self,
+                      ws: DijkstraWorkspace,
+                      seeds: Iterable[Tuple[float, int, int, int]],
+                      banned: Iterable[int],
+                      targets: Optional[Iterable[int]],
+                      bound: float,
+                      forbid: int = -1) -> None:
+        """The one Dijkstra inner loop, parameterised by seed edges.
+
+        Args:
+            ws: Workspace receiving the run's distance/predecessor
+                state (valid until its next ``begin``).
+            seeds: ``(weight, node, pred, via)`` seed relaxations in
+                dense-index space; ``pred`` is :data:`_ROOT` for the
+                tree root and :data:`_POINT` for point attachments.
+            banned: Door *ids* that may not be visited.
+            targets: Dense indices to settle before stopping early
+                (``None`` searches exhaustively within ``bound``).
+            bound: Distances beyond this value are not explored.
+            forbid: Dense index never to relax (the first-hop-restricted
+                searches must not return to their source), ``-1`` none.
+        """
+        epoch = ws.begin()
+        dist = ws.dist
+        pred = ws.pred
+        pred_via = ws.pred_via
+        visit = ws.visit
+        settled = ws.settled
+        banned_mark = ws.banned
+        target_mark = ws.target
+        door_index = self._door_index
+        for did in banned:
+            idx = door_index.get(did)
+            if idx is not None:
+                banned_mark[idx] = epoch
+        remaining = -1
+        if targets is not None:
+            remaining = 0
+            for idx in targets:
+                if target_mark[idx] != epoch:
+                    target_mark[idx] = epoch
+                    remaining += 1
+            if remaining == 0:
+                return
+        heap = ws.heap
+        touched = ws.touched
+        push = heapq.heappush
+        for weight, node, prev, via in seeds:
+            if weight > bound or banned_mark[node] == epoch or node == forbid:
+                continue
+            if visit[node] != epoch:
+                visit[node] = epoch
+                touched.append(node)
+            elif weight >= dist[node]:
+                continue
+            dist[node] = weight
+            pred[node] = prev
+            pred_via[node] = via
+            push(heap, (weight, node))
+        indptr = self._indptr
+        nbr = self._nbr
+        vias = self._via
+        wts = self._wt
+        pop = heapq.heappop
+        while heap:
+            d, u = pop(heap)
+            if settled[u] == epoch:
+                continue
+            settled[u] = epoch
+            if remaining >= 0 and target_mark[u] == epoch:
+                remaining -= 1
+                if remaining == 0:
+                    break
+            for k in range(indptr[u], indptr[u + 1]):
+                v = nbr[k]
+                if banned_mark[v] == epoch or settled[v] == epoch or v == forbid:
+                    continue
+                nd = d + wts[k]
+                if nd > bound:
+                    continue
+                if visit[v] != epoch:
+                    visit[v] = epoch
+                    touched.append(v)
+                elif nd >= dist[v]:
+                    continue
+                dist[v] = nd
+                pred[v] = u
+                pred_via[v] = vias[k]
+                push(heap, (nd, v))
+
+    # ------------------------------------------------------------------
+    # Seed builders
+    # ------------------------------------------------------------------
+    def _first_hop_seeds(self,
+                         source: int,
+                         first_via: int) -> List[Tuple[float, int, int, int]]:
+        """Seed edges leaving ``first_via`` from door ``source``."""
+        space = self._space
+        index = self._door_index
+        src_idx = index[source]
+        src_pos = space.door(source).position
+        return [(src_pos.distance_to(space.door(dj).position),
+                 index[dj], src_idx, first_via)
+                for dj in space.p2d_leave(first_via)]
+
+    def _point_seeds(self,
+                     p: Point,
+                     host_pid: int) -> List[Tuple[float, int, int, int]]:
+        """Seed edges attaching point ``p`` through its host partition."""
+        space = self._space
+        index = self._door_index
+        return [(p.distance_to(space.door(dj).position),
+                 index[dj], _POINT, host_pid)
+                for dj in space.p2d_leave(host_pid)]
+
+    # ------------------------------------------------------------------
+    # Result extraction
+    # ------------------------------------------------------------------
+    def _dist_dict(self, ws: DijkstraWorkspace) -> Dict[int, float]:
+        ids = self._door_ids
+        dist = ws.dist
+        return {ids[idx]: dist[idx] for idx in ws.touched}
+
+    def _pred_dict(self, ws: DijkstraWorkspace) -> Dict[int, Tuple[Optional[int], int]]:
+        ids = self._door_ids
+        pred = ws.pred
+        pred_via = ws.pred_via
+        out: Dict[int, Tuple[Optional[int], int]] = {}
+        for idx in ws.touched:
+            prev = pred[idx]
+            if prev == _ROOT:
+                continue
+            out[ids[idx]] = ((None, pred_via[idx]) if prev == _POINT
+                             else (ids[prev], pred_via[idx]))
+        return out
+
+    def _routes_to(self,
+                   ws: DijkstraWorkspace,
+                   source: Optional[int],
+                   targets: Iterable[int],
+                   bound: float) -> Dict[int, Tuple[List[int], List[int], float]]:
+        """Reconstructed routes to every reachable target (door ids)."""
+        index = self._door_index
+        view = _PredView(ws, self)
+        routes: Dict[int, Tuple[List[int], List[int], float]] = {}
+        for target in targets:
+            idx = index.get(target)
+            if idx is None or ws.visit[idx] != ws.epoch:
+                continue
+            d = ws.dist[idx]
+            if d > bound:
+                continue
+            doors, vias = reconstruct_route(view, source, target)
+            routes[target] = (doors, vias, d)
+        return routes
 
     # ------------------------------------------------------------------
     # Single-source shortest paths
@@ -92,7 +413,9 @@ class DoorGraph:
                  source: int,
                  banned: Optional[FrozenSet[int]] = None,
                  targets: Optional[Set[int]] = None,
-                 bound: float = INF) -> Tuple[Dict[int, float], Dict[int, Tuple[int, int]]]:
+                 bound: float = INF,
+                 workspace: Optional[DijkstraWorkspace] = None,
+                 ) -> Tuple[Dict[int, float], Dict[int, Tuple[int, int]]]:
         """Shortest distances from door ``source`` to every door.
 
         Args:
@@ -100,41 +423,35 @@ class DoorGraph:
             banned: Doors that may not be visited (the source itself is
                 always allowed).  Used for regular-route extensions.
             targets: Early-exit set — the search stops once every
-                target has been settled.
+                target has been settled, and does not start at all when
+                every target is already settled at entry (e.g.
+                ``targets == {source}``).
             bound: Distances beyond this value are not explored.
+            workspace: Scratch state to (re)use; defaults to the
+                graph-owned single-threaded workspace.
 
         Returns:
             ``(dist, pred)`` where ``pred[d] = (previous door, via
             partition)`` on the shortest path tree.
         """
-        banned = banned or frozenset()
-        dist: Dict[int, float] = {source: 0.0}
-        pred: Dict[int, Tuple[int, int]] = {}
-        remaining = set(targets) if targets is not None else None
-        if remaining is not None:
-            remaining.discard(source)
-        heap: List[Tuple[float, int]] = [(0.0, source)]
-        settled: Set[int] = set()
-        while heap:
-            d, u = heapq.heappop(heap)
-            if u in settled:
-                continue
-            settled.add(u)
-            if remaining is not None:
-                remaining.discard(u)
-                if not remaining:
-                    break
-            for v, via, w in self._adj[u]:
-                if v in banned or v in settled:
-                    continue
-                nd = d + w
-                if nd > bound:
-                    continue
-                if nd < dist.get(v, INF):
-                    dist[v] = nd
-                    pred[v] = (u, via)
-                    heapq.heappush(heap, (nd, v))
-        return dist, pred
+        src_idx = self._door_index[source]
+        if targets is not None:
+            target_idx = {self._door_index[t] for t in targets
+                          if t in self._door_index}
+            target_idx.discard(src_idx)
+            if not target_idx:
+                # Every target is settled before the first pop; do not
+                # explore the graph at all.
+                return {source: 0.0}, {}
+        else:
+            target_idx = None
+        ws = workspace or self.workspace
+        banned_ids: Iterable[int] = ()
+        if banned:
+            banned_ids = (did for did in banned if did != source)
+        self._run_dijkstra(ws, ((0.0, src_idx, _ROOT, -1),),
+                           banned_ids, target_idx, bound)
+        return self._dist_dict(ws), self._pred_dict(ws)
 
     def shortest_route(self,
                        source: int,
@@ -142,6 +459,7 @@ class DoorGraph:
                        banned: Optional[FrozenSet[int]] = None,
                        bound: float = INF,
                        first_hop_via: Optional[int] = None,
+                       workspace: Optional[DijkstraWorkspace] = None,
                        ) -> Optional[Tuple[List[int], List[int], float]]:
         """Shortest door route from ``source`` to ``target``.
 
@@ -154,73 +472,21 @@ class DoorGraph:
         partition (the KoE expansion must exit the current partition).
         """
         if first_hop_via is not None:
-            result = self._dijkstra_first_hop(
-                source, first_hop_via, banned, {target}, bound)
-            dist, pred = result
-        else:
-            dist, pred = self.dijkstra(source, banned, {target}, bound)
-        if target not in dist or dist[target] > bound:
-            return None
+            return self.multi_target_routes(
+                source, first_hop_via, {target}, banned=banned,
+                bound=bound, workspace=workspace).get(target)
         if source == target:
             return [], [], 0.0
-        doors: List[int] = []
-        vias: List[int] = []
-        node = target
-        while node != source:
-            prev, via = pred[node]
-            doors.append(node)
-            vias.append(via)
-            node = prev
-        doors.reverse()
-        vias.reverse()
-        return doors, vias, dist[target]
-
-    def _dijkstra_first_hop(self,
-                            source: int,
-                            first_via: int,
-                            banned: Optional[FrozenSet[int]],
-                            targets: Optional[Set[int]],
-                            bound: float,
-                            ) -> Tuple[Dict[int, float], Dict[int, Tuple[int, int]]]:
-        """Dijkstra whose first edge must traverse partition ``first_via``."""
-        banned = banned or frozenset()
-        space = self._space
-        dist: Dict[int, float] = {}
-        pred: Dict[int, Tuple[int, int]] = {}
-        heap: List[Tuple[float, int]] = []
-        src_pos = space.door(source).position
-        for dj in space.p2d_leave(first_via):
-            if dj == source or dj in banned:
-                continue
-            w = src_pos.distance_to(space.door(dj).position)
-            if w > bound:
-                continue
-            if w < dist.get(dj, INF):
-                dist[dj] = w
-                pred[dj] = (source, first_via)
-                heapq.heappush(heap, (w, dj))
-        remaining = set(targets) if targets is not None else None
-        settled: Set[int] = set()
-        while heap:
-            d, u = heapq.heappop(heap)
-            if u in settled:
-                continue
-            settled.add(u)
-            if remaining is not None:
-                remaining.discard(u)
-                if not remaining:
-                    break
-            for v, via, w in self._adj[u]:
-                if v in banned or v in settled or v == source:
-                    continue
-                nd = d + w
-                if nd > bound:
-                    continue
-                if nd < dist.get(v, INF):
-                    dist[v] = nd
-                    pred[v] = (u, via)
-                    heapq.heappush(heap, (nd, v))
-        return dist, pred
+        ws = workspace or self.workspace
+        src_idx = self._door_index[source]
+        tgt_idx = self._door_index[target]
+        banned_ids: Iterable[int] = ()
+        if banned:
+            banned_ids = (did for did in banned if did != source)
+        self._run_dijkstra(ws, ((0.0, src_idx, _ROOT, -1),),
+                           banned_ids, (tgt_idx,), bound)
+        routes = self._routes_to(ws, source, (target,), bound)
+        return routes.get(target)
 
     def multi_target_routes(self,
                             source: int,
@@ -228,6 +494,7 @@ class DoorGraph:
                             targets: Set[int],
                             banned: Optional[FrozenSet[int]] = None,
                             bound: float = INF,
+                            workspace: Optional[DijkstraWorkspace] = None,
                             ) -> Dict[int, Tuple[List[int], List[int], float]]:
         """Shortest first-hop-restricted routes to each target door.
 
@@ -237,24 +504,14 @@ class DoorGraph:
         shortest regular continuation.  Returns a mapping ``target ->
         (doors, vias, distance)`` containing only reachable targets.
         """
-        dist, pred = self._dijkstra_first_hop(
-            source, first_via, banned, set(targets), bound)
-        routes: Dict[int, Tuple[List[int], List[int], float]] = {}
-        for target in targets:
-            if target not in dist or dist[target] > bound:
-                continue
-            doors: List[int] = []
-            vias: List[int] = []
-            node = target
-            while node != source:
-                prev, via = pred[node]
-                doors.append(node)
-                vias.append(via)
-                node = prev
-            doors.reverse()
-            vias.reverse()
-            routes[target] = (doors, vias, dist[target])
-        return routes
+        ws = workspace or self.workspace
+        index = self._door_index
+        src_idx = index[source]
+        target_idx = {index[t] for t in targets if t in index}
+        target_idx.discard(src_idx)
+        self._run_dijkstra(ws, self._first_hop_seeds(source, first_via),
+                           banned or (), target_idx, bound, forbid=src_idx)
+        return self._routes_to(ws, source, targets, bound)
 
     def routes_from_point(self,
                           p: Point,
@@ -262,6 +519,7 @@ class DoorGraph:
                           targets: Set[int],
                           banned: Optional[FrozenSet[int]] = None,
                           bound: float = INF,
+                          workspace: Optional[DijkstraWorkspace] = None,
                           ) -> Dict[int, Tuple[List[int], List[int], float]]:
         """Shortest routes from a free point to each target door.
 
@@ -269,96 +527,57 @@ class DoorGraph:
         host partition), mirroring :meth:`multi_target_routes` for the
         initial search stamp whose tail is the start point.
         """
-        banned = banned or frozenset()
-        space = self._space
-        dist: Dict[int, float] = {}
-        pred: Dict[int, Tuple[Optional[int], int]] = {}
-        heap: List[Tuple[float, int]] = []
-        for dj in space.p2d_leave(host_pid):
-            if dj in banned:
-                continue
-            w = p.distance_to(space.door(dj).position)
-            if w > bound:
-                continue
-            if w < dist.get(dj, INF):
-                dist[dj] = w
-                pred[dj] = (None, host_pid)
-                heapq.heappush(heap, (w, dj))
-        remaining = set(targets)
-        settled: Set[int] = set()
-        while heap:
-            d, u = heapq.heappop(heap)
-            if u in settled:
-                continue
-            settled.add(u)
-            remaining.discard(u)
-            if not remaining:
-                break
-            for v, via, w in self._adj[u]:
-                if v in banned or v in settled:
-                    continue
-                nd = d + w
-                if nd > bound:
-                    continue
-                if nd < dist.get(v, INF):
-                    dist[v] = nd
-                    pred[v] = (u, via)
-                    heapq.heappush(heap, (nd, v))
-        routes: Dict[int, Tuple[List[int], List[int], float]] = {}
-        for target in targets:
-            if target not in dist or dist[target] > bound:
-                continue
-            doors: List[int] = []
-            vias: List[int] = []
-            node: Optional[int] = target
-            while node is not None:
-                prev, via = pred[node]
-                doors.append(node)
-                vias.append(via)
-                node = prev
-            doors.reverse()
-            vias.reverse()
-            routes[target] = (doors, vias, dist[target])
-        return routes
+        ws = workspace or self.workspace
+        index = self._door_index
+        target_idx = {index[t] for t in targets if t in index}
+        self._run_dijkstra(ws, self._point_seeds(p, host_pid),
+                           banned or (), target_idx, bound)
+        return self._routes_to(ws, None, targets, bound)
 
     # ------------------------------------------------------------------
     # Point attachment
     # ------------------------------------------------------------------
-    def distances_from_point(self, p: Point, bound: float = INF) -> Dict[int, float]:
+    def distances_from_point(self,
+                             p: Point,
+                             bound: float = INF,
+                             workspace: Optional[DijkstraWorkspace] = None,
+                             ) -> Dict[int, float]:
         """Shortest indoor distance from point ``p`` to every door.
 
         The point is attached to the leaveable doors of its host
         partition, then ordinary Dijkstra takes over.
         """
-        space = self._space
-        host = space.host_partition(p)
-        dist: Dict[int, float] = {}
-        heap: List[Tuple[float, int]] = []
-        for dj in space.p2d_leave(host.pid):
-            w = p.distance_to(space.door(dj).position)
-            if w > bound:
-                continue
-            if w < dist.get(dj, INF):
-                dist[dj] = w
-                heapq.heappush(heap, (w, dj))
-        settled: Set[int] = set()
-        while heap:
-            d, u = heapq.heappop(heap)
-            if u in settled:
-                continue
-            settled.add(u)
-            for v, via, w in self._adj[u]:
-                if v in settled:
-                    continue
-                nd = d + w
-                if nd > bound:
-                    continue
-                if nd < dist.get(v, INF):
-                    dist[v] = nd
-                    heapq.heappush(heap, (nd, v))
-        return dist
+        ws = workspace or self.workspace
+        host = self._space.host_partition(p)
+        self._run_dijkstra(ws, self._point_seeds(p, host.pid),
+                           (), None, bound)
+        return self._dist_dict(ws)
 
-    def point_to_point_distance(self, ps: Point, pt: Point, bound: float = INF) -> float:
+    def point_attachment_map(self,
+                             p: Point,
+                             workspace: Optional[DijkstraWorkspace] = None,
+                             ) -> Tuple[int, Dict[int, float],
+                                        Dict[int, Tuple[Optional[int], int]]]:
+        """The full unbounded point-attachment tree of point ``p``.
+
+        Returns ``(host partition id, dist, pred)``; the ``pred``
+        mapping carries ``(None, host)`` at the attachment doors so
+        :func:`reconstruct_route` walks it with ``source=None``.  This
+        is the structure the batched ``QueryService`` keeps in its
+        per-endpoint LRU: any first-expansion continuation query from
+        ``p`` (empty banned set, first hop through the host partition)
+        can be answered from it without re-running Dijkstra.
+        """
+        ws = workspace or self.workspace
+        host = self._space.host_partition(p)
+        self._run_dijkstra(ws, self._point_seeds(p, host.pid),
+                           (), None, INF)
+        return host.pid, self._dist_dict(ws), self._pred_dict(ws)
+
+    def point_to_point_distance(self, ps: Point, pt: Point,
+                                bound: float = INF,
+                                workspace: Optional[DijkstraWorkspace] = None,
+                                ) -> float:
         """Shortest indoor distance between two points (``δs2t``)."""
         space = self._space
         host_s = space.host_partition(ps)
@@ -366,7 +585,8 @@ class DoorGraph:
         best = INF
         if host_s.pid == host_t.pid:
             best = ps.distance_to(pt)
-        door_dist = self.distances_from_point(ps, bound=min(bound, best))
+        door_dist = self.distances_from_point(
+            ps, bound=min(bound, best), workspace=workspace)
         t_pos = pt
         for dk in space.p2d_enter(host_t.pid):
             if dk not in door_dist:
@@ -382,22 +602,65 @@ class DoorMatrix:
 
     This is the precomputed structure behind the KoE* variant (paper
     Section V, Table III) and the query generator's "precomputed
-    door-to-door matrix" (Section V-A1).  Rows are computed lazily and
-    cached, because computing all of them eagerly on a paper-size venue
-    is exactly the overhead the paper shows does not pay off.
+    door-to-door matrix" (Section V-A1).  Eagerness is a deliberate
+    engine-level choice, not a property of the matrix:
+
+    * By default rows are computed lazily on first use and cached —
+      the right mode when only a few sources are ever queried, and the
+      mode under which the paper's observation holds that eager
+      all-pairs precomputation on a paper-size venue does not pay off.
+    * ``eager=True`` prebuilds every row up front so that query-time
+      measurements exclude construction cost; ``IKRQEngine`` defaults
+      to this for KoE* (tunable via ``IKRQEngine(door_matrix_eager=…)``)
+      because the engine amortises one matrix over many queries.
+
+    ``max_rows`` puts a memory budget on the cache: at most that many
+    rows stay resident, evicted in least-recently-used order (the
+    ``evictions`` counter feeds the search stats).  Row access is
+    thread-safe so a matrix can back concurrent batched queries.
     """
 
-    def __init__(self, graph: DoorGraph, eager: bool = False) -> None:
+    def __init__(self,
+                 graph: DoorGraph,
+                 eager: bool = False,
+                 max_rows: Optional[int] = None) -> None:
+        if max_rows is not None and max_rows < 1:
+            raise ValueError("max_rows must be at least 1")
         self._graph = graph
-        self._rows: Dict[int, Tuple[Dict[int, float], Dict[int, Tuple[int, int]]]] = {}
+        self._rows: "OrderedDict[int, Tuple[Dict[int, float], Dict[int, Tuple[int, int]]]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.max_rows = max_rows
+        self.evictions = 0
         if eager:
-            for did in graph.space.doors:
+            # Under a memory budget, prefill only up to the budget —
+            # computing every row just to evict most of them at once
+            # would waste nearly all the construction work.
+            doors = sorted(graph.space.doors)
+            if max_rows is not None:
+                doors = doors[:max_rows]
+            for did in doors:
                 self._row(did)
 
     def _row(self, source: int) -> Tuple[Dict[int, float], Dict[int, Tuple[int, int]]]:
-        if source not in self._rows:
-            self._rows[source] = self._graph.dijkstra(source)
-        return self._rows[source]
+        with self._lock:
+            row = self._rows.get(source)
+            if row is not None:
+                if self.max_rows is not None:
+                    self._rows.move_to_end(source)
+                return row
+        # Compute outside the lock (on the calling thread's workspace)
+        # so cache hits on other threads never wait behind a full
+        # Dijkstra; a concurrent miss on the same source computes the
+        # same row and the first insert wins.
+        row = self._graph.dijkstra(source, workspace=self._graph.workspace)
+        with self._lock:
+            row = self._rows.setdefault(source, row)
+            if self.max_rows is not None:
+                self._rows.move_to_end(source)
+                while len(self._rows) > self.max_rows:
+                    self._rows.popitem(last=False)
+                    self.evictions += 1
+            return row
 
     def distance(self, di: int, dj: int) -> float:
         """Shortest door-to-door distance ``di -> dj`` (INF if unreachable)."""
@@ -414,24 +677,17 @@ class DoorMatrix:
         dist, pred = self._row(di)
         if dj not in dist:
             return None
-        doors: List[int] = []
-        vias: List[int] = []
-        node = dj
-        while node != di:
-            prev, via = pred[node]
-            doors.append(node)
-            vias.append(via)
-            node = prev
-        doors.reverse()
-        vias.reverse()
+        doors, vias = reconstruct_route(pred, di, dj)
         return doors, vias, dist[dj]
 
     def num_cached_rows(self) -> int:
-        return len(self._rows)
+        with self._lock:
+            return len(self._rows)
 
     def estimated_bytes(self) -> int:
         """Rough memory footprint of the cached rows (for Fig. 14)."""
         total = 0
-        for dist, pred in self._rows.values():
-            total += 64 * len(dist) + 96 * len(pred)
+        with self._lock:
+            for dist, pred in self._rows.values():
+                total += 64 * len(dist) + 96 * len(pred)
         return total

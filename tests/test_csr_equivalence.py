@@ -1,0 +1,343 @@
+"""The unified CSR Dijkstra against the seed dict-based implementations.
+
+The seed repo carried three near-duplicate dict-of-lists Dijkstra
+loops (single source, first-hop restricted, point attached).  They
+were collapsed into one CSR engine; these tests keep verbatim copies
+of the seed loops as *reference implementations* and assert the
+unified engine returns identical ``(dist, pred)`` maps and identical
+pred-walk routes on the fig1 and randomized synthetic venues, under
+randomized banned sets, first-hop restrictions and bounds.
+
+Determinism note: the CSR engine interns doors in ascending id order
+and breaks heap ties by dense index, which equals the seed's door-id
+tie-breaking — so even equal-length shortest-path trees must match
+exactly, not just their distances.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import random
+
+import pytest
+
+from repro.core import IKRQ, IKRQEngine, QueryService
+from repro.space import DoorGraph
+from tests.conftest import random_small_space
+
+INF = math.inf
+
+
+# ----------------------------------------------------------------------
+# Seed reference implementations (verbatim semantics of the pre-CSR
+# DoorGraph; kept here as ground truth for the unified engine).
+# ----------------------------------------------------------------------
+def seed_adjacency(space):
+    adj = {did: [] for did in space.doors}
+    for pid in space.partitions:
+        enterable = space.p2d_enter(pid)
+        leaveable = space.p2d_leave(pid)
+        for di in enterable:
+            pos_i = space.door(di).position
+            for dj in leaveable:
+                if di == dj:
+                    continue
+                weight = pos_i.distance_to(space.door(dj).position)
+                adj[di].append((dj, pid, weight))
+    return adj
+
+
+def seed_dijkstra(space, adj, source, banned=None, targets=None, bound=INF):
+    banned = banned or frozenset()
+    dist = {source: 0.0}
+    pred = {}
+    remaining = set(targets) if targets is not None else None
+    if remaining is not None:
+        remaining.discard(source)
+    heap = [(0.0, source)]
+    settled = set()
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        settled.add(u)
+        if remaining is not None:
+            remaining.discard(u)
+            if not remaining:
+                break
+        for v, via, w in adj[u]:
+            if v in banned or v in settled:
+                continue
+            nd = d + w
+            if nd > bound:
+                continue
+            if nd < dist.get(v, INF):
+                dist[v] = nd
+                pred[v] = (u, via)
+                heapq.heappush(heap, (nd, v))
+    return dist, pred
+
+
+def seed_first_hop(space, adj, source, first_via, banned, targets, bound):
+    banned = banned or frozenset()
+    dist = {}
+    pred = {}
+    heap = []
+    src_pos = space.door(source).position
+    for dj in space.p2d_leave(first_via):
+        if dj == source or dj in banned:
+            continue
+        w = src_pos.distance_to(space.door(dj).position)
+        if w > bound:
+            continue
+        if w < dist.get(dj, INF):
+            dist[dj] = w
+            pred[dj] = (source, first_via)
+            heapq.heappush(heap, (w, dj))
+    remaining = set(targets) if targets is not None else None
+    settled = set()
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        settled.add(u)
+        if remaining is not None:
+            remaining.discard(u)
+            if not remaining:
+                break
+        for v, via, w in adj[u]:
+            if v in banned or v in settled or v == source:
+                continue
+            nd = d + w
+            if nd > bound:
+                continue
+            if nd < dist.get(v, INF):
+                dist[v] = nd
+                pred[v] = (u, via)
+                heapq.heappush(heap, (nd, v))
+    return dist, pred
+
+
+def seed_routes_from_point(space, adj, p, host_pid, targets, banned=None,
+                           bound=INF):
+    banned = banned or frozenset()
+    dist = {}
+    pred = {}
+    heap = []
+    for dj in space.p2d_leave(host_pid):
+        if dj in banned:
+            continue
+        w = p.distance_to(space.door(dj).position)
+        if w > bound:
+            continue
+        if w < dist.get(dj, INF):
+            dist[dj] = w
+            pred[dj] = (None, host_pid)
+            heapq.heappush(heap, (w, dj))
+    remaining = set(targets)
+    settled = set()
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        settled.add(u)
+        remaining.discard(u)
+        if not remaining:
+            break
+        for v, via, w in adj[u]:
+            if v in banned or v in settled:
+                continue
+            nd = d + w
+            if nd > bound:
+                continue
+            if nd < dist.get(v, INF):
+                dist[v] = nd
+                pred[v] = (u, via)
+                heapq.heappush(heap, (nd, v))
+    routes = {}
+    for target in targets:
+        if target not in dist or dist[target] > bound:
+            continue
+        doors, vias, node = [], [], target
+        while node is not None:
+            prev, via = pred[node]
+            doors.append(node)
+            vias.append(via)
+            node = prev
+        doors.reverse()
+        vias.reverse()
+        routes[target] = (doors, vias, dist[target])
+    return routes
+
+
+def walk(pred, source, target):
+    doors, vias, node = [], [], target
+    while node != source:
+        prev, via = pred[node]
+        doors.append(node)
+        vias.append(via)
+        node = prev
+    doors.reverse()
+    vias.reverse()
+    return doors, vias
+
+
+# ----------------------------------------------------------------------
+# Scenario generation
+# ----------------------------------------------------------------------
+def spaces():
+    from repro.datasets import paper_fig1
+    out = [("fig1", paper_fig1().space)]
+    for seed in range(6):
+        space, _, _, _ = random_small_space(seed)
+        out.append((f"synthetic{seed}", space))
+    return out
+
+
+@pytest.fixture(scope="module", params=spaces(), ids=lambda s: s[0])
+def venue(request):
+    name, space = request.param
+    return space, DoorGraph(space), seed_adjacency(space)
+
+
+def random_cases(space, rng, n=40):
+    doors = sorted(space.doors)
+    for _ in range(n):
+        source = rng.choice(doors)
+        banned = frozenset(rng.sample(doors, k=rng.randint(0, 3))) - {source}
+        bound = rng.choice((INF, rng.uniform(5.0, 60.0)))
+        targets = (None if rng.random() < 0.4 else
+                   set(rng.sample(doors, k=rng.randint(1, 4))))
+        yield source, banned, targets, bound
+
+
+class TestSingleSourceEquivalence:
+    def test_dist_and_pred_match_seed(self, venue):
+        space, graph, adj = venue
+        rng = random.Random(11)
+        for source, banned, targets, bound in random_cases(space, rng):
+            ref = seed_dijkstra(space, adj, source, banned,
+                                set(targets) if targets else targets, bound)
+            got = graph.dijkstra(source, banned=banned,
+                                 targets=set(targets) if targets else None,
+                                 bound=bound)
+            assert got[0] == ref[0]
+            assert got[1] == ref[1]
+
+    def test_routes_match_seed_walks(self, venue):
+        space, graph, adj = venue
+        rng = random.Random(13)
+        doors = sorted(space.doors)
+        for _ in range(30):
+            source, target = rng.choice(doors), rng.choice(doors)
+            banned = frozenset(rng.sample(doors, k=rng.randint(0, 2))) - {source}
+            dist, pred = seed_dijkstra(space, adj, source, banned,
+                                       {target}, INF)
+            got = graph.shortest_route(source, target, banned=banned)
+            if target not in dist:
+                assert got is None
+                continue
+            if source == target:
+                assert got == ([], [], 0.0)
+                continue
+            doors_ref, vias_ref = walk(pred, source, target)
+            assert got == (doors_ref, vias_ref, dist[target])
+
+
+class TestFirstHopEquivalence:
+    def test_multi_target_routes_match_seed(self, venue):
+        space, graph, adj = venue
+        rng = random.Random(17)
+        doors = sorted(space.doors)
+        for _ in range(40):
+            source = rng.choice(doors)
+            vias = sorted(space.d2p_leave(source))
+            if not vias:
+                continue
+            first_via = rng.choice(vias)
+            targets = set(rng.sample(doors, k=rng.randint(1, 5)))
+            banned = frozenset(rng.sample(doors, k=rng.randint(0, 3)))
+            bound = rng.choice((INF, rng.uniform(5.0, 60.0)))
+            dist, pred = seed_first_hop(space, adj, source, first_via,
+                                        banned, set(targets), bound)
+            got = graph.multi_target_routes(source, first_via, targets,
+                                            banned=banned, bound=bound)
+            expected = {}
+            for t in targets:
+                if t in dist and dist[t] <= bound:
+                    d_ref, v_ref = walk(pred, source, t)
+                    expected[t] = (d_ref, v_ref, dist[t])
+            assert got == expected
+
+
+class TestPointAttachmentEquivalence:
+    def test_routes_from_point_match_seed(self, venue):
+        space, graph, adj = venue
+        rng = random.Random(19)
+        doors = sorted(space.doors)
+        partitions = sorted(space.partitions)
+        for _ in range(30):
+            pid = rng.choice(partitions)
+            p = space.partition(pid).footprint.random_interior_point(rng)
+            host = space.host_partition(p).pid
+            targets = set(rng.sample(doors, k=rng.randint(1, 4)))
+            banned = frozenset(rng.sample(doors, k=rng.randint(0, 3)))
+            bound = rng.choice((INF, rng.uniform(5.0, 60.0)))
+            ref = seed_routes_from_point(space, adj, p, host, set(targets),
+                                         banned, bound)
+            got = graph.routes_from_point(p, host, targets,
+                                          banned=banned, bound=bound)
+            assert got == ref
+
+
+class TestBatchMatchesSequential:
+    """``QueryService.search_batch`` must equal bare sequential search."""
+
+    @staticmethod
+    def signatures(answers):
+        return [[(tuple(repr(i) for i in r.route.items), r.route.vias,
+                  r.distance, r.score) for r in a.routes] for a in answers]
+
+    @pytest.mark.parametrize("algorithm", ["ToE", "KoE", "KoE*"])
+    def test_fig1_batch_equals_sequential(self, fig1, algorithm):
+        engine = IKRQEngine(fig1.space, fig1.kindex)
+        rng = random.Random(3)
+        keyword_pool = [("coffee",), ("latte", "apple"), ("phone", "macha"),
+                        ("shoes",), ("coffee", "laptop")]
+        queries = [IKRQ(ps=fig1.ps, pt=fig1.pt,
+                        delta=rng.uniform(50.0, 80.0),
+                        keywords=keyword_pool[i % len(keyword_pool)],
+                        k=rng.choice((1, 3)))
+                   for i in range(10)]
+        sequential = [engine.search(q, algorithm) for q in queries]
+        service = QueryService(engine, workers=3)
+        batched = service.search_batch(queries, algorithm)
+        assert self.signatures(batched) == self.signatures(sequential)
+
+    @pytest.mark.parametrize("seed", [0, 3, 7])
+    def test_random_venue_batch_equals_sequential(self, seed):
+        space, kindex, ps, pt = random_small_space(seed)
+        engine = IKRQEngine(space, kindex)
+        rng = random.Random(seed + 50)
+        iwords = sorted(kindex.iwords)
+        queries = [IKRQ(ps=ps, pt=pt, delta=rng.uniform(45.0, 90.0),
+                        keywords=(rng.choice(iwords),),
+                        k=rng.choice((1, 2, 3)))
+                   for _ in range(8)]
+        sequential = [engine.search(q, "ToE") for q in queries]
+        service = QueryService(engine, workers=2)
+        batched = service.search_batch(queries, "ToE")
+        assert self.signatures(batched) == self.signatures(sequential)
+
+    def test_repeated_queries_hit_answer_cache(self, fig1):
+        engine = IKRQEngine(fig1.space, fig1.kindex)
+        query = IKRQ(ps=fig1.ps, pt=fig1.pt, delta=60.0,
+                     keywords=("coffee", "apple"), k=3)
+        service = QueryService(engine, workers=1)
+        stream = [query] * 5
+        batched = service.search_batch(stream, "ToE")
+        sequential = [engine.search(query, "ToE") for _ in stream]
+        assert self.signatures(batched) == self.signatures(sequential)
+        assert service.stats.answer_hits == 4
+        assert service.stats.answer_misses == 1
