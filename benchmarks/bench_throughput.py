@@ -1,13 +1,17 @@
 #!/usr/bin/env python
-"""Shell entry point for the sequential-vs-batched throughput bench.
+"""Shell entry point for the throughput benches.
 
 Measures queries/second of bare ``engine.search`` calls against
-``QueryService.search_batch`` on the same traffic stream, verifying
-that both return identical results::
+``QueryService.search_batch`` on the same traffic stream — or, with
+``--serve``, of the threaded service against the sharded multi-process
+pool — verifying that every mode returns identical results.  Runs
+append to the ``BENCH_throughput.json`` trajectory artifact at the
+repo root (``--artifact ''`` disables)::
 
     PYTHONPATH=src python benchmarks/bench_throughput.py
     PYTHONPATH=src python benchmarks/bench_throughput.py \
         --venue synthetic --pool 16 --repeat 5 --workers 4
+    PYTHONPATH=src python benchmarks/bench_throughput.py --serve --workers 2
 
 The measurement logic lives in :mod:`repro.bench.throughput` (also
 reachable as ``python -m repro.bench throughput``) so the CLI, the CI

@@ -61,17 +61,28 @@ DESCRIPTIONS = {
 
 #: Non-figure experiments (not in the paper; engine-growth workloads).
 EXTRA_DESCRIPTIONS = {
-    "throughput": "queries/second: sequential vs. batched QueryService",
+    "throughput": "queries/second: sequential vs. batched QueryService "
+                  "(--serve: threaded vs. sharded process pool)",
 }
 
 
 def run_throughput(args) -> dict:
     print(f"\n=== throughput: {EXTRA_DESCRIPTIONS['throughput']} "
-          f"(venue={args.venue}, workers={args.workers}) ===")
-    result = T.run_throughput(
-        venue=args.venue, pool=args.pool, repeat=args.repeats_pool,
-        workers=args.workers, scale=args.scale)
-    print(T.format_report(result))
+          f"(venue={args.venue}, workers={args.workers}, "
+          f"serve={args.serve}) ===")
+    if args.serve:
+        result = T.run_serve_throughput(
+            venue=args.venue, pool=args.pool, repeat=args.repeats_pool,
+            workers=args.workers, scale=args.scale)
+        print(T.format_serve_report(result))
+    else:
+        result = T.run_throughput(
+            venue=args.venue, pool=args.pool, repeat=args.repeats_pool,
+            workers=args.workers, scale=args.scale)
+        print(T.format_report(result))
+    if args.artifact:
+        T.append_trajectory(args.artifact, result)
+        print(f"trajectory appended to {args.artifact}")
     return result
 
 
@@ -137,6 +148,12 @@ def main(argv=None) -> int:
                         help="distinct queries for 'throughput'")
     parser.add_argument("--repeats-pool", type=int, default=4,
                         help="pool repetitions for 'throughput'")
+    parser.add_argument("--serve", action="store_true",
+                        help="'throughput': sharded process pool vs. "
+                             "threaded QueryService")
+    parser.add_argument("--artifact", default=T.DEFAULT_ARTIFACT,
+                        help="'throughput': trajectory JSON to append to "
+                             "('' disables)")
     args = parser.parse_args(argv)
 
     if args.list or not args.figures:

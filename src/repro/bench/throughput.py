@@ -1,38 +1,55 @@
-"""Queries/second of sequential vs. batched IKRQ execution.
+"""Queries/second of sequential vs. batched vs. sharded IKRQ execution.
 
 The paper measures per-query latency; a production engine additionally
 cares about *throughput* under traffic.  This experiment replays a
 query stream — a pool of distinct queries drawn over a handful of
 ``(ps, pt)`` endpoint pairs and keyword lists, repeated the way real
-kiosk/app traffic repeats — two ways:
+kiosk/app traffic repeats — several ways:
 
 * **sequential**: one bare ``engine.search`` call per stream item,
   the way a naive server would evaluate each request in isolation,
 * **batched**: one ``QueryService.search_batch`` call, which fans the
   stream over worker threads and amortises per-endpoint attachment
   maps, keyword conversion, Dijkstra workspaces, and repeated
-  identical requests across the batch.
+  identical requests across the batch,
+* **sharded** (``--serve``): the stream dispatched over a
+  :class:`~repro.serve.pool.ShardPool` of snapshot-loaded worker
+  *processes* through the affinity dispatcher — the configuration
+  expected to beat the GIL-bound thread pool on ≥ 2 cores.
 
-Both runs must return bit-identical results (route item sequences,
-distances and scores); the comparison is throughput only.
+Every mode must return bit-identical results (route item sequences,
+distances and scores); the comparison is throughput only.  Runs append
+to a ``BENCH_throughput.json`` trajectory artifact at the repo root so
+speedups can be tracked across commits.
 
 Run it from the shell::
 
     python benchmarks/bench_throughput.py --venue fig1 --pool 12 --repeat 4
+    python benchmarks/bench_throughput.py --serve --workers 2
     python -m repro.bench throughput --workers 4
+    python -m repro.bench throughput --serve
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import random
+import tempfile
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.engine import IKRQEngine, QueryService, canonical_algorithm
 from repro.core.query import IKRQ
 from repro.datasets import paper_fig1
 from repro.space.entities import PartitionKind
+
+#: Default trajectory artifact, relative to the invoking directory
+#: (the repo root in CI and normal usage).
+DEFAULT_ARTIFACT = "BENCH_throughput.json"
 
 
 def _endpoint_pool(engine: IKRQEngine,
@@ -141,6 +158,7 @@ def run_throughput(venue: str = "fig1",
 
     n = len(stream)
     result = {
+        "mode": "batched",
         "venue": venue,
         "algorithm": algorithm,
         "queries": n,
@@ -156,6 +174,131 @@ def run_throughput(venue: str = "fig1",
     result["speedup"] = (result["batched_qps"] / result["sequential_qps"]
                          if result["sequential_qps"] else float("inf"))
     return result
+
+
+def run_serve_throughput(venue: str = "fig1",
+                         algorithm: str = "ToE",
+                         pool: int = 12,
+                         repeat: int = 4,
+                         endpoints: int = 4,
+                         workers: int = 2,
+                         scale: float = 0.12,
+                         seed: int = 7,
+                         engine: Optional[IKRQEngine] = None) -> Dict:
+    """Threaded ``QueryService`` vs. sharded process pool q/s.
+
+    Both modes replay the same stream; the sharded run loads an index
+    snapshot per worker process and dispatches through the affinity
+    dispatcher (process startup and snapshot baking are excluded from
+    the timed region, mirroring the warm-up of :func:`run_throughput`).
+    Results must be byte-identical across modes; on a single core the
+    sharded mode records its (expected) loss honestly — the GIL win
+    needs ≥ 2 cores.
+    """
+    from repro.serve import (ShardDispatcher, ShardPool, answer_to_wire,
+                             canonical_json, query_to_wire, save_snapshot)
+
+    algorithm = canonical_algorithm(algorithm)
+    engine = engine or build_engine(venue, scale, seed)
+    stream = build_stream(engine, pool=pool, repeat=repeat,
+                          endpoints=endpoints, seed=seed)
+    for query in stream[:min(3, len(stream))]:
+        engine.search(query, algorithm)
+
+    service = QueryService(engine, workers=workers)
+    started = time.perf_counter()
+    threaded = service.search_batch(stream, algorithm, workers=workers)
+    threaded_s = time.perf_counter() - started
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as tmp:
+        snapshot_path = os.path.join(tmp, "snapshot.json")
+        save_snapshot(snapshot_path, engine)
+        wire_stream = [query_to_wire(q) for q in stream]
+        with ShardPool(snapshot_path, shards=workers) as shard_pool:
+            dispatcher = ShardDispatcher(
+                shard_pool, max_pending=max(64, len(stream)))
+            for doc in wire_stream[:min(3, len(wire_stream))]:
+                dispatcher.submit(doc, algorithm)
+            started = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=workers) as tp:
+                sharded = list(tp.map(
+                    lambda doc: dispatcher.submit(doc, algorithm),
+                    wire_stream))
+            sharded_s = time.perf_counter() - started
+            shard_stats = [doc.get("stats") for doc in shard_pool.stats()]
+
+    expected = [canonical_json(answer_to_wire(a)) for a in threaded]
+    got = [canonical_json({"algorithm": r.get("algorithm"),
+                           "routes": r.get("routes")})
+           if r.get("status") == "ok" else repr(r)
+           for r in sharded]
+    if expected != got:
+        raise AssertionError(
+            "sharded results differ from threaded QueryService execution")
+
+    n = len(stream)
+    result = {
+        "mode": "serve",
+        "venue": venue,
+        "algorithm": algorithm,
+        "queries": n,
+        "distinct_queries": pool,
+        "workers": workers,
+        "cores": os.cpu_count(),
+        "threaded_qps": n / threaded_s if threaded_s else float("inf"),
+        "sharded_qps": n / sharded_s if sharded_s else float("inf"),
+        "threaded_seconds": threaded_s,
+        "sharded_seconds": sharded_s,
+        "verified_identical": True,
+        "shard_stats": shard_stats,
+    }
+    result["speedup"] = (result["sharded_qps"] / result["threaded_qps"]
+                         if result["threaded_qps"] else float("inf"))
+    return result
+
+
+def append_trajectory(path: Union[str, Path], entry: Dict) -> None:
+    """Append one run to the throughput trajectory artifact.
+
+    The artifact is a growing JSON document (``entries`` in run order)
+    so successive commits/runs chart the throughput history; a corrupt
+    or foreign file is replaced rather than crashed on.
+    """
+    artifact = Path(path)
+    doc: Dict = {"format": "repro-bench-trajectory", "version": 1,
+                 "entries": []}
+    if artifact.exists():
+        try:
+            existing = json.loads(artifact.read_text())
+            if (isinstance(existing, dict)
+                    and existing.get("format") == doc["format"]
+                    and isinstance(existing.get("entries"), list)):
+                doc = existing
+        except (ValueError, OSError):
+            pass
+    entry = dict(entry)
+    entry.setdefault("recorded_unix", round(time.time(), 3))
+    doc["entries"].append(entry)
+    artifact.write_text(json.dumps(doc, indent=1, sort_keys=True))
+
+
+def format_serve_report(result: Dict) -> str:
+    lines = [
+        f"venue={result['venue']} algorithm={result['algorithm']} "
+        f"queries={result['queries']} "
+        f"(distinct={result['distinct_queries']}) "
+        f"workers={result['workers']} cores={result['cores']}",
+        f"  threaded   : {result['threaded_qps']:10.1f} q/s "
+        f"({result['threaded_seconds'] * 1000.0:8.1f} ms)",
+        f"  sharded    : {result['sharded_qps']:10.1f} q/s "
+        f"({result['sharded_seconds'] * 1000.0:8.1f} ms)",
+        f"  speedup    : {result['speedup']:10.2f}x   "
+        f"results identical: {result['verified_identical']}",
+    ]
+    if result["cores"] and result["cores"] < 2:
+        lines.append("  (single core: the sharded win needs >= 2 cores; "
+                     "recorded for the trajectory)")
+    return "\n".join(lines)
 
 
 def format_report(result: Dict) -> str:
@@ -191,13 +334,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--scale", type=float, default=0.12,
                         help="synthetic venue scale")
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--serve", action="store_true",
+                        help="compare the threaded QueryService against "
+                             "the sharded multi-process pool instead")
+    parser.add_argument("--artifact", default=DEFAULT_ARTIFACT,
+                        help="trajectory JSON to append results to "
+                             "('' disables)")
     args = parser.parse_args(argv)
-    result = run_throughput(
-        venue=args.venue, algorithm=args.algorithm, pool=args.pool,
-        repeat=args.repeat, endpoints=args.endpoints, workers=args.workers,
-        scale=args.scale, seed=args.seed)
-    print(format_report(result))
-    # run_throughput raises when results diverge; the exit code gates
+    if args.serve:
+        result = run_serve_throughput(
+            venue=args.venue, algorithm=args.algorithm, pool=args.pool,
+            repeat=args.repeat, endpoints=args.endpoints,
+            workers=args.workers, scale=args.scale, seed=args.seed)
+        print(format_serve_report(result))
+    else:
+        result = run_throughput(
+            venue=args.venue, algorithm=args.algorithm, pool=args.pool,
+            repeat=args.repeat, endpoints=args.endpoints,
+            workers=args.workers, scale=args.scale, seed=args.seed)
+        print(format_report(result))
+    if args.artifact:
+        append_trajectory(args.artifact, result)
+        print(f"trajectory appended to {args.artifact}")
+    # The benchmark raises when results diverge; the exit code gates
     # on correctness only — a timing comparison is not a pass/fail
     # criterion on shared CI runners.
     return 0

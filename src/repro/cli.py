@@ -16,12 +16,19 @@ Workflow::
     # draw a floor with the best route
     python -m repro render venue.json --floor 0 --out floor.svg \
         --from 7.4,39.5,0 --to 23.3,31.4,0 --delta 60 --keywords latte
+
+    # bake the built indexes into a serve snapshot, then serve it
+    python -m repro snapshot venue.json venue.snap.json
+    python -m repro serve venue.snap.json --workers 2 --port 8080
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import tempfile
+from pathlib import Path
 from typing import List, Optional
 
 from repro.core import IKRQ, IKRQEngine, QueryService
@@ -120,6 +127,141 @@ def _cmd_render(args) -> int:
     return 0
 
 
+def _resolve_snapshot(path: str,
+                      out: Optional[str] = None,
+                      warm_matrix: bool = False) -> tuple:
+    """The snapshot file to serve: ``path`` itself when it already is
+    one, else a snapshot baked from the venue file (written to ``out``
+    or a temporary file).  Returns ``(snapshot_path, is_temporary)`` so
+    the caller can clean a baked temporary up on exit."""
+    from repro.serve import is_snapshot_document, save_snapshot
+    doc = json.loads(Path(path).read_text())
+    if is_snapshot_document(doc):
+        return path, False
+    space, kindex = load_space(path)
+    if kindex is None:
+        raise SystemExit("venue file carries no keyword index")
+    engine = IKRQEngine(space, kindex)
+    if warm_matrix:
+        engine.door_matrix()
+    is_temporary = out is None
+    if is_temporary:
+        handle = tempfile.NamedTemporaryFile(
+            prefix="repro-snapshot-", suffix=".json", delete=False)
+        handle.close()
+        out = handle.name
+    save_snapshot(out, engine)
+    return out, is_temporary
+
+
+def _cmd_snapshot(args) -> int:
+    from repro.serve import save_snapshot
+    space, kindex = load_space(args.path)
+    if kindex is None:
+        raise SystemExit("venue file carries no keyword index")
+    engine = IKRQEngine(space, kindex)
+    if args.warm_matrix:
+        engine.door_matrix()
+    save_snapshot(args.out, engine, matrix_rows=args.matrix_rows)
+    size = Path(args.out).stat().st_size
+    print(f"wrote snapshot of {space} to {args.out} ({size} bytes, "
+          f"{engine.graph.num_edges()} CSR edges, "
+          f"{engine._matrix.num_cached_rows() if engine._matrix else 0} "
+          f"warm matrix rows)")
+    return 0
+
+
+def _serve_smoke(server, snapshot_path: str) -> int:
+    """In-process smoke: fig1 queries over HTTP, byte-identity checked
+    against a local engine, /metrics scraped, clean shutdown."""
+    import urllib.request
+
+    from repro.serve import (answer_to_wire, canonical_json, load_snapshot,
+                             query_to_wire)
+
+    engine = load_snapshot(snapshot_path)
+    fixture = paper_fig1()
+    cases = [
+        (IKRQ(ps=fixture.ps, pt=fixture.pt, delta=60.0,
+              keywords=("latte", "apple"), k=3), "ToE"),
+        (IKRQ(ps=fixture.ps, pt=fixture.pt, delta=60.0,
+              keywords=("coffee",), k=2), "KoE"),
+        (IKRQ(ps=fixture.ps, pt=fixture.pt, delta=70.0,
+              keywords=("phone", "coffee"), k=2), "KoE*"),
+        (IKRQ(ps=fixture.pt, pt=fixture.ps, delta=60.0,
+              keywords=("latte",), k=1), "ToE"),
+    ]
+    host, port = server.start()
+    base = f"http://{host}:{port}"
+    try:
+        for query, algorithm in cases:
+            body = json.dumps({"query": query_to_wire(query),
+                               "algorithm": algorithm}).encode("utf-8")
+            request = urllib.request.Request(
+                base + "/search", data=body,
+                headers={"Content-Type": "application/json"})
+            with urllib.request.urlopen(request, timeout=60) as resp:
+                doc = json.loads(resp.read())
+            if doc.get("status") != "ok":
+                print(f"smoke FAILED: {algorithm} -> {doc}")
+                return 1
+            expected = answer_to_wire(engine.search(query, algorithm))
+            got = {"algorithm": doc["algorithm"], "routes": doc["routes"]}
+            if canonical_json(got) != canonical_json(expected):
+                print(f"smoke FAILED: {algorithm} answer differs from "
+                      "sequential engine.search")
+                return 1
+        with urllib.request.urlopen(base + "/healthz", timeout=30) as resp:
+            health = json.loads(resp.read())
+        with urllib.request.urlopen(base + "/metrics", timeout=30) as resp:
+            metrics = resp.read().decode("utf-8")
+        if "ikrq_requests_total" not in metrics \
+                or "ikrq_shard_queries_served" not in metrics:
+            print("smoke FAILED: /metrics missing expected series")
+            return 1
+    finally:
+        server.shutdown()
+    served = sum(
+        int(line.rsplit(" ", 1)[1])
+        for line in metrics.splitlines()
+        if line.startswith("ikrq_shard_queries_served"))
+    print(f"serve smoke ok: {len(cases)} queries byte-identical over HTTP, "
+          f"health={health['status']}, shards={health['shards']}, "
+          f"shard queries={served}, clean shutdown")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve import IKRQServer
+
+    snapshot_path, is_temporary = _resolve_snapshot(
+        args.path, out=args.snapshot, warm_matrix=args.warm_matrix)
+    deadline_s = args.deadline_ms / 1000.0 if args.deadline_ms else None
+    try:
+        server = IKRQServer(
+            snapshot_path, workers=args.workers, host=args.host,
+            port=args.port, max_pending=args.queue_depth,
+            deadline_s=deadline_s)
+        if args.smoke:
+            return _serve_smoke(server, snapshot_path)
+        host, port = server.address
+        print(f"serving {args.path} on http://{host}:{port} "
+              f"({args.workers} shard processes, queue depth "
+              f"{args.queue_depth}); POST /search, GET /healthz, "
+              f"GET /metrics")
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.shutdown()
+            print("server stopped")
+        return 0
+    finally:
+        if is_temporary:
+            Path(snapshot_path).unlink(missing_ok=True)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -165,6 +307,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--floor", type=int, default=0)
     p.add_argument("--out", default="floor.svg")
     p.set_defaults(func=_cmd_render)
+
+    p = sub.add_parser(
+        "snapshot", help="bake a venue + built indexes into a serve snapshot")
+    p.add_argument("path", help="venue JSON file")
+    p.add_argument("out", help="snapshot file to write")
+    p.add_argument("--warm-matrix", action="store_true",
+                   help="prebuild the KoE* door matrix into the snapshot")
+    p.add_argument("--matrix-rows", type=int, default=None,
+                   help="cap on persisted warm matrix rows")
+    p.set_defaults(func=_cmd_snapshot)
+
+    p = sub.add_parser(
+        "serve", help="sharded multi-process HTTP server for IKRQ traffic")
+    p.add_argument("path", help="venue JSON or serve snapshot file")
+    p.add_argument("--workers", type=int, default=2,
+                   help="shard processes (each owns a QueryService)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080,
+                   help="TCP port (0 = ephemeral)")
+    p.add_argument("--queue-depth", type=int, default=64,
+                   help="admission cap on in-flight requests; beyond it "
+                        "requests are shed with an 'overloaded' answer")
+    p.add_argument("--deadline-ms", type=float, default=0.0,
+                   help="per-request deadline (0 = none)")
+    p.add_argument("--snapshot", default=None,
+                   help="where to write the baked snapshot when PATH is "
+                        "a venue file (default: a temporary file)")
+    p.add_argument("--warm-matrix", action="store_true",
+                   help="prebuild the KoE* door matrix before snapshotting")
+    p.add_argument("--smoke", action="store_true",
+                   help="start, answer fig1 queries over HTTP, verify "
+                        "byte-identity and /metrics, then exit")
+    p.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -33,7 +33,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.geometry import Point
@@ -143,15 +143,25 @@ class IKRQEngine:
                  kindex: KeywordIndex,
                  popularity: Optional[Dict[int, float]] = None,
                  door_matrix_eager: bool = True,
-                 door_matrix_max_rows: Optional[int] = None) -> None:
+                 door_matrix_max_rows: Optional[int] = None,
+                 *,
+                 oracle: Optional[DistanceOracle] = None,
+                 graph: Optional[DoorGraph] = None,
+                 skeleton: Optional[SkeletonIndex] = None,
+                 door_matrix: Optional[DoorMatrix] = None) -> None:
         self.space = space
         self.kindex = kindex
         #: Optional partition-popularity map for the γ-weighted ranking
         #: extension (values in [0, 1]; see IKRQ.gamma).
         self.popularity = popularity or {}
-        self.oracle = DistanceOracle(space)
-        self.graph = DoorGraph(space, self.oracle)
-        self.skeleton = SkeletonIndex(space)
+        # Prebuilt oracles may be injected (the serve snapshot loader
+        # passes deserialised indexes so workers skip every build); by
+        # default each engine builds its own.
+        if graph is not None and oracle is None:
+            oracle = graph.oracle
+        self.oracle = oracle or DistanceOracle(space)
+        self.graph = graph or DoorGraph(space, self.oracle)
+        self.skeleton = skeleton or SkeletonIndex(space)
         #: Whether the KoE* door matrix is filled eagerly when first
         #: requested.  The matrix itself defaults to lazy rows (the
         #: mode the paper measures against); the engine defaults to
@@ -160,7 +170,7 @@ class IKRQEngine:
         self.door_matrix_eager = door_matrix_eager
         #: Optional memory budget: maximum resident matrix rows (LRU).
         self.door_matrix_max_rows = door_matrix_max_rows
-        self._matrix: Optional[DoorMatrix] = None
+        self._matrix: Optional[DoorMatrix] = door_matrix
         self._matrix_lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -244,30 +254,54 @@ class IKRQEngine:
         return self.search(ikrq, algorithm=algorithm)
 
 
-@dataclass
 class ServiceStats:
-    """Aggregate counters of one :class:`QueryService` instance."""
+    """Aggregate counters of one :class:`QueryService` instance.
 
-    queries_served: int = 0
-    batches: int = 0
-    point_map_hits: int = 0
-    point_map_misses: int = 0
-    keyword_cache_hits: int = 0
-    keyword_cache_misses: int = 0
-    answer_hits: int = 0
-    answer_misses: int = 0
+    Counters mutate through :meth:`add` and are read through
+    :meth:`snapshot` / :meth:`as_dict`, all under one internal lock, so
+    a shard worker reporting stats mid-traffic never observes torn
+    state (e.g. cache hits and misses that sum to more than the
+    queries served).  Plain attribute reads stay available for
+    single-threaded callers and tests.
+
+    ``door_matrix_evictions`` is a gauge, not a counter: it mirrors the
+    engine-held KoE* matrix's lifetime eviction count and is filled in
+    by :meth:`QueryService.stats_snapshot` (per shard, in the sharded
+    server).
+    """
+
+    FIELDS: Tuple[str, ...] = (
+        "queries_served", "batches",
+        "point_map_hits", "point_map_misses",
+        "keyword_cache_hits", "keyword_cache_misses",
+        "answer_hits", "answer_misses",
+        "door_matrix_evictions",
+    )
+
+    def __init__(self, **values: int) -> None:
+        self._lock = threading.Lock()
+        for name in self.FIELDS:
+            setattr(self, name, int(values.pop(name, 0)))
+        if values:
+            raise TypeError(f"unknown stats fields: {sorted(values)}")
+
+    def add(self, **deltas: int) -> None:
+        """Atomically apply counter increments."""
+        with self._lock:
+            for name, delta in deltas.items():
+                if name not in self.FIELDS:
+                    raise TypeError(f"unknown stats field {name!r}")
+                setattr(self, name, getattr(self, name) + delta)
+
+    def snapshot(self) -> "ServiceStats":
+        """A consistent point-in-time copy of every counter."""
+        with self._lock:
+            return ServiceStats(
+                **{name: getattr(self, name) for name in self.FIELDS})
 
     def as_dict(self) -> Dict[str, int]:
-        return {
-            "queries_served": self.queries_served,
-            "batches": self.batches,
-            "point_map_hits": self.point_map_hits,
-            "point_map_misses": self.point_map_misses,
-            "keyword_cache_hits": self.keyword_cache_hits,
-            "keyword_cache_misses": self.keyword_cache_misses,
-            "answer_hits": self.answer_hits,
-            "answer_misses": self.answer_misses,
-        }
+        with self._lock:
+            return {name: getattr(self, name) for name in self.FIELDS}
 
 
 class QueryService:
@@ -284,8 +318,10 @@ class QueryService:
       epoch-versioned Dijkstra workspace,
     * an LRU keyed on ``(ps, pt)`` caches per-endpoint state — the
       unbounded start-point attachment tree (serving every
-      first-expansion continuation without a Dijkstra run) and the
-      skeleton lower-bound maps of Pruning Rules 1–4,
+      first-expansion continuation without a Dijkstra run), the
+      terminal-side attachment map of ``pt`` used by the connect
+      step's completion pre-check, and the skeleton lower-bound maps
+      of Pruning Rules 1–4,
     * an LRU keyed on ``(QW, τ)`` reuses converted query keywords, and
       one shared door-i-word cache is populated once per space,
     * an answer LRU serves repeated identical ``(query, algorithm)``
@@ -321,6 +357,7 @@ class QueryService:
         self._tls = threading.local()
         self._lock = threading.Lock()
         #: (ps, pt) -> {"start_map": (host, dist, pred),
+        #:              "terminal_attach": {door: |door, pt|E},
         #:              "lb_from_ps": {...}, "lb_to_pt": {...}}
         self._point_maps: "OrderedDict[Tuple[Point, Point], dict]" = OrderedDict()
         self._keyword_cache: "OrderedDict[Tuple[Tuple[str, ...], float], QueryKeywords]" = OrderedDict()
@@ -343,14 +380,19 @@ class QueryService:
             entry = self._point_maps.get(key)
             if entry is not None:
                 self._point_maps.move_to_end(key)
-                self.stats.point_map_hits += 1
+                self.stats.add(point_map_hits=1)
                 return entry
-            self.stats.point_map_misses += 1
+            self.stats.add(point_map_misses=1)
         # Compute outside the lock (a concurrent miss on the same key
         # computes the same values; last write wins harmlessly).
+        space = self.engine.space
         start_map = self.engine.graph.point_attachment_map(
             ps, workspace=self._workspace())
-        entry = {"start_map": start_map, "lb_from_ps": {}, "lb_to_pt": {}}
+        v_pt = space.host_partition(pt).pid
+        terminal_attach = {door: space.door(door).position.distance_to(pt)
+                           for door in space.p2d_enter(v_pt)}
+        entry = {"start_map": start_map, "terminal_attach": terminal_attach,
+                 "lb_from_ps": {}, "lb_to_pt": {}}
         with self._lock:
             entry = self._point_maps.setdefault(key, entry)
             self._point_maps.move_to_end(key)
@@ -364,9 +406,9 @@ class QueryService:
             qk = self._keyword_cache.get(key)
             if qk is not None:
                 self._keyword_cache.move_to_end(key)
-                self.stats.keyword_cache_hits += 1
+                self.stats.add(keyword_cache_hits=1)
                 return qk
-            self.stats.keyword_cache_misses += 1
+            self.stats.add(keyword_cache_misses=1)
         qk = QueryKeywords(self.engine.kindex, query.keywords, tau=query.tau)
         with self._lock:
             qk = self._keyword_cache.setdefault(key, qk)
@@ -374,6 +416,20 @@ class QueryService:
             while len(self._keyword_cache) > self.keyword_cache_capacity:
                 self._keyword_cache.popitem(last=False)
         return qk
+
+    def stats_snapshot(self) -> ServiceStats:
+        """An atomic copy of the counters, matrix gauge included.
+
+        This is what a shard worker reports: every counter is copied
+        under one lock (no torn reads across fields) and the
+        ``door_matrix_evictions`` gauge reflects the engine-held KoE*
+        matrix at snapshot time (0 when the matrix was never built).
+        """
+        snap = self.stats.snapshot()
+        matrix = self.engine._matrix
+        if matrix is not None:
+            snap.door_matrix_evictions = matrix.evictions
+        return snap
 
     # ------------------------------------------------------------------
     # Evaluation
@@ -392,10 +448,9 @@ class QueryService:
                 cached = self._answer_cache.get(cache_key)
                 if cached is not None:
                     self._answer_cache.move_to_end(cache_key)
-                    self.stats.answer_hits += 1
-                    self.stats.queries_served += 1
+                    self.stats.add(answer_hits=1, queries_served=1)
                     return cached
-                self.stats.answer_misses += 1
+                self.stats.add(answer_misses=1)
         ctx = self.engine.context(
             query, workspace=self._workspace(),
             qk=self._query_keywords(query))
@@ -404,12 +459,13 @@ class QueryService:
             lb_from_ps=entry["lb_from_ps"],
             lb_to_pt=entry["lb_to_pt"],
             door_iwords=self._door_iwords,
-            start_map=entry["start_map"])
+            start_map=entry["start_map"],
+            terminal_attach=entry["terminal_attach"])
         answer = self.engine.search(
             query, algorithm, max_expansions=max_expansions,
             config=config, context=ctx)
+        self.stats.add(queries_served=1)
         with self._lock:
-            self.stats.queries_served += 1
             if cache_key is not None:
                 self._answer_cache[cache_key] = answer
                 self._answer_cache.move_to_end(cache_key)
@@ -434,8 +490,7 @@ class QueryService:
         pool_size = self.workers if workers is None else workers
         if pool_size < 1:
             raise ValueError("workers must be at least 1")
-        with self._lock:
-            self.stats.batches += 1
+        self.stats.add(batches=1)
         if pool_size == 1 or len(batch) <= 1:
             return [self.search(q, algorithm, max_expansions, config)
                     for q in batch]

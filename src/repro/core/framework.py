@@ -330,14 +330,13 @@ class IKRQSearch:
         budget = ctx.delta_hard - route.distance
         if budget < 0:
             return
-        targets = set(ctx.space.p2d_enter(ctx.v_pt))
-        if not targets:
+        attach = ctx.terminal_attachments()
+        if not attach:
             return
-        paths = self.regular_continuations(stamp, targets, budget)
-        pt_pos = ctx.query.pt
+        paths = self.regular_continuations(stamp, set(attach), budget)
         best: Optional[Route] = None
         for target, (doors, vias, dist) in paths.items():
-            extra = ctx.space.door(target).position.distance_to(pt_pos)
+            extra = attach[target]
             if route.distance + dist + extra > ctx.delta_hard:
                 continue
             extended = ctx.extend_along_path(route, doors, vias, dist)

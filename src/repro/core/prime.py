@@ -61,6 +61,25 @@ class PrimeTable:
         """The recorded class distance (``inf`` when absent)."""
         return self._table.get(self.key(tail, kp), float("inf"))
 
+    def export_entries(self) -> list:
+        """The table as sorted JSON-serialisable ``[tail, kp, dist]`` rows.
+
+        Serve snapshots persist a table learned from traffic as an
+        advisory artifact (diagnostics / offline analysis); live query
+        evaluation always starts from an empty per-search table, so a
+        snapshotted table never changes results.
+        """
+        return [[tail, list(kp), dist]
+                for (tail, kp), dist in sorted(self._table.items())]
+
+    @classmethod
+    def from_entries(cls, entries: list) -> "PrimeTable":
+        """Rebuild a table from :meth:`export_entries` rows."""
+        table = cls()
+        for tail, kp, dist in entries:
+            table._table[(tail, tuple(kp))] = dist
+        return table
+
     def __len__(self) -> int:
         return len(self._table)
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.geometry import Point
 from repro.keywords.matching import QueryKeywords
@@ -144,12 +144,18 @@ class QueryContext:
         # Optional start-point attachment tree (host pid, dist, pred)
         # shared across queries with the same ps by QueryService.
         self._start_map: Optional[tuple] = None
+        # Terminal-side attachment map of pt: per enterable door of
+        # v(pt), the straight-line completion cost |d, pt|E used by the
+        # connect step's budget pre-check.  Computed lazily per query;
+        # QueryService shares one per (ps, pt) endpoint entry.
+        self._terminal_attach: Optional[Dict[int, float]] = None
 
     def share_caches(self,
                      lb_from_ps: Optional[dict] = None,
                      lb_to_pt: Optional[dict] = None,
                      door_iwords: Optional[dict] = None,
-                     start_map: Optional[tuple] = None) -> None:
+                     start_map: Optional[tuple] = None,
+                     terminal_attach: Optional[Dict[int, float]] = None) -> None:
         """Adopt caches shared across queries by a batching layer.
 
         Every shared structure must hold exactly the values this
@@ -167,6 +173,27 @@ class QueryContext:
             self._door_iwords = door_iwords
         if start_map is not None:
             self._start_map = start_map
+        if terminal_attach is not None:
+            self._terminal_attach = terminal_attach
+
+    def terminal_attachments(self) -> Dict[int, float]:
+        """``d -> |d, pt|E`` over the enterable doors of ``v(pt)``.
+
+        These are the connect step's completion targets together with
+        the straight-line cost it pre-checks against the distance
+        budget before validating the full completion.  The map is pure
+        in ``pt`` (and the space), so the batching layer shares one
+        instance per endpoint entry instead of recomputing it on every
+        covered stamp.
+        """
+        attach = self._terminal_attach
+        if attach is None:
+            pt = self.query.pt
+            space = self.space
+            attach = {door: space.door(door).position.distance_to(pt)
+                      for door in space.p2d_enter(self.v_pt)}
+            self._terminal_attach = attach
+        return attach
 
     def cached_point_routes(self,
                             p: Point,

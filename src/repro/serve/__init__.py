@@ -1,0 +1,60 @@
+"""Sharded multi-process IKRQ serving.
+
+The serve subsystem is the traffic-facing layer above
+:class:`~repro.core.engine.QueryService`.  PR 1's threaded service is
+capped by the GIL on the CPU-bound Dijkstra/expansion hot path; this
+package beats that cap with worker *processes*:
+
+* :mod:`repro.serve.snapshot` — a versioned on-disk bundle persisting
+  the venue **and** its built indexes (CSR door graph, skeleton δs2s,
+  warm KoE* door-matrix rows, an advisory prime table) so a worker
+  cold-starts without rebuilding anything,
+* :mod:`repro.serve.pool` — a pool of shard processes, each loading
+  the snapshot and running its own ``QueryService``, plus a dispatcher
+  that routes requests by ``(ps, pt)``-affinity hashing (keeping each
+  shard's per-endpoint/keyword/answer LRUs hot) behind an admission
+  controller that sheds load with explicit ``overloaded`` answers,
+* :mod:`repro.serve.metrics` — counters and latency histograms
+  rendered in Prometheus text format,
+* :mod:`repro.serve.server` — a stdlib ``http.server`` surface
+  (``POST /search``, ``GET /healthz``, ``GET /metrics``) wired to the
+  dispatcher, reachable as ``python -m repro serve``.
+
+Results are byte-identical to sequential ``IKRQEngine.search`` — the
+wire format (:mod:`repro.serve.wire`) and every shared cache only move
+values the per-query evaluation would compute itself.
+"""
+
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.pool import (AdmissionController, ShardDispatcher,
+                              ShardPool, shard_for)
+from repro.serve.server import IKRQServer
+from repro.serve.snapshot import (SNAPSHOT_FORMAT, SNAPSHOT_VERSION,
+                                  engine_from_snapshot, is_snapshot_document,
+                                  load_snapshot, read_snapshot, save_snapshot,
+                                  snapshot_to_dict)
+from repro.serve.wire import (answer_to_wire, canonical_json,
+                              query_from_wire, query_to_wire,
+                              route_result_to_wire)
+
+__all__ = [
+    "AdmissionController",
+    "IKRQServer",
+    "MetricsRegistry",
+    "SNAPSHOT_FORMAT",
+    "SNAPSHOT_VERSION",
+    "ShardDispatcher",
+    "ShardPool",
+    "answer_to_wire",
+    "canonical_json",
+    "engine_from_snapshot",
+    "is_snapshot_document",
+    "load_snapshot",
+    "query_from_wire",
+    "query_to_wire",
+    "read_snapshot",
+    "route_result_to_wire",
+    "save_snapshot",
+    "shard_for",
+    "snapshot_to_dict",
+]

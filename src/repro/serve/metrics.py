@@ -1,0 +1,152 @@
+"""Counters, gauges and latency histograms for the serving layer.
+
+A deliberately small, stdlib-only metrics registry rendering the
+Prometheus text exposition format.  The dispatcher records
+request/shed/latency metrics directly; per-shard ``QueryService``
+counters arrive as atomic snapshots over the control channel and are
+published as gauges labelled by shard, so one ``GET /metrics`` scrape
+shows the whole pool.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+#: Default latency buckets (seconds): sub-millisecond indoor queries
+#: up to multi-second stragglers.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+
+#: A metric key: name plus sorted label pairs.
+_Key = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _key(name: str, labels: Mapping[str, object]) -> _Key:
+    return (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+
+
+def _format_labels(labels: Iterable[Tuple[str, str]]) -> str:
+    pairs = list(labels)
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+class _Histogram:
+    __slots__ = ("buckets", "counts", "count", "total")
+
+    def __init__(self, buckets: Tuple[float, ...]) -> None:
+        self.buckets = buckets
+        self.counts = [0] * len(buckets)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        # Per-bucket (non-cumulative) counts; render() accumulates.
+        for i, le in enumerate(self.buckets):
+            if value <= le:
+                self.counts[i] += 1
+                break
+
+
+class MetricsRegistry:
+    """Thread-safe counters/gauges/histograms with Prometheus output.
+
+    Counters only go up (:meth:`inc`), gauges are set to the latest
+    value (:meth:`set_gauge` — how per-shard stats snapshots are
+    published), histograms accumulate observations into cumulative
+    buckets (:meth:`observe`).
+    """
+
+    def __init__(self, buckets: Tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        self._lock = threading.Lock()
+        self._buckets = tuple(buckets)
+        self._counters: Dict[_Key, float] = {}
+        self._gauges: Dict[_Key, float] = {}
+        self._histograms: Dict[_Key, _Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def inc(self, name: str, value: float = 1.0, **labels) -> None:
+        key = _key(name, labels)
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0.0) + value
+
+    def set_gauge(self, name: str, value: float, **labels) -> None:
+        key = _key(name, labels)
+        with self._lock:
+            self._gauges[key] = value
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        key = _key(name, labels)
+        with self._lock:
+            hist = self._histograms.get(key)
+            if hist is None:
+                hist = self._histograms[key] = _Histogram(self._buckets)
+            hist.observe(value)
+
+    # ------------------------------------------------------------------
+    def counter_value(self, name: str, **labels) -> float:
+        with self._lock:
+            return self._counters.get(_key(name, labels), 0.0)
+
+    def merge_gauges(self, values: Mapping[str, float], **labels) -> None:
+        """Publish a mapping of values as like-named gauges at once."""
+        for name, value in values.items():
+            self.set_gauge(name, float(value), **labels)
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """The Prometheus text exposition of every metric."""
+        lines: List[str] = []
+        with self._lock:
+            counters = sorted(self._counters.items())
+            gauges = sorted(self._gauges.items())
+            # Copy each histogram's mutable state while still holding
+            # the lock — a concurrent observe() must not yield a scrape
+            # whose bucket counts disagree with _count/_sum.
+            histograms = [
+                (key, (hist.buckets, list(hist.counts),
+                       hist.count, hist.total))
+                for key, hist in sorted(self._histograms.items())]
+        seen_types: set = set()
+        for (name, labels), value in counters:
+            if name not in seen_types:
+                seen_types.add(name)
+                lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name}{_format_labels(labels)} "
+                         f"{_format_value(value)}")
+        for (name, labels), value in gauges:
+            if name not in seen_types:
+                seen_types.add(name)
+                lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name}{_format_labels(labels)} "
+                         f"{_format_value(value)}")
+        for (name, labels), (buckets, counts, count, total) in histograms:
+            if name not in seen_types:
+                seen_types.add(name)
+                lines.append(f"# TYPE {name} histogram")
+            cumulative = 0
+            for le, bucket_count in zip(buckets, counts):
+                cumulative += bucket_count
+                bucket_labels = labels + (("le", repr(le)),)
+                lines.append(f"{name}_bucket{_format_labels(bucket_labels)} "
+                             f"{cumulative}")
+            inf_labels = labels + (("le", "+Inf"),)
+            lines.append(f"{name}_bucket{_format_labels(inf_labels)} "
+                         f"{count}")
+            lines.append(f"{name}_sum{_format_labels(labels)} "
+                         f"{_format_value(total)}")
+            lines.append(f"{name}_count{_format_labels(labels)} "
+                         f"{count}")
+        return "\n".join(lines) + "\n"

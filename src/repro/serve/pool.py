@@ -1,0 +1,376 @@
+"""Shard-process pool, affinity dispatcher and admission control.
+
+Each shard is a worker *process* (beating the GIL on the CPU-bound
+search hot path) that loads the index snapshot once and then serves
+requests over a multiprocessing queue through its own
+:class:`~repro.core.engine.QueryService`.  The dispatcher routes every
+request to the shard owned by its ``(ps, pt)`` endpoint hash, so the
+per-endpoint attachment maps, keyword conversions and answer LRUs of
+one endpoint always land on the same warm shard.
+
+Admission control is explicit: at most ``max_pending`` requests may be
+in flight across the pool; anything beyond that is *shed* immediately
+with an ``{"status": "overloaded"}`` answer instead of queueing into a
+latency collapse.  Requests may additionally carry a wall-clock
+deadline — a shard that dequeues an already-expired request answers
+``expired`` without evaluating it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+import zlib
+from typing import Dict, List, Optional, Sequence
+
+from repro.serve.wire import answer_to_wire, query_from_wire
+
+#: Extra seconds the dispatcher waits past a request deadline before
+#: giving up on the shard's answer.
+_DEADLINE_GRACE = 2.0
+#: Fallback RPC timeout when a request has no deadline: long enough
+#: for any sane query, short enough to detect a dead shard.
+_DEFAULT_RPC_TIMEOUT = 300.0
+
+
+def shard_for(ps: Sequence[float], pt: Sequence[float], shards: int) -> int:
+    """The shard owning endpoint pair ``(ps, pt)`` (wire triples).
+
+    Stable across processes and runs (CRC32 of the canonical repr, not
+    ``hash()``), so repeated traffic for one endpoint pair always hits
+    the same shard's warm caches.
+    """
+    if shards < 1:
+        raise ValueError("shards must be at least 1")
+    key = repr((tuple(float(v) for v in ps), tuple(float(v) for v in pt)))
+    return zlib.crc32(key.encode("utf-8")) % shards
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+def _shard_worker(shard_id: int,
+                  snapshot_path: str,
+                  requests,
+                  responses,
+                  options: Dict) -> None:
+    """Entry point of one shard process."""
+    from repro.core.engine import QueryService
+    from repro.serve.snapshot import load_snapshot
+    from repro.space.graph import DoorGraph
+    from repro.space.skeleton import SkeletonIndex
+
+    try:
+        engine = load_snapshot(snapshot_path)
+        service = QueryService(
+            engine, workers=1,
+            point_map_capacity=options.get("point_map_capacity", 128),
+            keyword_cache_capacity=options.get("keyword_cache_capacity", 512),
+            answer_cache_capacity=options.get("answer_cache_capacity", 1024))
+    except Exception as exc:  # startup failure: report, don't hang
+        responses.put({"kind": "ready", "shard": shard_id,
+                       "error": repr(exc)})
+        return
+    responses.put({"kind": "ready", "shard": shard_id,
+                   "csr_builds": DoorGraph.csr_builds,
+                   "s2s_builds": SkeletonIndex.s2s_builds})
+    allow_sleep = bool(options.get("allow_sleep"))
+    while True:
+        msg = requests.get()
+        if msg is None or msg.get("kind") == "shutdown":
+            break
+        req_id = msg.get("id")
+        base = {"kind": "response", "id": req_id, "shard": shard_id}
+        if msg.get("kind") == "stats":
+            snap = service.stats_snapshot()
+            responses.put({**base, "status": "ok",
+                           "stats": snap.as_dict()})
+            continue
+        started = time.perf_counter()
+        try:
+            deadline = msg.get("deadline")
+            if deadline is not None and time.time() > deadline:
+                responses.put({**base, "status": "expired"})
+                continue
+            if allow_sleep and msg.get("sleep"):
+                # Test-only latency injection (saturation tests); the
+                # HTTP surface never forwards a sleep field.
+                time.sleep(float(msg["sleep"]))
+            query = query_from_wire(msg["query"])
+            answer = service.search(query, msg.get("algorithm", "ToE"))
+            doc = answer_to_wire(answer)
+            doc.update(base)
+            doc["status"] = "ok"
+            doc["elapsed"] = time.perf_counter() - started
+            responses.put(doc)
+        except Exception as exc:
+            responses.put({**base, "status": "error", "error": repr(exc)})
+
+
+# ----------------------------------------------------------------------
+# Pool
+# ----------------------------------------------------------------------
+class _PendingSlot:
+    __slots__ = ("event", "response")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.response: Optional[Dict] = None
+
+
+class ShardPool:
+    """A pool of shard processes serving one snapshot.
+
+    The pool owns the request queue of every shard, one shared
+    response queue, and a router thread matching responses back to
+    blocked callers by request id.  ``call`` is the low-level blocking
+    RPC; routing policy and admission control live in
+    :class:`ShardDispatcher`.
+    """
+
+    def __init__(self,
+                 snapshot_path: str,
+                 shards: int = 2,
+                 service_options: Optional[Dict] = None,
+                 allow_sleep: bool = False,
+                 start_timeout: float = 120.0,
+                 mp_context: Optional[str] = None) -> None:
+        if shards < 1:
+            raise ValueError("shards must be at least 1")
+        ctx = multiprocessing.get_context(mp_context)
+        self.snapshot_path = str(snapshot_path)
+        self.shards = shards
+        options = dict(service_options or {})
+        options["allow_sleep"] = allow_sleep
+        self._requests = [ctx.Queue() for _ in range(shards)]
+        self._responses = ctx.Queue()
+        self._procs = [
+            ctx.Process(
+                target=_shard_worker,
+                args=(i, self.snapshot_path, self._requests[i],
+                      self._responses, options),
+                daemon=True, name=f"ikrq-shard-{i}")
+            for i in range(shards)
+        ]
+        self._lock = threading.Lock()
+        self._pending: Dict[int, _PendingSlot] = {}
+        self._next_id = 0
+        self._closed = False
+        #: Per-shard build counters reported at startup; snapshot loads
+        #: must show no increment over the pre-fork value.
+        self.worker_builds: List[Dict] = []
+        for proc in self._procs:
+            proc.start()
+        ready = 0
+        deadline = time.monotonic() + start_timeout
+        while ready < shards:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self.close()
+                raise RuntimeError("shard pool start timed out")
+            try:
+                msg = self._responses.get(timeout=remaining)
+            except Exception:
+                continue
+            if msg.get("kind") != "ready":
+                continue
+            if "error" in msg:
+                self.close()
+                raise RuntimeError(
+                    f"shard {msg['shard']} failed to start: {msg['error']}")
+            self.worker_builds.append(
+                {"shard": msg["shard"],
+                 "csr_builds": msg.get("csr_builds"),
+                 "s2s_builds": msg.get("s2s_builds")})
+            ready += 1
+        self._router = threading.Thread(
+            target=self._route_responses, daemon=True, name="ikrq-router")
+        self._router.start()
+
+    # ------------------------------------------------------------------
+    def _route_responses(self) -> None:
+        while True:
+            try:
+                msg = self._responses.get()
+            except Exception:  # queue torn down at interpreter exit
+                break
+            if msg is None:
+                break
+            slot = None
+            with self._lock:
+                slot = self._pending.pop(msg.get("id"), None)
+            if slot is not None:
+                slot.response = msg
+                slot.event.set()
+            # A response whose caller timed out is dropped.
+
+    def call(self,
+             shard: int,
+             payload: Dict,
+             timeout: Optional[float] = None) -> Dict:
+        """Blocking RPC to one shard; returns the response document.
+
+        A timeout yields ``{"status": "timeout"}`` — the shard's late
+        answer (if any) is discarded by the router.
+        """
+        if self._closed:
+            raise RuntimeError("shard pool is closed")
+        slot = _PendingSlot()
+        with self._lock:
+            self._next_id += 1
+            req_id = self._next_id
+            self._pending[req_id] = slot
+        payload = dict(payload)
+        payload["id"] = req_id
+        self._requests[shard].put(payload)
+        if not slot.event.wait(timeout if timeout is not None
+                               else _DEFAULT_RPC_TIMEOUT):
+            with self._lock:
+                self._pending.pop(req_id, None)
+            return {"status": "timeout", "id": req_id, "shard": shard}
+        return slot.response or {"status": "error", "error": "empty response"}
+
+    def stats(self, timeout: float = 30.0) -> List[Dict]:
+        """One atomic :class:`ServiceStats` snapshot per shard."""
+        return [self.call(shard, {"kind": "stats"}, timeout=timeout)
+                for shard in range(self.shards)]
+
+    # ------------------------------------------------------------------
+    def close(self, join_timeout: float = 10.0) -> None:
+        """Shut every shard down and reap the processes."""
+        if self._closed:
+            return
+        self._closed = True
+        for queue in self._requests:
+            try:
+                queue.put(None)
+            except Exception:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=join_timeout)
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=join_timeout)
+        try:
+            self._responses.put(None)  # stop the router thread
+        except Exception:
+            pass
+        router = getattr(self, "_router", None)
+        if router is not None and router.is_alive():
+            router.join(timeout=join_timeout)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def alive(self) -> bool:
+        return (not self._closed
+                and all(proc.is_alive() for proc in self._procs))
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Admission control + dispatch
+# ----------------------------------------------------------------------
+class AdmissionController:
+    """Bounded in-flight admission: admit or shed, never queue blindly."""
+
+    def __init__(self, max_pending: int) -> None:
+        if max_pending < 1:
+            raise ValueError("max_pending must be at least 1")
+        self.max_pending = max_pending
+        self._lock = threading.Lock()
+        self._in_flight = 0
+        self.admitted = 0
+        self.shed = 0
+
+    def try_acquire(self) -> bool:
+        with self._lock:
+            if self._in_flight >= self.max_pending:
+                self.shed += 1
+                return False
+            self._in_flight += 1
+            self.admitted += 1
+            return True
+
+    def release(self) -> None:
+        with self._lock:
+            self._in_flight -= 1
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+
+class ShardDispatcher:
+    """Routes wire queries to shards; the serving front door.
+
+    ``submit`` is thread-safe (the HTTP layer calls it from many
+    handler threads) and always returns a response document — results,
+    ``overloaded`` when admission sheds, ``expired``/``timeout`` when a
+    deadline passes, or ``error``/``bad_request``.
+    """
+
+    def __init__(self,
+                 pool: ShardPool,
+                 max_pending: int = 64,
+                 deadline_s: Optional[float] = None,
+                 metrics=None) -> None:
+        self.pool = pool
+        self.admission = AdmissionController(max_pending)
+        self.deadline_s = deadline_s
+        self.metrics = metrics
+
+    def _record(self, status: str, elapsed: Optional[float] = None) -> None:
+        if self.metrics is None:
+            return
+        self.metrics.inc("ikrq_requests_total", status=status)
+        if elapsed is not None:
+            self.metrics.observe("ikrq_request_latency_seconds", elapsed)
+
+    def submit(self,
+               query_doc: Dict,
+               algorithm: str = "ToE",
+               deadline_s: Optional[float] = None,
+               sleep: Optional[float] = None) -> Dict:
+        """Evaluate one wire query through its affinity shard."""
+        started = time.perf_counter()
+        if (not isinstance(query_doc, dict)
+                or "ps" not in query_doc or "pt" not in query_doc):
+            self._record("bad_request")
+            return {"status": "bad_request",
+                    "error": "query must carry ps and pt"}
+        if not self.admission.try_acquire():
+            if self.metrics is not None:
+                self.metrics.inc("ikrq_shed_total")
+            self._record("overloaded")
+            return {"status": "overloaded"}
+        try:
+            try:
+                shard = shard_for(query_doc["ps"], query_doc["pt"],
+                                  self.pool.shards)
+            except (TypeError, ValueError) as exc:
+                self._record("bad_request")
+                return {"status": "bad_request", "error": repr(exc)}
+            limit = deadline_s if deadline_s is not None else self.deadline_s
+            payload: Dict = {"kind": "search", "query": query_doc,
+                             "algorithm": algorithm}
+            if limit is not None:
+                payload["deadline"] = time.time() + limit
+            if sleep is not None:
+                payload["sleep"] = sleep
+            timeout = (limit + _DEADLINE_GRACE) if limit is not None else None
+            response = self.pool.call(shard, payload, timeout=timeout)
+            self._record(response.get("status", "error"),
+                         time.perf_counter() - started)
+            return response
+        finally:
+            self.admission.release()

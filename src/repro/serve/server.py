@@ -1,0 +1,187 @@
+"""The stdlib HTTP surface of the sharded IKRQ server.
+
+Endpoints:
+
+* ``POST /search`` — body ``{"query": {...wire query...},
+  "algorithm": "ToE", "deadline_s": 2.0}`` (the two last fields are
+  optional).  Answers the dispatcher's response document; HTTP status
+  maps the serving status (200 ok, 503 overloaded, 504
+  expired/timeout, 400 bad request, 500 error).
+* ``GET /healthz`` — liveness: pool size and shard process health.
+* ``GET /metrics`` — Prometheus text: dispatcher counters/histograms
+  plus one fresh atomic stats snapshot per shard, published as
+  ``ikrq_shard_*`` gauges labelled by shard.
+
+The handler threads only parse JSON and block on the dispatcher — all
+CPU-bound search work happens in the shard processes, so a
+``ThreadingHTTPServer`` is exactly enough.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.pool import ShardDispatcher, ShardPool
+
+_STATUS_HTTP = {
+    "ok": 200,
+    "bad_request": 400,
+    "overloaded": 503,
+    "expired": 504,
+    "timeout": 504,
+    "error": 500,
+}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: "_HTTPServer"
+
+    # ------------------------------------------------------------------
+    def _send_json(self, code: int, doc: Dict) -> None:
+        body = json.dumps(doc).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, code: int, text: str,
+                   content_type: str = "text/plain; charset=utf-8") -> None:
+        body = text.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/healthz":
+            pool = self.server.ikrq.pool
+            healthy = pool.alive()
+            self._send_json(200 if healthy else 503, {
+                "status": "ok" if healthy else "degraded",
+                "shards": pool.shards,
+            })
+            return
+        if self.path == "/metrics":
+            self._send_text(200, self.server.ikrq.render_metrics(),
+                            content_type="text/plain; version=0.0.4")
+            return
+        self._send_json(404, {"status": "not_found", "path": self.path})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.path != "/search":
+            self._send_json(404, {"status": "not_found", "path": self.path})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            doc = json.loads(self.rfile.read(length) or b"{}")
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._send_json(400, {"status": "bad_request",
+                                  "error": repr(exc)})
+            return
+        if not isinstance(doc, dict):
+            self._send_json(400, {"status": "bad_request",
+                                  "error": "request body must be a JSON "
+                                           "object"})
+            return
+        response = self.server.ikrq.dispatcher.submit(
+            doc.get("query"),
+            algorithm=doc.get("algorithm", "ToE"),
+            deadline_s=doc.get("deadline_s"))
+        response.pop("kind", None)
+        code = _STATUS_HTTP.get(response.get("status"), 500)
+        self._send_json(code, response)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # the metrics endpoint replaces access logging
+
+
+class _HTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    ikrq: "IKRQServer"
+
+
+class IKRQServer:
+    """Pool + dispatcher + HTTP front end, owned together.
+
+    Example::
+
+        server = IKRQServer(snapshot_path, workers=2)
+        host, port = server.start()
+        ...  # POST /search against http://host:port
+        server.shutdown()
+    """
+
+    def __init__(self,
+                 snapshot_path: str,
+                 workers: int = 2,
+                 host: str = "127.0.0.1",
+                 port: int = 0,
+                 max_pending: int = 64,
+                 deadline_s: Optional[float] = None,
+                 service_options: Optional[Dict] = None) -> None:
+        self.metrics = MetricsRegistry()
+        self.pool = ShardPool(snapshot_path, shards=workers,
+                              service_options=service_options)
+        self.dispatcher = ShardDispatcher(
+            self.pool, max_pending=max_pending, deadline_s=deadline_s,
+            metrics=self.metrics)
+        self._httpd = _HTTPServer((host, port), _Handler)
+        self._httpd.ikrq = self
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    def render_metrics(self) -> str:
+        """Dispatcher metrics plus a fresh per-shard stats scrape."""
+        for doc in self.pool.stats():
+            if doc.get("status") != "ok":
+                continue
+            shard = doc.get("shard")
+            self.metrics.merge_gauges(
+                {f"ikrq_shard_{name}": value
+                 for name, value in doc.get("stats", {}).items()},
+                shard=shard)
+        self.metrics.set_gauge("ikrq_shards", self.pool.shards)
+        self.metrics.set_gauge(
+            "ikrq_in_flight", self.dispatcher.admission.in_flight)
+        return self.metrics.render()
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    def start(self) -> Tuple[str, int]:
+        """Serve in a background thread; returns the bound address."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever, daemon=True,
+                name="ikrq-http")
+            self._thread.start()
+        return self.address
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI path)."""
+        self._httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        """Stop the HTTP loop, then the shard pool — clean exit."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self.pool.close()
+
+    def __enter__(self) -> "IKRQServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

@@ -1,0 +1,182 @@
+"""Versioned on-disk index snapshots for millisecond worker cold-start.
+
+The venue serialisation of :mod:`repro.space.serialize` ships the raw
+model; a *snapshot* additionally persists every index the engine
+builds from it, so a serve worker loads instead of recomputing:
+
+* the interned CSR door-graph buffers (``DoorGraph.csr_arrays``),
+* the skeleton index's staircase doors and δs2s all-pairs matrix,
+* warm KoE* door-matrix rows (distance + predecessor dicts, hottest
+  rows first) together with the matrix budget/eagerness settings,
+* an optional advisory :class:`~repro.core.prime.PrimeTable` learned
+  from traffic (diagnostics only — live searches always start from an
+  empty per-query table, so persisting it never changes results).
+
+Format (single JSON document)::
+
+    {"format": "repro-ikrq-snapshot", "version": 1,
+     "venue":    {... repro-indoor-space document ...},
+     "graph":    {"door_ids": [...], "indptr": [...],
+                  "nbr": [...], "via": [...], "wt": [...]},
+     "skeleton": {"stair_doors": [...], "s2s": [[...]]},
+     "door_matrix": {"eager": bool, "max_rows": int|null,
+                     "rows": [[src, {"dist": {did: d},
+                                     "pred": {did: [prev, via]}}],
+                              ...]},  # LRU order, hottest last
+     "prime":    {"entries": [[tail, [kp...], dist], ...]},
+     "engine":   {"door_matrix_eager": bool,
+                  "door_matrix_max_rows": int|null,
+                  "popularity": {pid: weight}}}
+
+Floats survive exactly (JSON emits the shortest round-tripping
+``repr``), so an engine loaded from a snapshot answers byte-identically
+to the engine the snapshot was taken from.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.core.engine import IKRQEngine
+from repro.core.prime import PrimeTable
+from repro.space.distances import DistanceOracle
+from repro.space.graph import DoorGraph, DoorMatrix
+from repro.space.serialize import space_from_dict, space_to_dict
+from repro.space.skeleton import SkeletonIndex
+
+SNAPSHOT_FORMAT = "repro-ikrq-snapshot"
+SNAPSHOT_VERSION = 1
+
+
+def _matrix_rows_to_doc(rows) -> list:
+    # An ordered list (coldest first, hottest last), not a dict: the
+    # sorted-keys JSON dump would otherwise destroy the LRU hotness
+    # order that warm_rows captured, and a budgeted matrix would evict
+    # by door-id string order instead of coldness after a reload.
+    return [
+        [source, {
+            "dist": {str(did): d for did, d in dist.items()},
+            "pred": {str(did): [prev, via]
+                     for did, (prev, via) in pred.items()},
+        }]
+        for source, (dist, pred) in rows.items()
+    ]
+
+
+def _matrix_rows_from_doc(doc: list):
+    rows = {}
+    for source, row in doc:
+        dist = {int(did): d for did, d in row["dist"].items()}
+        pred = {int(did): (prev, via)
+                for did, (prev, via) in row["pred"].items()}
+        rows[int(source)] = (dist, pred)
+    return rows
+
+
+def snapshot_to_dict(engine: IKRQEngine,
+                     matrix_rows: Optional[int] = None,
+                     prime: Optional[PrimeTable] = None) -> Dict:
+    """Serialise an engine and its built indexes to a snapshot document.
+
+    ``matrix_rows`` caps how many warm door-matrix rows are persisted
+    (``None`` keeps every resident row; a matrix that was never built
+    contributes none).  ``prime`` optionally embeds an advisory prime
+    table (see module docstring).
+    """
+    if engine.kindex is None:
+        raise ValueError("serving requires a keyword index")
+    matrix = engine._matrix
+    doc: Dict = {
+        "format": SNAPSHOT_FORMAT,
+        "version": SNAPSHOT_VERSION,
+        "venue": space_to_dict(engine.space, engine.kindex),
+        "graph": engine.graph.csr_arrays(),
+        "skeleton": engine.skeleton.export(),
+        "door_matrix": {
+            "eager": engine.door_matrix_eager,
+            "max_rows": engine.door_matrix_max_rows,
+            "rows": (_matrix_rows_to_doc(matrix.warm_rows(matrix_rows))
+                     if matrix is not None else []),
+        },
+        "prime": {"entries":
+                  prime.export_entries() if prime is not None else []},
+        "engine": {
+            "door_matrix_eager": engine.door_matrix_eager,
+            "door_matrix_max_rows": engine.door_matrix_max_rows,
+            "popularity": {str(pid): w
+                           for pid, w in sorted(engine.popularity.items())},
+        },
+    }
+    return doc
+
+
+def is_snapshot_document(doc: Dict) -> bool:
+    return isinstance(doc, dict) and doc.get("format") == SNAPSHOT_FORMAT
+
+
+def engine_from_snapshot(doc: Dict) -> IKRQEngine:
+    """Rebuild a ready-to-serve engine without running any index build.
+
+    The CSR buffers, skeleton matrix and warm door-matrix rows are
+    adopted as-is (``DoorGraph.csr_builds`` / ``SkeletonIndex.s2s_builds``
+    stay untouched — tests assert the cold-start skips the rebuild).
+    """
+    if not is_snapshot_document(doc):
+        raise ValueError(f"not a {SNAPSHOT_FORMAT} document")
+    if doc.get("version") != SNAPSHOT_VERSION:
+        raise ValueError(f"unsupported snapshot version {doc.get('version')!r}")
+    space, kindex = space_from_dict(doc["venue"])
+    if kindex is None:
+        raise ValueError("snapshot venue carries no keyword index")
+    oracle = DistanceOracle(space)
+    graph = DoorGraph.from_csr(space, oracle=oracle, **doc["graph"])
+    skeleton = SkeletonIndex.from_precomputed(
+        space, doc["skeleton"]["stair_doors"], doc["skeleton"]["s2s"])
+    engine_doc = doc.get("engine", {})
+    matrix_doc = doc.get("door_matrix", {})
+    max_rows = matrix_doc.get("max_rows")
+    matrix: Optional[DoorMatrix] = None
+    rows = _matrix_rows_from_doc(matrix_doc.get("rows", []))
+    if rows:
+        # Warm rows replace the eager prebuild: the matrix starts lazy
+        # and adopts the snapshotted rows; anything missing is computed
+        # on demand (identically — rows are pure in the graph).
+        matrix = DoorMatrix(graph, eager=False, max_rows=max_rows)
+        matrix.preload_rows(rows)
+    popularity = {int(pid): w
+                  for pid, w in engine_doc.get("popularity", {}).items()}
+    return IKRQEngine(
+        space, kindex,
+        popularity=popularity,
+        door_matrix_eager=engine_doc.get("door_matrix_eager", True),
+        door_matrix_max_rows=max_rows,
+        oracle=oracle, graph=graph, skeleton=skeleton, door_matrix=matrix)
+
+
+def prime_from_snapshot(doc: Dict) -> PrimeTable:
+    """The advisory prime table embedded in a snapshot (may be empty)."""
+    return PrimeTable.from_entries(doc.get("prime", {}).get("entries", []))
+
+
+def save_snapshot(path: Union[str, Path],
+                  engine: IKRQEngine,
+                  matrix_rows: Optional[int] = None,
+                  prime: Optional[PrimeTable] = None) -> None:
+    """Write an engine snapshot to a JSON file."""
+    doc = snapshot_to_dict(engine, matrix_rows=matrix_rows, prime=prime)
+    Path(path).write_text(json.dumps(doc, sort_keys=True))
+
+
+def read_snapshot(path: Union[str, Path]) -> Dict:
+    """Read a snapshot document (no engine construction)."""
+    doc = json.loads(Path(path).read_text())
+    if not is_snapshot_document(doc):
+        raise ValueError(f"{path} is not a {SNAPSHOT_FORMAT} file")
+    return doc
+
+
+def load_snapshot(path: Union[str, Path]) -> IKRQEngine:
+    """Load a snapshot file into a ready-to-serve engine."""
+    return engine_from_snapshot(read_snapshot(path))

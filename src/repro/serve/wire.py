@@ -1,0 +1,119 @@
+"""JSON wire format of the serving surface.
+
+Queries and answers cross process and HTTP boundaries as plain JSON
+documents.  The encoding is lossless for everything the byte-identity
+guarantee covers: floats round-trip exactly (``json`` emits the
+shortest ``repr`` that parses back to the same double), door ids stay
+ints, and free points become ``{"point": [x, y, level]}`` items.
+
+A query document::
+
+    {"ps": [x, y, level], "pt": [x, y, level], "delta": 60.0,
+     "keywords": ["latte", "apple"], "k": 3,
+     "alpha": 0.5, "tau": 0.2, "soft_slack": 0.0, "gamma": 0.0}
+
+An answer document (the ``routes`` payload is what the byte-identity
+tests compare against a local ``engine.search``)::
+
+    {"algorithm": "ToE",
+     "routes": [{"items": [...], "vias": [...], "distance": ...,
+                 "kp": [...], "relevance": ..., "score": ...}]}
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence, Union
+
+from repro.core.engine import QueryAnswer
+from repro.core.query import IKRQ
+from repro.core.results import RouteResult
+from repro.geometry import Point
+
+#: A wire route item: a door id, or a point wrapper dict.
+WireItem = Union[int, Dict[str, List[float]]]
+
+
+def point_to_wire(p: Point) -> List[float]:
+    # Coerce: a Point built with int coordinates (level=0 is common)
+    # would serialise as "0" where the wire round-trip yields "0.0",
+    # breaking canonical-JSON byte-identity on numerically equal data.
+    return [float(p.x), float(p.y), float(p.level)]
+
+
+def point_from_wire(values: Sequence[float]) -> Point:
+    if not isinstance(values, (list, tuple)) or len(values) not in (2, 3):
+        raise ValueError(f"point must be [x, y] or [x, y, level], got {values!r}")
+    coords = [float(v) for v in values]
+    if len(coords) == 2:
+        coords.append(0.0)
+    return Point(coords[0], coords[1], coords[2])
+
+
+def query_to_wire(query: IKRQ) -> Dict:
+    return {
+        "ps": point_to_wire(query.ps),
+        "pt": point_to_wire(query.pt),
+        "delta": query.delta,
+        "keywords": list(query.keywords),
+        "k": query.k,
+        "alpha": query.alpha,
+        "tau": query.tau,
+        "soft_slack": query.soft_slack,
+        "gamma": query.gamma,
+    }
+
+
+def query_from_wire(doc: Dict) -> IKRQ:
+    if not isinstance(doc, dict):
+        raise ValueError("query document must be a JSON object")
+    try:
+        ps = point_from_wire(doc["ps"])
+        pt = point_from_wire(doc["pt"])
+        delta = float(doc["delta"])
+        keywords = tuple(str(w) for w in doc["keywords"])
+    except KeyError as exc:
+        raise ValueError(f"query document missing field {exc.args[0]!r}")
+    return IKRQ(
+        ps=ps, pt=pt, delta=delta, keywords=keywords,
+        k=int(doc.get("k", 1)),
+        alpha=float(doc.get("alpha", 0.5)),
+        tau=float(doc.get("tau", 0.2)),
+        soft_slack=float(doc.get("soft_slack", 0.0)),
+        gamma=float(doc.get("gamma", 0.0)),
+    )
+
+
+def _item_to_wire(item) -> WireItem:
+    if isinstance(item, int):
+        return item
+    return {"point": point_to_wire(item)}
+
+
+def route_result_to_wire(result: RouteResult) -> Dict:
+    route = result.route
+    return {
+        "items": [_item_to_wire(i) for i in route.items],
+        "vias": list(route.vias),
+        "distance": route.distance,
+        "kp": list(result.kp),
+        "relevance": result.relevance,
+        "score": result.score,
+    }
+
+
+def answer_to_wire(answer: QueryAnswer) -> Dict:
+    """The response payload: exactly what byte-identity compares."""
+    return {
+        "algorithm": answer.algorithm,
+        "routes": [route_result_to_wire(r) for r in answer.routes],
+    }
+
+
+def canonical_json(doc) -> str:
+    """One canonical byte representation of a wire document.
+
+    Sorted keys, no whitespace — two answers are byte-identical iff
+    their canonical JSON strings are equal.
+    """
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))

@@ -158,6 +158,11 @@ class DoorGraph:
     shortest path.
     """
 
+    #: Process-wide count of CSR constructions (adjacency scans).  A
+    #: worker that loads a serve snapshot must *not* bump this — the
+    #: serve tests assert cold-start skips the rebuild.
+    csr_builds = 0
+
     def __init__(self, space: IndoorSpace, oracle: Optional[DistanceOracle] = None) -> None:
         self._space = space
         self._oracle = oracle or DistanceOracle(space)
@@ -171,7 +176,47 @@ class DoorGraph:
         self._build_csr()
         self._workspace_tls = threading.local()
 
+    @classmethod
+    def from_csr(cls,
+                 space: IndoorSpace,
+                 door_ids: Sequence[int],
+                 indptr: Sequence[int],
+                 nbr: Sequence[int],
+                 via: Sequence[int],
+                 wt: Sequence[float],
+                 oracle: Optional[DistanceOracle] = None) -> "DoorGraph":
+        """Rebuild a graph from previously exported CSR buffers.
+
+        The buffers must come from :meth:`csr_arrays` of a graph over
+        an identical space; no adjacency scan runs (``csr_builds`` is
+        not incremented), which is what makes snapshot-loaded serve
+        workers cold-start without paying the build again.
+        """
+        graph = cls.__new__(cls)
+        graph._space = space
+        graph._oracle = oracle or DistanceOracle(space)
+        graph._door_ids = array("q", door_ids)
+        graph._door_index = {did: idx
+                             for idx, did in enumerate(graph._door_ids)}
+        graph._indptr = array("q", indptr)
+        graph._nbr = array("q", nbr)
+        graph._via = array("q", via)
+        graph._wt = array("d", wt)
+        graph._workspace_tls = threading.local()
+        return graph
+
+    def csr_arrays(self) -> Dict[str, list]:
+        """The interned CSR buffers as JSON-serialisable lists."""
+        return {
+            "door_ids": list(self._door_ids),
+            "indptr": list(self._indptr),
+            "nbr": list(self._nbr),
+            "via": list(self._via),
+            "wt": list(self._wt),
+        }
+
     def _build_csr(self) -> None:
+        DoorGraph.csr_builds += 1
         space = self._space
         index = self._door_index
         per_node: List[List[Tuple[int, int, float]]] = [
@@ -683,6 +728,39 @@ class DoorMatrix:
     def num_cached_rows(self) -> int:
         with self._lock:
             return len(self._rows)
+
+    def warm_rows(self,
+                  limit: Optional[int] = None,
+                  ) -> Dict[int, Tuple[Dict[int, float], Dict[int, Tuple[int, int]]]]:
+        """The resident rows (hottest last), for snapshot export.
+
+        Returns at most ``limit`` rows, preferring the most recently
+        used ones so a snapshot captures the rows live traffic keeps
+        hot.  The returned dicts are the cached objects themselves —
+        callers serialise, they must not mutate.
+        """
+        with self._lock:
+            rows = list(self._rows.items())
+        if limit is not None and limit >= 0:
+            rows = rows[len(rows) - min(limit, len(rows)):]
+        return dict(rows)
+
+    def preload_rows(self,
+                     rows: Mapping[int, Tuple[Dict[int, float],
+                                              Dict[int, Tuple[int, int]]]],
+                     ) -> None:
+        """Adopt previously exported rows (snapshot load path).
+
+        Rows beyond ``max_rows`` follow the normal LRU policy; preloads
+        do not count as evictions of live traffic.
+        """
+        with self._lock:
+            for source, row in rows.items():
+                self._rows[source] = row
+                self._rows.move_to_end(source)
+                if self.max_rows is not None:
+                    while len(self._rows) > self.max_rows:
+                        self._rows.popitem(last=False)
 
     def estimated_bytes(self) -> int:
         """Rough memory footprint of the cached rows (for Fig. 14)."""

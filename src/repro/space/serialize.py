@@ -15,6 +15,23 @@ versioned JSON format::
 
 Round-tripping preserves ids, names, directionality and the full
 keyword mappings.
+
+This document describes the *raw model* only — loading one still pays
+every index build (CSR door graph, skeleton δs2s, door matrix).  The
+serving layer extends it into a versioned **snapshot** bundle
+(``repro-ikrq-snapshot``, :mod:`repro.serve.snapshot`) that embeds this
+venue document under a ``venue`` key alongside the serialised built
+indexes, so serve workers cold-start by loading instead of rebuilding::
+
+    {"format": "repro-ikrq-snapshot", "version": 1,
+     "venue": {...this document...},
+     "graph": {CSR buffers}, "skeleton": {stair doors + δs2s},
+     "door_matrix": {warm rows}, "prime": {advisory entries},
+     "engine": {matrix eagerness/budget, popularity}}
+
+Floats survive both formats exactly (JSON emits the shortest
+round-tripping ``repr``), which is what lets a snapshot-loaded engine
+answer byte-identically to the engine it was taken from.
 """
 
 from __future__ import annotations

@@ -38,6 +38,10 @@ class SkeletonIndex:
     multiply-adds.
     """
 
+    #: Process-wide count of δs2s all-pairs constructions; snapshot
+    #: loads bypass the build and must leave this untouched.
+    s2s_builds = 0
+
     def __init__(self, space: IndoorSpace) -> None:
         self._space = space
         self._stair_doors: List[int] = sorted(
@@ -48,6 +52,37 @@ class SkeletonIndex:
             space.door(did).position for did in self._stair_doors]
         self._s2s: List[List[float]] = []
         self._build_s2s()
+
+    @classmethod
+    def from_precomputed(cls,
+                         space: IndoorSpace,
+                         stair_doors: List[int],
+                         s2s: List[List[float]]) -> "SkeletonIndex":
+        """Rebuild an index from exported ``(stair_doors, s2s)`` data.
+
+        Mirrors :meth:`DoorGraph.from_csr`: no all-pairs computation
+        runs, so snapshot-loaded workers skip the build entirely.
+        """
+        index = cls.__new__(cls)
+        index._space = space
+        index._stair_doors = list(stair_doors)
+        index._index = {did: i for i, did in enumerate(index._stair_doors)}
+        index._positions = [space.door(did).position
+                            for did in index._stair_doors]
+        index._s2s = [[INF if v is None else v for v in row] for row in s2s]
+        return index
+
+    def export(self) -> Dict[str, list]:
+        """JSON-serialisable ``(stair_doors, s2s)`` snapshot payload.
+
+        Unreachable pairs (``inf``) are encoded as ``None`` — JSON has
+        no infinity.
+        """
+        return {
+            "stair_doors": list(self._stair_doors),
+            "s2s": [[None if v == INF else v for v in row]
+                    for row in self._s2s],
+        }
 
     @property
     def staircase_doors(self) -> List[int]:
@@ -61,6 +96,7 @@ class SkeletonIndex:
         from one to the other without passing a third floor level in
         between); Dijkstra over that graph gives the skeleton metric.
         """
+        SkeletonIndex.s2s_builds += 1
         space = self._space
         n = len(self._stair_doors)
         positions = [space.door(did).position for did in self._stair_doors]

@@ -244,6 +244,34 @@ class TestQueryService:
                 == [[(r.kp, r.distance) for r in a.routes]
                     for a in sequential])
 
+    def test_endpoint_entry_carries_terminal_map(self, service_setup):
+        """The (ps, pt) LRU shares the terminal-side attachment map the
+        connect step pre-checks completions against."""
+        engine, queries = service_setup
+        service = QueryService(engine, workers=1)
+        answer = service.search(queries[0])
+        assert answer.routes
+        entry = next(iter(service._point_maps.values()))
+        query = queries[0]
+        space = engine.space
+        v_pt = space.host_partition(query.pt).pid
+        expected = {door: space.door(door).position.distance_to(query.pt)
+                    for door in space.p2d_enter(v_pt)}
+        assert entry["terminal_attach"] == expected
+        # A bare context computes the identical map on demand.
+        ctx = engine.context(query)
+        assert ctx.terminal_attachments() == expected
+
+    def test_terminal_map_shared_results_identical(self, service_setup):
+        engine, queries = service_setup
+        service = QueryService(engine, workers=1, answer_cache_capacity=0)
+        served = [service.search(q) for q in queries]
+        direct = [engine.search(q) for q in queries]
+        assert ([[(r.kp, r.distance, r.score) for r in a.routes]
+                 for a in served]
+                == [[(r.kp, r.distance, r.score) for r in a.routes]
+                    for a in direct])
+
     def test_point_cache_hits_recorded_in_search_stats(self, service_setup):
         """KoE's first expansion (point tail, empty banned set) is
         served from the shared start-attachment map."""

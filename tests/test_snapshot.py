@@ -1,0 +1,160 @@
+"""Serve snapshots: round-trip equality, rebuild skipping, identity."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import IKRQ, IKRQEngine, PrimeTable
+from repro.serve.snapshot import (SNAPSHOT_FORMAT, engine_from_snapshot,
+                                  is_snapshot_document, load_snapshot,
+                                  prime_from_snapshot, read_snapshot,
+                                  save_snapshot, snapshot_to_dict)
+from repro.serve.wire import answer_to_wire, canonical_json
+from repro.space.graph import DoorGraph
+from repro.space.serialize import space_to_dict
+from repro.space.skeleton import SkeletonIndex
+
+
+@pytest.fixture()
+def warm_engine(fig1):
+    """A fig1 engine with the door matrix built (warm rows to persist)."""
+    engine = IKRQEngine(fig1.space, fig1.kindex)
+    engine.door_matrix()
+    return engine
+
+
+@pytest.fixture()
+def roundtripped(warm_engine, tmp_path):
+    path = tmp_path / "snapshot.json"
+    save_snapshot(path, warm_engine)
+    return warm_engine, load_snapshot(path), read_snapshot(path)
+
+
+class TestRoundTrip:
+    def test_document_shape(self, roundtripped):
+        _, _, doc = roundtripped
+        assert is_snapshot_document(doc)
+        assert set(doc) >= {"format", "version", "venue", "graph",
+                            "skeleton", "door_matrix", "prime", "engine"}
+
+    def test_venue_round_trips(self, roundtripped):
+        engine, loaded, doc = roundtripped
+        assert doc["venue"] == space_to_dict(engine.space, engine.kindex)
+        assert (space_to_dict(loaded.space, loaded.kindex)
+                == space_to_dict(engine.space, engine.kindex))
+
+    def test_csr_arrays_round_trip(self, roundtripped):
+        engine, loaded, _ = roundtripped
+        assert loaded.graph.csr_arrays() == engine.graph.csr_arrays()
+
+    def test_skeleton_round_trips(self, roundtripped):
+        engine, loaded, _ = roundtripped
+        assert loaded.skeleton.export() == engine.skeleton.export()
+
+    def test_warm_matrix_rows_round_trip(self, roundtripped):
+        engine, loaded, _ = roundtripped
+        assert loaded._matrix is not None
+        assert loaded._matrix.warm_rows() == engine._matrix.warm_rows()
+
+    def test_matrix_row_cap(self, warm_engine, tmp_path):
+        path = tmp_path / "capped.json"
+        save_snapshot(path, warm_engine, matrix_rows=3)
+        loaded = load_snapshot(path)
+        assert loaded._matrix.num_cached_rows() == 3
+        # The hottest (most recently used) rows are the ones kept, and
+        # the list encoding preserves their LRU order across the
+        # sorted-keys JSON dump.
+        full = warm_engine._matrix.warm_rows()
+        kept = loaded._matrix.warm_rows()
+        assert list(kept) == list(full)[-3:]
+        assert kept == {src: full[src] for src in kept}
+
+    def test_prime_table_round_trips(self, warm_engine, tmp_path):
+        prime = PrimeTable()
+        prime.update(3, (1, 2), 12.5)
+        prime.update(-1, (1,), 4.0)
+        path = tmp_path / "prime.json"
+        save_snapshot(path, warm_engine, prime=prime)
+        restored = prime_from_snapshot(read_snapshot(path))
+        assert restored.export_entries() == prime.export_entries()
+        assert restored.best(3, (1, 2)) == 12.5
+
+    def test_skeleton_round_trip_multi_floor(self):
+        """δs2s (with unreachable-pair infinities) survives JSON."""
+        from repro.bench import experiments as E
+        engine = E.synthetic_env(floors=2, scale=0.08, seed=1).engine
+        doc = snapshot_to_dict(engine)
+        restored = engine_from_snapshot(doc)
+        assert restored.skeleton.export() == engine.skeleton.export()
+        doors = sorted(engine.space.doors)[:6]
+        for di in doors:
+            for dj in doors:
+                assert (restored.skeleton.lower_bound(di, dj)
+                        == engine.skeleton.lower_bound(di, dj))
+
+
+class TestColdStart:
+    def test_load_skips_index_builds(self, warm_engine, tmp_path):
+        path = tmp_path / "snapshot.json"
+        save_snapshot(path, warm_engine)
+        csr_before = DoorGraph.csr_builds
+        s2s_before = SkeletonIndex.s2s_builds
+        loaded = load_snapshot(path)
+        assert DoorGraph.csr_builds == csr_before
+        assert SkeletonIndex.s2s_builds == s2s_before
+        # A from-scratch engine does pay both builds.
+        IKRQEngine(loaded.space, loaded.kindex)
+        assert DoorGraph.csr_builds == csr_before + 1
+        assert SkeletonIndex.s2s_builds == s2s_before + 1
+
+    def test_warm_rows_do_not_recompute(self, warm_engine, tmp_path):
+        path = tmp_path / "snapshot.json"
+        save_snapshot(path, warm_engine)
+        loaded = load_snapshot(path)
+        assert (loaded._matrix.num_cached_rows()
+                == warm_engine._matrix.num_cached_rows())
+        assert loaded.door_matrix() is loaded._matrix
+
+
+class TestIdentity:
+    @pytest.mark.parametrize("algorithm", ["ToE", "KoE", "KoE*"])
+    def test_loaded_engine_answers_byte_identically(
+            self, fig1, warm_engine, tmp_path, algorithm):
+        path = tmp_path / "snapshot.json"
+        save_snapshot(path, warm_engine)
+        loaded = load_snapshot(path)
+        query = IKRQ(ps=fig1.ps, pt=fig1.pt, delta=60.0,
+                     keywords=("latte", "apple"), k=3)
+        expected = canonical_json(
+            answer_to_wire(warm_engine.search(query, algorithm)))
+        got = canonical_json(
+            answer_to_wire(loaded.search(query, algorithm)))
+        assert got == expected
+
+
+class TestValidation:
+    def test_rejects_foreign_document(self):
+        with pytest.raises(ValueError):
+            engine_from_snapshot({"format": "something-else"})
+
+    def test_rejects_unknown_version(self, warm_engine):
+        doc = snapshot_to_dict(warm_engine)
+        doc["version"] = 999
+        with pytest.raises(ValueError):
+            engine_from_snapshot(doc)
+
+    def test_read_snapshot_rejects_venue_file(self, warm_engine, tmp_path):
+        path = tmp_path / "venue.json"
+        path.write_text(json.dumps(
+            space_to_dict(warm_engine.space, warm_engine.kindex)))
+        with pytest.raises(ValueError, match=SNAPSHOT_FORMAT):
+            read_snapshot(path)
+
+    def test_requires_keyword_index(self, fig1):
+        engine = IKRQEngine(fig1.space, fig1.kindex)
+        doc = snapshot_to_dict(engine)
+        del doc["venue"]["keywords"]
+        with pytest.raises(ValueError, match="keyword index"):
+            engine_from_snapshot(doc)
