@@ -1,0 +1,30 @@
+#!/usr/bin/env python
+"""Shell entry point for the array-native scale bench.
+
+Generates deterministic multi-floor synthetic malls, replays one
+paper-methodology query stream through the production array-native
+core, the retained dict-of-dict reference core and a binary-v2
+cold-started engine, verifies all three answer identically, and
+appends per-size qps, speedup, latency percentiles and snapshot
+cold-start times to the ``BENCH_throughput.json`` trajectory::
+
+    PYTHONPATH=src python benchmarks/bench_scale.py --floors 10
+    PYTHONPATH=src python benchmarks/bench_scale.py --floors 2,6,10
+    PYTHONPATH=src python benchmarks/bench_scale.py --smoke
+
+The measurement logic lives in :mod:`repro.bench.scale` (also
+reachable as ``python -m repro.bench scale``) so the CLI, the CI
+perf-smoke job and this script share one implementation.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench.scale import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,6 +23,7 @@ import time
 from pathlib import Path
 
 from repro.bench import experiments as E
+from repro.bench import scale as S
 from repro.bench import throughput as T
 from repro.bench.reporting import format_series
 
@@ -63,6 +64,9 @@ DESCRIPTIONS = {
 EXTRA_DESCRIPTIONS = {
     "throughput": "queries/second: sequential vs. batched QueryService "
                   "(--serve: threaded vs. sharded process pool)",
+    "scale": "array-native core vs. the retained dict core on growing "
+             "synthetic malls (identity-verified, with latency "
+             "percentiles and snapshot cold-start times)",
 }
 
 
@@ -123,6 +127,11 @@ def run_figure(figure: str, scale: float, instances: int,
 
 
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "scale":
+        # The scale bench owns its own CLI (--floors, --smoke, ...):
+        # `python -m repro.bench scale --floors 10`.
+        return S.main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Reproduce the paper's evaluation figures.")
@@ -142,7 +151,7 @@ def main(argv=None) -> int:
     parser.add_argument("--workers", type=int, default=4,
                         help="thread-pool size for 'throughput'")
     parser.add_argument("--venue", default="fig1",
-                        choices=("fig1", "synthetic"),
+                        choices=("fig1", "synthetic", "synth"),
                         help="venue for 'throughput'")
     parser.add_argument("--pool", type=int, default=12,
                         help="distinct queries for 'throughput'")
@@ -164,8 +173,11 @@ def main(argv=None) -> int:
             print(f"  {name:10s} {text}")
         return 0
 
-    figures = (list(E.REGISTRY) + list(EXTRA_DESCRIPTIONS)
+    figures = (list(E.REGISTRY) + ["throughput"]
                if "all" in args.figures else args.figures)
+    if "scale" in figures:
+        parser.error("run the scale bench as its own command: "
+                     "python -m repro.bench scale [--floors ...]")
     unknown = [f for f in figures
                if f not in E.REGISTRY and f not in EXTRA_DESCRIPTIONS]
     if unknown:

@@ -1,0 +1,355 @@
+"""Array-native core vs. the retained dict core on growing venues.
+
+``repro.bench scale`` is the proving ground of the array-native hot
+path: for each venue size it
+
+1. generates a deterministic multi-floor synthetic mall
+   (:mod:`repro.datasets.synth`),
+2. builds two engines over the *same* venue — the production
+   array-native core (CSR workspaces, flat δs2s, flat matrix rows,
+   bitmask keywords) and the retained dict-of-dict reference core
+   (:mod:`repro.space.baseline`),
+3. replays one shuffled query stream through both sequentially,
+   recording per-query latencies,
+4. verifies the full result signatures are identical (routes, vias,
+   distances, scores — the equivalence harness),
+5. cold-starts a third engine from a **binary v2 snapshot**, replays
+   the stream again, and verifies identity a third time, timing the
+   v1-JSON vs. v2-binary snapshot load on the side,
+6. appends one entry per size — qps for all three modes, the speedup
+   over the dict core, p50/p95/p99 latencies and cold-start times —
+   to the ``BENCH_throughput.json`` trajectory.
+
+Run it from the shell::
+
+    python -m repro.bench scale --floors 10
+    python -m repro.bench scale --floors 2,6,10 --rooms-per-floor 48
+    python -m repro.bench scale --smoke          # tiny CI self-check
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import tempfile
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import random
+
+from repro.bench.throughput import (DEFAULT_ARTIFACT, _signature,
+                                    append_trajectory, latency_percentiles)
+from repro.core.engine import IKRQEngine, canonical_algorithm
+from repro.datasets.queries import QueryGenerator
+from repro.datasets.synth import (SynthMallConfig, build_synth_mall,
+                                  mall_stats, venue_diameter)
+from repro.serve.snapshot import load_snapshot, save_snapshot
+from repro.space.baseline import build_reference_engine, reference_context
+
+#: Timed passes per engine.  The fastest pass counts, and competing
+#: engines run their passes interleaved, so a scheduler hiccup on a
+#: shared runner hits every core alike instead of skewing the ratio.
+TIMED_PASSES = 3
+
+
+def _one_pass(engine: IKRQEngine, stream, algorithm: str,
+              context_for=None):
+    """One sequential replay: ``(answers, seconds, latencies)``."""
+    answers = []
+    latencies: List[float] = []
+    started = time.perf_counter()
+    for query in stream:
+        q_started = time.perf_counter()
+        if context_for is None:
+            answers.append(engine.search(query, algorithm))
+        else:
+            answers.append(engine.search(
+                query, algorithm, context=context_for(engine, query)))
+        latencies.append(time.perf_counter() - q_started)
+    return answers, time.perf_counter() - started, latencies
+
+
+def _timed_interleaved(contenders: List[Tuple[IKRQEngine, Optional[object]]],
+                       stream,
+                       algorithm: str,
+                       passes: int = TIMED_PASSES) -> List[Tuple]:
+    """Best-of-``passes`` replay for several engines, interleaved.
+
+    ``contenders`` is a list of ``(engine, context_for)`` pairs; each
+    pass runs every contender once before the next pass starts, so
+    background load perturbs all of them symmetrically.  Returns one
+    ``(answers, best seconds, best latencies)`` triple per contender.
+    """
+    best = [(None, float("inf"), []) for _ in contenders]
+    for _ in range(max(1, passes)):
+        for i, (engine, context_for) in enumerate(contenders):
+            answers, total, latencies = _one_pass(
+                engine, stream, algorithm, context_for)
+            if total < best[i][1]:
+                best[i] = (answers, total, latencies)
+            else:
+                best[i] = (answers, best[i][1], best[i][2])
+    return best
+
+
+def _cold_start_times(engine: IKRQEngine,
+                      ) -> Tuple[Dict[str, float], IKRQEngine]:
+    """Save v1/v2 snapshots and time a cold load of each."""
+    with tempfile.TemporaryDirectory(prefix="repro-scale-") as tmp:
+        json_path = os.path.join(tmp, "snapshot.json")
+        binary_path = os.path.join(tmp, "snapshot.bin")
+        save_snapshot(json_path, engine)
+        save_snapshot(binary_path, engine, binary=True)
+        sizes = {"json_bytes": os.path.getsize(json_path),
+                 "binary_bytes": os.path.getsize(binary_path)}
+        started = time.perf_counter()
+        load_snapshot(json_path)
+        json_s = time.perf_counter() - started
+        started = time.perf_counter()
+        loaded = load_snapshot(binary_path)
+        binary_s = time.perf_counter() - started
+    return {"json_load_s": json_s, "binary_load_s": binary_s,
+            "speedup": json_s / binary_s if binary_s else float("inf"),
+            **sizes}, loaded
+
+
+def build_scale_stream(engine: IKRQEngine,
+                       pool: int = 16,
+                       repeat: int = 2,
+                       qw_size: int = 6,
+                       seed: int = 7) -> List:
+    """A paper-methodology traffic stream over a big venue.
+
+    ``pool`` distinct instances are drawn with the Section V-A1 query
+    generator (start/terminal δs2t at ~35% of the venue diameter,
+    ``Δ = 1.8 · δs2t``, six keywords — the top of the paper's |QW|
+    sweep — at i-word fraction 0.6) and the
+    pool repeats ``repeat`` times in a deterministic shuffle — traffic
+    that actually crosses floors and hunts keywords, unlike the tiny
+    fig1 streams.
+    """
+    space = engine.space
+    qgen = QueryGenerator(space, engine.kindex, graph=engine.graph,
+                          seed=seed)
+    s2t = max(venue_diameter(space) * 0.35, 1.0)
+    workload = qgen.workload(s2t=s2t, eta=1.8, qw_size=qw_size, beta=0.6,
+                             k=7, alpha=0.5, tau=0.2, instances=pool)
+    distinct = list(workload.queries)
+    stream = [distinct[i % len(distinct)]
+              for i in range(len(distinct) * repeat)]
+    random.Random(seed).shuffle(stream)
+    return stream
+
+
+def run_scale_size(floors: int,
+                   rooms_per_floor: int = 48,
+                   words_per_room: int = 8,
+                   seed: int = 7,
+                   algorithm: str = "ToE",
+                   pool: int = 16,
+                   repeat: int = 2,
+                   qw_size: int = 6) -> Dict:
+    """One venue size: build, replay, verify, measure."""
+    algorithm = canonical_algorithm(algorithm)
+    cfg = SynthMallConfig(floors=floors, rooms_per_floor=rooms_per_floor,
+                          words_per_room=words_per_room, seed=seed)
+    started = time.perf_counter()
+    space, kindex = build_synth_mall(cfg)
+    venue_build_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    engine = IKRQEngine(space, kindex, door_matrix_eager=False)
+    index_build_s = time.perf_counter() - started
+    reference = build_reference_engine(space, kindex)
+
+    stream = build_scale_stream(engine, pool=pool, repeat=repeat,
+                                qw_size=qw_size, seed=seed)
+    delta = stream[0].delta if stream else 0.0
+    # Warm both engines on every distinct query once: the timed region
+    # then measures steady-state serving (engine-level pure caches
+    # filled on both sides), not first-touch construction costs.
+    distinct = list(dict.fromkeys(stream))
+    for query in distinct:
+        engine.search(query, algorithm)
+        reference.search(query, algorithm,
+                         context=reference_context(reference, query))
+
+    timed = _timed_interleaved(
+        [(engine, None), (reference, reference_context)],
+        stream, algorithm)
+    array_answers, array_s, array_lat = timed[0]
+    dict_answers, dict_s, dict_lat = timed[1]
+    if _signature(array_answers) != _signature(dict_answers):
+        raise AssertionError(
+            "array-native results differ from the dict reference core")
+
+    cold_start, snapshot_engine = _cold_start_times(engine)
+    for query in distinct:
+        snapshot_engine.search(query, algorithm)
+    snap_answers, snap_s, snap_lat = _timed_interleaved(
+        [(snapshot_engine, None)], stream, algorithm)[0]
+    if _signature(snap_answers) != _signature(array_answers):
+        raise AssertionError(
+            "v2-cold-started engine results differ from the live engine")
+
+    n = len(stream)
+    result = {
+        "mode": "scale",
+        "venue": "synth",
+        "algorithm": algorithm,
+        "floors": floors,
+        "rooms_per_floor": rooms_per_floor,
+        "words_per_room": words_per_room,
+        "delta": delta,
+        "queries": n,
+        "distinct_queries": pool,
+        **mall_stats(space, kindex),
+        "venue_build_seconds": venue_build_s,
+        "index_build_seconds": index_build_s,
+        "array_qps": n / array_s if array_s else float("inf"),
+        "dict_qps": n / dict_s if dict_s else float("inf"),
+        "snapshot_v2_qps": n / snap_s if snap_s else float("inf"),
+        "array_seconds": array_s,
+        "dict_seconds": dict_s,
+        "snapshot_v2_seconds": snap_s,
+        "latency_ms": {
+            "array": latency_percentiles(array_lat),
+            "dict": latency_percentiles(dict_lat),
+            "snapshot_v2": latency_percentiles(snap_lat),
+        },
+        "cold_start": cold_start,
+        "verified_identical": True,
+    }
+    result["speedup_vs_dict"] = (result["array_qps"] / result["dict_qps"]
+                                 if result["dict_qps"] else float("inf"))
+    return result
+
+
+def format_scale_report(result: Dict) -> str:
+    lat = result["latency_ms"]["array"]
+    cold = result["cold_start"]
+    return "\n".join([
+        f"floors={result['floors']} rooms/floor={result['rooms_per_floor']} "
+        f"partitions={result['partitions']} doors={result['doors']} "
+        f"algorithm={result['algorithm']} queries={result['queries']} "
+        f"delta={result['delta']:.0f}m",
+        f"  array core : {result['array_qps']:10.1f} q/s "
+        f"({result['array_seconds'] * 1000.0:8.1f} ms)",
+        f"  dict core  : {result['dict_qps']:10.1f} q/s "
+        f"({result['dict_seconds'] * 1000.0:8.1f} ms)",
+        f"  v2 cold    : {result['snapshot_v2_qps']:10.1f} q/s",
+        f"  speedup    : {result['speedup_vs_dict']:10.2f}x   "
+        f"results identical: {result['verified_identical']}",
+        f"  latency ms : p50={lat['p50_ms']:.2f} p95={lat['p95_ms']:.2f} "
+        f"p99={lat['p99_ms']:.2f}",
+        f"  cold start : json={cold['json_load_s'] * 1000.0:.1f} ms "
+        f"({cold['json_bytes']} B)  binary="
+        f"{cold['binary_load_s'] * 1000.0:.1f} ms ({cold['binary_bytes']} B) "
+        f"-> {cold['speedup']:.2f}x",
+    ])
+
+
+def run_scale(floors: Sequence[int] = (10,),
+              rooms_per_floor: int = 48,
+              words_per_room: int = 8,
+              seed: int = 7,
+              algorithm: str = "ToE",
+              pool: int = 16,
+              repeat: int = 2,
+              qw_size: int = 6,
+              artifact: Optional[str] = DEFAULT_ARTIFACT) -> List[Dict]:
+    """The full sweep: one entry per floor count, trajectory appended."""
+    results = []
+    for count in floors:
+        result = run_scale_size(
+            count, rooms_per_floor=rooms_per_floor,
+            words_per_room=words_per_room, seed=seed, algorithm=algorithm,
+            pool=pool, repeat=repeat, qw_size=qw_size)
+        print(format_scale_report(result))
+        if artifact:
+            append_trajectory(artifact, result)
+            print(f"trajectory appended to {artifact}")
+        results.append(result)
+    return results
+
+
+def _parse_floors(text: str) -> List[int]:
+    try:
+        floors = [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"floors must be a comma-separated list of ints, got {text!r}")
+    if not floors or any(f < 1 for f in floors):
+        raise argparse.ArgumentTypeError("floor counts must be >= 1")
+    return floors
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the array-native core against the retained "
+                    "dict core on growing synthetic malls.")
+    parser.add_argument("--floors", type=_parse_floors, default=[10],
+                        help="comma-separated floor counts (default 10)")
+    parser.add_argument("--rooms-per-floor", type=int, default=48)
+    parser.add_argument("--words-per-room", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--algorithm", default="ToE")
+    parser.add_argument("--pool", type=int, default=16,
+                        help="distinct queries in the traffic pool")
+    parser.add_argument("--repeat", type=int, default=2,
+                        help="how often the pool repeats in the stream")
+    parser.add_argument("--qw-size", type=int, default=6,
+                        help="keywords per query (default 6, the top "
+                             "of the paper's |QW| sweep)")
+    parser.add_argument("--artifact", default=None,
+                        help="trajectory JSON to append results to "
+                             f"(default {DEFAULT_ARTIFACT}, or "
+                             "bench_scale_smoke.json under --smoke; "
+                             "'' disables)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny CI run: 2 floors, small pool; fails on "
+                             "identity mismatch or a missing trajectory "
+                             "append")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        # The smoke exists to prove the append happens, so it writes a
+        # scratch artifact by default (never the tracked trajectory)
+        # and refuses the '' disable.
+        if args.artifact == "":
+            parser.error("--smoke verifies the trajectory append and "
+                         "needs an artifact; do not pass --artifact ''")
+        artifact = args.artifact or "bench_scale_smoke.json"
+        results = run_scale(
+            floors=[2], rooms_per_floor=16, words_per_room=4,
+            seed=args.seed, algorithm=args.algorithm,
+            pool=6, repeat=2, qw_size=3, artifact=artifact)
+        if not all(r.get("verified_identical") for r in results):
+            print("scale smoke FAILED: results not identical")
+            return 1
+        import json
+        from pathlib import Path
+        try:
+            doc = json.loads(Path(artifact).read_text())
+            entries = [e for e in doc.get("entries", [])
+                       if e.get("mode") == "scale"]
+        except (OSError, ValueError):
+            entries = []
+        if not entries:
+            print(f"scale smoke FAILED: no scale entry appended to "
+                  f"{artifact}")
+            return 1
+        print(f"scale smoke ok: {len(results)} size(s) verified identical "
+              f"across array/dict/v2-snapshot cores, trajectory at "
+              f"{artifact}")
+        return 0
+    artifact = DEFAULT_ARTIFACT if args.artifact is None else args.artifact
+    run_scale(floors=args.floors, rooms_per_floor=args.rooms_per_floor,
+              words_per_room=args.words_per_room, seed=args.seed,
+              algorithm=args.algorithm, pool=args.pool, repeat=args.repeat,
+              qw_size=args.qw_size, artifact=artifact)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via wrapper
+    import sys
+    sys.exit(main())

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import os
 import random
 import tempfile
@@ -50,6 +51,31 @@ from repro.space.entities import PartitionKind
 #: Default trajectory artifact, relative to the invoking directory
 #: (the repo root in CI and normal usage).
 DEFAULT_ARTIFACT = "BENCH_throughput.json"
+
+
+def latency_percentiles(seconds: Sequence[float]) -> Dict[str, float]:
+    """p50/p95/p99 (+ mean/max) of a latency sample, in milliseconds.
+
+    Nearest-rank percentiles over the sorted sample — deterministic,
+    no interpolation — so trajectory entries compare cleanly across
+    runs.
+    """
+    if not seconds:
+        return {}
+    data = sorted(seconds)
+    n = len(data)
+
+    def pct(p: float) -> float:
+        k = max(0, min(n - 1, math.ceil(p / 100.0 * n) - 1))
+        return data[k] * 1000.0
+
+    return {
+        "p50_ms": pct(50.0),
+        "p95_ms": pct(95.0),
+        "p99_ms": pct(99.0),
+        "mean_ms": sum(data) / n * 1000.0,
+        "max_ms": data[-1] * 1000.0,
+    }
 
 
 def _endpoint_pool(engine: IKRQEngine,
@@ -121,7 +147,13 @@ def build_engine(venue: str, scale: float, seed: int) -> IKRQEngine:
     if venue == "synthetic":
         from repro.bench import experiments as E
         return E.synthetic_env(floors=2, scale=scale, seed=seed).engine
-    raise ValueError(f"unknown venue {venue!r}; choose fig1 or synthetic")
+    if venue == "synth":
+        from repro.datasets.synth import SynthMallConfig, build_synth_mall
+        space, kindex = build_synth_mall(SynthMallConfig(
+            floors=2, rooms_per_floor=16, words_per_room=4, seed=seed))
+        return IKRQEngine(space, kindex)
+    raise ValueError(
+        f"unknown venue {venue!r}; choose fig1, synthetic or synth")
 
 
 def run_throughput(venue: str = "fig1",
@@ -143,13 +175,20 @@ def run_throughput(venue: str = "fig1",
     for query in stream[:min(3, len(stream))]:
         engine.search(query, algorithm)
 
+    sequential = []
+    sequential_lat: List[float] = []
     started = time.perf_counter()
-    sequential = [engine.search(query, algorithm) for query in stream]
+    for query in stream:
+        q_started = time.perf_counter()
+        sequential.append(engine.search(query, algorithm))
+        sequential_lat.append(time.perf_counter() - q_started)
     sequential_s = time.perf_counter() - started
 
     service = QueryService(engine, workers=workers)
+    batched_lat: List[float] = []
     started = time.perf_counter()
-    batched = service.search_batch(stream, algorithm, workers=workers)
+    batched = service.search_batch(stream, algorithm, workers=workers,
+                                   timings=batched_lat)
     batched_s = time.perf_counter() - started
 
     if _signature(sequential) != _signature(batched):
@@ -168,6 +207,10 @@ def run_throughput(venue: str = "fig1",
         "batched_qps": n / batched_s if batched_s else float("inf"),
         "sequential_seconds": sequential_s,
         "batched_seconds": batched_s,
+        "latency_ms": {
+            "sequential": latency_percentiles(sequential_lat),
+            "batched": latency_percentiles(batched_lat),
+        },
         "verified_identical": True,
         "service_stats": service.stats.as_dict(),
     }
@@ -206,24 +249,33 @@ def run_serve_throughput(venue: str = "fig1",
         engine.search(query, algorithm)
 
     service = QueryService(engine, workers=workers)
+    threaded_lat: List[float] = []
     started = time.perf_counter()
-    threaded = service.search_batch(stream, algorithm, workers=workers)
+    threaded = service.search_batch(stream, algorithm, workers=workers,
+                                    timings=threaded_lat)
     threaded_s = time.perf_counter() - started
 
     with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as tmp:
         snapshot_path = os.path.join(tmp, "snapshot.json")
         save_snapshot(snapshot_path, engine)
         wire_stream = [query_to_wire(q) for q in stream]
+        sharded_lat: List[float] = []
+
         with ShardPool(snapshot_path, shards=workers) as shard_pool:
             dispatcher = ShardDispatcher(
                 shard_pool, max_pending=max(64, len(stream)))
+
+            def submit_timed(doc):
+                q_started = time.perf_counter()
+                response = dispatcher.submit(doc, algorithm)
+                sharded_lat.append(time.perf_counter() - q_started)
+                return response
+
             for doc in wire_stream[:min(3, len(wire_stream))]:
                 dispatcher.submit(doc, algorithm)
             started = time.perf_counter()
             with ThreadPoolExecutor(max_workers=workers) as tp:
-                sharded = list(tp.map(
-                    lambda doc: dispatcher.submit(doc, algorithm),
-                    wire_stream))
+                sharded = list(tp.map(submit_timed, wire_stream))
             sharded_s = time.perf_counter() - started
             shard_stats = [doc.get("stats") for doc in shard_pool.stats()]
 
@@ -249,6 +301,10 @@ def run_serve_throughput(venue: str = "fig1",
         "sharded_qps": n / sharded_s if sharded_s else float("inf"),
         "threaded_seconds": threaded_s,
         "sharded_seconds": sharded_s,
+        "latency_ms": {
+            "threaded": latency_percentiles(threaded_lat),
+            "sharded": latency_percentiles(sharded_lat),
+        },
         "verified_identical": True,
         "shard_stats": shard_stats,
     }
@@ -282,6 +338,15 @@ def append_trajectory(path: Union[str, Path], entry: Dict) -> None:
     artifact.write_text(json.dumps(doc, indent=1, sort_keys=True))
 
 
+def _format_latency_line(result: Dict) -> str:
+    parts = []
+    for mode, pct in sorted(result.get("latency_ms", {}).items()):
+        if pct:
+            parts.append(f"{mode} p50={pct['p50_ms']:.2f} "
+                         f"p95={pct['p95_ms']:.2f} p99={pct['p99_ms']:.2f}")
+    return "  latency ms : " + ("; ".join(parts) if parts else "n/a")
+
+
 def format_serve_report(result: Dict) -> str:
     lines = [
         f"venue={result['venue']} algorithm={result['algorithm']} "
@@ -294,6 +359,7 @@ def format_serve_report(result: Dict) -> str:
         f"({result['sharded_seconds'] * 1000.0:8.1f} ms)",
         f"  speedup    : {result['speedup']:10.2f}x   "
         f"results identical: {result['verified_identical']}",
+        _format_latency_line(result),
     ]
     if result["cores"] and result["cores"] < 2:
         lines.append("  (single core: the sharded win needs >= 2 cores; "
@@ -313,6 +379,7 @@ def format_report(result: Dict) -> str:
         f"({result['batched_seconds'] * 1000.0:8.1f} ms)",
         f"  speedup    : {result['speedup']:10.2f}x   "
         f"results identical: {result['verified_identical']}",
+        _format_latency_line(result),
         f"  service    : {result['service_stats']}",
     ]
     return "\n".join(lines)
@@ -322,7 +389,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Benchmark sequential vs. batched IKRQ throughput.")
     parser.add_argument("--venue", default="fig1",
-                        choices=("fig1", "synthetic"))
+                        choices=("fig1", "synthetic", "synth"))
     parser.add_argument("--algorithm", default="ToE")
     parser.add_argument("--pool", type=int, default=12,
                         help="distinct queries in the traffic pool")

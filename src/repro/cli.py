@@ -131,10 +131,14 @@ def _resolve_snapshot(path: str,
                       out: Optional[str] = None,
                       warm_matrix: bool = False) -> tuple:
     """The snapshot file to serve: ``path`` itself when it already is
-    one, else a snapshot baked from the venue file (written to ``out``
-    or a temporary file).  Returns ``(snapshot_path, is_temporary)`` so
-    the caller can clean a baked temporary up on exit."""
-    from repro.serve import is_snapshot_document, save_snapshot
+    one (JSON v1 or binary v2), else a snapshot baked from the venue
+    file (written to ``out`` or a temporary file).  Returns
+    ``(snapshot_path, is_temporary)`` so the caller can clean a baked
+    temporary up on exit."""
+    from repro.serve import (is_binary_snapshot, is_snapshot_document,
+                             save_snapshot)
+    if is_binary_snapshot(path):
+        return path, False
     doc = json.loads(Path(path).read_text())
     if is_snapshot_document(doc):
         return path, False
@@ -162,10 +166,12 @@ def _cmd_snapshot(args) -> int:
     engine = IKRQEngine(space, kindex)
     if args.warm_matrix:
         engine.door_matrix()
-    save_snapshot(args.out, engine, matrix_rows=args.matrix_rows)
+    save_snapshot(args.out, engine, matrix_rows=args.matrix_rows,
+                  binary=args.binary)
     size = Path(args.out).stat().st_size
-    print(f"wrote snapshot of {space} to {args.out} ({size} bytes, "
-          f"{engine.graph.num_edges()} CSR edges, "
+    encoding = "binary v2" if args.binary else "JSON v1"
+    print(f"wrote {encoding} snapshot of {space} to {args.out} "
+          f"({size} bytes, {engine.graph.num_edges()} CSR edges, "
           f"{engine._matrix.num_cached_rows() if engine._matrix else 0} "
           f"warm matrix rows)")
     return 0
@@ -216,7 +222,9 @@ def _serve_smoke(server, snapshot_path: str) -> int:
         with urllib.request.urlopen(base + "/metrics", timeout=30) as resp:
             metrics = resp.read().decode("utf-8")
         if "ikrq_requests_total" not in metrics \
-                or "ikrq_shard_queries_served" not in metrics:
+                or "ikrq_shard_queries_served" not in metrics \
+                or "ikrq_request_latency_seconds_bucket" not in metrics \
+                or "ikrq_shard_search_latency_seconds_bucket" not in metrics:
             print("smoke FAILED: /metrics missing expected series")
             return 1
     finally:
@@ -316,6 +324,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="prebuild the KoE* door matrix into the snapshot")
     p.add_argument("--matrix-rows", type=int, default=None,
                    help="cap on persisted warm matrix rows")
+    p.add_argument("--binary", action="store_true",
+                   help="write the binary v2 encoding (typed-array "
+                        "payload; fastest cold-start on big venues)")
     p.set_defaults(func=_cmd_snapshot)
 
     p = sub.add_parser(

@@ -31,6 +31,7 @@ Paper-style spellings (``ToE\\D`` …) are accepted as aliases.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -172,14 +173,50 @@ class IKRQEngine:
         self.door_matrix_max_rows = door_matrix_max_rows
         self._matrix: Optional[DoorMatrix] = door_matrix
         self._matrix_lock = threading.Lock()
+        #: Engine-wide door -> i-words cache, shared into every query
+        #: context.  The values are pure in (space, keyword index) —
+        #: exactly what each context would derive itself — so sharing
+        #: changes no answer; it only stops sequential traffic from
+        #: re-deriving the same frozensets query after query.
+        self._door_iwords: Dict[int, frozenset] = {}
+        #: Engine-wide per-endpoint skeleton lower-bound maps (the
+        #: ``|ps, d|L`` / ``|d, pt|L`` caches of Pruning Rules 1–4),
+        #: LRU-bounded by endpoint.  The maps are pure in the space and
+        #: the endpoint — the batched ``QueryService`` has always
+        #: shared them per ``(ps, pt)`` pair; holding them here extends
+        #: the same exact reuse to bare sequential ``search`` traffic,
+        #: which in practice repeats endpoints (kiosks, app sessions).
+        self.endpoint_lb_capacity = 256
+        self._lb_from_cache: "OrderedDict[Point, dict]" = OrderedDict()
+        self._lb_to_cache: "OrderedDict[Point, dict]" = OrderedDict()
+        self._lb_lock = threading.Lock()
+
+    def _endpoint_lb(self,
+                     table: "OrderedDict[Point, dict]",
+                     endpoint: Point) -> dict:
+        with self._lb_lock:
+            cached = table.get(endpoint)
+            if cached is None:
+                cached = table[endpoint] = {}
+            table.move_to_end(endpoint)
+            while len(table) > self.endpoint_lb_capacity:
+                table.popitem(last=False)
+            return cached
 
     # ------------------------------------------------------------------
     def context(self,
                 query: IKRQ,
                 workspace: Optional[DijkstraWorkspace] = None,
-                qk: Optional[QueryKeywords] = None) -> QueryContext:
-        """A fresh per-query context sharing the engine's oracles."""
-        return QueryContext(
+                qk: Optional[QueryKeywords] = None,
+                endpoint_caches: bool = True) -> QueryContext:
+        """A fresh per-query context sharing the engine's oracles.
+
+        ``endpoint_caches=False`` skips attaching the engine-level
+        per-endpoint lower-bound LRU — the batched ``QueryService``
+        passes its own per-``(ps, pt)`` maps instead and must not
+        churn (or pollute) the engine's LRU on its hot path.
+        """
+        ctx = QueryContext(
             space=self.space,
             kindex=self.kindex,
             query=query,
@@ -190,6 +227,12 @@ class IKRQEngine:
             workspace=workspace,
             qk=qk,
         )
+        ctx.share_caches(door_iwords=self._door_iwords)
+        if endpoint_caches:
+            ctx.share_caches(
+                lb_from_ps=self._endpoint_lb(self._lb_from_cache, query.ps),
+                lb_to_pt=self._endpoint_lb(self._lb_to_cache, query.pt))
+        return ctx
 
     def door_matrix(self) -> DoorMatrix:
         """The lazily constructed KoE* door matrix.
@@ -362,7 +405,9 @@ class QueryService:
         self._point_maps: "OrderedDict[Tuple[Point, Point], dict]" = OrderedDict()
         self._keyword_cache: "OrderedDict[Tuple[Tuple[str, ...], float], QueryKeywords]" = OrderedDict()
         self._answer_cache: "OrderedDict[tuple, QueryAnswer]" = OrderedDict()
-        self._door_iwords: dict = {}
+        # One door -> i-words table per process: the engine already
+        # owns the canonical copy (pure in space + keyword index).
+        self._door_iwords: dict = engine._door_iwords
 
     # ------------------------------------------------------------------
     # Shared state
@@ -453,7 +498,7 @@ class QueryService:
                 self.stats.add(answer_misses=1)
         ctx = self.engine.context(
             query, workspace=self._workspace(),
-            qk=self._query_keywords(query))
+            qk=self._query_keywords(query), endpoint_caches=False)
         entry = self._endpoint_entry(query.ps, query.pt)
         ctx.share_caches(
             lb_from_ps=entry["lb_from_ps"],
@@ -479,23 +524,33 @@ class QueryService:
                      workers: Optional[int] = None,
                      max_expansions: Optional[int] = None,
                      config: Optional[SearchConfig] = None,
+                     timings: Optional[List[float]] = None,
                      ) -> List[QueryAnswer]:
         """Evaluate many queries, preserving input order.
 
         ``workers`` overrides the service default; with one worker (or
         a single query) the batch runs inline on the calling thread,
-        still benefiting from the shared caches.
+        still benefiting from the shared caches.  ``timings``, when
+        given, receives one per-query wall-clock duration (seconds)
+        per evaluation, in completion order — the benches derive their
+        latency percentiles from it.
         """
         batch = list(queries)
         pool_size = self.workers if workers is None else workers
         if pool_size < 1:
             raise ValueError("workers must be at least 1")
         self.stats.add(batches=1)
+        if timings is None:
+            evaluate = lambda q: self.search(  # noqa: E731
+                q, algorithm, max_expansions, config)
+        else:
+            def evaluate(q: IKRQ) -> QueryAnswer:
+                started = time.perf_counter()
+                answer = self.search(q, algorithm, max_expansions, config)
+                timings.append(time.perf_counter() - started)
+                return answer
         if pool_size == 1 or len(batch) <= 1:
-            return [self.search(q, algorithm, max_expansions, config)
-                    for q in batch]
+            return [evaluate(q) for q in batch]
         with ThreadPoolExecutor(max_workers=pool_size,
                                 thread_name_prefix="ikrq") as pool:
-            return list(pool.map(
-                lambda q: self.search(q, algorithm, max_expansions, config),
-                batch))
+            return list(pool.map(evaluate, batch))

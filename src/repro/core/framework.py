@@ -172,7 +172,12 @@ class IKRQSearch:
     # ------------------------------------------------------------------
     def make_stamp(self, partition: int, route: Route) -> Stamp:
         self.stats.stamps_created += 1
-        return Stamp.of(partition, route, self.ctx.ranking_score(route))
+        # One relevance derivation feeds both the stamp field and the
+        # ranking score (Stamp.of would recompute it).
+        relevance = route.relevance
+        return Stamp(partition=partition, route=route,
+                     distance=route.distance, relevance=relevance,
+                     score=self.ctx.score_from_relevance(route, relevance))
 
     @property
     def kbound(self) -> float:
@@ -184,9 +189,10 @@ class IKRQSearch:
         """Pruning Rule 5 (Algorithm 3) on a stamp, variant-aware."""
         if not self.config.use_prime_pruning:
             return True
-        tail = stamp.route.tail
-        kp = self.ctx.key_partition_sequence(stamp.route)
-        ok = self.prime.check(tail, kp, stamp.distance)
+        # Routes carry KP(R) incrementally (ctx.key_partition_sequence
+        # is the same attribute read); stay on the attributes here.
+        route = stamp.route
+        ok = self.prime.check(route.tail, route.kp, stamp.distance)
         if not ok:
             self.stats.pruned_rule5 += 1
         return ok
@@ -195,9 +201,8 @@ class IKRQSearch:
         """Algorithm 4 on a stamp, variant-aware."""
         if not self.config.use_prime_pruning:
             return
-        tail = stamp.route.tail
-        kp = self.ctx.key_partition_sequence(stamp.route)
-        self.prime.update(tail, kp, stamp.distance)
+        route = stamp.route
+        self.prime.update(route.tail, route.kp, stamp.distance)
 
     # ------------------------------------------------------------------
     # Distance pruning caches (Rules 2 and 3)
@@ -207,10 +212,12 @@ class IKRQSearch:
         ctx = self.ctx
         if not self.config.use_distance_pruning:
             return True
-        if door in ctx.doors_pruned:
-            return False
+        # Valid-first: on settled queries nearly every check is a
+        # repeat hit on Dn, and the two sets are disjoint.
         if door in ctx.doors_valid:
             return True
+        if door in ctx.doors_pruned:
+            return False
         bound = ctx.lb_from_start(door) + ctx.lb_to_terminal(door)
         if bound > ctx.delta_hard:
             ctx.doors_pruned.add(door)

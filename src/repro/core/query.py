@@ -122,6 +122,17 @@ class QueryContext:
         self.v_ps: int = space.host_partition(query.ps).pid
         self.v_pt: int = space.host_partition(query.pt).pid
 
+        # Per-call-free copies of the query scalars: these sit under
+        # every pruning check, so they are plain attributes rather
+        # than forwarding properties.
+        self.delta: float = query.delta
+        self.delta_hard: float = query.delta_hard
+        self.alpha: float = query.alpha
+        self.k: int = query.k
+        self.num_keywords: int = len(self.qk)
+        #: ``|QW| + 1`` — relevance of a fully covered route.
+        self.full_relevance: float = self.qk.max_relevance
+
         #: Partitions covering at least one candidate i-word — used by
         #: key-partition sequences and the Lemma 2 loop check.
         self.keyword_partitions: FrozenSet[int] = self.qk.keyword_partitions
@@ -141,6 +152,13 @@ class QueryContext:
         self._lb_to_pt: dict = {}
         self._lb_from_ps: dict = {}
         self._door_iwords: dict = {}
+        # Endpoint attachment triples for the skeleton's precomputed-
+        # heads fast path (array-native index only): ps/pt attach to
+        # their floors' staircase doors exactly once per query instead
+        # of once per lower-bound call.
+        self._use_heads = getattr(self.skeleton, "supports_heads", False)
+        self._ps_heads = None
+        self._pt_heads = None
         # Optional start-point attachment tree (host pid, dist, pred)
         # shared across queries with the same ps by QueryService.
         self._start_map: Optional[tuple] = None
@@ -227,28 +245,6 @@ class QueryContext:
     # ------------------------------------------------------------------
     # Convenience accessors
     # ------------------------------------------------------------------
-    @property
-    def delta(self) -> float:
-        return self.query.delta
-
-    @property
-    def delta_hard(self) -> float:
-        """Feasibility bound used by the constraint and pruning checks
-        (equals ``delta`` unless the query sets a soft slack)."""
-        return self.query.delta_hard
-
-    @property
-    def alpha(self) -> float:
-        return self.query.alpha
-
-    @property
-    def k(self) -> int:
-        return self.query.k
-
-    @property
-    def num_keywords(self) -> int:
-        return len(self.qk)
-
     def is_keyword_partition(self, pid: int) -> bool:
         """Whether the partition's i-word is a candidate of some query word."""
         return pid in self.keyword_partitions
@@ -440,55 +436,96 @@ class QueryContext:
         the γ-weighted popularity term is blended in and the result
         renormalised to keep scores in [−γ', 1].
         """
-        query = self.query
-        alpha = query.alpha
-        keyword_part = route.relevance / self.qk.max_relevance
-        spatial_part = (self.delta - route.distance) / self.delta
+        return self.score_from_relevance(route, route.relevance)
+
+    def score_from_relevance(self, route: Route, relevance: float) -> float:
+        """``ψ(R)`` with an already-computed relevance.
+
+        Callers that need both numbers (stamp construction computes
+        relevance anyway) avoid deriving it twice; the arithmetic is
+        exactly :meth:`ranking_score`'s.
+        """
+        alpha = self.alpha
+        delta = self.delta
+        gamma = self.query.gamma
+        keyword_part = relevance / self.full_relevance
+        spatial_part = (delta - route.distance) / delta
         psi = alpha * keyword_part + (1 - alpha) * spatial_part
-        if query.gamma > 0.0:
-            psi = (psi + query.gamma * self.route_popularity(route)) / (
-                1.0 + query.gamma)
+        if gamma > 0.0:
+            psi = (psi + gamma * self.route_popularity(route)) / (
+                1.0 + gamma)
         return psi
 
     def upper_bound_score(self, dist_lower_bound: float) -> float:
         """Pruning Rule 4's ``ψU``: keyword part overestimated to 1
         (and popularity to 1 under the γ extension)."""
-        query = self.query
-        alpha = query.alpha
+        alpha = self.alpha
+        gamma = self.query.gamma
         upper = alpha + (1 - alpha) * (1.0 - dist_lower_bound / self.delta)
-        if query.gamma > 0.0:
-            upper = (upper + query.gamma) / (1.0 + query.gamma)
+        if gamma > 0.0:
+            upper = (upper + gamma) / (1.0 + gamma)
         return upper
-
-    @property
-    def full_relevance(self) -> float:
-        """``|QW| + 1`` — relevance of a fully covered route."""
-        return self.qk.max_relevance
 
     # ------------------------------------------------------------------
     # Lower bounds (pruning rules)
     # ------------------------------------------------------------------
+    def _terminal_heads(self):
+        heads = self._pt_heads
+        if heads is None:
+            heads = self._pt_heads = self.skeleton.heads(self.query.pt)
+        return heads
+
+    def _start_heads(self):
+        heads = self._ps_heads
+        if heads is None:
+            heads = self._ps_heads = self.skeleton.heads(self.query.ps)
+        return heads
+
     def lb_to_terminal(self, item: Item) -> float:
         """``|x, pt|L`` (cached per door)."""
+        skeleton = self.skeleton
         if isinstance(item, int):
             cached = self._lb_to_pt.get(item)
             if cached is None:
-                cached = self.skeleton.lower_bound(item, self.query.pt)
+                if self._use_heads:
+                    cached = skeleton.lower_bound_heads(
+                        skeleton.heads(item), self._terminal_heads())
+                else:
+                    cached = skeleton.lower_bound(item, self.query.pt)
                 self._lb_to_pt[item] = cached
             return cached
-        return self.skeleton.lower_bound(item, self.query.pt)
+        if self._use_heads:
+            return skeleton.lower_bound_heads(
+                skeleton.heads(item), self._terminal_heads())
+        return skeleton.lower_bound(item, self.query.pt)
 
     def lb_from_start(self, item: Item) -> float:
         """``|ps, x|L`` (cached per door)."""
+        skeleton = self.skeleton
         if isinstance(item, int):
             cached = self._lb_from_ps.get(item)
             if cached is None:
-                cached = self.skeleton.lower_bound(self.query.ps, item)
+                if self._use_heads:
+                    cached = skeleton.lower_bound_heads(
+                        self._start_heads(), skeleton.heads(item))
+                else:
+                    cached = skeleton.lower_bound(self.query.ps, item)
                 self._lb_from_ps[item] = cached
             return cached
-        return self.skeleton.lower_bound(self.query.ps, item)
+        if self._use_heads:
+            return skeleton.lower_bound_heads(
+                self._start_heads(), skeleton.heads(item))
+        return skeleton.lower_bound(self.query.ps, item)
 
     def lb_via_partition(self, source: Item, pid: int) -> float:
         """``δLB(source, v, pt)`` of Pruning Rule 3 / Alg. 6 line 11."""
+        if self._use_heads:
+            skeleton = self.skeleton
+            if source is self.query.ps:
+                hs = self._start_heads()
+            else:
+                hs = skeleton.heads(source)
+            return skeleton.lower_bound_via_partition_heads(
+                hs, pid, self._terminal_heads())
         return self.skeleton.lower_bound_via_partition(
             source, pid, self.query.pt)

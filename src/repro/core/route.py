@@ -30,7 +30,7 @@ from repro.geometry import Point
 Item = Union[int, Point]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Route:
     """An immutable (partial or complete) route.
 
@@ -102,10 +102,15 @@ class Route:
     @property
     def relevance(self) -> float:
         """Keyword relevance ``ρ(R)`` (Definition 6)."""
-        covered = self.covered_count
+        covered = 0
+        total = 0.0
+        for s in self.sims:
+            total += s
+            if s > 0.0:
+                covered += 1
         if covered == 0:
             return 0.0
-        return covered + sum(self.sims) / covered
+        return covered + total / covered
 
     # ------------------------------------------------------------------
     # Regularity (paper's Principle of Regularity)

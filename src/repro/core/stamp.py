@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from repro.core.route import Route
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Stamp:
     """A five-tuple ``S(v, R, δ, ρ, ψ)`` (paper Section IV-B).
 

@@ -45,16 +45,39 @@ class TopologyOrientedExpansion(ExpansionStrategy):
             return found
 
         tail_is_door = isinstance(tail, int)
-        for dl in ctx.space.p2d_leave(vi):
-            stats.expansions += 1
+        # Stat counters batch in locals — attribute stores per door
+        # would dominate the per-door work on large partitions.
+        pruned_regularity = 0
+        pruned_distance = 0
+        pruned_rule1 = 0
+        pruned_rule4 = 0
+        delta_hard = ctx.delta_hard
+        use_distance = config.use_distance_pruning
+        use_kbound = config.use_kbound_pruning
+        # Bound-method hoists for the per-door loop.
+        contains_door = route.contains_door
+        may_append_door = route.may_append_door
+        door_admissible = search.door_admissible
+        extend_to_door = ctx.extend_to_door
+        lb_to_terminal = ctx.lb_to_terminal
+        upper_bound_score = ctx.upper_bound_score
+        d2p_enter = ctx.space.d2p_enter
+        make_stamp = search.make_stamp
+        prime_update = search.prime_update
+        # The kbound cannot improve during one find (results only
+        # change in connect), so one read serves the whole door loop.
+        kbound = search.kbound if use_kbound else -INF
+        leaveable = ctx.space.p2d_leave(vi)
+        expansions = len(leaveable)
+        for dl in leaveable:
             # Regularity (Algorithm 2 line 5): a door already on the
             # route may only be appended as an immediate repetition of
             # the tail, and no door may appear more than twice.
-            if route.contains_door(dl) and not route.may_append_door(dl):
-                stats.pruned_regularity += 1
+            if contains_door(dl) and not may_append_door(dl):
+                pruned_regularity += 1
                 continue
             # Pruning Rule 2 with Dn / Df caches (lines 6-10).
-            if not search.door_admissible(dl):
+            if not door_admissible(dl):
                 continue
             # Lemma 2 (lines 11-13): the one-hop loop must enter a
             # keyword-covering partition.  The restriction derives from
@@ -62,35 +85,39 @@ class TopologyOrientedExpansion(ExpansionStrategy):
             if (tail_is_door and dl == tail
                     and config.use_prime_pruning
                     and not ctx.is_keyword_partition(vi)):
-                stats.pruned_regularity += 1
+                pruned_regularity += 1
                 continue
-            extended = ctx.extend_to_door(route, dl, via=vi)
+            extended = extend_to_door(route, dl, via=vi)
             if extended is None:
                 continue
             # Plain distance constraint (line 14) — always enforced.
-            if extended.distance > ctx.delta_hard:
-                stats.pruned_distance += 1
+            if extended.distance > delta_hard:
+                pruned_distance += 1
                 continue
             # Pruning Rule 1 (lines 15-16).
-            if config.use_distance_pruning:
-                lower = extended.distance + ctx.lb_to_terminal(dl)
-                if lower > ctx.delta_hard:
-                    stats.pruned_rule1 += 1
+            if use_distance:
+                lower = extended.distance + lb_to_terminal(dl)
+                if lower > delta_hard:
+                    pruned_rule1 += 1
                     continue
             else:
                 lower = extended.distance
             # Pruning Rule 4 (lines 17-18).
-            if config.use_kbound_pruning:
-                if ctx.upper_bound_score(lower) <= search.kbound:
-                    stats.pruned_rule4 += 1
+            if use_kbound:
+                if upper_bound_score(lower) <= kbound:
+                    pruned_rule4 += 1
                     continue
             # The partition entered through dl (line 11).  Two-way
             # doors between two partitions give exactly one choice;
             # doors touching more partitions yield one stamp each.
             # (For the (d, d) loop this is the far side of the tail.)
-            next_partitions = ctx.space.d2p_enter(dl) - {vi}
-            for vj in next_partitions:
-                next_stamp = search.make_stamp(vj, extended)
-                search.prime_update(next_stamp)
+            for vj in d2p_enter(dl) - {vi}:
+                next_stamp = make_stamp(vj, extended)
+                prime_update(next_stamp)
                 found.append(next_stamp)
+        stats.expansions += expansions
+        stats.pruned_regularity += pruned_regularity
+        stats.pruned_distance += pruned_distance
+        stats.pruned_rule1 += pruned_rule1
+        stats.pruned_rule4 += pruned_rule4
         return found

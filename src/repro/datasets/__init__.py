@@ -22,6 +22,8 @@ from repro.datasets.floorplan import FloorplanConfig, build_floor, build_synthet
 from repro.datasets.corpus import CorpusConfig, build_corpus
 from repro.datasets.realmall import RealMallConfig, build_real_mall
 from repro.datasets.queries import QueryGenerator, QueryWorkload
+from repro.datasets.synth import (SynthMallConfig, build_synth_mall,
+                                  mall_stats, venue_diameter)
 
 __all__ = [
     "CorpusConfig",
@@ -30,9 +32,13 @@ __all__ = [
     "QueryGenerator",
     "QueryWorkload",
     "RealMallConfig",
+    "SynthMallConfig",
     "build_corpus",
     "build_floor",
     "build_real_mall",
+    "build_synth_mall",
     "build_synthetic_space",
+    "mall_stats",
     "paper_fig1",
+    "venue_diameter",
 ]

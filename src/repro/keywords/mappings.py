@@ -11,6 +11,17 @@ The mappings use i-words as the pivot between partitions and t-words:
 partition words ``PW(v) = {P2I(v), I2T(P2I(v))}`` used for route-word
 and relevance computation.  The paper keeps these mappings in main
 memory (≈4 MB for the synthetic corpus); we do the same.
+
+Both vocabularies are additionally *interned* to dense integer ids in
+first-seen order, and every ``I2T`` feature set is mirrored as a
+Python-int **bitmask** over t-word ids.  Set algebra on feature sets —
+the inner loop of the candidate i-word conversion (Definition 4) and
+of route-relevance evaluation — then becomes ``&``/``|`` plus
+``int.bit_count()`` on machine words, which is both faster and far
+smaller than frozensets of strings.  The masks are pure derived state:
+every mask-based computation returns exactly what the set-based
+algebra would (``tests/test_array_native.py`` pins this against the
+retained reference implementation).
 """
 
 from __future__ import annotations
@@ -64,6 +75,13 @@ class KeywordIndex:
         self._i2t: Dict[str, Set[str]] = {}
         self._t2i: Dict[str, Set[str]] = {}
         self._pw_cache: Dict[int, PartitionWords] = {}
+        # Interning state: dense ids in first-seen order plus the
+        # bitmask mirror of every I2T feature set (see module docs).
+        self._iword_ids: Dict[str, int] = {}
+        self._iword_names: list = []
+        self._tword_ids: Dict[str, int] = {}
+        self._i2t_mask: Dict[str, int] = {}
+        self._iword_entries_cache: Optional[list] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -82,8 +100,25 @@ class KeywordIndex:
         self._p2i[pid] = w
         self._i2p.setdefault(w, set()).add(pid)
         self._i2t.setdefault(w, set())
+        self._intern_iword(w)
         self._pw_cache.pop(pid, None)
         return w
+
+    def _intern_iword(self, w: str) -> int:
+        wid = self._iword_ids.get(w)
+        if wid is None:
+            wid = len(self._iword_names)
+            self._iword_ids[w] = wid
+            self._iword_names.append(w)
+            self._iword_entries_cache = None
+        return wid
+
+    def _intern_tword(self, w: str) -> int:
+        wid = self._tword_ids.get(w)
+        if wid is None:
+            wid = len(self._tword_ids)
+            self._tword_ids[w] = wid
+        return wid
 
     def add_tword(self, iword: str, tword: str) -> Optional[str]:
         """Associate thematic word ``tword`` with i-word ``iword``.
@@ -97,11 +132,15 @@ class KeywordIndex:
             # partition uses it (corpus loading order independence).
             self._vocab.add_iword(wi)
             self._i2t.setdefault(wi, set())
+        self._intern_iword(wi)
         wt = self._vocab.add_tword(tword)
         if not self._vocab.is_tword(wt):
             return None
         self._i2t.setdefault(wi, set()).add(wt)
         self._t2i.setdefault(wt, set()).add(wi)
+        self._i2t_mask[wi] = self._i2t_mask.get(wi, 0) | (
+            1 << self._intern_tword(wt))
+        self._iword_entries_cache = None
         self._invalidate_iword(wi)
         return wt
 
@@ -138,6 +177,50 @@ class KeywordIndex:
         for wi in iwords:
             pids |= self._i2p.get(normalize_word(wi), _EMPTY)
         return frozenset(pids)
+
+    # ------------------------------------------------------------------
+    # Interned ids and bitmasks
+    # ------------------------------------------------------------------
+    def iword_id(self, iword: str) -> Optional[int]:
+        """The dense id of an i-word (``None`` when unknown)."""
+        return self._iword_ids.get(normalize_word(iword))
+
+    def iword_name(self, wid: int) -> str:
+        """The i-word carrying dense id ``wid``."""
+        return self._iword_names[wid]
+
+    @property
+    def num_interned_iwords(self) -> int:
+        return len(self._iword_names)
+
+    def iword_mask(self, iwords: Iterable[str]) -> int:
+        """Bitmask over i-word ids covering the known words of a set."""
+        ids = self._iword_ids
+        mask = 0
+        for wi in iwords:
+            wid = ids.get(wi)
+            if wid is not None:
+                mask |= 1 << wid
+        return mask
+
+    def i2t_mask(self, iword: str) -> int:
+        """``I2T(wi)`` as a bitmask over interned t-word ids."""
+        return self._i2t_mask.get(normalize_word(iword), 0)
+
+    def iword_entries(self) -> list:
+        """``(iword, I2T bitmask)`` pairs sorted by i-word (cached).
+
+        The iteration backbone of the candidate i-word conversion:
+        one pass over this list with ``&``/``|`` replaces the per-word
+        frozenset algebra of the reference implementation.
+        """
+        entries = self._iword_entries_cache
+        if entries is None:
+            mask = self._i2t_mask
+            entries = [(wi, mask.get(wi, 0))
+                       for wi in sorted(self._iword_names)]
+            self._iword_entries_cache = entries
+        return entries
 
     # ------------------------------------------------------------------
     # Derived structures

@@ -53,6 +53,13 @@ def candidate_iword_set(index: KeywordIndex,
     Unknown words (neither i-word nor t-word) yield an empty set — the
     query keyword can then never be covered by any route.
     Entries are sorted by descending similarity, direct matches first.
+
+    The Jaccard similarities of indirect matches are evaluated over
+    the interned t-word *bitmasks* of :class:`KeywordIndex`:
+    ``|I2T(w'') ∩ U|`` / ``|I2T(w'') ∪ U|`` become ``&`` / ``|`` plus
+    ``bit_count()`` over one precomputed ``(iword, mask)`` list —
+    numerically identical to the frozenset algebra (both count the
+    same elements) at a fraction of the cost on large vocabularies.
     """
     w = normalize_word(word)
     vocab = index.vocabulary
@@ -63,20 +70,17 @@ def candidate_iword_set(index: KeywordIndex,
     direct = index.t2i(w)
     if not direct:
         return []
-    union_features: Set[str] = set()
+    union_mask = 0
     for wi in direct:
-        union_features |= index.i2t(wi)
+        union_mask |= index.i2t_mask(wi)
     entries = [CandidateEntry(wi, 1.0, True) for wi in sorted(direct)]
-    for wi in sorted(index.iwords):
-        if wi in direct:
+    for wi, features in index.iword_entries():
+        if not features or wi in direct:
             continue
-        features = index.i2t(wi)
-        if not features:
-            continue
-        inter = len(features & union_features)
+        inter = (features & union_mask).bit_count()
         if inter == 0:
             continue
-        union = len(features | union_features)
+        union = (features | union_mask).bit_count()
         score = inter / union
         if score > tau:
             entries.append(CandidateEntry(wi, score, False))
@@ -93,6 +97,11 @@ class QueryKeywords:
         tau: The similarity threshold used for indirect matches.
     """
 
+    #: The κ conversion in use — a hook so the retained dict-based
+    #: reference core (``repro.space.baseline``) can swap in the
+    #: set-algebra implementation while sharing everything else.
+    _candidates = staticmethod(candidate_iword_set)
+
     def __init__(self,
                  index: KeywordIndex,
                  words: Sequence[str],
@@ -103,7 +112,11 @@ class QueryKeywords:
         self.words: List[str] = [normalize_word(w) for w in words]
         self.tau = tau
         self.candidates: List[List[CandidateEntry]] = [
-            candidate_iword_set(index, w, tau) for w in self.words]
+            self._candidates(index, w, tau) for w in self.words]
+
+        #: ``|QW| + 1``: relevance when all words match with sim 1.
+        #: A plain attribute — it sits on the ranking-score hot path.
+        self.max_relevance: float = len(self.words) + 1.0
 
         # Inverted index: candidate i-word -> [(query position, sim)].
         self._iword_hits: Dict[str, List[Tuple[int, float]]] = {}
@@ -111,6 +124,26 @@ class QueryKeywords:
             for entry in entries:
                 self._iword_hits.setdefault(entry.iword, []).append(
                     (qi, entry.similarity))
+
+        # Bitmask mirror: per query position, the candidate i-word
+        # masks grouped by similarity in descending order — the best
+        # similarity a route-word mask achieves at a position is the
+        # first group it intersects.  Exact whenever every candidate
+        # i-word is interned (always, for indexes built through
+        # KeywordIndex; the flag guards exotic hand-built vocabularies).
+        self._mask_exact = True
+        self._sim_groups: List[List[Tuple[float, int]]] = []
+        for entries in self.candidates:
+            groups: Dict[float, int] = {}
+            for entry in entries:
+                wid = index.iword_id(entry.iword)
+                if wid is None:
+                    self._mask_exact = False
+                    continue
+                groups[entry.similarity] = (
+                    groups.get(entry.similarity, 0) | (1 << wid))
+            self._sim_groups.append(
+                sorted(groups.items(), key=lambda g: -g[0]))
 
         #: ``Wci``: all candidate i-words across the query (Alg. 1 line 2).
         self.all_candidate_iwords: FrozenSet[str] = frozenset(self._iword_hits)
@@ -153,19 +186,37 @@ class QueryKeywords:
             return 0.0
         return covered + sum(sims) / covered
 
-    @property
-    def max_relevance(self) -> float:
-        """``|QW| + 1``: relevance when all words match with sim 1."""
-        return len(self.words) + 1.0
-
     def relevance_of_iword_set(self, iwords: Iterable[str]) -> float:
-        """Keyword relevance of a plain route-word set (Definition 6)."""
-        sims = [0.0] * len(self.words)
-        for wi in iwords:
-            for qi, s in self.hits_for_iword(wi):
-                if s > sims[qi]:
-                    sims[qi] = s
-        return self.relevance_from_sims(sims)
+        """Keyword relevance of a plain route-word set (Definition 6).
+
+        Routed through :meth:`relevance_of_iword_mask`: the word set
+        collapses to one bitmask and each position's best similarity
+        is the first (highest) similarity group the mask intersects —
+        bitwise ops in place of the per-word hit-list scans.
+        """
+        if not self._mask_exact:
+            sims = [0.0] * len(self.words)
+            for wi in iwords:
+                for qi, s in self.hits_for_iword(wi):
+                    if s > sims[qi]:
+                        sims[qi] = s
+            return self.relevance_from_sims(sims)
+        return self.relevance_of_iword_mask(self.index.iword_mask(iwords))
+
+    def relevance_of_iword_mask(self, mask: int) -> float:
+        """Keyword relevance of a route-word set given as an i-word
+        bitmask (see :meth:`KeywordIndex.iword_mask`)."""
+        covered = 0
+        total = 0.0
+        for groups in self._sim_groups:
+            for s, gmask in groups:
+                if gmask & mask:
+                    covered += 1
+                    total += s
+                    break
+        if covered == 0:
+            return 0.0
+        return covered + total / covered
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"QueryKeywords({self.words!r}, tau={self.tau})"

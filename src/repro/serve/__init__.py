@@ -29,25 +29,30 @@ from repro.serve.metrics import MetricsRegistry
 from repro.serve.pool import (AdmissionController, ShardDispatcher,
                               ShardPool, shard_for)
 from repro.serve.server import IKRQServer
-from repro.serve.snapshot import (SNAPSHOT_FORMAT, SNAPSHOT_VERSION,
-                                  engine_from_snapshot, is_snapshot_document,
-                                  load_snapshot, read_snapshot, save_snapshot,
-                                  snapshot_to_dict)
+from repro.serve.snapshot import (BINARY_MAGIC, SNAPSHOT_FORMAT,
+                                  SNAPSHOT_VERSION, SNAPSHOT_VERSION_BINARY,
+                                  engine_from_snapshot, is_binary_snapshot,
+                                  is_snapshot_document, load_snapshot,
+                                  read_snapshot, save_snapshot,
+                                  save_snapshot_binary, snapshot_to_dict)
 from repro.serve.wire import (answer_to_wire, canonical_json,
                               query_from_wire, query_to_wire,
                               route_result_to_wire)
 
 __all__ = [
     "AdmissionController",
+    "BINARY_MAGIC",
     "IKRQServer",
     "MetricsRegistry",
     "SNAPSHOT_FORMAT",
     "SNAPSHOT_VERSION",
+    "SNAPSHOT_VERSION_BINARY",
     "ShardDispatcher",
     "ShardPool",
     "answer_to_wire",
     "canonical_json",
     "engine_from_snapshot",
+    "is_binary_snapshot",
     "is_snapshot_document",
     "load_snapshot",
     "query_from_wire",
@@ -55,6 +60,7 @@ __all__ = [
     "read_snapshot",
     "route_result_to_wire",
     "save_snapshot",
+    "save_snapshot_binary",
     "shard_for",
     "snapshot_to_dict",
 ]

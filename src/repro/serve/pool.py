@@ -369,6 +369,15 @@ class ShardDispatcher:
                 payload["sleep"] = sleep
             timeout = (limit + _DEADLINE_GRACE) if limit is not None else None
             response = self.pool.call(shard, payload, timeout=timeout)
+            if self.metrics is not None:
+                # Shard-side evaluation time (excludes queueing and
+                # dispatch): the second latency histogram on /metrics,
+                # so p50/p95/p99 of pure search time can be read next
+                # to the end-to-end request latencies.
+                elapsed_shard = response.get("elapsed")
+                if elapsed_shard is not None:
+                    self.metrics.observe("ikrq_shard_search_latency_seconds",
+                                         elapsed_shard, shard=shard)
             self._record(response.get("status", "error"),
                          time.perf_counter() - started)
             return response

@@ -12,7 +12,9 @@ builds from it, so a serve worker loads instead of recomputing:
   from traffic (diagnostics only — live searches always start from an
   empty per-query table, so persisting it never changes results).
 
-Format (single JSON document)::
+Two encodings share one logical model.
+
+**Version 1 — JSON** (single document)::
 
     {"format": "repro-ikrq-snapshot", "version": 1,
      "venue":    {... repro-indoor-space document ...},
@@ -28,26 +30,66 @@ Format (single JSON document)::
                   "door_matrix_max_rows": int|null,
                   "popularity": {pid: weight}}}
 
-Floats survive exactly (JSON emits the shortest round-tripping
-``repr``), so an engine loaded from a snapshot answers byte-identically
-to the engine the snapshot was taken from.
+**Version 2 — binary** (``save_snapshot(..., binary=True)``): the same
+content with every large structure packed as raw typed-array bytes, so
+cold-start on big venues pays one ``fromfile``-style memcpy per buffer
+instead of JSON parsing millions of number tokens, and the loaded
+buffers *are* the runtime representation (flat CSR arrays, flat δs2s,
+:class:`~repro.space.graph.FlatTree` matrix rows).  Layout::
+
+    magic   8 bytes  b"IKRQSNP2"
+    u32 LE  container version (2)
+    u32 LE  header length in bytes
+    header  UTF-8 JSON: {"format", "version": 2, "byteorder": "little",
+                         "venue": {...}, "engine": {...},
+                         "prime": {...}, "door_matrix":
+                             {"eager", "max_rows",
+                              "row_sources": [src, ...]},  # LRU order
+                         "arrays": [[name, typecode, count], ...]}
+    payload raw array bytes, concatenated in ``arrays`` order
+
+Array sections: ``graph.door_ids|indptr|nbr|via`` (``q``),
+``graph.wt`` (``d``), ``skeleton.stair_doors`` (``q``),
+``skeleton.s2s`` (``d``, flat row-major — ``inf`` survives natively,
+no ``None`` dance), and per warm matrix row ``i``: ``row{i}.dist``
+(``d``, dense over door indices), ``row{i}.pred`` / ``row{i}.pred_via``
+(``q``).  Buffers are always little-endian on disk; loaders byteswap
+on big-endian hosts.
+
+Both encodings preserve floats exactly (JSON emits the shortest
+round-tripping ``repr``; binary stores the IEEE bits), so an engine
+loaded from either answers byte-identically to the engine the snapshot
+was taken from.  ``load_snapshot`` / ``read_snapshot`` sniff the magic
+bytes, so every caller accepts both formats transparently; v1 files
+remain fully readable.
 """
 
 from __future__ import annotations
 
 import json
+import struct
+import sys
+from array import array
+from collections import OrderedDict
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core.engine import IKRQEngine
 from repro.core.prime import PrimeTable
 from repro.space.distances import DistanceOracle
-from repro.space.graph import DoorGraph, DoorMatrix
+from repro.space.graph import (FlatTree, DoorGraph, DoorMatrix, _POINT,
+                               _ROOT)
 from repro.space.serialize import space_from_dict, space_to_dict
 from repro.space.skeleton import SkeletonIndex
 
 SNAPSHOT_FORMAT = "repro-ikrq-snapshot"
 SNAPSHOT_VERSION = 1
+#: Version tag of the binary (typed-array) encoding.
+SNAPSHOT_VERSION_BINARY = 2
+#: Magic prefix of binary snapshot files.
+BINARY_MAGIC = b"IKRQSNP2"
+
+INF = float("inf")
 
 
 def _matrix_rows_to_doc(rows) -> list:
@@ -160,17 +202,238 @@ def prime_from_snapshot(doc: Dict) -> PrimeTable:
     return PrimeTable.from_entries(doc.get("prime", {}).get("entries", []))
 
 
+# ----------------------------------------------------------------------
+# Binary encoding (version 2)
+# ----------------------------------------------------------------------
+def _engine_header(engine: IKRQEngine) -> Dict:
+    return {
+        "door_matrix_eager": engine.door_matrix_eager,
+        "door_matrix_max_rows": engine.door_matrix_max_rows,
+        "popularity": {str(pid): w
+                       for pid, w in sorted(engine.popularity.items())},
+    }
+
+
+def save_snapshot_binary(path: Union[str, Path],
+                         engine: IKRQEngine,
+                         matrix_rows: Optional[int] = None,
+                         prime: Optional[PrimeTable] = None) -> None:
+    """Write the binary (version 2) encoding of an engine snapshot.
+
+    Same content as :func:`snapshot_to_dict`; see the module docstring
+    for the container layout.
+    """
+    if engine.kindex is None:
+        raise ValueError("serving requires a keyword index")
+    matrix = engine._matrix
+    trees = (matrix.warm_trees(matrix_rows)
+             if matrix is not None else OrderedDict())
+    stair_doors, s2s = engine.skeleton.export_flat()
+    graph = engine.graph
+    arrays: "OrderedDict[str, array]" = OrderedDict()
+    arrays["graph.door_ids"] = graph._door_ids
+    arrays["graph.indptr"] = graph._indptr
+    arrays["graph.nbr"] = graph._nbr
+    arrays["graph.via"] = graph._via
+    arrays["graph.wt"] = graph._wt
+    arrays["skeleton.stair_doors"] = array("q", stair_doors)
+    arrays["skeleton.s2s"] = s2s
+    for i, tree in enumerate(trees.values()):
+        arrays[f"row{i}.dist"] = tree.dist
+        arrays[f"row{i}.pred"] = tree.pred
+        arrays[f"row{i}.pred_via"] = tree.pred_via
+    header = {
+        "format": SNAPSHOT_FORMAT,
+        "version": SNAPSHOT_VERSION_BINARY,
+        "byteorder": "little",
+        "venue": space_to_dict(engine.space, engine.kindex),
+        "door_matrix": {
+            "eager": engine.door_matrix_eager,
+            "max_rows": engine.door_matrix_max_rows,
+            "row_sources": list(trees),
+        },
+        "prime": {"entries":
+                  prime.export_entries() if prime is not None else []},
+        "engine": _engine_header(engine),
+        "arrays": [[name, arr.typecode, len(arr)]
+                   for name, arr in arrays.items()],
+    }
+    blob = json.dumps(header, sort_keys=True).encode("utf-8")
+    with open(path, "wb") as fh:
+        fh.write(BINARY_MAGIC)
+        fh.write(struct.pack("<II", SNAPSHOT_VERSION_BINARY, len(blob)))
+        fh.write(blob)
+        for arr in arrays.values():
+            if sys.byteorder == "big":  # pragma: no cover - exotic hosts
+                arr = array(arr.typecode, arr)
+                arr.byteswap()
+            fh.write(arr.tobytes())
+
+
+def is_binary_snapshot(path: Union[str, Path]) -> bool:
+    """Whether ``path`` starts with the binary snapshot magic."""
+    try:
+        with open(path, "rb") as fh:
+            return fh.read(len(BINARY_MAGIC)) == BINARY_MAGIC
+    except OSError:
+        return False
+
+
+def _read_binary(path: Union[str, Path],
+                 ) -> Tuple[Dict, "OrderedDict[str, array]"]:
+    with open(path, "rb") as fh:
+        magic = fh.read(len(BINARY_MAGIC))
+        if magic != BINARY_MAGIC:
+            raise ValueError(f"{path} is not a binary {SNAPSHOT_FORMAT} file")
+        version, header_len = struct.unpack("<II", fh.read(8))
+        if version != SNAPSHOT_VERSION_BINARY:
+            raise ValueError(
+                f"unsupported binary snapshot version {version!r}")
+        header = json.loads(fh.read(header_len).decode("utf-8"))
+        arrays: "OrderedDict[str, array]" = OrderedDict()
+        for name, typecode, count in header["arrays"]:
+            arr = array(typecode)
+            payload = fh.read(count * arr.itemsize)
+            if len(payload) != count * arr.itemsize:
+                raise ValueError(f"truncated binary snapshot: {name}")
+            arr.frombytes(payload)
+            if sys.byteorder == "big":  # pragma: no cover - exotic hosts
+                arr.byteswap()
+            arrays[name] = arr
+    return header, arrays
+
+
+def _engine_from_packed(header: Dict,
+                        arrays: "OrderedDict[str, array]") -> IKRQEngine:
+    """Adopt packed buffers as the runtime structures — no conversion.
+
+    The CSR arrays, the flat δs2s table and the dense matrix rows feed
+    :meth:`DoorGraph.from_csr`, :meth:`SkeletonIndex.from_precomputed_flat`
+    and :class:`FlatTree` directly, which is what makes binary
+    cold-start one memcpy per buffer.
+    """
+    space, kindex = space_from_dict(header["venue"])
+    if kindex is None:
+        raise ValueError("snapshot venue carries no keyword index")
+    oracle = DistanceOracle(space)
+    graph = DoorGraph.from_csr(
+        space,
+        arrays["graph.door_ids"], arrays["graph.indptr"],
+        arrays["graph.nbr"], arrays["graph.via"], arrays["graph.wt"],
+        oracle=oracle)
+    skeleton = SkeletonIndex.from_precomputed_flat(
+        space, list(arrays["skeleton.stair_doors"]),
+        arrays["skeleton.s2s"])
+    matrix_doc = header.get("door_matrix", {})
+    max_rows = matrix_doc.get("max_rows")
+    sources = matrix_doc.get("row_sources", [])
+    matrix: Optional[DoorMatrix] = None
+    if sources:
+        trees: "OrderedDict[int, FlatTree]" = OrderedDict()
+        for i, source in enumerate(sources):
+            dist = arrays[f"row{i}.dist"]
+            touched = array("q", (idx for idx in range(len(dist))
+                                  if dist[idx] != INF))
+            trees[int(source)] = FlatTree(
+                graph._door_ids, graph._door_index, dist,
+                arrays[f"row{i}.pred"], arrays[f"row{i}.pred_via"],
+                touched)
+        matrix = DoorMatrix(graph, eager=False, max_rows=max_rows)
+        matrix.preload_trees(trees)
+    engine_doc = header.get("engine", {})
+    popularity = {int(pid): w
+                  for pid, w in engine_doc.get("popularity", {}).items()}
+    return IKRQEngine(
+        space, kindex,
+        popularity=popularity,
+        door_matrix_eager=engine_doc.get("door_matrix_eager", True),
+        door_matrix_max_rows=max_rows,
+        oracle=oracle, graph=graph, skeleton=skeleton, door_matrix=matrix)
+
+
+def _packed_to_doc(header: Dict,
+                   arrays: "OrderedDict[str, array]") -> Dict:
+    """Normalise a binary snapshot to the version-1 document shape.
+
+    Exists so :func:`read_snapshot` (inspection, tests, tooling) hands
+    out one document shape regardless of the on-disk encoding; the
+    result is a valid version-1 document equal to what
+    :func:`snapshot_to_dict` produced at save time.
+    """
+    ids = arrays["graph.door_ids"]
+    n = len(ids)
+    matrix_doc = header.get("door_matrix", {})
+    rows_doc: List = []
+    for i, source in enumerate(matrix_doc.get("row_sources", [])):
+        dist = arrays[f"row{i}.dist"]
+        pred = arrays[f"row{i}.pred"]
+        pred_via = arrays[f"row{i}.pred_via"]
+        dist_doc = {str(ids[idx]): dist[idx]
+                    for idx in range(n) if dist[idx] != INF}
+        pred_doc = {}
+        for idx in range(n):
+            prev = pred[idx]
+            if prev == _ROOT:
+                continue
+            pred_doc[str(ids[idx])] = [
+                None if prev == _POINT else ids[prev], pred_via[idx]]
+        rows_doc.append([int(source),
+                         {"dist": dist_doc, "pred": pred_doc}])
+    stair_doors = list(arrays["skeleton.stair_doors"])
+    m = len(stair_doors)
+    s2s = arrays["skeleton.s2s"]
+    return {
+        "format": SNAPSHOT_FORMAT,
+        "version": SNAPSHOT_VERSION,
+        "venue": header["venue"],
+        "graph": {
+            "door_ids": list(ids),
+            "indptr": list(arrays["graph.indptr"]),
+            "nbr": list(arrays["graph.nbr"]),
+            "via": list(arrays["graph.via"]),
+            "wt": list(arrays["graph.wt"]),
+        },
+        "skeleton": {
+            "stair_doors": stair_doors,
+            "s2s": [[None if s2s[i * m + j] == INF else s2s[i * m + j]
+                     for j in range(m)] for i in range(m)],
+        },
+        "door_matrix": {
+            "eager": matrix_doc.get("eager"),
+            "max_rows": matrix_doc.get("max_rows"),
+            "rows": rows_doc,
+        },
+        "prime": header.get("prime", {"entries": []}),
+        "engine": header.get("engine", {}),
+    }
+
+
+# ----------------------------------------------------------------------
+# File entry points (both encodings)
+# ----------------------------------------------------------------------
 def save_snapshot(path: Union[str, Path],
                   engine: IKRQEngine,
                   matrix_rows: Optional[int] = None,
-                  prime: Optional[PrimeTable] = None) -> None:
-    """Write an engine snapshot to a JSON file."""
+                  prime: Optional[PrimeTable] = None,
+                  binary: bool = False) -> None:
+    """Write an engine snapshot (JSON v1, or binary v2 when ``binary``)."""
+    if binary:
+        save_snapshot_binary(path, engine, matrix_rows=matrix_rows,
+                             prime=prime)
+        return
     doc = snapshot_to_dict(engine, matrix_rows=matrix_rows, prime=prime)
     Path(path).write_text(json.dumps(doc, sort_keys=True))
 
 
 def read_snapshot(path: Union[str, Path]) -> Dict:
-    """Read a snapshot document (no engine construction)."""
+    """Read a snapshot document (no engine construction).
+
+    Binary (v2) files are normalised to the version-1 document shape —
+    see :func:`_packed_to_doc` — so callers always receive one shape.
+    """
+    if is_binary_snapshot(path):
+        header, arrays = _read_binary(path)
+        return _packed_to_doc(header, arrays)
     doc = json.loads(Path(path).read_text())
     if not is_snapshot_document(doc):
         raise ValueError(f"{path} is not a {SNAPSHOT_FORMAT} file")
@@ -178,5 +441,8 @@ def read_snapshot(path: Union[str, Path]) -> Dict:
 
 
 def load_snapshot(path: Union[str, Path]) -> IKRQEngine:
-    """Load a snapshot file into a ready-to-serve engine."""
+    """Load a snapshot file (either encoding) into a ready-to-serve
+    engine without running any index build."""
+    if is_binary_snapshot(path):
+        return _engine_from_packed(*_read_binary(path))
     return engine_from_snapshot(read_snapshot(path))

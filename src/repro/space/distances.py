@@ -37,6 +37,10 @@ class DistanceOracle:
     def __init__(self, space: IndoorSpace) -> None:
         self._space = space
         self._reentry_cache: Dict[Tuple[int, int], float] = {}
+        # Memo of non-loop d2d results keyed (di, dj, via): the set
+        # intersections and position lookups are pure in the space, and
+        # route extension asks for the same hops over and over.
+        self._d2d_cache: Dict[Tuple[int, int, Optional[int]], float] = {}
 
     @property
     def space(self) -> IndoorSpace:
@@ -55,17 +59,23 @@ class DistanceOracle:
         to disambiguate when the door touches several partitions; when
         omitted, the cheapest adjacent partition is assumed).
         """
-        space = self._space
         if di == dj:
             return self._reentry_cost(di, via)
-        enterable = space.d2p_enter(di)
-        leaveable = space.d2p_leave(dj)
-        common = enterable & leaveable
+        key = (di, dj, via)
+        cached = self._d2d_cache.get(key)
+        if cached is not None:
+            return cached
+        space = self._space
+        common = space.d2p_enter(di) & space.d2p_leave(dj)
         if via is not None:
             common = common & {via}
         if not common:
-            return INF
-        return space.door(di).position.distance_to(space.door(dj).position)
+            cost = INF
+        else:
+            cost = space.door(di).position.distance_to(
+                space.door(dj).position)
+        self._d2d_cache[key] = cost
+        return cost
 
     def pt2d(self, p: Point, dk: int) -> float:
         """Point-to-door distance ``δpt2d``: leave ``p``'s partition via ``dk``."""

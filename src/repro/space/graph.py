@@ -24,8 +24,17 @@ Scratch state lives in a reusable, epoch-versioned
 :class:`DijkstraWorkspace`, so repeated calls — within one query and
 across a whole query batch — allocate nothing in the inner loop.
 Route reconstruction is one shared predecessor walk
-(:func:`reconstruct_route`) used by every caller, including
-:class:`DoorMatrix`.
+(:func:`reconstruct_route`) used by every dict-based caller; the flat
+result structures walk their dense predecessor arrays directly.
+
+Results that outlive a workspace — the all-pairs rows of
+:class:`DoorMatrix` and the per-endpoint attachment trees the batched
+``QueryService`` caches — are frozen into :class:`FlatTree` objects:
+three flat typed arrays (``dist``/``pred``/``pred_via``) over dense
+door indices instead of two Python dicts, cutting both the per-row
+memory and the per-lookup cost.  :class:`FlatDistMap` /
+:class:`FlatPredMap` adapt a tree to the read-only mapping interface
+dict-based callers consume, so the migration changes no behaviour.
 """
 
 from __future__ import annotations
@@ -112,40 +121,220 @@ class DijkstraWorkspace:
         return self.epoch
 
 
-class _PredView(Mapping):
-    """Read-only mapping view of a workspace's predecessor arrays.
+class FlatTree:
+    """A frozen shortest-path tree in flat typed arrays.
 
-    Adapts the flat dense-index arrays to the door-id mapping interface
-    that :func:`reconstruct_route` (and dict-based callers such as
-    :class:`DoorMatrix`) consume, so the predecessor walk exists once.
+    The immutable counterpart of a :class:`DijkstraWorkspace` run:
+    ``dist[i]`` is the distance of dense door index ``i`` (``inf`` when
+    unreached), ``pred[i]`` / ``pred_via[i]`` encode the predecessor
+    edge (:data:`_ROOT` for the tree root / unreached, :data:`_POINT`
+    for a point-attachment seed).  ``touched`` lists the reached dense
+    indices.  Three ``array`` buffers replace the two dicts the old
+    dict-of-dict rows kept per source — roughly 24 bytes per door
+    instead of ~160 per reached entry — and lookups become plain array
+    indexing.
     """
 
-    __slots__ = ("_ws", "_graph")
+    __slots__ = ("door_ids", "door_index", "dist", "pred", "pred_via",
+                 "touched")
 
-    def __init__(self, ws: DijkstraWorkspace, graph: "DoorGraph") -> None:
-        self._ws = ws
-        self._graph = graph
+    def __init__(self,
+                 door_ids: array,
+                 door_index: Dict[int, int],
+                 dist: array,
+                 pred: array,
+                 pred_via: array,
+                 touched: array) -> None:
+        self.door_ids = door_ids
+        self.door_index = door_index
+        self.dist = dist
+        self.pred = pred
+        self.pred_via = pred_via
+        self.touched = touched
+
+    @classmethod
+    def from_workspace(cls, ws: DijkstraWorkspace,
+                       graph: "DoorGraph") -> "FlatTree":
+        """Freeze the current run of ``ws`` into an immutable tree."""
+        n = len(graph._door_ids)
+        dist = array("d", [INF]) * n
+        pred = array("q", [_ROOT]) * n
+        pred_via = array("q", [-1]) * n
+        touched = array("q", ws.touched)
+        ws_dist = ws.dist
+        ws_pred = ws.pred
+        ws_via = ws.pred_via
+        for idx in touched:
+            dist[idx] = ws_dist[idx]
+            pred[idx] = ws_pred[idx]
+            pred_via[idx] = ws_via[idx]
+        return cls(graph._door_ids, graph._door_index,
+                   dist, pred, pred_via, touched)
+
+    @classmethod
+    def from_dicts(cls,
+                   graph: "DoorGraph",
+                   dist_map: Mapping,
+                   pred_map: Mapping) -> "FlatTree":
+        """Adopt a dict-encoded ``(dist, pred)`` pair (snapshot v1)."""
+        n = len(graph._door_ids)
+        index = graph._door_index
+        dist = array("d", [INF]) * n
+        pred = array("q", [_ROOT]) * n
+        pred_via = array("q", [-1]) * n
+        touched = array("q")
+        for did, d in dist_map.items():
+            idx = index[did]
+            dist[idx] = d
+            touched.append(idx)
+        for did, (prev, via) in pred_map.items():
+            idx = index[did]
+            pred[idx] = _POINT if prev is None else index[prev]
+            pred_via[idx] = via
+        return cls(graph._door_ids, graph._door_index,
+                   dist, pred, pred_via, touched)
+
+    # ------------------------------------------------------------------
+    def distance(self, did: int) -> float:
+        """Distance to door ``did`` (``inf`` when unreached/unknown)."""
+        idx = self.door_index.get(did)
+        if idx is None:
+            return INF
+        return self.dist[idx]
+
+    def route_to(self, target: int) -> Optional[Tuple[List[int], List[int], float]]:
+        """``(doors, vias, distance)`` to ``target`` by direct array walk.
+
+        Matches :func:`reconstruct_route` over the dict views exactly;
+        ``None`` when the target is unreached.
+        """
+        idx = self.door_index.get(target)
+        if idx is None:
+            return None
+        dist = self.dist[idx]
+        if dist == INF:
+            return None
+        ids = self.door_ids
+        pred = self.pred
+        pred_via = self.pred_via
+        doors: List[int] = []
+        vias: List[int] = []
+        node = idx
+        while True:
+            prev = pred[node]
+            if prev == _ROOT:
+                break
+            doors.append(ids[node])
+            vias.append(pred_via[node])
+            if prev == _POINT:
+                break
+            node = prev
+        doors.reverse()
+        vias.reverse()
+        return doors, vias, dist
+
+    def dist_map(self) -> "FlatDistMap":
+        return FlatDistMap(self)
+
+    def pred_map(self) -> "FlatPredMap":
+        return FlatPredMap(self)
+
+    def dist_dict(self) -> Dict[int, float]:
+        """The reached distances as a plain dict (snapshot v1 export)."""
+        ids = self.door_ids
+        dist = self.dist
+        return {ids[idx]: dist[idx] for idx in self.touched}
+
+    def pred_dict(self) -> Dict[int, Tuple[Optional[int], int]]:
+        """The predecessor edges as a plain dict (snapshot v1 export)."""
+        ids = self.door_ids
+        pred = self.pred
+        pred_via = self.pred_via
+        out: Dict[int, Tuple[Optional[int], int]] = {}
+        for idx in self.touched:
+            prev = pred[idx]
+            if prev == _ROOT:
+                continue
+            out[ids[idx]] = ((None, pred_via[idx]) if prev == _POINT
+                             else (ids[prev], pred_via[idx]))
+        return out
+
+    def estimated_bytes(self) -> int:
+        return (self.dist.itemsize * len(self.dist)
+                + self.pred.itemsize * len(self.pred)
+                + self.pred_via.itemsize * len(self.pred_via)
+                + self.touched.itemsize * len(self.touched))
+
+
+class FlatDistMap(Mapping):
+    """Read-only ``door id -> distance`` mapping over a :class:`FlatTree`.
+
+    Drop-in for the dicts :meth:`DoorGraph.point_attachment_map` used
+    to return: ``get`` / ``[]`` / ``in`` / iteration cover exactly the
+    reached doors.
+    """
+
+    __slots__ = ("_tree",)
+
+    def __init__(self, tree: FlatTree) -> None:
+        self._tree = tree
+
+    def __getitem__(self, did: int) -> float:
+        tree = self._tree
+        idx = tree.door_index.get(did)
+        if idx is None:
+            raise KeyError(did)
+        d = tree.dist[idx]
+        if d == INF:
+            raise KeyError(did)
+        return d
+
+    def __iter__(self):
+        tree = self._tree
+        ids = tree.door_ids
+        for idx in tree.touched:
+            yield ids[idx]
+
+    def __len__(self) -> int:
+        return len(self._tree.touched)
+
+
+class FlatPredMap(Mapping):
+    """Read-only ``door id -> (prev door, via)`` view of a :class:`FlatTree`.
+
+    Consumed by :func:`reconstruct_route` and the batched service's
+    cached start maps; entries exist for every reached non-root door,
+    with ``prev=None`` at point-attachment seeds.
+    """
+
+    __slots__ = ("_tree",)
+
+    def __init__(self, tree: FlatTree) -> None:
+        self._tree = tree
 
     def __getitem__(self, did: int) -> Tuple[Optional[int], int]:
-        ws = self._ws
-        idx = self._graph._door_index[did]
-        if ws.visit[idx] != ws.epoch:
+        tree = self._tree
+        idx = tree.door_index.get(did)
+        if idx is None:
             raise KeyError(did)
-        prev = ws.pred[idx]
+        prev = tree.pred[idx]
         if prev == _ROOT:
             raise KeyError(did)
         if prev == _POINT:
-            return None, ws.pred_via[idx]
-        return self._graph._door_ids[prev], ws.pred_via[idx]
+            return None, tree.pred_via[idx]
+        return tree.door_ids[prev], tree.pred_via[idx]
 
-    def __iter__(self):  # pragma: no cover - Mapping protocol filler
-        ws = self._ws
-        for idx in ws.touched:
-            if ws.pred[idx] != _ROOT:
-                yield self._graph._door_ids[idx]
+    def __iter__(self):
+        tree = self._tree
+        ids = tree.door_ids
+        pred = tree.pred
+        for idx in tree.touched:
+            if pred[idx] != _ROOT:
+                yield ids[idx]
 
-    def __len__(self) -> int:  # pragma: no cover - Mapping protocol filler
-        return sum(1 for _ in self)
+    def __len__(self) -> int:
+        pred = self._tree.pred
+        return sum(1 for idx in self._tree.touched if pred[idx] != _ROOT)
 
 
 class DoorGraph:
@@ -436,18 +625,43 @@ class DoorGraph:
                    source: Optional[int],
                    targets: Iterable[int],
                    bound: float) -> Dict[int, Tuple[List[int], List[int], float]]:
-        """Reconstructed routes to every reachable target (door ids)."""
+        """Reconstructed routes to every reachable target (door ids).
+
+        The predecessor walk runs directly over the workspace's dense
+        arrays — no mapping protocol, no per-step door-id lookups —
+        because this sits under every expansion of the search loop.
+        """
         index = self._door_index
-        view = _PredView(ws, self)
+        ids = self._door_ids
+        epoch = ws.epoch
+        visit = ws.visit
+        dist = ws.dist
+        pred = ws.pred
+        pred_via = ws.pred_via
+        # The walk ends at the source's dense index (which first-hop
+        # trees seed as a predecessor without ever visiting) or at a
+        # point-attachment seed; -3 never matches a dense index.
+        src_idx = index[source] if source is not None else -3
         routes: Dict[int, Tuple[List[int], List[int], float]] = {}
         for target in targets:
             idx = index.get(target)
-            if idx is None or ws.visit[idx] != ws.epoch:
+            if idx is None or visit[idx] != epoch:
                 continue
-            d = ws.dist[idx]
+            d = dist[idx]
             if d > bound:
                 continue
-            doors, vias = reconstruct_route(view, source, target)
+            doors: List[int] = []
+            vias: List[int] = []
+            node = idx
+            while node != src_idx:
+                doors.append(ids[node])
+                vias.append(pred_via[node])
+                prev = pred[node]
+                if prev == _POINT:
+                    break
+                node = prev
+            doors.reverse()
+            vias.reverse()
             routes[target] = (doors, vias, d)
         return routes
 
@@ -497,6 +711,23 @@ class DoorGraph:
         self._run_dijkstra(ws, ((0.0, src_idx, _ROOT, -1),),
                            banned_ids, target_idx, bound)
         return self._dist_dict(ws), self._pred_dict(ws)
+
+    def dijkstra_tree(self,
+                      source: int,
+                      bound: float = INF,
+                      workspace: Optional[DijkstraWorkspace] = None,
+                      ) -> FlatTree:
+        """Full single-source shortest-path tree as a :class:`FlatTree`.
+
+        The array-native sibling of :meth:`dijkstra` for callers that
+        keep the result (the :class:`DoorMatrix` rows): the workspace
+        run is frozen into flat buffers instead of being materialised
+        as two dicts.
+        """
+        ws = workspace or self.workspace
+        self._run_dijkstra(ws, ((0.0, self._door_index[source], _ROOT, -1),),
+                           (), None, bound)
+        return FlatTree.from_workspace(ws, self)
 
     def shortest_route(self,
                        source: int,
@@ -601,23 +832,27 @@ class DoorGraph:
     def point_attachment_map(self,
                              p: Point,
                              workspace: Optional[DijkstraWorkspace] = None,
-                             ) -> Tuple[int, Dict[int, float],
-                                        Dict[int, Tuple[Optional[int], int]]]:
+                             ) -> Tuple[int, FlatDistMap, FlatPredMap]:
         """The full unbounded point-attachment tree of point ``p``.
 
-        Returns ``(host partition id, dist, pred)``; the ``pred``
-        mapping carries ``(None, host)`` at the attachment doors so
-        :func:`reconstruct_route` walks it with ``source=None``.  This
-        is the structure the batched ``QueryService`` keeps in its
-        per-endpoint LRU: any first-expansion continuation query from
-        ``p`` (empty banned set, first hop through the host partition)
-        can be answered from it without re-running Dijkstra.
+        Returns ``(host partition id, dist, pred)`` where ``dist`` /
+        ``pred`` are read-only mapping views over one frozen
+        :class:`FlatTree` (the ``pred`` view carries ``(None, host)``
+        at the attachment doors so :func:`reconstruct_route` walks it
+        with ``source=None``).  This is the structure the batched
+        ``QueryService`` keeps in its per-endpoint LRU: any
+        first-expansion continuation query from ``p`` (empty banned
+        set, first hop through the host partition) can be answered
+        from it without re-running Dijkstra — and the flat layout
+        keeps a cached endpoint at ~24 bytes per door instead of two
+        dict entries per reached door.
         """
         ws = workspace or self.workspace
         host = self._space.host_partition(p)
         self._run_dijkstra(ws, self._point_seeds(p, host.pid),
                            (), None, INF)
-        return host.pid, self._dist_dict(ws), self._pred_dict(ws)
+        tree = FlatTree.from_workspace(ws, self)
+        return host.pid, tree.dist_map(), tree.pred_map()
 
     def point_to_point_distance(self, ps: Point, pt: Point,
                                 bound: float = INF,
@@ -630,13 +865,21 @@ class DoorGraph:
         best = INF
         if host_s.pid == host_t.pid:
             best = ps.distance_to(pt)
-        door_dist = self.distances_from_point(
-            ps, bound=min(bound, best), workspace=workspace)
-        t_pos = pt
+        # Read the workspace arrays directly: only the handful of
+        # enterable doors of pt's host partition are consumed, so
+        # materialising the full distance dict would be pure churn.
+        ws = workspace or self.workspace
+        self._run_dijkstra(ws, self._point_seeds(ps, host_s.pid),
+                           (), None, min(bound, best))
+        index = self._door_index
+        epoch = ws.epoch
+        visit = ws.visit
+        dist = ws.dist
         for dk in space.p2d_enter(host_t.pid):
-            if dk not in door_dist:
+            idx = index.get(dk)
+            if idx is None or visit[idx] != epoch:
                 continue
-            total = door_dist[dk] + space.door(dk).position.distance_to(t_pos)
+            total = dist[idx] + space.door(dk).position.distance_to(pt)
             if total < best:
                 best = total
         return best
@@ -663,6 +906,14 @@ class DoorMatrix:
     rows stay resident, evicted in least-recently-used order (the
     ``evictions`` counter feeds the search stats).  Row access is
     thread-safe so a matrix can back concurrent batched queries.
+
+    Rows are stored as :class:`FlatTree` objects — three flat typed
+    arrays over dense door indices — instead of the dict-of-dict pairs
+    of the original implementation; ``distance`` is one array load and
+    ``route`` a dense predecessor walk.  The dict-shaped accessors
+    (:meth:`warm_rows` / :meth:`preload_rows`) remain for the JSON
+    snapshot format; the binary snapshot v2 packs the arrays directly
+    (:meth:`warm_trees` / :meth:`preload_trees`).
     """
 
     def __init__(self,
@@ -672,7 +923,7 @@ class DoorMatrix:
         if max_rows is not None and max_rows < 1:
             raise ValueError("max_rows must be at least 1")
         self._graph = graph
-        self._rows: "OrderedDict[int, Tuple[Dict[int, float], Dict[int, Tuple[int, int]]]]" = OrderedDict()
+        self._rows: "OrderedDict[int, FlatTree]" = OrderedDict()
         self._lock = threading.Lock()
         self.max_rows = max_rows
         self.evictions = 0
@@ -686,7 +937,7 @@ class DoorMatrix:
             for did in doors:
                 self._row(did)
 
-    def _row(self, source: int) -> Tuple[Dict[int, float], Dict[int, Tuple[int, int]]]:
+    def _row(self, source: int) -> FlatTree:
         with self._lock:
             row = self._rows.get(source)
             if row is not None:
@@ -697,7 +948,8 @@ class DoorMatrix:
         # so cache hits on other threads never wait behind a full
         # Dijkstra; a concurrent miss on the same source computes the
         # same row and the first insert wins.
-        row = self._graph.dijkstra(source, workspace=self._graph.workspace)
+        row = self._graph.dijkstra_tree(source,
+                                        workspace=self._graph.workspace)
         with self._lock:
             row = self._rows.setdefault(source, row)
             if self.max_rows is not None:
@@ -709,8 +961,7 @@ class DoorMatrix:
 
     def distance(self, di: int, dj: int) -> float:
         """Shortest door-to-door distance ``di -> dj`` (INF if unreachable)."""
-        dist, _ = self._row(di)
-        return dist.get(dj, INF)
+        return self._row(di).distance(dj)
 
     def route(self, di: int, dj: int) -> Optional[Tuple[List[int], List[int], float]]:
         """Shortest precomputed route ``di -> dj`` as ``(doors, vias, dist)``.
@@ -719,53 +970,64 @@ class DoorMatrix:
         prefix; KoE* re-computes on the fly when its regularity check
         fails, as the paper prescribes.
         """
-        dist, pred = self._row(di)
-        if dj not in dist:
-            return None
-        doors, vias = reconstruct_route(pred, di, dj)
-        return doors, vias, dist[dj]
+        return self._row(di).route_to(dj)
 
     def num_cached_rows(self) -> int:
         with self._lock:
             return len(self._rows)
 
-    def warm_rows(self,
-                  limit: Optional[int] = None,
-                  ) -> Dict[int, Tuple[Dict[int, float], Dict[int, Tuple[int, int]]]]:
-        """The resident rows (hottest last), for snapshot export.
+    def warm_trees(self, limit: Optional[int] = None) -> "OrderedDict[int, FlatTree]":
+        """The resident rows as flat trees (hottest last).
 
         Returns at most ``limit`` rows, preferring the most recently
         used ones so a snapshot captures the rows live traffic keeps
-        hot.  The returned dicts are the cached objects themselves —
-        callers serialise, they must not mutate.
+        hot.  The trees are the cached (immutable) objects themselves.
         """
         with self._lock:
             rows = list(self._rows.items())
         if limit is not None and limit >= 0:
             rows = rows[len(rows) - min(limit, len(rows)):]
-        return dict(rows)
+        return OrderedDict(rows)
 
-    def preload_rows(self,
-                     rows: Mapping[int, Tuple[Dict[int, float],
-                                              Dict[int, Tuple[int, int]]]],
-                     ) -> None:
-        """Adopt previously exported rows (snapshot load path).
+    def warm_rows(self,
+                  limit: Optional[int] = None,
+                  ) -> Dict[int, Tuple[Dict[int, float], Dict[int, Tuple[int, int]]]]:
+        """The resident rows in dict shape (hottest last).
+
+        The JSON (v1) snapshot encoding of :meth:`warm_trees`; derived
+        from the flat arrays on demand.
+        """
+        return {source: (tree.dist_dict(), tree.pred_dict())
+                for source, tree in self.warm_trees(limit).items()}
+
+    def preload_trees(self, trees: Mapping[int, FlatTree]) -> None:
+        """Adopt previously exported flat rows (snapshot v2 load path).
 
         Rows beyond ``max_rows`` follow the normal LRU policy; preloads
         do not count as evictions of live traffic.
         """
         with self._lock:
-            for source, row in rows.items():
-                self._rows[source] = row
+            for source, tree in trees.items():
+                self._rows[source] = tree
                 self._rows.move_to_end(source)
                 if self.max_rows is not None:
                     while len(self._rows) > self.max_rows:
                         self._rows.popitem(last=False)
 
+    def preload_rows(self,
+                     rows: Mapping[int, Tuple[Dict[int, float],
+                                              Dict[int, Tuple[int, int]]]],
+                     ) -> None:
+        """Adopt previously exported dict-shaped rows (snapshot v1)."""
+        graph = self._graph
+        self.preload_trees(OrderedDict(
+            (source, FlatTree.from_dicts(graph, dist, pred))
+            for source, (dist, pred) in rows.items()))
+
     def estimated_bytes(self) -> int:
         """Rough memory footprint of the cached rows (for Fig. 14)."""
         total = 0
         with self._lock:
-            for dist, pred in self._rows.values():
-                total += 64 * len(dist) + 96 * len(pred)
+            for tree in self._rows.values():
+                total += tree.estimated_bytes()
         return total

@@ -29,9 +29,16 @@ indexes, so serve workers cold-start by loading instead of rebuilding::
      "door_matrix": {warm rows}, "prime": {advisory entries},
      "engine": {matrix eagerness/budget, popularity}}
 
-Floats survive both formats exactly (JSON emits the shortest
-round-tripping ``repr``), which is what lets a snapshot-loaded engine
-answer byte-identically to the engine it was taken from.
+Snapshots additionally come in a **binary version-2 encoding** (magic
+``IKRQSNP2``; see :mod:`repro.serve.snapshot`) that keeps this venue
+document as JSON inside the header but packs every built index as raw
+typed-array bytes — the fastest cold-start on big venues.  Version-1
+JSON snapshots remain fully readable.
+
+Floats survive all formats exactly (JSON emits the shortest
+round-tripping ``repr``; the binary encoding stores IEEE bits), which
+is what lets a snapshot-loaded engine answer byte-identically to the
+engine it was taken from.
 """
 
 from __future__ import annotations

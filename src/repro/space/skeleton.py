@@ -13,21 +13,54 @@ on the true indoor walking distance between two items:
 paths over the (small) staircase-door graph whose edge weights are
 Euclidean distances — themselves lower bounds of real walks — so the
 composite value never exceeds the true indoor distance.
+
+The all-pairs table is stored as one flat ``array('d')`` of ``n * n``
+doubles (row-major) rather than a list of lists, and the staircase
+door coordinates are hoisted into parallel flat coordinate arrays, so
+the double loop of :meth:`SkeletonIndex.lower_bound` — which runs
+under Pruning Rules 1–4 on every expansion — indexes typed buffers
+instead of chasing nested Python objects.  The arithmetic matches
+:meth:`~repro.geometry.Point.distance_to` operation for operation, so
+bounds are bit-identical to the nested-list implementation.
 """
 
 from __future__ import annotations
 
 import heapq
 import math
+from array import array
 from typing import Dict, List, Tuple, Union
 
 from repro.geometry import Point
+from repro.geometry.point import FLOOR_HEIGHT
 from repro.space.indoor_space import IndoorSpace
 
 INF = math.inf
 
 #: A skeleton query item: a door id or a free point.
 Item = Union[int, Point]
+
+#: A precomputed attachment over the staircase doors of the item's
+#: floor: ``(position, floor, level, [(row, head), ...],
+#: [(row * n, head), ...])``.  Floor and level ride along so the
+#: same-floor check costs tuple loads instead of property calls; the
+#: second pair list carries the premultiplied δs2s row base for the
+#: outer loop of :meth:`SkeletonIndex.lower_bound_heads`.
+Attachment = Tuple[Point, int, float,
+                   List[Tuple[int, float]], List[Tuple[int, float]]]
+
+_sqrt = math.sqrt
+
+
+def _levels_touch(level_a: float, level_b: float) -> bool:
+    """Whether two levels are close enough for plain Euclid to bound.
+
+    A stair door at level ``f + 0.5`` touches both floor ``f`` and
+    floor ``f + 1``.  Single source of the 0.5 invariant — the flat
+    fast paths, the item entry point and the dict reference core all
+    route through it.
+    """
+    return abs(level_a - level_b) <= 0.5
 
 
 class SkeletonIndex:
@@ -42,16 +75,39 @@ class SkeletonIndex:
     #: loads bypass the build and must leave this untouched.
     s2s_builds = 0
 
+    #: Whether callers may use the precomputed-attachment fast path
+    #: (:meth:`heads` / :meth:`lower_bound_heads`).  The dict-based
+    #: reference index switches this off so the retained legacy code
+    #: path stays measurable.
+    supports_heads = True
+
     def __init__(self, space: IndoorSpace) -> None:
         self._space = space
         self._stair_doors: List[int] = sorted(
             did for did, door in space.doors.items() if door.is_staircase_door)
+        self._finish_init()
+        self._build_s2s()
+
+    def _finish_init(self) -> None:
+        """Derived flat state shared by every constructor."""
+        space = self._space
         self._index: Dict[int, int] = {
             did: i for i, did in enumerate(self._stair_doors)}
         self._positions: List[Point] = [
             space.door(did).position for did in self._stair_doors]
-        self._s2s: List[List[float]] = []
-        self._build_s2s()
+        # Parallel coordinate buffers of the staircase doors; ``_pz``
+        # pre-applies the floor height exactly as ``Point.z`` does.
+        self._px = array("d", (p.x for p in self._positions))
+        self._py = array("d", (p.y for p in self._positions))
+        self._pz = array("d", (p.level * FLOOR_HEIGHT
+                               for p in self._positions))
+        self._floor_rows: Dict[int, List[int]] = {}
+        # Lazily filled per-door attachment table: door id ->
+        # (position, [(stair row, |door, sd|E), ...] for its floor).
+        # Pure in the space, so one table serves every query; door
+        # items then enter the lower-bound double loop with *no*
+        # per-call sqrt at all.
+        self._door_heads: Dict[int, "Attachment"] = {}
 
     @classmethod
     def from_precomputed(cls,
@@ -63,26 +119,59 @@ class SkeletonIndex:
         Mirrors :meth:`DoorGraph.from_csr`: no all-pairs computation
         runs, so snapshot-loaded workers skip the build entirely.
         """
+        flat = array("d", (INF if v is None else v
+                           for row in s2s for v in row))
+        return cls.from_precomputed_flat(space, stair_doors, flat)
+
+    @classmethod
+    def from_precomputed_flat(cls,
+                              space: IndoorSpace,
+                              stair_doors: List[int],
+                              s2s_flat: array) -> "SkeletonIndex":
+        """Adopt a flat row-major δs2s buffer (binary snapshot v2).
+
+        ``s2s_flat`` must hold ``len(stair_doors) ** 2`` doubles; no
+        conversion or all-pairs computation runs.
+        """
+        n = len(stair_doors)
+        if len(s2s_flat) != n * n:
+            raise ValueError(
+                f"flat s2s table must hold {n * n} entries, "
+                f"got {len(s2s_flat)}")
         index = cls.__new__(cls)
         index._space = space
         index._stair_doors = list(stair_doors)
-        index._index = {did: i for i, did in enumerate(index._stair_doors)}
-        index._positions = [space.door(did).position
-                            for did in index._stair_doors]
-        index._s2s = [[INF if v is None else v for v in row] for row in s2s]
+        index._finish_init()
+        index._set_s2s(array("d", s2s_flat))
         return index
+
+    def _set_s2s(self, s2s: array) -> None:
+        self._s2s = s2s
+        # List mirror for the query loop: list indexing hands out the
+        # already-boxed floats, where ``array('d')`` would box a fresh
+        # float object per access.  The array remains the canonical
+        # (exported, snapshot-packed) representation.
+        self._s2s_hot = list(s2s)
 
     def export(self) -> Dict[str, list]:
         """JSON-serialisable ``(stair_doors, s2s)`` snapshot payload.
 
         Unreachable pairs (``inf``) are encoded as ``None`` — JSON has
-        no infinity.
+        no infinity.  (The binary snapshot v2 packs
+        :meth:`export_flat` instead, where ``inf`` survives natively.)
         """
+        n = len(self._stair_doors)
+        s2s = self._s2s
         return {
             "stair_doors": list(self._stair_doors),
-            "s2s": [[None if v == INF else v for v in row]
-                    for row in self._s2s],
+            "s2s": [[None if s2s[i * n + j] == INF else s2s[i * n + j]
+                     for j in range(n)]
+                    for i in range(n)],
         }
+
+    def export_flat(self) -> Tuple[List[int], array]:
+        """``(stair_doors, flat row-major δs2s buffer)`` for snapshot v2."""
+        return list(self._stair_doors), self._s2s
 
     @property
     def staircase_doors(self) -> List[int]:
@@ -97,9 +186,8 @@ class SkeletonIndex:
         between); Dijkstra over that graph gives the skeleton metric.
         """
         SkeletonIndex.s2s_builds += 1
-        space = self._space
         n = len(self._stair_doors)
-        positions = [space.door(did).position for did in self._stair_doors]
+        positions = self._positions
         adj: List[List[Tuple[int, float]]] = [[] for _ in range(n)]
         for i in range(n):
             for j in range(i + 1, n):
@@ -107,10 +195,10 @@ class SkeletonIndex:
                     w = positions[i].distance_to(positions[j])
                     adj[i].append((j, w))
                     adj[j].append((i, w))
-        self._s2s = [[INF] * n for _ in range(n)]
+        s2s = array("d", [INF]) * (n * n)
         for src in range(n):
-            row = self._s2s[src]
-            row[src] = 0.0
+            base = src * n
+            s2s[base + src] = 0.0
             heap: List[Tuple[float, int]] = [(0.0, src)]
             visited = [False] * n
             while heap:
@@ -120,9 +208,10 @@ class SkeletonIndex:
                 visited[u] = True
                 for v, w in adj[u]:
                     nd = d + w
-                    if nd < row[v]:
-                        row[v] = nd
+                    if nd < s2s[base + v]:
+                        s2s[base + v] = nd
                         heapq.heappush(heap, (nd, v))
+        self._set_s2s(s2s)
 
     # ------------------------------------------------------------------
     # Queries
@@ -133,28 +222,89 @@ class SkeletonIndex:
         return x
 
     def _stair_doors_for_floor(self, floor: int) -> List[int]:
-        return [self._index[did]
-                for did in self._space.staircase_doors_on_floor(floor)]
+        rows = self._floor_rows.get(floor)
+        if rows is None:
+            rows = [self._index[did]
+                    for did in self._space.staircase_doors_on_floor(floor)]
+            self._floor_rows[floor] = rows
+        return rows
+
+    def _heads(self, x: Item) -> Attachment:
+        """``(position, [(stair row, |x, sd|E), ...])`` of an item.
+
+        For doors the attachment is cached on the index (pure in the
+        space); free points compute theirs (two per query: ``ps`` /
+        ``pt``) on the fly.  The distances use the exact arithmetic of
+        :meth:`~repro.geometry.Point.distance_to`, so cached heads
+        change no bound by even an ulp.
+        """
+        if isinstance(x, int):
+            cached = self._door_heads.get(x)
+            if cached is not None:
+                return cached
+            pos = self._space.door(x).position
+        else:
+            pos = x
+        rows = self._stair_doors_for_floor(pos.floor)
+        px = self._px
+        py = self._py
+        pz = self._pz
+        ax = pos.x
+        ay = pos.y
+        az = pos.level * FLOOR_HEIGHT
+        pairs: List[Tuple[int, float]] = []
+        for ia in rows:
+            dx = ax - px[ia]
+            dy = ay - py[ia]
+            dz = az - pz[ia]
+            pairs.append((ia, _sqrt(dx * dx + dy * dy + dz * dz)))
+        # Ascending by head distance: once a head reaches the best
+        # bound, every later pair is dominated (δs2s and tails are
+        # non-negative) and the outer loop may stop — an exact
+        # short-circuit, not an approximation.
+        pairs.sort(key=lambda pair: pair[1])
+        n = len(self._stair_doors)
+        based = [(ia * n, head) for ia, head in pairs]
+        attachment = (pos, pos.floor, pos.level, pairs, based)
+        if isinstance(x, int):
+            self._door_heads[x] = attachment
+        return attachment
+
+    def heads(self, x: Item) -> Attachment:
+        """Public access to the attachment of an item.
+
+        Query contexts hold the attachments of their fixed endpoints
+        (``ps`` / ``pt``) and call :meth:`lower_bound_heads` directly,
+        so the per-call attachment cost disappears from the pruning
+        hot path entirely.
+        """
+        return self._heads(x)
 
     def lower_bound(self, xi: Item, xj: Item) -> float:
         """The skeleton lower-bound distance ``|xi, xj|L``."""
         a = self._position(xi)
         b = self._position(xj)
-        if a.floor == b.floor or self._touching_levels(a, b):
+        # Same floor (or a touching stair door): plain Euclid, no
+        # attachment arrays needed.
+        if a.floor == b.floor or _levels_touch(a.level, b.level):
             return a.distance_to(b)
-        rows_a = self._stair_doors_for_floor(a.floor)
-        rows_b = self._stair_doors_for_floor(b.floor)
-        if not rows_a or not rows_b:
+        return self.lower_bound_heads(self._heads(xi), self._heads(xj))
+
+    def lower_bound_heads(self, ha: Attachment, hb: Attachment) -> float:
+        """``|a, b|L`` from two precomputed attachments."""
+        a, floor_a, level_a, _, based_a = ha
+        b, floor_b, level_b, pairs_b, _ = hb
+        if floor_a == floor_b or _levels_touch(level_a, level_b):
+            return a.distance_to(b)
+        if not based_a or not pairs_b:
             return INF
-        positions = self._positions
+        s2s = self._s2s_hot
         best = INF
-        for ia in rows_a:
-            head = a.distance_to(positions[ia])
+        for base, head in based_a:
             if head >= best:
-                continue
-            row = self._s2s[ia]
-            for ib in rows_b:
-                total = head + row[ib] + positions[ib].distance_to(b)
+                break  # pairs are head-ascending; the rest is dominated
+            for ib, tail in pairs_b:
+                total = head + s2s[base + ib] + tail
                 if total < best:
                     best = total
         return best
@@ -163,11 +313,10 @@ class SkeletonIndex:
     def _touching_levels(a: Point, b: Point) -> bool:
         """Whether one item is a stair door adjacent to the other's floor.
 
-        A stair door at level ``f + 0.5`` touches both floor ``f`` and
-        floor ``f + 1``; plain Euclidean distance is already a valid
-        lower bound in that case.
+        Plain Euclidean distance is already a valid lower bound in
+        that case; see :func:`_levels_touch`.
         """
-        return abs(a.level - b.level) <= 0.5
+        return _levels_touch(a.level, b.level)
 
     def lower_bound_via_partition(self,
                                   xs: Item,
@@ -180,17 +329,33 @@ class SkeletonIndex:
         |dj, xt|L``; the middle term is the intra-partition Euclidean
         distance (zero when ``di == dj``).
         """
+        return self.lower_bound_via_partition_heads(
+            self._heads(xs), pid, self._heads(xt))
+
+    def lower_bound_via_partition_heads(
+            self,
+            hs: Attachment,
+            pid: int,
+            ht: Attachment) -> float:
+        """Pruning Rule 3 from precomputed endpoint triples.
+
+        The endpoint attachment arrays are computed once per query;
+        only the (cached) door triples of the candidate partition vary
+        inside the loop.
+        """
         space = self._space
+        heads = self._heads
+        lbh = self.lower_bound_heads
         best = INF
         for di in space.p2d_enter(pid):
-            head = self.lower_bound(xs, di)
+            head = lbh(hs, heads(di))
             if head >= best:
                 continue
             pos_i = space.door(di).position
             for dj in space.p2d_leave(pid):
                 mid = 0.0 if di == dj else pos_i.distance_to(
                     space.door(dj).position)
-                total = head + mid + self.lower_bound(dj, xt)
+                total = head + mid + lbh(heads(dj), ht)
                 if total < best:
                     best = total
         return best

@@ -1,0 +1,125 @@
+"""Binary (v2) snapshots: round trips, backward compat, shard identity."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import IKRQ, IKRQEngine
+from repro.serve.snapshot import (BINARY_MAGIC, is_binary_snapshot,
+                                  load_snapshot, read_snapshot,
+                                  save_snapshot, snapshot_to_dict)
+from repro.serve.pool import ShardDispatcher, ShardPool
+from repro.serve.wire import answer_to_wire, canonical_json, query_to_wire
+
+
+@pytest.fixture(scope="module")
+def warm_engine(fig1):
+    engine = IKRQEngine(fig1.space, fig1.kindex)
+    engine.door_matrix()
+    return engine
+
+
+@pytest.fixture(scope="module")
+def both_paths(warm_engine, tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("snapv2")
+    json_path = tmp / "snapshot.json"
+    binary_path = tmp / "snapshot.bin"
+    save_snapshot(json_path, warm_engine)
+    save_snapshot(binary_path, warm_engine, binary=True)
+    return str(json_path), str(binary_path)
+
+
+def _normalise(doc):
+    return json.loads(json.dumps(doc, sort_keys=True))
+
+
+class TestBinaryRoundTrip:
+    def test_magic_and_sniffing(self, both_paths):
+        json_path, binary_path = both_paths
+        assert is_binary_snapshot(binary_path)
+        assert not is_binary_snapshot(json_path)
+        with open(binary_path, "rb") as fh:
+            assert fh.read(len(BINARY_MAGIC)) == BINARY_MAGIC
+
+    def test_binary_document_equals_json_document(self, warm_engine,
+                                                  both_paths):
+        json_path, binary_path = both_paths
+        # read_snapshot normalises the binary container to the v1
+        # document shape; it must equal the JSON encoding exactly.
+        assert (_normalise(read_snapshot(binary_path))
+                == _normalise(read_snapshot(json_path))
+                == _normalise(snapshot_to_dict(warm_engine)))
+
+    def test_engines_from_both_encodings_are_equal(self, warm_engine,
+                                                   both_paths):
+        json_path, binary_path = both_paths
+        from_json = load_snapshot(json_path)
+        from_binary = load_snapshot(binary_path)
+        assert (from_binary.graph.csr_arrays()
+                == from_json.graph.csr_arrays()
+                == warm_engine.graph.csr_arrays())
+        assert (from_binary.skeleton.export()
+                == from_json.skeleton.export()
+                == warm_engine.skeleton.export())
+        assert (from_binary._matrix.warm_rows()
+                == from_json._matrix.warm_rows()
+                == warm_engine._matrix.warm_rows())
+
+    def test_binary_load_skips_index_builds(self, both_paths):
+        from repro.space.graph import DoorGraph
+        from repro.space.skeleton import SkeletonIndex
+        _, binary_path = both_paths
+        csr_before = DoorGraph.csr_builds
+        s2s_before = SkeletonIndex.s2s_builds
+        load_snapshot(binary_path)
+        assert DoorGraph.csr_builds == csr_before
+        assert SkeletonIndex.s2s_builds == s2s_before
+
+    def test_answers_byte_identical(self, fig1, warm_engine, both_paths):
+        _, binary_path = both_paths
+        loaded = load_snapshot(binary_path)
+        for algo in ("ToE", "KoE", "KoE*"):
+            query = IKRQ(ps=fig1.ps, pt=fig1.pt, delta=60.0,
+                         keywords=("latte", "apple"), k=3)
+            expected = canonical_json(
+                answer_to_wire(warm_engine.search(query, algo)))
+            got = canonical_json(answer_to_wire(loaded.search(query, algo)))
+            assert got == expected, algo
+
+    def test_v1_files_still_load(self, warm_engine, both_paths):
+        json_path, _ = both_paths
+        doc = read_snapshot(json_path)
+        assert doc["version"] == 1
+        loaded = load_snapshot(json_path)
+        assert loaded.graph.csr_arrays() == warm_engine.graph.csr_arrays()
+
+    def test_truncated_binary_rejected(self, both_paths, tmp_path):
+        _, binary_path = both_paths
+        data = open(binary_path, "rb").read()
+        clipped = tmp_path / "clipped.bin"
+        clipped.write_bytes(data[:len(data) - 64])
+        with pytest.raises(ValueError, match="truncated"):
+            read_snapshot(str(clipped))
+
+
+class TestBinaryShardColdStart:
+    def test_shard_pool_serves_binary_snapshot_identically(
+            self, fig1, warm_engine, both_paths):
+        _, binary_path = both_paths
+        queries = [
+            IKRQ(ps=fig1.ps, pt=fig1.pt, delta=60.0,
+                 keywords=("latte", "apple"), k=3),
+            IKRQ(ps=fig1.pt, pt=fig1.ps, delta=65.0,
+                 keywords=("coffee",), k=2),
+        ]
+        with ShardPool(binary_path, shards=1) as pool:
+            dispatcher = ShardDispatcher(pool, max_pending=8)
+            for query in queries:
+                response = dispatcher.submit(query_to_wire(query), "ToE")
+                assert response["status"] == "ok"
+                expected = answer_to_wire(warm_engine.search(query, "ToE"))
+                got = {"algorithm": response["algorithm"],
+                       "routes": response["routes"]}
+                assert canonical_json(got) == canonical_json(expected)
