@@ -1,0 +1,30 @@
+#!/usr/bin/env python
+"""Shell entry point for the multi-venue tenancy bench.
+
+Hosts several deterministic synthetic malls in one multi-venue shard
+pool, hammers all of them concurrently from per-tenant client threads,
+hot-swaps one venue onto a freshly rebuilt snapshot generation
+mid-stream (broadcast load, atomic flip, drain barrier, evict), and
+appends qps / shed-rate / swap-latency entries — identity-verified
+before, during and after the swap — to the ``BENCH_throughput.json``
+trajectory::
+
+    PYTHONPATH=src python benchmarks/bench_tenancy.py --venues 4 --shards 4
+    PYTHONPATH=src python benchmarks/bench_tenancy.py --smoke
+
+The measurement logic lives in :mod:`repro.bench.tenancy` (also
+reachable as ``python -m repro.bench tenancy``) so the CLI, the CI
+perf-smoke job and this script share one implementation.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench.tenancy import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

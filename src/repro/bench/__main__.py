@@ -67,6 +67,9 @@ EXTRA_DESCRIPTIONS = {
     "scale": "array-native core vs. the retained dict core on growing "
              "synthetic malls (identity-verified, with latency "
              "percentiles and snapshot cold-start times)",
+    "tenancy": "multi-venue serving under fire: hammer N synthetic "
+               "malls while hot-swapping one to a new snapshot "
+               "generation (byte-identity, shed rate, swap latency)",
 }
 
 
@@ -132,6 +135,11 @@ def main(argv=None) -> int:
         # The scale bench owns its own CLI (--floors, --smoke, ...):
         # `python -m repro.bench scale --floors 10`.
         return S.main(argv[1:])
+    if argv and argv[0] == "tenancy":
+        # So does the tenancy bench (--venues, --shards, --smoke, ...):
+        # `python -m repro.bench tenancy --venues 4`.
+        from repro.bench import tenancy as TN
+        return TN.main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Reproduce the paper's evaluation figures.")
@@ -178,6 +186,9 @@ def main(argv=None) -> int:
     if "scale" in figures:
         parser.error("run the scale bench as its own command: "
                      "python -m repro.bench scale [--floors ...]")
+    if "tenancy" in figures:
+        parser.error("run the tenancy bench as its own command: "
+                     "python -m repro.bench tenancy [--venues ...]")
     unknown = [f for f in figures
                if f not in E.REGISTRY and f not in EXTRA_DESCRIPTIONS]
     if unknown:

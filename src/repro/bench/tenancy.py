@@ -1,0 +1,402 @@
+"""Multi-venue tenancy under fire: hammer N malls, hot-swap one.
+
+``repro.bench tenancy`` is the proving ground of the multi-tenant
+serving layer: it
+
+1. generates ``--venues`` distinct synthetic malls
+   (:func:`repro.datasets.synth.tenant_mall_configs` — each tenant has
+   its own corpus, so a cross-venue routing mix-up cannot hide),
+2. computes every expected answer with local per-venue engines
+   (sequential ``engine.search`` — the byte-identity reference),
+3. snapshots each venue and starts one multi-venue
+   :class:`~repro.serve.pool.ShardPool` behind the tenant dispatcher
+   with per-venue admission quotas,
+4. hammers every venue concurrently from its own client threads, and
+   mid-stream **hot-swaps** the first venue onto a freshly rebuilt
+   snapshot generation (``ingest``: broadcast load, atomic flip, drain
+   barrier, evict),
+5. verifies that every served answer — before, during and after the
+   swap — is byte-identical to the local reference, that answers only
+   ever come from a fully-loaded generation (1 or 2, never a blend),
+   and that not a single non-shed request was dropped,
+6. appends one entry — total and per-venue qps, shed counts/rate,
+   swap load/drain latencies, latency percentiles — to the
+   ``BENCH_throughput.json`` trajectory.
+
+Run it from the shell::
+
+    python -m repro.bench tenancy --venues 4 --shards 4
+    python -m repro.bench tenancy --smoke        # tiny CI self-check
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import tempfile
+import threading
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.throughput import (DEFAULT_ARTIFACT, append_trajectory,
+                                    build_stream, latency_percentiles)
+from repro.core.engine import IKRQEngine, canonical_algorithm
+from repro.datasets.synth import (build_synth_mall, mall_stats,
+                                  tenant_mall_configs)
+from repro.serve import (ShardDispatcher, ShardPool, TenantQuota,
+                         answer_to_wire, canonical_json, query_to_wire,
+                         save_snapshot)
+
+#: Fraction of the total stream after which the hot-swap fires.
+SWAP_AT_FRACTION = 1.0 / 3.0
+
+
+class _VenueRun:
+    """One tenant's workload state: stream, expectations, outcomes."""
+
+    def __init__(self, venue: str, engine: IKRQEngine,
+                 stream, algorithm: str) -> None:
+        self.venue = venue
+        self.engine = engine
+        self.stream = stream
+        self.wire = [query_to_wire(q) for q in stream]
+        self.expected = {}
+        for query in dict.fromkeys(stream):
+            answer = engine.search(query, algorithm)
+            self.expected[canonical_json(query_to_wire(query))] = (
+                canonical_json(answer_to_wire(answer)))
+        self.latencies: List[float] = []
+        self.statuses: Dict[str, int] = {}
+        self.generations: set = set()
+        self.mismatches = 0
+        self.seconds = 0.0
+
+
+def _hammer(run: _VenueRun,
+            dispatcher: ShardDispatcher,
+            algorithm: str,
+            progress,
+            ) -> None:
+    """Replay one venue's stream through the dispatcher, verifying
+    byte-identity of every ``ok`` answer on the fly."""
+    started = time.perf_counter()
+    for doc in run.wire:
+        q_started = time.perf_counter()
+        response = dispatcher.submit(doc, algorithm, venue=run.venue)
+        run.latencies.append(time.perf_counter() - q_started)
+        status = response.get("status", "error")
+        run.statuses[status] = run.statuses.get(status, 0) + 1
+        if status == "ok":
+            run.generations.add(response.get("generation"))
+            got = canonical_json({"algorithm": response.get("algorithm"),
+                                  "routes": response.get("routes")})
+            if got != run.expected[canonical_json(doc)]:
+                run.mismatches += 1
+        progress()
+    run.seconds = time.perf_counter() - started
+
+
+def run_tenancy(venues: int = 3,
+                floors: int = 2,
+                rooms_per_floor: int = 16,
+                words_per_room: int = 4,
+                shards: int = 2,
+                pool: int = 6,
+                repeat: int = 6,
+                seed: int = 7,
+                algorithm: str = "ToE",
+                max_pending: int = 64,
+                tenant_quota: Optional[int] = 16,
+                binary_swap: bool = True) -> Dict:
+    """The tenancy workload; returns one trajectory entry.
+
+    The first venue is hot-swapped once roughly a third of the way
+    through the combined stream; its replacement snapshot is rebuilt
+    from scratch (fresh engine over the same deterministic venue, by
+    default in the binary v2 encoding), so identical answers across
+    the swap prove the whole rebuild/load/flip/drain path, not just
+    pointer juggling.
+    """
+    algorithm = canonical_algorithm(algorithm)
+    configs = tenant_mall_configs(
+        venues, floors=floors, rooms_per_floor=rooms_per_floor,
+        words_per_room=words_per_room, seed=seed)
+
+    runs: List[_VenueRun] = []
+    with tempfile.TemporaryDirectory(prefix="repro-tenancy-") as tmp:
+        snapshot_paths: Dict[str, str] = {}
+        for i, (venue, cfg) in enumerate(sorted(configs.items())):
+            space, kindex = build_synth_mall(cfg)
+            engine = IKRQEngine(space, kindex, door_matrix_eager=False)
+            stream = build_stream(engine, pool=pool, repeat=repeat,
+                                  endpoints=max(2, pool // 2),
+                                  seed=seed + i)
+            runs.append(_VenueRun(venue, engine, stream, algorithm))
+            path = os.path.join(tmp, f"{venue}.snap.json")
+            save_snapshot(path, engine)
+            snapshot_paths[venue] = path
+
+        swap_venue = runs[0].venue
+        # The replacement generation: a from-scratch rebuild of the
+        # same deterministic venue (what a re-index produces).
+        rebuilt_space, rebuilt_kindex = build_synth_mall(
+            configs[swap_venue])
+        rebuilt = IKRQEngine(rebuilt_space, rebuilt_kindex,
+                             door_matrix_eager=False)
+        swap_path = os.path.join(
+            tmp, f"{swap_venue}.gen2.snap" + ("" if binary_swap else ".json"))
+        save_snapshot(swap_path, rebuilt, binary=binary_swap)
+
+        total = sum(len(run.wire) for run in runs)
+        done = threading.Lock()
+        completed = [0]
+        swap_trigger = threading.Event()
+
+        def progress() -> None:
+            with done:
+                completed[0] += 1
+                if completed[0] >= max(1, int(total * SWAP_AT_FRACTION)):
+                    swap_trigger.set()
+
+        quotas = ({run.venue: TenantQuota(tenant_quota) for run in runs}
+                  if tenant_quota else None)
+        swap_report: Dict = {}
+        with ShardPool(venues=snapshot_paths, shards=shards) as shard_pool:
+            dispatcher = ShardDispatcher(shard_pool,
+                                         max_pending=max_pending,
+                                         quotas=quotas)
+            # Warm each venue's affinity shards outside the timed region
+            # (mirrors the other benches' warm-up).
+            for run in runs:
+                for doc in run.wire[:min(2, len(run.wire))]:
+                    dispatcher.submit(doc, algorithm, venue=run.venue)
+
+            def swapper() -> None:
+                swap_trigger.wait(timeout=300.0)
+                swap_report.update(dispatcher.ingest(swap_venue, swap_path))
+
+            threads = [threading.Thread(
+                target=_hammer, args=(run, dispatcher, algorithm, progress),
+                name=f"hammer-{run.venue}") for run in runs]
+            swap_thread = threading.Thread(target=swapper, name="swapper")
+            started = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            swap_thread.start()
+            for thread in threads:
+                thread.join()
+            swap_trigger.set()  # tiny streams: never leave the swapper hanging
+            swap_thread.join()
+            wall_seconds = time.perf_counter() - started
+
+            # Explicit after-phase: the hammer threads may have drained
+            # a small stream before the swap landed, so the "after the
+            # swap" byte-identity check is its own deterministic pass —
+            # every venue's distinct queries once more, with the
+            # swapped venue required to answer from the new generation.
+            after_mismatches = 0
+            after_bad = 0
+            after_generations: set = set()
+            new_generation = swap_report.get("generation")
+            if swap_report.get("status") == "ok":
+                for run in runs:
+                    distinct = list({canonical_json(doc): doc
+                                     for doc in run.wire}.values())
+                    for doc in distinct:
+                        response = dispatcher.submit(doc, algorithm,
+                                                     venue=run.venue)
+                        if response.get("status") != "ok":
+                            after_bad += 1
+                            continue
+                        got = canonical_json(
+                            {"algorithm": response.get("algorithm"),
+                             "routes": response.get("routes")})
+                        if got != run.expected[canonical_json(doc)]:
+                            after_mismatches += 1
+                        if run.venue == swap_venue:
+                            after_generations.add(
+                                response.get("generation"))
+
+    # ------------------------------------------------------------------
+    # Verdicts
+    # ------------------------------------------------------------------
+    statuses: Dict[str, int] = {}
+    for run in runs:
+        for status, count in run.statuses.items():
+            statuses[status] = statuses.get(status, 0) + count
+    answered = statuses.get("ok", 0)
+    shed = statuses.get("overloaded", 0)
+    dropped = sum(count for status, count in statuses.items()
+                  if status not in ("ok", "overloaded"))
+    mismatches = sum(run.mismatches for run in runs) + after_mismatches
+    swap_run = runs[0]
+    swap_generations = sorted(
+        {g for g in swap_run.generations if g is not None}
+        | after_generations)
+    stable_generations = sorted(
+        {g for run in runs[1:] for g in run.generations})
+
+    entry = {
+        "mode": "tenancy",
+        "venues": venues,
+        "floors": floors,
+        "rooms_per_floor": rooms_per_floor,
+        "shards": shards,
+        "algorithm": algorithm,
+        "queries": total,
+        "max_pending": max_pending,
+        "tenant_quota": tenant_quota,
+        "swap_venue": swap_venue,
+        "swap_encoding": "binary-v2" if binary_swap else "json-v1",
+        "qps": answered / wall_seconds if wall_seconds else float("inf"),
+        "wall_seconds": wall_seconds,
+        "answered": answered,
+        "shed": shed,
+        "shed_rate": shed / total if total else 0.0,
+        "dropped": dropped,
+        "mismatches": mismatches,
+        "swap": {key: swap_report.get(key)
+                 for key in ("generation", "previous_generation",
+                             "load_seconds", "drain_seconds",
+                             "swap_seconds", "drained", "status")},
+        "swap_generations_observed": swap_generations,
+        "after_swap_checks": {
+            "queries": sum(len({canonical_json(doc) for doc in run.wire})
+                           for run in runs),
+            "not_ok": after_bad,
+            "mismatches": after_mismatches,
+            "swap_venue_generations": sorted(after_generations),
+        },
+        "latency_ms": {
+            run.venue: latency_percentiles(run.latencies) for run in runs},
+        "per_venue": {
+            run.venue: {
+                "queries": len(run.wire),
+                "qps": (len(run.wire) / run.seconds
+                        if run.seconds else float("inf")),
+                "statuses": dict(sorted(run.statuses.items())),
+                **mall_stats(run.engine.space, run.engine.kindex),
+            } for run in runs},
+        "verified_identical": mismatches == 0,
+        "zero_dropped": dropped == 0 and after_bad == 0,
+        # Atomicity: the swap succeeded, no answer ever came from a
+        # generation other than 1 or 2, the deterministic after-phase
+        # saw only the new generation on the swapped venue, and the
+        # stable venues never left generation 1.
+        "swap_atomic": (swap_report.get("status") == "ok"
+                        and set(swap_generations) <= {1, 2}
+                        and after_generations == {new_generation}
+                        and stable_generations in ([], [1])),
+    }
+    return entry
+
+
+def format_tenancy_report(entry: Dict) -> str:
+    swap = entry["swap"]
+    lines = [
+        f"venues={entry['venues']} shards={entry['shards']} "
+        f"algorithm={entry['algorithm']} queries={entry['queries']} "
+        f"quota={entry['tenant_quota']} max_pending={entry['max_pending']}",
+        f"  served     : {entry['answered']} ok "
+        f"({entry['qps']:10.1f} q/s across tenants), "
+        f"{entry['shed']} shed ({entry['shed_rate'] * 100.0:.1f}%), "
+        f"{entry['dropped']} dropped",
+        f"  hot swap   : {entry['swap_venue']} -> generation "
+        f"{swap.get('generation')} ({entry['swap_encoding']}), "
+        f"load {1000.0 * (swap.get('load_seconds') or 0):.1f} ms, "
+        f"drain {1000.0 * (swap.get('drain_seconds') or 0):.1f} ms, "
+        f"swap {1000.0 * (swap.get('swap_seconds') or 0):.1f} ms",
+        f"  identity   : byte-identical={entry['verified_identical']} "
+        f"zero_dropped={entry['zero_dropped']} "
+        f"swap_atomic={entry['swap_atomic']} "
+        f"(generations observed: {entry['swap_generations_observed']})",
+    ]
+    for venue, stats in sorted(entry["per_venue"].items()):
+        pct = entry["latency_ms"].get(venue) or {}
+        lines.append(
+            f"  {venue:10s}: {stats['qps']:8.1f} q/s "
+            f"{stats['statuses']} p95="
+            f"{pct.get('p95_ms', float('nan')):.2f} ms")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark multi-venue tenancy with a mid-stream "
+                    "zero-downtime snapshot hot-swap.")
+    parser.add_argument("--venues", type=int, default=3,
+                        help="co-hosted synthetic tenants (default 3)")
+    parser.add_argument("--floors", type=int, default=2)
+    parser.add_argument("--rooms-per-floor", type=int, default=16)
+    parser.add_argument("--words-per-room", type=int, default=4)
+    parser.add_argument("--shards", type=int, default=2,
+                        help="shard processes hosting every venue")
+    parser.add_argument("--pool", type=int, default=6,
+                        help="distinct queries per venue")
+    parser.add_argument("--repeat", type=int, default=6,
+                        help="how often each venue's pool repeats")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--algorithm", default="ToE")
+    parser.add_argument("--max-pending", type=int, default=64,
+                        help="pool-wide admission queue depth")
+    parser.add_argument("--tenant-quota", type=int, default=16,
+                        help="per-venue in-flight quota (0 = none)")
+    parser.add_argument("--json-swap", action="store_true",
+                        help="swap in a JSON v1 snapshot instead of "
+                             "binary v2")
+    parser.add_argument("--artifact", default=DEFAULT_ARTIFACT,
+                        help="trajectory JSON to append results to "
+                             "('' disables)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny CI run: 2 venues, small malls; fails "
+                             "on any identity mismatch, dropped request, "
+                             "non-atomic swap or missing trajectory append")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        entry = run_tenancy(venues=2, floors=1, rooms_per_floor=16,
+                            words_per_room=3, shards=2, pool=4, repeat=3,
+                            seed=args.seed, algorithm=args.algorithm,
+                            max_pending=args.max_pending,
+                            tenant_quota=args.tenant_quota or None,
+                            binary_swap=not args.json_swap)
+    else:
+        entry = run_tenancy(venues=args.venues, floors=args.floors,
+                            rooms_per_floor=args.rooms_per_floor,
+                            words_per_room=args.words_per_room,
+                            shards=args.shards, pool=args.pool,
+                            repeat=args.repeat, seed=args.seed,
+                            algorithm=args.algorithm,
+                            max_pending=args.max_pending,
+                            tenant_quota=args.tenant_quota or None,
+                            binary_swap=not args.json_swap)
+    print(format_tenancy_report(entry))
+    if args.artifact:
+        append_trajectory(args.artifact, entry)
+        print(f"trajectory appended to {args.artifact}")
+    ok = (entry["verified_identical"] and entry["zero_dropped"]
+          and entry["swap_atomic"])
+    if args.smoke:
+        if not ok:
+            print("tenancy smoke FAILED: "
+                  f"identical={entry['verified_identical']} "
+                  f"zero_dropped={entry['zero_dropped']} "
+                  f"swap_atomic={entry['swap_atomic']}")
+            return 1
+        if not args.artifact:
+            print("tenancy smoke FAILED: --smoke verifies the trajectory "
+                  "append; do not pass --artifact ''")
+            return 1
+        print(f"tenancy smoke ok: {entry['answered']} answers "
+              f"byte-identical across 2 venues and a generation-2 "
+              f"hot-swap, {entry['shed']} shed, 0 dropped, trajectory "
+              f"at {args.artifact}")
+        return 0
+    # Identity/atomicity gate the exit code in every mode; timings are
+    # recorded, never judged (shared CI runners are noisy).
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via wrapper
+    import sys
+    sys.exit(main())

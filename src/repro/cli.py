@@ -20,6 +20,11 @@ Workflow::
     # bake the built indexes into a serve snapshot, then serve it
     python -m repro snapshot venue.json venue.snap.json
     python -m repro serve venue.snap.json --workers 2 --port 8080
+
+    # host several venues in one server and hot-swap one of them
+    python -m repro serve --venue mall-a=a.snap --venue airport-b=b.snap
+    python -m repro ingest --venue mall-a a.v2.snap --server \
+        http://127.0.0.1:8080
 """
 
 from __future__ import annotations
@@ -177,15 +182,32 @@ def _cmd_snapshot(args) -> int:
     return 0
 
 
-def _serve_smoke(server, snapshot_path: str) -> int:
-    """In-process smoke: fig1 queries over HTTP, byte-identity checked
-    against a local engine, /metrics scraped, clean shutdown."""
+def _post_json(base: str, path: str, doc: dict, timeout: float = 120.0):
+    """POST a JSON document; returns the decoded JSON response."""
+    import urllib.error
+    import urllib.request
+
+    body = json.dumps(doc).encode("utf-8")
+    request = urllib.request.Request(
+        base + path, data=body,
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as resp:
+            return json.loads(resp.read())
+    except urllib.error.HTTPError as err:
+        return json.loads(err.read())
+
+
+def _serve_smoke(server, venues: dict) -> int:
+    """In-process smoke: fig1 queries over HTTP for every hosted venue,
+    byte-identity checked against local engines, a hot-swap ingest
+    round-trip, /venues + /metrics scraped, clean shutdown."""
     import urllib.request
 
     from repro.serve import (answer_to_wire, canonical_json, load_snapshot,
                              query_to_wire)
 
-    engine = load_snapshot(snapshot_path)
+    engines = {venue: load_snapshot(path) for venue, path in venues.items()}
     fixture = paper_fig1()
     cases = [
         (IKRQ(ps=fixture.ps, pt=fixture.pt, delta=60.0,
@@ -197,66 +219,128 @@ def _serve_smoke(server, snapshot_path: str) -> int:
         (IKRQ(ps=fixture.pt, pt=fixture.ps, delta=60.0,
               keywords=("latte",), k=1), "ToE"),
     ]
-    host, port = server.start()
-    base = f"http://{host}:{port}"
-    try:
+
+    def check_venue(base: str, venue: str, generation=None) -> bool:
+        engine = engines[venue]
         for query, algorithm in cases:
-            body = json.dumps({"query": query_to_wire(query),
-                               "algorithm": algorithm}).encode("utf-8")
-            request = urllib.request.Request(
-                base + "/search", data=body,
-                headers={"Content-Type": "application/json"})
-            with urllib.request.urlopen(request, timeout=60) as resp:
-                doc = json.loads(resp.read())
+            doc = _post_json(base, "/search",
+                             {"venue": venue,
+                              "query": query_to_wire(query),
+                              "algorithm": algorithm}, timeout=60)
             if doc.get("status") != "ok":
-                print(f"smoke FAILED: {algorithm} -> {doc}")
-                return 1
+                print(f"smoke FAILED: {venue}/{algorithm} -> {doc}")
+                return False
+            if generation is not None and doc.get("generation") != generation:
+                print(f"smoke FAILED: {venue} answered from generation "
+                      f"{doc.get('generation')}, expected {generation}")
+                return False
             expected = answer_to_wire(engine.search(query, algorithm))
             got = {"algorithm": doc["algorithm"], "routes": doc["routes"]}
             if canonical_json(got) != canonical_json(expected):
-                print(f"smoke FAILED: {algorithm} answer differs from "
-                      "sequential engine.search")
+                print(f"smoke FAILED: {venue}/{algorithm} answer differs "
+                      "from sequential engine.search")
+                return False
+        return True
+
+    host, port = server.start()
+    base = f"http://{host}:{port}"
+    try:
+        for venue in sorted(venues):
+            if not check_venue(base, venue, generation=1):
                 return 1
+        # Hot-swap round trip: re-ingest the first venue's snapshot as
+        # generation 2 and verify answers stay byte-identical.
+        swap_venue = sorted(venues)[0]
+        swap = _post_json(base, "/ingest",
+                          {"venue": swap_venue,
+                           "snapshot": venues[swap_venue], "wait": True})
+        if swap.get("status") != "ok" or swap.get("generation") != 2:
+            print(f"smoke FAILED: ingest -> {swap}")
+            return 1
+        if not check_venue(base, swap_venue, generation=2):
+            return 1
+        with urllib.request.urlopen(base + "/venues", timeout=30) as resp:
+            listing = json.loads(resp.read())
+        listed = {doc["venue"]: doc for doc in listing.get("venues", [])}
+        if set(listed) != set(venues) \
+                or listed[swap_venue]["active_generation"] != 2:
+            print(f"smoke FAILED: /venues -> {listing}")
+            return 1
         with urllib.request.urlopen(base + "/healthz", timeout=30) as resp:
             health = json.loads(resp.read())
         with urllib.request.urlopen(base + "/metrics", timeout=30) as resp:
             metrics = resp.read().decode("utf-8")
-        if "ikrq_requests_total" not in metrics \
-                or "ikrq_shard_queries_served" not in metrics \
-                or "ikrq_request_latency_seconds_bucket" not in metrics \
-                or "ikrq_shard_search_latency_seconds_bucket" not in metrics:
-            print("smoke FAILED: /metrics missing expected series")
-            return 1
+        for series in ("ikrq_requests_total", "ikrq_shard_queries_served",
+                       "ikrq_request_latency_seconds_bucket",
+                       "ikrq_shard_search_latency_seconds_bucket",
+                       "ikrq_venue_active_generation", "ikrq_venues",
+                       f'venue="{swap_venue}"'):
+            if series not in metrics:
+                print(f"smoke FAILED: /metrics missing {series!r}")
+                return 1
     finally:
         server.shutdown()
     served = sum(
         int(line.rsplit(" ", 1)[1])
         for line in metrics.splitlines()
-        if line.startswith("ikrq_shard_queries_served"))
-    print(f"serve smoke ok: {len(cases)} queries byte-identical over HTTP, "
-          f"health={health['status']}, shards={health['shards']}, "
-          f"shard queries={served}, clean shutdown")
+        if line.startswith("ikrq_shard_queries_served{shard="))
+    print(f"serve smoke ok: {len(venues)} venue(s) x {len(cases)} queries "
+          f"byte-identical over HTTP (before and after a generation-2 "
+          f"hot-swap of {swap_venue!r}), health={health['status']}, "
+          f"shards={health['shards']}, shard queries={served}, "
+          f"clean shutdown")
     return 0
 
 
-def _cmd_serve(args) -> int:
-    from repro.serve import IKRQServer
+def _parse_venue_spec(text: str):
+    venue, sep, path = text.partition("=")
+    if not sep or not venue.strip() or not path.strip():
+        raise argparse.ArgumentTypeError(
+            f"--venue takes ID=PATH (e.g. mall-a=a.snap), got {text!r}")
+    return venue.strip(), path.strip()
 
-    snapshot_path, is_temporary = _resolve_snapshot(
-        args.path, out=args.snapshot, warm_matrix=args.warm_matrix)
+
+def _cmd_serve(args) -> int:
+    from repro.serve import DEFAULT_VENUE, IKRQServer, TenantQuota
+
+    specs = list(args.venues or [])
+    if args.path is not None:
+        specs.append((DEFAULT_VENUE, args.path))
+    if not specs:
+        raise SystemExit(
+            "serve needs a snapshot/venue file or at least one "
+            "--venue ID=PATH")
+    if len({venue for venue, _ in specs}) != len(specs):
+        raise SystemExit("duplicate venue ids in --venue/PATH arguments")
+    venues = {}
+    temporaries = []
     deadline_s = args.deadline_ms / 1000.0 if args.deadline_ms else None
+    default_quota = (TenantQuota(args.tenant_quota)
+                     if args.tenant_quota else None)
     try:
+        for venue, path in specs:
+            # A single positional path keeps the PR-2 behaviour of
+            # writing its baked snapshot to --snapshot.
+            out = args.snapshot if path == args.path else None
+            snapshot_path, is_temporary = _resolve_snapshot(
+                path, out=out, warm_matrix=args.warm_matrix)
+            venues[venue] = snapshot_path
+            if is_temporary:
+                temporaries.append(snapshot_path)
         server = IKRQServer(
-            snapshot_path, workers=args.workers, host=args.host,
+            venues=venues, workers=args.workers, host=args.host,
             port=args.port, max_pending=args.queue_depth,
-            deadline_s=deadline_s)
+            deadline_s=deadline_s, default_quota=default_quota)
         if args.smoke:
-            return _serve_smoke(server, snapshot_path)
+            return _serve_smoke(server, venues)
         host, port = server.address
-        print(f"serving {args.path} on http://{host}:{port} "
+        quota_note = (f", per-venue quota {args.tenant_quota}"
+                      if default_quota else "")
+        print(f"serving {len(venues)} venue(s) "
+              f"({', '.join(sorted(venues))}) on http://{host}:{port} "
               f"({args.workers} shard processes, queue depth "
-              f"{args.queue_depth}); POST /search, GET /healthz, "
-              f"GET /metrics")
+              f"{args.queue_depth}{quota_note}); POST /search, "
+              f"POST /ingest, GET /venues, GET /healthz, GET /metrics")
         try:
             server.serve_forever()
         except KeyboardInterrupt:
@@ -265,6 +349,38 @@ def _cmd_serve(args) -> int:
             server.shutdown()
             print("server stopped")
         return 0
+    finally:
+        for path in temporaries:
+            Path(path).unlink(missing_ok=True)
+
+
+def _cmd_ingest(args) -> int:
+    snapshot_path, is_temporary = _resolve_snapshot(
+        args.path, out=args.snapshot, warm_matrix=args.warm_matrix)
+    try:
+        if is_temporary and not args.wait:
+            raise SystemExit(
+                "--no-wait needs a durable snapshot file: pass a baked "
+                "snapshot, or --snapshot OUT to keep the baked file "
+                "until the server has loaded it")
+        response = _post_json(args.server.rstrip("/"), "/ingest",
+                              {"venue": args.venue,
+                               "snapshot": str(Path(snapshot_path).resolve()),
+                               "wait": args.wait})
+        status = response.get("status")
+        if status == "ok":
+            print(f"venue {args.venue!r} hot-swapped to generation "
+                  f"{response['generation']} "
+                  f"(load {response['load_seconds'] * 1000.0:.1f} ms, "
+                  f"drain {response['drain_seconds'] * 1000.0:.1f} ms, "
+                  f"swap {response['swap_seconds'] * 1000.0:.1f} ms)")
+            return 0
+        if status == "accepted":
+            print(f"ingest of venue {args.venue!r} accepted; the swap "
+                  f"runs in the background (watch GET /venues)")
+            return 0
+        print(f"ingest FAILED: {response}")
+        return 1
     finally:
         if is_temporary:
             Path(snapshot_path).unlink(missing_ok=True)
@@ -330,16 +446,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_snapshot)
 
     p = sub.add_parser(
-        "serve", help="sharded multi-process HTTP server for IKRQ traffic")
-    p.add_argument("path", help="venue JSON or serve snapshot file")
+        "serve", help="multi-venue sharded multi-process HTTP server "
+                      "for IKRQ traffic")
+    p.add_argument("path", nargs="?", default=None,
+                   help="venue JSON or serve snapshot file (hosted as "
+                        "venue 'default'); optional when --venue is given")
+    p.add_argument("--venue", dest="venues", action="append",
+                   type=_parse_venue_spec, metavar="ID=PATH",
+                   help="host venue ID from the given venue/snapshot "
+                        "file (repeatable)")
     p.add_argument("--workers", type=int, default=2,
-                   help="shard processes (each owns a QueryService)")
+                   help="shard processes (each hosts every venue behind "
+                        "its own QueryServices)")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8080,
                    help="TCP port (0 = ephemeral)")
     p.add_argument("--queue-depth", type=int, default=64,
                    help="admission cap on in-flight requests; beyond it "
                         "requests are shed with an 'overloaded' answer")
+    p.add_argument("--tenant-quota", type=int, default=0,
+                   help="per-venue cap on in-flight requests (0 = none); "
+                        "a venue at its quota is shed without touching "
+                        "other tenants' headroom")
     p.add_argument("--deadline-ms", type=float, default=0.0,
                    help="per-request deadline (0 = none)")
     p.add_argument("--snapshot", default=None,
@@ -348,9 +476,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--warm-matrix", action="store_true",
                    help="prebuild the KoE* door matrix before snapshotting")
     p.add_argument("--smoke", action="store_true",
-                   help="start, answer fig1 queries over HTTP, verify "
-                        "byte-identity and /metrics, then exit")
+                   help="start, answer fig1 queries over HTTP per venue, "
+                        "verify byte-identity across a hot-swap, /venues "
+                        "and /metrics, then exit")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "ingest", help="hot-swap a venue of a running server onto a new "
+                       "snapshot generation (zero downtime)")
+    p.add_argument("path", help="venue JSON or serve snapshot file")
+    p.add_argument("--venue", required=True,
+                   help="venue id to swap on the target server")
+    p.add_argument("--server", default="http://127.0.0.1:8080",
+                   help="base URL of the running repro serve instance")
+    p.add_argument("--snapshot", default=None,
+                   help="where to write the baked snapshot when PATH is "
+                        "a venue file (default: a temporary file)")
+    p.add_argument("--warm-matrix", action="store_true",
+                   help="prebuild the KoE* door matrix before snapshotting")
+    p.add_argument("--no-wait", dest="wait", action="store_false",
+                   help="return as soon as the server accepts the ingest "
+                        "instead of waiting for the swap to finish")
+    p.set_defaults(func=_cmd_ingest)
     return parser
 
 

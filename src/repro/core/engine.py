@@ -179,6 +179,10 @@ class IKRQEngine:
         #: changes no answer; it only stops sequential traffic from
         #: re-deriving the same frozensets query after query.
         self._door_iwords: Dict[int, frozenset] = {}
+        #: Its interned-bitmask mirror (door -> mask, -1 for a door
+        #: whose words cannot all be interned) — pure in the same
+        #: inputs, backing the route-word masks carried on routes.
+        self._door_iword_masks: Dict[int, int] = {}
         #: Engine-wide per-endpoint skeleton lower-bound maps (the
         #: ``|ps, d|L`` / ``|d, pt|L`` caches of Pruning Rules 1–4),
         #: LRU-bounded by endpoint.  The maps are pure in the space and
@@ -227,7 +231,8 @@ class IKRQEngine:
             workspace=workspace,
             qk=qk,
         )
-        ctx.share_caches(door_iwords=self._door_iwords)
+        ctx.share_caches(door_iwords=self._door_iwords,
+                         door_iword_masks=self._door_iword_masks)
         if endpoint_caches:
             ctx.share_caches(
                 lb_from_ps=self._endpoint_lb(self._lb_from_cache, query.ps),

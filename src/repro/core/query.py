@@ -152,6 +152,15 @@ class QueryContext:
         self._lb_to_pt: dict = {}
         self._lb_from_ps: dict = {}
         self._door_iwords: dict = {}
+        # Interned bitmask mirror of the door i-word sets (-1 marks a
+        # door whose words the index cannot intern exactly).  Routes
+        # built through this context carry the merged mask
+        # (Route.words_mask), so word merges are bitwise; the flag
+        # drops to False — for the whole query — the moment any item's
+        # mask is inexact, and the frozenset reference path takes over.
+        self._door_iword_masks: dict = {}
+        self._use_masks = (getattr(self.qk, "use_route_masks", False)
+                           and getattr(self.qk, "_mask_exact", False))
         # Endpoint attachment triples for the skeleton's precomputed-
         # heads fast path (array-native index only): ps/pt attach to
         # their floors' staircase doors exactly once per query instead
@@ -173,7 +182,8 @@ class QueryContext:
                      lb_to_pt: Optional[dict] = None,
                      door_iwords: Optional[dict] = None,
                      start_map: Optional[tuple] = None,
-                     terminal_attach: Optional[Dict[int, float]] = None) -> None:
+                     terminal_attach: Optional[Dict[int, float]] = None,
+                     door_iword_masks: Optional[dict] = None) -> None:
         """Adopt caches shared across queries by a batching layer.
 
         Every shared structure must hold exactly the values this
@@ -189,6 +199,8 @@ class QueryContext:
             self._lb_to_pt = lb_to_pt
         if door_iwords is not None:
             self._door_iwords = door_iwords
+        if door_iword_masks is not None:
+            self._door_iword_masks = door_iword_masks
         if start_map is not None:
             self._start_map = start_map
         if terminal_attach is not None:
@@ -274,14 +286,73 @@ class QueryContext:
         wi = self.kindex.p2i(self.space.host_partition(item).pid)
         return frozenset({wi}) if wi is not None else frozenset()
 
+    def item_words_and_mask(self, item: Item,
+                            ) -> Tuple[FrozenSet[str], Optional[int]]:
+        """``item_iwords(item)`` plus its interned bitmask.
+
+        The mask is ``None`` (and the context permanently falls back
+        to the frozenset merge path) when any of the item's words is
+        unknown to the intern table — the mask would then under-report
+        the set and a bitwise subset test could silently drop a word.
+        Door masks are cached (engine-wide when shared): like the
+        word sets themselves they are pure in the space and keyword
+        index.
+        """
+        words = self.item_iwords(item)
+        if not self._use_masks:
+            return words, None
+        if isinstance(item, int):
+            mask = self._door_iword_masks.get(item)
+            if mask is None:
+                mask = self.kindex.iword_mask(words)
+                if mask.bit_count() != len(words):
+                    mask = -1
+                self._door_iword_masks[item] = mask
+        else:
+            mask = self.kindex.iword_mask(words)
+            if mask.bit_count() != len(words):
+                mask = -1
+        if mask < 0:
+            self._use_masks = False
+            return words, None
+        return words, mask
+
     def _merge_words(self,
                      words: FrozenSet[str],
                      sims: Tuple[float, ...],
                      added: FrozenSet[str],
-                     ) -> Tuple[FrozenSet[str], Tuple[float, ...]]:
+                     route_mask: int = 0,
+                     added_mask: Optional[int] = None,
+                     ) -> Tuple[FrozenSet[str], Tuple[float, ...], int]:
+        """Merge an item's words into a route's ``(words, sims, mask)``.
+
+        With exact masks on both sides the no-new-words case — by far
+        the common one on the expansion hot path — is a single bitwise
+        subset test, and the new words' similarity hits are looked up
+        by interned id (:attr:`QueryKeywords.wid_hits`) instead of
+        re-interning strings.  Both paths compute identical words and
+        sims; the returned mask is 0 on the reference path.
+        """
+        if self._use_masks and added_mask is not None:
+            merged_mask = route_mask | added_mask
+            if merged_mask == route_mask:
+                return words, sims, route_mask
+            out = list(sims)
+            changed = False
+            wid_hits = self.qk.wid_hits
+            new_mask = added_mask & ~route_mask
+            while new_mask:
+                low = new_mask & -new_mask
+                for qi, s in wid_hits.get(low.bit_length() - 1, ()):
+                    if s > out[qi]:
+                        out[qi] = s
+                        changed = True
+                new_mask ^= low
+            return (words | added,
+                    tuple(out) if changed else sims, merged_mask)
         new = added - words
         if not new:
-            return words, sims
+            return words, sims, 0
         out = list(sims)
         changed = False
         for wi in new:
@@ -289,7 +360,7 @@ class QueryContext:
                 if s > out[qi]:
                     out[qi] = s
                     changed = True
-        return words | new, tuple(out) if changed else sims
+        return words | new, tuple(out) if changed else sims, 0
 
     # ------------------------------------------------------------------
     # Route construction
@@ -305,12 +376,13 @@ class QueryContext:
     def start_route(self) -> Route:
         """The initial route ``R0 = (ps)``."""
         ps = self.query.ps
-        words = self.item_iwords(ps)
+        added, added_mask = self.item_words_and_mask(ps)
         sims = (0.0,) * self.num_keywords
-        words, sims = self._merge_words(frozenset(), sims, words)
+        words, sims, mask = self._merge_words(
+            frozenset(), sims, added, 0, added_mask)
         return Route(items=(ps,), vias=(), distance=0.0,
                      words=words, sims=sims, door_counts={},
-                     kp=(self.v_ps,))
+                     kp=(self.v_ps,), words_mask=mask)
 
     def extend_to_door(self, route: Route, door: int, via: int) -> Optional[Route]:
         """Append ``door`` to ``route`` through partition ``via``.
@@ -325,10 +397,11 @@ class QueryContext:
             cost = self.oracle.pt2d(tail, door)
         if cost == INF:
             return None
-        words, sims = self._merge_words(
-            route.words, route.sims, self.item_iwords(door))
+        added, added_mask = self.item_words_and_mask(door)
+        words, sims, mask = self._merge_words(
+            route.words, route.sims, added, route.words_mask, added_mask)
         return route.extended(door, via, cost, words, sims,
-                              self._kp_after(route, via))
+                              self._kp_after(route, via), new_mask=mask)
 
     def extend_along_path(self,
                           route: Route,
@@ -342,6 +415,7 @@ class QueryContext:
         route distances stay consistent with :meth:`extend_to_door`.
         """
         words, sims = route.words, route.sims
+        mask = route.words_mask
         items = route.items
         via_seq = route.vias
         counts = dict(route.door_counts)
@@ -356,7 +430,9 @@ class QueryContext:
             else:
                 step = self.oracle.pt2d(prev, door)
             distance += step
-            words, sims = self._merge_words(words, sims, self.item_iwords(door))
+            added, added_mask = self.item_words_and_mask(door)
+            words, sims, mask = self._merge_words(
+                words, sims, added, mask, added_mask)
             items = items + (door,)
             via_seq = via_seq + (via,)
             counts[door] = counts.get(door, 0) + 1
@@ -365,7 +441,8 @@ class QueryContext:
                 kp = kp + (via,)
             prev = door
         return Route(items=items, vias=via_seq, distance=distance,
-                     words=words, sims=sims, door_counts=counts, kp=kp)
+                     words=words, sims=sims, door_counts=counts, kp=kp,
+                     words_mask=mask)
 
     def complete_route(self, route: Route) -> Optional[Route]:
         """Append the terminal point ``pt`` to a route ending at a door
@@ -379,10 +456,11 @@ class QueryContext:
             cost = self.oracle.item_distance(tail, pt)
         if cost == INF:
             return None
-        words, sims = self._merge_words(
-            route.words, route.sims, self.item_iwords(pt))
+        added, added_mask = self.item_words_and_mask(pt)
+        words, sims, mask = self._merge_words(
+            route.words, route.sims, added, route.words_mask, added_mask)
         return route.extended(pt, self.v_pt, cost, words, sims,
-                              route.kp + (self.v_pt,))
+                              route.kp + (self.v_pt,), new_mask=mask)
 
     # ------------------------------------------------------------------
     # Key partitions and ranking

@@ -54,6 +54,13 @@ class Route:
     #: the start partition, then keyword-covering partitions at first
     #: traversal, then (for complete routes) the terminal partition.
     kp: Tuple[int, ...] = ()
+    #: The interned-id bitmask mirror of ``words``, carried on the
+    #: route so word merges on the expansion hot path are bitwise ops
+    #: instead of frozenset algebra with per-string re-interning.
+    #: Derived state, excluded from equality: it is 0 whenever the
+    #: owning context runs the reference (mask-free) word path, and
+    #: exactly ``kindex.iword_mask(words)`` otherwise.
+    words_mask: int = field(default=0, compare=False)
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -155,7 +162,8 @@ class Route:
                  cost: float,
                  new_words: FrozenSet[str],
                  new_sims: Tuple[float, ...],
-                 new_kp: Tuple[int, ...]) -> "Route":
+                 new_kp: Tuple[int, ...],
+                 new_mask: int = 0) -> "Route":
         """A new route with ``item`` appended through partition ``via``."""
         counts = dict(self.door_counts)
         if isinstance(item, int):
@@ -168,6 +176,7 @@ class Route:
             sims=new_sims,
             door_counts=counts,
             kp=new_kp,
+            words_mask=new_mask,
         )
 
     # ------------------------------------------------------------------

@@ -110,6 +110,29 @@ def build_synth_mall(cfg: SynthMallConfig = SynthMallConfig(),
     return space, kindex
 
 
+def tenant_mall_configs(count: int,
+                        floors: int = 2,
+                        rooms_per_floor: int = 16,
+                        words_per_room: int = 4,
+                        seed: int = 7) -> Dict[str, SynthMallConfig]:
+    """A fleet of distinct synthetic tenants for the tenancy workload.
+
+    Returns ``venue id -> config``; each tenant derives its own corpus
+    and assignment seed (offset deterministically from the master
+    seed), so co-hosted venues answer *different* routes for the same
+    keyword traffic — exactly what the tenancy bench needs to catch a
+    cross-venue routing mix-up.
+    """
+    if count < 1:
+        raise ValueError("count must be at least 1")
+    return {
+        f"mall-{i:02d}": SynthMallConfig(
+            floors=floors, rooms_per_floor=rooms_per_floor,
+            words_per_room=words_per_room, seed=seed + 131 * i)
+        for i in range(count)
+    }
+
+
 def mall_stats(space: IndoorSpace, kindex: KeywordIndex) -> Dict[str, float]:
     """Headline size numbers for bench entries and logs."""
     kstats = kindex.stats()

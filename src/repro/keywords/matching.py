@@ -102,6 +102,13 @@ class QueryKeywords:
     #: set-algebra implementation while sharing everything else.
     _candidates = staticmethod(candidate_iword_set)
 
+    #: Whether query contexts may carry route-word *bitmasks* on the
+    #: routes they build and merge words bitwise (see
+    #: :attr:`wid_hits`).  The reference core overrides this to keep
+    #: measuring the frozenset algebra; either path yields identical
+    #: words and similarities.
+    use_route_masks = True
+
     def __init__(self,
                  index: KeywordIndex,
                  words: Sequence[str],
@@ -124,6 +131,18 @@ class QueryKeywords:
             for entry in entries:
                 self._iword_hits.setdefault(entry.iword, []).append(
                     (qi, entry.similarity))
+
+        #: The same inverted index keyed by interned i-word id — the
+        #: lookup behind mask-carried route-word merges (a route's new
+        #: words arrive as set bits, not strings, so the hot path
+        #: skips re-interning entirely).  Words the index cannot
+        #: intern simply have no entry; the ``_mask_exact`` flag below
+        #: already disables the mask path for such vocabularies.
+        self.wid_hits: Dict[int, List[Tuple[int, float]]] = {}
+        for iword, hits in self._iword_hits.items():
+            wid = index.iword_id(iword)
+            if wid is not None:
+                self.wid_hits[wid] = hits
 
         # Bitmask mirror: per query position, the candidate i-word
         # masks grouped by similarity in descending order — the best

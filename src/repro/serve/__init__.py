@@ -1,33 +1,43 @@
-"""Sharded multi-process IKRQ serving.
+"""Multi-venue sharded multi-process IKRQ serving.
 
 The serve subsystem is the traffic-facing layer above
 :class:`~repro.core.engine.QueryService`.  PR 1's threaded service is
 capped by the GIL on the CPU-bound Dijkstra/expansion hot path; this
-package beats that cap with worker *processes*:
+package beats that cap with worker *processes*, and hosts **many
+venues** (malls, airports, hospitals) in one fleet:
 
 * :mod:`repro.serve.snapshot` — a versioned on-disk bundle persisting
   the venue **and** its built indexes (CSR door graph, skeleton δs2s,
   warm KoE* door-matrix rows, an advisory prime table) so a worker
   cold-starts without rebuilding anything,
-* :mod:`repro.serve.pool` — a pool of shard processes, each loading
-  the snapshot and running its own ``QueryService``, plus a dispatcher
-  that routes requests by ``(ps, pt)``-affinity hashing (keeping each
-  shard's per-endpoint/keyword/answer LRUs hot) behind an admission
-  controller that sheds load with explicit ``overloaded`` answers,
+* :mod:`repro.serve.registry` — the tenancy control plane: per-venue
+  versioned snapshot generations with an atomic active-generation
+  flip and the drain barrier behind zero-downtime hot-swaps,
+* :mod:`repro.serve.pool` — a pool of shard processes, each hosting
+  every venue's engines behind its own ``QueryService``s, plus a
+  dispatcher that routes requests by ``(venue, ps, pt)``-affinity
+  hashing (keeping each shard's per-endpoint/keyword/answer LRUs hot)
+  behind a tenant-aware admission controller (pool-wide queue depth +
+  per-venue quotas) that sheds load with explicit ``overloaded``
+  answers, and the ``ingest`` hot-swap sequence,
 * :mod:`repro.serve.metrics` — counters and latency histograms
-  rendered in Prometheus text format,
+  rendered in Prometheus text format (venue-labelled),
 * :mod:`repro.serve.server` — a stdlib ``http.server`` surface
-  (``POST /search``, ``GET /healthz``, ``GET /metrics``) wired to the
-  dispatcher, reachable as ``python -m repro serve``.
+  (``POST /search``, ``POST /ingest``, ``GET /venues``,
+  ``GET /healthz``, ``GET /metrics``) wired to the dispatcher,
+  reachable as ``python -m repro serve`` / ``python -m repro ingest``.
 
 Results are byte-identical to sequential ``IKRQEngine.search`` — the
 wire format (:mod:`repro.serve.wire`) and every shared cache only move
-values the per-query evaluation would compute itself.
+values the per-query evaluation would compute itself, and a hot-swap
+never blends generations within one answer.
 """
 
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.pool import (AdmissionController, ShardDispatcher,
-                              ShardPool, shard_for)
+                              ShardPool, TenantQuota, shard_for)
+from repro.serve.registry import (DEFAULT_VENUE, Generation,
+                                  SnapshotRegistry)
 from repro.serve.server import IKRQServer
 from repro.serve.snapshot import (BINARY_MAGIC, SNAPSHOT_FORMAT,
                                   SNAPSHOT_VERSION, SNAPSHOT_VERSION_BINARY,
@@ -42,6 +52,8 @@ from repro.serve.wire import (answer_to_wire, canonical_json,
 __all__ = [
     "AdmissionController",
     "BINARY_MAGIC",
+    "DEFAULT_VENUE",
+    "Generation",
     "IKRQServer",
     "MetricsRegistry",
     "SNAPSHOT_FORMAT",
@@ -49,6 +61,8 @@ __all__ = [
     "SNAPSHOT_VERSION_BINARY",
     "ShardDispatcher",
     "ShardPool",
+    "SnapshotRegistry",
+    "TenantQuota",
     "answer_to_wire",
     "canonical_json",
     "engine_from_snapshot",

@@ -2,10 +2,13 @@
 
 A deliberately small, stdlib-only metrics registry rendering the
 Prometheus text exposition format.  The dispatcher records
-request/shed/latency metrics directly; per-shard ``QueryService``
-counters arrive as atomic snapshots over the control channel and are
-published as gauges labelled by shard, so one ``GET /metrics`` scrape
-shows the whole pool.
+request/shed/ingest/latency metrics directly, labelled by **venue**
+(the tenant id) so per-tenant traffic, shedding and hot-swap latency
+read off one scrape; per-shard ``QueryService`` counters arrive as
+atomic snapshots over the control channel and are published as gauges
+labelled by shard — and additionally by ``venue`` and snapshot
+``generation`` for the per-tenant breakdown.  See
+``docs/serving.md`` for the full series reference.
 """
 
 from __future__ import annotations
@@ -99,6 +102,19 @@ class MetricsRegistry:
     def counter_value(self, name: str, **labels) -> float:
         with self._lock:
             return self._counters.get(_key(name, labels), 0.0)
+
+    def drop_gauges(self, label: str) -> None:
+        """Remove every gauge series carrying label key ``label``.
+
+        Scrape-time refreshed gauge families whose label sets come and
+        go (per-``generation`` shard gauges: a hot-swap retires the old
+        generation) call this before re-publishing, so retired series
+        stop rendering instead of freezing at their last value forever.
+        """
+        with self._lock:
+            self._gauges = {
+                key: value for key, value in self._gauges.items()
+                if not any(k == label for k, _ in key[1])}
 
     def merge_gauges(self, values: Mapping[str, float], **labels) -> None:
         """Publish a mapping of values as like-named gauges at once."""

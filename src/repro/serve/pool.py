@@ -1,19 +1,32 @@
-"""Shard-process pool, affinity dispatcher and admission control.
+"""Multi-venue shard-process pool, tenant dispatcher and admission.
 
 Each shard is a worker *process* (beating the GIL on the CPU-bound
-search hot path) that loads the index snapshot once and then serves
-requests over a multiprocessing queue through its own
-:class:`~repro.core.engine.QueryService`.  The dispatcher routes every
-request to the shard owned by its ``(ps, pt)`` endpoint hash, so the
-per-endpoint attachment maps, keyword conversions and answer LRUs of
-one endpoint always land on the same warm shard.
+search hot path) that loads index snapshots for **every hosted venue**
+and serves requests over a multiprocessing queue, one
+:class:`~repro.core.engine.QueryService` per loaded ``(venue,
+generation)``.  The dispatcher routes every request to the shard owned
+by its ``(venue, ps, pt)`` hash, so the per-endpoint attachment maps,
+keyword conversions and answer LRUs of one venue's endpoint always
+land on the same warm shard.
 
-Admission control is explicit: at most ``max_pending`` requests may be
-in flight across the pool; anything beyond that is *shed* immediately
-with an ``{"status": "overloaded"}`` answer instead of queueing into a
-latency collapse.  Requests may additionally carry a wall-clock
-deadline — a shard that dequeues an already-expired request answers
-``expired`` without evaluating it.
+Venues are dynamic: :meth:`ShardPool.load` broadcasts a new snapshot
+generation into every shard, :meth:`ShardPool.evict` drops one, and
+:meth:`ShardDispatcher.ingest` composes the two with the
+:class:`~repro.serve.registry.SnapshotRegistry` into a zero-downtime
+hot-swap — load everywhere, atomically flip the active generation,
+drain in-flight requests off the old generation, evict it.  A request
+resolves its generation exactly once, at admission, so every answer
+comes from exactly one generation and stays byte-identical to a
+sequential ``engine.search`` on that snapshot.
+
+Admission control is explicit and tenant-aware: at most
+``max_pending`` requests may be in flight across the pool, and each
+venue may carry a quota capping *its* in-flight share — anything
+beyond either bound is *shed* immediately with an
+``{"status": "overloaded"}`` answer instead of queueing into a latency
+collapse, and one noisy venue cannot starve the rest.  Requests may
+additionally carry a wall-clock deadline — a shard that dequeues an
+already-expired request answers ``expired`` without evaluating it.
 """
 
 from __future__ import annotations
@@ -22,8 +35,10 @@ import multiprocessing
 import threading
 import time
 import zlib
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.serve.registry import (DEFAULT_VENUE, Generation,
+                                  SnapshotRegistry)
 from repro.serve.wire import answer_to_wire, query_from_wire
 
 #: Extra seconds the dispatcher waits past a request deadline before
@@ -34,16 +49,22 @@ _DEADLINE_GRACE = 2.0
 _DEFAULT_RPC_TIMEOUT = 300.0
 
 
-def shard_for(ps: Sequence[float], pt: Sequence[float], shards: int) -> int:
-    """The shard owning endpoint pair ``(ps, pt)`` (wire triples).
+def shard_for(ps: Sequence[float],
+              pt: Sequence[float],
+              shards: int,
+              venue: str = DEFAULT_VENUE) -> int:
+    """The shard owning ``(venue, ps, pt)`` (wire triples).
 
     Stable across processes and runs (CRC32 of the canonical repr, not
-    ``hash()``), so repeated traffic for one endpoint pair always hits
-    the same shard's warm caches.
+    ``hash()``), so repeated traffic for one venue's endpoint pair
+    always hits the same shard's warm caches; including the venue
+    spreads the hot endpoints of co-hosted tenants over different
+    shards.
     """
     if shards < 1:
         raise ValueError("shards must be at least 1")
-    key = repr((tuple(float(v) for v in ps), tuple(float(v) for v in pt)))
+    key = repr((venue, tuple(float(v) for v in ps),
+                tuple(float(v) for v in pt)))
     return zlib.crc32(key.encode("utf-8")) % shards
 
 
@@ -51,28 +72,46 @@ def shard_for(ps: Sequence[float], pt: Sequence[float], shards: int) -> int:
 # Worker process
 # ----------------------------------------------------------------------
 def _shard_worker(shard_id: int,
-                  snapshot_path: str,
+                  initial: Dict[str, Tuple[int, str]],
                   requests,
                   responses,
                   options: Dict) -> None:
-    """Entry point of one shard process."""
+    """Entry point of one shard process.
+
+    ``initial`` maps venue id to ``(generation, snapshot_path)``; the
+    worker loads every entry before reporting ready, then serves
+    ``search`` / ``load`` / ``evict`` / ``stats`` messages until
+    shutdown.  The worker is single-threaded by design: a ``load``
+    occupies the shard for the (millisecond) snapshot adoption and the
+    engine map never races.
+    """
     from repro.core.engine import QueryService
     from repro.serve.snapshot import load_snapshot
     from repro.space.graph import DoorGraph
     from repro.space.skeleton import SkeletonIndex
 
-    try:
-        engine = load_snapshot(snapshot_path)
-        service = QueryService(
+    services: Dict[Tuple[str, int], "QueryService"] = {}
+
+    def _load(venue: str, generation: int, path: str) -> float:
+        started = time.perf_counter()
+        engine = load_snapshot(path)
+        services[(venue, generation)] = QueryService(
             engine, workers=1,
             point_map_capacity=options.get("point_map_capacity", 128),
             keyword_cache_capacity=options.get("keyword_cache_capacity", 512),
             answer_cache_capacity=options.get("answer_cache_capacity", 1024))
+        return time.perf_counter() - started
+
+    try:
+        for venue in sorted(initial):
+            generation, path = initial[venue]
+            _load(venue, generation, path)
     except Exception as exc:  # startup failure: report, don't hang
         responses.put({"kind": "ready", "shard": shard_id,
                        "error": repr(exc)})
         return
     responses.put({"kind": "ready", "shard": shard_id,
+                   "venues": sorted(initial),
                    "csr_builds": DoorGraph.csr_builds,
                    "s2s_builds": SkeletonIndex.s2s_builds})
     allow_sleep = bool(options.get("allow_sleep"))
@@ -82,10 +121,45 @@ def _shard_worker(shard_id: int,
             break
         req_id = msg.get("id")
         base = {"kind": "response", "id": req_id, "shard": shard_id}
-        if msg.get("kind") == "stats":
-            snap = service.stats_snapshot()
+        kind = msg.get("kind")
+        if kind == "stats":
+            venue_stats = []
+            aggregate: Dict[str, int] = {}
+            for (venue, generation), service in sorted(services.items()):
+                snap = service.stats_snapshot().as_dict()
+                venue_stats.append({"venue": venue,
+                                    "generation": generation,
+                                    "stats": snap})
+                for name, value in snap.items():
+                    aggregate[name] = aggregate.get(name, 0) + value
+            responses.put({**base, "status": "ok", "stats": aggregate,
+                           "venue_stats": venue_stats})
+            continue
+        if kind == "load":
+            try:
+                seconds = _load(msg["venue"], msg["generation"], msg["path"])
+                responses.put({**base, "status": "ok",
+                               "venue": msg["venue"],
+                               "generation": msg["generation"],
+                               "load_seconds": seconds})
+            except Exception as exc:
+                responses.put({**base, "status": "error",
+                               "error": repr(exc)})
+            continue
+        if kind == "evict":
+            dropped = services.pop(
+                (msg.get("venue"), msg.get("generation")), None)
             responses.put({**base, "status": "ok",
-                           "stats": snap.as_dict()})
+                           "evicted": dropped is not None})
+            continue
+        # -------------------------------------------------- search
+        venue = msg.get("venue", DEFAULT_VENUE)
+        generation = msg.get("generation")
+        base["venue"] = venue
+        base["generation"] = generation
+        service = services.get((venue, generation))
+        if service is None:
+            responses.put({**base, "status": "unknown_venue"})
             continue
         started = time.perf_counter()
         try:
@@ -119,36 +193,61 @@ class _PendingSlot:
         self.response: Optional[Dict] = None
 
 
+def _normalise_venues(snapshot_path: Optional[str],
+                      venues: Optional[Mapping[str, str]]) -> Dict[str, str]:
+    initial: Dict[str, str] = {str(v): str(p)
+                               for v, p in (venues or {}).items()}
+    if snapshot_path is not None:
+        initial.setdefault(DEFAULT_VENUE, str(snapshot_path))
+    if not initial:
+        raise ValueError(
+            "a shard pool needs a snapshot_path or a venues mapping")
+    return initial
+
+
 class ShardPool:
-    """A pool of shard processes serving one snapshot.
+    """A pool of shard processes serving one or many venues.
 
     The pool owns the request queue of every shard, one shared
     response queue, and a router thread matching responses back to
     blocked callers by request id.  ``call`` is the low-level blocking
-    RPC; routing policy and admission control live in
+    RPC, ``broadcast`` fans one control message over every shard;
+    routing policy, tenancy and admission control live in
     :class:`ShardDispatcher`.
+
+    ``ShardPool(path, shards=2)`` keeps the single-tenant shape — the
+    snapshot is hosted as venue ``"default"`` at generation 1.
+    Multi-tenant pools pass ``venues={"mall-a": path_a, ...}`` instead
+    (or additionally).
     """
 
     def __init__(self,
-                 snapshot_path: str,
+                 snapshot_path: Optional[str] = None,
                  shards: int = 2,
                  service_options: Optional[Dict] = None,
                  allow_sleep: bool = False,
                  start_timeout: float = 120.0,
-                 mp_context: Optional[str] = None) -> None:
+                 mp_context: Optional[str] = None,
+                 venues: Optional[Mapping[str, str]] = None) -> None:
         if shards < 1:
             raise ValueError("shards must be at least 1")
         ctx = multiprocessing.get_context(mp_context)
-        self.snapshot_path = str(snapshot_path)
+        #: Initial venue -> snapshot path map (all at generation 1).
+        self.initial_venues: Dict[str, str] = _normalise_venues(
+            snapshot_path, venues)
+        self.snapshot_path = (str(snapshot_path)
+                              if snapshot_path is not None else None)
         self.shards = shards
         options = dict(service_options or {})
         options["allow_sleep"] = allow_sleep
+        initial = {venue: (1, path)
+                   for venue, path in self.initial_venues.items()}
         self._requests = [ctx.Queue() for _ in range(shards)]
         self._responses = ctx.Queue()
         self._procs = [
             ctx.Process(
                 target=_shard_worker,
-                args=(i, self.snapshot_path, self._requests[i],
+                args=(i, initial, self._requests[i],
                       self._responses, options),
                 daemon=True, name=f"ikrq-shard-{i}")
             for i in range(shards)
@@ -205,6 +304,14 @@ class ShardPool:
                 slot.event.set()
             # A response whose caller timed out is dropped.
 
+    def _register_slot(self) -> Tuple[int, _PendingSlot]:
+        slot = _PendingSlot()
+        with self._lock:
+            self._next_id += 1
+            req_id = self._next_id
+            self._pending[req_id] = slot
+        return req_id, slot
+
     def call(self,
              shard: int,
              payload: Dict,
@@ -216,11 +323,7 @@ class ShardPool:
         """
         if self._closed:
             raise RuntimeError("shard pool is closed")
-        slot = _PendingSlot()
-        with self._lock:
-            self._next_id += 1
-            req_id = self._next_id
-            self._pending[req_id] = slot
+        req_id, slot = self._register_slot()
         payload = dict(payload)
         payload["id"] = req_id
         self._requests[shard].put(payload)
@@ -231,10 +334,63 @@ class ShardPool:
             return {"status": "timeout", "id": req_id, "shard": shard}
         return slot.response or {"status": "error", "error": "empty response"}
 
+    def broadcast(self,
+                  payload: Dict,
+                  timeout: Optional[float] = None) -> List[Dict]:
+        """One control RPC to *every* shard, dispatched before any
+        waiting starts (the shards work concurrently); returns one
+        response document per shard, in shard order."""
+        if self._closed:
+            raise RuntimeError("shard pool is closed")
+        slots: List[Tuple[int, _PendingSlot]] = []
+        for shard in range(self.shards):
+            req_id, slot = self._register_slot()
+            doc = dict(payload)
+            doc["id"] = req_id
+            self._requests[shard].put(doc)
+            slots.append((req_id, slot))
+        wait_until = time.monotonic() + (timeout if timeout is not None
+                                         else _DEFAULT_RPC_TIMEOUT)
+        responses: List[Dict] = []
+        for shard, (req_id, slot) in enumerate(slots):
+            remaining = max(0.0, wait_until - time.monotonic())
+            if not slot.event.wait(remaining):
+                with self._lock:
+                    self._pending.pop(req_id, None)
+                responses.append({"status": "timeout", "id": req_id,
+                                  "shard": shard})
+                continue
+            responses.append(slot.response
+                             or {"status": "error",
+                                 "error": "empty response"})
+        return responses
+
+    # ------------------------------------------------------------------
+    # Venue control plane (used by ShardDispatcher.ingest)
+    # ------------------------------------------------------------------
+    def load(self,
+             venue: str,
+             generation: int,
+             path: Union[str, "object"],
+             timeout: float = 120.0) -> List[Dict]:
+        """Load snapshot ``path`` as ``venue``'s ``generation`` in every
+        shard; returns the per-shard load reports."""
+        return self.broadcast({"kind": "load", "venue": str(venue),
+                               "generation": int(generation),
+                               "path": str(path)}, timeout=timeout)
+
+    def evict(self,
+              venue: str,
+              generation: int,
+              timeout: float = 30.0) -> List[Dict]:
+        """Drop ``(venue, generation)`` from every shard."""
+        return self.broadcast({"kind": "evict", "venue": str(venue),
+                               "generation": int(generation)},
+                              timeout=timeout)
+
     def stats(self, timeout: float = 30.0) -> List[Dict]:
-        """One atomic :class:`ServiceStats` snapshot per shard."""
-        return [self.call(shard, {"kind": "stats"}, timeout=timeout)
-                for shard in range(self.shards)]
+        """One atomic stats snapshot per shard (aggregate + per venue)."""
+        return self.broadcast({"kind": "stats"}, timeout=timeout)
 
     # ------------------------------------------------------------------
     def close(self, join_timeout: float = 10.0) -> None:
@@ -279,60 +435,161 @@ class ShardPool:
 # ----------------------------------------------------------------------
 # Admission control + dispatch
 # ----------------------------------------------------------------------
-class AdmissionController:
-    """Bounded in-flight admission: admit or shed, never queue blindly."""
+class TenantQuota:
+    """Per-venue admission quota.
 
-    def __init__(self, max_pending: int) -> None:
+    ``max_in_flight`` caps the venue's simultaneous in-flight requests
+    (its share of the pool-wide queue depth); beyond it the venue's own
+    traffic is shed while other tenants keep being admitted.
+    """
+
+    __slots__ = ("max_in_flight",)
+
+    def __init__(self, max_in_flight: int) -> None:
+        if max_in_flight < 1:
+            raise ValueError("max_in_flight must be at least 1")
+        self.max_in_flight = max_in_flight
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TenantQuota(max_in_flight={self.max_in_flight})"
+
+
+class AdmissionController:
+    """Bounded in-flight admission: admit or shed, never queue blindly.
+
+    Two bounds compose: the pool-wide ``max_pending`` (total queue
+    depth) and an optional per-venue :class:`TenantQuota`.  A request
+    is admitted only when both hold; shed accounting is kept per venue
+    so the metrics show *who* is being noisy.
+    """
+
+    def __init__(self,
+                 max_pending: int,
+                 default_quota: Optional[TenantQuota] = None,
+                 quotas: Optional[Mapping[str, TenantQuota]] = None) -> None:
         if max_pending < 1:
             raise ValueError("max_pending must be at least 1")
         self.max_pending = max_pending
+        self.default_quota = default_quota
+        self._quotas: Dict[str, TenantQuota] = dict(quotas or {})
         self._lock = threading.Lock()
         self._in_flight = 0
         self.admitted = 0
         self.shed = 0
+        self._venue_in_flight: Dict[str, int] = {}
+        self._venue_admitted: Dict[str, int] = {}
+        self._venue_shed: Dict[str, int] = {}
 
-    def try_acquire(self) -> bool:
+    def set_quota(self, venue: str, quota: Optional[TenantQuota]) -> None:
+        """Install (or with ``None`` remove) a venue's quota."""
         with self._lock:
-            if self._in_flight >= self.max_pending:
+            if quota is None:
+                self._quotas.pop(venue, None)
+            else:
+                self._quotas[venue] = quota
+
+    def quota_for(self, venue: str) -> Optional[TenantQuota]:
+        with self._lock:
+            return self._quotas.get(venue, self.default_quota)
+
+    def try_acquire(self, venue: str = DEFAULT_VENUE) -> bool:
+        with self._lock:
+            quota = self._quotas.get(venue, self.default_quota)
+            venue_in_flight = self._venue_in_flight.get(venue, 0)
+            if (self._in_flight >= self.max_pending
+                    or (quota is not None
+                        and venue_in_flight >= quota.max_in_flight)):
                 self.shed += 1
+                self._venue_shed[venue] = self._venue_shed.get(venue, 0) + 1
                 return False
             self._in_flight += 1
             self.admitted += 1
+            self._venue_in_flight[venue] = venue_in_flight + 1
+            self._venue_admitted[venue] = (
+                self._venue_admitted.get(venue, 0) + 1)
             return True
 
-    def release(self) -> None:
+    def release(self, venue: str = DEFAULT_VENUE) -> None:
         with self._lock:
             self._in_flight -= 1
+            self._venue_in_flight[venue] = (
+                self._venue_in_flight.get(venue, 1) - 1)
 
     @property
     def in_flight(self) -> int:
         with self._lock:
             return self._in_flight
 
+    def venue_counters(self) -> Dict[str, Dict[str, int]]:
+        """Per-venue ``{in_flight, admitted, shed, max_in_flight}``."""
+        with self._lock:
+            venues = (set(self._venue_in_flight) | set(self._venue_shed)
+                      | set(self._quotas))
+            out: Dict[str, Dict[str, int]] = {}
+            for venue in sorted(venues):
+                quota = self._quotas.get(venue, self.default_quota)
+                out[venue] = {
+                    "in_flight": self._venue_in_flight.get(venue, 0),
+                    "admitted": self._venue_admitted.get(venue, 0),
+                    "shed": self._venue_shed.get(venue, 0),
+                    "max_in_flight": (quota.max_in_flight
+                                      if quota is not None else None),
+                }
+            return out
+
 
 class ShardDispatcher:
-    """Routes wire queries to shards; the serving front door.
+    """Routes wire queries to shards; the tenant-aware front door.
 
     ``submit`` is thread-safe (the HTTP layer calls it from many
     handler threads) and always returns a response document — results,
-    ``overloaded`` when admission sheds, ``expired``/``timeout`` when a
-    deadline passes, or ``error``/``bad_request``.
+    ``overloaded`` when admission sheds, ``unknown_venue`` for an
+    unhosted tenant, ``expired``/``timeout`` when a deadline passes, or
+    ``error``/``bad_request``.  Every request resolves its venue's
+    active snapshot generation exactly once, at admission, and the
+    response document carries ``venue`` and ``generation`` back.
+
+    ``ingest`` is the zero-downtime hot-swap entry point (see
+    :meth:`ingest`).
     """
 
     def __init__(self,
                  pool: ShardPool,
                  max_pending: int = 64,
                  deadline_s: Optional[float] = None,
-                 metrics=None) -> None:
+                 metrics=None,
+                 registry: Optional[SnapshotRegistry] = None,
+                 default_quota: Optional[TenantQuota] = None,
+                 quotas: Optional[Mapping[str, TenantQuota]] = None) -> None:
         self.pool = pool
-        self.admission = AdmissionController(max_pending)
+        self.admission = AdmissionController(
+            max_pending, default_quota=default_quota, quotas=quotas)
         self.deadline_s = deadline_s
         self.metrics = metrics
+        if registry is None:
+            registry = SnapshotRegistry()
+            for venue, path in pool.initial_venues.items():
+                gen = registry.add(venue, path)
+                registry.activate(venue, gen.generation)
+        self.registry = registry
+        self._ingest_lock = threading.Lock()
 
-    def _record(self, status: str, elapsed: Optional[float] = None) -> None:
+    def _venue_label(self, venue: str) -> str:
+        """The metrics label for a venue — hosted ids only.
+
+        Caller-supplied strings for venues we do not host must not
+        become label values: each distinct value would mint a new
+        counter series forever (unbounded registry growth and a
+        Prometheus label-cardinality explosion from garbage traffic).
+        """
+        return venue if self.registry.has_venue(venue) else "_unhosted_"
+
+    def _record(self, status: str, venue: str,
+                elapsed: Optional[float] = None) -> None:
         if self.metrics is None:
             return
-        self.metrics.inc("ikrq_requests_total", status=status)
+        self.metrics.inc("ikrq_requests_total", status=status,
+                         venue=self._venue_label(venue))
         if elapsed is not None:
             self.metrics.observe("ikrq_request_latency_seconds", elapsed)
 
@@ -340,29 +597,44 @@ class ShardDispatcher:
                query_doc: Dict,
                algorithm: str = "ToE",
                deadline_s: Optional[float] = None,
-               sleep: Optional[float] = None) -> Dict:
-        """Evaluate one wire query through its affinity shard."""
+               sleep: Optional[float] = None,
+               venue: Optional[str] = None) -> Dict:
+        """Evaluate one wire query through its venue's affinity shard."""
         started = time.perf_counter()
+        venue = DEFAULT_VENUE if venue is None else str(venue)
         if (not isinstance(query_doc, dict)
                 or "ps" not in query_doc or "pt" not in query_doc):
-            self._record("bad_request")
-            return {"status": "bad_request",
+            self._record("bad_request", venue)
+            return {"status": "bad_request", "venue": venue,
                     "error": "query must carry ps and pt"}
-        if not self.admission.try_acquire():
+        if not self.registry.has_venue(venue):
+            self._record("unknown_venue", venue)
+            return {"status": "unknown_venue", "venue": venue,
+                    "error": f"venue {venue!r} is not hosted here"}
+        if not self.admission.try_acquire(venue):
             if self.metrics is not None:
-                self.metrics.inc("ikrq_shed_total")
-            self._record("overloaded")
-            return {"status": "overloaded"}
+                self.metrics.inc("ikrq_shed_total", venue=venue)
+            self._record("overloaded", venue)
+            return {"status": "overloaded", "venue": venue}
+        generation: Optional[Generation] = None
         try:
             try:
+                generation = self.registry.acquire(venue)
+            except KeyError:
+                self._record("unknown_venue", venue)
+                return {"status": "unknown_venue", "venue": venue,
+                        "error": f"venue {venue!r} is not hosted here"}
+            try:
                 shard = shard_for(query_doc["ps"], query_doc["pt"],
-                                  self.pool.shards)
+                                  self.pool.shards, venue)
             except (TypeError, ValueError) as exc:
-                self._record("bad_request")
-                return {"status": "bad_request", "error": repr(exc)}
+                self._record("bad_request", venue)
+                return {"status": "bad_request", "venue": venue,
+                        "error": repr(exc)}
             limit = deadline_s if deadline_s is not None else self.deadline_s
             payload: Dict = {"kind": "search", "query": query_doc,
-                             "algorithm": algorithm}
+                             "algorithm": algorithm, "venue": venue,
+                             "generation": generation.generation}
             if limit is not None:
                 payload["deadline"] = time.time() + limit
             if sleep is not None:
@@ -377,9 +649,92 @@ class ShardDispatcher:
                 elapsed_shard = response.get("elapsed")
                 if elapsed_shard is not None:
                     self.metrics.observe("ikrq_shard_search_latency_seconds",
-                                         elapsed_shard, shard=shard)
-            self._record(response.get("status", "error"),
+                                         elapsed_shard, shard=shard,
+                                         venue=venue)
+            self._record(response.get("status", "error"), venue,
                          time.perf_counter() - started)
             return response
         finally:
-            self.admission.release()
+            if generation is not None:
+                self.registry.release(generation)
+            self.admission.release(venue)
+
+    # ------------------------------------------------------------------
+    # Hot swap
+    # ------------------------------------------------------------------
+    def ingest(self,
+               venue: str,
+               snapshot_path: str,
+               drain_timeout: float = 60.0,
+               load_timeout: float = 120.0) -> Dict:
+        """Load ``snapshot_path`` as ``venue``'s next generation and
+        hot-swap it in without dropping traffic.
+
+        The sequence (one ingest at a time; concurrent calls serialise):
+
+        1. register the next generation (state ``loading``),
+        2. broadcast the load into every shard — traffic keeps flowing
+           on the current generation while shards adopt the snapshot,
+        3. **atomically flip** the active generation in the registry —
+           from this instant every new request lands on the new
+           generation,
+        4. **drain barrier** — wait until requests in flight on the old
+           generation have all finished (they complete on the engines
+           they started on, so answers stay byte-identical throughout),
+        5. evict the old generation from every shard and retire it.
+
+        Returns a report with per-phase latencies; ``status`` is
+        ``"ok"`` or ``"error"`` (a load failure leaves the old
+        generation active and untouched — ingest is all-or-nothing).
+        """
+        venue = str(venue)
+        started = time.perf_counter()
+        with self._ingest_lock:
+            gen = self.registry.add(venue, snapshot_path)
+            load_started = time.perf_counter()
+            reports = self.pool.load(venue, gen.generation, snapshot_path,
+                                     timeout=load_timeout)
+            failed = [doc for doc in reports if doc.get("status") != "ok"]
+            if failed:
+                self.registry.fail(venue, gen.generation)
+                # Evict from every shard: the ones that *did* load the
+                # generation would otherwise hold its engines forever
+                # (numbers are never reused).  A shard still finishing
+                # a timed-out load processes the evict right after it,
+                # same queue, so nothing leaks there either.
+                self.pool.evict(venue, gen.generation)
+                if self.metrics is not None:
+                    self.metrics.inc("ikrq_ingest_total", venue=venue,
+                                     status="error")
+                return {"status": "error", "venue": venue,
+                        "generation": gen.generation,
+                        "error": f"{len(failed)} shard(s) failed to load: "
+                                 f"{failed[0].get('error', failed[0])}"}
+            load_seconds = time.perf_counter() - load_started
+            gen.load_seconds = load_seconds
+            previous = self.registry.activate(venue, gen.generation)
+            drain_started = time.perf_counter()
+            drained = True
+            if previous is not None:
+                drained = self.registry.drain(previous,
+                                              timeout=drain_timeout)
+                self.pool.evict(venue, previous.generation)
+                self.registry.retire(previous)
+            drain_seconds = time.perf_counter() - drain_started
+            swap_seconds = time.perf_counter() - started
+            if self.metrics is not None:
+                self.metrics.inc("ikrq_ingest_total", venue=venue,
+                                 status="ok")
+                self.metrics.observe("ikrq_swap_latency_seconds",
+                                     swap_seconds, venue=venue)
+            return {
+                "status": "ok",
+                "venue": venue,
+                "generation": gen.generation,
+                "previous_generation": (previous.generation
+                                        if previous is not None else None),
+                "load_seconds": load_seconds,
+                "drain_seconds": drain_seconds,
+                "swap_seconds": swap_seconds,
+                "drained": drained,
+            }

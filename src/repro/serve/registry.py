@@ -1,0 +1,231 @@
+"""Tenant-keyed versioned snapshot generations and the swap lifecycle.
+
+One server fleet hosts many venues (malls, airports, hospitals); the
+:class:`SnapshotRegistry` is the control-plane record of *which
+snapshot generation answers queries for which venue*.  Every venue
+owns a monotonically numbered sequence of generations, each pointing
+at one snapshot file, moving through a fixed lifecycle::
+
+    loading -> active -> draining -> retired
+        \\-> failed (load error; never activated)
+
+Exactly one generation per venue is ``active`` at a time.  The flip
+from one active generation to the next is **atomic** under the
+registry lock: :meth:`acquire` (called per request by the dispatcher)
+picks the active generation and increments its in-flight count in the
+same critical section, so a request observes either the old or the new
+generation, never a blend — and after :meth:`activate` returns, no new
+request can land on the old one.
+
+The old generation then *drains*: :meth:`drain` blocks until every
+request that acquired it has released, which is the barrier the
+hot-swap needs before evicting the old engines from the shard
+processes.  In-flight queries finish on the generation they started
+on; answers stay byte-identical throughout the swap.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional
+
+#: The venue id a single-tenant pool serves under.
+DEFAULT_VENUE = "default"
+
+#: Generation lifecycle states.
+STATES = ("loading", "active", "draining", "retired", "failed")
+
+
+class Generation:
+    """One loaded (or loading) snapshot generation of a venue.
+
+    Mutable state (``state``, ``in_flight``, timestamps) is guarded by
+    the owning registry's lock; treat instances as read-only outside
+    the registry.
+    """
+
+    __slots__ = ("venue", "generation", "path", "state", "in_flight",
+                 "created_unix", "activated_unix", "retired_unix",
+                 "load_seconds")
+
+    def __init__(self, venue: str, generation: int, path: str) -> None:
+        self.venue = venue
+        self.generation = generation
+        self.path = path
+        self.state = "loading"
+        self.in_flight = 0
+        self.created_unix = time.time()
+        self.activated_unix: Optional[float] = None
+        self.retired_unix: Optional[float] = None
+        self.load_seconds: Optional[float] = None
+
+    def as_dict(self) -> Dict:
+        """The ``/venues`` wire document of this generation."""
+        doc: Dict = {
+            "generation": self.generation,
+            "path": self.path,
+            "state": self.state,
+            "in_flight": self.in_flight,
+            "created_unix": round(self.created_unix, 3),
+        }
+        if self.activated_unix is not None:
+            doc["activated_unix"] = round(self.activated_unix, 3)
+        if self.retired_unix is not None:
+            doc["retired_unix"] = round(self.retired_unix, 3)
+        if self.load_seconds is not None:
+            doc["load_seconds"] = round(self.load_seconds, 6)
+        return doc
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Generation({self.venue!r}#{self.generation} "
+                f"{self.state}, in_flight={self.in_flight})")
+
+
+class SnapshotRegistry:
+    """Versioned snapshot generations per venue, with atomic flips.
+
+    Thread-safe; every mutation and every ``acquire``/``release`` pair
+    runs under one condition variable, which also backs the drain
+    barrier.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        #: venue -> generation number -> Generation, insertion-ordered.
+        self._generations: Dict[str, Dict[int, Generation]] = {}
+        #: venue -> active generation number.
+        self._active: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Registration and activation
+    # ------------------------------------------------------------------
+    def add(self, venue: str, path: str) -> Generation:
+        """Register the next generation of ``venue`` (state ``loading``).
+
+        The generation number is one above the venue's highest ever —
+        numbers are never reused, so log lines and metrics stay
+        unambiguous across repeated ingests.
+        """
+        if not venue or not isinstance(venue, str):
+            raise ValueError("venue id must be a non-empty string")
+        with self._cond:
+            gens = self._generations.setdefault(venue, {})
+            number = max(gens) + 1 if gens else 1
+            gen = Generation(venue, number, str(path))
+            gens[number] = gen
+            return gen
+
+    def activate(self, venue: str, generation: int) -> Optional[Generation]:
+        """Atomically make ``generation`` the venue's active one.
+
+        Returns the previously active generation (now ``draining``), or
+        ``None`` when the venue had no active generation yet.  After
+        this returns, every subsequent :meth:`acquire` lands on the new
+        generation.
+        """
+        with self._cond:
+            gen = self._generations[venue][generation]
+            if gen.state == "failed":
+                raise ValueError(
+                    f"cannot activate failed generation "
+                    f"{venue}#{generation}")
+            previous = None
+            active_number = self._active.get(venue)
+            if active_number is not None and active_number != generation:
+                previous = self._generations[venue][active_number]
+                previous.state = "draining"
+            gen.state = "active"
+            gen.activated_unix = time.time()
+            self._active[venue] = generation
+            self._cond.notify_all()
+            return previous
+
+    def fail(self, venue: str, generation: int) -> None:
+        """Mark a generation that never loaded everywhere as failed."""
+        with self._cond:
+            gen = self._generations[venue][generation]
+            gen.state = "failed"
+
+    def retire(self, gen: Generation) -> None:
+        """Mark a drained, evicted generation as retired."""
+        with self._cond:
+            gen.state = "retired"
+            gen.retired_unix = time.time()
+
+    # ------------------------------------------------------------------
+    # Request-path accounting (the drain barrier's two halves)
+    # ------------------------------------------------------------------
+    def acquire(self, venue: str) -> Generation:
+        """The venue's active generation, with its in-flight count
+        incremented — one atomic step, so a concurrent flip cannot slip
+        between the read and the increment.
+
+        Raises :class:`KeyError` for a venue with no active generation.
+        """
+        with self._cond:
+            number = self._active.get(venue)
+            if number is None:
+                raise KeyError(venue)
+            gen = self._generations[venue][number]
+            gen.in_flight += 1
+            return gen
+
+    def release(self, gen: Generation) -> None:
+        """Balance one :meth:`acquire`; wakes any drain waiter."""
+        with self._cond:
+            gen.in_flight -= 1
+            if gen.in_flight <= 0:
+                self._cond.notify_all()
+
+    def drain(self, gen: Generation, timeout: float = 60.0) -> bool:
+        """Block until every in-flight request on ``gen`` has released.
+
+        Returns ``False`` on timeout (the caller may still evict — a
+        straggler would then answer ``unknown_venue`` rather than serve
+        a mixed generation, preserving atomicity over availability).
+        """
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while gen.in_flight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._cond.wait(remaining)
+            return True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def venues(self) -> List[str]:
+        """Venue ids with at least one generation, sorted."""
+        with self._cond:
+            return sorted(self._generations)
+
+    def has_venue(self, venue: str) -> bool:
+        with self._cond:
+            return venue in self._active
+
+    def active_generation(self, venue: str) -> Optional[int]:
+        with self._cond:
+            return self._active.get(venue)
+
+    def active(self, venue: str) -> Optional[Generation]:
+        with self._cond:
+            number = self._active.get(venue)
+            if number is None:
+                return None
+            return self._generations[venue][number]
+
+    def describe(self) -> List[Dict]:
+        """The ``/venues`` payload: per venue, every known generation."""
+        with self._cond:
+            out = []
+            for venue in sorted(self._generations):
+                gens = self._generations[venue]
+                out.append({
+                    "venue": venue,
+                    "active_generation": self._active.get(venue),
+                    "generations": [gens[n].as_dict() for n in sorted(gens)],
+                })
+            return out

@@ -1,16 +1,28 @@
-"""The stdlib HTTP surface of the sharded IKRQ server.
+"""The stdlib HTTP surface of the multi-venue sharded IKRQ server.
 
 Endpoints:
 
-* ``POST /search`` — body ``{"query": {...wire query...},
-  "algorithm": "ToE", "deadline_s": 2.0}`` (the two last fields are
-  optional).  Answers the dispatcher's response document; HTTP status
-  maps the serving status (200 ok, 503 overloaded, 504
+* ``POST /search`` — body ``{"venue": "mall-a", "query": {...wire
+  query...}, "algorithm": "ToE", "deadline_s": 2.0}`` (all but
+  ``query`` optional; ``venue`` defaults to ``"default"``).  Answers
+  the dispatcher's response document — which carries the ``venue`` and
+  snapshot ``generation`` that served it; HTTP status maps the serving
+  status (200 ok, 404 unknown venue, 503 overloaded, 504
   expired/timeout, 400 bad request, 500 error).
-* ``GET /healthz`` — liveness: pool size and shard process health.
+* ``POST /ingest`` — body ``{"venue": "mall-a", "snapshot":
+  "/path/on/server.snap", "wait": true}``: load the snapshot as the
+  venue's next generation and hot-swap it in (see
+  :meth:`~repro.serve.pool.ShardDispatcher.ingest`).  ``wait: false``
+  returns ``accepted`` immediately and swaps in a background thread.
+* ``GET /venues`` — tenancy control plane: every hosted venue, its
+  generations and their lifecycle states, plus per-venue admission
+  counters and quotas.
+* ``GET /healthz`` — liveness: pool size, shard process health and
+  hosted venue count.
 * ``GET /metrics`` — Prometheus text: dispatcher counters/histograms
-  plus one fresh atomic stats snapshot per shard, published as
-  ``ikrq_shard_*`` gauges labelled by shard.
+  (labelled by venue) plus one fresh atomic stats snapshot per shard,
+  published as ``ikrq_shard_*`` gauges labelled by shard — and by
+  venue for the per-tenant breakdown.
 
 The handler threads only parse JSON and block on the dispatcher — all
 CPU-bound search work happens in the shard processes, so a
@@ -22,14 +34,17 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Optional, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 from repro.serve.metrics import MetricsRegistry
-from repro.serve.pool import ShardDispatcher, ShardPool
+from repro.serve.pool import ShardDispatcher, ShardPool, TenantQuota
+from repro.serve.snapshot import is_binary_snapshot, is_snapshot_document
 
 _STATUS_HTTP = {
     "ok": 200,
+    "accepted": 202,
     "bad_request": 400,
+    "unknown_venue": 404,
     "overloaded": 503,
     "expired": 504,
     "timeout": 504,
@@ -58,15 +73,51 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _read_body(self) -> Optional[Dict]:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            doc = json.loads(self.rfile.read(length) or b"{}")
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._send_json(400, {"status": "bad_request",
+                                  "error": repr(exc)})
+            return None
+        if not isinstance(doc, dict):
+            self._send_json(400, {"status": "bad_request",
+                                  "error": "request body must be a JSON "
+                                           "object"})
+            return None
+        return doc
+
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         if self.path == "/healthz":
-            pool = self.server.ikrq.pool
+            ikrq = self.server.ikrq
+            pool = ikrq.pool
             healthy = pool.alive()
             self._send_json(200 if healthy else 503, {
                 "status": "ok" if healthy else "degraded",
                 "shards": pool.shards,
+                "venues": len(ikrq.dispatcher.registry.venues()),
             })
+            return
+        if self.path == "/venues":
+            dispatcher = self.server.ikrq.dispatcher
+            counters = dispatcher.admission.venue_counters()
+            venues = []
+            for doc in dispatcher.registry.describe():
+                doc = dict(doc)
+                admission = counters.get(doc["venue"])
+                if admission is None:
+                    # No traffic yet: synthesise the venue's zeroed
+                    # counters so the quota is still visible.
+                    quota = dispatcher.admission.quota_for(doc["venue"])
+                    admission = {"in_flight": 0, "admitted": 0, "shed": 0,
+                                 "max_in_flight": (quota.max_in_flight
+                                                   if quota is not None
+                                                   else None)}
+                doc["admission"] = admission
+                venues.append(doc)
+            self._send_json(200, {"status": "ok", "venues": venues})
             return
         if self.path == "/metrics":
             self._send_text(200, self.server.ikrq.render_metrics(),
@@ -75,28 +126,30 @@ class _Handler(BaseHTTPRequestHandler):
         self._send_json(404, {"status": "not_found", "path": self.path})
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
-        if self.path != "/search":
-            self._send_json(404, {"status": "not_found", "path": self.path})
+        if self.path == "/search":
+            doc = self._read_body()
+            if doc is None:
+                return
+            response = self.server.ikrq.dispatcher.submit(
+                doc.get("query"),
+                algorithm=doc.get("algorithm", "ToE"),
+                deadline_s=doc.get("deadline_s"),
+                venue=doc.get("venue"))
+            response.pop("kind", None)
+            code = _STATUS_HTTP.get(response.get("status"), 500)
+            self._send_json(code, response)
             return
-        try:
-            length = int(self.headers.get("Content-Length", "0"))
-            doc = json.loads(self.rfile.read(length) or b"{}")
-        except (ValueError, json.JSONDecodeError) as exc:
-            self._send_json(400, {"status": "bad_request",
-                                  "error": repr(exc)})
+        if self.path == "/ingest":
+            doc = self._read_body()
+            if doc is None:
+                return
+            response = self.server.ikrq.ingest(
+                doc.get("venue"), doc.get("snapshot"),
+                wait=doc.get("wait", True))
+            code = _STATUS_HTTP.get(response.get("status"), 500)
+            self._send_json(code, response)
             return
-        if not isinstance(doc, dict):
-            self._send_json(400, {"status": "bad_request",
-                                  "error": "request body must be a JSON "
-                                           "object"})
-            return
-        response = self.server.ikrq.dispatcher.submit(
-            doc.get("query"),
-            algorithm=doc.get("algorithm", "ToE"),
-            deadline_s=doc.get("deadline_s"))
-        response.pop("kind", None)
-        code = _STATUS_HTTP.get(response.get("status"), 500)
-        self._send_json(code, response)
+        self._send_json(404, {"status": "not_found", "path": self.path})
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         pass  # the metrics endpoint replaces access logging
@@ -108,37 +161,99 @@ class _HTTPServer(ThreadingHTTPServer):
 
 
 class IKRQServer:
-    """Pool + dispatcher + HTTP front end, owned together.
+    """Pool + tenant dispatcher + HTTP front end, owned together.
 
-    Example::
+    Single tenant (the venue is hosted as ``"default"``)::
 
         server = IKRQServer(snapshot_path, workers=2)
+
+    Multi-tenant, with a per-venue admission quota::
+
+        server = IKRQServer(
+            venues={"mall-a": "a.snap", "airport-b": "b.snap"},
+            workers=4, max_pending=64,
+            default_quota=TenantQuota(max_in_flight=16))
         host, port = server.start()
-        ...  # POST /search against http://host:port
+        ...  # POST /search {"venue": "mall-a", ...}
+        server.ingest("mall-a", "a.v2.snap")   # zero-downtime swap
         server.shutdown()
     """
 
     def __init__(self,
-                 snapshot_path: str,
+                 snapshot_path: Optional[str] = None,
                  workers: int = 2,
                  host: str = "127.0.0.1",
                  port: int = 0,
                  max_pending: int = 64,
                  deadline_s: Optional[float] = None,
-                 service_options: Optional[Dict] = None) -> None:
+                 service_options: Optional[Dict] = None,
+                 venues: Optional[Mapping[str, str]] = None,
+                 default_quota: Optional[TenantQuota] = None,
+                 quotas: Optional[Mapping[str, TenantQuota]] = None) -> None:
         self.metrics = MetricsRegistry()
         self.pool = ShardPool(snapshot_path, shards=workers,
-                              service_options=service_options)
+                              service_options=service_options,
+                              venues=venues)
         self.dispatcher = ShardDispatcher(
             self.pool, max_pending=max_pending, deadline_s=deadline_s,
-            metrics=self.metrics)
+            metrics=self.metrics, default_quota=default_quota,
+            quotas=quotas)
         self._httpd = _HTTPServer((host, port), _Handler)
         self._httpd.ikrq = self
         self._thread: Optional[threading.Thread] = None
 
     # ------------------------------------------------------------------
+    # Ingest (the server-side half of ``repro ingest``)
+    # ------------------------------------------------------------------
+    def ingest(self,
+               venue: Optional[str],
+               snapshot_path: Optional[str],
+               wait: bool = True) -> Dict:
+        """Hot-swap ``venue`` onto ``snapshot_path``.
+
+        The path must name a snapshot file readable by the *server*
+        process (either encoding); it is validated before any shard is
+        touched.  ``wait=False`` runs the swap in a background thread
+        and answers ``accepted`` immediately — the generation number
+        is only allocated once the background ingest starts, so watch
+        ``GET /venues`` for the flip.
+        """
+        if not venue or not isinstance(venue, str):
+            return {"status": "bad_request",
+                    "error": "ingest needs a venue id"}
+        if not snapshot_path or not isinstance(snapshot_path, str):
+            return {"status": "bad_request",
+                    "error": "ingest needs a snapshot path"}
+        try:
+            if not is_binary_snapshot(snapshot_path):
+                with open(snapshot_path, "r", encoding="utf-8") as fh:
+                    if not is_snapshot_document(json.load(fh)):
+                        raise ValueError("not a snapshot document")
+        except (OSError, ValueError) as exc:
+            return {"status": "bad_request",
+                    "error": f"unreadable snapshot {snapshot_path!r}: "
+                             f"{exc!r}"}
+        if wait:
+            return self.dispatcher.ingest(venue, snapshot_path)
+        thread = threading.Thread(
+            target=self.dispatcher.ingest, args=(venue, snapshot_path),
+            daemon=True, name=f"ikrq-ingest-{venue}")
+        thread.start()
+        return {"status": "accepted", "venue": venue}
+
+    # ------------------------------------------------------------------
     def render_metrics(self) -> str:
-        """Dispatcher metrics plus a fresh per-shard stats scrape."""
+        """Dispatcher metrics plus a fresh per-shard stats scrape.
+
+        Aggregate per-shard gauges keep their PR-2 names
+        (``ikrq_shard_<counter>{shard=...}``); the per-tenant
+        breakdown adds a ``venue`` label, and registry/admission state
+        surfaces as ``ikrq_venue_*`` gauges.  Per-generation gauge
+        series are dropped and re-published on every scrape, so a
+        retired generation's rows disappear instead of rendering their
+        frozen final values forever.
+        """
+        self.metrics.drop_gauges("generation")
         for doc in self.pool.stats():
             if doc.get("status") != "ok":
                 continue
@@ -147,7 +262,31 @@ class IKRQServer:
                 {f"ikrq_shard_{name}": value
                  for name, value in doc.get("stats", {}).items()},
                 shard=shard)
+            for entry in doc.get("venue_stats", []):
+                self.metrics.merge_gauges(
+                    {f"ikrq_shard_{name}": value
+                     for name, value in entry.get("stats", {}).items()},
+                    shard=shard, venue=entry.get("venue"),
+                    generation=entry.get("generation"))
+        registry = self.dispatcher.registry
+        for venue in registry.venues():
+            active = registry.active_generation(venue)
+            if active is not None:
+                self.metrics.set_gauge("ikrq_venue_active_generation",
+                                       active, venue=venue)
+        for venue, counters in (
+                self.dispatcher.admission.venue_counters().items()):
+            self.metrics.set_gauge("ikrq_venue_in_flight",
+                                   counters["in_flight"], venue=venue)
+            self.metrics.set_gauge("ikrq_venue_shed_total",
+                                   counters["shed"], venue=venue)
+            if counters.get("max_in_flight") is not None:
+                self.metrics.set_gauge("ikrq_venue_quota_max_in_flight",
+                                       counters["max_in_flight"],
+                                       venue=venue)
         self.metrics.set_gauge("ikrq_shards", self.pool.shards)
+        self.metrics.set_gauge("ikrq_venues",
+                               len(registry.venues()))
         self.metrics.set_gauge(
             "ikrq_in_flight", self.dispatcher.admission.in_flight)
         return self.metrics.render()

@@ -12,6 +12,11 @@ A query document::
      "keywords": ["latte", "apple"], "k": 3,
      "alpha": 0.5, "tau": 0.2, "soft_slack": 0.0, "gamma": 0.0}
 
+The *venue* a query targets is not part of the query document — it is
+routing state, carried as a sibling field of the HTTP body
+(``{"venue": "mall-a", "query": {...}}``) and echoed back on the
+response together with the snapshot ``generation`` that served it.
+
 An answer document (the ``routes`` payload is what the byte-identity
 tests compare against a local ``engine.search``)::
 

@@ -83,9 +83,15 @@ def set_candidate_iword_set(index: KeywordIndex,
 
 
 class DictQueryKeywords(QueryKeywords):
-    """``QueryKeywords`` evaluated entirely through set algebra."""
+    """``QueryKeywords`` evaluated entirely through set algebra.
+
+    ``use_route_masks = False`` keeps contexts built over this class
+    on the frozenset word-merge path, so the scale bench measures the
+    pre-mask route algebra it retains.
+    """
 
     _candidates = staticmethod(set_candidate_iword_set)
+    use_route_masks = False
 
     def relevance_of_iword_set(self, iwords: Iterable[str]) -> float:
         sims = [0.0] * len(self.words)

@@ -1,0 +1,41 @@
+"""The docs tree: link integrity and checker mechanics."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_docs_links as checker  # noqa: E402
+
+
+class TestDocsTree:
+    def test_expected_pages_exist(self):
+        docs = REPO_ROOT / "docs"
+        for name in ("architecture.md", "serving.md", "snapshot-format.md"):
+            assert (docs / name).exists(), f"docs/{name} missing"
+
+    def test_no_dangling_links(self):
+        assert checker.check() == []
+
+
+class TestCheckerMechanics:
+    def test_slugging_matches_github(self):
+        assert checker._slug("Metrics reference (`GET /metrics`)") \
+            == "metrics-reference-get-metrics"
+        assert checker._slug("The layer stack") == "the-layer-stack"
+
+    def test_headings_skip_code_fences(self, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text("# Real\n```\n# not a heading\n```\n## Also real\n")
+        assert checker._headings(page) == {"real", "also-real"}
+
+    def test_links_found_and_code_spans_ignored(self, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text(
+            "See [a](other.md#real) and `[not](a-link.md)` and "
+            "[web](https://example.com).\n")
+        assert checker._links(page) == ["other.md#real",
+                                        "https://example.com"]

@@ -152,6 +152,15 @@ class TestMetrics:
         reg.merge_gauges({"shard_queries": 7}, shard=1)
         assert 'shard_queries{shard="1"} 7' in reg.render()
 
+    def test_drop_gauges_by_label_key(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("served", 3, shard=0, generation=1)
+        reg.set_gauge("served", 5, shard=0)
+        reg.drop_gauges("generation")
+        text = reg.render()
+        assert 'generation="1"' not in text
+        assert 'served{shard="0"} 5' in text
+
 
 # ----------------------------------------------------------------------
 # ServiceStats atomicity (satellite: thread-safe snapshotting)
@@ -257,7 +266,7 @@ class TestShardPool:
                     pytest.fail("slow request never admitted")
                 time.sleep(0.01)
             shed = dispatcher.submit(query_to_wire(queries[1]), "ToE")
-            assert shed == {"status": "overloaded"}
+            assert shed == {"status": "overloaded", "venue": "default"}
             assert dispatcher.admission.shed == 1
             thread.join()
             assert slow["response"]["status"] == "ok"
@@ -355,7 +364,7 @@ class TestHTTPServer:
         code, text = self._get(server, "/healthz")
         assert code == 200
         doc = json.loads(text)
-        assert doc == {"status": "ok", "shards": 2}
+        assert doc == {"status": "ok", "shards": 2, "venues": 1}
 
     def test_unknown_path_is_404(self, server):
         try:
@@ -368,10 +377,12 @@ class TestHTTPServer:
         self._post(server, {"query": query_to_wire(queries[0])})
         code, text = self._get(server, "/metrics")
         assert code == 200
-        assert 'ikrq_requests_total{status="ok"}' in text
+        assert 'ikrq_requests_total{status="ok",venue="default"}' in text
         assert "ikrq_request_latency_seconds_bucket" in text
         assert "ikrq_shard_queries_served" in text
         assert "ikrq_shards 2" in text
+        assert 'ikrq_venue_active_generation{venue="default"} 1' in text
+        assert "ikrq_venues 1" in text
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Markdown link checker for the docs tree (the CI docs job).
+
+Scans ``README.md`` and every ``docs/*.md`` file for inline markdown
+links and images, and fails on:
+
+* a relative link whose target file does not exist,
+* a fragment (``#anchor``) that matches no heading slug in the target
+  file (GitHub-style slugs: lowercased, punctuation stripped, spaces
+  to hyphens).
+
+External links (``http(s)://``, ``mailto:``) are not fetched — CI must
+not depend on the network — but a bare-looking scheme-less absolute
+path is still an error.  Run it locally::
+
+    python tools/check_docs_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Set
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline links/images: [text](target) — code spans are stripped first.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_CODE_SPAN = re.compile(r"`[^`]*`")
+_CODE_FENCE = re.compile(r"^(```|~~~)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+
+
+def _slug(heading: str) -> str:
+    """GitHub's anchor slug of a heading line."""
+    text = _CODE_SPAN.sub(lambda m: m.group(0).strip("`"), heading)
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return re.sub(r" ", "-", text)
+
+
+def _headings(path: Path) -> Set[str]:
+    slugs: Dict[str, int] = {}
+    out: Set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _CODE_FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING.match(line)
+        if not match:
+            continue
+        slug = _slug(match.group(1))
+        seen = slugs.get(slug, 0)
+        slugs[slug] = seen + 1
+        out.add(slug if seen == 0 else f"{slug}-{seen}")
+    return out
+
+
+def _links(path: Path) -> List[str]:
+    targets: List[str] = []
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _CODE_FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        stripped = _CODE_SPAN.sub("", line)
+        targets.extend(match.group(1) for match in _LINK.finditer(stripped))
+    return targets
+
+
+def check() -> List[str]:
+    files = [ROOT / "README.md"] + sorted((ROOT / "docs").glob("*.md"))
+    errors: List[str] = []
+    for source in files:
+        if not source.exists():
+            errors.append(f"{source.relative_to(ROOT)}: file missing")
+            continue
+        for target in _links(source):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            raw_path, _, fragment = target.partition("#")
+            dest = (source.parent / raw_path).resolve() if raw_path \
+                else source
+            rel = source.relative_to(ROOT)
+            if raw_path and not dest.exists():
+                errors.append(f"{rel}: dangling link -> {target}")
+                continue
+            if fragment:
+                if dest.suffix.lower() != ".md":
+                    continue
+                if fragment not in _headings(dest):
+                    errors.append(
+                        f"{rel}: no heading for anchor -> {target}")
+    return errors
+
+
+def main() -> int:
+    errors = check()
+    if errors:
+        print(f"docs link check FAILED ({len(errors)} problem(s)):")
+        for error in errors:
+            print(f"  {error}")
+        return 1
+    files = [ROOT / "README.md"] + sorted((ROOT / "docs").glob("*.md"))
+    links = sum(len(_links(f)) for f in files if f.exists())
+    print(f"docs link check ok: {len(files)} file(s), {links} link(s), "
+          f"no dangling references")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
