@@ -1,0 +1,30 @@
+#!/usr/bin/env python
+"""Shell entry point for the memory-tiering bench.
+
+Loads as many tenant engines as fit into a fixed resident-memory
+budget, first the classic way (every index buffer copied onto the
+heap), then with the memory tiers on (``mmap``-shared snapshot payload,
+a small resident door-matrix budget, disk-spilled cold rows), verifies
+byte-identity of every tiered answer, times spilled-row faults, and
+appends a tenants-per-budget entry to the ``BENCH_throughput.json``
+trajectory::
+
+    PYTHONPATH=src python benchmarks/bench_memory.py --floors 2
+    PYTHONPATH=src python benchmarks/bench_memory.py --smoke
+
+The measurement logic lives in :mod:`repro.bench.memory` (also
+reachable as ``python -m repro.bench memory``) so the CLI, the CI
+perf-smoke job and this script share one implementation.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench.memory import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -70,6 +70,9 @@ EXTRA_DESCRIPTIONS = {
     "tenancy": "multi-venue serving under fire: hammer N synthetic "
                "malls while hot-swapping one to a new snapshot "
                "generation (byte-identity, shed rate, swap latency)",
+    "memory": "tenants per memory budget with and without the memory "
+              "tiers (mmap-shared snapshots, disk-spilled matrix rows; "
+              "byte-identity + spilled-row fault latency)",
 }
 
 
@@ -140,6 +143,11 @@ def main(argv=None) -> int:
         # `python -m repro.bench tenancy --venues 4`.
         from repro.bench import tenancy as TN
         return TN.main(argv[1:])
+    if argv and argv[0] == "memory":
+        # And the memory-tiering bench (--budget-tenants, --smoke, ...):
+        # `python -m repro.bench memory --floors 2`.
+        from repro.bench import memory as M
+        return M.main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Reproduce the paper's evaluation figures.")
@@ -189,6 +197,9 @@ def main(argv=None) -> int:
     if "tenancy" in figures:
         parser.error("run the tenancy bench as its own command: "
                      "python -m repro.bench tenancy [--venues ...]")
+    if "memory" in figures:
+        parser.error("run the memory bench as its own command: "
+                     "python -m repro.bench memory [--budget-tenants ...]")
     unknown = [f for f in figures
                if f not in E.REGISTRY and f not in EXTRA_DESCRIPTIONS]
     if unknown:

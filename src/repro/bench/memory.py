@@ -1,0 +1,335 @@
+"""Tenants-per-box under a memory budget: the memory-tiering proof.
+
+``repro.bench memory`` measures what the mmap + spill + budget stack
+actually buys: **how many co-hosted tenants fit into a fixed amount of
+resident memory**, with answers that stay byte-identical to an eager
+single-tenant engine.  The workload:
+
+1. builds one deterministic synthetic mall, warms its KoE* door
+   matrix, and bakes a page-aligned binary (v2.1) snapshot,
+2. computes every expected answer on an eagerly loaded engine (the
+   byte-identity reference),
+3. **tiering off** — loads tenant engines the classic way (every
+   buffer copied onto the process heap) until the next tenant would
+   exceed the budget,
+4. **tiering on** — loads tenants with ``mmap=True`` (all tenants
+   share one page-cache copy of the typed-array payload), a small
+   resident door-matrix budget, and a disk spill tier for the evicted
+   rows, again until the budget is full,
+5. replays the query stream through tiered tenants (``KoE*`` so the
+   spill tier is actually exercised), verifying byte-identity and
+   timing individual spilled-row faults,
+6. appends one entry — tenants with/without tiering, the ratio,
+   identity flag, spill counters, fault-latency percentiles, observed
+   process RSS — to the ``BENCH_throughput.json`` trajectory.
+
+Accounting is structural, not sampled: a tenant's resident cost is the
+byte size of the typed index buffers it holds on the heap
+(:meth:`~repro.core.engine.IKRQEngine.memory_breakdown`), and the
+shared mapping is charged **once** — which is exactly how page cache
+behaves when N processes map one generation file.  Observed process
+RSS is recorded alongside for context (never gated: allocator reuse
+makes it noisy), and the Python-object overhead (venue model, interning
+dicts) is identical in both modes, so it cancels out of the ratio.
+
+Run it from the shell::
+
+    python -m repro.bench memory --floors 2 --budget-tenants 3
+    python -m repro.bench memory --smoke     # tiny CI self-check
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import os
+import tempfile
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.throughput import (DEFAULT_ARTIFACT, append_trajectory,
+                                    build_stream, latency_percentiles)
+from repro.core.engine import IKRQEngine, canonical_algorithm
+from repro.datasets.synth import SynthMallConfig, build_synth_mall, mall_stats
+from repro.serve import answer_to_wire, canonical_json, query_to_wire
+from repro.serve.pool import process_rss_bytes
+from repro.serve.snapshot import load_snapshot, save_snapshot
+
+
+def _tenant_heap_bytes(engine: IKRQEngine) -> int:
+    """The tenant's per-process resident share: heap buffer bytes."""
+    return engine.memory_breakdown()["heap_bytes"]
+
+
+def run_memory(floors: int = 2,
+               rooms_per_floor: int = 16,
+               words_per_room: int = 4,
+               seed: int = 7,
+               algorithm: str = "KoE*",
+               pool: int = 6,
+               repeat: int = 2,
+               warm_rows: Optional[int] = None,
+               matrix_budget: int = 2,
+               budget_tenants: int = 3,
+               max_tenants: int = 32,
+               identity_tenants: int = 2) -> Dict:
+    """The memory-tiering workload; returns one trajectory entry.
+
+    ``budget_tenants`` fixes the resident budget at that many *eager*
+    tenants' worth of buffer bytes (plus a sliver of headroom), so the
+    tiering-off phase fits exactly ``budget_tenants`` and the ratio
+    reads directly as "times more tenants per box".  ``matrix_budget``
+    caps resident door-matrix rows per tiered tenant; everything the
+    cap evicts goes to that tenant's spill file and faults back during
+    the identity replay.
+    """
+    algorithm = canonical_algorithm(algorithm)
+    config = SynthMallConfig(floors=floors,
+                             rooms_per_floor=rooms_per_floor,
+                             words_per_room=words_per_room, seed=seed)
+    space, kindex = build_synth_mall(config)
+    builder = IKRQEngine(space, kindex, door_matrix_eager=True)
+    builder.door_matrix()  # warm every row; the snapshot caps below
+
+    entry: Dict = {
+        "mode": "memory",
+        "algorithm": algorithm,
+        "venue": {"floors": floors, "rooms_per_floor": rooms_per_floor,
+                  "words_per_room": words_per_room, "seed": seed,
+                  **mall_stats(space, kindex)},
+    }
+    rss_start = process_rss_bytes()
+
+    with tempfile.TemporaryDirectory(prefix="repro-memory-") as tmp:
+        snapshot_path = os.path.join(tmp, "venue.snap.bin")
+        save_snapshot(snapshot_path, builder, binary=True,
+                      matrix_rows=warm_rows)
+        entry["snapshot_bytes"] = os.path.getsize(snapshot_path)
+
+        # The byte-identity reference: an eager load of the very file
+        # the tenants load, answering sequentially.
+        reference = load_snapshot(snapshot_path)
+        stream = build_stream(reference, pool=pool, repeat=repeat,
+                              endpoints=max(2, pool // 2), seed=seed)
+        distinct = list(dict.fromkeys(stream))
+        expected = {
+            canonical_json(query_to_wire(q)):
+                canonical_json(answer_to_wire(reference.search(q, algorithm)))
+            for q in distinct}
+
+        eager_bytes = _tenant_heap_bytes(reference)
+        budget = int(eager_bytes * budget_tenants + eager_bytes * 0.25)
+        entry["budget_bytes"] = budget
+        entry["per_tenant_eager_bytes"] = eager_bytes
+
+        # -------------------------------------------------- tiering off
+        eager_engines: List[IKRQEngine] = [reference]
+        resident = eager_bytes
+        while len(eager_engines) < max_tenants:
+            engine = load_snapshot(snapshot_path)
+            cost = _tenant_heap_bytes(engine)
+            if resident + cost > budget:
+                break
+            resident += cost
+            eager_engines.append(engine)
+        tenants_eager = len(eager_engines)
+        entry["resident_bytes_eager"] = resident
+        rss_eager = process_rss_bytes()
+        del eager_engines, reference
+        gc.collect()
+
+        # -------------------------------------------------- tiering on
+        tiered: List[IKRQEngine] = []
+        mapped_shared = 0
+        resident = 0
+        while len(tiered) < max_tenants:
+            engine = load_snapshot(
+                snapshot_path, mmap=True,
+                matrix_spill_path=os.path.join(tmp,
+                                               f"tenant{len(tiered)}.rows"),
+                matrix_max_rows=matrix_budget)
+            if not mapped_shared:
+                # One page-cache copy serves every tenant mapping the
+                # same generation file; charge it once.
+                mapped_shared = engine.mapped_bytes
+            cost = _tenant_heap_bytes(engine)
+            if mapped_shared + resident + cost > budget:
+                break
+            resident += cost
+            tiered.append(engine)
+        tenants_tiered = len(tiered)
+        entry["resident_bytes_tiered"] = mapped_shared + resident
+        entry["mapped_shared_bytes"] = mapped_shared
+        entry["per_tenant_tiered_bytes"] = (resident // tenants_tiered
+                                            if tenants_tiered else 0)
+        rss_tiered = process_rss_bytes()
+
+        # ------------------------------------------- identity + faults
+        mismatches = 0
+        checked = 0
+        spill_totals = {"spills": 0, "spill_hits": 0, "spill_misses": 0,
+                        "spilled_rows": 0, "spilled_bytes": 0,
+                        "evictions": 0}
+        fault_seconds: List[float] = []
+        check = tiered[:max(1, identity_tenants)]
+        for engine in check:
+            for query in distinct:
+                got = canonical_json(
+                    answer_to_wire(engine.search(query, algorithm)))
+                if got != expected[canonical_json(query_to_wire(query))]:
+                    mismatches += 1
+                checked += 1
+            matrix = engine._matrix
+            if matrix is not None:
+                # Time individual spilled-row faults through the public
+                # path: a distance() on a spilled, non-resident source
+                # must fault the row back from disk.
+                probe = engine.graph._door_ids[0]
+                spill = matrix._spill
+                sources = spill.sources() if spill is not None else []
+                for source in sources:
+                    with matrix._lock:
+                        resident_now = source in matrix._rows
+                    if resident_now:
+                        continue
+                    before = matrix.spill_hits
+                    started = time.perf_counter()
+                    matrix.distance(source, probe)
+                    elapsed = time.perf_counter() - started
+                    if matrix.spill_hits > before:
+                        fault_seconds.append(elapsed)
+                counters = matrix.memory_counters()
+                for name in spill_totals:
+                    spill_totals[name] += counters[name]
+
+    ratio = (tenants_tiered / tenants_eager) if tenants_eager else float("inf")
+    entry.update({
+        "tenants_eager": tenants_eager,
+        "tenants_tiered": tenants_tiered,
+        "tenant_ratio": ratio,
+        "identity_checks": {"tenants": len(check), "queries": checked,
+                            "mismatches": mismatches},
+        "verified_identical": mismatches == 0 and checked > 0,
+        "spill": spill_totals,
+        "fault_latency_ms": latency_percentiles(fault_seconds),
+        "faults_timed": len(fault_seconds),
+        "rss_bytes": {"start": rss_start, "after_eager": rss_eager,
+                      "after_tiered": rss_tiered},
+    })
+    return entry
+
+
+def format_memory_report(entry: Dict) -> str:
+    venue = entry["venue"]
+    spill = entry["spill"]
+    pct = entry.get("fault_latency_ms") or {}
+    lines = [
+        f"venue: floors={venue['floors']} rooms/floor="
+        f"{venue['rooms_per_floor']} doors={venue['doors']} "
+        f"algorithm={entry['algorithm']} "
+        f"snapshot={entry['snapshot_bytes']} B",
+        f"  budget     : {entry['budget_bytes']} B resident "
+        f"({entry['per_tenant_eager_bytes']} B/tenant eager, "
+        f"{entry['per_tenant_tiered_bytes']} B/tenant tiered + "
+        f"{entry['mapped_shared_bytes']} B mapped once)",
+        f"  tenants    : {entry['tenants_eager']} without tiering -> "
+        f"{entry['tenants_tiered']} with tiering "
+        f"({entry['tenant_ratio']:.1f}x)",
+        f"  spill tier : {spill['spills']} spilled, "
+        f"{spill['spill_hits']} faulted back, "
+        f"{spill['spilled_bytes']} B on disk; fault p50="
+        f"{pct.get('p50_ms', float('nan')):.3f} ms p95="
+        f"{pct.get('p95_ms', float('nan')):.3f} ms "
+        f"({entry['faults_timed']} timed)",
+        f"  identity   : {entry['identity_checks']['queries']} answers "
+        f"across {entry['identity_checks']['tenants']} tiered tenants, "
+        f"{entry['identity_checks']['mismatches']} mismatches "
+        f"(byte-identical={entry['verified_identical']})",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark resident tenants per memory budget with "
+                    "and without the mmap/spill/GC memory tiers.")
+    parser.add_argument("--floors", type=int, default=2)
+    parser.add_argument("--rooms-per-floor", type=int, default=16)
+    parser.add_argument("--words-per-room", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--algorithm", default="KoE*",
+                        help="KoE* exercises the door-matrix spill tier")
+    parser.add_argument("--pool", type=int, default=6,
+                        help="distinct queries in the identity stream")
+    parser.add_argument("--repeat", type=int, default=2)
+    parser.add_argument("--warm-rows", type=int, default=None,
+                        help="cap on warm matrix rows baked into the "
+                             "snapshot (default: all)")
+    parser.add_argument("--matrix-budget", type=int, default=2,
+                        help="resident door-matrix rows per tiered tenant")
+    parser.add_argument("--budget-tenants", type=int, default=3,
+                        help="memory budget, expressed in eager-tenant "
+                             "buffer footprints")
+    parser.add_argument("--max-tenants", type=int, default=32,
+                        help="hard cap on loaded tenants per phase")
+    parser.add_argument("--identity-tenants", type=int, default=2,
+                        help="tiered tenants to replay the full stream "
+                             "through for byte-identity")
+    parser.add_argument("--artifact", default=DEFAULT_ARTIFACT,
+                        help="trajectory JSON to append results to "
+                             "('' disables)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny CI run; fails on any identity "
+                             "mismatch, a tenant ratio below 2x, a zero "
+                             "spill count or a missing trajectory append")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        entry = run_memory(floors=1, rooms_per_floor=16, words_per_room=3,
+                           seed=args.seed, algorithm=args.algorithm,
+                           pool=4, repeat=1, warm_rows=8, matrix_budget=2,
+                           budget_tenants=2, max_tenants=12,
+                           identity_tenants=2)
+    else:
+        entry = run_memory(floors=args.floors,
+                           rooms_per_floor=args.rooms_per_floor,
+                           words_per_room=args.words_per_room,
+                           seed=args.seed, algorithm=args.algorithm,
+                           pool=args.pool, repeat=args.repeat,
+                           warm_rows=args.warm_rows,
+                           matrix_budget=args.matrix_budget,
+                           budget_tenants=args.budget_tenants,
+                           max_tenants=args.max_tenants,
+                           identity_tenants=args.identity_tenants)
+    print(format_memory_report(entry))
+    if args.artifact:
+        append_trajectory(args.artifact, entry)
+        print(f"trajectory appended to {args.artifact}")
+    ok = (entry["verified_identical"]
+          and entry["tenant_ratio"] >= 2.0
+          and entry["spill"]["spills"] > 0)
+    if args.smoke:
+        if not ok:
+            print("memory smoke FAILED: "
+                  f"identical={entry['verified_identical']} "
+                  f"ratio={entry['tenant_ratio']:.1f} "
+                  f"spills={entry['spill']['spills']}")
+            return 1
+        if not args.artifact:
+            print("memory smoke FAILED: --smoke verifies the trajectory "
+                  "append; do not pass --artifact ''")
+            return 1
+        print(f"memory smoke ok: {entry['tenants_tiered']} tiered vs "
+              f"{entry['tenants_eager']} eager tenants "
+              f"({entry['tenant_ratio']:.1f}x) in one budget, "
+              f"{entry['spill']['spill_hits']} spilled-row faults, "
+              f"answers byte-identical, trajectory at {args.artifact}")
+        return 0
+    # Identity and the >=2x tenant ratio gate the exit code; latencies
+    # are recorded, never judged (shared CI runners are noisy).
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via wrapper
+    import sys
+    sys.exit(main())

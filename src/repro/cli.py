@@ -330,7 +330,11 @@ def _cmd_serve(args) -> int:
         server = IKRQServer(
             venues=venues, workers=args.workers, host=args.host,
             port=args.port, max_pending=args.queue_depth,
-            deadline_s=deadline_s, default_quota=default_quota)
+            deadline_s=deadline_s, default_quota=default_quota,
+            mmap_snapshots=args.mmap,
+            matrix_spill_dir=args.matrix_spill,
+            matrix_max_rows=args.matrix_budget,
+            gc_keep_last=args.gc_keep)
         if args.smoke:
             return _serve_smoke(server, venues)
         host, port = server.address
@@ -475,6 +479,23 @@ def build_parser() -> argparse.ArgumentParser:
                         "a venue file (default: a temporary file)")
     p.add_argument("--warm-matrix", action="store_true",
                    help="prebuild the KoE* door matrix before snapshotting")
+    p.add_argument("--mmap", action="store_true",
+                   help="memory-tier: mmap aligned binary (v2.1) "
+                        "snapshots so all shard processes share one "
+                        "page-cache copy of each generation's payload")
+    p.add_argument("--matrix-spill", default=None, metavar="DIR",
+                   help="memory-tier: spill evicted door-matrix rows "
+                        "to per-engine row-cache files under DIR and "
+                        "fault them back on demand")
+    p.add_argument("--matrix-budget", type=int, default=None, metavar="N",
+                   help="memory-tier: cap resident door-matrix rows "
+                        "per loaded engine (overrides the snapshot's "
+                        "baked budget; pair with --matrix-spill)")
+    p.add_argument("--gc-keep", type=int, default=None, metavar="N",
+                   help="generation GC: after each ingest, keep the "
+                        "newest N retired generations for rollback and "
+                        "delete older snapshot files from disk "
+                        "(default: keep everything)")
     p.add_argument("--smoke", action="store_true",
                    help="start, answer fig1 queries over HTTP per venue, "
                         "verify byte-identity across a hot-swap, /venues "

@@ -139,12 +139,20 @@ class IKRQEngine:
             print(r.score, r.route.describe(space))
     """
 
+    #: Payload bytes backed by a shared ``mmap`` of the engine's
+    #: snapshot file (set by ``load_snapshot(..., mmap=True)``); 0 for
+    #: engines whose buffers live on the process heap.
+    mapped_bytes: int = 0
+    #: The mapping object keeping those buffers alive (internal).
+    _snapshot_mmap = None
+
     def __init__(self,
                  space: IndoorSpace,
                  kindex: KeywordIndex,
                  popularity: Optional[Dict[int, float]] = None,
                  door_matrix_eager: bool = True,
                  door_matrix_max_rows: Optional[int] = None,
+                 door_matrix_spill_path: Optional[str] = None,
                  *,
                  oracle: Optional[DistanceOracle] = None,
                  graph: Optional[DoorGraph] = None,
@@ -171,6 +179,9 @@ class IKRQEngine:
         self.door_matrix_eager = door_matrix_eager
         #: Optional memory budget: maximum resident matrix rows (LRU).
         self.door_matrix_max_rows = door_matrix_max_rows
+        #: Optional disk spill tier under that budget: evicted rows go
+        #: to this per-engine row-cache file and fault back on demand.
+        self.door_matrix_spill_path = door_matrix_spill_path
         self._matrix: Optional[DoorMatrix] = door_matrix
         self._matrix_lock = threading.Lock()
         #: Engine-wide door -> i-words cache, shared into every query
@@ -251,8 +262,53 @@ class IKRQEngine:
             if self._matrix is None:
                 self._matrix = DoorMatrix(
                     self.graph, eager=self.door_matrix_eager,
-                    max_rows=self.door_matrix_max_rows)
+                    max_rows=self.door_matrix_max_rows,
+                    spill_path=self.door_matrix_spill_path)
             return self._matrix
+
+    def memory_breakdown(self) -> Dict[str, int]:
+        """Where this engine's index bytes live: heap, mapped, or disk.
+
+        ``heap_bytes`` counts the typed index buffers resident on the
+        process heap (CSR graph arrays, the flat δs2s table, heap
+        matrix rows); ``mapped_bytes`` counts buffers that are
+        ``memoryview`` slices of a shared snapshot mapping — page-cache
+        pages every co-hosted process reuses, not per-process memory.
+        ``spilled_bytes``/``spilled_rows`` report the matrix's disk
+        tier.  Python-object state (the venue model, door-index dicts,
+        caches) is deliberately out of scope: it is small next to the
+        buffers and identical across load modes.
+        """
+        from repro.space.graph import buffer_nbytes
+        graph = self.graph
+        heap = mapped = 0
+        buffers = [getattr(graph, name, None)
+                   for name in ("_door_ids", "_indptr", "_nbr",
+                                "_via", "_wt")]
+        buffers.append(getattr(self.skeleton, "_s2s", None))
+        for buf in buffers:
+            if buf is None:  # dict reference core: no flat buffers
+                continue
+            if isinstance(buf, memoryview):
+                mapped += buffer_nbytes(buf)
+            else:
+                heap += buffer_nbytes(buf)
+        breakdown = {
+            "heap_bytes": heap,
+            "mapped_bytes": mapped,
+            "spilled_bytes": 0,
+            "spilled_rows": 0,
+            "matrix_resident_rows": 0,
+        }
+        matrix = self._matrix
+        if matrix is not None:
+            counters = matrix.memory_counters()
+            breakdown["heap_bytes"] += counters["resident_heap_bytes"]
+            breakdown["mapped_bytes"] += counters["resident_mapped_bytes"]
+            breakdown["spilled_bytes"] = counters["spilled_bytes"]
+            breakdown["spilled_rows"] = counters["spilled_rows"]
+            breakdown["matrix_resident_rows"] = counters["resident_rows"]
+        return breakdown
 
     # ------------------------------------------------------------------
     def search(self,
@@ -312,9 +368,13 @@ class ServiceStats:
     queries served).  Plain attribute reads stay available for
     single-threaded callers and tests.
 
-    ``door_matrix_evictions`` is a gauge, not a counter: it mirrors the
-    engine-held KoE* matrix's lifetime eviction count and is filled in
-    by :meth:`QueryService.stats_snapshot` (per shard, in the sharded
+    ``door_matrix_evictions`` — like the spill-tier trio
+    ``door_matrix_spills`` (rows written to the disk tier),
+    ``door_matrix_spill_hits`` (rows faulted back instead of
+    recomputed) and ``door_matrix_spill_misses`` (misses with no
+    spilled copy) — is a gauge, not a counter: it mirrors the
+    engine-held KoE* matrix's lifetime count and is filled in by
+    :meth:`QueryService.stats_snapshot` (per shard, in the sharded
     server).
     """
 
@@ -324,6 +384,9 @@ class ServiceStats:
         "keyword_cache_hits", "keyword_cache_misses",
         "answer_hits", "answer_misses",
         "door_matrix_evictions",
+        "door_matrix_spills",
+        "door_matrix_spill_hits",
+        "door_matrix_spill_misses",
     )
 
     def __init__(self, **values: int) -> None:
@@ -479,6 +542,9 @@ class QueryService:
         matrix = self.engine._matrix
         if matrix is not None:
             snap.door_matrix_evictions = matrix.evictions
+            snap.door_matrix_spills = matrix.spills
+            snap.door_matrix_spill_hits = matrix.spill_hits
+            snap.door_matrix_spill_misses = matrix.spill_misses
         return snap
 
     # ------------------------------------------------------------------

@@ -9,10 +9,14 @@ venues** (malls, airports, hospitals) in one fleet:
 * :mod:`repro.serve.snapshot` — a versioned on-disk bundle persisting
   the venue **and** its built indexes (CSR door graph, skeleton δs2s,
   warm KoE* door-matrix rows, an advisory prime table) so a worker
-  cold-starts without rebuilding anything,
+  cold-starts without rebuilding anything; the page-aligned binary
+  payload can be ``mmap``-ed so co-hosted shard processes share one
+  page-cache copy per generation,
 * :mod:`repro.serve.registry` — the tenancy control plane: per-venue
   versioned snapshot generations with an atomic active-generation
-  flip and the drain barrier behind zero-downtime hot-swaps,
+  flip, the drain barrier behind zero-downtime hot-swaps, and the
+  ``keep_last`` garbage-collection policy that deletes retired
+  generation files beyond a rollback window,
 * :mod:`repro.serve.pool` — a pool of shard processes, each hosting
   every venue's engines behind its own ``QueryService``s, plus a
   dispatcher that routes requests by ``(venue, ps, pt)``-affinity
@@ -39,8 +43,9 @@ from repro.serve.pool import (AdmissionController, ShardDispatcher,
 from repro.serve.registry import (DEFAULT_VENUE, Generation,
                                   SnapshotRegistry)
 from repro.serve.server import IKRQServer
-from repro.serve.snapshot import (BINARY_MAGIC, SNAPSHOT_FORMAT,
-                                  SNAPSHOT_VERSION, SNAPSHOT_VERSION_BINARY,
+from repro.serve.snapshot import (BINARY_MAGIC, SNAPSHOT_ALIGN,
+                                  SNAPSHOT_FORMAT, SNAPSHOT_VERSION,
+                                  SNAPSHOT_VERSION_BINARY,
                                   engine_from_snapshot, is_binary_snapshot,
                                   is_snapshot_document, load_snapshot,
                                   read_snapshot, save_snapshot,
@@ -53,6 +58,7 @@ __all__ = [
     "AdmissionController",
     "BINARY_MAGIC",
     "DEFAULT_VENUE",
+    "SNAPSHOT_ALIGN",
     "Generation",
     "IKRQServer",
     "MetricsRegistry",

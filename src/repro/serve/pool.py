@@ -31,7 +31,9 @@ already-expired request answers ``expired`` without evaluating it.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
+import os
 import threading
 import time
 import zlib
@@ -47,6 +49,33 @@ _DEADLINE_GRACE = 2.0
 #: Fallback RPC timeout when a request has no deadline: long enough
 #: for any sane query, short enough to detect a dead shard.
 _DEFAULT_RPC_TIMEOUT = 300.0
+
+_log = logging.getLogger("repro.serve")
+
+
+def process_rss_bytes() -> int:
+    """Resident-set size of the calling process, in bytes (0 when the
+    platform exposes neither ``/proc`` nor ``resource``).
+
+    Without ``/proc`` the fallback is ``ru_maxrss`` — the lifetime
+    *peak* RSS, the closest portable approximation — which Linux
+    reports in kilobytes but macOS/BSD report in bytes.
+    """
+    try:
+        with open("/proc/self/statm", "r", encoding="ascii") as fh:
+            pages = int(fh.read().split()[1])
+        return pages * (os.sysconf("SC_PAGE_SIZE")
+                        if hasattr(os, "sysconf") else 4096)
+    except (OSError, ValueError, IndexError):
+        pass
+    try:  # pragma: no cover - non-/proc platforms
+        import resource
+        import sys as _sys
+        maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        return int(maxrss) * (1024 if _sys.platform.startswith("linux")
+                              else 1)
+    except Exception:  # pragma: no cover
+        return 0
 
 
 def shard_for(ps: Sequence[float],
@@ -84,17 +113,35 @@ def _shard_worker(shard_id: int,
     shutdown.  The worker is single-threaded by design: a ``load``
     occupies the shard for the (millisecond) snapshot adoption and the
     engine map never races.
+
+    Memory-tiering options: ``mmap`` backs every loaded engine's index
+    buffers with a shared mapping of its snapshot file (all shards map
+    the same generation file, so the fleet holds one page-cache copy);
+    ``matrix_spill_dir`` gives each loaded engine a private row-cache
+    file ``<venue>.g<generation>.shard<i>.rows`` under that directory
+    (removed again when the generation is evicted);
+    ``matrix_max_rows`` caps resident matrix rows per engine.
     """
     from repro.core.engine import QueryService
-    from repro.serve.snapshot import load_snapshot
+    from repro.serve.snapshot import _UNSET, load_snapshot
     from repro.space.graph import DoorGraph
     from repro.space.skeleton import SkeletonIndex
 
     services: Dict[Tuple[str, int], "QueryService"] = {}
+    use_mmap = bool(options.get("mmap"))
+    spill_dir = options.get("matrix_spill_dir")
+    matrix_max_rows = options.get("matrix_max_rows", _UNSET)
 
     def _load(venue: str, generation: int, path: str) -> float:
         started = time.perf_counter()
-        engine = load_snapshot(path)
+        spill_path = None
+        if spill_dir:
+            os.makedirs(spill_dir, exist_ok=True)
+            spill_path = os.path.join(
+                spill_dir, f"{venue}.g{generation}.shard{shard_id}.rows")
+        engine = load_snapshot(path, mmap=use_mmap,
+                               matrix_spill_path=spill_path,
+                               matrix_max_rows=matrix_max_rows)
         services[(venue, generation)] = QueryService(
             engine, workers=1,
             point_map_capacity=options.get("point_map_capacity", 128),
@@ -118,6 +165,12 @@ def _shard_worker(shard_id: int,
     while True:
         msg = requests.get()
         if msg is None or msg.get("kind") == "shutdown":
+            # Spill files are per-process scratch: remove them for the
+            # still-loaded generations too, not only evicted ones.
+            for service in services.values():
+                matrix = service.engine._matrix
+                if matrix is not None:
+                    matrix.close_spill()
             break
         req_id = msg.get("id")
         base = {"kind": "response", "id": req_id, "shard": shard_id}
@@ -129,11 +182,14 @@ def _shard_worker(shard_id: int,
                 snap = service.stats_snapshot().as_dict()
                 venue_stats.append({"venue": venue,
                                     "generation": generation,
-                                    "stats": snap})
+                                    "stats": snap,
+                                    "memory":
+                                        service.engine.memory_breakdown()})
                 for name, value in snap.items():
                     aggregate[name] = aggregate.get(name, 0) + value
             responses.put({**base, "status": "ok", "stats": aggregate,
-                           "venue_stats": venue_stats})
+                           "venue_stats": venue_stats,
+                           "rss_bytes": process_rss_bytes()})
             continue
         if kind == "load":
             try:
@@ -149,6 +205,12 @@ def _shard_worker(shard_id: int,
         if kind == "evict":
             dropped = services.pop(
                 (msg.get("venue"), msg.get("generation")), None)
+            if dropped is not None:
+                matrix = dropped.engine._matrix
+                if matrix is not None:
+                    # The spill file is per-(engine, shard) scratch —
+                    # recomputable rows, deleted with the generation.
+                    matrix.close_spill()
             responses.put({**base, "status": "ok",
                            "evicted": dropped is not None})
             continue
@@ -560,7 +622,8 @@ class ShardDispatcher:
                  metrics=None,
                  registry: Optional[SnapshotRegistry] = None,
                  default_quota: Optional[TenantQuota] = None,
-                 quotas: Optional[Mapping[str, TenantQuota]] = None) -> None:
+                 quotas: Optional[Mapping[str, TenantQuota]] = None,
+                 gc_keep_last: Optional[int] = None) -> None:
         self.pool = pool
         self.admission = AdmissionController(
             max_pending, default_quota=default_quota, quotas=quotas)
@@ -572,6 +635,13 @@ class ShardDispatcher:
                 gen = registry.add(venue, path)
                 registry.activate(venue, gen.generation)
         self.registry = registry
+        #: Generation GC policy: after each successful ingest, retired
+        #: generations beyond the newest ``gc_keep_last`` are marked
+        #: deleted and their snapshot files removed from disk (unless
+        #: still referenced elsewhere).  ``None`` keeps every file
+        #: forever — the historical behaviour, and the safe default
+        #: when snapshot files are operator-managed.
+        self.gc_keep_last = gc_keep_last
         self._ingest_lock = threading.Lock()
 
     def _venue_label(self, venue: str) -> str:
@@ -681,7 +751,12 @@ class ShardDispatcher:
         4. **drain barrier** — wait until requests in flight on the old
            generation have all finished (they complete on the engines
            they started on, so answers stay byte-identical throughout),
-        5. evict the old generation from every shard and retire it.
+        5. evict the old generation from every shard and retire it,
+        6. **garbage-collect**: with a ``gc_keep_last`` policy, retired
+           generations beyond the rollback window are marked deleted
+           and their snapshot files removed from disk (logged, and
+           reported under ``gc`` in the result) — without it, repeated
+           ingests would accumulate dead generation files forever.
 
         Returns a report with per-phase latencies; ``status`` is
         ``"ok"`` or ``"error"`` (a load failure leaves the old
@@ -721,6 +796,7 @@ class ShardDispatcher:
                 self.pool.evict(venue, previous.generation)
                 self.registry.retire(previous)
             drain_seconds = time.perf_counter() - drain_started
+            gc_report = self._collect_garbage(venue)
             swap_seconds = time.perf_counter() - started
             if self.metrics is not None:
                 self.metrics.inc("ikrq_ingest_total", venue=venue,
@@ -737,4 +813,56 @@ class ShardDispatcher:
                 "drain_seconds": drain_seconds,
                 "swap_seconds": swap_seconds,
                 "drained": drained,
+                "gc": gc_report,
             }
+
+    def _collect_garbage(self, venue: str) -> List[Dict]:
+        """Apply the ``gc_keep_last`` policy to ``venue``'s generations.
+
+        The registry decides *which* generations die (retired beyond
+        the rollback window, plus failed ones — never active, draining
+        or loading; see :meth:`SnapshotRegistry.collect`); this method
+        owns the file removal, skipping any snapshot path a live
+        generation of *any* venue still references.  Every deletion is
+        logged and counted (``ikrq_gc_deleted_total``).
+        """
+        if self.gc_keep_last is None:
+            return []
+        report: List[Dict] = []
+        for gen in self.registry.collect(venue, self.gc_keep_last):
+            removed = False
+            deferred = False
+            if self.registry.path_in_use(gen.path):
+                _log.info(
+                    "gc: venue=%s generation=%d record deleted, file %s "
+                    "kept (still referenced by a live generation)",
+                    venue, gen.generation, gen.path)
+            else:
+                try:
+                    os.remove(gen.path)
+                    removed = True
+                    _log.info("gc: venue=%s generation=%d deleted "
+                              "snapshot file %s",
+                              venue, gen.generation, gen.path)
+                except FileNotFoundError:
+                    _log.info("gc: venue=%s generation=%d file %s was "
+                              "already gone", venue, gen.generation,
+                              gen.path)
+                except OSError as exc:
+                    # Transient failure: put the record back to
+                    # ``retired`` so the next ingest's sweep retries —
+                    # a terminal ``deleted`` record with the file still
+                    # on disk would be an invisible, permanent leak.
+                    self.registry.restore_retired(gen)
+                    deferred = True
+                    _log.warning("gc: venue=%s generation=%d could not "
+                                 "delete %s (%s); will retry on the "
+                                 "next ingest", venue, gen.generation,
+                                 gen.path, exc)
+            if not deferred and self.metrics is not None:
+                self.metrics.inc("ikrq_gc_deleted_total", venue=venue)
+            report.append({"generation": gen.generation,
+                           "path": gen.path,
+                           "file_removed": removed,
+                           "deferred": deferred})
+        return report

@@ -6,8 +6,16 @@ snapshot generation answers queries for which venue*.  Every venue
 owns a monotonically numbered sequence of generations, each pointing
 at one snapshot file, moving through a fixed lifecycle::
 
-    loading -> active -> draining -> retired
-        \\-> failed (load error; never activated)
+    loading -> active -> draining -> retired -> deleted
+        \\-> failed (load error; never activated) -> deleted
+
+``deleted`` is the garbage-collected terminal state: the generation's
+record stays (numbers are never reused; logs and metrics remain
+unambiguous) but its snapshot file is eligible for removal from disk.
+:meth:`collect` implements the ``keep_last=N`` policy — only
+``retired``/``failed`` generations beyond the newest *N* retired ones
+are handed out, so the active and draining generations (and a rollback
+window) are structurally exempt.
 
 Exactly one generation per venue is ``active`` at a time.  The flip
 from one active generation to the next is **atomic** under the
@@ -34,7 +42,10 @@ from typing import Dict, List, Optional
 DEFAULT_VENUE = "default"
 
 #: Generation lifecycle states.
-STATES = ("loading", "active", "draining", "retired", "failed")
+STATES = ("loading", "active", "draining", "retired", "failed", "deleted")
+
+#: States whose snapshot file is still needed on disk.
+LIVE_STATES = ("loading", "active", "draining", "retired", "failed")
 
 
 class Generation:
@@ -47,7 +58,7 @@ class Generation:
 
     __slots__ = ("venue", "generation", "path", "state", "in_flight",
                  "created_unix", "activated_unix", "retired_unix",
-                 "load_seconds")
+                 "deleted_unix", "load_seconds")
 
     def __init__(self, venue: str, generation: int, path: str) -> None:
         self.venue = venue
@@ -58,6 +69,7 @@ class Generation:
         self.created_unix = time.time()
         self.activated_unix: Optional[float] = None
         self.retired_unix: Optional[float] = None
+        self.deleted_unix: Optional[float] = None
         self.load_seconds: Optional[float] = None
 
     def as_dict(self) -> Dict:
@@ -73,6 +85,8 @@ class Generation:
             doc["activated_unix"] = round(self.activated_unix, 3)
         if self.retired_unix is not None:
             doc["retired_unix"] = round(self.retired_unix, 3)
+        if self.deleted_unix is not None:
+            doc["deleted_unix"] = round(self.deleted_unix, 3)
         if self.load_seconds is not None:
             doc["load_seconds"] = round(self.load_seconds, 6)
         return doc
@@ -152,6 +166,75 @@ class SnapshotRegistry:
         with self._cond:
             gen.state = "retired"
             gen.retired_unix = time.time()
+
+    # ------------------------------------------------------------------
+    # Garbage collection
+    # ------------------------------------------------------------------
+    def collect(self, venue: str, keep_last: int) -> List[Generation]:
+        """Mark GC-eligible generations of ``venue`` as ``deleted``.
+
+        The policy keeps the newest ``keep_last`` **retired**
+        generations as a rollback window and hands every older
+        ``retired``/``failed`` generation over for deletion, in one
+        atomic sweep under the registry lock.  Structural safety, not
+        caller discipline, protects live traffic:
+
+        * ``loading``/``active``/``draining`` generations are never
+          candidates — the active generation cannot be collected, and
+          a draining one is only retired after its drain barrier;
+        * a candidate with a non-zero in-flight count (a drain that
+          timed out) is skipped this round and reconsidered on the
+          next ingest.
+
+        Returns the newly deleted generations; the caller owns the
+        actual file removal (see
+        :meth:`~repro.serve.pool.ShardDispatcher.ingest`), because
+        only it can know whether another venue still references the
+        same snapshot path.
+        """
+        if keep_last < 0:
+            raise ValueError("keep_last must be non-negative")
+        with self._cond:
+            gens = self._generations.get(venue, {})
+            retired = [n for n in sorted(gens)
+                       if gens[n].state == "retired"]
+            doomed = set(retired[:max(0, len(retired) - keep_last)])
+            doomed.update(n for n in gens
+                          if gens[n].state == "failed")
+            deleted: List[Generation] = []
+            for number in sorted(doomed):
+                gen = gens[number]
+                if gen.in_flight > 0:
+                    continue
+                gen.state = "deleted"
+                gen.deleted_unix = time.time()
+                deleted.append(gen)
+            return deleted
+
+    def restore_retired(self, gen: Generation) -> None:
+        """Put a ``deleted`` generation back to ``retired``.
+
+        The GC caller invokes this when the actual file removal fails
+        transiently (EBUSY, EACCES, an NFS hiccup): leaving the record
+        in the terminal ``deleted`` state would stop :meth:`collect`
+        from ever re-offering the generation, silently re-creating the
+        disk leak the GC exists to fix.  Restored generations are
+        retried on the next sweep.
+        """
+        with self._cond:
+            if gen.state == "deleted":
+                gen.state = "retired"
+                gen.deleted_unix = None
+
+    def path_in_use(self, path: str) -> bool:
+        """Whether any non-deleted generation of any venue still points
+        at ``path`` — the same snapshot file may back several venues
+        (or several generations), and its last referent must win."""
+        path = str(path)
+        with self._cond:
+            return any(gen.path == path and gen.state in LIVE_STATES
+                       for gens in self._generations.values()
+                       for gen in gens.values())
 
     # ------------------------------------------------------------------
     # Request-path accounting (the drain barrier's two halves)

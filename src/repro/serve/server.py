@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Mapping, Optional, Tuple
 
@@ -101,8 +102,10 @@ class _Handler(BaseHTTPRequestHandler):
             })
             return
         if self.path == "/venues":
-            dispatcher = self.server.ikrq.dispatcher
+            ikrq = self.server.ikrq
+            dispatcher = ikrq.dispatcher
             counters = dispatcher.admission.venue_counters()
+            memory = ikrq.venue_memory()
             venues = []
             for doc in dispatcher.registry.describe():
                 doc = dict(doc)
@@ -116,6 +119,13 @@ class _Handler(BaseHTTPRequestHandler):
                                                    if quota is not None
                                                    else None)}
                 doc["admission"] = admission
+                doc["generations"] = [
+                    {**gen,
+                     **({"memory": memory[(doc["venue"],
+                                           gen["generation"])]}
+                        if (doc["venue"], gen["generation"]) in memory
+                        else {})}
+                    for gen in doc["generations"]]
                 venues.append(doc)
             self._send_json(200, {"status": "ok", "venues": venues})
             return
@@ -189,18 +199,31 @@ class IKRQServer:
                  service_options: Optional[Dict] = None,
                  venues: Optional[Mapping[str, str]] = None,
                  default_quota: Optional[TenantQuota] = None,
-                 quotas: Optional[Mapping[str, TenantQuota]] = None) -> None:
+                 quotas: Optional[Mapping[str, TenantQuota]] = None,
+                 mmap_snapshots: bool = False,
+                 matrix_spill_dir: Optional[str] = None,
+                 matrix_max_rows: Optional[int] = None,
+                 gc_keep_last: Optional[int] = None) -> None:
         self.metrics = MetricsRegistry()
+        options = dict(service_options or {})
+        if mmap_snapshots:
+            options["mmap"] = True
+        if matrix_spill_dir is not None:
+            options["matrix_spill_dir"] = str(matrix_spill_dir)
+        if matrix_max_rows is not None:
+            options["matrix_max_rows"] = matrix_max_rows
         self.pool = ShardPool(snapshot_path, shards=workers,
-                              service_options=service_options,
+                              service_options=options,
                               venues=venues)
         self.dispatcher = ShardDispatcher(
             self.pool, max_pending=max_pending, deadline_s=deadline_s,
             metrics=self.metrics, default_quota=default_quota,
-            quotas=quotas)
+            quotas=quotas, gc_keep_last=gc_keep_last)
         self._httpd = _HTTPServer((host, port), _Handler)
         self._httpd.ikrq = self
         self._thread: Optional[threading.Thread] = None
+        self._memory_lock = threading.Lock()
+        self._memory_cache: Tuple[float, Dict] = (0.0, {})
 
     # ------------------------------------------------------------------
     # Ingest (the server-side half of ``repro ingest``)
@@ -242,6 +265,42 @@ class IKRQServer:
         return {"status": "accepted", "venue": venue}
 
     # ------------------------------------------------------------------
+    #: How long a ``venue_memory`` scrape stays fresh.  The breakdown
+    #: rides on a stats RPC broadcast that queues behind each
+    #: single-threaded shard's in-flight searches, so ``/venues``
+    #: polling must not multiply that load or stall behind one slow
+    #: query more than once per window.
+    MEMORY_CACHE_TTL = 5.0
+
+    def venue_memory(self) -> Dict[Tuple[str, int], Dict[str, int]]:
+        """Per-``(venue, generation)`` memory breakdown, summed over
+        shards (cached for :data:`MEMORY_CACHE_TTL` seconds).
+
+        ``heap_bytes`` is genuinely additive (every shard holds its
+        own copy); ``mapped_bytes`` sums each shard's mapping of the
+        *same* snapshot file, i.e. it is virtual address space over
+        one shared page-cache copy — the physical cost is roughly the
+        per-shard value, not the sum.  ``docs/memory.md`` spells out
+        how to read the two.
+        """
+        with self._memory_lock:
+            stamp, cached = self._memory_cache
+            if time.monotonic() - stamp < self.MEMORY_CACHE_TTL:
+                return cached
+        out: Dict[Tuple[str, int], Dict[str, int]] = {}
+        for doc in self.pool.stats():
+            if doc.get("status") != "ok":
+                continue
+            for entry in doc.get("venue_stats", []):
+                key = (entry.get("venue"), entry.get("generation"))
+                agg = out.setdefault(key, {})
+                for name, value in (entry.get("memory") or {}).items():
+                    agg[name] = agg.get(name, 0) + int(value)
+        with self._memory_lock:
+            self._memory_cache = (time.monotonic(), out)
+        return out
+
+    # ------------------------------------------------------------------
     def render_metrics(self) -> str:
         """Dispatcher metrics plus a fresh per-shard stats scrape.
 
@@ -262,10 +321,20 @@ class IKRQServer:
                 {f"ikrq_shard_{name}": value
                  for name, value in doc.get("stats", {}).items()},
                 shard=shard)
+            if doc.get("rss_bytes"):
+                self.metrics.set_gauge("ikrq_shard_rss_bytes",
+                                       doc["rss_bytes"], shard=shard)
             for entry in doc.get("venue_stats", []):
                 self.metrics.merge_gauges(
                     {f"ikrq_shard_{name}": value
                      for name, value in entry.get("stats", {}).items()},
+                    shard=shard, venue=entry.get("venue"),
+                    generation=entry.get("generation"))
+                # The memory tier breakdown of each loaded (venue,
+                # generation): heap vs. mapped vs. spilled bytes.
+                self.metrics.merge_gauges(
+                    {f"ikrq_shard_memory_{name}": value
+                     for name, value in (entry.get("memory") or {}).items()},
                     shard=shard, venue=entry.get("venue"),
                     generation=entry.get("generation"))
         registry = self.dispatcher.registry

@@ -35,7 +35,9 @@ content with every large structure packed as raw typed-array bytes, so
 cold-start on big venues pays one ``fromfile``-style memcpy per buffer
 instead of JSON parsing millions of number tokens, and the loaded
 buffers *are* the runtime representation (flat CSR arrays, flat δs2s,
-:class:`~repro.space.graph.FlatTree` matrix rows).  Layout::
+:class:`~repro.space.graph.FlatTree` matrix rows).  Since v2.1 the
+payload is **page-aligned** by default, so it can also be ``mmap``-ed.
+Layout::
 
     magic   8 bytes  b"IKRQSNP2"
     u32 LE  container version (2)
@@ -45,8 +47,16 @@ buffers *are* the runtime representation (flat CSR arrays, flat δs2s,
                          "prime": {...}, "door_matrix":
                              {"eager", "max_rows",
                               "row_sources": [src, ...]},  # LRU order
-                         "arrays": [[name, typecode, count], ...]}
-    payload raw array bytes, concatenated in ``arrays`` order
+                         "align": 4096,                    # v2.1 only
+                         "arrays":
+                             [[name, typecode, count], ...]          # v2.0
+                             [[name, typecode, count, offset], ...]} # v2.1
+    payload v2.0: raw array bytes, concatenated in ``arrays`` order
+            v2.1: each section at ``payload_base + offset`` where
+                  ``payload_base`` is the first ``align`` multiple at
+                  or past the header end, every ``offset`` is an
+                  ``align`` multiple, and inter-section gaps are zero
+                  padding
 
 Array sections: ``graph.door_ids|indptr|nbr|via`` (``q``),
 ``graph.wt`` (``d``), ``skeleton.stair_doors`` (``q``),
@@ -56,17 +66,28 @@ no ``None`` dance), and per warm matrix row ``i``: ``row{i}.dist``
 (``q``).  Buffers are always little-endian on disk; loaders byteswap
 on big-endian hosts.
 
+``load_snapshot(path, mmap=True)`` maps an aligned file read-only and
+backs the graph, skeleton and warm matrix buffers with ``memoryview``
+slices of the shared mapping instead of heap copies, so N shard
+processes loading the same generation share **one** page-cache copy of
+the typed-array payload.  Answers are bit-identical to an eager load —
+the views hand back the same IEEE bits the arrays would.  The mode
+falls back to an eager load (and records ``engine.mapped_bytes == 0``)
+for v2.0 files, JSON v1 files, and big-endian hosts, where adopting
+the little-endian payload in place would mis-read every value.
+
 Both encodings preserve floats exactly (JSON emits the shortest
 round-tripping ``repr``; binary stores the IEEE bits), so an engine
 loaded from either answers byte-identically to the engine the snapshot
 was taken from.  ``load_snapshot`` / ``read_snapshot`` sniff the magic
-bytes, so every caller accepts both formats transparently; v1 files
-remain fully readable.
+bytes, so every caller accepts both formats transparently; v1 JSON and
+v2.0 packed files remain fully readable.
 """
 
 from __future__ import annotations
 
 import json
+import mmap as _mmap
 import struct
 import sys
 from array import array
@@ -88,8 +109,26 @@ SNAPSHOT_VERSION = 1
 SNAPSHOT_VERSION_BINARY = 2
 #: Magic prefix of binary snapshot files.
 BINARY_MAGIC = b"IKRQSNP2"
+#: Default section alignment of the v2.1 layout: one page on every
+#: platform we serve on, which is what makes the payload mappable.
+SNAPSHOT_ALIGN = 4096
 
 INF = float("inf")
+
+#: Sentinel distinguishing "not passed" from an explicit ``None`` in
+#: the loader's matrix-budget override.
+_UNSET = object()
+
+
+def _align_up(value: int, align: int) -> int:
+    return -(-value // align) * align
+
+
+def _typecode(buf) -> str:
+    """The ``array`` typecode of a typed buffer (``memoryview``s carry
+    it as ``format`` instead)."""
+    code = getattr(buf, "typecode", None)
+    return code if code is not None else buf.format
 
 
 def _matrix_rows_to_doc(rows) -> list:
@@ -158,12 +197,16 @@ def is_snapshot_document(doc: Dict) -> bool:
     return isinstance(doc, dict) and doc.get("format") == SNAPSHOT_FORMAT
 
 
-def engine_from_snapshot(doc: Dict) -> IKRQEngine:
+def engine_from_snapshot(doc: Dict,
+                         matrix_spill_path: Optional[str] = None,
+                         matrix_max_rows=_UNSET) -> IKRQEngine:
     """Rebuild a ready-to-serve engine without running any index build.
 
     The CSR buffers, skeleton matrix and warm door-matrix rows are
     adopted as-is (``DoorGraph.csr_builds`` / ``SkeletonIndex.s2s_builds``
     stay untouched — tests assert the cold-start skips the rebuild).
+    ``matrix_spill_path`` / ``matrix_max_rows`` mirror
+    :func:`load_snapshot`'s memory-tiering overrides.
     """
     if not is_snapshot_document(doc):
         raise ValueError(f"not a {SNAPSHOT_FORMAT} document")
@@ -179,13 +222,16 @@ def engine_from_snapshot(doc: Dict) -> IKRQEngine:
     engine_doc = doc.get("engine", {})
     matrix_doc = doc.get("door_matrix", {})
     max_rows = matrix_doc.get("max_rows")
+    if matrix_max_rows is not _UNSET:
+        max_rows = matrix_max_rows
     matrix: Optional[DoorMatrix] = None
     rows = _matrix_rows_from_doc(matrix_doc.get("rows", []))
     if rows:
         # Warm rows replace the eager prebuild: the matrix starts lazy
         # and adopts the snapshotted rows; anything missing is computed
         # on demand (identically — rows are pure in the graph).
-        matrix = DoorMatrix(graph, eager=False, max_rows=max_rows)
+        matrix = DoorMatrix(graph, eager=False, max_rows=max_rows,
+                            spill_path=matrix_spill_path)
         matrix.preload_rows(rows)
     popularity = {int(pid): w
                   for pid, w in engine_doc.get("popularity", {}).items()}
@@ -194,6 +240,7 @@ def engine_from_snapshot(doc: Dict) -> IKRQEngine:
         popularity=popularity,
         door_matrix_eager=engine_doc.get("door_matrix_eager", True),
         door_matrix_max_rows=max_rows,
+        door_matrix_spill_path=matrix_spill_path,
         oracle=oracle, graph=graph, skeleton=skeleton, door_matrix=matrix)
 
 
@@ -217,14 +264,22 @@ def _engine_header(engine: IKRQEngine) -> Dict:
 def save_snapshot_binary(path: Union[str, Path],
                          engine: IKRQEngine,
                          matrix_rows: Optional[int] = None,
-                         prime: Optional[PrimeTable] = None) -> None:
+                         prime: Optional[PrimeTable] = None,
+                         page_align: Optional[int] = SNAPSHOT_ALIGN) -> None:
     """Write the binary (version 2) encoding of an engine snapshot.
 
     Same content as :func:`snapshot_to_dict`; see the module docstring
-    for the container layout.
+    for the container layout.  By default every typed-array section is
+    placed on a ``page_align`` boundary (the v2.1 layout) so the
+    payload can be mapped; ``page_align=None`` writes the legacy v2.0
+    packed layout (readable, never mappable — kept for the compat
+    tests and byte-frugal archival).
     """
     if engine.kindex is None:
         raise ValueError("serving requires a keyword index")
+    if page_align is not None and (page_align < 1
+                                   or page_align % 8 != 0):
+        raise ValueError("page_align must be a positive multiple of 8")
     matrix = engine._matrix
     trees = (matrix.warm_trees(matrix_rows)
              if matrix is not None else OrderedDict())
@@ -255,17 +310,34 @@ def save_snapshot_binary(path: Union[str, Path],
         "prime": {"entries":
                   prime.export_entries() if prime is not None else []},
         "engine": _engine_header(engine),
-        "arrays": [[name, arr.typecode, len(arr)]
-                   for name, arr in arrays.items()],
     }
+    if page_align is None:
+        header["arrays"] = [[name, _typecode(arr), len(arr)]
+                            for name, arr in arrays.items()]
+    else:
+        # Section offsets are relative to the payload base (the first
+        # aligned byte past the header), so they depend only on the
+        # section sizes — never on the header length they are part of.
+        header["align"] = page_align
+        entries = []
+        offset = 0
+        for name, arr in arrays.items():
+            entries.append([name, _typecode(arr), len(arr), offset])
+            offset = _align_up(offset + arr.itemsize * len(arr),
+                               page_align)
+        header["arrays"] = entries
     blob = json.dumps(header, sort_keys=True).encode("utf-8")
     with open(path, "wb") as fh:
         fh.write(BINARY_MAGIC)
         fh.write(struct.pack("<II", SNAPSHOT_VERSION_BINARY, len(blob)))
         fh.write(blob)
-        for arr in arrays.values():
+        if page_align is not None:
+            payload_base = _align_up(fh.tell(), page_align)
+        for entry, arr in zip(header["arrays"], arrays.values()):
+            if page_align is not None:
+                fh.write(b"\0" * (payload_base + entry[3] - fh.tell()))
             if sys.byteorder == "big":  # pragma: no cover - exotic hosts
-                arr = array(arr.typecode, arr)
+                arr = array(_typecode(arr), arr)
                 arr.byteswap()
             fh.write(arr.tobytes())
 
@@ -280,7 +352,18 @@ def is_binary_snapshot(path: Union[str, Path]) -> bool:
 
 
 def _read_binary(path: Union[str, Path],
-                 ) -> Tuple[Dict, "OrderedDict[str, array]"]:
+                 use_mmap: bool = False,
+                 ) -> Tuple[Dict, "OrderedDict[str, array]", Optional[Dict]]:
+    """Read a binary snapshot's header and typed-array sections.
+
+    Returns ``(header, arrays, mapped)``.  ``mapped`` is ``None`` for
+    an eager read; with ``use_mmap=True`` on an aligned (v2.1) file on
+    a little-endian host it is ``{"mmap", "bytes", "path"}`` and every
+    section in ``arrays`` is a read-only ``memoryview`` slice of the
+    shared mapping (the views keep the mapping alive).  Files whose
+    layout cannot be mapped — v2.0 packed, or a big-endian host —
+    fall back to the eager read.
+    """
     with open(path, "rb") as fh:
         magic = fh.read(len(BINARY_MAGIC))
         if magic != BINARY_MAGIC:
@@ -289,10 +372,33 @@ def _read_binary(path: Union[str, Path],
         if version != SNAPSHOT_VERSION_BINARY:
             raise ValueError(
                 f"unsupported binary snapshot version {version!r}")
-        header = json.loads(fh.read(header_len).decode("utf-8"))
+        blob = fh.read(header_len)
+        if len(blob) != header_len:
+            raise ValueError(f"truncated binary snapshot: {path} (header)")
+        header = json.loads(blob.decode("utf-8"))
+        align = header.get("align")
+        payload_base = (_align_up(len(BINARY_MAGIC) + 8 + header_len, align)
+                        if align else None)
         arrays: "OrderedDict[str, array]" = OrderedDict()
-        for name, typecode, count in header["arrays"]:
+        if use_mmap and align and sys.byteorder == "little":
+            mm = _mmap.mmap(fh.fileno(), 0, access=_mmap.ACCESS_READ)
+            view = memoryview(mm)
+            mapped_bytes = 0
+            for name, typecode, count, offset in header["arrays"]:
+                itemsize = array(typecode).itemsize
+                start = payload_base + offset
+                end = start + count * itemsize
+                if end > len(mm):
+                    raise ValueError(f"truncated binary snapshot: {name}")
+                arrays[name] = view[start:end].cast(typecode)
+                mapped_bytes += count * itemsize
+            return header, arrays, {"mmap": mm, "bytes": mapped_bytes,
+                                    "path": str(path)}
+        for entry in header["arrays"]:
+            name, typecode, count = entry[0], entry[1], entry[2]
             arr = array(typecode)
+            if payload_base is not None:
+                fh.seek(payload_base + entry[3])
             payload = fh.read(count * arr.itemsize)
             if len(payload) != count * arr.itemsize:
                 raise ValueError(f"truncated binary snapshot: {name}")
@@ -300,17 +406,22 @@ def _read_binary(path: Union[str, Path],
             if sys.byteorder == "big":  # pragma: no cover - exotic hosts
                 arr.byteswap()
             arrays[name] = arr
-    return header, arrays
+    return header, arrays, None
 
 
 def _engine_from_packed(header: Dict,
-                        arrays: "OrderedDict[str, array]") -> IKRQEngine:
+                        arrays: "OrderedDict[str, array]",
+                        mapped: Optional[Dict] = None,
+                        matrix_spill_path: Optional[str] = None,
+                        matrix_max_rows=_UNSET) -> IKRQEngine:
     """Adopt packed buffers as the runtime structures — no conversion.
 
     The CSR arrays, the flat δs2s table and the dense matrix rows feed
     :meth:`DoorGraph.from_csr`, :meth:`SkeletonIndex.from_precomputed_flat`
     and :class:`FlatTree` directly, which is what makes binary
-    cold-start one memcpy per buffer.
+    cold-start one memcpy per buffer — or, when ``arrays`` holds
+    ``memoryview`` slices of an ``mmap`` (``mapped`` is set), zero
+    copies at all: the runtime structures index the shared mapping.
     """
     space, kindex = space_from_dict(header["venue"])
     if kindex is None:
@@ -326,29 +437,36 @@ def _engine_from_packed(header: Dict,
         arrays["skeleton.s2s"])
     matrix_doc = header.get("door_matrix", {})
     max_rows = matrix_doc.get("max_rows")
+    if matrix_max_rows is not _UNSET:
+        max_rows = matrix_max_rows
     sources = matrix_doc.get("row_sources", [])
     matrix: Optional[DoorMatrix] = None
     if sources:
         trees: "OrderedDict[int, FlatTree]" = OrderedDict()
         for i, source in enumerate(sources):
-            dist = arrays[f"row{i}.dist"]
-            touched = array("q", (idx for idx in range(len(dist))
-                                  if dist[idx] != INF))
+            # ``touched`` is derived lazily inside FlatTree — scanning
+            # every row's dist buffer here would fault the whole
+            # mapping in at load time for nothing.
             trees[int(source)] = FlatTree(
-                graph._door_ids, graph._door_index, dist,
-                arrays[f"row{i}.pred"], arrays[f"row{i}.pred_via"],
-                touched)
-        matrix = DoorMatrix(graph, eager=False, max_rows=max_rows)
+                graph._door_ids, graph._door_index, arrays[f"row{i}.dist"],
+                arrays[f"row{i}.pred"], arrays[f"row{i}.pred_via"])
+        matrix = DoorMatrix(graph, eager=False, max_rows=max_rows,
+                            spill_path=matrix_spill_path)
         matrix.preload_trees(trees)
     engine_doc = header.get("engine", {})
     popularity = {int(pid): w
                   for pid, w in engine_doc.get("popularity", {}).items()}
-    return IKRQEngine(
+    engine = IKRQEngine(
         space, kindex,
         popularity=popularity,
         door_matrix_eager=engine_doc.get("door_matrix_eager", True),
         door_matrix_max_rows=max_rows,
+        door_matrix_spill_path=matrix_spill_path,
         oracle=oracle, graph=graph, skeleton=skeleton, door_matrix=matrix)
+    if mapped is not None:
+        engine.mapped_bytes = mapped["bytes"]
+        engine._snapshot_mmap = mapped["mmap"]
+    return engine
 
 
 def _packed_to_doc(header: Dict,
@@ -415,11 +533,12 @@ def save_snapshot(path: Union[str, Path],
                   engine: IKRQEngine,
                   matrix_rows: Optional[int] = None,
                   prime: Optional[PrimeTable] = None,
-                  binary: bool = False) -> None:
+                  binary: bool = False,
+                  page_align: Optional[int] = SNAPSHOT_ALIGN) -> None:
     """Write an engine snapshot (JSON v1, or binary v2 when ``binary``)."""
     if binary:
         save_snapshot_binary(path, engine, matrix_rows=matrix_rows,
-                             prime=prime)
+                             prime=prime, page_align=page_align)
         return
     doc = snapshot_to_dict(engine, matrix_rows=matrix_rows, prime=prime)
     Path(path).write_text(json.dumps(doc, sort_keys=True))
@@ -432,7 +551,7 @@ def read_snapshot(path: Union[str, Path]) -> Dict:
     see :func:`_packed_to_doc` — so callers always receive one shape.
     """
     if is_binary_snapshot(path):
-        header, arrays = _read_binary(path)
+        header, arrays, _ = _read_binary(path)
         return _packed_to_doc(header, arrays)
     doc = json.loads(Path(path).read_text())
     if not is_snapshot_document(doc):
@@ -440,9 +559,32 @@ def read_snapshot(path: Union[str, Path]) -> Dict:
     return doc
 
 
-def load_snapshot(path: Union[str, Path]) -> IKRQEngine:
+def load_snapshot(path: Union[str, Path],
+                  mmap: bool = False,
+                  matrix_spill_path: Optional[str] = None,
+                  matrix_max_rows=_UNSET) -> IKRQEngine:
     """Load a snapshot file (either encoding) into a ready-to-serve
-    engine without running any index build."""
+    engine without running any index build.
+
+    Memory tiering knobs (all optional; defaults keep the historical
+    behaviour):
+
+    * ``mmap=True`` — back the typed-array buffers with a shared
+      read-only mapping of the file instead of heap copies (aligned
+      v2.1 binary files on little-endian hosts; anything else falls
+      back to an eager load).  ``engine.mapped_bytes`` reports how
+      many payload bytes are mapped (0 after a fallback); answers are
+      bit-identical either way.
+    * ``matrix_spill_path`` — give the KoE* door matrix a disk spill
+      tier at this path (see :class:`~repro.space.rowcache.RowCacheFile`).
+    * ``matrix_max_rows`` — override the snapshot's resident-row
+      budget (``None`` lifts it) without re-baking the file.
+    """
     if is_binary_snapshot(path):
-        return _engine_from_packed(*_read_binary(path))
-    return engine_from_snapshot(read_snapshot(path))
+        header, arrays, mapped = _read_binary(path, use_mmap=mmap)
+        return _engine_from_packed(header, arrays, mapped=mapped,
+                                   matrix_spill_path=matrix_spill_path,
+                                   matrix_max_rows=matrix_max_rows)
+    return engine_from_snapshot(read_snapshot(path),
+                                matrix_spill_path=matrix_spill_path,
+                                matrix_max_rows=matrix_max_rows)

@@ -62,6 +62,23 @@ _ROOT = -1
 _POINT = -2
 
 
+def _adopt_buffer(typecode: str, data):
+    """``data`` as a typed buffer, without copying when already one.
+
+    ``array`` objects and ``memoryview``s (mapped snapshot sections)
+    pass through untouched; anything else — JSON lists, generators —
+    is packed into a fresh ``array(typecode)``.
+    """
+    if isinstance(data, (array, memoryview)):
+        return data
+    return array(typecode, data)
+
+
+def buffer_nbytes(buf) -> int:
+    """Byte size of a typed buffer (``array`` or ``memoryview``)."""
+    return buf.itemsize * len(buf)
+
+
 def reconstruct_route(pred: Mapping[int, Tuple[Optional[int], int]],
                       source: Optional[int],
                       target: int) -> Tuple[List[int], List[int]]:
@@ -133,10 +150,18 @@ class FlatTree:
     dict-of-dict rows kept per source — roughly 24 bytes per door
     instead of ~160 per reached entry — and lookups become plain array
     indexing.
+
+    The three buffers may equally be read-only ``memoryview`` slices of
+    an ``mmap``-ed snapshot payload — every consumer only indexes,
+    iterates and ``len()``s them — which is how snapshot-mapped matrix
+    rows share one page-cache copy across shard processes.  ``touched``
+    may be ``None``: it is derived lazily from ``dist`` (ascending
+    dense index order) on first use, so the serving hot path
+    (:meth:`distance` / :meth:`route_to`) never materialises it.
     """
 
     __slots__ = ("door_ids", "door_index", "dist", "pred", "pred_via",
-                 "touched")
+                 "_touched")
 
     def __init__(self,
                  door_ids: array,
@@ -144,13 +169,29 @@ class FlatTree:
                  dist: array,
                  pred: array,
                  pred_via: array,
-                 touched: array) -> None:
+                 touched: Optional[array] = None) -> None:
         self.door_ids = door_ids
         self.door_index = door_index
         self.dist = dist
         self.pred = pred
         self.pred_via = pred_via
-        self.touched = touched
+        self._touched = touched
+
+    @property
+    def touched(self) -> array:
+        """Reached dense indices; derived from ``dist`` when absent.
+
+        Trees frozen from a workspace keep the run's visit order;
+        derived lists are ascending.  Nothing that consumes ``touched``
+        is order-sensitive (dict exports compare equal either way).
+        """
+        t = self._touched
+        if t is None:
+            dist = self.dist
+            t = array("q", (idx for idx in range(len(dist))
+                            if dist[idx] != INF))
+            self._touched = t
+        return t
 
     @classmethod
     def from_workspace(cls, ws: DijkstraWorkspace,
@@ -259,11 +300,19 @@ class FlatTree:
                              else (ids[prev], pred_via[idx]))
         return out
 
+    def is_mapped(self) -> bool:
+        """Whether the buffers are ``mmap``-backed views (shared pages,
+        not per-process heap)."""
+        return isinstance(self.dist, memoryview)
+
     def estimated_bytes(self) -> int:
+        # A lazily-derived ``touched`` that was never materialised
+        # costs nothing; do not force it just to measure.
+        t = self._touched
         return (self.dist.itemsize * len(self.dist)
                 + self.pred.itemsize * len(self.pred)
                 + self.pred_via.itemsize * len(self.pred_via)
-                + self.touched.itemsize * len(self.touched))
+                + (t.itemsize * len(t) if t is not None else 0))
 
 
 class FlatDistMap(Mapping):
@@ -380,17 +429,23 @@ class DoorGraph:
         an identical space; no adjacency scan runs (``csr_builds`` is
         not incremented), which is what makes snapshot-loaded serve
         workers cold-start without paying the build again.
+
+        Typed buffers (``array`` objects or ``memoryview`` slices of a
+        mapped snapshot payload) are adopted as-is — the graph never
+        mutates them — so an ``mmap``-backed load keeps sharing the
+        page-cache copy instead of duplicating it onto the heap.
+        Plain sequences (JSON lists) are converted.
         """
         graph = cls.__new__(cls)
         graph._space = space
         graph._oracle = oracle or DistanceOracle(space)
-        graph._door_ids = array("q", door_ids)
+        graph._door_ids = _adopt_buffer("q", door_ids)
         graph._door_index = {did: idx
                              for idx, did in enumerate(graph._door_ids)}
-        graph._indptr = array("q", indptr)
-        graph._nbr = array("q", nbr)
-        graph._via = array("q", via)
-        graph._wt = array("d", wt)
+        graph._indptr = _adopt_buffer("q", indptr)
+        graph._nbr = _adopt_buffer("q", nbr)
+        graph._via = _adopt_buffer("q", via)
+        graph._wt = _adopt_buffer("d", wt)
         graph._workspace_tls = threading.local()
         return graph
 
@@ -907,6 +962,16 @@ class DoorMatrix:
     ``evictions`` counter feeds the search stats).  Row access is
     thread-safe so a matrix can back concurrent batched queries.
 
+    ``spill_path`` adds a disk tier under the memory budget: evicted
+    rows are appended to a per-engine
+    :class:`~repro.space.rowcache.RowCacheFile` (the binary snapshot
+    v2 row encoding) and transparently faulted back on the next miss —
+    three ``frombytes`` memcpys instead of a full Dijkstra run, byte
+    identical to the evicted row.  ``spills`` counts rows written,
+    ``spill_hits`` rows faulted back, ``spill_misses`` misses that had
+    no spilled copy and recomputed; all three surface through
+    ``ServiceStats`` and ``/metrics``.
+
     Rows are stored as :class:`FlatTree` objects — three flat typed
     arrays over dense door indices — instead of the dict-of-dict pairs
     of the original implementation; ``distance`` is one array load and
@@ -919,7 +984,8 @@ class DoorMatrix:
     def __init__(self,
                  graph: DoorGraph,
                  eager: bool = False,
-                 max_rows: Optional[int] = None) -> None:
+                 max_rows: Optional[int] = None,
+                 spill_path: Optional[str] = None) -> None:
         if max_rows is not None and max_rows < 1:
             raise ValueError("max_rows must be at least 1")
         self._graph = graph
@@ -927,6 +993,13 @@ class DoorMatrix:
         self._lock = threading.Lock()
         self.max_rows = max_rows
         self.evictions = 0
+        self.spills = 0
+        self.spill_hits = 0
+        self.spill_misses = 0
+        self._spill = None
+        if spill_path is not None:
+            from repro.space.rowcache import RowCacheFile
+            self._spill = RowCacheFile(graph, spill_path)
         if eager:
             # Under a memory budget, prefill only up to the budget —
             # computing every row just to evict most of them at once
@@ -944,20 +1017,48 @@ class DoorMatrix:
                 if self.max_rows is not None:
                     self._rows.move_to_end(source)
                 return row
-        # Compute outside the lock (on the calling thread's workspace)
-        # so cache hits on other threads never wait behind a full
-        # Dijkstra; a concurrent miss on the same source computes the
-        # same row and the first insert wins.
-        row = self._graph.dijkstra_tree(source,
-                                        workspace=self._graph.workspace)
+        # Fault or compute outside the lock (on the calling thread's
+        # workspace) so cache hits on other threads never wait behind
+        # disk I/O or a full Dijkstra; a concurrent miss on the same
+        # source produces the same row and the first insert wins.
+        row = None
+        if self._spill is not None:
+            row = self._spill.load(source)
+            if row is not None:
+                with self._lock:
+                    self.spill_hits += 1
+            else:
+                with self._lock:
+                    self.spill_misses += 1
+        if row is None:
+            row = self._graph.dijkstra_tree(source,
+                                            workspace=self._graph.workspace)
         with self._lock:
             row = self._rows.setdefault(source, row)
             if self.max_rows is not None:
                 self._rows.move_to_end(source)
+                evicted = []
                 while len(self._rows) > self.max_rows:
-                    self._rows.popitem(last=False)
+                    evicted.append(self._rows.popitem(last=False))
                     self.evictions += 1
-            return row
+        if self.max_rows is not None:
+            self._spill_evicted(evicted)
+        return row
+
+    def _spill_evicted(self, evicted) -> None:
+        """Write evicted ``(source, tree)`` pairs to the disk tier.
+
+        Runs outside the matrix lock (rows are immutable, so a late
+        duplicate store is a no-op inside the cache file's own lock);
+        without a spill tier evicted rows are simply dropped.
+        """
+        if self._spill is None or not evicted:
+            return
+        stored = sum(1 for source, tree in evicted
+                     if self._spill.store(source, tree))
+        if stored:
+            with self._lock:
+                self.spills += stored
 
     def distance(self, di: int, dj: int) -> float:
         """Shortest door-to-door distance ``di -> dj`` (INF if unreachable)."""
@@ -1004,15 +1105,20 @@ class DoorMatrix:
         """Adopt previously exported flat rows (snapshot v2 load path).
 
         Rows beyond ``max_rows`` follow the normal LRU policy; preloads
-        do not count as evictions of live traffic.
+        do not count as evictions of live traffic, but the displaced
+        rows still spill to the disk tier when one is configured (a
+        budgeted load of a generously warmed snapshot starts with its
+        cold rows on disk instead of gone).
         """
+        evicted = []
         with self._lock:
             for source, tree in trees.items():
                 self._rows[source] = tree
                 self._rows.move_to_end(source)
                 if self.max_rows is not None:
                     while len(self._rows) > self.max_rows:
-                        self._rows.popitem(last=False)
+                        evicted.append(self._rows.popitem(last=False))
+        self._spill_evicted(evicted)
 
     def preload_rows(self,
                      rows: Mapping[int, Tuple[Dict[int, float],
@@ -1031,3 +1137,45 @@ class DoorMatrix:
             for tree in self._rows.values():
                 total += tree.estimated_bytes()
         return total
+
+    @property
+    def spill_path(self) -> Optional[str]:
+        return self._spill.path if self._spill is not None else None
+
+    def close_spill(self) -> None:
+        """Close and delete the disk tier's scratch file (eviction of
+        the owning engine; spilled rows are recomputable state)."""
+        if self._spill is not None:
+            self._spill.close()
+
+    def memory_counters(self) -> Dict[str, int]:
+        """The matrix's share of the per-engine memory breakdown.
+
+        Resident bytes are split into heap rows and ``mmap``-backed
+        rows (snapshot-mapped warm rows share page cache, they do not
+        add to per-process heap); the spill tier reports its on-disk
+        rows and bytes.  All counters read under the matrix lock.
+        """
+        heap = mapped = mapped_rows = 0
+        with self._lock:
+            rows = len(self._rows)
+            for tree in self._rows.values():
+                if tree.is_mapped():
+                    mapped += tree.estimated_bytes()
+                    mapped_rows += 1
+                else:
+                    heap += tree.estimated_bytes()
+            counters = {
+                "resident_rows": rows,
+                "resident_heap_bytes": heap,
+                "resident_mapped_bytes": mapped,
+                "resident_mapped_rows": mapped_rows,
+                "evictions": self.evictions,
+                "spills": self.spills,
+                "spill_hits": self.spill_hits,
+                "spill_misses": self.spill_misses,
+            }
+        spill = self._spill
+        counters["spilled_rows"] = len(spill) if spill is not None else 0
+        counters["spilled_bytes"] = spill.nbytes if spill is not None else 0
+        return counters

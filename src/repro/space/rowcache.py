@@ -1,0 +1,168 @@
+"""On-disk spill tier for evicted :class:`~repro.space.graph.DoorMatrix` rows.
+
+A memory-budgeted door matrix evicts its least-recently-used rows;
+without a spill tier every eviction throws away a full Dijkstra run
+that a later query may need again.  :class:`RowCacheFile` keeps those
+rows on disk instead: an append-only per-engine cache file holding each
+evicted :class:`~repro.space.graph.FlatTree` in the **binary snapshot
+v2 row encoding** (the same three flat little-endian buffers —
+``dist`` doubles, ``pred`` / ``pred_via`` signed 64-bit — over dense
+door indices), so a spilled row faults back with three ``frombytes``
+memcpys and zero recomputation, byte-identical to the evicted object.
+
+File layout (little-endian, like snapshot v2)::
+
+    record := s64 source door id
+              s64 n (dense door count — sanity-checked on fault)
+              dist      n * f64
+              pred      n * s64
+              pred_via  n * s64
+    file   := record*     (append order; superseded records are never
+                           rewritten — rows are pure in the graph, so
+                           one source is written at most once)
+
+The file is per-engine scratch, not an exchange format: it is created
+truncated, indexed only by the in-memory ``source -> offset`` table,
+and deleted on :meth:`close`.  Rows are immutable, so a source is
+stored at most once and every fault returns exactly the bytes the
+eviction wrote.
+
+Thread safety: one internal lock serialises seeks against reads and
+appends, matching the matrix's own locking discipline.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import sys
+import threading
+from array import array
+from typing import Dict, List, Optional, Union
+
+from repro.space.graph import FlatTree
+
+_HEADER = struct.Struct("<qq")
+
+
+def _little_endian_bytes(buf) -> bytes:
+    """``buf`` (array or memoryview) as little-endian raw bytes."""
+    if sys.byteorder == "big":  # pragma: no cover - exotic hosts
+        swapped = array(getattr(buf, "typecode", None) or buf.format, buf)
+        swapped.byteswap()
+        return swapped.tobytes()
+    return buf.tobytes()
+
+
+def _array_from_little_endian(typecode: str, payload: bytes) -> array:
+    arr = array(typecode)
+    arr.frombytes(payload)
+    if sys.byteorder == "big":  # pragma: no cover - exotic hosts
+        arr.byteswap()
+    return arr
+
+
+class RowCacheFile:
+    """Append-only disk cache of evicted door-matrix rows.
+
+    Counters are mutated by the owning :class:`DoorMatrix` under its
+    lock; this class only guards its own file and offset table.
+    """
+
+    def __init__(self, graph, path: Union[str, os.PathLike]) -> None:
+        self._graph = graph
+        self.path = str(path)
+        self._lock = threading.Lock()
+        #: source door id -> record offset in the file.
+        self._offsets: Dict[int, int] = {}
+        self._fh = open(self.path, "w+b")
+        self._nbytes = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def store(self, source: int, tree: FlatTree) -> bool:
+        """Append ``tree`` as ``source``'s spilled row.
+
+        Returns ``False`` (and writes nothing) when the source is
+        already on disk — rows are pure in the graph, so the existing
+        record is already byte-identical to ``tree``.
+        """
+        n = len(tree.dist)
+        dist = _little_endian_bytes(tree.dist)
+        pred = _little_endian_bytes(tree.pred)
+        pred_via = _little_endian_bytes(tree.pred_via)
+        with self._lock:
+            if self._closed or source in self._offsets:
+                return False
+            offset = self._fh.seek(0, os.SEEK_END)
+            self._fh.write(_HEADER.pack(source, n))
+            self._fh.write(dist)
+            self._fh.write(pred)
+            self._fh.write(pred_via)
+            self._offsets[source] = offset
+            self._nbytes = self._fh.tell()
+            return True
+
+    def load(self, source: int) -> Optional[FlatTree]:
+        """Fault ``source``'s spilled row back, or ``None`` if absent.
+
+        The returned tree's buffers hold exactly the evicted bytes;
+        ``touched`` is re-derived lazily (nothing order-sensitive
+        consumes it — see :class:`FlatTree`).
+        """
+        graph = self._graph
+        with self._lock:
+            offset = self._offsets.get(source)
+            if offset is None or self._closed:
+                return None
+            self._fh.seek(offset)
+            header = self._fh.read(_HEADER.size)
+            stored, n = _HEADER.unpack(header)
+            if stored != source:
+                raise ValueError(
+                    f"row cache corrupt: expected source {source} at "
+                    f"offset {offset}, found {stored}")
+            dist_raw = self._fh.read(n * 8)
+            pred_raw = self._fh.read(n * 8)
+            via_raw = self._fh.read(n * 8)
+        if len(via_raw) != n * 8:
+            raise ValueError(f"row cache truncated at source {source}")
+        return FlatTree(
+            graph._door_ids, graph._door_index,
+            _array_from_little_endian("d", dist_raw),
+            _array_from_little_endian("q", pred_raw),
+            _array_from_little_endian("q", via_raw))
+
+    # ------------------------------------------------------------------
+    def __contains__(self, source: int) -> bool:
+        with self._lock:
+            return source in self._offsets
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._offsets)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes written to the cache file so far."""
+        with self._lock:
+            return self._nbytes
+
+    def sources(self) -> List[int]:
+        with self._lock:
+            return sorted(self._offsets)
+
+    def close(self, delete: bool = True) -> None:
+        """Close (and by default unlink) the scratch file."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self._fh.close()
+            finally:
+                if delete:
+                    try:
+                        os.unlink(self.path)
+                    except OSError:
+                        pass

@@ -131,7 +131,13 @@ class SkeletonIndex:
         """Adopt a flat row-major δs2s buffer (binary snapshot v2).
 
         ``s2s_flat`` must hold ``len(stair_doors) ** 2`` doubles; no
-        conversion or all-pairs computation runs.
+        conversion or all-pairs computation runs.  Typed buffers
+        (``array`` objects, or read-only ``memoryview`` slices of an
+        ``mmap``-ed snapshot payload) are adopted without copying —
+        the index never mutates its table.  (The boxed-float hot
+        mirror ``_s2s_hot`` is still built per process: it is a list
+        of Python objects, inherently heap state — and tiny, since the
+        table only spans staircase doors.)
         """
         n = len(stair_doors)
         if len(s2s_flat) != n * n:
@@ -142,7 +148,8 @@ class SkeletonIndex:
         index._space = space
         index._stair_doors = list(stair_doors)
         index._finish_init()
-        index._set_s2s(array("d", s2s_flat))
+        index._set_s2s(s2s_flat if isinstance(s2s_flat, (array, memoryview))
+                       else array("d", s2s_flat))
         return index
 
     def _set_s2s(self, s2s: array) -> None:
