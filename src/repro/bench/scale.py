@@ -16,9 +16,18 @@ path: for each venue size it
 5. cold-starts a third engine from a **binary v2 snapshot**, replays
    the stream again, and verifies identity a third time, timing the
    v1-JSON vs. v2-binary snapshot load on the side,
-6. appends one entry per size — qps for all three modes, the speedup
-   over the dict core, p50/p95/p99 latencies and cold-start times —
-   to the ``BENCH_throughput.json`` trajectory.
+6. replays the stream through engines pinned to each available
+   compiled kernel backend (``numpy`` / ``native``), verifying
+   byte-identity a fourth time, and micro-benchmarks the two kernel
+   surfaces in isolation (endpoint lower-bound sweeps and full
+   Dijkstra tree builds) per backend with an in-run byte-identity
+   gate — the per-kernel speedup entries of the trajectory,
+7. splits one untimed instrumented pass into relaxation vs.
+   lower-bound vs. merge wall time (where does a query's time go?),
+8. appends one entry per size — qps for all modes, the speedup over
+   the dict core, per-kernel stage speedups, the stage split,
+   p50/p95/p99 latencies and cold-start times — to the
+   ``BENCH_throughput.json`` trajectory.
 
 Run it from the shell::
 
@@ -113,6 +122,205 @@ def _cold_start_times(engine: IKRQEngine,
             **sizes}, loaded
 
 
+def _stage_breakdown(engine: IKRQEngine, stream, algorithm: str) -> Dict:
+    """Relaxation vs lower-bound vs merge wall-time split.
+
+    One extra *untimed* instrumented replay.  "Relaxation" is the
+    route-growing work: the graph's batch Dijkstra entry point
+    (matrix rows, KoE* continuations, connect) plus the per-door
+    ``extend_to_door`` extension ToE relaxes edges with.
+    "Lower-bound" is the Rule 1-4 work: the context's
+    ``lb_to_terminal`` / ``lb_from_start`` plus the skeleton's
+    entry points underneath (a shared reentrancy guard keeps nested
+    calls from double-counting).  Everything neither stage covers —
+    stamp/heap bookkeeping, route merging, ranking — lands in
+    ``merge_s``.  Instrumentation is instance-local and removed
+    afterwards, so the timed passes are never perturbed; the
+    per-call timer overhead slightly inflates the instrumented
+    stages, which is the conservative direction for a "how much is
+    left to accelerate" split.
+    """
+    graph = engine.graph
+    skeleton = engine.skeleton
+    acc = {"relaxation_s": 0.0, "lower_bound_s": 0.0}
+    depth = [0]
+
+    def _timed(fn, key):
+        def wrapper(*args, **kwargs):
+            if depth[0]:
+                return fn(*args, **kwargs)
+            depth[0] = 1
+            started = time.perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                depth[0] = 0
+                acc[key] += time.perf_counter() - started
+        return wrapper
+
+    lb_names = [name for name in
+                ("lower_bound", "lower_bound_heads",
+                 "lower_bound_via_partition",
+                 "lower_bound_via_partition_heads",
+                 "lower_bound_sweep_from", "lower_bound_sweep_to")
+                if hasattr(skeleton, name)]
+    originals = [(graph, "_run_dijkstra", graph._run_dijkstra)]
+    originals += [(skeleton, name, getattr(skeleton, name))
+                  for name in lb_names]
+    originals.append((engine, "context", engine.context))
+    graph._run_dijkstra = _timed(graph._run_dijkstra, "relaxation_s")
+    for name in lb_names:
+        setattr(skeleton, name, _timed(getattr(skeleton, name),
+                                       "lower_bound_s"))
+    orig_context = engine.context
+
+    def instrumented_context(query):
+        ctx = orig_context(query)
+        ctx.extend_to_door = _timed(ctx.extend_to_door, "relaxation_s")
+        ctx.lb_to_terminal = _timed(ctx.lb_to_terminal, "lower_bound_s")
+        ctx.lb_from_start = _timed(ctx.lb_from_start, "lower_bound_s")
+        return ctx
+
+    engine.context = instrumented_context
+    try:
+        started = time.perf_counter()
+        for query in stream:
+            engine.search(query, algorithm)
+        total = time.perf_counter() - started
+    finally:
+        for obj, name, fn in originals:
+            try:
+                delattr(obj, name)  # restore the class attribute
+            except AttributeError:
+                setattr(obj, name, fn)
+    merge = max(0.0, total - acc["relaxation_s"] - acc["lower_bound_s"])
+    out = {"total_s": total, "relaxation_s": acc["relaxation_s"],
+           "lower_bound_s": acc["lower_bound_s"], "merge_s": merge}
+    if total > 0.0:
+        out["relaxation_pct"] = 100.0 * acc["relaxation_s"] / total
+        out["lower_bound_pct"] = 100.0 * acc["lower_bound_s"] / total
+        out["merge_pct"] = 100.0 * merge / total
+    return out
+
+
+#: Passes for the kernel-stage micro benchmark (best-of, interleaved).
+KERNEL_PASSES = 3
+
+
+def _kernel_stage(space, kindex, stream, sources_cap: int = 48) -> Dict:
+    """Per-backend kernel-level sequential qps with in-run identity.
+
+    Measures the two kernel surfaces in isolation, per backend:
+
+    * ``lower-bound``: full endpoint sweeps (``lower_bound_sweep_from``
+      / ``..._to``) for every distinct stream endpoint — the Rule 1-4
+      work one query performs across its candidate doors;
+    * ``relaxation``: full ``dijkstra_tree`` builds over a
+      deterministic source sample — the matrix-row/batch-relaxation
+      work.
+
+    The ``python`` rows are the interpreted array core (no kernel
+    attached).  Every faster backend's outputs are compared
+    byte-for-byte against it in-run: sweep maps by exact float
+    equality per door, trees by buffer bytes (``verified_identical``
+    in the result; a mismatch raises).  Unavailable backends record
+    their reason and are skipped — the graceful python-ward
+    degradation the serve tier relies on.
+
+    Each backend gets its own graph/skeleton pair (so per-backend
+    kernel caches persist across passes) and the passes are
+    *interleaved* across backends — like the end-to-end replay, so a
+    machine-load swing hits every backend's pass, not one backend's
+    whole block, and best-of-``KERNEL_PASSES`` compares like with
+    like.
+    """
+    from repro.space.graph import DoorGraph
+    from repro.space.kernels import available_backends, get_suite
+    from repro.space.skeleton import SkeletonIndex
+
+    endpoints = list(dict.fromkeys(
+        p for query in stream for p in (query.ps, query.pt)))
+    doors = sorted(space.doors)
+    step = max(1, len(doors) // sources_cap)
+    sources = doors[::step][:sources_cap]
+
+    availability = available_backends()
+    backends = {}
+    harness = []
+    for backend in ("python", "numpy", "native"):
+        reason = availability.get(backend)
+        if reason is not None:
+            backends[backend] = {"available": False, "reason": reason}
+            continue
+        graph = DoorGraph(space)
+        skeleton = SkeletonIndex(space)
+        if backend != "python":
+            suite = get_suite(backend)
+            graph.set_kernel(suite)
+            skeleton.set_kernel(suite)
+        heads = [skeleton.heads(p) for p in endpoints]
+        harness.append({"backend": backend, "graph": graph,
+                        "skeleton": skeleton, "heads": heads,
+                        "best_lb": float("inf"),
+                        "best_relax": float("inf")})
+    for _ in range(KERNEL_PASSES):
+        for h in harness:
+            skeleton, graph = h["skeleton"], h["graph"]
+            started = time.perf_counter()
+            sweeps = ([skeleton.lower_bound_sweep_from(ha)
+                       for ha in h["heads"]]
+                      + [skeleton.lower_bound_sweep_to(ha)
+                         for ha in h["heads"]])
+            h["best_lb"] = min(h["best_lb"],
+                               time.perf_counter() - started)
+            started = time.perf_counter()
+            trees = [graph.dijkstra_tree(src) for src in sources]
+            h["best_relax"] = min(h["best_relax"],
+                                  time.perf_counter() - started)
+            h["outputs"] = (sweeps, [
+                (bytes(t.dist), bytes(t.pred), bytes(t.pred_via),
+                 bytes(t.touched)) for t in trees])
+    reference = None
+    for h in harness:
+        if reference is None:
+            reference = h["outputs"]
+        elif h["outputs"] != reference:
+            raise AssertionError(
+                f"kernel backend {h['backend']!r} output differs from "
+                "the interpreted array core")
+        lb_ops = 2 * len(endpoints)
+        relax_ops = len(sources)
+        best_lb, best_relax = h["best_lb"], h["best_relax"]
+        backends[h["backend"]] = {
+            "available": True,
+            "lower_bound_qps": lb_ops / best_lb if best_lb else float("inf"),
+            "relaxation_qps": (relax_ops / best_relax
+                               if best_relax else float("inf")),
+            "kernel_qps": ((lb_ops + relax_ops) / (best_lb + best_relax)
+                           if best_lb + best_relax else float("inf")),
+            "lower_bound_seconds": best_lb,
+            "relaxation_seconds": best_relax,
+        }
+    base = backends.get("python", {})
+    for name, entry in backends.items():
+        if not entry.get("available") or name == "python":
+            continue
+        for key in ("lower_bound_qps", "relaxation_qps", "kernel_qps"):
+            if base.get(key):
+                entry[f"speedup_{key[:-4]}"] = entry[key] / base[key]
+    best_name = max(
+        (name for name, e in backends.items() if e.get("available")),
+        key=lambda name: backends[name]["kernel_qps"])
+    return {
+        "backends": backends,
+        "best_backend": best_name,
+        "best_speedup": backends[best_name].get("speedup_kernel", 1.0),
+        "lower_bound_ops": 2 * len(endpoints),
+        "relaxation_sources": len(sources),
+        "verified_identical": True,
+    }
+
+
 def build_scale_stream(engine: IKRQEngine,
                        pool: int = 16,
                        repeat: int = 2,
@@ -193,6 +401,43 @@ def run_scale_size(floors: int,
             "v2-cold-started engine results differ from the live engine")
 
     n = len(stream)
+    # End-to-end replay per kernel backend: same stream, same warm-up,
+    # answers must match the interpreted array core byte-for-byte.
+    from repro.space.kernels import available_backends
+    availability = available_backends()
+    kernel_end_to_end = {}
+    for backend in ("numpy", "native"):
+        reason = availability.get(backend)
+        if reason is not None:
+            kernel_end_to_end[backend] = {"available": False,
+                                          "reason": reason}
+            continue
+        k_engine = IKRQEngine(space, kindex, door_matrix_eager=False,
+                              kernel=backend)
+        for query in distinct:
+            k_engine.search(query, algorithm)
+        k_answers, k_s, k_lat = _timed_interleaved(
+            [(k_engine, None)], stream, algorithm)[0]
+        if _signature(k_answers) != _signature(array_answers):
+            raise AssertionError(
+                f"kernel={backend} engine results differ from the "
+                "interpreted array core")
+        kernel_end_to_end[backend] = {
+            "available": True,
+            "qps": n / k_s if k_s else float("inf"),
+            "seconds": k_s,
+            "latency_ms": latency_percentiles(k_lat),
+            "speedup_vs_array": ((n / k_s) / (n / array_s)
+                                 if k_s and array_s else float("inf")),
+        }
+    kernel_stage = _kernel_stage(space, kindex, stream)
+    # The split replays on a *fresh* engine: a warmed engine serves the
+    # whole stream from matrix-row caches and every stage but merge
+    # vanishes.  Cold, the pass shows where a new shard's time goes —
+    # the relaxation/lower-bound shares the kernels attack.
+    stage_breakdown = _stage_breakdown(
+        IKRQEngine(space, kindex, door_matrix_eager=False), stream,
+        algorithm)
     result = {
         "mode": "scale",
         "venue": "synth",
@@ -218,11 +463,58 @@ def run_scale_size(floors: int,
             "snapshot_v2": latency_percentiles(snap_lat),
         },
         "cold_start": cold_start,
+        "stage_breakdown": stage_breakdown,
+        "kernel_stage": kernel_stage,
+        "kernel_end_to_end": kernel_end_to_end,
         "verified_identical": True,
     }
     result["speedup_vs_dict"] = (result["array_qps"] / result["dict_qps"]
                                  if result["dict_qps"] else float("inf"))
     return result
+
+
+def _format_kernel_lines(result: Dict) -> List[str]:
+    lines = []
+    split = result.get("stage_breakdown")
+    if split and split.get("total_s"):
+        lines.append(
+            f"  stage split: relaxation {split.get('relaxation_pct', 0):.1f}% "
+            f"lower-bound {split.get('lower_bound_pct', 0):.1f}% "
+            f"merge {split.get('merge_pct', 0):.1f}% "
+            f"(of {split['total_s'] * 1000.0:.1f} ms/pass)")
+    stage = result.get("kernel_stage")
+    if stage:
+        for key, label in (("lower_bound_qps", "kernel lb "),
+                           ("relaxation_qps", "kernel sssp"),
+                           ("kernel_qps", "kernel all ")):
+            parts = []
+            for name in ("python", "numpy", "native"):
+                entry = stage["backends"].get(name, {})
+                if not entry.get("available"):
+                    parts.append(f"{name}=n/a")
+                    continue
+                text = f"{name}={entry[key]:.1f}/s"
+                speedup = entry.get(f"speedup_{key[:-4]}")
+                if speedup is not None:
+                    text += f" ({speedup:.1f}x)"
+                parts.append(text)
+            lines.append(f"  {label}: " + "  ".join(parts))
+        lines.append(
+            f"  kernel best: {stage['best_backend']} "
+            f"{stage['best_speedup']:.1f}x vs interpreted core "
+            f"(bit-identical: {stage['verified_identical']})")
+    e2e = result.get("kernel_end_to_end")
+    if e2e:
+        parts = []
+        for name in ("numpy", "native"):
+            entry = e2e.get(name, {})
+            if not entry.get("available"):
+                parts.append(f"{name}=n/a")
+            else:
+                parts.append(f"{name}={entry['qps']:.1f} q/s "
+                             f"({entry['speedup_vs_array']:.2f}x)")
+        lines.append("  e2e kernel : " + "  ".join(parts))
+    return lines
 
 
 def format_scale_report(result: Dict) -> str:
@@ -246,7 +538,7 @@ def format_scale_report(result: Dict) -> str:
         f"({cold['json_bytes']} B)  binary="
         f"{cold['binary_load_s'] * 1000.0:.1f} ms ({cold['binary_bytes']} B) "
         f"-> {cold['speedup']:.2f}x",
-    ])
+    ] + _format_kernel_lines(result))
 
 
 def run_scale(floors: Sequence[int] = (10,),

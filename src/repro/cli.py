@@ -274,6 +274,7 @@ def _serve_smoke(server, venues: dict) -> int:
                        "ikrq_request_latency_seconds_bucket",
                        "ikrq_shard_search_latency_seconds_bucket",
                        "ikrq_venue_active_generation", "ikrq_venues",
+                       "ikrq_shard_kernel_info",
                        f'venue="{swap_venue}"'):
             if series not in metrics:
                 print(f"smoke FAILED: /metrics missing {series!r}")
@@ -284,11 +285,16 @@ def _serve_smoke(server, venues: dict) -> int:
         int(line.rsplit(" ", 1)[1])
         for line in metrics.splitlines()
         if line.startswith("ikrq_shard_queries_served{shard="))
+    kernels = sorted({part.split('"')[1]
+                      for line in metrics.splitlines()
+                      if line.startswith("ikrq_shard_kernel_info{")
+                      for part in line.split(",")
+                      if part.strip().startswith("kernel=")})
     print(f"serve smoke ok: {len(venues)} venue(s) x {len(cases)} queries "
           f"byte-identical over HTTP (before and after a generation-2 "
           f"hot-swap of {swap_venue!r}), health={health['status']}, "
           f"shards={health['shards']}, shard queries={served}, "
-          f"clean shutdown")
+          f"kernel={'/'.join(kernels) or 'unknown'}, clean shutdown")
     return 0
 
 
@@ -334,7 +340,8 @@ def _cmd_serve(args) -> int:
             mmap_snapshots=args.mmap,
             matrix_spill_dir=args.matrix_spill,
             matrix_max_rows=args.matrix_budget,
-            gc_keep_last=args.gc_keep)
+            gc_keep_last=args.gc_keep,
+            kernel=args.kernel)
         if args.smoke:
             return _serve_smoke(server, venues)
         host, port = server.address
@@ -491,6 +498,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="memory-tier: cap resident door-matrix rows "
                         "per loaded engine (overrides the snapshot's "
                         "baked budget; pair with --matrix-spill)")
+    p.add_argument("--kernel", default="auto",
+                   choices=("auto", "python", "numpy", "native"),
+                   help="compute kernel backend for shard engines "
+                        "(auto walks native > numpy > python and "
+                        "degrades cleanly; every backend is "
+                        "bit-identical)")
     p.add_argument("--gc-keep", type=int, default=None, metavar="N",
                    help="generation GC: after each ingest, keep the "
                         "newest N retired generations for rollback and "

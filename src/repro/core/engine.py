@@ -157,7 +157,8 @@ class IKRQEngine:
                  oracle: Optional[DistanceOracle] = None,
                  graph: Optional[DoorGraph] = None,
                  skeleton: Optional[SkeletonIndex] = None,
-                 door_matrix: Optional[DoorMatrix] = None) -> None:
+                 door_matrix: Optional[DoorMatrix] = None,
+                 kernel: Optional[str] = None) -> None:
         self.space = space
         self.kindex = kindex
         #: Optional partition-popularity map for the γ-weighted ranking
@@ -171,6 +172,22 @@ class IKRQEngine:
         self.oracle = oracle or DistanceOracle(space)
         self.graph = graph or DoorGraph(space, self.oracle)
         self.skeleton = skeleton or SkeletonIndex(space)
+        # Kernel tier selection: ``None`` consults ``REPRO_KERNEL`` and
+        # defaults to the interpreted core; ``auto`` walks
+        # native > numpy > python and degrades cleanly.  Every backend
+        # is bit-identical, so this is purely a speed knob.  The
+        # hasattr guards keep injected reference oracles (the dict
+        # cores kept for gating) working without kernel hooks.
+        from repro.space.kernels import get_suite
+        suite = get_suite(kernel)
+        self.kernel_requested = kernel
+        self.kernel_backend = suite.name
+        if hasattr(self.graph, "set_kernel"):
+            self.graph.set_kernel(suite)
+        else:
+            self.kernel_backend = "python"
+        if hasattr(self.skeleton, "set_kernel"):
+            self.skeleton.set_kernel(suite)
         #: Whether the KoE* door matrix is filled eagerly when first
         #: requested.  The matrix itself defaults to lazy rows (the
         #: mode the paper measures against); the engine defaults to
@@ -249,6 +266,13 @@ class IKRQEngine:
                 lb_from_ps=self._endpoint_lb(self._lb_from_cache, query.ps),
                 lb_to_pt=self._endpoint_lb(self._lb_to_cache, query.pt))
         return ctx
+
+    def kernel_info(self) -> Dict[str, object]:
+        """Operator-facing kernel state: requested, active, available."""
+        from repro.space.kernels import kernel_info
+        info = kernel_info(self.kernel_requested)
+        info["active"] = self.kernel_backend
+        return info
 
     def door_matrix(self) -> DoorMatrix:
         """The lazily constructed KoE* door matrix.
@@ -461,6 +485,9 @@ class QueryService:
             raise ValueError("answer_cache_capacity must be non-negative")
         self.engine = engine
         self.workers = workers
+        #: The engine's resolved kernel backend, surfaced for shard
+        #: ready messages and ``/metrics``.
+        self.kernel_backend = getattr(engine, "kernel_backend", "python")
         self.point_map_capacity = point_map_capacity
         self.keyword_cache_capacity = keyword_cache_capacity
         self.answer_cache_capacity = answer_cache_capacity

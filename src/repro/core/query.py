@@ -166,6 +166,13 @@ class QueryContext:
         # their floors' staircase doors exactly once per query instead
         # of once per lower-bound call.
         self._use_heads = getattr(self.skeleton, "supports_heads", False)
+        # With a kernel attached, the first per-door lower-bound miss
+        # prefills the whole endpoint map in one vectorized sweep
+        # (values bit-identical to the per-door calls, so the shared
+        # per-endpoint caches stay exact).
+        self._kernel_sweeps = (
+            self._use_heads
+            and getattr(self.skeleton, "_kernel", None) is not None)
         self._ps_heads = None
         self._pt_heads = None
         # Optional start-point attachment tree (host pid, dist, pred)
@@ -565,6 +572,13 @@ class QueryContext:
         if isinstance(item, int):
             cached = self._lb_to_pt.get(item)
             if cached is None:
+                if self._kernel_sweeps:
+                    self._lb_to_pt.update(
+                        skeleton.lower_bound_sweep_to(
+                            self._terminal_heads()))
+                    cached = self._lb_to_pt.get(item)
+                    if cached is not None:
+                        return cached
                 if self._use_heads:
                     cached = skeleton.lower_bound_heads(
                         skeleton.heads(item), self._terminal_heads())
@@ -583,6 +597,13 @@ class QueryContext:
         if isinstance(item, int):
             cached = self._lb_from_ps.get(item)
             if cached is None:
+                if self._kernel_sweeps:
+                    self._lb_from_ps.update(
+                        skeleton.lower_bound_sweep_from(
+                            self._start_heads()))
+                    cached = self._lb_from_ps.get(item)
+                    if cached is not None:
+                        return cached
                 if self._use_heads:
                     cached = skeleton.lower_bound_heads(
                         self._start_heads(), skeleton.heads(item))

@@ -123,7 +123,7 @@ def _shard_worker(shard_id: int,
     ``matrix_max_rows`` caps resident matrix rows per engine.
     """
     from repro.core.engine import QueryService
-    from repro.serve.snapshot import _UNSET, load_snapshot
+    from repro.serve.snapshot import _UNSET, load_snapshot, warm_mapped
     from repro.space.graph import DoorGraph
     from repro.space.skeleton import SkeletonIndex
 
@@ -131,6 +131,7 @@ def _shard_worker(shard_id: int,
     use_mmap = bool(options.get("mmap"))
     spill_dir = options.get("matrix_spill_dir")
     matrix_max_rows = options.get("matrix_max_rows", _UNSET)
+    kernel = options.get("kernel")
 
     def _load(venue: str, generation: int, path: str) -> float:
         started = time.perf_counter()
@@ -141,7 +142,12 @@ def _shard_worker(shard_id: int,
                 spill_dir, f"{venue}.g{generation}.shard{shard_id}.rows")
         engine = load_snapshot(path, mmap=use_mmap,
                                matrix_spill_path=spill_path,
-                               matrix_max_rows=matrix_max_rows)
+                               matrix_max_rows=matrix_max_rows,
+                               kernel=kernel)
+        # Warm pass: sequential prefetch of a mapped snapshot moves
+        # first-touch page-ins off the request path (covers both the
+        # initial load and every hot-swap ingest, which land here).
+        warm_mapped(engine)
         services[(venue, generation)] = QueryService(
             engine, workers=1,
             point_map_capacity=options.get("point_map_capacity", 128),
@@ -160,7 +166,9 @@ def _shard_worker(shard_id: int,
     responses.put({"kind": "ready", "shard": shard_id,
                    "venues": sorted(initial),
                    "csr_builds": DoorGraph.csr_builds,
-                   "s2s_builds": SkeletonIndex.s2s_builds})
+                   "s2s_builds": SkeletonIndex.s2s_builds,
+                   "kernels": sorted({service.kernel_backend
+                                      for service in services.values()})})
     allow_sleep = bool(options.get("allow_sleep"))
     while True:
         msg = requests.get()
@@ -182,6 +190,7 @@ def _shard_worker(shard_id: int,
                 snap = service.stats_snapshot().as_dict()
                 venue_stats.append({"venue": venue,
                                     "generation": generation,
+                                    "kernel": service.kernel_backend,
                                     "stats": snap,
                                     "memory":
                                         service.engine.memory_breakdown()})

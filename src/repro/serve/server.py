@@ -203,7 +203,8 @@ class IKRQServer:
                  mmap_snapshots: bool = False,
                  matrix_spill_dir: Optional[str] = None,
                  matrix_max_rows: Optional[int] = None,
-                 gc_keep_last: Optional[int] = None) -> None:
+                 gc_keep_last: Optional[int] = None,
+                 kernel: Optional[str] = None) -> None:
         self.metrics = MetricsRegistry()
         options = dict(service_options or {})
         if mmap_snapshots:
@@ -212,6 +213,8 @@ class IKRQServer:
             options["matrix_spill_dir"] = str(matrix_spill_dir)
         if matrix_max_rows is not None:
             options["matrix_max_rows"] = matrix_max_rows
+        if kernel is not None:
+            options["kernel"] = kernel
         self.pool = ShardPool(snapshot_path, shards=workers,
                               service_options=options,
                               venues=venues)
@@ -337,6 +340,16 @@ class IKRQServer:
                      for name, value in (entry.get("memory") or {}).items()},
                     shard=shard, venue=entry.get("venue"),
                     generation=entry.get("generation"))
+                # Which compute tier each shard actually runs: an info
+                # gauge (constant 1) carrying the backend as a label,
+                # so operators can assert the fleet is on the fast
+                # kernel rather than silently degraded to python.
+                if entry.get("kernel"):
+                    self.metrics.set_gauge(
+                        "ikrq_shard_kernel_info", 1, shard=shard,
+                        venue=entry.get("venue"),
+                        generation=entry.get("generation"),
+                        kernel=entry.get("kernel"))
         registry = self.dispatcher.registry
         for venue in registry.venues():
             active = registry.active_generation(venue)

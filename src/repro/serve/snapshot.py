@@ -199,14 +199,16 @@ def is_snapshot_document(doc: Dict) -> bool:
 
 def engine_from_snapshot(doc: Dict,
                          matrix_spill_path: Optional[str] = None,
-                         matrix_max_rows=_UNSET) -> IKRQEngine:
+                         matrix_max_rows=_UNSET,
+                         kernel: Optional[str] = None) -> IKRQEngine:
     """Rebuild a ready-to-serve engine without running any index build.
 
     The CSR buffers, skeleton matrix and warm door-matrix rows are
     adopted as-is (``DoorGraph.csr_builds`` / ``SkeletonIndex.s2s_builds``
     stay untouched — tests assert the cold-start skips the rebuild).
     ``matrix_spill_path`` / ``matrix_max_rows`` mirror
-    :func:`load_snapshot`'s memory-tiering overrides.
+    :func:`load_snapshot`'s memory-tiering overrides; ``kernel``
+    selects the compute backend (see :mod:`repro.space.kernels`).
     """
     if not is_snapshot_document(doc):
         raise ValueError(f"not a {SNAPSHOT_FORMAT} document")
@@ -241,7 +243,8 @@ def engine_from_snapshot(doc: Dict,
         door_matrix_eager=engine_doc.get("door_matrix_eager", True),
         door_matrix_max_rows=max_rows,
         door_matrix_spill_path=matrix_spill_path,
-        oracle=oracle, graph=graph, skeleton=skeleton, door_matrix=matrix)
+        oracle=oracle, graph=graph, skeleton=skeleton, door_matrix=matrix,
+        kernel=kernel)
 
 
 def prime_from_snapshot(doc: Dict) -> PrimeTable:
@@ -413,7 +416,8 @@ def _engine_from_packed(header: Dict,
                         arrays: "OrderedDict[str, array]",
                         mapped: Optional[Dict] = None,
                         matrix_spill_path: Optional[str] = None,
-                        matrix_max_rows=_UNSET) -> IKRQEngine:
+                        matrix_max_rows=_UNSET,
+                        kernel: Optional[str] = None) -> IKRQEngine:
     """Adopt packed buffers as the runtime structures — no conversion.
 
     The CSR arrays, the flat δs2s table and the dense matrix rows feed
@@ -462,7 +466,8 @@ def _engine_from_packed(header: Dict,
         door_matrix_eager=engine_doc.get("door_matrix_eager", True),
         door_matrix_max_rows=max_rows,
         door_matrix_spill_path=matrix_spill_path,
-        oracle=oracle, graph=graph, skeleton=skeleton, door_matrix=matrix)
+        oracle=oracle, graph=graph, skeleton=skeleton, door_matrix=matrix,
+        kernel=kernel)
     if mapped is not None:
         engine.mapped_bytes = mapped["bytes"]
         engine._snapshot_mmap = mapped["mmap"]
@@ -562,7 +567,8 @@ def read_snapshot(path: Union[str, Path]) -> Dict:
 def load_snapshot(path: Union[str, Path],
                   mmap: bool = False,
                   matrix_spill_path: Optional[str] = None,
-                  matrix_max_rows=_UNSET) -> IKRQEngine:
+                  matrix_max_rows=_UNSET,
+                  kernel: Optional[str] = None) -> IKRQEngine:
     """Load a snapshot file (either encoding) into a ready-to-serve
     engine without running any index build.
 
@@ -579,12 +585,43 @@ def load_snapshot(path: Union[str, Path],
       tier at this path (see :class:`~repro.space.rowcache.RowCacheFile`).
     * ``matrix_max_rows`` — override the snapshot's resident-row
       budget (``None`` lifts it) without re-baking the file.
+    * ``kernel`` — compute-backend selection for the engine (``auto``
+      / ``numpy`` / ``native`` / ``python``); ``None`` keeps the
+      process default (see :mod:`repro.space.kernels`).
     """
     if is_binary_snapshot(path):
         header, arrays, mapped = _read_binary(path, use_mmap=mmap)
         return _engine_from_packed(header, arrays, mapped=mapped,
                                    matrix_spill_path=matrix_spill_path,
-                                   matrix_max_rows=matrix_max_rows)
+                                   matrix_max_rows=matrix_max_rows,
+                                   kernel=kernel)
     return engine_from_snapshot(read_snapshot(path),
                                 matrix_spill_path=matrix_spill_path,
-                                matrix_max_rows=matrix_max_rows)
+                                matrix_max_rows=matrix_max_rows,
+                                kernel=kernel)
+
+
+def warm_mapped(engine: IKRQEngine) -> int:
+    """Prefetch an ``mmap``-backed engine's snapshot pages.
+
+    The post-hot-swap warm pass: advise the kernel the mapping will be
+    needed (``MADV_WILLNEED``) and touch it sequentially at page
+    stride, so first-touch page-in cost lands here — right after a
+    load or generation swap — instead of on the first requests.  A
+    no-op (returns 0) for heap-backed engines; otherwise returns the
+    number of bytes touched.
+    """
+    mapping = engine._snapshot_mmap
+    if mapping is None:
+        return 0
+    import mmap as _mmap
+    try:  # pragma: no cover - madvise may be absent on exotic hosts
+        mapping.madvise(_mmap.MADV_WILLNEED)
+    except (AttributeError, OSError, ValueError):
+        pass
+    size = len(mapping)
+    for offset in range(0, size, 4096):
+        mapping[offset]
+    if size:
+        mapping[size - 1]
+    return size

@@ -116,7 +116,7 @@ class DijkstraWorkspace:
     """
 
     __slots__ = ("dist", "pred", "pred_via", "visit", "settled", "banned",
-                 "target", "epoch", "heap", "touched")
+                 "target", "epoch", "heap", "touched", "kernel_scratch")
 
     def __init__(self, num_nodes: int) -> None:
         self.dist = array("d", [0.0] * num_nodes)
@@ -129,6 +129,9 @@ class DijkstraWorkspace:
         self.epoch = 0
         self.heap: List[Tuple[float, int]] = []
         self.touched: List[int] = []
+        #: Backend-owned scratch (numpy views, native heap buffers);
+        #: lazily attached by the kernel tier, never read here.
+        self.kernel_scratch = None
 
     def begin(self) -> int:
         """Start a new run: bump the epoch and reset the hot lists."""
@@ -197,6 +200,9 @@ class FlatTree:
     def from_workspace(cls, ws: DijkstraWorkspace,
                        graph: "DoorGraph") -> "FlatTree":
         """Freeze the current run of ``ws`` into an immutable tree."""
+        kernel = graph._kernel
+        if kernel is not None and kernel.freeze is not None:
+            return kernel.freeze(graph, ws)
         n = len(graph._door_ids)
         dist = array("d", [INF]) * n
         pred = array("q", [_ROOT]) * n
@@ -413,6 +419,7 @@ class DoorGraph:
             did: idx for idx, did in enumerate(self._door_ids)}
         self._build_csr()
         self._workspace_tls = threading.local()
+        self._kernel = None
 
     @classmethod
     def from_csr(cls,
@@ -447,6 +454,7 @@ class DoorGraph:
         graph._via = _adopt_buffer("q", via)
         graph._wt = _adopt_buffer("d", wt)
         graph._workspace_tls = threading.local()
+        graph._kernel = None
         return graph
 
     def csr_arrays(self) -> Dict[str, list]:
@@ -517,6 +525,26 @@ class DoorGraph:
         return len(self._nbr)
 
     # ------------------------------------------------------------------
+    # Kernel tier
+    # ------------------------------------------------------------------
+    def set_kernel(self, suite) -> None:
+        """Attach a :class:`repro.space.kernels.KernelSuite`.
+
+        ``None`` (or the pure-python suite) detaches the kernel and the
+        interpreted loops run.  Every attached backend is bit-identical
+        to the interpreted core, so swapping kernels never changes a
+        single answer byte.
+        """
+        if suite is not None and suite.name == "python":
+            suite = None
+        self._kernel = suite
+
+    @property
+    def kernel_name(self) -> str:
+        """The active kernel backend name (``python`` when detached)."""
+        return self._kernel.name if self._kernel is not None else "python"
+
+    # ------------------------------------------------------------------
     # Workspaces
     # ------------------------------------------------------------------
     def new_workspace(self) -> DijkstraWorkspace:
@@ -545,7 +573,9 @@ class DoorGraph:
                       banned: Iterable[int],
                       targets: Optional[Iterable[int]],
                       bound: float,
-                      forbid: int = -1) -> None:
+                      forbid: int = -1,
+                      banned_partitions: Optional[FrozenSet[int]] = None,
+                      ) -> None:
         """The one Dijkstra inner loop, parameterised by seed edges.
 
         Args:
@@ -560,7 +590,15 @@ class DoorGraph:
             bound: Distances beyond this value are not explored.
             forbid: Dense index never to relax (the first-hop-restricted
                 searches must not return to their source), ``-1`` none.
+            banned_partitions: Partition ids no edge may traverse
+                (edges whose ``via`` is in the set are skipped).
         """
+        kernel = self._kernel
+        if kernel is not None and kernel.sssp is not None:
+            kernel.sssp(self, ws, seeds, banned, banned_partitions,
+                        targets, bound, forbid)
+            return
+        bp = banned_partitions if banned_partitions else None
         epoch = ws.begin()
         dist = ws.dist
         pred = ws.pred
@@ -589,6 +627,8 @@ class DoorGraph:
         for weight, node, prev, via in seeds:
             if weight > bound or banned_mark[node] == epoch or node == forbid:
                 continue
+            if bp is not None and via in bp:
+                continue
             if visit[node] != epoch:
                 visit[node] = epoch
                 touched.append(node)
@@ -615,6 +655,8 @@ class DoorGraph:
             for k in range(indptr[u], indptr[u + 1]):
                 v = nbr[k]
                 if banned_mark[v] == epoch or settled[v] == epoch or v == forbid:
+                    continue
+                if bp is not None and vias[k] in bp:
                     continue
                 nd = d + wts[k]
                 if nd > bound:
@@ -729,6 +771,7 @@ class DoorGraph:
                  targets: Optional[Set[int]] = None,
                  bound: float = INF,
                  workspace: Optional[DijkstraWorkspace] = None,
+                 banned_partitions: Optional[FrozenSet[int]] = None,
                  ) -> Tuple[Dict[int, float], Dict[int, Tuple[int, int]]]:
         """Shortest distances from door ``source`` to every door.
 
@@ -743,6 +786,10 @@ class DoorGraph:
             bound: Distances beyond this value are not explored.
             workspace: Scratch state to (re)use; defaults to the
                 graph-owned single-threaded workspace.
+            banned_partitions: Partition ids the path may not traverse
+                — no edge through such a partition is relaxed.  The
+                dynamic-overlay hook (closed corridors, maintenance
+                zones); honored identically by every kernel backend.
 
         Returns:
             ``(dist, pred)`` where ``pred[d] = (previous door, via
@@ -764,7 +811,8 @@ class DoorGraph:
         if banned:
             banned_ids = (did for did in banned if did != source)
         self._run_dijkstra(ws, ((0.0, src_idx, _ROOT, -1),),
-                           banned_ids, target_idx, bound)
+                           banned_ids, target_idx, bound,
+                           banned_partitions=banned_partitions)
         return self._dist_dict(ws), self._pred_dict(ws)
 
     def dijkstra_tree(self,
@@ -791,6 +839,7 @@ class DoorGraph:
                        bound: float = INF,
                        first_hop_via: Optional[int] = None,
                        workspace: Optional[DijkstraWorkspace] = None,
+                       banned_partitions: Optional[FrozenSet[int]] = None,
                        ) -> Optional[Tuple[List[int], List[int], float]]:
         """Shortest door route from ``source`` to ``target``.
 
@@ -805,7 +854,8 @@ class DoorGraph:
         if first_hop_via is not None:
             return self.multi_target_routes(
                 source, first_hop_via, {target}, banned=banned,
-                bound=bound, workspace=workspace).get(target)
+                bound=bound, workspace=workspace,
+                banned_partitions=banned_partitions).get(target)
         if source == target:
             return [], [], 0.0
         ws = workspace or self.workspace
@@ -815,7 +865,8 @@ class DoorGraph:
         if banned:
             banned_ids = (did for did in banned if did != source)
         self._run_dijkstra(ws, ((0.0, src_idx, _ROOT, -1),),
-                           banned_ids, (tgt_idx,), bound)
+                           banned_ids, (tgt_idx,), bound,
+                           banned_partitions=banned_partitions)
         routes = self._routes_to(ws, source, (target,), bound)
         return routes.get(target)
 
@@ -826,6 +877,7 @@ class DoorGraph:
                             banned: Optional[FrozenSet[int]] = None,
                             bound: float = INF,
                             workspace: Optional[DijkstraWorkspace] = None,
+                            banned_partitions: Optional[FrozenSet[int]] = None,
                             ) -> Dict[int, Tuple[List[int], List[int], float]]:
         """Shortest first-hop-restricted routes to each target door.
 
@@ -841,7 +893,8 @@ class DoorGraph:
         target_idx = {index[t] for t in targets if t in index}
         target_idx.discard(src_idx)
         self._run_dijkstra(ws, self._first_hop_seeds(source, first_via),
-                           banned or (), target_idx, bound, forbid=src_idx)
+                           banned or (), target_idx, bound, forbid=src_idx,
+                           banned_partitions=banned_partitions)
         return self._routes_to(ws, source, targets, bound)
 
     def routes_from_point(self,
@@ -851,6 +904,7 @@ class DoorGraph:
                           banned: Optional[FrozenSet[int]] = None,
                           bound: float = INF,
                           workspace: Optional[DijkstraWorkspace] = None,
+                          banned_partitions: Optional[FrozenSet[int]] = None,
                           ) -> Dict[int, Tuple[List[int], List[int], float]]:
         """Shortest routes from a free point to each target door.
 
@@ -862,7 +916,8 @@ class DoorGraph:
         index = self._door_index
         target_idx = {index[t] for t in targets if t in index}
         self._run_dijkstra(ws, self._point_seeds(p, host_pid),
-                           banned or (), target_idx, bound)
+                           banned or (), target_idx, bound,
+                           banned_partitions=banned_partitions)
         return self._routes_to(ws, None, targets, bound)
 
     # ------------------------------------------------------------------

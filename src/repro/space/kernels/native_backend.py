@@ -1,0 +1,158 @@
+"""The C kernel backend: best-effort build, ctypes dispatch.
+
+``_kernels.c`` is compiled on first use with the system C compiler
+(``$CC`` or ``cc``) into a content-addressed shared object under a
+cache directory (``$REPRO_KERNEL_CACHE`` or
+``<tmp>/repro-kernels``), so the build runs once per source revision
+per machine — no build system, no install-time hook, no new
+dependency.  When no compiler is present (or the build fails) the
+backend reports itself unavailable and selection degrades python-ward;
+nothing in the serving or query path hard-requires it.
+
+The C loop is a transcription of the interpreted Dijkstra (see the
+comment in ``_kernels.c`` for the bit-identity argument).  Lower-bound
+sweeps and tree freezing delegate to the numpy kernels — they are
+already memory-bound vectorized code — which is why this backend
+requires numpy as well (numpy also provides the pointer marshalling
+for ``mmap``-backed read-only snapshot buffers, which ``ctypes``
+cannot address directly).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from array import array
+
+from repro.space.kernels import KernelUnavailable
+
+_SOURCE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                       "_kernels.c")
+
+_lib = None
+
+
+def _cache_dir() -> str:
+    path = os.environ.get("REPRO_KERNEL_CACHE")
+    if not path:
+        path = os.path.join(tempfile.gettempdir(), "repro-kernels")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def _build() -> ctypes.CDLL:
+    with open(_SOURCE, "rb") as fh:
+        source = fh.read()
+    digest = hashlib.sha256(source).hexdigest()[:16]
+    so_path = os.path.join(_cache_dir(), f"repro_kernels_{digest}.so")
+    if not os.path.exists(so_path):
+        cc = shutil.which(os.environ.get("CC") or "cc")
+        if cc is None:
+            raise KernelUnavailable("no C compiler (cc) on PATH")
+        tmp_path = f"{so_path}.{os.getpid()}.tmp"
+        # Plain -O2, deliberately without -ffast-math: the doubles
+        # must round exactly like CPython's.
+        cmd = [cc, "-O2", "-fPIC", "-shared", "-o", tmp_path, _SOURCE]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if proc.returncode != 0:
+            raise KernelUnavailable(
+                f"C kernel build failed: {proc.stderr.strip()[:500]}")
+        os.replace(tmp_path, so_path)
+    lib = ctypes.CDLL(so_path)
+    lib.repro_dijkstra.restype = ctypes.c_int64
+    lib.repro_dijkstra.argtypes = [ctypes.c_void_p] * 5 + [
+        ctypes.c_void_p] * 7 + [ctypes.c_int64] + [
+        ctypes.c_void_p] * 4 + [ctypes.c_int64, ctypes.c_int64,
+        ctypes.c_double, ctypes.c_int64, ctypes.c_void_p,
+        ctypes.c_int64, ctypes.c_void_p]
+    return lib
+
+
+def _library() -> ctypes.CDLL:
+    global _lib
+    if _lib is None:
+        _lib = _build()
+    return _lib
+
+
+def _addr(buf) -> int:
+    """The base address of a typed buffer (array or memoryview)."""
+    if isinstance(buf, array):
+        return buf.buffer_info()[0]
+    # Read-only memoryviews (mmap-backed snapshot sections) have no
+    # ctypes path; numpy addresses them without copying.
+    import numpy as np
+    return np.frombuffer(buf, dtype=np.uint8).ctypes.data
+
+
+def _scratch(ws, graph):
+    """Reusable heap/touched scratch sized for this graph."""
+    scratch = ws.kernel_scratch
+    if scratch is None:
+        scratch = ws.kernel_scratch = {}
+    n = len(graph._door_ids)
+    cap = len(graph._nbr) + n + 16
+    native = scratch.get("native")
+    if native is None or native[0] < cap:
+        heap_buf = ctypes.create_string_buffer(16 * cap)
+        touched_buf = array("q", bytes(8 * n))
+        native = (cap, heap_buf, touched_buf)
+        scratch["native"] = native
+    return native
+
+
+def sssp(graph, ws, seeds, banned, banned_partitions, targets, bound,
+         forbid) -> None:
+    from repro.space.kernels import begin_run
+    lib = _library()
+    epoch, remaining = begin_run(graph, ws, banned, targets)
+    if remaining == 0:
+        return
+    bp = banned_partitions if banned_partitions else None
+    seed_w = array("d")
+    seed_node = array("q")
+    seed_pred = array("q")
+    seed_via = array("q")
+    for weight, node, prev, via in seeds:
+        if bp is not None and via in bp:
+            continue
+        seed_w.append(weight)
+        seed_node.append(node)
+        seed_pred.append(prev)
+        seed_via.append(via)
+    edge_skip_ref = None
+    edge_skip_ptr = 0
+    if bp is not None:
+        from repro.space.kernels.numpy_backend import edge_skip_mask
+        edge_skip_ref = edge_skip_mask(graph, bp)
+        edge_skip_ptr = edge_skip_ref.ctypes.data
+    cap, heap_buf, touched_buf = _scratch(ws, graph)
+    count = lib.repro_dijkstra(
+        _addr(graph._indptr), _addr(graph._nbr), _addr(graph._via),
+        _addr(graph._wt), edge_skip_ptr,
+        _addr(ws.dist), _addr(ws.pred), _addr(ws.pred_via),
+        _addr(ws.visit), _addr(ws.settled), _addr(ws.banned),
+        _addr(ws.target), epoch,
+        _addr(seed_w), _addr(seed_node), _addr(seed_pred),
+        _addr(seed_via), len(seed_w), remaining,
+        float(bound), forbid,
+        ctypes.addressof(heap_buf), cap, _addr(touched_buf))
+    del edge_skip_ref
+    if count < 0:  # pragma: no cover - capacity is provably sufficient
+        raise RuntimeError("native kernel heap overflow")
+    ws.touched.extend(touched_buf[:count])
+
+
+def suite():
+    from repro.space.kernels import KernelSuite
+    from repro.space.kernels import numpy_backend
+    _library()  # raises KernelUnavailable when the build is impossible
+    np_suite = numpy_backend.suite()
+    return KernelSuite("native", sssp=sssp,
+                       sweep_from=np_suite.sweep_from,
+                       sweep_to=np_suite.sweep_to,
+                       freeze=np_suite.freeze)

@@ -1,0 +1,454 @@
+"""Numpy-vectorized kernels: batch Dijkstra relaxation and δs2s sweeps.
+
+Both kernels are **bit-identical** to the interpreted array core —
+not merely equal within tolerance.  The arguments:
+
+Batch relaxation (``sssp``)
+    With ``w_min`` the global minimum edge weight, every frontier
+    entry with ``d < d_min + w_min`` (strictly) can be settled
+    together: any relaxation produced by the batch costs at least
+    ``d_min + w_min``, so no new heap entry can sort before — or tie
+    and interleave with — a batch member, and the interpreted loop
+    would pop exactly these entries first, in ``(d, u)`` order, before
+    any entry pushed by them.  (Entries *at* the threshold are left
+    for the next round, where they sort against the new pushes by
+    ``(d, u)`` exactly as the heap would; with a zero-weight edge in
+    the graph the batch degenerates to one entry per round, which is
+    plain Dijkstra.)  Within a batch the members relax their edges in
+    CSR order; the winning relaxation of a node ``v`` is the
+    lexicographic minimum of ``(nd, member order, k)`` over its
+    candidate edges, which ``numpy.lexsort`` reproduces exactly, and
+    ``nd = d_u + wt[k]`` is the same single IEEE double addition
+    either way.  First-touch (``touched``) order equals the first
+    candidate occurrence in member-then-edge order
+    (``numpy.unique(..., return_index=True)``), and early exit
+    truncates the batch at the member that zeroes the target count,
+    exactly where the interpreted loop breaks.
+
+Lower-bound sweep (``sweep_from`` / ``sweep_to``)
+    The interpreted double loop computes
+    ``(head + s2s[ia, ib]) + tail`` left-associated and takes the
+    minimum; a minimum over IEEE doubles is order-independent, so the
+    broadcast evaluates the identical expression per pair and
+    ``min()`` returns the identical bits.  For the start-side sweep
+    the per-column partial ``c[ib] = min_ia(head[ia] + s2s[ia, ib])``
+    may be hoisted: adding the (door-side) tail last is monotone, so
+    ``min_ib(c[ib] + tail[ib])`` equals the full double minimum
+    exactly.  The terminal-side sweep adds the door-side *head* first,
+    which does not factor, so it evaluates the full 3-D broadcast.
+    Euclidean heads use the same ``dx*dx + dy*dy + dz*dz`` grouping as
+    ``Point.distance_to`` and ``numpy.sqrt`` is correctly rounded like
+    ``math.sqrt``.
+"""
+
+from __future__ import annotations
+
+import math
+from array import array
+
+import numpy as np
+
+from repro.geometry.point import FLOOR_HEIGHT
+
+INF = math.inf
+
+_ROOT = -1
+_POINT = -2
+
+
+# ----------------------------------------------------------------------
+# Cached flat views
+# ----------------------------------------------------------------------
+def _graph_arrays(graph):
+    """Zero-copy numpy views of the graph's CSR buffers (cached)."""
+    cache = graph.__dict__.get("_np_csr")
+    if cache is None:
+        indptr = np.frombuffer(graph._indptr, dtype=np.int64)
+        nbr = np.frombuffer(graph._nbr, dtype=np.int64)
+        via = np.frombuffer(graph._via, dtype=np.int64)
+        wt = np.frombuffer(graph._wt, dtype=np.float64)
+        w_min = float(wt.min()) if wt.size else 0.0
+        cache = graph._np_csr = (indptr, nbr, via, wt, w_min)
+    return cache
+
+
+def _ws_arrays(ws):
+    """Writable numpy views over one workspace's flat scratch arrays."""
+    scratch = ws.kernel_scratch
+    if scratch is None:
+        scratch = ws.kernel_scratch = {}
+    views = scratch.get("np_views")
+    if views is None:
+        views = (
+            np.frombuffer(ws.dist, dtype=np.float64),
+            np.frombuffer(ws.pred, dtype=np.int64),
+            np.frombuffer(ws.pred_via, dtype=np.int64),
+            np.frombuffer(ws.visit, dtype=np.int64),
+            np.frombuffer(ws.settled, dtype=np.int64),
+            np.frombuffer(ws.banned, dtype=np.int64),
+            np.frombuffer(ws.target, dtype=np.int64),
+        )
+        for view in views:
+            view.flags.writeable = True
+        scratch["np_views"] = views
+    return views
+
+
+def edge_skip_mask(graph, banned_partitions) -> np.ndarray:
+    """Per-edge skip mask for a banned-partition set (uint8)."""
+    _, _, via, _, _ = _graph_arrays(graph)
+    pids = np.fromiter(banned_partitions, dtype=np.int64,
+                       count=len(banned_partitions))
+    return np.isin(via, pids).astype(np.uint8)
+
+
+# ----------------------------------------------------------------------
+# Batched Dijkstra
+# ----------------------------------------------------------------------
+def sssp(graph, ws, seeds, banned, banned_partitions, targets, bound,
+         forbid) -> None:
+    from repro.space.kernels import begin_run
+    epoch, remaining = begin_run(graph, ws, banned, targets)
+    if remaining == 0:
+        return
+    indptr, nbr, via, wt, w_min = _graph_arrays(graph)
+    dist, pred, pred_via, visit, settled, banned_mark, target_mark = \
+        _ws_arrays(ws)
+    touched = ws.touched
+    bp = banned_partitions if banned_partitions else None
+    edge_ok = None
+    if bp is not None:
+        edge_ok = ~edge_skip_mask(graph, bp).view(bool)
+
+    # Seed phase: few entries, processed in order with the exact
+    # first-touch / strict-improvement semantics of the interpreted
+    # loop (dominated duplicate pushes included — they are harmless
+    # and keeping them mirrors the heap's contents one to one).
+    seed_d = []
+    seed_u = []
+    for weight, node, prev, seed_via in seeds:
+        if weight > bound or banned_mark[node] == epoch or node == forbid:
+            continue
+        if bp is not None and seed_via in bp:
+            continue
+        if visit[node] != epoch:
+            visit[node] = epoch
+            touched.append(node)
+        elif weight >= dist[node]:
+            continue
+        dist[node] = weight
+        pred[node] = prev
+        pred_via[node] = seed_via
+        seed_d.append(weight)
+        seed_u.append(node)
+    frontier_d = np.array(seed_d, dtype=np.float64)
+    frontier_u = np.array(seed_u, dtype=np.int64)
+
+    while frontier_d.size:
+        d_min = frontier_d.min()
+        if w_min > 0.0:
+            sel = frontier_d < d_min + w_min
+        else:
+            # Zero-weight edges: no safe batch width — settle exactly
+            # the heap's next pop, the lexicographically minimal entry.
+            sel = np.zeros(frontier_d.size, dtype=bool)
+            sel[np.lexsort((frontier_u, frontier_d))[0]] = True
+        sel_d = frontier_d[sel]
+        sel_u = frontier_u[sel]
+        frontier_d = frontier_d[~sel]
+        frontier_u = frontier_u[~sel]
+        # Batch members: per node the minimal (d, u) entry, ordered by
+        # (d, u) — the exact heap settle order — minus stale entries.
+        order = np.lexsort((sel_u, sel_d))
+        sel_d = sel_d[order]
+        sel_u = sel_u[order]
+        uniq_u, first = np.unique(sel_u, return_index=True)
+        mem_d = sel_d[first]
+        mem_u = uniq_u
+        morder = np.lexsort((mem_u, mem_d))
+        mem_d = mem_d[morder]
+        mem_u = mem_u[morder]
+        alive = settled[mem_u] != epoch
+        if not alive.all():
+            mem_d = mem_d[alive]
+            mem_u = mem_u[alive]
+        if mem_u.size == 0:
+            continue
+        cut = mem_u.size
+        settle_to = mem_u.size
+        done = False
+        if remaining >= 0:
+            hits = target_mark[mem_u] == epoch
+            total_hits = int(hits.sum())
+            if total_hits >= remaining:
+                # The member that zeroes the count settles but — like
+                # the interpreted break — relaxes nothing; later
+                # members stay unsettled in the (discarded) frontier.
+                cum = np.cumsum(hits)
+                pos = int(np.searchsorted(cum, remaining))
+                settle_to = pos + 1
+                cut = pos
+                remaining = 0
+                done = True
+            else:
+                remaining -= total_hits
+        settled[mem_u[:settle_to]] = epoch
+        relax_u = mem_u[:cut]
+        relax_d = mem_d[:cut]
+        if relax_u.size:
+            starts = indptr[relax_u]
+            counts = indptr[relax_u + 1] - starts
+            total = int(counts.sum())
+            if total:
+                member_of = np.repeat(
+                    np.arange(relax_u.size, dtype=np.int64), counts)
+                cum_counts = np.cumsum(counts)
+                kk = (np.repeat(starts, counts)
+                      + np.arange(total, dtype=np.int64)
+                      - np.repeat(cum_counts - counts, counts))
+                v = nbr[kk]
+                nd = relax_d[member_of] + wt[kk]
+                ok = ((banned_mark[v] != epoch)
+                      & (settled[v] != epoch)
+                      & (nd <= bound))
+                if forbid >= 0:
+                    ok &= v != forbid
+                if edge_ok is not None:
+                    ok &= edge_ok[kk]
+                v = v[ok]
+                if v.size:
+                    nd = nd[ok]
+                    kk = kk[ok]
+                    member_of = member_of[ok]
+                    # Winner per node: lexmin of (nd, member order, k),
+                    # i.e. (nd, candidate position); first candidate
+                    # occurrence drives the touched order.
+                    cand_pos = np.arange(v.size, dtype=np.int64)
+                    ordc = np.lexsort((cand_pos, nd, v))
+                    uniq_v, first_occ = np.unique(v, return_index=True)
+                    win_pos = np.searchsorted(v[ordc], uniq_v)
+                    win = ordc[win_pos]
+                    wnd = nd[win]
+                    new = visit[uniq_v] != epoch
+                    improve = new | (wnd < dist[uniq_v])
+                    if improve.any():
+                        av = uniq_v[improve]
+                        a_nd = wnd[improve]
+                        a_kk = kk[win][improve]
+                        a_member = member_of[win][improve]
+                        a_new = new[improve]
+                        a_first = first_occ[improve]
+                        if a_new.any():
+                            newv = av[a_new]
+                            norder = np.argsort(a_first[a_new],
+                                                kind="stable")
+                            touched.extend(newv[norder].tolist())
+                            visit[newv] = epoch
+                        dist[av] = a_nd
+                        pred[av] = relax_u[a_member]
+                        pred_via[av] = via[a_kk]
+                        frontier_d = np.concatenate((frontier_d, a_nd))
+                        frontier_u = np.concatenate((frontier_u, av))
+        if done:
+            return
+
+
+# ----------------------------------------------------------------------
+# Tree freezing
+# ----------------------------------------------------------------------
+def freeze(graph, ws):
+    """Vectorized :meth:`FlatTree.from_workspace` (identical buffers)."""
+    from repro.space.graph import FlatTree
+    n = len(graph._door_ids)
+    touched = np.fromiter(ws.touched, dtype=np.int64,
+                          count=len(ws.touched))
+    ws_dist = np.frombuffer(ws.dist, dtype=np.float64)
+    ws_pred = np.frombuffer(ws.pred, dtype=np.int64)
+    ws_via = np.frombuffer(ws.pred_via, dtype=np.int64)
+    dist = np.full(n, INF, dtype=np.float64)
+    pred = np.full(n, _ROOT, dtype=np.int64)
+    pred_via = np.full(n, -1, dtype=np.int64)
+    dist[touched] = ws_dist[touched]
+    pred[touched] = ws_pred[touched]
+    pred_via[touched] = ws_via[touched]
+    dist_a = array("d")
+    dist_a.frombytes(dist.tobytes())
+    pred_a = array("q")
+    pred_a.frombytes(pred.tobytes())
+    via_a = array("q")
+    via_a.frombytes(pred_via.tobytes())
+    touched_a = array("q")
+    touched_a.frombytes(touched.tobytes())
+    return FlatTree(graph._door_ids, graph._door_index,
+                    dist_a, pred_a, via_a, touched_a)
+
+
+# ----------------------------------------------------------------------
+# Lower-bound sweeps
+# ----------------------------------------------------------------------
+def _skeleton_arrays(skeleton):
+    """Whole-venue door arrays + padded stair-head matrix (cached).
+
+    One flat layout instead of per-floor groups: every door carries
+    its floor's stair-door rows and head distances padded to the
+    widest floor with ``+inf`` heads (and row index 0, never selected
+    because ``inf + anything = inf``).  ``min`` over the padding is
+    exact — the padded entries can only lose — so a single vectorized
+    reduction over the padded matrix is bit-identical to the per-floor
+    minima, and a whole sweep becomes a handful of array ops with no
+    Python-level group loop.  Doors on a stairless floor get an
+    all-``inf`` row, reproducing the interpreted empty-pairs ``INF``.
+    ``floor_slices`` maps each floor to its contiguous ``[start, end)``
+    slice of the door order (ids ascend within a floor; dict equality
+    with the interpreted sweep does not care about iteration order).
+    """
+    cache = skeleton._kernel_cache.get("np")
+    if cache is None:
+        n = len(skeleton._stair_doors)
+        if n:
+            s2s = np.frombuffer(skeleton._s2s,
+                                dtype=np.float64).reshape(n, n)
+        else:
+            s2s = np.zeros((0, 0), dtype=np.float64)
+        px = np.frombuffer(skeleton._px, dtype=np.float64)
+        py = np.frombuffer(skeleton._py, dtype=np.float64)
+        pz = np.frombuffer(skeleton._pz, dtype=np.float64)
+        space = skeleton._space
+        by_floor = {}
+        for did in sorted(space.doors):
+            pos = space.door(did).position
+            by_floor.setdefault(pos.floor, []).append((did, pos))
+        ids = []
+        xs, ys, levels = [], [], []
+        floor_slices = {}
+        floor_rows = []
+        for floor, entries in sorted(by_floor.items()):
+            floor_slices[floor] = (len(ids), len(ids) + len(entries))
+            rows = np.array(skeleton._stair_doors_for_floor(floor),
+                            dtype=np.int64)
+            floor_rows.extend([rows] * len(entries))
+            for did, pos in entries:
+                ids.append(did)
+                xs.append(pos.x)
+                ys.append(pos.y)
+                levels.append(pos.level)
+        x = np.array(xs, dtype=np.float64)
+        y = np.array(ys, dtype=np.float64)
+        level = np.array(levels, dtype=np.float64)
+        z = level * FLOOR_HEIGHT
+        width = max((rows.size for rows in floor_rows), default=0)
+        count = len(ids)
+        rows_pad = np.zeros((count, width), dtype=np.int64)
+        heads_pad = np.full((count, width), INF, dtype=np.float64)
+        for i, rows in enumerate(floor_rows):
+            if rows.size:
+                rows_pad[i, :rows.size] = rows
+                dx = x[i] - px[rows]
+                dy = y[i] - py[rows]
+                dz = z[i] - pz[rows]
+                heads_pad[i, :rows.size] = np.sqrt(
+                    (dx * dx + dy * dy) + dz * dz)
+        flat = (ids, x, y, z, level, floor_slices, rows_pad, heads_pad)
+        cache = (n, s2s, flat)
+        skeleton._kernel_cache["np"] = cache
+    return cache
+
+
+def _attachment_arrays(attachment):
+    pairs = attachment[3]
+    rows = np.fromiter((r for r, _ in pairs), dtype=np.int64,
+                       count=len(pairs))
+    heads = np.fromiter((h for _, h in pairs), dtype=np.float64,
+                        count=len(pairs))
+    return rows, heads
+
+
+def _touch_mask(flat, floor_a, level_a):
+    ids, _, _, _, level, floor_slices, _, _ = flat
+    touch = np.abs(level_a - level) <= 0.5
+    span = floor_slices.get(floor_a)
+    if span is not None:
+        touch[span[0]:span[1]] = True
+    return touch
+
+
+def sweep_from(skeleton, ha):
+    """``{door id: lower_bound_heads(ha, heads(door))}`` for all doors."""
+    n, s2s, flat = _skeleton_arrays(skeleton)
+    ids, x, y, z, level, _, rows_pad, heads_pad = flat
+    pos_a, floor_a, level_a, pairs_a, _ = ha
+    az = level_a * FLOOR_HEIGHT
+    if pairs_a and n and heads_pad.shape[1]:
+        rows_a, heads_a = _attachment_arrays(ha)
+        # c[ib] = min_ia (head[ia] + s2s[ia, ib]); adding the door
+        # tail afterwards is monotone, so the hoist is exact.
+        c = (heads_a[:, None] + s2s[rows_a, :]).min(axis=0)
+        vals = (c[rows_pad] + heads_pad).min(axis=1)
+    else:
+        vals = np.full(len(ids), INF)
+    dx = pos_a.x - x
+    dy = pos_a.y - y
+    dz = az - z
+    euclid = np.sqrt((dx * dx + dy * dy) + dz * dz)
+    res = np.where(_touch_mask(flat, floor_a, level_a), euclid, vals)
+    return dict(zip(ids, res.tolist()))
+
+
+def _sweep_to_tables(skeleton, flat, r_b):
+    """Read-only gather tables for a terminal side of ``r_b`` pairs.
+
+    Column order is ``(stair slot i, terminal pair j) -> i * r_b + j``
+    over the padded width: ``idx`` maps each cell to its entry in the
+    flattened ``s2s[:, rows_b]`` block and ``heads_rep`` repeats each
+    door-side head across the terminal pairs.  Both depend only on
+    the venue layout and ``r_b``, never on the endpoint itself, so
+    they are cached per skeleton (and, being read-only, safely shared
+    across concurrent sweeps; the per-call outputs are fresh arrays).
+    """
+    cache = skeleton._kernel_cache.setdefault("np_to", {})
+    entry = cache.get(r_b)
+    if entry is None:
+        rows_pad, heads_pad = flat[6], flat[7]
+        count, width = rows_pad.shape
+        idx = (rows_pad[:, :, None] * r_b
+               + np.arange(r_b, dtype=np.int64)[None, None, :]
+               ).reshape(count, width * r_b)
+        heads_rep = np.repeat(heads_pad, r_b, axis=1)
+        entry = (idx, heads_rep)
+        cache[r_b] = entry
+    return entry
+
+
+def sweep_to(skeleton, hb):
+    """``{door id: lower_bound_heads(heads(door), hb)}`` for all doors."""
+    n, s2s, flat = _skeleton_arrays(skeleton)
+    ids, x, y, z, level, _, rows_pad, heads_pad = flat
+    pos_b, floor_b, level_b, pairs_b, _ = hb
+    bz = level_b * FLOOR_HEIGHT
+    width = heads_pad.shape[1]
+    if pairs_b and n and width:
+        rows_b, heads_b = _attachment_arrays(hb)
+        # The door-side head is added *first*, which does not factor
+        # out of the minimum exactly — evaluate every
+        # (door, stair slot, terminal pair) sum.  Flat 2-D layout:
+        # contiguous gather + adds beat the equivalent 3-D broadcast
+        # by several times at these shapes.
+        idx, heads_rep = _sweep_to_tables(skeleton, flat, rows_b.size)
+        totals = s2s[:, rows_b].ravel()[idx]
+        np.add(heads_rep, totals, out=totals)
+        totals += np.tile(heads_b, width)
+        vals = totals.min(axis=1)
+    else:
+        vals = np.full(len(ids), INF)
+    dx = x - pos_b.x
+    dy = y - pos_b.y
+    dz = z - bz
+    euclid = np.sqrt((dx * dx + dy * dy) + dz * dz)
+    res = np.where(_touch_mask(flat, floor_b, level_b), euclid, vals)
+    return dict(zip(ids, res.tolist()))
+
+
+def suite():
+    from repro.space.kernels import KernelSuite
+    return KernelSuite("numpy", sssp=sssp, sweep_from=sweep_from,
+                       sweep_to=sweep_to, freeze=freeze)

@@ -1,0 +1,402 @@
+"""Kernel tier bit-identity: every backend against the interpreted core.
+
+The compiled kernel tier (:mod:`repro.space.kernels`) promises that
+swapping backends never changes a single answer byte.  These tests
+hold it to that across:
+
+* raw graph state — ``dijkstra`` dist/pred maps, ``dijkstra_tree``
+  buffer bytes (including visit order), route reconstruction — under
+  randomized banned sets, banned partitions, target sets and bounds,
+* the skeleton lower-bound sweeps vs. the per-door interpreted calls,
+* engine-level query answers (full result signatures),
+* snapshot-loaded engines, both eager heap buffers and ``mmap``-backed
+  read-only memoryviews,
+* a fuzz sweep over randomized synthetic venues.
+
+Fuzz failures print per-seed reproduction instructions; every fuzz
+case is reconstructible from its seed alone.
+
+Backends that are unavailable in the environment (e.g. ``native``
+without a C compiler) are skipped here — their graceful python-ward
+degradation is covered by the resolution tests, which simulate the
+absence instead of requiring it.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core import IKRQ, IKRQEngine
+from repro.space import DoorGraph
+from repro.space import kernels
+from repro.space.kernels import (BACKENDS, available_backends, get_suite,
+                                 kernel_info, resolve_backend)
+from repro.space.skeleton import SkeletonIndex
+from tests.conftest import random_small_space
+
+INF = math.inf
+
+AVAILABILITY = available_backends()
+#: The faster-than-interpreted backends usable in this environment.
+FAST = [name for name in ("numpy", "native") if AVAILABILITY[name] is None]
+
+
+def tree_bytes(tree):
+    return (bytes(tree.dist), bytes(tree.pred), bytes(tree.pred_via),
+            bytes(tree.touched))
+
+
+def answer_signatures(answers):
+    return [[(tuple(repr(i) for i in r.route.items), r.route.vias,
+              r.distance, r.score) for r in a.routes] for a in answers]
+
+
+def venues():
+    from repro.datasets import paper_fig1
+    from repro.datasets.synth import SynthMallConfig, build_synth_mall
+    out = [("fig1", paper_fig1().space)]
+    for seed in (0, 3):
+        space, _, _, _ = random_small_space(seed)
+        out.append((f"synthetic{seed}", space))
+    mall, _ = build_synth_mall(
+        SynthMallConfig(floors=3, rooms_per_floor=10, seed=5))
+    out.append(("mall3", mall))
+    return out
+
+
+@pytest.fixture(scope="module", params=venues(), ids=lambda v: v[0])
+def venue(request):
+    name, space = request.param
+    return space
+
+
+def random_cases(space, rng, n=30):
+    doors = sorted(space.doors)
+    partitions = sorted(space.partitions)
+    for _ in range(n):
+        source = rng.choice(doors)
+        banned = frozenset(rng.sample(doors, k=rng.randint(0, 3))) - {source}
+        banned_parts = (None if rng.random() < 0.5 else frozenset(
+            rng.sample(partitions, k=rng.randint(1, 2))))
+        bound = rng.choice((INF, rng.uniform(5.0, 80.0)))
+        targets = (None if rng.random() < 0.4 else
+                   set(rng.sample(doors, k=rng.randint(1, 4))))
+        yield source, banned, banned_parts, targets, bound
+
+
+# ----------------------------------------------------------------------
+# Backend selection and degradation
+# ----------------------------------------------------------------------
+class TestResolution:
+    def test_default_is_python(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        assert resolve_backend(None) == "python"
+        assert get_suite(None).name == "python"
+
+    def test_env_variable_selects_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "numpy")
+        expected = "numpy" if AVAILABILITY["numpy"] is None else "python"
+        assert resolve_backend(None) == expected
+
+    def test_auto_prefers_fastest_available(self):
+        expected = next(name for name in BACKENDS
+                        if AVAILABILITY[name] is None)
+        assert resolve_backend("auto") == expected
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            resolve_backend("fortran")
+
+    def test_python_suite_has_no_hooks(self):
+        suite = get_suite("python")
+        assert suite.name == "python"
+        assert suite.sssp is None and suite.freeze is None
+        assert suite.sweep_from is None and suite.sweep_to is None
+
+    def test_named_backend_degrades_python_ward(self, monkeypatch):
+        # Simulate a box with no compiled tiers at all: asking for the
+        # fastest backend by name must yield the interpreted core, not
+        # an error — the serve fleet relies on this when a container
+        # image lacks a C compiler.
+        monkeypatch.setattr(
+            kernels, "_suites", {"python": kernels._PYTHON_SUITE})
+        monkeypatch.setattr(kernels, "_unavailable", {
+            "native": "KernelUnavailable: simulated",
+            "numpy": "ImportError: simulated",
+        })
+        assert resolve_backend("native") == "python"
+        assert resolve_backend("numpy") == "python"
+        assert resolve_backend("auto") == "python"
+        info = kernel_info("native")
+        assert info["active"] == "python"
+        assert "simulated" in info["available"]["native"]
+
+    def test_native_degrades_to_numpy_first(self, monkeypatch):
+        if AVAILABILITY["numpy"] is not None:
+            pytest.skip("numpy backend unavailable")
+        monkeypatch.setattr(kernels, "_suites", {
+            "python": kernels._PYTHON_SUITE,
+            "numpy": kernels._suites["numpy"],
+        })
+        monkeypatch.setattr(kernels, "_unavailable",
+                            {"native": "KernelUnavailable: simulated"})
+        assert resolve_backend("native") == "numpy"
+
+    def test_engine_reports_backend(self):
+        space, kindex, _, _ = random_small_space(1)
+        engine = IKRQEngine(space, kindex)
+        assert engine.kernel_backend == "python"
+        info = engine.kernel_info()
+        assert info["active"] == "python"
+        assert set(info["available"]) == set(BACKENDS)
+
+
+# ----------------------------------------------------------------------
+# Raw graph identity
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", FAST)
+class TestGraphIdentity:
+    def test_dijkstra_state_matches_interpreted(self, venue, backend):
+        space = venue
+        plain = DoorGraph(space)
+        fast = DoorGraph(space)
+        fast.set_kernel(get_suite(backend))
+        assert fast.kernel_name == backend
+        rng = random.Random(23)
+        for source, banned, bp, targets, bound in random_cases(space, rng):
+            ref = plain.dijkstra(source, banned=banned,
+                                 targets=set(targets) if targets else None,
+                                 bound=bound, banned_partitions=bp)
+            got = fast.dijkstra(source, banned=banned,
+                                targets=set(targets) if targets else None,
+                                bound=bound, banned_partitions=bp)
+            assert got == ref
+
+    def test_tree_buffers_match_interpreted(self, venue, backend):
+        space = venue
+        plain = DoorGraph(space)
+        fast = DoorGraph(space)
+        fast.set_kernel(get_suite(backend))
+        for source in sorted(space.doors)[::3]:
+            ref = plain.dijkstra_tree(source)
+            got = fast.dijkstra_tree(source)
+            assert tree_bytes(got) == tree_bytes(ref)
+
+    def test_routes_match_interpreted(self, venue, backend):
+        space = venue
+        plain = DoorGraph(space)
+        fast = DoorGraph(space)
+        fast.set_kernel(get_suite(backend))
+        rng = random.Random(29)
+        doors = sorted(space.doors)
+        for _ in range(25):
+            source = rng.choice(doors)
+            vias = sorted(space.d2p_leave(source))
+            if not vias:
+                continue
+            first_via = rng.choice(vias)
+            targets = set(rng.sample(doors, k=rng.randint(1, 5)))
+            banned = frozenset(rng.sample(doors, k=rng.randint(0, 3)))
+            bp = (None if rng.random() < 0.5 else
+                  frozenset(rng.sample(sorted(space.partitions), k=1)))
+            bound = rng.choice((INF, rng.uniform(5.0, 80.0)))
+            ref = plain.multi_target_routes(source, first_via, targets,
+                                            banned=banned, bound=bound,
+                                            banned_partitions=bp)
+            got = fast.multi_target_routes(source, first_via, targets,
+                                           banned=banned, bound=bound,
+                                           banned_partitions=bp)
+            assert got == ref
+
+    def test_point_routes_match_interpreted(self, venue, backend):
+        space = venue
+        plain = DoorGraph(space)
+        fast = DoorGraph(space)
+        fast.set_kernel(get_suite(backend))
+        rng = random.Random(31)
+        doors = sorted(space.doors)
+        partitions = sorted(space.partitions)
+        for _ in range(20):
+            pid = rng.choice(partitions)
+            p = space.partition(pid).footprint.random_interior_point(rng)
+            host = space.host_partition(p).pid
+            targets = set(rng.sample(doors, k=rng.randint(1, 4)))
+            banned = frozenset(rng.sample(doors, k=rng.randint(0, 3)))
+            ref = plain.routes_from_point(p, host, targets, banned=banned)
+            got = fast.routes_from_point(p, host, targets, banned=banned)
+            assert got == ref
+
+
+class TestBannedPartitions:
+    """The first-class banned-partition API on the interpreted core."""
+
+    def test_banned_partition_excludes_its_edges(self, venue):
+        space = venue
+        graph = DoorGraph(space)
+        rng = random.Random(37)
+        doors = sorted(space.doors)
+        partitions = sorted(space.partitions)
+        for _ in range(15):
+            source = rng.choice(doors)
+            bp = frozenset(rng.sample(partitions, k=rng.randint(1, 2)))
+            dist, pred = graph.dijkstra(source, banned_partitions=bp)
+            # No settled door may have been reached through a banned
+            # partition.
+            for door, (prev, via) in pred.items():
+                assert via not in bp, (door, via)
+
+    def test_empty_set_equals_none(self, venue):
+        space = venue
+        graph = DoorGraph(space)
+        source = sorted(space.doors)[0]
+        assert (graph.dijkstra(source, banned_partitions=frozenset())
+                == graph.dijkstra(source))
+
+
+# ----------------------------------------------------------------------
+# Lower-bound sweep identity
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", FAST)
+class TestSweepIdentity:
+    def test_sweeps_match_per_door_calls(self, venue, backend):
+        space = venue
+        plain = SkeletonIndex(space)
+        fast = SkeletonIndex(space)
+        fast.set_kernel(get_suite(backend))
+        assert fast.kernel_name == backend
+        rng = random.Random(41)
+        doors = sorted(space.doors)
+        partitions = sorted(space.partitions)
+        endpoints = [rng.choice(doors) for _ in range(3)]
+        for pid in rng.sample(partitions, k=min(3, len(partitions))):
+            endpoints.append(
+                space.partition(pid).footprint.random_interior_point(rng))
+        for endpoint in endpoints:
+            ha = plain.heads(endpoint)
+            ref_from = {did: plain.lower_bound_heads(ha, plain.heads(did))
+                        for did in doors}
+            ref_to = {did: plain.lower_bound_heads(plain.heads(did), ha)
+                      for did in doors}
+            assert fast.lower_bound_sweep_from(fast.heads(endpoint)) \
+                == ref_from
+            assert fast.lower_bound_sweep_to(fast.heads(endpoint)) == ref_to
+
+    def test_detached_sweep_equals_attached(self, venue, backend):
+        space = venue
+        skeleton = SkeletonIndex(space)
+        door = sorted(space.doors)[0]
+        ha = skeleton.heads(door)
+        interpreted = skeleton.lower_bound_sweep_from(ha)
+        skeleton.set_kernel(get_suite(backend))
+        assert skeleton.lower_bound_sweep_from(ha) == interpreted
+        skeleton.set_kernel(None)
+        assert skeleton.kernel_name == "python"
+        assert skeleton.lower_bound_sweep_from(ha) == interpreted
+
+
+# ----------------------------------------------------------------------
+# Engine-level and snapshot identity
+# ----------------------------------------------------------------------
+def mall_fixture():
+    from repro.datasets.synth import SynthMallConfig, build_synth_mall
+    space, kindex = build_synth_mall(
+        SynthMallConfig(floors=2, rooms_per_floor=10, seed=9))
+    return space, kindex
+
+
+def mall_queries(space, kindex, rng, n=6):
+    doors = sorted(space.doors)
+    iwords = sorted(kindex.iwords)
+    queries = []
+    for _ in range(n):
+        ps = space.door(rng.choice(doors)).position
+        pt = space.door(rng.choice(doors)).position
+        keywords = tuple(rng.sample(iwords, k=min(3, len(iwords))))
+        queries.append(IKRQ(ps=ps, pt=pt, delta=rng.uniform(60.0, 140.0),
+                            keywords=keywords, k=rng.choice((1, 3))))
+    return queries
+
+
+@pytest.mark.parametrize("backend", FAST)
+class TestEngineIdentity:
+    def test_answers_match_interpreted_engine(self, backend):
+        space, kindex = mall_fixture()
+        queries = mall_queries(space, kindex, random.Random(43))
+        plain = IKRQEngine(space, kindex)
+        fast = IKRQEngine(space, kindex, kernel=backend)
+        assert fast.kernel_backend == backend
+        assert fast.kernel_info()["active"] == backend
+        ref = [plain.search(q, "ToE") for q in queries]
+        got = [fast.search(q, "ToE") for q in queries]
+        assert answer_signatures(got) == answer_signatures(ref)
+
+    @pytest.mark.parametrize("mapped", [False, True],
+                             ids=["eager", "mmap"])
+    def test_snapshot_loaded_engine_matches(self, backend, mapped,
+                                            tmp_path):
+        from repro.serve.snapshot import load_snapshot, save_snapshot
+        space, kindex = mall_fixture()
+        rng = random.Random(47)
+        queries = mall_queries(space, kindex, rng)
+        plain = IKRQEngine(space, kindex)
+        ref = [plain.search(q, "ToE") for q in queries]
+        path = tmp_path / "venue.snap.bin"
+        save_snapshot(path, plain, binary=True)
+        loaded = load_snapshot(path, mmap=mapped, kernel=backend)
+        got = [loaded.search(q, "ToE") for q in queries]
+        assert answer_signatures(got) == answer_signatures(ref)
+        # Raw banned-set runs over the loaded buffers (read-only
+        # memoryviews under mmap) must also match the live graph.
+        doors = sorted(space.doors)
+        for _ in range(10):
+            source = rng.choice(doors)
+            banned = frozenset(rng.sample(doors, k=2)) - {source}
+            assert (loaded.graph.dijkstra(source, banned=banned)
+                    == plain.graph.dijkstra(source, banned=banned))
+
+
+# ----------------------------------------------------------------------
+# Fuzz sweep
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", range(8))
+def test_fuzz_random_venues_bit_identical(seed):
+    """Randomized venues x randomized runs, every available backend.
+
+    Reproduce one failing seed with::
+
+        PYTHONPATH=src python -m pytest \
+            "tests/test_kernels.py::test_fuzz_random_venues_bit_identical[SEED]"
+
+    or interactively::
+
+        from tests.conftest import random_small_space
+        space, _, _, _ = random_small_space(SEED)
+
+    and replay the printed case tuple against ``DoorGraph.dijkstra``.
+    """
+    if not FAST:
+        pytest.skip("no accelerated backend available")
+    space, _, _, _ = random_small_space(seed, n_rooms=4 + seed % 3)
+    plain = DoorGraph(space)
+    fast_graphs = []
+    for backend in FAST:
+        g = DoorGraph(space)
+        g.set_kernel(get_suite(backend))
+        fast_graphs.append((backend, g))
+    rng = random.Random(1000 + seed)
+    for case in random_cases(space, rng, n=20):
+        source, banned, bp, targets, bound = case
+        ref = plain.dijkstra(source, banned=banned,
+                             targets=set(targets) if targets else None,
+                             bound=bound, banned_partitions=bp)
+        for backend, g in fast_graphs:
+            got = g.dijkstra(source, banned=banned,
+                             targets=set(targets) if targets else None,
+                             bound=bound, banned_partitions=bp)
+            assert got == ref, (
+                f"kernel {backend!r} diverged on venue seed {seed}, case "
+                f"{case!r}; reproduce with random_small_space({seed}, "
+                f"n_rooms={4 + seed % 3}) and this exact case tuple")
