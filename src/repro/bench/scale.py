@@ -24,10 +24,14 @@ path: for each venue size it
    gate — the per-kernel speedup entries of the trajectory,
 7. splits one untimed instrumented pass into relaxation vs.
    lower-bound vs. merge wall time (where does a query's time go?),
-8. appends one entry per size — qps for all modes, the speedup over
-   the dict core, per-kernel stage speedups, the stage split,
-   p50/p95/p99 latencies and cold-start times — to the
-   ``BENCH_throughput.json`` trajectory.
+8. replays the stream once more with serve-style request tracing
+   (:mod:`repro.obs` recorder + engine-stage probe every Nth query)
+   against a bare twin engine and reports the qps overhead — the
+   audit for the ≤2% tracing budget,
+9. appends one entry per size — qps for all modes, the speedup over
+   the dict core, per-kernel stage speedups, the stage split, the
+   tracing overhead, p50/p95/p99 latencies and cold-start times — to
+   the ``BENCH_throughput.json`` trajectory.
 
 Run it from the shell::
 
@@ -49,6 +53,7 @@ import random
 from repro.bench.throughput import (DEFAULT_ARTIFACT, _signature,
                                     append_trajectory, latency_percentiles)
 from repro.core.engine import IKRQEngine, canonical_algorithm
+from repro.obs import STAGE_ENGINE, EngineTrace, TraceRecorder
 from repro.datasets.queries import QueryGenerator
 from repro.datasets.synth import (SynthMallConfig, build_synth_mall,
                                   mall_stats, venue_diameter)
@@ -201,6 +206,90 @@ def _stage_breakdown(engine: IKRQEngine, stream, algorithm: str) -> Dict:
         out["lower_bound_pct"] = 100.0 * acc["lower_bound_s"] / total
         out["merge_pct"] = 100.0 * merge / total
     return out
+
+
+#: Every Nth query of the traced overhead contender runs with the fine
+#: engine-stage probe attached — the worker's behaviour under the
+#: default 1% sampling plus forced/slow traces, rounded up to stay
+#: conservative.
+TRACE_FINE_EVERY = 20
+
+
+def _tracing_overhead(space, kindex, stream, distinct, algorithm: str,
+                      fine_every: int = TRACE_FINE_EVERY,
+                      passes: int = TIMED_PASSES) -> Dict:
+    """Serve-style tracing cost on sequential engine throughput.
+
+    Replays the stream through two fresh warmed engines — one bare,
+    one doing per-query what the shard worker does for every request
+    (a :class:`TraceRecorder` engine span, an :class:`EngineTrace`,
+    the stage-span graft and the finished trace document), with the
+    fine stage probe attached every ``fine_every``-th query.  Passes
+    are interleaved and best-of like the main replay, answers are
+    signature-checked (tracing must only observe), and the qps delta
+    is reported as ``overhead_pct`` — the number the ≤2% tracing
+    budget in docs/observability.md is audited against.
+    """
+    plain = IKRQEngine(space, kindex, door_matrix_eager=False)
+    traced = IKRQEngine(space, kindex, door_matrix_eager=False)
+    for query in distinct:
+        plain.search(query, algorithm)
+        traced.search(query, algorithm)
+
+    def _plain_pass():
+        # Bare loop, not _one_pass: its per-query latency stopwatch
+        # would pad the plain side and understate the overhead.
+        answers = []
+        started = time.perf_counter()
+        for query in stream:
+            answers.append(plain.search(query, algorithm))
+        return answers, time.perf_counter() - started
+
+    counter = [0]
+
+    def _traced_pass():
+        answers = []
+        started = time.perf_counter()
+        for query in stream:
+            recorder = TraceRecorder()
+            trace = EngineTrace(fine=counter[0] % fine_every == 0)
+            counter[0] += 1
+            with recorder.span(STAGE_ENGINE) as span:
+                ctx = traced.context(query)
+                if trace.fine:
+                    ctx.attach_stage_probe(trace.stages)
+                answers.append(traced.search(query, algorithm, context=ctx))
+                engine_ms = recorder.elapsed_ms() - span["start_ms"]
+                span["children"] = trace.stage_spans(span["start_ms"],
+                                                     engine_ms)
+                span["annotations"].update(trace.annotations)
+            recorder.finish("ok")
+        return answers, time.perf_counter() - started
+
+    best_plain = best_traced = float("inf")
+    plain_answers = traced_answers = None
+    for _ in range(max(1, passes)):
+        answers, seconds = _plain_pass()
+        if seconds < best_plain:
+            best_plain, plain_answers = seconds, answers
+        answers, seconds = _traced_pass()
+        if seconds < best_traced:
+            best_traced, traced_answers = seconds, answers
+    if _signature(traced_answers) != _signature(plain_answers):
+        raise AssertionError(
+            "tracing changed the answers — probes must only observe")
+    n = len(stream)
+    overhead = ((best_traced - best_plain) / best_plain * 100.0
+                if best_plain else 0.0)
+    return {
+        "plain_qps": n / best_plain if best_plain else float("inf"),
+        "traced_qps": n / best_traced if best_traced else float("inf"),
+        "plain_seconds": best_plain,
+        "traced_seconds": best_traced,
+        "overhead_pct": overhead,
+        "fine_every": fine_every,
+        "verified_identical": True,
+    }
 
 
 #: Passes for the kernel-stage micro benchmark (best-of, interleaved).
@@ -438,6 +527,7 @@ def run_scale_size(floors: int,
     stage_breakdown = _stage_breakdown(
         IKRQEngine(space, kindex, door_matrix_eager=False), stream,
         algorithm)
+    tracing = _tracing_overhead(space, kindex, stream, distinct, algorithm)
     result = {
         "mode": "scale",
         "venue": "synth",
@@ -464,6 +554,7 @@ def run_scale_size(floors: int,
         },
         "cold_start": cold_start,
         "stage_breakdown": stage_breakdown,
+        "tracing": tracing,
         "kernel_stage": kernel_stage,
         "kernel_end_to_end": kernel_end_to_end,
         "verified_identical": True,
@@ -503,6 +594,14 @@ def _format_kernel_lines(result: Dict) -> List[str]:
             f"  kernel best: {stage['best_backend']} "
             f"{stage['best_speedup']:.1f}x vs interpreted core "
             f"(bit-identical: {stage['verified_identical']})")
+    tracing = result.get("tracing")
+    if tracing:
+        lines.append(
+            f"  tracing    : {tracing['traced_qps']:.1f} q/s traced vs "
+            f"{tracing['plain_qps']:.1f} q/s plain -> "
+            f"{tracing['overhead_pct']:+.2f}% overhead "
+            f"(fine probe every {tracing['fine_every']}th query, "
+            f"identical: {tracing['verified_identical']})")
     e2e = result.get("kernel_end_to_end")
     if e2e:
         parts = []

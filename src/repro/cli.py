@@ -25,6 +25,10 @@ Workflow::
     python -m repro serve --venue mall-a=a.snap --venue airport-b=b.snap
     python -m repro ingest --venue mall-a a.v2.snap --server \
         http://127.0.0.1:8080
+
+    # tail retained request traces (sheds, errors, slow, sampled)
+    python -m repro trace --server http://127.0.0.1:8080 --follow
+    python -m repro trace 9f2c4a1d0b3e5f67   # one span tree by id
 """
 
 from __future__ import annotations
@@ -266,6 +270,72 @@ def _serve_smoke(server, venues: dict) -> int:
                 or listed[swap_venue]["active_generation"] != 2:
             print(f"smoke FAILED: /venues -> {listing}")
             return 1
+        # Trace round trip: force one traced request, fetch its span
+        # tree back from /debug/traces/<id>, check the stage names and
+        # that the recorded stages sum within the end-to-end latency.
+        # The query must be one the earlier checks did NOT ask — an
+        # answer-cache hit would (correctly) skip the engine stages.
+        query = IKRQ(ps=fixture.ps, pt=fixture.pt, delta=65.0,
+                     keywords=("latte", "apple"), k=2)
+        algorithm = "ToE"
+        traced = _post_json(base, "/search",
+                            {"venue": swap_venue,
+                             "query": query_to_wire(query),
+                             "algorithm": algorithm, "trace": True},
+                            timeout=60)
+        trace_id = traced.get("trace_id")
+        if traced.get("status") != "ok" or not trace_id:
+            print(f"smoke FAILED: traced search -> {traced}")
+            return 1
+        with urllib.request.urlopen(base + f"/debug/traces/{trace_id}",
+                                    timeout=30) as resp:
+            trace_doc = json.loads(resp.read())["trace"]
+        if trace_doc.get("trace_id") != trace_id:
+            print(f"smoke FAILED: trace_id did not round-trip: "
+                  f"{trace_doc.get('trace_id')} != {trace_id}")
+            return 1
+        names = set()
+
+        def _walk(spans):
+            for span in spans:
+                names.add(span.get("name"))
+                _walk(span.get("children", []))
+
+        _walk(trace_doc.get("spans", []))
+        expected_stages = {"admission", "generation_acquire",
+                           "shard_dispatch", "queue_wait", "wire_decode",
+                           "engine", "relaxation", "lower_bound", "merge"}
+        if not expected_stages <= names:
+            print(f"smoke FAILED: trace missing stages "
+                  f"{sorted(expected_stages - names)} (got {sorted(names)})")
+            return 1
+        top_ms = sum(span.get("duration_ms", 0.0)
+                     for span in trace_doc.get("spans", []))
+        if top_ms > trace_doc.get("duration_ms", 0.0) + 0.001:
+            print(f"smoke FAILED: stage durations sum {top_ms:.3f} ms "
+                  f"beyond end-to-end {trace_doc.get('duration_ms')} ms")
+            return 1
+        # Slow-query path: drop the threshold so a normal request
+        # counts as deliberately slow, then check it was retained
+        # with the slow flag (and without a trace=true body).
+        policy = server.dispatcher.trace_policy
+        saved_slow_ms = policy.slow_ms
+        policy.slow_ms = 0.0001
+        try:
+            slow = _post_json(base, "/search",
+                              {"venue": swap_venue,
+                               "query": query_to_wire(query),
+                               "algorithm": algorithm}, timeout=60)
+        finally:
+            policy.slow_ms = saved_slow_ms
+        slow_id = slow.get("trace_id")
+        with urllib.request.urlopen(base + f"/debug/traces/{slow_id}",
+                                    timeout=30) as resp:
+            slow_doc = json.loads(resp.read())["trace"]
+        if not slow_doc.get("slow") or slow_doc.get("reason") != "slow":
+            print(f"smoke FAILED: slow query not retained as slow: "
+                  f"{slow_doc.get('slow')!r}/{slow_doc.get('reason')!r}")
+            return 1
         with urllib.request.urlopen(base + "/healthz", timeout=30) as resp:
             health = json.loads(resp.read())
         with urllib.request.urlopen(base + "/metrics", timeout=30) as resp:
@@ -273,6 +343,9 @@ def _serve_smoke(server, venues: dict) -> int:
         for series in ("ikrq_requests_total", "ikrq_shard_queries_served",
                        "ikrq_request_latency_seconds_bucket",
                        "ikrq_shard_search_latency_seconds_bucket",
+                       "ikrq_stage_latency_seconds_bucket",
+                       'stage="engine"', 'stage="queue_wait"',
+                       "ikrq_search_expansions",
                        "ikrq_venue_active_generation", "ikrq_venues",
                        "ikrq_shard_kernel_info",
                        f'venue="{swap_venue}"'):
@@ -294,7 +367,9 @@ def _serve_smoke(server, venues: dict) -> int:
           f"byte-identical over HTTP (before and after a generation-2 "
           f"hot-swap of {swap_venue!r}), health={health['status']}, "
           f"shards={health['shards']}, shard queries={served}, "
-          f"kernel={'/'.join(kernels) or 'unknown'}, clean shutdown")
+          f"kernel={'/'.join(kernels) or 'unknown'}, "
+          f"trace {trace_id} round-tripped with all 9 stages, "
+          f"slow-query trace retained, clean shutdown")
     return 0
 
 
@@ -307,8 +382,12 @@ def _parse_venue_spec(text: str):
 
 
 def _cmd_serve(args) -> int:
+    from repro.obs import setup_serve_logging
     from repro.serve import DEFAULT_VENUE, IKRQServer, TenantQuota
 
+    # Structured JSON-lines serve log on stderr: slow queries, request
+    # errors and GC events, each stamped with its trace_id.
+    setup_serve_logging()
     specs = list(args.venues or [])
     if args.path is not None:
         specs.append((DEFAULT_VENUE, args.path))
@@ -341,7 +420,10 @@ def _cmd_serve(args) -> int:
             matrix_spill_dir=args.matrix_spill,
             matrix_max_rows=args.matrix_budget,
             gc_keep_last=args.gc_keep,
-            kernel=args.kernel)
+            kernel=args.kernel,
+            trace_sample=args.trace_sample,
+            slow_ms=args.slow_ms,
+            trace_buffer_size=args.trace_buffer)
         if args.smoke:
             return _serve_smoke(server, venues)
         host, port = server.address
@@ -350,8 +432,10 @@ def _cmd_serve(args) -> int:
         print(f"serving {len(venues)} venue(s) "
               f"({', '.join(sorted(venues))}) on http://{host}:{port} "
               f"({args.workers} shard processes, queue depth "
-              f"{args.queue_depth}{quota_note}); POST /search, "
-              f"POST /ingest, GET /venues, GET /healthz, GET /metrics")
+              f"{args.queue_depth}{quota_note}, trace sample "
+              f"{args.trace_sample:g}, slow threshold {args.slow_ms:g} ms); "
+              f"POST /search, POST /ingest, GET /venues, GET /healthz, "
+              f"GET /metrics, GET /debug/traces")
         try:
             server.serve_forever()
         except KeyboardInterrupt:
@@ -363,6 +447,62 @@ def _cmd_serve(args) -> int:
     finally:
         for path in temporaries:
             Path(path).unlink(missing_ok=True)
+
+
+def _cmd_trace(args) -> int:
+    """Tail / pretty-print span trees from a running server."""
+    import time as _time
+    import urllib.error
+    import urllib.request
+
+    from repro.obs import format_trace
+
+    base = args.server.rstrip("/")
+
+    def fetch(path: str) -> dict:
+        with urllib.request.urlopen(base + path, timeout=30) as resp:
+            return json.loads(resp.read())
+
+    if args.trace_id:
+        try:
+            doc = fetch(f"/debug/traces/{args.trace_id}")
+        except urllib.error.HTTPError as err:
+            if err.code == 404:
+                print(f"trace {args.trace_id!r} not found (evicted from "
+                      f"the ring, or never retained)")
+                return 1
+            raise
+        print(format_trace(doc["trace"]))
+        return 0
+
+    params = f"?limit={args.limit}"
+    if args.venue:
+        params += f"&venue={args.venue}"
+    seen: set = set()
+    first_pass = True
+    while True:
+        listing = fetch("/debug/traces" + params)
+        fresh = [summary for summary in
+                 reversed(listing.get("traces", []))  # oldest first
+                 if summary["trace_id"] not in seen]
+        for summary in fresh:
+            seen.add(summary["trace_id"])
+            try:
+                detail = fetch(f"/debug/traces/{summary['trace_id']}")
+            except urllib.error.HTTPError:
+                continue  # evicted between the list and the fetch
+            print(format_trace(detail["trace"]))
+        if first_pass and not fresh and not args.follow:
+            print("no retained traces (sheds, errors, slow and sampled "
+                  "requests are kept; POST /search with \"trace\": true "
+                  "forces one)")
+        first_pass = False
+        if not args.follow:
+            return 0
+        try:
+            _time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
 
 
 def _cmd_ingest(args) -> int:
@@ -509,11 +649,44 @@ def build_parser() -> argparse.ArgumentParser:
                         "newest N retired generations for rollback and "
                         "delete older snapshot files from disk "
                         "(default: keep everything)")
+    p.add_argument("--trace-sample", type=float, default=0.01,
+                   metavar="RATE",
+                   help="probability a request is traced at full "
+                        "engine-stage detail and retained in "
+                        "/debug/traces (sheds, errors and slow requests "
+                        "are always retained; 0 disables sampling, 1 "
+                        "traces everything)")
+    p.add_argument("--slow-ms", type=float, default=500.0,
+                   help="slow-query threshold: requests at or over it "
+                        "are always retained in /debug/traces and "
+                        "logged as structured slow_query events "
+                        "(0 disables)")
+    p.add_argument("--trace-buffer", type=int, default=256, metavar="N",
+                   help="capacity of the in-memory trace ring behind "
+                        "GET /debug/traces")
     p.add_argument("--smoke", action="store_true",
                    help="start, answer fig1 queries over HTTP per venue, "
-                        "verify byte-identity across a hot-swap, /venues "
-                        "and /metrics, then exit")
+                        "verify byte-identity across a hot-swap, /venues, "
+                        "/metrics and a trace round-trip through "
+                        "/debug/traces, then exit")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "trace", help="tail / pretty-print request span trees from a "
+                      "running repro serve instance")
+    p.add_argument("trace_id", nargs="?", default=None,
+                   help="print one trace by id (default: list recent)")
+    p.add_argument("--server", default="http://127.0.0.1:8080",
+                   help="base URL of the running repro serve instance")
+    p.add_argument("--limit", type=int, default=10,
+                   help="how many recent traces to print")
+    p.add_argument("--venue", default=None,
+                   help="only traces of this venue")
+    p.add_argument("--follow", action="store_true",
+                   help="keep polling for new traces (tail -f style)")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="poll interval in seconds with --follow")
+    p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser(
         "ingest", help="hot-swap a venue of a running server onto a new "

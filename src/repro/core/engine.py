@@ -503,6 +503,20 @@ class QueryService:
         # One door -> i-words table per process: the engine already
         # owns the canonical copy (pure in space + keyword index).
         self._door_iwords: dict = engine._door_iwords
+        #: Service-lifetime sums of the per-answer ``SearchStats``
+        #: counters, accumulated on actual evaluations only (an
+        #: answer-cache hit did no search work).  Read by
+        #: :meth:`search_counters` for the per-venue ``/metrics``
+        #: counters.
+        self._search_totals: Dict[str, int] = {
+            name: 0 for name in self.SEARCH_COUNTERS}
+
+    #: The ``SearchStats`` picks exported per venue on ``/metrics``.
+    SEARCH_COUNTERS: Tuple[str, ...] = (
+        "expansions", "connects", "dijkstra_calls",
+        "point_cache_hits", "precomputed_hits", "precomputed_misses",
+        "matrix_evictions", "pruned_total",
+    )
 
     # ------------------------------------------------------------------
     # Shared state
@@ -581,8 +595,19 @@ class QueryService:
                query: IKRQ,
                algorithm: str = "ToE",
                max_expansions: Optional[int] = None,
-               config: Optional[SearchConfig] = None) -> QueryAnswer:
-        """Evaluate one query through the service's shared caches."""
+               config: Optional[SearchConfig] = None,
+               *,
+               trace=None) -> QueryAnswer:
+        """Evaluate one query through the service's shared caches.
+
+        ``trace`` is an optional :class:`repro.obs.EngineTrace`: the
+        evaluation annotates it with the answer-cache outcome and the
+        ``SearchStats`` cache/pruning picks, and — when ``trace.fine``
+        — attaches the context's stage probe so the engine span splits
+        into relaxation / lower-bound / merge.  Tracing only observes:
+        the evaluation path and its answers are identical with or
+        without it.
+        """
         cache_key = None
         if self.answer_cache_capacity:
             cache_key = (query, canonical_algorithm(algorithm),
@@ -592,6 +617,8 @@ class QueryService:
                 if cached is not None:
                     self._answer_cache.move_to_end(cache_key)
                     self.stats.add(answer_hits=1, queries_served=1)
+                    if trace is not None:
+                        trace.annotate(answer_cache="hit")
                     return cached
                 self.stats.add(answer_misses=1)
         ctx = self.engine.context(
@@ -604,17 +631,40 @@ class QueryService:
             door_iwords=self._door_iwords,
             start_map=entry["start_map"],
             terminal_attach=entry["terminal_attach"])
+        if trace is not None and trace.fine:
+            ctx.attach_stage_probe(trace.stages)
         answer = self.engine.search(
             query, algorithm, max_expansions=max_expansions,
             config=config, context=ctx)
         self.stats.add(queries_served=1)
+        counters = self._stats_picks(answer.stats)
         with self._lock:
+            totals = self._search_totals
+            for name, value in counters.items():
+                totals[name] += value
             if cache_key is not None:
                 self._answer_cache[cache_key] = answer
                 self._answer_cache.move_to_end(cache_key)
                 while len(self._answer_cache) > self.answer_cache_capacity:
                     self._answer_cache.popitem(last=False)
+        if trace is not None:
+            trace.annotate(
+                answer_cache="miss" if cache_key is not None else "off",
+                **counters)
         return answer
+
+    @classmethod
+    def _stats_picks(cls, stats: SearchStats) -> Dict[str, int]:
+        """The exported counter picks of one answer's ``SearchStats``."""
+        return {name: (stats.total_pruned if name == "pruned_total"
+                       else getattr(stats, name))
+                for name in cls.SEARCH_COUNTERS}
+
+    def search_counters(self) -> Dict[str, int]:
+        """Service-lifetime ``SearchStats`` sums (per-venue counters
+        on ``/metrics``)."""
+        with self._lock:
+            return dict(self._search_totals)
 
     def search_batch(self,
                      queries: Iterable[IKRQ],

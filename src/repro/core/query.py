@@ -15,6 +15,7 @@ the global door caches ``Dn`` / ``Df`` of Pruning Rule 2.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
@@ -628,3 +629,50 @@ class QueryContext:
                 hs, pid, self._terminal_heads())
         return self.skeleton.lower_bound_via_partition(
             source, pid, self.query.pt)
+
+    # ------------------------------------------------------------------
+    # Stage instrumentation (tracing)
+    # ------------------------------------------------------------------
+    #: Relaxation-stage entry points: the route-growing work ToE/KoE
+    #: relax edges with.  Lower-bound entry points are the Rule 1-4
+    #: work.  Same split as the bench's engine-wide breakdown, scoped
+    #: to one context so concurrent queries never share a timer.
+    _RELAXATION_PROBES = ("extend_to_door", "extend_along_path",
+                          "complete_route")
+    _LOWER_BOUND_PROBES = ("lb_to_terminal", "lb_from_start",
+                           "lb_via_partition")
+
+    def attach_stage_probe(self, acc: Dict[str, float]) -> None:
+        """Wrap this context's stage entry points with wall-clock
+        timers accumulating seconds into ``acc["relaxation"]`` /
+        ``acc["lower_bound"]``.
+
+        Instance-local: only this context is instrumented, engine- and
+        space-level shared objects are untouched, so concurrent
+        untraced queries pay nothing.  A shared reentrancy guard keeps
+        nested entry points (none today, but the split must stay
+        honest under refactors) from double-counting.  The wrappers
+        only time — arguments and results pass through unchanged, so
+        answers are bit-identical with the probe attached.
+        """
+        depth = [0]
+        perf_counter = time.perf_counter
+
+        def timed(fn, key):
+            def wrapper(*args, **kwargs):
+                if depth[0]:
+                    return fn(*args, **kwargs)
+                depth[0] = 1
+                started = perf_counter()
+                try:
+                    return fn(*args, **kwargs)
+                finally:
+                    depth[0] = 0
+                    acc[key] = acc.get(key, 0.0) + (
+                        perf_counter() - started)
+            return wrapper
+
+        for name in self._RELAXATION_PROBES:
+            setattr(self, name, timed(getattr(self, name), "relaxation"))
+        for name in self._LOWER_BOUND_PROBES:
+            setattr(self, name, timed(getattr(self, name), "lower_bound"))

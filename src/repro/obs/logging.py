@@ -1,0 +1,83 @@
+"""Structured JSON-lines logging for the serve stack.
+
+The ad-hoc ``repro.serve`` logger calls used %-style prose; a fleet
+wants one event per line, machine-parsable, stamped with the request's
+``trace_id`` so a slow-query log line joins against its span tree in
+``/debug/traces``.  Everything here is stdlib ``logging`` — the
+formatter renders each record as one JSON object:
+
+    {"ts": 1754500000.123, "level": "WARNING", "logger": "repro.serve",
+     "event": "slow_query", "trace_id": "9f2c...", "venue": "default",
+     "duration_ms": 612.4, ...}
+
+``log_event`` is the emission helper (event name + keyword fields);
+``setup_serve_logging`` installs the formatter on the ``repro``
+logger tree, idempotently, so repeated in-process server starts (the
+smoke, tests) do not stack handlers.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import IO, Optional
+
+
+class JsonLinesFormatter(logging.Formatter):
+    """Render each log record as one JSON object per line.
+
+    Structured fields ride in ``record.fields`` (a dict installed via
+    ``extra={"fields": ...}``); the plain message becomes the
+    ``event`` when no explicit event field is present.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        doc = {
+            "ts": round(record.created, 3),
+            "level": record.levelname,
+            "logger": record.name,
+        }
+        fields = getattr(record, "fields", None) or {}
+        if "event" not in fields:
+            doc["event"] = record.getMessage()
+        for key, value in fields.items():
+            if key not in doc:
+                doc[key] = value
+        if record.exc_info:
+            doc["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(doc, sort_keys=False, default=str)
+
+
+def log_event(logger: logging.Logger, level: int, event: str,
+              **fields) -> None:
+    """Emit one structured event (``event`` plus keyword fields)."""
+    if not logger.isEnabledFor(level):
+        return
+    fields = dict(fields)
+    fields.setdefault("event", event)
+    logger.log(level, event, extra={"fields": fields})
+
+
+_HANDLER_MARK = "_repro_obs_handler"
+
+
+def setup_serve_logging(level: int = logging.INFO,
+                        stream: Optional[IO[str]] = None) -> logging.Logger:
+    """Install the JSON-lines handler on the ``repro`` logger tree.
+
+    Idempotent: a handler installed by a previous call is replaced,
+    never duplicated (the smoke starts servers repeatedly in one
+    process).  Returns the ``repro`` root logger.
+    """
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        if getattr(handler, _HANDLER_MARK, False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(JsonLinesFormatter())
+    setattr(handler, _HANDLER_MARK, True)
+    root.addHandler(handler)
+    root.setLevel(level)
+    root.propagate = False
+    return root

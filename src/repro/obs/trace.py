@@ -1,0 +1,351 @@
+"""Request tracing: span trees, sampling policy, and the trace ring.
+
+One serving request crosses four layers — admission, dispatch queue,
+shard process, engine — and a p99 regression is only actionable when
+it can be *attributed* to one of them.  This module holds the
+stdlib-only building blocks the serve stack threads through itself:
+
+* :func:`span_doc` / :class:`TraceRecorder` — the span-tree model.  A
+  span is a plain JSON document ``{"name", "start_ms", "duration_ms",
+  "annotations", "children"}`` with times in milliseconds relative to
+  the request's admission, so span trees cross the control-channel
+  wire unchanged and render the same everywhere.
+* :class:`EngineTrace` — the engine-stage collector a shard worker
+  hands to :meth:`~repro.core.engine.QueryService.search`.  With
+  ``fine=True`` it attaches the
+  :meth:`~repro.core.query.QueryContext.attach_stage_probe` wall-clock
+  probes, splitting the engine span into the PR-6 ``relaxation`` /
+  ``lower_bound`` / ``merge`` stages; coarse traces skip the probes
+  and cost a handful of ``perf_counter`` calls.
+* :class:`TracePolicy` — who gets kept: sheds, errors and slow
+  requests always; a probabilistic ``sample_rate`` otherwise (the
+  sampled requests also carry the fine engine split).
+* :class:`TraceBuffer` — a bounded in-memory ring of finished trace
+  documents, served by ``GET /debug/traces`` and the ``repro trace``
+  CLI.
+
+Tracing never changes answers: probes only wrap entry points with
+timers, and every recorded value is derived from state the evaluation
+produces anyway.  The serve smoke and the kernel CI matrix gate that
+byte-identity with tracing forced on.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+import uuid
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+#: Canonical stage names, dispatcher to engine.  ``STAGES`` is the
+#: label vocabulary of the ``ikrq_stage_latency_seconds`` histograms —
+#: a closed set, so garbage traffic cannot mint new series.
+STAGE_ADMISSION = "admission"
+STAGE_GENERATION = "generation_acquire"
+STAGE_DISPATCH = "shard_dispatch"
+STAGE_QUEUE_WAIT = "queue_wait"
+STAGE_DECODE = "wire_decode"
+STAGE_ENGINE = "engine"
+STAGE_RELAXATION = "relaxation"
+STAGE_LOWER_BOUND = "lower_bound"
+STAGE_MERGE = "merge"
+
+STAGES = (
+    STAGE_ADMISSION, STAGE_GENERATION, STAGE_DISPATCH, STAGE_QUEUE_WAIT,
+    STAGE_DECODE, STAGE_ENGINE, STAGE_RELAXATION, STAGE_LOWER_BOUND,
+    STAGE_MERGE,
+)
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char request trace id."""
+    return uuid.uuid4().hex[:16]
+
+
+def span_doc(name: str,
+             start_ms: float,
+             duration_ms: float,
+             children: Optional[List[Dict]] = None,
+             **annotations) -> Dict:
+    """One span as a plain JSON document (the wire/storage shape)."""
+    doc: Dict = {"name": str(name),
+                 "start_ms": round(float(start_ms), 3),
+                 "duration_ms": round(float(duration_ms), 3)}
+    if annotations:
+        doc["annotations"] = annotations
+    if children:
+        doc["children"] = list(children)
+    return doc
+
+
+def shift_spans(spans: List[Dict], offset_ms: float) -> List[Dict]:
+    """Shift a span forest's ``start_ms`` by ``offset_ms`` (recursive).
+
+    The shard worker records offsets relative to its own dequeue
+    instant; the dispatcher shifts them onto the request clock when it
+    nests them under the dispatch span.
+    """
+    out = []
+    for span in spans:
+        doc = dict(span)
+        doc["start_ms"] = round(doc.get("start_ms", 0.0) + offset_ms, 3)
+        if doc.get("children"):
+            doc["children"] = shift_spans(doc["children"], offset_ms)
+        out.append(doc)
+    return out
+
+
+def iter_spans(spans: List[Dict]) -> Iterator[Dict]:
+    """Depth-first iteration over a span forest."""
+    for span in spans:
+        yield span
+        yield from iter_spans(span.get("children", ()))
+
+
+class TraceRecorder:
+    """Builds one request's span tree on the dispatcher's clock.
+
+    ``span`` is a context manager; nesting follows the call structure
+    (an open span adopts spans opened inside it).  ``attach`` grafts
+    already-built span documents (the shard worker's sub-tree) onto
+    the innermost open span.  Not thread-safe — one recorder belongs
+    to one request on one handler thread.
+    """
+
+    __slots__ = ("trace_id", "annotations", "_t0", "_spans", "_stack")
+
+    def __init__(self, trace_id: Optional[str] = None) -> None:
+        self.trace_id = trace_id or new_trace_id()
+        self.annotations: Dict = {}
+        self._t0 = time.perf_counter()
+        self._spans: List[Dict] = []
+        self._stack: List[Dict] = []
+
+    def elapsed_ms(self) -> float:
+        return (time.perf_counter() - self._t0) * 1000.0
+
+    @contextmanager
+    def span(self, name: str, **annotations):
+        """Record one span around a ``with`` block; yields a mutable
+        frame whose ``annotations`` may be filled in before exit."""
+        frame = {"name": name, "start_ms": self.elapsed_ms(),
+                 "annotations": dict(annotations), "children": []}
+        self._stack.append(frame)
+        try:
+            yield frame
+        finally:
+            self._stack.pop()
+            doc = span_doc(frame["name"], frame["start_ms"],
+                           self.elapsed_ms() - frame["start_ms"],
+                           children=frame["children"],
+                           **frame["annotations"])
+            target = (self._stack[-1]["children"] if self._stack
+                      else self._spans)
+            target.append(doc)
+
+    def attach(self, spans: List[Dict]) -> None:
+        """Graft finished span documents under the innermost open span
+        (or at the top level when none is open)."""
+        target = (self._stack[-1]["children"] if self._stack
+                  else self._spans)
+        target.extend(spans)
+
+    def annotate(self, **fields) -> None:
+        self.annotations.update(fields)
+
+    def finish(self, status: str, **fields) -> Dict:
+        """The finished trace document (id, status, duration, spans)."""
+        doc: Dict = {
+            "trace_id": self.trace_id,
+            "status": str(status),
+            "duration_ms": round(self.elapsed_ms(), 3),
+            "ts": time.time(),
+            "spans": self._spans,
+        }
+        doc.update(self.annotations)
+        doc.update(fields)
+        return doc
+
+
+class EngineTrace:
+    """Engine-stage collector for one :meth:`QueryService.search`.
+
+    ``stages`` accumulates wall seconds per fine stage (``relaxation``
+    / ``lower_bound``) when ``fine`` is set — the service attaches the
+    context's stage probe; a coarse trace leaves it empty.
+    ``annotations`` carries evaluation facts (answer-cache hit/miss,
+    later the :class:`~repro.core.stats.SearchStats` picks).
+    """
+
+    __slots__ = ("fine", "stages", "annotations")
+
+    def __init__(self, fine: bool = False) -> None:
+        self.fine = bool(fine)
+        self.stages: Dict[str, float] = {}
+        self.annotations: Dict = {}
+
+    def annotate(self, **fields) -> None:
+        self.annotations.update(fields)
+
+    def stage_spans(self, start_ms: float, total_ms: float) -> List[Dict]:
+        """The engine span's children: measured fine stages plus the
+        ``merge`` residual (everything the probes do not cover).
+        Empty for a coarse trace — the engine span stays a leaf."""
+        if not self.stages:
+            return []
+        spans: List[Dict] = []
+        cursor = start_ms
+        for name in (STAGE_RELAXATION, STAGE_LOWER_BOUND):
+            seconds = self.stages.get(name)
+            if seconds is None:
+                continue
+            ms = seconds * 1000.0
+            spans.append(span_doc(name, cursor, ms))
+            cursor += ms
+        merge_ms = max(0.0, total_ms - (cursor - start_ms))
+        spans.append(span_doc(STAGE_MERGE, cursor, merge_ms))
+        return spans
+
+
+class TracePolicy:
+    """Which requests get a retained trace, and at what detail.
+
+    * ``sample()`` — the *upfront* decision: sampled requests carry
+      the fine engine-stage split and are always retained.
+    * sheds, errors (any non-``ok`` status) and slow requests
+      (``duration >= slow_ms``) are retained even when not sampled —
+      their coarse span tree is always recorded, so forensics never
+      depend on sampling luck.
+    * ``slow_ms <= 0`` disables the slow threshold; ``sample_rate``
+      outside ``(0, 1]`` means never/always.
+    """
+
+    def __init__(self,
+                 sample_rate: float = 0.01,
+                 slow_ms: float = 500.0,
+                 rng: Optional[random.Random] = None) -> None:
+        if sample_rate < 0.0 or sample_rate > 1.0:
+            raise ValueError("sample_rate must be in [0, 1]")
+        self.sample_rate = float(sample_rate)
+        self.slow_ms = float(slow_ms)
+        self._rng = rng or random.Random()
+
+    def sample(self) -> bool:
+        if self.sample_rate <= 0.0:
+            return False
+        if self.sample_rate >= 1.0:
+            return True
+        return self._rng.random() < self.sample_rate
+
+    def is_slow(self, duration_ms: float) -> bool:
+        return self.slow_ms > 0.0 and duration_ms >= self.slow_ms
+
+    def keep_reason(self,
+                    status: str,
+                    duration_ms: float,
+                    sampled: bool,
+                    forced: bool = False) -> Optional[str]:
+        """Why this trace is retained (``None`` drops it)."""
+        if forced:
+            return "forced"
+        if status == "overloaded":
+            return "shed"
+        if status != "ok":
+            return "error"
+        if self.is_slow(duration_ms):
+            return "slow"
+        if sampled:
+            return "sampled"
+        return None
+
+
+#: Summary fields of ``GET /debug/traces`` listings.
+_SUMMARY_FIELDS = ("trace_id", "venue", "generation", "status",
+                   "duration_ms", "slow", "reason", "algorithm", "shard",
+                   "ts")
+
+
+class TraceBuffer:
+    """A bounded, thread-safe ring of finished trace documents.
+
+    Insertion order is retention order: past ``capacity`` traces the
+    oldest is evicted.  ``recent`` lists newest-first summaries;
+    ``get`` returns one full span tree by trace id.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._traces: "OrderedDict[str, Dict]" = OrderedDict()
+
+    def add(self, doc: Dict) -> None:
+        trace_id = doc["trace_id"]
+        with self._lock:
+            self._traces[trace_id] = doc
+            self._traces.move_to_end(trace_id)
+            while len(self._traces) > self.capacity:
+                self._traces.popitem(last=False)
+
+    def get(self, trace_id: str) -> Optional[Dict]:
+        with self._lock:
+            return self._traces.get(trace_id)
+
+    def recent(self,
+               limit: int = 50,
+               venue: Optional[str] = None) -> List[Dict]:
+        with self._lock:
+            docs = list(self._traces.values())
+        docs.reverse()
+        if venue is not None:
+            docs = [doc for doc in docs if doc.get("venue") == venue]
+        return [{key: doc.get(key) for key in _SUMMARY_FIELDS
+                 if doc.get(key) is not None}
+                for doc in docs[:max(0, int(limit))]]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+
+def _format_annotations(annotations: Dict) -> str:
+    return " ".join(f"{key}={value}"
+                    for key, value in sorted(annotations.items()))
+
+
+def _format_span(span: Dict, indent: str, last: bool, lines: List[str]):
+    branch = "└─ " if last else "├─ "
+    note = _format_annotations(span.get("annotations", {}))
+    lines.append(f"{indent}{branch}{span['name']:<18} "
+                 f"{span.get('duration_ms', 0.0):9.3f} ms"
+                 + (f"  {note}" if note else ""))
+    children = span.get("children", [])
+    child_indent = indent + ("   " if last else "│  ")
+    for i, child in enumerate(children):
+        _format_span(child, child_indent, i == len(children) - 1, lines)
+
+
+def format_trace(doc: Dict) -> str:
+    """Pretty-print one trace document as an indented span tree
+    (the ``repro trace`` CLI rendering)."""
+    header = (f"trace {doc.get('trace_id')} "
+              f"venue={doc.get('venue', '?')} "
+              f"status={doc.get('status', '?')} "
+              f"{doc.get('duration_ms', 0.0):.3f} ms")
+    extras = []
+    for key in ("generation", "algorithm", "shard", "reason"):
+        if doc.get(key) is not None:
+            extras.append(f"{key}={doc[key]}")
+    if doc.get("slow"):
+        extras.append("slow")
+    if extras:
+        header += "  (" + ", ".join(extras) + ")"
+    lines = [header]
+    spans = doc.get("spans", [])
+    for i, span in enumerate(spans):
+        _format_span(span, "", i == len(spans) - 1, lines)
+    return "\n".join(lines)

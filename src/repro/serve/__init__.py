@@ -28,8 +28,17 @@ venues** (malls, airports, hospitals) in one fleet:
   rendered in Prometheus text format (venue-labelled),
 * :mod:`repro.serve.server` — a stdlib ``http.server`` surface
   (``POST /search``, ``POST /ingest``, ``GET /venues``,
-  ``GET /healthz``, ``GET /metrics``) wired to the dispatcher,
-  reachable as ``python -m repro serve`` / ``python -m repro ingest``.
+  ``GET /healthz``, ``GET /metrics``, ``GET /debug/traces``) wired to
+  the dispatcher, reachable as ``python -m repro serve`` /
+  ``python -m repro ingest``.
+
+Every request is traced end to end (:mod:`repro.obs`): the dispatcher
+records admission/generation/dispatch spans, the shard worker ships
+its queue-wait/decode/engine sub-tree back on the response, and the
+merged span tree — retained for sheds, errors, slow and sampled
+requests — is served from ``GET /debug/traces`` and the ``repro
+trace`` CLI, with per-stage latency histograms on ``/metrics`` and a
+trace_id-stamped structured slow-query log.
 
 Results are byte-identical to sequential ``IKRQEngine.search`` — the
 wire format (:mod:`repro.serve.wire`) and every shared cache only move
@@ -52,7 +61,8 @@ from repro.serve.snapshot import (BINARY_MAGIC, SNAPSHOT_ALIGN,
                                   save_snapshot_binary, snapshot_to_dict)
 from repro.serve.wire import (answer_to_wire, canonical_json,
                               query_from_wire, query_to_wire,
-                              route_result_to_wire)
+                              route_result_to_wire, trace_reply_to_wire,
+                              trace_request_to_wire)
 
 __all__ = [
     "AdmissionController",
@@ -83,4 +93,6 @@ __all__ = [
     "save_snapshot_binary",
     "shard_for",
     "snapshot_to_dict",
+    "trace_reply_to_wire",
+    "trace_request_to_wire",
 ]

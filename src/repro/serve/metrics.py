@@ -30,11 +30,20 @@ def _key(name: str, labels: Mapping[str, object]) -> _Key:
     return (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text-format spec:
+    backslash, double quote and line feed (in that order — escaping
+    the backslash first keeps the other escapes unambiguous)."""
+    return (value.replace("\\", "\\\\")
+                 .replace('"', '\\"')
+                 .replace("\n", "\\n"))
+
+
 def _format_labels(labels: Iterable[Tuple[str, str]]) -> str:
     pairs = list(labels)
     if not pairs:
         return ""
-    body = ",".join(f'{k}="{v}"' for k, v in pairs)
+    body = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in pairs)
     return "{" + body + "}"
 
 

@@ -39,9 +39,16 @@ import time
 import zlib
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.obs.logging import log_event
+from repro.obs.trace import (STAGE_ADMISSION, STAGE_DECODE, STAGE_DISPATCH,
+                             STAGE_ENGINE, STAGE_GENERATION,
+                             STAGE_QUEUE_WAIT, STAGES, EngineTrace,
+                             TraceBuffer, TracePolicy, TraceRecorder,
+                             iter_spans, shift_spans, span_doc)
 from repro.serve.registry import (DEFAULT_VENUE, Generation,
                                   SnapshotRegistry)
-from repro.serve.wire import answer_to_wire, query_from_wire
+from repro.serve.wire import (answer_to_wire, query_from_wire,
+                              trace_reply_to_wire, trace_request_to_wire)
 
 #: Extra seconds the dispatcher waits past a request deadline before
 #: giving up on the shard's answer.
@@ -188,10 +195,14 @@ def _shard_worker(shard_id: int,
             aggregate: Dict[str, int] = {}
             for (venue, generation), service in sorted(services.items()):
                 snap = service.stats_snapshot().as_dict()
+                # "search" rides beside "stats" (whose field set is
+                # pinned to ServiceStats.FIELDS): the SearchStats sums
+                # of every evaluation this service actually ran.
                 venue_stats.append({"venue": venue,
                                     "generation": generation,
                                     "kernel": service.kernel_backend,
                                     "stats": snap,
+                                    "search": service.search_counters(),
                                     "memory":
                                         service.engine.memory_breakdown()})
                 for name, value in snap.items():
@@ -233,24 +244,65 @@ def _shard_worker(shard_id: int,
             responses.put({**base, "status": "unknown_venue"})
             continue
         started = time.perf_counter()
+        # Worker-side trace sub-tree.  Offsets are relative to the
+        # request's *enqueue* instant (the dispatcher's dispatch-span
+        # start): the queue wait opens the forest at 0, derived from
+        # the payload's wall-clock stamp — the only clock comparable
+        # across processes — and everything after runs on this
+        # process's perf_counter.
+        trace_req = msg.get("trace")
+        trace_spans: Optional[List[Dict]] = None
+        queue_wait_ms = 0.0
+        if trace_req:
+            enqueued_at = float(trace_req.get("enqueued_at", 0.0))
+            if enqueued_at > 0.0:
+                queue_wait_ms = max(0.0,
+                                    (time.time() - enqueued_at) * 1000.0)
+            trace_spans = [span_doc(STAGE_QUEUE_WAIT, 0.0, queue_wait_ms)]
+
+        def _offset() -> float:
+            return queue_wait_ms + (time.perf_counter() - started) * 1000.0
+
+        def _put(doc: Dict) -> None:
+            if trace_spans is not None:
+                doc["trace"] = trace_reply_to_wire(queue_wait_ms,
+                                                   trace_spans)
+            responses.put(doc)
+
         try:
             deadline = msg.get("deadline")
             if deadline is not None and time.time() > deadline:
-                responses.put({**base, "status": "expired"})
+                _put({**base, "status": "expired"})
                 continue
             if allow_sleep and msg.get("sleep"):
                 # Test-only latency injection (saturation tests); the
                 # HTTP surface never forwards a sleep field.
                 time.sleep(float(msg["sleep"]))
-            query = query_from_wire(msg["query"])
-            answer = service.search(query, msg.get("algorithm", "ToE"))
+            if trace_spans is not None:
+                decode_start = _offset()
+                query = query_from_wire(msg["query"])
+                trace_spans.append(span_doc(
+                    STAGE_DECODE, decode_start, _offset() - decode_start))
+                engine_trace = EngineTrace(fine=bool(trace_req.get("fine")))
+                engine_start = _offset()
+                answer = service.search(query, msg.get("algorithm", "ToE"),
+                                        trace=engine_trace)
+                engine_ms = _offset() - engine_start
+                trace_spans.append(span_doc(
+                    STAGE_ENGINE, engine_start, engine_ms,
+                    children=engine_trace.stage_spans(engine_start,
+                                                      engine_ms),
+                    **engine_trace.annotations))
+            else:
+                query = query_from_wire(msg["query"])
+                answer = service.search(query, msg.get("algorithm", "ToE"))
             doc = answer_to_wire(answer)
             doc.update(base)
             doc["status"] = "ok"
             doc["elapsed"] = time.perf_counter() - started
-            responses.put(doc)
+            _put(doc)
         except Exception as exc:
-            responses.put({**base, "status": "error", "error": repr(exc)})
+            _put({**base, "status": "error", "error": repr(exc)})
 
 
 # ----------------------------------------------------------------------
@@ -632,12 +684,20 @@ class ShardDispatcher:
                  registry: Optional[SnapshotRegistry] = None,
                  default_quota: Optional[TenantQuota] = None,
                  quotas: Optional[Mapping[str, TenantQuota]] = None,
-                 gc_keep_last: Optional[int] = None) -> None:
+                 gc_keep_last: Optional[int] = None,
+                 trace_policy: Optional[TracePolicy] = None,
+                 trace_buffer: Optional[TraceBuffer] = None) -> None:
         self.pool = pool
         self.admission = AdmissionController(
             max_pending, default_quota=default_quota, quotas=quotas)
         self.deadline_s = deadline_s
         self.metrics = metrics
+        #: Trace retention policy and the ring the kept span trees land
+        #: in (``GET /debug/traces``).  Coarse spans are recorded for
+        #: *every* request — the policy only decides retention and
+        #: which requests carry the fine engine-stage split.
+        self.trace_policy = trace_policy or TracePolicy()
+        self.trace_buffer = trace_buffer or TraceBuffer()
         if registry is None:
             registry = SnapshotRegistry()
             for venue, path in pool.initial_venues.items():
@@ -672,44 +732,123 @@ class ShardDispatcher:
         if elapsed is not None:
             self.metrics.observe("ikrq_request_latency_seconds", elapsed)
 
+    def _finalise_trace(self,
+                        recorder: TraceRecorder,
+                        response: Dict,
+                        venue: str,
+                        sampled: bool,
+                        forced: bool) -> Dict:
+        """Close one request's trace: stamp the ``trace_id`` on the
+        response, feed the stage histograms, retain the span tree when
+        the policy says so, and emit the slow-query / error log line.
+
+        Every dispatcher response passes through here — the coarse
+        span tree exists for every request, retention is the only
+        sampled decision."""
+        status = str(response.get("status", "error"))
+        policy = self.trace_policy
+        doc = recorder.finish(status, venue=venue, sampled=sampled)
+        duration_ms = doc["duration_ms"]
+        doc["slow"] = policy.is_slow(duration_ms)
+        doc["reason"] = policy.keep_reason(status, duration_ms, sampled,
+                                           forced)
+        response["trace_id"] = doc["trace_id"]
+        label = self._venue_label(venue)
+        if self.metrics is not None:
+            for span in iter_spans(doc["spans"]):
+                if span["name"] in STAGES:
+                    self.metrics.observe(
+                        "ikrq_stage_latency_seconds",
+                        span["duration_ms"] / 1000.0,
+                        stage=span["name"], venue=label)
+        if doc["reason"] is not None:
+            self.trace_buffer.add(doc)
+        if doc["slow"] and status == "ok":
+            log_event(_log, logging.WARNING, "slow_query",
+                      trace_id=doc["trace_id"], venue=label,
+                      status=status, duration_ms=duration_ms,
+                      slow_ms=policy.slow_ms,
+                      algorithm=doc.get("algorithm"),
+                      shard=doc.get("shard"))
+        elif status == "error":
+            log_event(_log, logging.WARNING, "request_error",
+                      trace_id=doc["trace_id"], venue=label,
+                      duration_ms=duration_ms,
+                      error=response.get("error"))
+        return response
+
     def submit(self,
                query_doc: Dict,
                algorithm: str = "ToE",
                deadline_s: Optional[float] = None,
                sleep: Optional[float] = None,
-               venue: Optional[str] = None) -> Dict:
-        """Evaluate one wire query through its venue's affinity shard."""
-        started = time.perf_counter()
+               venue: Optional[str] = None,
+               trace: bool = False) -> Dict:
+        """Evaluate one wire query through its venue's affinity shard.
+
+        ``trace=True`` forces retention of this request's span tree
+        (and the fine engine-stage split) regardless of the sampling
+        policy — the HTTP surface maps a ``"trace": true`` body field
+        onto it.  Every response carries a ``trace_id``; whether the
+        span tree behind it was retained in ``/debug/traces`` is the
+        :class:`TracePolicy`'s call.
+        """
         venue = DEFAULT_VENUE if venue is None else str(venue)
+        forced = bool(trace)
+        sampled = forced or self.trace_policy.sample()
+        recorder = TraceRecorder()
+        recorder.annotate(algorithm=algorithm)
         if (not isinstance(query_doc, dict)
                 or "ps" not in query_doc or "pt" not in query_doc):
             self._record("bad_request", venue)
-            return {"status": "bad_request", "venue": venue,
-                    "error": "query must carry ps and pt"}
-        if not self.registry.has_venue(venue):
-            self._record("unknown_venue", venue)
-            return {"status": "unknown_venue", "venue": venue,
-                    "error": f"venue {venue!r} is not hosted here"}
-        if not self.admission.try_acquire(venue):
+            return self._finalise_trace(
+                recorder, {"status": "bad_request", "venue": venue,
+                           "error": "query must carry ps and pt"},
+                venue, sampled, forced)
+        with recorder.span(STAGE_ADMISSION) as admission_span:
+            if not self.registry.has_venue(venue):
+                admission_span["annotations"]["decision"] = "unknown_venue"
+                self._record("unknown_venue", venue)
+                return self._finalise_trace(
+                    recorder,
+                    {"status": "unknown_venue", "venue": venue,
+                     "error": f"venue {venue!r} is not hosted here"},
+                    venue, sampled, forced)
+            admitted = self.admission.try_acquire(venue)
+            admission_span["annotations"]["decision"] = (
+                "admitted" if admitted else "shed")
+        if not admitted:
             if self.metrics is not None:
                 self.metrics.inc("ikrq_shed_total", venue=venue)
             self._record("overloaded", venue)
-            return {"status": "overloaded", "venue": venue}
+            return self._finalise_trace(
+                recorder, {"status": "overloaded", "venue": venue},
+                venue, sampled, forced)
         generation: Optional[Generation] = None
         try:
             try:
-                generation = self.registry.acquire(venue)
+                with recorder.span(STAGE_GENERATION) as gen_span:
+                    generation = self.registry.acquire(venue)
+                    gen_span["annotations"]["generation"] = (
+                        generation.generation)
             except KeyError:
                 self._record("unknown_venue", venue)
-                return {"status": "unknown_venue", "venue": venue,
-                        "error": f"venue {venue!r} is not hosted here"}
+                return self._finalise_trace(
+                    recorder,
+                    {"status": "unknown_venue", "venue": venue,
+                     "error": f"venue {venue!r} is not hosted here"},
+                    venue, sampled, forced)
+            recorder.annotate(generation=generation.generation)
             try:
                 shard = shard_for(query_doc["ps"], query_doc["pt"],
                                   self.pool.shards, venue)
             except (TypeError, ValueError) as exc:
                 self._record("bad_request", venue)
-                return {"status": "bad_request", "venue": venue,
-                        "error": repr(exc)}
+                return self._finalise_trace(
+                    recorder, {"status": "bad_request", "venue": venue,
+                               "error": repr(exc)},
+                    venue, sampled, forced)
+            recorder.annotate(shard=shard)
             limit = deadline_s if deadline_s is not None else self.deadline_s
             payload: Dict = {"kind": "search", "query": query_doc,
                              "algorithm": algorithm, "venue": venue,
@@ -719,7 +858,18 @@ class ShardDispatcher:
             if sleep is not None:
                 payload["sleep"] = sleep
             timeout = (limit + _DEADLINE_GRACE) if limit is not None else None
-            response = self.pool.call(shard, payload, timeout=timeout)
+            with recorder.span(STAGE_DISPATCH) as dispatch_span:
+                dispatch_span["annotations"]["shard"] = shard
+                payload["trace"] = trace_request_to_wire(
+                    recorder.trace_id, sampled, time.time())
+                response = self.pool.call(shard, payload, timeout=timeout)
+                # Graft the worker's sub-tree (offsets relative to the
+                # enqueue instant) under the dispatch span.
+                wire = (response.pop("trace", None)
+                        if isinstance(response, dict) else None)
+                if wire:
+                    recorder.attach(shift_spans(
+                        wire["spans"], dispatch_span["start_ms"]))
             if self.metrics is not None:
                 # Shard-side evaluation time (excludes queueing and
                 # dispatch): the second latency histogram on /metrics,
@@ -731,8 +881,9 @@ class ShardDispatcher:
                                          elapsed_shard, shard=shard,
                                          venue=venue)
             self._record(response.get("status", "error"), venue,
-                         time.perf_counter() - started)
-            return response
+                         recorder.elapsed_ms() / 1000.0)
+            return self._finalise_trace(recorder, response, venue,
+                                        sampled, forced)
         finally:
             if generation is not None:
                 self.registry.release(generation)
@@ -842,21 +993,21 @@ class ShardDispatcher:
             removed = False
             deferred = False
             if self.registry.path_in_use(gen.path):
-                _log.info(
-                    "gc: venue=%s generation=%d record deleted, file %s "
-                    "kept (still referenced by a live generation)",
-                    venue, gen.generation, gen.path)
+                log_event(_log, logging.INFO, "gc_file_kept",
+                          venue=venue, generation=gen.generation,
+                          path=gen.path,
+                          detail="still referenced by a live generation")
             else:
                 try:
                     os.remove(gen.path)
                     removed = True
-                    _log.info("gc: venue=%s generation=%d deleted "
-                              "snapshot file %s",
-                              venue, gen.generation, gen.path)
+                    log_event(_log, logging.INFO, "gc_file_deleted",
+                              venue=venue, generation=gen.generation,
+                              path=gen.path)
                 except FileNotFoundError:
-                    _log.info("gc: venue=%s generation=%d file %s was "
-                              "already gone", venue, gen.generation,
-                              gen.path)
+                    log_event(_log, logging.INFO, "gc_file_already_gone",
+                              venue=venue, generation=gen.generation,
+                              path=gen.path)
                 except OSError as exc:
                     # Transient failure: put the record back to
                     # ``retired`` so the next ingest's sweep retries —
@@ -864,10 +1015,10 @@ class ShardDispatcher:
                     # on disk would be an invisible, permanent leak.
                     self.registry.restore_retired(gen)
                     deferred = True
-                    _log.warning("gc: venue=%s generation=%d could not "
-                                 "delete %s (%s); will retry on the "
-                                 "next ingest", venue, gen.generation,
-                                 gen.path, exc)
+                    log_event(_log, logging.WARNING, "gc_delete_deferred",
+                              venue=venue, generation=gen.generation,
+                              path=gen.path, error=repr(exc),
+                              detail="will retry on the next ingest")
             if not deferred and self.metrics is not None:
                 self.metrics.inc("ikrq_gc_deleted_total", venue=venue)
             report.append({"generation": gen.generation,

@@ -23,6 +23,13 @@ Endpoints:
   (labelled by venue) plus one fresh atomic stats snapshot per shard,
   published as ``ikrq_shard_*`` gauges labelled by shard — and by
   venue for the per-tenant breakdown.
+* ``GET /debug/traces`` — newest-first summaries of the retained
+  request traces (``?limit=N`` and ``?venue=id`` filter); ``GET
+  /debug/traces/<trace_id>`` answers one full span tree.  Retention
+  follows the dispatcher's :class:`~repro.obs.TracePolicy`: sheds,
+  errors and slow requests always, a probabilistic sample otherwise
+  (``repro serve --trace-sample / --slow-ms``), and any request whose
+  ``POST /search`` body carries ``"trace": true``.
 
 The handler threads only parse JSON and block on the dispatcher — all
 CPU-bound search work happens in the shard processes, so a
@@ -36,7 +43,9 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Mapping, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
 
+from repro.obs.trace import TraceBuffer, TracePolicy
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.pool import ShardDispatcher, ShardPool, TenantQuota
 from repro.serve.snapshot import is_binary_snapshot, is_snapshot_document
@@ -133,7 +142,35 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_text(200, self.server.ikrq.render_metrics(),
                             content_type="text/plain; version=0.0.4")
             return
+        if self.path.startswith("/debug/traces"):
+            self._get_traces()
+            return
         self._send_json(404, {"status": "not_found", "path": self.path})
+
+    def _get_traces(self) -> None:
+        """``/debug/traces`` (summaries) and ``/debug/traces/<id>``."""
+        parsed = urlparse(self.path)
+        buffer = self.server.ikrq.dispatcher.trace_buffer
+        rest = parsed.path[len("/debug/traces"):].strip("/")
+        if rest:
+            doc = buffer.get(rest)
+            if doc is None:
+                self._send_json(404, {"status": "not_found",
+                                      "trace_id": rest})
+                return
+            self._send_json(200, {"status": "ok", "trace": doc})
+            return
+        params = parse_qs(parsed.query)
+        try:
+            limit = int(params.get("limit", ["50"])[0])
+        except ValueError:
+            self._send_json(400, {"status": "bad_request",
+                                  "error": "limit must be an integer"})
+            return
+        venue = params.get("venue", [None])[0]
+        self._send_json(200, {"status": "ok",
+                              "traces": buffer.recent(limit=limit,
+                                                      venue=venue)})
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         if self.path == "/search":
@@ -144,7 +181,8 @@ class _Handler(BaseHTTPRequestHandler):
                 doc.get("query"),
                 algorithm=doc.get("algorithm", "ToE"),
                 deadline_s=doc.get("deadline_s"),
-                venue=doc.get("venue"))
+                venue=doc.get("venue"),
+                trace=bool(doc.get("trace")))
             response.pop("kind", None)
             code = _STATUS_HTTP.get(response.get("status"), 500)
             self._send_json(code, response)
@@ -204,7 +242,10 @@ class IKRQServer:
                  matrix_spill_dir: Optional[str] = None,
                  matrix_max_rows: Optional[int] = None,
                  gc_keep_last: Optional[int] = None,
-                 kernel: Optional[str] = None) -> None:
+                 kernel: Optional[str] = None,
+                 trace_sample: float = 0.01,
+                 slow_ms: float = 500.0,
+                 trace_buffer_size: int = 256) -> None:
         self.metrics = MetricsRegistry()
         options = dict(service_options or {})
         if mmap_snapshots:
@@ -221,7 +262,10 @@ class IKRQServer:
         self.dispatcher = ShardDispatcher(
             self.pool, max_pending=max_pending, deadline_s=deadline_s,
             metrics=self.metrics, default_quota=default_quota,
-            quotas=quotas, gc_keep_last=gc_keep_last)
+            quotas=quotas, gc_keep_last=gc_keep_last,
+            trace_policy=TracePolicy(sample_rate=trace_sample,
+                                     slow_ms=slow_ms),
+            trace_buffer=TraceBuffer(capacity=trace_buffer_size))
         self._httpd = _HTTPServer((host, port), _Handler)
         self._httpd.ikrq = self
         self._thread: Optional[threading.Thread] = None
@@ -316,6 +360,7 @@ class IKRQServer:
         frozen final values forever.
         """
         self.metrics.drop_gauges("generation")
+        search_totals: Dict[str, Dict[str, int]] = {}
         for doc in self.pool.stats():
             if doc.get("status") != "ok":
                 continue
@@ -333,6 +378,13 @@ class IKRQServer:
                      for name, value in entry.get("stats", {}).items()},
                     shard=shard, venue=entry.get("venue"),
                     generation=entry.get("generation"))
+                # Per-venue SearchStats sums (expansions, cache
+                # hits/misses, evictions …): accumulated per venue
+                # across shards and generations, published below as
+                # ikrq_search_<counter>{venue=...}.
+                totals = search_totals.setdefault(entry.get("venue"), {})
+                for name, value in (entry.get("search") or {}).items():
+                    totals[name] = totals.get(name, 0) + int(value)
                 # The memory tier breakdown of each loaded (venue,
                 # generation): heap vs. mapped vs. spilled bytes.
                 self.metrics.merge_gauges(
@@ -350,6 +402,10 @@ class IKRQServer:
                         venue=entry.get("venue"),
                         generation=entry.get("generation"),
                         kernel=entry.get("kernel"))
+        for venue, totals in search_totals.items():
+            self.metrics.merge_gauges(
+                {f"ikrq_search_{name}": value
+                 for name, value in totals.items()}, venue=venue)
         registry = self.dispatcher.registry
         for venue in registry.venues():
             active = registry.active_generation(venue)

@@ -122,3 +122,27 @@ def canonical_json(doc) -> str:
     their canonical JSON strings are equal.
     """
     return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+# ----------------------------------------------------------------------
+# Trace wire documents
+# ----------------------------------------------------------------------
+def trace_request_to_wire(trace_id: str,
+                          fine: bool,
+                          enqueued_at: float) -> Dict:
+    """The dispatcher's trace envelope riding on a shard payload.
+
+    ``enqueued_at`` is a ``time.time()`` wall-clock stamp — the only
+    clock comparable across the dispatcher and worker processes; the
+    worker derives its queue-wait span from it.
+    """
+    return {"id": str(trace_id), "fine": bool(fine),
+            "enqueued_at": float(enqueued_at)}
+
+
+def trace_reply_to_wire(queue_wait_ms: float, spans: List[Dict]) -> Dict:
+    """The worker's trace sub-tree riding back on a shard response:
+    the measured queue wait plus the worker-side span forest (offsets
+    relative to the worker's dequeue instant)."""
+    return {"queue_wait_ms": round(float(queue_wait_ms), 3),
+            "spans": list(spans)}

@@ -14,7 +14,8 @@ import check_docs_links as checker  # noqa: E402
 class TestDocsTree:
     def test_expected_pages_exist(self):
         docs = REPO_ROOT / "docs"
-        for name in ("architecture.md", "serving.md", "snapshot-format.md"):
+        for name in ("architecture.md", "serving.md", "snapshot-format.md",
+                     "observability.md"):
             assert (docs / name).exists(), f"docs/{name} missing"
 
     def test_no_dangling_links(self):

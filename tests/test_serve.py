@@ -161,6 +161,52 @@ class TestMetrics:
         assert 'generation="1"' not in text
         assert 'served{shard="0"} 5' in text
 
+    def test_label_values_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.inc("requests_total", venue='mall "A"\\east\nwing')
+        text = reg.render()
+        assert ('requests_total{venue="mall \\"A\\"\\\\east\\nwing"} 1'
+                in text)
+        # An unescaped newline would split the sample across lines.
+        assert len(text.strip().splitlines()) == 2
+
+    def test_escape_order_backslash_first(self):
+        # A pre-escaped quote must not be double-unescapable: the
+        # backslash escapes first, then the quote.
+        from repro.serve.metrics import _escape_label_value
+        assert _escape_label_value('\\"') == '\\\\\\"'
+        assert _escape_label_value("plain") == "plain"
+
+    def test_format_value(self):
+        from repro.serve.metrics import _format_value
+        assert _format_value(3.0) == "3"
+        assert _format_value(0.25) == "0.25"
+        # repr keeps full float precision (no %g truncation).
+        assert _format_value(0.1 + 0.2) == repr(0.1 + 0.2)
+
+    def test_histogram_renders_consistent_under_concurrent_observe(self):
+        reg = MetricsRegistry(buckets=(0.1, 1.0))
+        stop = threading.Event()
+
+        def pound():
+            while not stop.is_set():
+                reg.observe("latency_seconds", 0.05)
+
+        thread = threading.Thread(target=pound)
+        thread.start()
+        try:
+            for _ in range(50):
+                text = reg.render()
+                for line in text.splitlines():
+                    if line.startswith('latency_seconds_bucket{le="+Inf"}'):
+                        inf_count = int(line.rsplit(" ", 1)[1])
+                    elif line.startswith("latency_seconds_count"):
+                        count = int(line.rsplit(" ", 1)[1])
+                assert inf_count == count
+        finally:
+            stop.set()
+            thread.join()
+
 
 # ----------------------------------------------------------------------
 # ServiceStats atomicity (satellite: thread-safe snapshotting)
@@ -266,7 +312,12 @@ class TestShardPool:
                     pytest.fail("slow request never admitted")
                 time.sleep(0.01)
             shed = dispatcher.submit(query_to_wire(queries[1]), "ToE")
-            assert shed == {"status": "overloaded", "venue": "default"}
+            assert shed["status"] == "overloaded"
+            assert shed["venue"] == "default"
+            # Sheds are always traced: the response carries a trace_id
+            # and the retained trace records the shed decision.
+            doc = dispatcher.trace_buffer.get(shed["trace_id"])
+            assert doc is not None and doc["reason"] == "shed"
             assert dispatcher.admission.shed == 1
             thread.join()
             assert slow["response"]["status"] == "ok"

@@ -341,7 +341,9 @@ class TestMultiVenuePool:
                     pytest.fail("slow request never admitted")
                 time.sleep(0.01)
             shed = dispatcher.submit(noisy_doc, "ToE", venue="fig1")
-            assert shed == {"status": "overloaded", "venue": "fig1"}
+            assert shed["status"] == "overloaded"
+            assert shed["venue"] == "fig1"
+            assert shed["trace_id"]  # sheds are always traced
             quiet = dispatcher.submit(quiet_doc, "ToE", venue="corridor")
             assert quiet["status"] == "ok"
             thread.join()
