@@ -73,6 +73,9 @@ EXTRA_DESCRIPTIONS = {
     "memory": "tenants per memory budget with and without the memory "
               "tiers (mmap-shared snapshots, disk-spilled matrix rows; "
               "byte-identity + spilled-row fault latency)",
+    "chaos": "fault tolerance under fire: SIGKILL live shard workers "
+             "mid-stream on a deterministic schedule (zero non-shed "
+             "failures, byte-identity, recovery, bounded p99)",
 }
 
 
@@ -148,6 +151,11 @@ def main(argv=None) -> int:
         # `python -m repro.bench memory --floors 2`.
         from repro.bench import memory as M
         return M.main(argv[1:])
+    if argv and argv[0] == "chaos":
+        # And the fault-tolerance chaos harness (--kills, --smoke, ...):
+        # `python -m repro.bench chaos --shards 3`.
+        from repro.bench import chaos as CH
+        return CH.main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Reproduce the paper's evaluation figures.")
@@ -200,6 +208,9 @@ def main(argv=None) -> int:
     if "memory" in figures:
         parser.error("run the memory bench as its own command: "
                      "python -m repro.bench memory [--budget-tenants ...]")
+    if "chaos" in figures:
+        parser.error("run the chaos bench as its own command: "
+                     "python -m repro.bench chaos [--kills ...]")
     unknown = [f for f in figures
                if f not in E.REGISTRY and f not in EXTRA_DESCRIPTIONS]
     if unknown:

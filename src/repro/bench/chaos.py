@@ -1,0 +1,446 @@
+"""Chaos harness: kill live shard workers mid-stream, gate on recovery.
+
+``repro.bench chaos`` is the proving ground of the fault-tolerant
+fleet: it
+
+1. generates ``--venues`` distinct synthetic malls and computes every
+   expected answer with local per-venue engines (sequential
+   ``engine.search`` — the byte-identity reference),
+2. starts one multi-venue :class:`~repro.serve.pool.ShardPool` with
+   *fast* supervision clocks (sub-second heartbeats and restart
+   backoff, so crash → detect → respawn cycles complete in bench
+   time) behind a :class:`~repro.serve.pool.ShardDispatcher` with
+   enough failover retries to walk the whole ring,
+3. hammers every venue concurrently while a killer thread runs a
+   deterministic schedule of ``SIGKILL``\\ s against live workers —
+   shard ``i % shards`` dies once the stream crosses fraction
+   ``(i+1)/(kills+1)`` — waiting for each corpse's replacement to
+   rejoin before the next kill (so at least one shard is always up),
+4. verifies byte-identity of every ``ok`` answer on the fly and, once
+   the fleet has healed, replays each venue's distinct queries in a
+   deterministic after-phase that must be 100 % ``ok`` and identical,
+5. gates on **zero non-shed failures** (every status is ``ok`` or
+   ``overloaded`` — never ``shard_down``/``timeout``/``error``),
+   **recovery** (every killed worker restarted and rejoined),
+   **byte-identity**, and a **bounded p99** (default 10 s — generous,
+   but meaningful: without supervision a request parked on a dead
+   shard burns the full 300 s RPC timeout),
+6. appends one ``{"mode": "chaos"}`` entry — qps, kill windows with
+   detection/recovery times, in-window latency percentiles, failover
+   and restart counts, the four verdicts — to the
+   ``BENCH_throughput.json`` trajectory.
+
+Run it from the shell::
+
+    python -m repro.bench chaos --shards 3 --kills 2
+    python -m repro.bench chaos --smoke        # tiny CI self-check
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import tempfile
+import threading
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.throughput import (DEFAULT_ARTIFACT, append_trajectory,
+                                    build_stream, latency_percentiles)
+from repro.core.engine import IKRQEngine, canonical_algorithm
+from repro.obs import setup_serve_logging
+from repro.datasets.synth import (build_synth_mall, mall_stats,
+                                  tenant_mall_configs)
+from repro.serve import (ShardDispatcher, ShardPool, answer_to_wire,
+                         canonical_json, query_to_wire, save_snapshot)
+
+#: Statuses that do not count as failures: answered, or deliberately
+#: shed by admission control.
+_ACCEPTABLE = ("ok", "overloaded")
+
+
+class _VenueRun:
+    """One venue's workload state: stream, expectations, outcomes."""
+
+    def __init__(self, venue: str, engine: IKRQEngine,
+                 stream, algorithm: str) -> None:
+        self.venue = venue
+        self.engine = engine
+        self.stream = stream
+        self.wire = [query_to_wire(q) for q in stream]
+        self.expected = {}
+        for query in dict.fromkeys(stream):
+            answer = engine.search(query, algorithm)
+            self.expected[canonical_json(query_to_wire(query))] = (
+                canonical_json(answer_to_wire(answer)))
+        #: (start offset s, latency s, status) per request, offsets
+        #: relative to the shared bench clock so kill windows overlay.
+        self.samples: List[tuple] = []
+        self.statuses: Dict[str, int] = {}
+        self.mismatches = 0
+        self.seconds = 0.0
+
+
+def _hammer(run: _VenueRun,
+            dispatcher: ShardDispatcher,
+            algorithm: str,
+            progress,
+            bench_started: float) -> None:
+    """Replay one venue's stream, verifying every ``ok`` answer."""
+    started = time.perf_counter()
+    for doc in run.wire:
+        q_started = time.perf_counter()
+        response = dispatcher.submit(doc, algorithm, venue=run.venue)
+        latency = time.perf_counter() - q_started
+        run.samples.append((q_started - bench_started, latency,
+                            response.get("status", "error")))
+        status = response.get("status", "error")
+        run.statuses[status] = run.statuses.get(status, 0) + 1
+        if status == "ok":
+            got = canonical_json({"algorithm": response.get("algorithm"),
+                                  "routes": response.get("routes")})
+            if got != run.expected[canonical_json(doc)]:
+                run.mismatches += 1
+        progress()
+    run.seconds = time.perf_counter() - started
+
+
+def run_chaos(venues: int = 2,
+              floors: int = 1,
+              rooms_per_floor: int = 16,
+              words_per_room: int = 3,
+              shards: int = 3,
+              pool: int = 6,
+              repeat: int = 25,
+              seed: int = 11,
+              algorithm: str = "ToE",
+              max_pending: int = 64,
+              kills: int = 2,
+              p99_bound_ms: float = 10000.0,
+              recovery_timeout: float = 30.0) -> Dict:
+    """The chaos workload; returns one trajectory entry."""
+    if shards < 2:
+        raise ValueError("chaos needs >= 2 shards (a sibling to fail "
+                         "over to)")
+    algorithm = canonical_algorithm(algorithm)
+    configs = tenant_mall_configs(
+        venues, floors=floors, rooms_per_floor=rooms_per_floor,
+        words_per_room=words_per_room, seed=seed)
+
+    runs: List[_VenueRun] = []
+    kill_windows: List[Dict] = []
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        snapshot_paths: Dict[str, str] = {}
+        for i, (venue, cfg) in enumerate(sorted(configs.items())):
+            space, kindex = build_synth_mall(cfg)
+            engine = IKRQEngine(space, kindex, door_matrix_eager=False)
+            stream = build_stream(engine, pool=pool, repeat=repeat,
+                                  endpoints=max(2, pool // 2),
+                                  seed=seed + i)
+            runs.append(_VenueRun(venue, engine, stream, algorithm))
+            path = os.path.join(tmp, f"{venue}.snap.json")
+            save_snapshot(path, engine)
+            snapshot_paths[venue] = path
+
+        total = sum(len(run.wire) for run in runs)
+        done = threading.Lock()
+        completed = [0]
+        drained = threading.Event()
+
+        def progress() -> None:
+            with done:
+                completed[0] += 1
+                if completed[0] >= total:
+                    drained.set()
+
+        with ShardPool(venues=snapshot_paths, shards=shards,
+                       heartbeat_interval=0.1, heartbeat_timeout=5.0,
+                       restart_backoff_s=0.1, restart_backoff_max_s=0.5,
+                       restart_budget=max(5, kills + 2),
+                       restart_window_s=60.0) as shard_pool:
+            dispatcher = ShardDispatcher(shard_pool,
+                                         max_pending=max_pending,
+                                         failover_retries=shards)
+            # Warm each venue's affinity shards outside the timed
+            # region (mirrors the other benches' warm-up).
+            for run in runs:
+                for doc in run.wire[:min(2, len(run.wire))]:
+                    dispatcher.submit(doc, algorithm, venue=run.venue)
+
+            bench_started = time.perf_counter()
+
+            def killer() -> None:
+                for i in range(kills):
+                    threshold = max(1, int(total * (i + 1) / (kills + 1)))
+                    while completed[0] < threshold and not drained.is_set():
+                        time.sleep(0.005)
+                    shard = i % shards
+                    killed_at = time.perf_counter() - bench_started
+                    if not shard_pool.kill_shard(shard):
+                        continue  # already down (e.g. back-to-back kill)
+                    window = {"shard": shard,
+                              "killed_at_s": round(killed_at, 4),
+                              "detected_s": None, "recovered_s": None}
+                    kill_windows.append(window)
+                    deadline = time.monotonic() + recovery_timeout
+                    while time.monotonic() < deadline:
+                        state = shard_pool.shard_state(shard)
+                        now = time.perf_counter() - bench_started
+                        if (window["detected_s"] is None
+                                and state != "up"):
+                            window["detected_s"] = round(
+                                now - killed_at, 4)
+                        if (window["detected_s"] is not None
+                                and state == "up"):
+                            window["recovered_s"] = round(
+                                now - killed_at, 4)
+                            break
+                        time.sleep(0.01)
+
+            threads = [threading.Thread(
+                target=_hammer,
+                args=(run, dispatcher, algorithm, progress, bench_started),
+                name=f"hammer-{run.venue}") for run in runs]
+            kill_thread = threading.Thread(target=killer, name="killer")
+            for thread in threads:
+                thread.start()
+            kill_thread.start()
+            for thread in threads:
+                thread.join()
+            drained.set()
+            kill_thread.join()
+            wall_seconds = time.perf_counter() - bench_started
+
+            # Healing gate: every corpse replaced and ready.
+            healed = shard_pool.wait_all_up(timeout=recovery_timeout)
+            restarts = shard_pool.restarts_total
+            worker_states = shard_pool.shard_states()
+
+            # Deterministic after-phase: with the fleet healed, every
+            # venue's distinct queries must all answer, byte-identical
+            # — restarted workers prove their warm reload here.
+            after_mismatches = 0
+            after_bad = 0
+            for run in runs:
+                distinct = list({canonical_json(doc): doc
+                                 for doc in run.wire}.values())
+                for doc in distinct:
+                    response = dispatcher.submit(doc, algorithm,
+                                                 venue=run.venue)
+                    if response.get("status") != "ok":
+                        after_bad += 1
+                        continue
+                    got = canonical_json(
+                        {"algorithm": response.get("algorithm"),
+                         "routes": response.get("routes")})
+                    if got != run.expected[canonical_json(doc)]:
+                        after_mismatches += 1
+            failovers = dispatcher.failovers
+
+    # ------------------------------------------------------------------
+    # Verdicts
+    # ------------------------------------------------------------------
+    statuses: Dict[str, int] = {}
+    for run in runs:
+        for status, count in run.statuses.items():
+            statuses[status] = statuses.get(status, 0) + count
+    answered = statuses.get("ok", 0)
+    shed = statuses.get("overloaded", 0)
+    failed = sum(count for status, count in statuses.items()
+                 if status not in _ACCEPTABLE)
+    mismatches = sum(run.mismatches for run in runs) + after_mismatches
+
+    all_latencies = [s[1] for run in runs for s in run.samples]
+    in_window: List[float] = []
+    for run in runs:
+        for offset, latency, _status in run.samples:
+            for window in kill_windows:
+                end = window["killed_at_s"] + (
+                    window["recovered_s"] or recovery_timeout)
+                if window["killed_at_s"] <= offset <= end:
+                    in_window.append(latency)
+                    break
+    overall = latency_percentiles(all_latencies)
+    window_pct = latency_percentiles(in_window)
+    p99_ms = overall.get("p99_ms", 0.0)
+
+    kills_fired = len(kill_windows)
+    recovered = (healed and kills_fired > 0
+                 and all(w["recovered_s"] is not None
+                         for w in kill_windows)
+                 and restarts >= kills_fired)
+
+    entry = {
+        "mode": "chaos",
+        "venues": venues,
+        "floors": floors,
+        "rooms_per_floor": rooms_per_floor,
+        "shards": shards,
+        "algorithm": algorithm,
+        "queries": total,
+        "max_pending": max_pending,
+        "kills_planned": kills,
+        "kills_fired": kills_fired,
+        "kill_windows": kill_windows,
+        "qps": answered / wall_seconds if wall_seconds else float("inf"),
+        "wall_seconds": wall_seconds,
+        "answered": answered,
+        "shed": shed,
+        "shed_rate": shed / total if total else 0.0,
+        "failed": failed,
+        "statuses": dict(sorted(statuses.items())),
+        "mismatches": mismatches,
+        "failovers": failovers,
+        "restarts": restarts,
+        "workers": worker_states,
+        "after_checks": {
+            "queries": sum(len({canonical_json(doc) for doc in run.wire})
+                           for run in runs),
+            "not_ok": after_bad,
+            "mismatches": after_mismatches,
+        },
+        "latency_ms": overall,
+        "kill_window_latency_ms": window_pct,
+        "p99_bound_ms": p99_bound_ms,
+        "per_venue": {
+            run.venue: {
+                "queries": len(run.wire),
+                "qps": (len(run.wire) / run.seconds
+                        if run.seconds else float("inf")),
+                "statuses": dict(sorted(run.statuses.items())),
+                **mall_stats(run.engine.space, run.engine.kindex),
+            } for run in runs},
+        "zero_non_shed_failures": failed == 0 and after_bad == 0,
+        "verified_identical": mismatches == 0,
+        "recovered": recovered,
+        "p99_bounded": p99_ms <= p99_bound_ms,
+    }
+    return entry
+
+
+def format_chaos_report(entry: Dict) -> str:
+    lines = [
+        f"venues={entry['venues']} shards={entry['shards']} "
+        f"algorithm={entry['algorithm']} queries={entry['queries']} "
+        f"kills={entry['kills_fired']}/{entry['kills_planned']}",
+        f"  served     : {entry['answered']} ok "
+        f"({entry['qps']:10.1f} q/s), {entry['shed']} shed "
+        f"({entry['shed_rate'] * 100.0:.1f}%), "
+        f"{entry['failed']} failed, {entry['failovers']} failovers, "
+        f"{entry['restarts']} restarts",
+    ]
+    for window in entry["kill_windows"]:
+        lines.append(
+            f"  kill       : shard {window['shard']} at "
+            f"{window['killed_at_s']:.2f}s, detected "
+            f"+{window['detected_s']}s, recovered "
+            f"+{window['recovered_s']}s")
+    overall = entry["latency_ms"] or {}
+    in_window = entry["kill_window_latency_ms"] or {}
+    lines.append(
+        f"  latency    : p99={overall.get('p99_ms', float('nan')):.2f} ms "
+        f"overall, p99={in_window.get('p99_ms', float('nan')):.2f} ms "
+        f"inside kill windows (bound {entry['p99_bound_ms']:.0f} ms)")
+    lines.append(
+        f"  verdicts   : zero_non_shed_failures="
+        f"{entry['zero_non_shed_failures']} "
+        f"byte-identical={entry['verified_identical']} "
+        f"recovered={entry['recovered']} "
+        f"p99_bounded={entry['p99_bounded']}")
+    for venue, stats in sorted(entry["per_venue"].items()):
+        lines.append(
+            f"  {venue:10s}: {stats['qps']:8.1f} q/s "
+            f"{stats['statuses']}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Chaos-test the shard fleet: SIGKILL live workers "
+                    "mid-stream, gate on failover, recovery and "
+                    "byte-identity.")
+    parser.add_argument("--venues", type=int, default=2,
+                        help="co-hosted synthetic tenants (default 2)")
+    parser.add_argument("--floors", type=int, default=1)
+    parser.add_argument("--rooms-per-floor", type=int, default=16)
+    parser.add_argument("--words-per-room", type=int, default=3)
+    parser.add_argument("--shards", type=int, default=3,
+                        help="shard processes (>= 2; every venue on "
+                             "every shard)")
+    parser.add_argument("--pool", type=int, default=6,
+                        help="distinct queries per venue")
+    parser.add_argument("--repeat", type=int, default=25,
+                        help="how often each venue's pool repeats")
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--algorithm", default="ToE")
+    parser.add_argument("--max-pending", type=int, default=64,
+                        help="pool-wide admission queue depth")
+    parser.add_argument("--kills", type=int, default=2,
+                        help="scheduled worker SIGKILLs (default 2)")
+    parser.add_argument("--p99-bound-ms", type=float, default=10000.0,
+                        help="overall p99 latency gate in ms "
+                             "(default 10000)")
+    parser.add_argument("--artifact", default=DEFAULT_ARTIFACT,
+                        help="trajectory JSON to append results to "
+                             "('' disables)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny CI run: 2 venues, 2 shards, 1 kill; "
+                             "fails on any non-shed failure, identity "
+                             "mismatch, unrecovered worker, unbounded "
+                             "p99 or missing trajectory append")
+    args = parser.parse_args(argv)
+
+    # Supervision events (worker_exit / failover / worker_restart) are
+    # logged at WARNING; render them as JSON lines on stderr instead of
+    # letting the stdlib last-resort handler spray bare event names.
+    setup_serve_logging()
+
+    if args.smoke:
+        entry = run_chaos(venues=2, floors=1, rooms_per_floor=16,
+                          words_per_room=3, shards=2, pool=4, repeat=12,
+                          seed=args.seed, algorithm=args.algorithm,
+                          max_pending=args.max_pending, kills=1,
+                          p99_bound_ms=args.p99_bound_ms)
+    else:
+        entry = run_chaos(venues=args.venues, floors=args.floors,
+                          rooms_per_floor=args.rooms_per_floor,
+                          words_per_room=args.words_per_room,
+                          shards=args.shards, pool=args.pool,
+                          repeat=args.repeat, seed=args.seed,
+                          algorithm=args.algorithm,
+                          max_pending=args.max_pending, kills=args.kills,
+                          p99_bound_ms=args.p99_bound_ms)
+    print(format_chaos_report(entry))
+    if args.artifact:
+        append_trajectory(args.artifact, entry)
+        print(f"trajectory appended to {args.artifact}")
+    ok = (entry["zero_non_shed_failures"] and entry["verified_identical"]
+          and entry["recovered"] and entry["p99_bounded"])
+    if args.smoke:
+        if not ok:
+            print("chaos smoke FAILED: "
+                  f"zero_non_shed_failures="
+                  f"{entry['zero_non_shed_failures']} "
+                  f"identical={entry['verified_identical']} "
+                  f"recovered={entry['recovered']} "
+                  f"p99_bounded={entry['p99_bounded']}")
+            return 1
+        if not args.artifact:
+            print("chaos smoke FAILED: --smoke verifies the trajectory "
+                  "append; do not pass --artifact ''")
+            return 1
+        print(f"chaos smoke ok: {entry['answered']} answers "
+              f"byte-identical through {entry['kills_fired']} worker "
+              f"kill(s), {entry['failovers']} failovers, "
+              f"{entry['restarts']} restarts, 0 failed, trajectory "
+              f"at {args.artifact}")
+        return 0
+    # Robustness verdicts gate the exit code in every mode; absolute
+    # timings are recorded, never judged (the p99 bound is generous by
+    # design — it catches the 300 s dead-shard hang, not CI noise).
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via wrapper
+    import sys
+    sys.exit(main())

@@ -348,6 +348,7 @@ def _serve_smoke(server, venues: dict) -> int:
                        "ikrq_search_expansions",
                        "ikrq_venue_active_generation", "ikrq_venues",
                        "ikrq_shard_kernel_info",
+                       "ikrq_shard_up", "ikrq_live_shards",
                        f'venue="{swap_venue}"'):
             if series not in metrics:
                 print(f"smoke FAILED: /metrics missing {series!r}")
@@ -423,7 +424,12 @@ def _cmd_serve(args) -> int:
             kernel=args.kernel,
             trace_sample=args.trace_sample,
             slow_ms=args.slow_ms,
-            trace_buffer_size=args.trace_buffer)
+            trace_buffer_size=args.trace_buffer,
+            heartbeat_interval=args.heartbeat_ms / 1000.0,
+            heartbeat_timeout=args.heartbeat_timeout_ms / 1000.0,
+            restart_backoff_s=args.restart_backoff_ms / 1000.0,
+            restart_budget=args.restart_budget,
+            failover_retries=args.failover_retries)
         if args.smoke:
             return _serve_smoke(server, venues)
         host, port = server.address
@@ -664,6 +670,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-buffer", type=int, default=256, metavar="N",
                    help="capacity of the in-memory trace ring behind "
                         "GET /debug/traces")
+    p.add_argument("--heartbeat-ms", type=float, default=2000.0,
+                   help="supervisor heartbeat ping interval per shard")
+    p.add_argument("--heartbeat-timeout-ms", type=float, default=30000.0,
+                   help="declare a shard dead after this long without a "
+                        "heartbeat or any response traffic (0 disables "
+                        "the stall detector; process exits are always "
+                        "caught)")
+    p.add_argument("--restart-backoff-ms", type=float, default=500.0,
+                   help="initial restart backoff for a dead shard "
+                        "(doubles per consecutive failure, capped at 30 s)")
+    p.add_argument("--restart-budget", type=int, default=5,
+                   help="restarts allowed per shard per 60 s window "
+                        "before it is quarantined instead of respawned")
+    p.add_argument("--failover-retries", type=int, default=1,
+                   help="how many sibling shards a search that hit a "
+                        "dead/timed-out shard is retried on (searches "
+                        "are pure, so retried answers are byte-identical)")
     p.add_argument("--smoke", action="store_true",
                    help="start, answer fig1 queries over HTTP per venue, "
                         "verify byte-identity across a hot-swap, /venues, "

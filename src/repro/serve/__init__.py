@@ -46,6 +46,8 @@ values the per-query evaluation would compute itself, and a hot-swap
 never blends generations within one answer.
 """
 
+from repro.serve.faults import (FAULT_EXIT_CODE, FaultInjector, FaultPlan,
+                                FaultRule)
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.pool import (AdmissionController, ShardDispatcher,
                               ShardPool, TenantQuota, shard_for)
@@ -68,6 +70,10 @@ __all__ = [
     "AdmissionController",
     "BINARY_MAGIC",
     "DEFAULT_VENUE",
+    "FAULT_EXIT_CODE",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
     "SNAPSHOT_ALIGN",
     "Generation",
     "IKRQServer",

@@ -19,25 +19,44 @@ resolves its generation exactly once, at admission, so every answer
 comes from exactly one generation and stays byte-identical to a
 sequential ``engine.search`` on that snapshot.
 
+The pool is *supervised*: a watcher thread pairs each worker's process
+sentinel with periodic heartbeat pings and declares a shard dead the
+moment it exits or stops answering.  Death fails every pending RPC on
+that shard immediately with ``{"status": "shard_down"}`` (instead of
+letting callers run out the full RPC timeout), and the supervisor
+respawns the worker with exponential backoff under a restart budget —
+a crash-looping shard is *quarantined*, not respawned forever.  A
+replacement worker warm-restarts: it reloads every ``(venue,
+generation)`` the fleet is currently serving (snapshot cold-start is
+milliseconds) and rejoins the affinity ring only after reporting
+ready.  Searches are pure, so the dispatcher retries a ``shard_down``
+/ ``timeout`` answer on a live sibling shard — the failover answer is
+byte-identical by construction.
+
 Admission control is explicit and tenant-aware: at most
 ``max_pending`` requests may be in flight across the pool, and each
 venue may carry a quota capping *its* in-flight share — anything
 beyond either bound is *shed* immediately with an
 ``{"status": "overloaded"}`` answer instead of queueing into a latency
-collapse, and one noisy venue cannot starve the rest.  Requests may
-additionally carry a wall-clock deadline — a shard that dequeues an
-already-expired request answers ``expired`` without evaluating it.
+collapse, and one noisy venue cannot starve the rest.  When shards are
+down, both bounds tighten proportionally (degraded mode): a pool at
+half strength admits half its normal depth rather than queueing into
+dead capacity.  Requests may additionally carry a wall-clock deadline
+— a shard that dequeues an already-expired request answers
+``expired`` without evaluating it.
 """
 
 from __future__ import annotations
 
 import logging
+import math
 import multiprocessing
 import os
 import threading
 import time
 import zlib
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (Callable, Dict, List, Mapping, Optional, Sequence,
+                    Tuple, Union)
 
 from repro.obs.logging import log_event
 from repro.obs.trace import (STAGE_ADMISSION, STAGE_DECODE, STAGE_DISPATCH,
@@ -45,9 +64,11 @@ from repro.obs.trace import (STAGE_ADMISSION, STAGE_DECODE, STAGE_DISPATCH,
                              STAGE_QUEUE_WAIT, STAGES, EngineTrace,
                              TraceBuffer, TracePolicy, TraceRecorder,
                              iter_spans, shift_spans, span_doc)
+from repro.serve.faults import FaultInjector, FaultPlan
 from repro.serve.registry import (DEFAULT_VENUE, Generation,
                                   SnapshotRegistry)
-from repro.serve.wire import (answer_to_wire, query_from_wire,
+from repro.serve.wire import (answer_to_wire, ping_to_wire, pong_to_wire,
+                              query_from_wire, shard_down_doc,
                               trace_reply_to_wire, trace_request_to_wire)
 
 #: Extra seconds the dispatcher waits past a request deadline before
@@ -104,19 +125,44 @@ def shard_for(ps: Sequence[float],
     return zlib.crc32(key.encode("utf-8")) % shards
 
 
+def _drop_queue(queue) -> None:
+    """Retire a multiprocessing queue nobody should touch again: close
+    its pipe ends and (for feeder-thread queues) stop the feeder so the
+    interpreter's atexit finalizer does not block joining a feeder that
+    never saw a sentinel."""
+    if queue is None:
+        return
+    try:
+        queue.close()
+    except Exception:  # pragma: no cover - already torn down
+        pass
+    cancel = getattr(queue, "cancel_join_thread", None)
+    if cancel is not None:
+        try:
+            cancel()
+        except Exception:  # pragma: no cover
+            pass
+
+
 # ----------------------------------------------------------------------
 # Worker process
 # ----------------------------------------------------------------------
 def _shard_worker(shard_id: int,
-                  initial: Dict[str, Tuple[int, str]],
+                  boot: int,
+                  initial: Sequence[Tuple[str, int, str]],
                   requests,
                   responses,
                   options: Dict) -> None:
     """Entry point of one shard process.
 
-    ``initial`` maps venue id to ``(generation, snapshot_path)``; the
-    worker loads every entry before reporting ready, then serves
-    ``search`` / ``load`` / ``evict`` / ``stats`` messages until
+    ``boot`` is the worker's incarnation counter (0 = initial start,
+    1 = first supervised restart, …); it is stamped on every response
+    so the router can tell a replacement's messages from a dead
+    predecessor's stragglers.  ``initial`` lists every ``(venue,
+    generation, snapshot_path)`` the worker must serve; it loads all
+    of them before reporting ready (a warm restart simply passes the
+    fleet's current assignment list here), then serves ``search`` /
+    ``load`` / ``evict`` / ``stats`` / ``ping`` messages until
     shutdown.  The worker is single-threaded by design: a ``load``
     occupies the shard for the (millisecond) snapshot adoption and the
     engine map never races.
@@ -126,8 +172,14 @@ def _shard_worker(shard_id: int,
     the same generation file, so the fleet holds one page-cache copy);
     ``matrix_spill_dir`` gives each loaded engine a private row-cache
     file ``<venue>.g<generation>.shard<i>.rows`` under that directory
-    (removed again when the generation is evicted);
+    (removed again when the generation is evicted, and truncated on
+    open, so a restarted worker reusing the path starts clean);
     ``matrix_max_rows`` caps resident matrix rows per engine.
+
+    ``options["fault_plan"]`` (wire-encoded :class:`FaultPlan` rules)
+    arms deterministic fault injection at three points — process
+    start, each load, each search — for the chaos harness and the
+    crash-path tests; see :mod:`repro.serve.faults`.
     """
     from repro.core.engine import QueryService
     from repro.serve.snapshot import _UNSET, load_snapshot, warm_mapped
@@ -139,8 +191,13 @@ def _shard_worker(shard_id: int,
     spill_dir = options.get("matrix_spill_dir")
     matrix_max_rows = options.get("matrix_max_rows", _UNSET)
     kernel = options.get("kernel")
+    injector = FaultInjector(options.get("fault_plan"), shard_id, boot)
 
     def _load(venue: str, generation: int, path: str) -> float:
+        rule = FaultInjector.apply(injector.fire("load"))
+        if rule is not None and rule.action == "reject_load":
+            raise RuntimeError(
+                f"fault injected: reject_load on shard {shard_id}")
         started = time.perf_counter()
         spill_path = None
         if spill_dir:
@@ -162,16 +219,16 @@ def _shard_worker(shard_id: int,
             answer_cache_capacity=options.get("answer_cache_capacity", 1024))
         return time.perf_counter() - started
 
+    FaultInjector.apply(injector.fire("start"))
     try:
-        for venue in sorted(initial):
-            generation, path = initial[venue]
-            _load(venue, generation, path)
+        for venue, generation, path in sorted(initial):
+            _load(venue, int(generation), path)
     except Exception as exc:  # startup failure: report, don't hang
-        responses.put({"kind": "ready", "shard": shard_id,
+        responses.put({"kind": "ready", "shard": shard_id, "boot": boot,
                        "error": repr(exc)})
         return
-    responses.put({"kind": "ready", "shard": shard_id,
-                   "venues": sorted(initial),
+    responses.put({"kind": "ready", "shard": shard_id, "boot": boot,
+                   "venues": sorted({venue for venue, _, _ in initial}),
                    "csr_builds": DoorGraph.csr_builds,
                    "s2s_builds": SkeletonIndex.s2s_builds,
                    "kernels": sorted({service.kernel_backend
@@ -188,8 +245,12 @@ def _shard_worker(shard_id: int,
                     matrix.close_spill()
             break
         req_id = msg.get("id")
-        base = {"kind": "response", "id": req_id, "shard": shard_id}
+        base = {"kind": "response", "id": req_id, "shard": shard_id,
+                "boot": boot}
         kind = msg.get("kind")
+        if kind == "ping":
+            responses.put(pong_to_wire(shard_id, boot))
+            continue
         if kind == "stats":
             venue_stats = []
             aggregate: Dict[str, int] = {}
@@ -235,6 +296,8 @@ def _shard_worker(shard_id: int,
                            "evicted": dropped is not None})
             continue
         # -------------------------------------------------- search
+        rule = FaultInjector.apply(injector.fire("search"))
+        crash_after = rule is not None and rule.action == "crash_after_reply"
         venue = msg.get("venue", DEFAULT_VENUE)
         generation = msg.get("generation")
         base["venue"] = venue
@@ -303,17 +366,58 @@ def _shard_worker(shard_id: int,
             _put(doc)
         except Exception as exc:
             _put({**base, "status": "error", "error": repr(exc)})
+        if crash_after:
+            # The answer is already on the wire; die like an OOM kill
+            # landing between two requests.
+            FaultInjector.crash()
 
 
 # ----------------------------------------------------------------------
 # Pool
 # ----------------------------------------------------------------------
 class _PendingSlot:
-    __slots__ = ("event", "response")
+    """One blocked RPC: the caller parks on ``event``; the router (or
+    the supervisor failing a dead shard's slots) fills ``response`` and
+    sets it.  ``shard`` is the *target* shard so supervision can sweep
+    exactly the calls a death strands."""
 
-    def __init__(self) -> None:
+    __slots__ = ("event", "response", "shard")
+
+    def __init__(self, shard: int) -> None:
         self.event = threading.Event()
         self.response: Optional[Dict] = None
+        self.shard = shard
+
+
+class _ShardState:
+    """Supervision state of one shard slot (the *slot* outlives any
+    single worker process: ``proc``/``queue``/``boot`` are replaced on
+    every respawn)."""
+
+    __slots__ = ("index", "proc", "queue", "rq", "state", "boot",
+                 "boot_error", "boot_started", "boot_assignments",
+                 "last_seen", "last_ping", "restart_times", "backoff_exp",
+                 "next_restart_at", "down_reason", "exitcode")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.proc = None
+        self.queue = None
+        self.rq = None
+        #: starting -> up -> down -> (starting ...) | quarantined
+        self.state = "down"
+        self.boot = -1
+        self.boot_error: Optional[str] = None
+        self.boot_started = 0.0
+        self.boot_assignments: set = set()
+        self.last_seen = 0.0
+        self.last_ping = 0.0
+        #: Monotonic stamps of recent restarts (the budget window).
+        self.restart_times: List[float] = []
+        self.backoff_exp = 0
+        self.next_restart_at = 0.0
+        self.down_reason: Optional[str] = None
+        self.exitcode: Optional[int] = None
 
 
 def _normalise_venues(snapshot_path: Optional[str],
@@ -329,19 +433,37 @@ def _normalise_venues(snapshot_path: Optional[str],
 
 
 class ShardPool:
-    """A pool of shard processes serving one or many venues.
+    """A supervised pool of shard processes serving one or many venues.
 
-    The pool owns the request queue of every shard, one shared
-    response queue, and a router thread matching responses back to
-    blocked callers by request id.  ``call`` is the low-level blocking
-    RPC, ``broadcast`` fans one control message over every shard;
-    routing policy, tenancy and admission control live in
+    The pool owns the request queue of every shard, one response pipe
+    *per worker incarnation* with a reader thread matching responses
+    back to blocked callers by request id, and a supervisor thread
+    watching worker liveness (process sentinel + heartbeats) that
+    fails a dead shard's pending calls fast and respawns it with
+    backoff under a restart budget.  Responses deliberately do NOT
+    share one queue across workers: a shared queue's write lock is
+    held by whichever worker is mid-``put``, so a SIGKILL landing in
+    that window would wedge every *other* worker's replies forever —
+    with per-worker pipes a kill can only ever corrupt the dead
+    worker's own channel, which dies with it.  ``call`` is the low-level blocking RPC, ``broadcast``
+    fans one control message over every *live* shard; routing policy,
+    failover, tenancy and admission control live in
     :class:`ShardDispatcher`.
 
     ``ShardPool(path, shards=2)`` keeps the single-tenant shape — the
     snapshot is hosted as venue ``"default"`` at generation 1.
     Multi-tenant pools pass ``venues={"mall-a": path_a, ...}`` instead
     (or additionally).
+
+    Supervision knobs: a worker missing heartbeats for
+    ``heartbeat_timeout`` seconds (or whose process exits) is declared
+    down; its replacement starts after an exponential backoff
+    (``restart_backoff_s`` doubling up to ``restart_backoff_max_s``);
+    more than ``restart_budget`` restarts within ``restart_window_s``
+    quarantines the shard instead.  ``heartbeat_timeout=0`` disables
+    the stall detector (the sentinel still catches exits).
+    ``fault_plan`` threads a :class:`~repro.serve.faults.FaultPlan`
+    into every worker for deterministic chaos testing.
     """
 
     def __init__(self,
@@ -351,105 +473,433 @@ class ShardPool:
                  allow_sleep: bool = False,
                  start_timeout: float = 120.0,
                  mp_context: Optional[str] = None,
-                 venues: Optional[Mapping[str, str]] = None) -> None:
+                 venues: Optional[Mapping[str, str]] = None,
+                 heartbeat_interval: float = 2.0,
+                 heartbeat_timeout: float = 30.0,
+                 restart_backoff_s: float = 0.5,
+                 restart_backoff_max_s: float = 30.0,
+                 restart_budget: int = 5,
+                 restart_window_s: float = 60.0,
+                 fault_plan: Optional[Union[FaultPlan,
+                                            Sequence[Dict]]] = None) -> None:
         if shards < 1:
             raise ValueError("shards must be at least 1")
-        ctx = multiprocessing.get_context(mp_context)
+        self._ctx = multiprocessing.get_context(mp_context)
         #: Initial venue -> snapshot path map (all at generation 1).
         self.initial_venues: Dict[str, str] = _normalise_venues(
             snapshot_path, venues)
         self.snapshot_path = (str(snapshot_path)
                               if snapshot_path is not None else None)
         self.shards = shards
+        self.start_timeout = float(start_timeout)
+        self.heartbeat_interval = float(heartbeat_interval)
+        self.heartbeat_timeout = float(heartbeat_timeout)
+        self.restart_backoff_s = float(restart_backoff_s)
+        self.restart_backoff_max_s = float(restart_backoff_max_s)
+        self.restart_budget = int(restart_budget)
+        self.restart_window_s = float(restart_window_s)
         options = dict(service_options or {})
         options["allow_sleep"] = allow_sleep
-        initial = {venue: (1, path)
-                   for venue, path in self.initial_venues.items()}
-        self._requests = [ctx.Queue() for _ in range(shards)]
-        self._responses = ctx.Queue()
-        self._procs = [
-            ctx.Process(
-                target=_shard_worker,
-                args=(i, initial, self._requests[i],
-                      self._responses, options),
-                daemon=True, name=f"ikrq-shard-{i}")
-            for i in range(shards)
-        ]
+        if fault_plan is not None:
+            options["fault_plan"] = (fault_plan.to_wire()
+                                     if isinstance(fault_plan, FaultPlan)
+                                     else list(fault_plan))
+        self._options = options
+        #: What the fleet is serving right now: every ``(venue,
+        #: generation)`` a live worker should hold, with its snapshot
+        #: path — the warm-restart manifest a replacement reloads.
+        self._assignments: Dict[Tuple[str, int], str] = {
+            (venue, 1): path
+            for venue, path in self.initial_venues.items()}
         self._lock = threading.Lock()
+        self._ready_cond = threading.Condition(self._lock)
         self._pending: Dict[int, _PendingSlot] = {}
         self._next_id = 0
         self._closed = False
+        self._initial_done = False
+        self._listeners: List[Callable[[str, Dict], None]] = []
+        #: Supervision counters (also surfaced on /healthz + /metrics).
+        self.restarts_total = 0
+        self.late_responses = 0
         #: Per-shard build counters reported at startup; snapshot loads
         #: must show no increment over the pre-fork value.
         self.worker_builds: List[Dict] = []
-        for proc in self._procs:
-            proc.start()
-        ready = 0
-        deadline = time.monotonic() + start_timeout
-        while ready < shards:
-            remaining = deadline - time.monotonic()
-            if remaining <= 0:
-                self.close()
-                raise RuntimeError("shard pool start timed out")
-            try:
-                msg = self._responses.get(timeout=remaining)
-            except Exception:
-                continue
-            if msg.get("kind") != "ready":
-                continue
-            if "error" in msg:
-                self.close()
-                raise RuntimeError(
-                    f"shard {msg['shard']} failed to start: {msg['error']}")
-            self.worker_builds.append(
-                {"shard": msg["shard"],
-                 "csr_builds": msg.get("csr_builds"),
-                 "s2s_builds": msg.get("s2s_builds")})
-            ready += 1
-        self._router = threading.Thread(
-            target=self._route_responses, daemon=True, name="ikrq-router")
-        self._router.start()
+        self._states = [_ShardState(i) for i in range(shards)]
+        self._supervisor_wake = threading.Event()
+        self._reader_threads: List[threading.Thread] = []
+        # Each _spawn starts the worker's reader thread first, so every
+        # startup message flows through the same dispatch path as
+        # steady-state ones — a fast shard's first real response can't
+        # be lost in the startup window.
+        for st in self._states:
+            self._spawn(st)
+        self._supervisor = threading.Thread(
+            target=self._supervise, daemon=True, name="ikrq-supervisor")
+        self._supervisor.start()
+        error: Optional[str] = None
+        deadline = time.monotonic() + self.start_timeout
+        with self._ready_cond:
+            while not all(st.state == "up" for st in self._states):
+                failed = next((st for st in self._states
+                               if st.boot_error is not None), None)
+                if failed is not None:
+                    error = (f"shard {failed.index} failed to start: "
+                             f"{failed.boot_error}")
+                    break
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    error = "shard pool start timed out"
+                    break
+                self._ready_cond.wait(min(remaining, 0.2))
+        if error is not None:
+            self.close()
+            raise RuntimeError(error)
+        self._initial_done = True
 
     # ------------------------------------------------------------------
-    def _route_responses(self) -> None:
+    # Listeners (the dispatcher maps these onto metrics counters)
+    # ------------------------------------------------------------------
+    def add_listener(self,
+                     listener: Callable[[str, Dict], None]) -> None:
+        """Subscribe to supervision events: ``worker_exit``,
+        ``worker_restart``, ``worker_ready``, ``worker_quarantined``,
+        ``rpc_late_response``.  Listeners run on pool threads and must
+        not block; exceptions are swallowed."""
+        self._listeners.append(listener)
+
+    def _emit(self, event: str, fields: Dict) -> None:
+        for listener in list(self._listeners):
+            try:
+                listener(event, fields)
+            except Exception:  # pragma: no cover - listener bug
+                pass
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+    def _spawn(self, st: _ShardState) -> None:
+        """Start (or restart) the worker for one shard slot, handing it
+        the fleet's current assignment manifest."""
+        with self._lock:
+            st.boot += 1
+            boot = st.boot
+            assignments = dict(self._assignments)
+            st.boot_assignments = set(assignments)
+            st.state = "starting"
+            st.boot_error = None
+            st.down_reason = None
+            now = time.monotonic()
+            st.boot_started = now
+            st.last_seen = now
+            st.last_ping = now
+            # Fresh queues per boot: the dead worker's request queue
+            # may hold requests nobody will ever answer (replaying
+            # them into the replacement would serve stale work first),
+            # and its response pipe may be wedged mid-write by the
+            # kill.  The old request queue's feeder thread must be
+            # torn down here, or multiprocessing's atexit finalizer
+            # joins it forever.
+            _drop_queue(st.queue)
+            _drop_queue(st.rq)
+            st.queue = self._ctx.Queue()
+            st.rq = self._ctx.SimpleQueue()
+        reader = threading.Thread(
+            target=self._read_responses, args=(st, boot, st.rq),
+            daemon=True, name=f"ikrq-reader-{st.index}.{boot}")
+        reader.start()
+        self._reader_threads.append(reader)
+        st.proc = self._ctx.Process(
+            target=_shard_worker,
+            args=(st.index, boot,
+                  [(venue, gen, path)
+                   for (venue, gen), path in sorted(assignments.items())],
+                  st.queue, st.rq, self._options),
+            daemon=True, name=f"ikrq-shard-{st.index}")
+        st.proc.start()
+
+    def _respawn(self, st: _ShardState) -> None:
+        with self._lock:
+            if self._closed or st.state != "down":
+                return
+        self.restarts_total += 1
+        log_event(_log, logging.WARNING, "worker_restart",
+                  shard=st.index, boot=st.boot + 1,
+                  reason=st.down_reason)
+        self._emit("worker_restart", {"shard": st.index,
+                                      "boot": st.boot + 1,
+                                      "reason": st.down_reason})
+        self._spawn(st)
+
+    def _declare_down(self, st: _ShardState, reason: str) -> None:
+        """Mark one shard dead: kill any remains, fail its pending
+        RPCs immediately, and either schedule a backoff restart or
+        quarantine a crash-looper over its budget."""
+        proc = st.proc
+        failed: List[Tuple[int, _PendingSlot]] = []
+        with self._lock:
+            if self._closed or st.state in ("down", "quarantined"):
+                return
+            now = time.monotonic()
+            st.exitcode = proc.exitcode if proc is not None else None
+            st.down_reason = reason
+            st.restart_times = [t for t in st.restart_times
+                                if now - t < self.restart_window_s]
+            quarantined = len(st.restart_times) >= self.restart_budget
+            if quarantined:
+                st.state = "quarantined"
+            else:
+                st.state = "down"
+                st.restart_times.append(now)
+                delay = min(self.restart_backoff_max_s,
+                            self.restart_backoff_s * (2 ** st.backoff_exp))
+                st.backoff_exp += 1
+                st.next_restart_at = now + delay
+            for rid, slot in list(self._pending.items()):
+                if slot.shard == st.index:
+                    failed.append((rid, slot))
+                    del self._pending[rid]
+        if proc is not None and proc.is_alive():
+            # A stalled worker is alive but useless; reap it so the
+            # replacement doesn't race it for the response queue.
+            proc.kill()
+        for rid, slot in failed:
+            slot.response = shard_down_doc(st.index, reason, rid)
+            slot.event.set()
+        log_event(_log, logging.WARNING, "worker_exit",
+                  shard=st.index, boot=st.boot, reason=reason,
+                  exitcode=st.exitcode, pending_failed=len(failed),
+                  quarantined=quarantined)
+        self._emit("worker_exit", {"shard": st.index, "boot": st.boot,
+                                   "reason": reason,
+                                   "exitcode": st.exitcode,
+                                   "pending_failed": len(failed)})
+        if quarantined:
+            log_event(_log, logging.ERROR, "worker_quarantined",
+                      shard=st.index, boot=st.boot,
+                      restarts_in_window=len(st.restart_times),
+                      restart_budget=self.restart_budget,
+                      window_s=self.restart_window_s)
+            self._emit("worker_quarantined",
+                       {"shard": st.index, "boot": st.boot,
+                        "restarts_in_window": len(st.restart_times)})
+        self._supervisor_wake.set()
+
+    def _on_ready(self, msg: Dict) -> None:
+        shard = msg.get("shard")
+        if not isinstance(shard, int) or not 0 <= shard < self.shards:
+            return
+        st = self._states[shard]
+        boot_error: Optional[str] = None
+        catch_up = 0
+        with self._lock:
+            if msg.get("boot") != st.boot or st.state != "starting":
+                return  # a dead predecessor's straggler
+            if "error" in msg:
+                if not self._initial_done:
+                    st.boot_error = str(msg["error"])
+                    st.state = "down"
+                    st.down_reason = "boot_error"
+                    self._ready_cond.notify_all()
+                    return
+                boot_error = str(msg["error"])
+            else:
+                # Catch-up: the fleet's assignments may have moved
+                # while this worker booted (an ingest it missed).
+                # Enqueue the delta *before* flipping "up" — the
+                # worker drains its queue in FIFO order, so these
+                # apply before the first routed search can arrive.
+                current = dict(self._assignments)
+                for (venue, gen), path in sorted(current.items()):
+                    if (venue, gen) not in st.boot_assignments:
+                        st.queue.put({"kind": "load", "venue": venue,
+                                      "generation": gen, "path": path})
+                        catch_up += 1
+                for venue, gen in sorted(st.boot_assignments
+                                         - set(current)):
+                    st.queue.put({"kind": "evict", "venue": venue,
+                                  "generation": gen})
+                    catch_up += 1
+                st.state = "up"
+                st.backoff_exp = 0
+                st.down_reason = None
+                st.exitcode = None
+                st.last_seen = time.monotonic()
+                self.worker_builds.append(
+                    {"shard": shard,
+                     "csr_builds": msg.get("csr_builds"),
+                     "s2s_builds": msg.get("s2s_builds")})
+                self._ready_cond.notify_all()
+        if boot_error is not None:
+            self._declare_down(st, f"boot_error: {boot_error}")
+            return
+        if st.boot > 0:
+            log_event(_log, logging.INFO, "worker_ready",
+                      shard=shard, boot=st.boot,
+                      venues=msg.get("venues"), catch_up=catch_up)
+        self._emit("worker_ready", {"shard": shard, "boot": st.boot,
+                                    "catch_up": catch_up})
+
+    def _supervise(self) -> None:
+        """Sentinel + heartbeat watcher; also the restart scheduler."""
+        tick = max(0.01, min(0.25, self.heartbeat_interval / 4.0))
+        while not self._closed:
+            self._supervisor_wake.wait(tick)
+            self._supervisor_wake.clear()
+            if self._closed:
+                break
+            now = time.monotonic()
+            dead: List[Tuple[_ShardState, str]] = []
+            restart: List[_ShardState] = []
+            ping: List[_ShardState] = []
+            with self._lock:
+                initial_done = self._initial_done
+                for st in self._states:
+                    proc = st.proc
+                    if st.state == "up":
+                        if proc is None or not proc.is_alive():
+                            dead.append((st, "exit"))
+                        elif (self.heartbeat_timeout > 0
+                              and now - st.last_seen
+                              > self.heartbeat_timeout):
+                            dead.append((st, "heartbeat_timeout"))
+                        elif now - st.last_ping >= self.heartbeat_interval:
+                            st.last_ping = now
+                            ping.append(st)
+                    elif st.state == "starting":
+                        if proc is None:
+                            continue  # _spawn mid-flight
+                        if not proc.is_alive():
+                            if initial_done:
+                                dead.append((st, "boot_exit"))
+                            elif st.boot_error is None:
+                                st.boot_error = (
+                                    "worker exited during start "
+                                    f"(exitcode {proc.exitcode})")
+                                st.state = "down"
+                                st.down_reason = "boot_exit"
+                                self._ready_cond.notify_all()
+                        elif (initial_done and now - st.boot_started
+                              > self.start_timeout):
+                            dead.append((st, "boot_timeout"))
+                    elif (st.state == "down" and initial_done
+                          and now >= st.next_restart_at):
+                        restart.append(st)
+            for st, reason in dead:
+                self._declare_down(st, reason)
+            for st in restart:
+                self._respawn(st)
+            for st in ping:
+                try:
+                    st.queue.put(ping_to_wire())
+                except Exception:  # queue torn down mid-death
+                    pass
+
+    # ------------------------------------------------------------------
+    # Response routing
+    # ------------------------------------------------------------------
+    def _read_responses(self, st: _ShardState, boot: int, rq) -> None:
+        """Reader thread of one worker incarnation's response pipe.
+
+        Exits when the pipe is torn down, when the pool closes, or —
+        after the incarnation has been replaced — once the pipe runs
+        dry (draining first, so a slow reply from the *current* boot is
+        still counted as a late response rather than lost).
+        """
+        reader = rq._reader
         while True:
             try:
-                msg = self._responses.get()
-            except Exception:  # queue torn down at interpreter exit
-                break
-            if msg is None:
-                break
-            slot = None
-            with self._lock:
-                slot = self._pending.pop(msg.get("id"), None)
-            if slot is not None:
-                slot.response = msg
-                slot.event.set()
-            # A response whose caller timed out is dropped.
+                if not reader.poll(0.2):
+                    if self._closed or st.boot != boot:
+                        return
+                    continue
+                msg = rq.get()
+            except (EOFError, OSError, ValueError):
+                return  # pipe closed under us (respawn or pool close)
+            try:
+                self._dispatch_response(msg)
+            except Exception:  # pragma: no cover - reader must survive
+                _log.exception("response reader failed on %r", msg)
 
-    def _register_slot(self) -> Tuple[int, _PendingSlot]:
-        slot = _PendingSlot()
+    def _dispatch_response(self, msg: Dict) -> None:
+        if not isinstance(msg, dict):
+            return
+        shard = msg.get("shard")
+        if isinstance(shard, int) and 0 <= shard < self.shards:
+            st = self._states[shard]
+            # Any traffic from the *current* incarnation counts as a
+            # heartbeat; a dead predecessor's stragglers must not keep
+            # its replacement's slot looking alive.
+            if msg.get("boot") == st.boot:
+                st.last_seen = time.monotonic()
+        kind = msg.get("kind")
+        if kind == "ready":
+            self._on_ready(msg)
+            return
+        if kind == "pong":
+            return
+        rid = msg.get("id")
+        if rid is None:
+            return  # fire-and-forget control reply (warm-restart catch-up)
+        with self._lock:
+            slot = self._pending.pop(rid, None)
+        if slot is not None:
+            slot.response = msg
+            slot.event.set()
+            return
+        # Satellite: a response whose caller already gave up is the
+        # earliest symptom of a stalling shard — count it and say so.
+        self.late_responses += 1
+        log_event(_log, logging.WARNING, "rpc_late_response",
+                  shard=shard, request_id=rid,
+                  status=msg.get("status"), venue=msg.get("venue"))
+        self._emit("rpc_late_response", {"shard": shard,
+                                         "request_id": rid,
+                                         "status": msg.get("status")})
+
+    def _register_slot(self, shard: int) -> Tuple[int, _PendingSlot]:
+        slot = _PendingSlot(shard)
         with self._lock:
             self._next_id += 1
             req_id = self._next_id
             self._pending[req_id] = slot
         return req_id, slot
 
+    # ------------------------------------------------------------------
+    # RPC
+    # ------------------------------------------------------------------
     def call(self,
              shard: int,
              payload: Dict,
              timeout: Optional[float] = None) -> Dict:
         """Blocking RPC to one shard; returns the response document.
 
-        A timeout yields ``{"status": "timeout"}`` — the shard's late
-        answer (if any) is discarded by the router.
+        A dead or quarantined target answers ``{"status":
+        "shard_down"}`` immediately; a timeout yields ``{"status":
+        "timeout"}`` — the shard's late answer (if any) is counted by
+        the router as a late response.
         """
         if self._closed:
             raise RuntimeError("shard pool is closed")
-        req_id, slot = self._register_slot()
+        st = self._states[shard]
+        if st.state != "up":
+            return shard_down_doc(shard, st.down_reason or st.state)
+        req_id, slot = self._register_slot(shard)
         payload = dict(payload)
         payload["id"] = req_id
-        self._requests[shard].put(payload)
+        try:
+            st.queue.put(payload)
+        except Exception:  # queue closed by a concurrent death
+            with self._lock:
+                self._pending.pop(req_id, None)
+            return shard_down_doc(shard, "queue_closed", req_id)
+        if st.state != "up" and not slot.event.is_set():
+            # The shard died between the liveness check and the put;
+            # the death sweep may have run before our slot existed.
+            with self._lock:
+                missed = self._pending.pop(req_id, None)
+            if missed is not None:
+                return shard_down_doc(shard, st.down_reason or "down",
+                                      req_id)
         if not slot.event.wait(timeout if timeout is not None
                                else _DEFAULT_RPC_TIMEOUT):
             with self._lock:
@@ -460,22 +910,40 @@ class ShardPool:
     def broadcast(self,
                   payload: Dict,
                   timeout: Optional[float] = None) -> List[Dict]:
-        """One control RPC to *every* shard, dispatched before any
+        """One control RPC to every *live* shard, dispatched before any
         waiting starts (the shards work concurrently); returns one
-        response document per shard, in shard order."""
+        response document per shard slot, in shard order — dead or
+        quarantined slots answer ``{"status": "shard_down"}``
+        synchronously."""
         if self._closed:
             raise RuntimeError("shard pool is closed")
-        slots: List[Tuple[int, _PendingSlot]] = []
+        slots: List[Optional[Tuple[int, _PendingSlot]]] = []
         for shard in range(self.shards):
-            req_id, slot = self._register_slot()
+            st = self._states[shard]
+            if st.state != "up":
+                slots.append(None)
+                continue
+            req_id, slot = self._register_slot(shard)
             doc = dict(payload)
             doc["id"] = req_id
-            self._requests[shard].put(doc)
+            try:
+                st.queue.put(doc)
+            except Exception:
+                with self._lock:
+                    self._pending.pop(req_id, None)
+                slots.append(None)
+                continue
             slots.append((req_id, slot))
         wait_until = time.monotonic() + (timeout if timeout is not None
                                          else _DEFAULT_RPC_TIMEOUT)
         responses: List[Dict] = []
-        for shard, (req_id, slot) in enumerate(slots):
+        for shard, entry in enumerate(slots):
+            if entry is None:
+                responses.append(shard_down_doc(
+                    shard, self._states[shard].down_reason
+                    or self._states[shard].state))
+                continue
+            req_id, slot = entry
             remaining = max(0.0, wait_until - time.monotonic())
             if not slot.event.wait(remaining):
                 with self._lock:
@@ -497,7 +965,15 @@ class ShardPool:
              path: Union[str, "object"],
              timeout: float = 120.0) -> List[Dict]:
         """Load snapshot ``path`` as ``venue``'s ``generation`` in every
-        shard; returns the per-shard load reports."""
+        live shard; returns the per-shard load reports.
+
+        The assignment is recorded *before* the broadcast: a worker
+        that dies mid-load is replaced by one whose warm restart
+        includes the new generation, so a crash inside an ingest can
+        delay the flip but never wedge the venue between generations.
+        """
+        with self._lock:
+            self._assignments[(str(venue), int(generation))] = str(path)
         return self.broadcast({"kind": "load", "venue": str(venue),
                                "generation": int(generation),
                                "path": str(path)}, timeout=timeout)
@@ -506,39 +982,150 @@ class ShardPool:
               venue: str,
               generation: int,
               timeout: float = 30.0) -> List[Dict]:
-        """Drop ``(venue, generation)`` from every shard."""
+        """Drop ``(venue, generation)`` from every live shard (and from
+        the warm-restart manifest, so replacements don't reload it)."""
+        with self._lock:
+            self._assignments.pop((str(venue), int(generation)), None)
         return self.broadcast({"kind": "evict", "venue": str(venue),
                                "generation": int(generation)},
                               timeout=timeout)
 
     def stats(self, timeout: float = 30.0) -> List[Dict]:
-        """One atomic stats snapshot per shard (aggregate + per venue)."""
+        """One atomic stats snapshot per live shard (aggregate + per
+        venue); dead slots report ``shard_down``."""
         return self.broadcast({"kind": "stats"}, timeout=timeout)
+
+    def assignments(self) -> Dict[Tuple[str, int], str]:
+        """The warm-restart manifest: every ``(venue, generation)`` a
+        live worker should currently serve, with its snapshot path."""
+        with self._lock:
+            return dict(self._assignments)
+
+    # ------------------------------------------------------------------
+    # Liveness / the affinity ring
+    # ------------------------------------------------------------------
+    def shard_state(self, shard: int) -> str:
+        return self._states[shard].state
+
+    def live_shards(self) -> List[int]:
+        return [st.index for st in self._states if st.state == "up"]
+
+    def resolve_shard(self, shard: int) -> Optional[int]:
+        """``shard`` itself when live, else the next live shard on the
+        ring (``None`` when the whole fleet is down).  Every shard
+        hosts every venue, so any live sibling serves byte-identical
+        answers — only cache warmth is lost."""
+        for step in range(self.shards):
+            candidate = (shard + step) % self.shards
+            if self._states[candidate].state == "up":
+                return candidate
+        return None
+
+    def next_live_shard(self, after: int) -> Optional[int]:
+        """The first live shard strictly after ``after`` on the ring —
+        the failover target for a request that just failed there."""
+        for step in range(1, self.shards):
+            candidate = (after + step) % self.shards
+            if self._states[candidate].state == "up":
+                return candidate
+        return None
+
+    def shard_states(self) -> List[Dict]:
+        """Deep per-shard health view (the ``/healthz`` payload)."""
+        out: List[Dict] = []
+        with self._lock:
+            for st in self._states:
+                proc = st.proc
+                out.append({
+                    "shard": st.index,
+                    "state": st.state,
+                    "boot": st.boot,
+                    "restarts": max(0, st.boot),
+                    "pid": proc.pid if proc is not None else None,
+                    "alive": bool(proc is not None and proc.is_alive()),
+                    "reason": st.down_reason,
+                    "exitcode": st.exitcode,
+                })
+        return out
+
+    def kill_shard(self, shard: int) -> bool:
+        """SIGKILL one worker (the chaos harness's kill switch); the
+        supervisor notices through the sentinel and takes over.
+        Returns whether a live process was actually signalled."""
+        proc = self._states[shard].proc
+        killed = bool(proc is not None and proc.is_alive())
+        if killed:
+            proc.kill()
+        self._supervisor_wake.set()
+        return killed
+
+    def wait_all_up(self, timeout: float = 30.0) -> bool:
+        """Block until every shard slot is serving (or ``timeout``)."""
+        deadline = time.monotonic() + timeout
+        with self._ready_cond:
+            while not all(st.state == "up" for st in self._states):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._ready_cond.wait(min(remaining, 0.1))
+        return True
 
     # ------------------------------------------------------------------
     def close(self, join_timeout: float = 10.0) -> None:
-        """Shut every shard down and reap the processes."""
+        """Shut every shard down and reap the processes.
+
+        Teardown escalates: cooperative shutdown message, join with a
+        deadline, ``terminate()`` stragglers, then ``kill()`` anything
+        still stuck — ``close()`` can neither hang forever nor leak a
+        worker process."""
         if self._closed:
             return
         self._closed = True
-        for queue in self._requests:
+        self._supervisor_wake.set()
+        supervisor = getattr(self, "_supervisor", None)
+        if (supervisor is not None and supervisor.is_alive()
+                and supervisor is not threading.current_thread()):
+            supervisor.join(timeout=join_timeout)
+        for st in self._states:
+            if st.queue is None:
+                continue
             try:
-                queue.put(None)
+                st.queue.put(None)
             except Exception:
                 pass
-        for proc in self._procs:
-            proc.join(timeout=join_timeout)
-        for proc in self._procs:
-            if proc.is_alive():
-                proc.terminate()
-                proc.join(timeout=join_timeout)
-        try:
-            self._responses.put(None)  # stop the router thread
-        except Exception:
-            pass
-        router = getattr(self, "_router", None)
-        if router is not None and router.is_alive():
-            router.join(timeout=join_timeout)
+        deadline = time.monotonic() + join_timeout
+        for st in self._states:
+            if st.proc is not None:
+                st.proc.join(timeout=max(0.0,
+                                         deadline - time.monotonic()))
+        stuck = [st for st in self._states
+                 if st.proc is not None and st.proc.is_alive()]
+        if stuck:
+            for st in stuck:
+                st.proc.terminate()
+            deadline = time.monotonic() + join_timeout
+            for st in stuck:
+                st.proc.join(timeout=max(0.0,
+                                         deadline - time.monotonic()))
+            for st in stuck:
+                if st.proc.is_alive():
+                    st.proc.kill()
+                    st.proc.join(timeout=5.0)
+                    log_event(_log, logging.WARNING,
+                              "worker_killed_on_close", shard=st.index,
+                              pid=st.proc.pid)
+        # Tear the pipes down (this also snaps the reader threads out
+        # of their polls) and retire every request queue's feeder
+        # thread so interpreter exit never blocks in multiprocessing's
+        # atexit finalizers.
+        for st in self._states:
+            _drop_queue(st.queue)
+            _drop_queue(st.rq)
+        deadline = time.monotonic() + 2.0
+        for reader in self._reader_threads:
+            if reader.is_alive():
+                reader.join(timeout=max(0.0,
+                                        deadline - time.monotonic()))
 
     @property
     def closed(self) -> bool:
@@ -546,7 +1133,7 @@ class ShardPool:
 
     def alive(self) -> bool:
         return (not self._closed
-                and all(proc.is_alive() for proc in self._procs))
+                and all(st.state == "up" for st in self._states))
 
     def __enter__(self) -> "ShardPool":
         return self
@@ -584,6 +1171,11 @@ class AdmissionController:
     depth) and an optional per-venue :class:`TenantQuota`.  A request
     is admitted only when both hold; shed accounting is kept per venue
     so the metrics show *who* is being noisy.
+
+    ``capacity_fraction`` is the degraded-mode lever: with live/total
+    shards passed in, both bounds scale proportionally (never below
+    1), so a pool at half strength admits half its normal depth
+    instead of queueing the full depth into dead capacity.
     """
 
     def __init__(self,
@@ -615,13 +1207,19 @@ class AdmissionController:
         with self._lock:
             return self._quotas.get(venue, self.default_quota)
 
-    def try_acquire(self, venue: str = DEFAULT_VENUE) -> bool:
+    def try_acquire(self,
+                    venue: str = DEFAULT_VENUE,
+                    capacity_fraction: float = 1.0) -> bool:
         with self._lock:
+            fraction = min(1.0, max(0.0, float(capacity_fraction)))
+            effective_max = max(1, math.ceil(self.max_pending * fraction))
             quota = self._quotas.get(venue, self.default_quota)
+            venue_max = (max(1, math.ceil(quota.max_in_flight * fraction))
+                         if quota is not None else None)
             venue_in_flight = self._venue_in_flight.get(venue, 0)
-            if (self._in_flight >= self.max_pending
-                    or (quota is not None
-                        and venue_in_flight >= quota.max_in_flight)):
+            if (self._in_flight >= effective_max
+                    or (venue_max is not None
+                        and venue_in_flight >= venue_max)):
                 self.shed += 1
                 self._venue_shed[venue] = self._venue_shed.get(venue, 0) + 1
                 return False
@@ -667,13 +1265,23 @@ class ShardDispatcher:
     ``submit`` is thread-safe (the HTTP layer calls it from many
     handler threads) and always returns a response document — results,
     ``overloaded`` when admission sheds, ``unknown_venue`` for an
-    unhosted tenant, ``expired``/``timeout`` when a deadline passes, or
+    unhosted tenant, ``expired``/``timeout`` when a deadline passes,
+    ``shard_down`` when the fleet cannot serve at all, or
     ``error``/``bad_request``.  Every request resolves its venue's
     active snapshot generation exactly once, at admission, and the
     response document carries ``venue`` and ``generation`` back.
 
+    Failover: searches are pure, so a request whose shard answers
+    ``shard_down`` or times out is retried on the next live sibling
+    (up to ``failover_retries`` times, within the original deadline);
+    the sibling hosts the same engines, so the answer is byte-identical
+    — only cache warmth differs.  A request whose *affinity* shard is
+    already known-dead is rerouted before the first attempt.
+
     ``ingest`` is the zero-downtime hot-swap entry point (see
-    :meth:`ingest`).
+    :meth:`ingest`); it tolerates workers dying mid-ingest — the
+    supervisor's warm restart reloads the new generation from the
+    pool's assignment manifest.
     """
 
     def __init__(self,
@@ -686,12 +1294,17 @@ class ShardDispatcher:
                  quotas: Optional[Mapping[str, TenantQuota]] = None,
                  gc_keep_last: Optional[int] = None,
                  trace_policy: Optional[TracePolicy] = None,
-                 trace_buffer: Optional[TraceBuffer] = None) -> None:
+                 trace_buffer: Optional[TraceBuffer] = None,
+                 failover_retries: int = 1) -> None:
         self.pool = pool
         self.admission = AdmissionController(
             max_pending, default_quota=default_quota, quotas=quotas)
         self.deadline_s = deadline_s
         self.metrics = metrics
+        self.failover_retries = max(0, int(failover_retries))
+        #: Total failover reroutes/retries (also a labelled counter on
+        #: /metrics when a registry is attached).
+        self.failovers = 0
         #: Trace retention policy and the ring the kept span trees land
         #: in (``GET /debug/traces``).  Coarse spans are recorded for
         #: *every* request — the policy only decides retention and
@@ -712,6 +1325,23 @@ class ShardDispatcher:
         #: when snapshot files are operator-managed.
         self.gc_keep_last = gc_keep_last
         self._ingest_lock = threading.Lock()
+        pool.add_listener(self._on_pool_event)
+
+    # ------------------------------------------------------------------
+    def _on_pool_event(self, event: str, fields: Dict) -> None:
+        """Map the pool's supervision events onto metrics counters."""
+        if self.metrics is None:
+            return
+        shard = fields.get("shard")
+        if event == "worker_restart":
+            self.metrics.inc("ikrq_worker_restarts_total", shard=shard)
+        elif event == "worker_exit":
+            self.metrics.inc("ikrq_worker_exits_total", shard=shard,
+                             reason=str(fields.get("reason")))
+        elif event == "worker_quarantined":
+            self.metrics.inc("ikrq_worker_quarantined_total", shard=shard)
+        elif event == "rpc_late_response":
+            self.metrics.inc("ikrq_rpc_late_responses_total", shard=shard)
 
     def _venue_label(self, venue: str) -> str:
         """The metrics label for a venue — hosted ids only.
@@ -731,6 +1361,17 @@ class ShardDispatcher:
                          venue=self._venue_label(venue))
         if elapsed is not None:
             self.metrics.observe("ikrq_request_latency_seconds", elapsed)
+
+    def _count_failover(self, venue: str, from_shard: int,
+                        to_shard: int, recorder: TraceRecorder,
+                        kind: str) -> None:
+        self.failovers += 1
+        if self.metrics is not None:
+            self.metrics.inc("ikrq_failovers_total",
+                             venue=self._venue_label(venue), kind=kind)
+        log_event(_log, logging.WARNING, "failover",
+                  trace_id=recorder.trace_id, venue=venue,
+                  from_shard=from_shard, to_shard=to_shard, kind=kind)
 
     def _finalise_trace(self,
                         recorder: TraceRecorder,
@@ -784,7 +1425,8 @@ class ShardDispatcher:
                sleep: Optional[float] = None,
                venue: Optional[str] = None,
                trace: bool = False) -> Dict:
-        """Evaluate one wire query through its venue's affinity shard.
+        """Evaluate one wire query through its venue's affinity shard
+        (or, when that shard is down, a live sibling).
 
         ``trace=True`` forces retention of this request's span tree
         (and the fine engine-stage split) regardless of the sampling
@@ -814,7 +1456,20 @@ class ShardDispatcher:
                     {"status": "unknown_venue", "venue": venue,
                      "error": f"venue {venue!r} is not hosted here"},
                     venue, sampled, forced)
-            admitted = self.admission.try_acquire(venue)
+            live = len(self.pool.live_shards())
+            if live == 0:
+                admission_span["annotations"]["decision"] = "no_live_shards"
+                self._record("shard_down", venue)
+                return self._finalise_trace(
+                    recorder,
+                    {"status": "shard_down", "venue": venue,
+                     "error": "no live shards"},
+                    venue, sampled, forced)
+            # Degraded mode: admission tightens with the live fraction
+            # so a half-dead pool sheds rather than queueing the full
+            # depth into the survivors.
+            admitted = self.admission.try_acquire(
+                venue, capacity_fraction=live / float(self.pool.shards))
             admission_span["annotations"]["decision"] = (
                 "admitted" if admitted else "shed")
         if not admitted:
@@ -840,14 +1495,26 @@ class ShardDispatcher:
                     venue, sampled, forced)
             recorder.annotate(generation=generation.generation)
             try:
-                shard = shard_for(query_doc["ps"], query_doc["pt"],
-                                  self.pool.shards, venue)
+                affinity = shard_for(query_doc["ps"], query_doc["pt"],
+                                     self.pool.shards, venue)
             except (TypeError, ValueError) as exc:
                 self._record("bad_request", venue)
                 return self._finalise_trace(
                     recorder, {"status": "bad_request", "venue": venue,
                                "error": repr(exc)},
                     venue, sampled, forced)
+            shard = self.pool.resolve_shard(affinity)
+            if shard is None:  # the fleet died since the live check
+                self._record("shard_down", venue)
+                return self._finalise_trace(
+                    recorder,
+                    {"status": "shard_down", "venue": venue,
+                     "error": "no live shards"},
+                    venue, sampled, forced)
+            if shard != affinity:
+                recorder.annotate(rerouted_from=affinity)
+                self._count_failover(venue, affinity, shard, recorder,
+                                     kind="reroute")
             recorder.annotate(shard=shard)
             limit = deadline_s if deadline_s is not None else self.deadline_s
             payload: Dict = {"kind": "search", "query": query_doc,
@@ -857,12 +1524,41 @@ class ShardDispatcher:
                 payload["deadline"] = time.time() + limit
             if sleep is not None:
                 payload["sleep"] = sleep
-            timeout = (limit + _DEADLINE_GRACE) if limit is not None else None
             with recorder.span(STAGE_DISPATCH) as dispatch_span:
                 dispatch_span["annotations"]["shard"] = shard
-                payload["trace"] = trace_request_to_wire(
-                    recorder.trace_id, sampled, time.time())
-                response = self.pool.call(shard, payload, timeout=timeout)
+                attempts = 0
+                while True:
+                    payload["trace"] = trace_request_to_wire(
+                        recorder.trace_id, sampled, time.time())
+                    if limit is not None:
+                        # The deadline is absolute: a failover retry
+                        # only gets the original request's remaining
+                        # budget, never a fresh one.
+                        timeout = (payload["deadline"] + _DEADLINE_GRACE
+                                   - time.time())
+                        if timeout <= 0:
+                            response = {"status": "expired",
+                                        "venue": venue, "shard": shard}
+                            break
+                    else:
+                        timeout = None
+                    response = self.pool.call(shard, payload,
+                                              timeout=timeout)
+                    status = (response.get("status")
+                              if isinstance(response, dict) else "error")
+                    if (status not in ("shard_down", "timeout")
+                            or attempts >= self.failover_retries):
+                        break
+                    sibling = self.pool.next_live_shard(shard)
+                    if sibling is None:
+                        break
+                    attempts += 1
+                    self._count_failover(venue, shard, sibling, recorder,
+                                         kind="retry")
+                    shard = sibling
+                    dispatch_span["annotations"]["shard"] = shard
+                    dispatch_span["annotations"]["failovers"] = attempts
+                    recorder.annotate(shard=shard, failovers=attempts)
                 # Graft the worker's sub-tree (offsets relative to the
                 # enqueue instant) under the dispatch span.
                 wire = (response.pop("trace", None)
@@ -903,8 +1599,9 @@ class ShardDispatcher:
         The sequence (one ingest at a time; concurrent calls serialise):
 
         1. register the next generation (state ``loading``),
-        2. broadcast the load into every shard — traffic keeps flowing
-           on the current generation while shards adopt the snapshot,
+        2. broadcast the load into every live shard — traffic keeps
+           flowing on the current generation while shards adopt the
+           snapshot,
         3. **atomically flip** the active generation in the registry —
            from this instant every new request lands on the new
            generation,
@@ -918,6 +1615,14 @@ class ShardDispatcher:
            reported under ``gc`` in the result) — without it, repeated
            ingests would accumulate dead generation files forever.
 
+        A worker that dies mid-ingest does not wedge the venue: its
+        load report comes back ``shard_down`` (tolerated — the warm
+        restart reloads the new generation from the pool's assignment
+        manifest before the replacement serves a single request), the
+        flip proceeds on the survivors, and only a *deterministic*
+        load failure (bad snapshot) or the whole fleet being down
+        aborts the swap all-or-nothing.
+
         Returns a report with per-phase latencies; ``status`` is
         ``"ok"`` or ``"error"`` (a load failure leaves the old
         generation active and untouched — ingest is all-or-nothing).
@@ -929,22 +1634,37 @@ class ShardDispatcher:
             load_started = time.perf_counter()
             reports = self.pool.load(venue, gen.generation, snapshot_path,
                                      timeout=load_timeout)
-            failed = [doc for doc in reports if doc.get("status") != "ok"]
-            if failed:
+            down = [doc for doc in reports
+                    if doc.get("status") == "shard_down"]
+            failed = [doc for doc in reports
+                      if doc.get("status") not in ("ok", "shard_down")]
+            if failed or len(down) == len(reports):
                 self.registry.fail(venue, gen.generation)
                 # Evict from every shard: the ones that *did* load the
                 # generation would otherwise hold its engines forever
                 # (numbers are never reused).  A shard still finishing
                 # a timed-out load processes the evict right after it,
-                # same queue, so nothing leaks there either.
+                # same queue, so nothing leaks there either.  The
+                # evict also removes the assignment, so warm restarts
+                # stop reloading the failed generation.
                 self.pool.evict(venue, gen.generation)
                 if self.metrics is not None:
                     self.metrics.inc("ikrq_ingest_total", venue=venue,
                                      status="error")
+                first = (failed or down)[0]
                 return {"status": "error", "venue": venue,
                         "generation": gen.generation,
-                        "error": f"{len(failed)} shard(s) failed to load: "
-                                 f"{failed[0].get('error', failed[0])}"}
+                        "error": (f"{len(failed)} shard(s) failed to load: "
+                                  f"{first.get('error', first)}"
+                                  if failed else
+                                  "no live shards to load into")}
+            if down:
+                # Survivable mid-ingest deaths: the flip proceeds on
+                # the live shards; replacements warm-restart onto the
+                # new generation from the assignment manifest.
+                log_event(_log, logging.WARNING, "ingest_degraded",
+                          venue=venue, generation=gen.generation,
+                          down_shards=[doc.get("shard") for doc in down])
             load_seconds = time.perf_counter() - load_started
             gen.load_seconds = load_seconds
             previous = self.registry.activate(venue, gen.generation)
@@ -973,6 +1693,8 @@ class ShardDispatcher:
                 "drain_seconds": drain_seconds,
                 "swap_seconds": swap_seconds,
                 "drained": drained,
+                "shards_loaded": len(reports) - len(down),
+                "shards_down": len(down),
                 "gc": gc_report,
             }
 

@@ -17,8 +17,11 @@ Endpoints:
 * ``GET /venues`` — tenancy control plane: every hosted venue, its
   generations and their lifecycle states, plus per-venue admission
   counters and quotas.
-* ``GET /healthz`` — liveness: pool size, shard process health and
-  hosted venue count.
+* ``GET /healthz`` — deep liveness: pool size, live-shard count, one
+  per-shard supervision record (state, boot/restart counters, pid,
+  last failure reason), hosted venue count, and the pool-wide
+  restart/failover/late-response totals.  200 only when every shard
+  is serving; ``degraded`` (some live) and ``down`` (none) are 503.
 * ``GET /metrics`` — Prometheus text: dispatcher counters/histograms
   (labelled by venue) plus one fresh atomic stats snapshot per shard,
   published as ``ikrq_shard_*`` gauges labelled by shard — and by
@@ -56,6 +59,7 @@ _STATUS_HTTP = {
     "bad_request": 400,
     "unknown_venue": 404,
     "overloaded": 503,
+    "shard_down": 503,
     "expired": 504,
     "timeout": 504,
     "error": 500,
@@ -103,11 +107,23 @@ class _Handler(BaseHTTPRequestHandler):
         if self.path == "/healthz":
             ikrq = self.server.ikrq
             pool = ikrq.pool
-            healthy = pool.alive()
-            self._send_json(200 if healthy else 503, {
-                "status": "ok" if healthy else "degraded",
+            workers = pool.shard_states()
+            live = sum(1 for w in workers if w["state"] == "up")
+            if live == pool.shards and not pool.closed:
+                status, code = "ok", 200
+            elif live > 0:
+                status, code = "degraded", 503
+            else:
+                status, code = "down", 503
+            self._send_json(code, {
+                "status": status,
                 "shards": pool.shards,
+                "live_shards": live,
                 "venues": len(ikrq.dispatcher.registry.venues()),
+                "workers": workers,
+                "restarts_total": pool.restarts_total,
+                "failovers_total": ikrq.dispatcher.failovers,
+                "late_responses_total": pool.late_responses,
             })
             return
         if self.path == "/venues":
@@ -245,7 +261,13 @@ class IKRQServer:
                  kernel: Optional[str] = None,
                  trace_sample: float = 0.01,
                  slow_ms: float = 500.0,
-                 trace_buffer_size: int = 256) -> None:
+                 trace_buffer_size: int = 256,
+                 heartbeat_interval: float = 2.0,
+                 heartbeat_timeout: float = 30.0,
+                 restart_backoff_s: float = 0.5,
+                 restart_budget: int = 5,
+                 failover_retries: int = 1,
+                 fault_plan=None) -> None:
         self.metrics = MetricsRegistry()
         options = dict(service_options or {})
         if mmap_snapshots:
@@ -258,14 +280,20 @@ class IKRQServer:
             options["kernel"] = kernel
         self.pool = ShardPool(snapshot_path, shards=workers,
                               service_options=options,
-                              venues=venues)
+                              venues=venues,
+                              heartbeat_interval=heartbeat_interval,
+                              heartbeat_timeout=heartbeat_timeout,
+                              restart_backoff_s=restart_backoff_s,
+                              restart_budget=restart_budget,
+                              fault_plan=fault_plan)
         self.dispatcher = ShardDispatcher(
             self.pool, max_pending=max_pending, deadline_s=deadline_s,
             metrics=self.metrics, default_quota=default_quota,
             quotas=quotas, gc_keep_last=gc_keep_last,
             trace_policy=TracePolicy(sample_rate=trace_sample,
                                      slow_ms=slow_ms),
-            trace_buffer=TraceBuffer(capacity=trace_buffer_size))
+            trace_buffer=TraceBuffer(capacity=trace_buffer_size),
+            failover_retries=failover_retries)
         self._httpd = _HTTPServer((host, port), _Handler)
         self._httpd.ikrq = self
         self._thread: Optional[threading.Thread] = None
@@ -422,6 +450,15 @@ class IKRQServer:
                 self.metrics.set_gauge("ikrq_venue_quota_max_in_flight",
                                        counters["max_in_flight"],
                                        venue=venue)
+        live = 0
+        for worker in self.pool.shard_states():
+            up = 1 if worker["state"] == "up" else 0
+            live += up
+            self.metrics.set_gauge("ikrq_shard_up", up,
+                                   shard=worker["shard"])
+        self.metrics.set_gauge("ikrq_live_shards", live)
+        self.metrics.set_gauge("ikrq_worker_restarts",
+                               self.pool.restarts_total)
         self.metrics.set_gauge("ikrq_shards", self.pool.shards)
         self.metrics.set_gauge("ikrq_venues",
                                len(registry.venues()))

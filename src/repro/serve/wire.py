@@ -28,7 +28,7 @@ tests compare against a local ``engine.search``)::
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.engine import QueryAnswer
 from repro.core.query import IKRQ
@@ -122,6 +122,37 @@ def canonical_json(doc) -> str:
     their canonical JSON strings are equal.
     """
     return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+# ----------------------------------------------------------------------
+# Supervision control documents
+# ----------------------------------------------------------------------
+def ping_to_wire() -> Dict:
+    """The supervisor's liveness probe.  Carries no ``id``: the pong is
+    fire-and-forget and must never collide with the RPC slot table."""
+    return {"kind": "ping"}
+
+
+def pong_to_wire(shard: int, boot: int) -> Dict:
+    """A worker's heartbeat reply.  ``boot`` is the worker's incarnation
+    counter — the router only refreshes a shard's liveness clock when
+    the boot matches, so a zombie predecessor's late pong cannot keep a
+    replaced shard looking alive."""
+    return {"kind": "pong", "shard": int(shard), "boot": int(boot)}
+
+
+def shard_down_doc(shard: int,
+                   reason: Optional[str] = None,
+                   req_id: Optional[int] = None) -> Dict:
+    """The synthetic response a caller gets when its shard is dead:
+    the supervision layer's equivalent of ``timeout``, delivered
+    immediately instead of after the full RPC wait."""
+    doc: Dict = {"status": "shard_down", "shard": int(shard)}
+    if reason is not None:
+        doc["reason"] = str(reason)
+    if req_id is not None:
+        doc["id"] = req_id
+    return doc
 
 
 # ----------------------------------------------------------------------

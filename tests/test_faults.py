@@ -1,0 +1,303 @@
+"""Supervision, crash failover and deterministic fault injection.
+
+Every pool here runs with fast supervision clocks (tens of
+milliseconds) so the crash → detect → fail-pending → respawn cycle
+completes in test time; production defaults are seconds.  Faults are
+injected deterministically through :class:`FaultPlan` — no external
+``kill`` racing the request stream — so each test exercises one exact
+window (crash before the reply, crash during an ingest load, a stall,
+a deterministic load failure, a crash loop).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import IKRQ, IKRQEngine
+from repro.serve import (AdmissionController, DEFAULT_VENUE, FaultPlan,
+                         ShardDispatcher, ShardPool, TenantQuota,
+                         answer_to_wire, canonical_json, load_snapshot,
+                         query_to_wire, save_snapshot, shard_for)
+from repro.serve.faults import FaultRule
+
+
+@pytest.fixture(scope="module")
+def snapshot_path(tmp_path_factory):
+    from repro.datasets import paper_fig1
+    fixture = paper_fig1()
+    engine = IKRQEngine(fixture.space, fixture.kindex)
+    path = tmp_path_factory.mktemp("faults") / "fig1.snapshot.json"
+    save_snapshot(path, engine)
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def engine(snapshot_path):
+    return load_snapshot(snapshot_path)
+
+
+@pytest.fixture(scope="module")
+def query_doc(fig1):
+    return query_to_wire(IKRQ(ps=fig1.ps, pt=fig1.pt, delta=60.0,
+                              keywords=("latte", "apple"), k=3))
+
+
+def _expected(engine, query_doc, algorithm="ToE"):
+    from repro.serve import query_from_wire
+    return canonical_json(
+        answer_to_wire(engine.search(query_from_wire(query_doc),
+                                     algorithm)))
+
+
+def _got(response):
+    return canonical_json({"algorithm": response["algorithm"],
+                           "routes": response["routes"]})
+
+
+def _fast_pool(snapshot_path, plan, **kwargs):
+    kwargs.setdefault("shards", 2)
+    kwargs.setdefault("heartbeat_interval", 0.1)
+    kwargs.setdefault("heartbeat_timeout", 5.0)
+    kwargs.setdefault("restart_backoff_s", 0.05)
+    kwargs.setdefault("restart_backoff_max_s", 0.2)
+    return ShardPool(snapshot_path, fault_plan=plan, **kwargs)
+
+
+class TestCrashFailover:
+    def test_crash_mid_request_fails_fast_and_fails_over(
+            self, snapshot_path, engine, query_doc):
+        affinity = shard_for(query_doc["ps"], query_doc["pt"], 2)
+        sibling = 1 - affinity
+        # The affinity shard dies *between* dequeuing the first search
+        # and replying; the restart (boot 1) is clean.
+        plan = FaultPlan().crash_before_reply(affinity, index=0, to_boot=0)
+        pool = _fast_pool(snapshot_path, plan)
+        try:
+            dispatcher = ShardDispatcher(pool, failover_retries=1)
+            started = time.monotonic()
+            response = dispatcher.submit(query_doc)
+            elapsed = time.monotonic() - started
+            # Fast failure + failover: nowhere near the 300 s RPC
+            # timeout the pre-supervision pool would have burned.
+            assert response["status"] == "ok"
+            assert elapsed < 30.0
+            assert response["shard"] == sibling
+            assert dispatcher.failovers >= 1
+            assert _got(response) == _expected(engine, query_doc)
+            # The supervisor replaces the crashed worker; once it is
+            # back, the affinity shard serves byte-identical answers.
+            assert pool.wait_all_up(timeout=20.0)
+            assert pool.restarts_total >= 1
+            response = dispatcher.submit(query_doc)
+            assert response["status"] == "ok"
+            assert response["shard"] == affinity
+            assert _got(response) == _expected(engine, query_doc)
+        finally:
+            pool.close()
+
+    def test_pool_call_fast_shard_down_without_failover(
+            self, snapshot_path, query_doc):
+        plan = FaultPlan().crash_before_reply(0, every=True, to_boot=0)
+        pool = _fast_pool(snapshot_path, plan)
+        try:
+            started = time.monotonic()
+            response = pool.call(0, {"kind": "search", "query": query_doc,
+                                     "venue": DEFAULT_VENUE,
+                                     "generation": 1}, timeout=60.0)
+            assert response["status"] == "shard_down"
+            assert response["shard"] == 0
+            assert time.monotonic() - started < 15.0
+        finally:
+            pool.close()
+
+    def test_stalled_worker_hits_heartbeat_timeout_and_restarts(
+            self, snapshot_path, engine, query_doc):
+        plan = FaultPlan().stall(0, index=0, seconds=60.0, to_boot=0)
+        pool = _fast_pool(snapshot_path, plan, heartbeat_interval=0.05,
+                          heartbeat_timeout=0.5)
+        try:
+            response = pool.call(0, {"kind": "search", "query": query_doc,
+                                     "venue": DEFAULT_VENUE,
+                                     "generation": 1}, timeout=30.0)
+            # The stall detector declares the hung worker dead and
+            # sweeps the pending call — no reply ever comes from it.
+            assert response["status"] == "shard_down"
+            assert pool.wait_all_up(timeout=20.0)
+            assert pool.restarts_total >= 1
+            response = pool.call(0, {"kind": "search", "query": query_doc,
+                                     "venue": DEFAULT_VENUE,
+                                     "generation": 1}, timeout=60.0)
+            assert response["status"] == "ok"
+            assert _got(response) == _expected(engine, query_doc)
+        finally:
+            pool.close()
+
+
+class TestQuarantine:
+    def test_crash_loop_exhausts_budget_and_quarantines(
+            self, snapshot_path, engine, query_doc):
+        # Initial boot is fine; every *restart* dies before loading
+        # anything — the canonical crash loop.
+        plan = FaultPlan().crash_on_start(0)
+        pool = _fast_pool(snapshot_path, plan, restart_budget=2,
+                          restart_window_s=60.0)
+        try:
+            dispatcher = ShardDispatcher(pool, failover_retries=1)
+            pool.kill_shard(0)
+            deadline = time.monotonic() + 30.0
+            while (pool.shard_state(0) != "quarantined"
+                   and time.monotonic() < deadline):
+                time.sleep(0.05)
+            assert pool.shard_state(0) == "quarantined"
+            assert pool.restarts_total == 2
+            assert pool.live_shards() == [1]
+            assert not pool.alive()
+            # The half-dead pool still serves: shard-0 affinity
+            # traffic is rerouted to the survivor, byte-identical.
+            for _ in range(4):
+                response = dispatcher.submit(query_doc)
+                assert response["status"] == "ok"
+                assert response["shard"] == 1
+                assert _got(response) == _expected(engine, query_doc)
+        finally:
+            pool.close()
+
+
+class TestIngestUnderFailure:
+    def test_worker_death_mid_ingest_keeps_venue_consistent(
+            self, snapshot_path, engine, query_doc):
+        # Load op index 1 is the ingest broadcast (index 0 was the
+        # boot-time load); the crash is capped to boot 0 so the
+        # replacement's warm-restart reloads are clean.
+        plan = FaultPlan().crash_before_reply(1, op="load", index=1,
+                                              to_boot=0)
+        pool = _fast_pool(snapshot_path, plan)
+        try:
+            dispatcher = ShardDispatcher(pool, failover_retries=1)
+            report = dispatcher.ingest(DEFAULT_VENUE, snapshot_path,
+                                       load_timeout=60.0)
+            # The flip proceeds on the survivor instead of wedging the
+            # venue between generations.
+            assert report["status"] == "ok"
+            assert report["generation"] == 2
+            assert report["shards_down"] == 1
+            assert report["shards_loaded"] == 1
+            assert (dispatcher.registry.active_generation(DEFAULT_VENUE)
+                    == 2)
+            # The replacement warm-restarts onto the new generation
+            # from the assignment manifest and serves it identically.
+            assert pool.wait_all_up(timeout=20.0)
+            assert set(pool.assignments()) == {(DEFAULT_VENUE, 2)}
+            for shard in (0, 1):
+                response = pool.call(
+                    shard, {"kind": "search", "query": query_doc,
+                            "venue": DEFAULT_VENUE, "generation": 2},
+                    timeout=60.0)
+                assert response["status"] == "ok"
+                assert _got(response) == _expected(engine, query_doc)
+            response = dispatcher.submit(query_doc)
+            assert response["status"] == "ok"
+            assert response["generation"] == 2
+        finally:
+            pool.close()
+
+    def test_deterministic_load_failure_still_aborts_ingest(
+            self, snapshot_path, query_doc):
+        plan = FaultPlan().reject_load(1, index=1, to_boot=0)
+        pool = _fast_pool(snapshot_path, plan)
+        try:
+            dispatcher = ShardDispatcher(pool)
+            report = dispatcher.ingest(DEFAULT_VENUE, snapshot_path)
+            # A *deterministic* load failure (bad snapshot) is not a
+            # crash: all-or-nothing still holds, nobody restarts.
+            assert report["status"] == "error"
+            assert (dispatcher.registry.active_generation(DEFAULT_VENUE)
+                    == 1)
+            assert pool.restarts_total == 0
+            assert pool.alive()
+            response = dispatcher.submit(query_doc)
+            assert response["status"] == "ok"
+            assert response["generation"] == 1
+        finally:
+            pool.close()
+
+
+class TestTeardownAndLateResponses:
+    def test_close_escalates_past_a_stuck_worker(self, snapshot_path,
+                                                 query_doc):
+        # heartbeat_timeout=0 disables the stall detector: the worker
+        # sits in a 60 s sleep when close() runs, so the cooperative
+        # shutdown sentinel is never read and teardown must escalate.
+        plan = FaultPlan().stall(0, index=0, seconds=60.0)
+        pool = _fast_pool(snapshot_path, plan, heartbeat_timeout=0.0)
+        response = pool.call(0, {"kind": "search", "query": query_doc,
+                                 "venue": DEFAULT_VENUE, "generation": 1},
+                             timeout=0.2)
+        assert response["status"] == "timeout"
+        started = time.monotonic()
+        pool.close(join_timeout=1.0)
+        assert time.monotonic() - started < 10.0
+        assert all(not worker["alive"] for worker in pool.shard_states())
+
+    def test_late_response_is_counted_not_dropped(self, snapshot_path,
+                                                  query_doc):
+        plan = FaultPlan().stall(0, index=0, seconds=0.4)
+        pool = _fast_pool(snapshot_path, plan, heartbeat_timeout=0.0)
+        try:
+            response = pool.call(0, {"kind": "search", "query": query_doc,
+                                     "venue": DEFAULT_VENUE,
+                                     "generation": 1}, timeout=0.05)
+            assert response["status"] == "timeout"
+            deadline = time.monotonic() + 10.0
+            while pool.late_responses == 0 and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert pool.late_responses == 1
+        finally:
+            pool.close()
+
+
+class TestDegradedAdmission:
+    def test_capacity_fraction_scales_pool_bound(self):
+        admission = AdmissionController(max_pending=4)
+        assert admission.try_acquire("v", capacity_fraction=0.5)
+        assert admission.try_acquire("v", capacity_fraction=0.5)
+        # ceil(4 * 0.5) = 2: the third concurrent request sheds.
+        assert not admission.try_acquire("v", capacity_fraction=0.5)
+        assert admission.try_acquire("v", capacity_fraction=1.0)
+        admission.release("v")
+        admission.release("v")
+        admission.release("v")
+
+    def test_capacity_fraction_scales_quota_and_floors_at_one(self):
+        admission = AdmissionController(
+            max_pending=8, default_quota=TenantQuota(max_in_flight=2))
+        # ceil(2 * 0.5) = 1 per venue — but never zero: even at a tiny
+        # live fraction another venue still gets one slot (the pool
+        # bound scales too, ceil(8 * 0.25) = 2, so "b" fits).
+        assert admission.try_acquire("a", capacity_fraction=0.5)
+        assert not admission.try_acquire("a", capacity_fraction=0.5)
+        assert admission.try_acquire("b", capacity_fraction=0.25)
+        admission.release("a")
+        admission.release("b")
+
+
+class TestFaultPlanWire:
+    def test_rules_round_trip(self):
+        plan = (FaultPlan()
+                .crash_before_reply(1, index=3, to_boot=0)
+                .crash_after_reply(0, from_boot=1)
+                .stall(1, seconds=2.5)
+                .reject_load(0, every=True)
+                .crash_on_start(1))
+        docs = plan.to_wire()
+        back = FaultPlan.from_wire(docs)
+        assert back.to_wire() == docs
+        assert bool(back)
+        assert not FaultPlan()
+
+    def test_boot_gating(self):
+        rule = FaultRule("search", 0, "crash", from_boot=1, to_boot=2)
+        assert [rule.matches_boot(b) for b in range(4)] == [
+            False, True, True, False]

@@ -415,7 +415,17 @@ class TestHTTPServer:
         code, text = self._get(server, "/healthz")
         assert code == 200
         doc = json.loads(text)
-        assert doc == {"status": "ok", "shards": 2, "venues": 1}
+        assert doc["status"] == "ok"
+        assert doc["shards"] == 2
+        assert doc["live_shards"] == 2
+        assert doc["venues"] == 1
+        assert doc["restarts_total"] == 0
+        workers = doc["workers"]
+        assert [w["shard"] for w in workers] == [0, 1]
+        for worker in workers:
+            assert worker["state"] == "up"
+            assert worker["alive"] is True
+            assert worker["boot"] == 0
 
     def test_unknown_path_is_404(self, server):
         try:
