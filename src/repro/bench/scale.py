@@ -179,8 +179,8 @@ def _stage_breakdown(engine: IKRQEngine, stream, algorithm: str) -> Dict:
                                        "lower_bound_s"))
     orig_context = engine.context
 
-    def instrumented_context(query):
-        ctx = orig_context(query)
+    def instrumented_context(query, **kwargs):
+        ctx = orig_context(query, **kwargs)
         ctx.extend_to_door = _timed(ctx.extend_to_door, "relaxation_s")
         ctx.lb_to_terminal = _timed(ctx.lb_to_terminal, "lower_bound_s")
         ctx.lb_from_start = _timed(ctx.lb_from_start, "lower_bound_s")

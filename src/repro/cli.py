@@ -336,6 +336,84 @@ def _serve_smoke(server, venues: dict) -> int:
             print(f"smoke FAILED: slow query not retained as slow: "
                   f"{slow_doc.get('slow')!r}/{slow_doc.get('reason')!r}")
             return 1
+        # Dynamic delta step: close a door on the best route and
+        # relabel a partition's i-word through POST /delta (no
+        # ingest), then verify the served answer — same generation,
+        # bumped dynamic_version — is byte-identical to an engine
+        # rebuilt on the physically edited venue.  The same query was
+        # asked pre-delta above, so this also proves the per-shard
+        # answer/endpoint caches cannot leak a pre-closure result.
+        from repro.core import IKRQEngine as _Engine
+        from repro.dynamic import ClosureOverlay, apply_closures
+        from repro.dynamic.state import apply_keyword_ops
+        engine = engines[swap_venue]
+        baseline = engine.search(query, algorithm)
+        if not baseline.routes or not baseline.routes[0].route.doors:
+            print("smoke FAILED: no doored baseline route for the "
+                  "delta step")
+            return 1
+        closed_door = baseline.routes[0].route.doors[0]
+        labelled = sorted(engine.kindex.labelled_partitions())[0]
+        kw_ops = [{"op": "set_iword", "pid": labelled, "iword": "latte"}]
+        applied = _post_json(base, "/delta",
+                             {"venue": swap_venue,
+                              "ops": [{"op": "close_door",
+                                       "did": closed_door}] + kw_ops},
+                             timeout=60)
+        if applied.get("status") != "ok" or not applied.get(
+                "keyword_broadcast"):
+            print(f"smoke FAILED: delta -> {applied}")
+            return 1
+        kindex2 = apply_keyword_ops(engine.kindex, kw_ops)
+        closed_space = apply_closures(
+            engine.space, ClosureOverlay(frozenset({closed_door})))
+        expected_closed = answer_to_wire(
+            _Engine(closed_space, kindex2).search(query, algorithm))
+        served = _post_json(base, "/search",
+                            {"venue": swap_venue,
+                             "query": query_to_wire(query),
+                             "algorithm": algorithm}, timeout=60)
+        if (served.get("status") != "ok"
+                or served.get("generation") != 2
+                or served.get("dynamic_version") != applied["version"]
+                or canonical_json({"algorithm": served["algorithm"],
+                                   "routes": served["routes"]})
+                != canonical_json(expected_closed)):
+            print(f"smoke FAILED: post-delta answer differs from the "
+                  f"rebuilt edited venue (status "
+                  f"{served.get('status')}, generation "
+                  f"{served.get('generation')}, dynamic_version "
+                  f"{served.get('dynamic_version')})")
+            return 1
+        # Swap the persistent closure for a weekly schedule closing
+        # the same door except during the week's first second: a
+        # query carrying "at" inside the closed window must match the
+        # closure answer; one without "at" sees the door open.
+        rescheduled = _post_json(
+            base, "/delta",
+            {"venue": swap_venue,
+             "ops": [{"op": "open_door", "did": closed_door},
+                     {"op": "set_schedule", "did": closed_door,
+                      "open": [[0.0, 1.0]]}]}, timeout=60)
+        if rescheduled.get("status") != "ok":
+            print(f"smoke FAILED: schedule delta -> {rescheduled}")
+            return 1
+        expected_open = answer_to_wire(
+            _Engine(engine.space, kindex2).search(query, algorithm))
+        for at, expected in ((7200.0, expected_closed),
+                             (None, expected_open)):
+            body = {"venue": swap_venue, "query": query_to_wire(query),
+                    "algorithm": algorithm}
+            if at is not None:
+                body["at"] = at
+            timed = _post_json(base, "/search", body, timeout=60)
+            got = {"algorithm": timed.get("algorithm"),
+                   "routes": timed.get("routes")}
+            if (timed.get("status") != "ok"
+                    or canonical_json(got) != canonical_json(expected)):
+                print(f"smoke FAILED: scheduled-door answer at={at!r} "
+                      f"differs from the rebuilt venue")
+                return 1
         with urllib.request.urlopen(base + "/healthz", timeout=30) as resp:
             health = json.loads(resp.read())
         with urllib.request.urlopen(base + "/metrics", timeout=30) as resp:
@@ -349,6 +427,7 @@ def _serve_smoke(server, venues: dict) -> int:
                        "ikrq_venue_active_generation", "ikrq_venues",
                        "ikrq_shard_kernel_info",
                        "ikrq_shard_up", "ikrq_live_shards",
+                       "ikrq_delta_total",
                        f'venue="{swap_venue}"'):
             if series not in metrics:
                 print(f"smoke FAILED: /metrics missing {series!r}")
@@ -370,7 +449,9 @@ def _serve_smoke(server, venues: dict) -> int:
           f"shards={health['shards']}, shard queries={served}, "
           f"kernel={'/'.join(kernels) or 'unknown'}, "
           f"trace {trace_id} round-tripped with all 9 stages, "
-          f"slow-query trace retained, clean shutdown")
+          f"slow-query trace retained, delta (closure + keyword + "
+          f"schedule) byte-identical to the rebuilt venue, clean "
+          f"shutdown")
     return 0
 
 
@@ -541,6 +622,62 @@ def _cmd_ingest(args) -> int:
     finally:
         if is_temporary:
             Path(snapshot_path).unlink(missing_ok=True)
+
+
+def _parse_iword_spec(text: str):
+    pid, sep, iword = text.partition("=")
+    try:
+        pid = int(pid)
+    except ValueError:
+        sep = ""
+    if not sep or not iword.strip():
+        raise argparse.ArgumentTypeError(
+            f"--set-iword takes PID=IWORD (e.g. 12=coffee), got {text!r}")
+    return pid, iword.strip()
+
+
+def _cmd_delta(args) -> int:
+    """Apply dynamic edits to a venue of a running server."""
+    ops = []
+    for did in args.close_door or []:
+        ops.append({"op": "close_door", "did": did})
+    for did in args.open_door or []:
+        ops.append({"op": "open_door", "did": did})
+    for pid in args.seal_partition or []:
+        ops.append({"op": "seal_partition", "pid": pid})
+    for pid in args.unseal_partition or []:
+        ops.append({"op": "unseal_partition", "pid": pid})
+    for pid, iword in args.set_iword or []:
+        ops.append({"op": "set_iword", "pid": pid, "iword": iword})
+    for pid in args.clear_iword or []:
+        ops.append({"op": "clear_iword", "pid": pid})
+    if args.ops:
+        try:
+            extra = json.loads(args.ops)
+        except json.JSONDecodeError as exc:
+            raise SystemExit(f"--ops is not valid JSON: {exc}")
+        if not isinstance(extra, list):
+            raise SystemExit("--ops must be a JSON list of op objects")
+        ops.extend(extra)
+    if not ops:
+        raise SystemExit("delta needs at least one operation (e.g. "
+                         "--close-door 3, --set-iword 12=coffee, or --ops)")
+    response = _post_json(args.server.rstrip("/"), "/delta",
+                          {"venue": args.venue, "ops": ops})
+    if response.get("status") != "ok":
+        print(f"delta FAILED: {response}")
+        return 1
+    overlay = response.get("overlay") or {}
+    print(f"venue {args.venue!r} now at dynamic version "
+          f"{response['version']} (keyword version "
+          f"{response['keyword_version']}): "
+          f"closed doors {overlay.get('closed_doors', [])}, "
+          f"sealed partitions {overlay.get('sealed_partitions', [])}, "
+          f"scheduled doors {response.get('scheduled_doors', [])}"
+          + (f", keyword rewrite applied on "
+             f"{response['shards_applied']} shard(s)"
+             if response.get("keyword_broadcast") else ""))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -728,6 +865,32 @@ def build_parser() -> argparse.ArgumentParser:
                    help="return as soon as the server accepts the ingest "
                         "instead of waiting for the swap to finish")
     p.set_defaults(func=_cmd_ingest)
+
+    p = sub.add_parser(
+        "delta", help="apply dynamic edits (door closures, partition "
+                      "seals, schedules, keyword rewrites) to a venue "
+                      "of a running server — no re-ingest")
+    p.add_argument("--venue", required=True,
+                   help="venue id on the target server")
+    p.add_argument("--server", default="http://127.0.0.1:8080",
+                   help="base URL of the running repro serve instance")
+    p.add_argument("--close-door", type=int, action="append", metavar="DID",
+                   help="close a door (repeatable)")
+    p.add_argument("--open-door", type=int, action="append", metavar="DID",
+                   help="re-open a closed door (repeatable)")
+    p.add_argument("--seal-partition", type=int, action="append",
+                   metavar="PID", help="seal a partition (repeatable)")
+    p.add_argument("--unseal-partition", type=int, action="append",
+                   metavar="PID", help="unseal a partition (repeatable)")
+    p.add_argument("--set-iword", type=_parse_iword_spec, action="append",
+                   metavar="PID=IWORD",
+                   help="relabel a partition's i-word (repeatable)")
+    p.add_argument("--clear-iword", type=int, action="append", metavar="PID",
+                   help="remove a partition's i-word (repeatable)")
+    p.add_argument("--ops", default=None, metavar="JSON",
+                   help="raw JSON list of delta ops (covers schedules and "
+                        "t-word edits; see docs/dynamic.md)")
+    p.set_defaults(func=_cmd_delta)
     return parser
 
 

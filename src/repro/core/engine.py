@@ -37,6 +37,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.dynamic.overlay import ClosureOverlay, apply_closures
 from repro.geometry import Point
 from repro.keywords.matching import QueryKeywords
 from repro.keywords.mappings import KeywordIndex
@@ -121,6 +122,47 @@ class QueryAnswer:
 
     def distances(self) -> List[float]:
         return [r.distance for r in self.routes]
+
+
+class OverlayState:
+    """Per-overlay derived state held by the engine's overlay LRU.
+
+    One instance exists per distinct :class:`ClosureOverlay` the engine
+    has recently served.  It bundles everything whose value depends on
+    the overlay's topology edits:
+
+    ``view``
+        the physically edited :class:`IndoorSpace` from
+        :func:`apply_closures` — same partitions and doors (dense CSR
+        indexing preserved), closed doors stripped of their
+        enters/leaves, sealed partitions detached from every door.
+    ``oracle``
+        a fresh :class:`DistanceOracle` over the view.  The oracle's
+        d2d/pt2d answers test partition membership, so it cannot be
+        shared with the base space; construction is O(1) and its
+        caches fill lazily.
+    ``door_iwords`` / ``door_iword_masks``
+        the per-door keyword caches, keyed by the *view's* p2d sets
+        (a sealed partition stops contributing its i-word).
+    ``matrix``
+        the overlay-scoped KoE* door matrix, built lazily under
+        ``matrix_lock``.  Its rows are Dijkstra trees over the *base*
+        CSR graph with the overlay's banned sets — byte-identical to
+        a matrix built on a rebuilt engine, because the edited space
+        yields the same dense door indexing and edge order.
+    """
+
+    __slots__ = ("overlay", "view", "oracle", "door_iwords",
+                 "door_iword_masks", "matrix", "matrix_lock")
+
+    def __init__(self, overlay: ClosureOverlay, view: IndoorSpace) -> None:
+        self.overlay = overlay
+        self.view = view
+        self.oracle = DistanceOracle(view)
+        self.door_iwords: Dict[int, frozenset] = {}
+        self.door_iword_masks: Dict[int, int] = {}
+        self.matrix: Optional[DoorMatrix] = None
+        self.matrix_lock = threading.Lock()
 
 
 class IKRQEngine:
@@ -222,6 +264,16 @@ class IKRQEngine:
         self._lb_from_cache: "OrderedDict[Point, dict]" = OrderedDict()
         self._lb_to_cache: "OrderedDict[Point, dict]" = OrderedDict()
         self._lb_lock = threading.Lock()
+        #: Per-overlay derived state (edited topology view, oracle,
+        #: keyword caches, KoE* matrix), LRU-keyed by the overlay's
+        #: canonical identity.  Everything topology-dependent lives
+        #: here so no cache can serve one overlay's values to another;
+        #: the CSR graph, skeleton and endpoint lower-bound LRUs are
+        #: shared — they are pure geometry over door positions, which
+        #: closures never move.
+        self.overlay_cache_capacity = 8
+        self._overlay_states: "OrderedDict[tuple, OverlayState]" = OrderedDict()
+        self._overlay_lock = threading.Lock()
 
     def _endpoint_lb(self,
                      table: "OrderedDict[Point, dict]",
@@ -236,31 +288,105 @@ class IKRQEngine:
             return cached
 
     # ------------------------------------------------------------------
+    def overlay_state(self, overlay: ClosureOverlay) -> OverlayState:
+        """The cached :class:`OverlayState` for ``overlay`` (LRU).
+
+        The edited view is built outside the lock (``apply_closures``
+        walks every door once); insertion races resolve to whichever
+        state landed first, so concurrent queries under the same
+        overlay share one oracle, keyword cache and KoE* matrix.
+        """
+        key = overlay.key()
+        with self._overlay_lock:
+            state = self._overlay_states.get(key)
+            if state is not None:
+                self._overlay_states.move_to_end(key)
+                return state
+        view = apply_closures(self.space, overlay)
+        with self._overlay_lock:
+            state = self._overlay_states.get(key)
+            if state is None:
+                state = self._overlay_states[key] = OverlayState(
+                    overlay, view)
+            self._overlay_states.move_to_end(key)
+            while len(self._overlay_states) > self.overlay_cache_capacity:
+                self._overlay_states.popitem(last=False)
+            return state
+
+    def _overlay_matrix(self, state: OverlayState) -> DoorMatrix:
+        """The overlay-scoped KoE* matrix, built lazily per state.
+
+        Always lazy-row and never spilled: spilled rows carry no
+        banned-set identity (the :class:`DoorMatrix` constructor
+        rejects that combination), and eager fill would recompute the
+        whole matrix for what is typically a short-lived overlay.
+        Row values are identical to a rebuilt engine's eager matrix —
+        eagerness only changes *when* rows are computed.
+        """
+        with state.matrix_lock:
+            if state.matrix is None:
+                state.matrix = DoorMatrix(
+                    self.graph,
+                    max_rows=self.door_matrix_max_rows,
+                    banned=state.overlay.closed_doors,
+                    banned_partitions=(state.overlay.sealed_partitions
+                                       or None))
+            return state.matrix
+
     def context(self,
                 query: IKRQ,
                 workspace: Optional[DijkstraWorkspace] = None,
                 qk: Optional[QueryKeywords] = None,
-                endpoint_caches: bool = True) -> QueryContext:
+                endpoint_caches: bool = True,
+                overlay: Optional[ClosureOverlay] = None) -> QueryContext:
         """A fresh per-query context sharing the engine's oracles.
 
         ``endpoint_caches=False`` skips attaching the engine-level
         per-endpoint lower-bound LRU — the batched ``QueryService``
         passes its own per-``(ps, pt)`` maps instead and must not
         churn (or pollute) the engine's LRU on its hot path.
+
+        A non-empty ``overlay`` swaps in the overlay state's edited
+        space view and oracle, carries the closure sets on the context
+        (the route expansion unions them into every Dijkstra call),
+        and shares the overlay-scoped keyword caches instead of the
+        engine-wide ones.  The CSR graph, skeleton and endpoint
+        lower-bound maps stay shared: they are pure geometry over door
+        positions, which closures never move.
         """
-        ctx = QueryContext(
-            space=self.space,
-            kindex=self.kindex,
-            query=query,
-            graph=self.graph,
-            skeleton=self.skeleton,
-            oracle=self.oracle,
-            popularity=self.popularity,
-            workspace=workspace,
-            qk=qk,
-        )
-        ctx.share_caches(door_iwords=self._door_iwords,
-                         door_iword_masks=self._door_iword_masks)
+        if overlay is not None and overlay.is_empty:
+            overlay = None
+        if overlay is None:
+            ctx = QueryContext(
+                space=self.space,
+                kindex=self.kindex,
+                query=query,
+                graph=self.graph,
+                skeleton=self.skeleton,
+                oracle=self.oracle,
+                popularity=self.popularity,
+                workspace=workspace,
+                qk=qk,
+            )
+            ctx.share_caches(door_iwords=self._door_iwords,
+                             door_iword_masks=self._door_iword_masks)
+        else:
+            state = self.overlay_state(overlay)
+            ctx = QueryContext(
+                space=state.view,
+                kindex=self.kindex,
+                query=query,
+                graph=self.graph,
+                skeleton=self.skeleton,
+                oracle=state.oracle,
+                popularity=self.popularity,
+                workspace=workspace,
+                qk=qk,
+                closed_doors=overlay.closed_doors,
+                sealed_partitions=overlay.sealed_partitions,
+            )
+            ctx.share_caches(door_iwords=state.door_iwords,
+                             door_iword_masks=state.door_iword_masks)
         if endpoint_caches:
             ctx.share_caches(
                 lb_from_ps=self._endpoint_lb(self._lb_from_cache, query.ps),
@@ -289,6 +415,29 @@ class IKRQEngine:
                     max_rows=self.door_matrix_max_rows,
                     spill_path=self.door_matrix_spill_path)
             return self._matrix
+
+    def keyword_sibling(self, kindex: KeywordIndex) -> "IKRQEngine":
+        """An engine over the same topology with a different keyword
+        index — the shard workers' keyword-delta variants.
+
+        The heavy immutable indexes (CSR graph, skeleton, distance
+        oracle, any already-built KoE* matrix, the mapped snapshot
+        buffers) are shared by reference; everything keyword-dependent
+        (door i-word caches, overlay states, endpoint LRUs) starts
+        fresh.  The spill path deliberately does not carry over: the
+        base engine owns that file, and a not-yet-built matrix simply
+        builds heap-resident in the sibling.
+        """
+        sibling = IKRQEngine(
+            self.space, kindex, popularity=self.popularity,
+            door_matrix_eager=self.door_matrix_eager,
+            door_matrix_max_rows=self.door_matrix_max_rows,
+            oracle=self.oracle, graph=self.graph, skeleton=self.skeleton,
+            door_matrix=self._matrix, kernel=self.kernel_requested)
+        sibling.kernel_backend = self.kernel_backend
+        sibling.mapped_bytes = self.mapped_bytes
+        sibling._snapshot_mmap = self._snapshot_mmap
+        return sibling
 
     def memory_breakdown(self) -> Dict[str, int]:
         """Where this engine's index bytes live: heap, mapped, or disk.
@@ -340,17 +489,31 @@ class IKRQEngine:
                algorithm: str = "ToE",
                max_expansions: Optional[int] = None,
                config: Optional["SearchConfig"] = None,
-               context: Optional[QueryContext] = None) -> QueryAnswer:
+               context: Optional[QueryContext] = None,
+               overlay=None) -> QueryAnswer:
         """Evaluate ``query`` with the named algorithm.
 
         ``config`` overrides the name-derived :class:`SearchConfig`
         (the strategy — ToE vs. KoE — still follows the name).
         ``context`` supplies a prebuilt :class:`QueryContext` (the
         batched :class:`QueryService` passes one carrying a per-thread
-        workspace and shared caches); it must wrap the same ``query``.
+        workspace and shared caches); it must wrap the same ``query``
+        and, when an ``overlay`` is also given, have been built for
+        that same overlay.
+
+        ``overlay`` applies a :class:`ClosureOverlay` (or its wire
+        ``dict`` form) for this evaluation only: answers are exactly
+        those of an engine rebuilt on the physically edited venue
+        (``tests/test_dynamic.py`` pins that byte-for-byte).
         """
         canonical = canonical_algorithm(algorithm)
-        ctx = context if context is not None else self.context(query)
+        overlay = ClosureOverlay.from_wire(overlay)
+        if overlay is not None and overlay.is_empty:
+            overlay = None
+        if overlay is not None:
+            overlay.validate(self.space)
+        ctx = (context if context is not None
+               else self.context(query, overlay=overlay))
         if canonical == "naive":
             naive = NaiveSearch(ctx)
             routes = naive.run()
@@ -360,7 +523,11 @@ class IKRQEngine:
         if canonical.startswith("ToE"):
             strategy = TopologyOrientedExpansion()
         elif canonical == "KoE*":
-            strategy = KoEStar(self.door_matrix())
+            if overlay is not None:
+                strategy = KoEStar(
+                    self._overlay_matrix(self.overlay_state(overlay)))
+            else:
+                strategy = KoEStar(self.door_matrix())
         else:
             strategy = KeywordOrientedExpansion()
         search = IKRQSearch(ctx, strategy, config)
@@ -528,8 +695,15 @@ class QueryService:
             self._tls.workspace = ws
         return ws
 
-    def _endpoint_entry(self, ps: Point, pt: Point) -> dict:
-        key = (ps, pt)
+    def _endpoint_entry(self, ps: Point, pt: Point,
+                        overlay: Optional[ClosureOverlay] = None) -> dict:
+        # The entry key carries the overlay's canonical identity: the
+        # start-point attachment tree and the terminal attachment map
+        # both depend on which doors are traversable, so a closure must
+        # never be answered from a pre-closure cached entry
+        # (tests/test_dynamic.py pins the regression).
+        key = ((ps, pt) if overlay is None
+               else (ps, pt, overlay.key()))
         with self._lock:
             entry = self._point_maps.get(key)
             if entry is not None:
@@ -539,9 +713,16 @@ class QueryService:
             self.stats.add(point_map_misses=1)
         # Compute outside the lock (a concurrent miss on the same key
         # computes the same values; last write wins harmlessly).
-        space = self.engine.space
-        start_map = self.engine.graph.point_attachment_map(
-            ps, workspace=self._workspace())
+        if overlay is None:
+            space = self.engine.space
+            start_map = self.engine.graph.point_attachment_map(
+                ps, workspace=self._workspace())
+        else:
+            space = self.engine.overlay_state(overlay).view
+            start_map = self.engine.graph.point_attachment_map(
+                ps, workspace=self._workspace(),
+                banned=overlay.closed_doors,
+                banned_partitions=overlay.sealed_partitions or None)
         v_pt = space.host_partition(pt).pid
         terminal_attach = {door: space.door(door).position.distance_to(pt)
                            for door in space.p2d_enter(v_pt)}
@@ -597,8 +778,15 @@ class QueryService:
                max_expansions: Optional[int] = None,
                config: Optional[SearchConfig] = None,
                *,
+               overlay=None,
                trace=None) -> QueryAnswer:
         """Evaluate one query through the service's shared caches.
+
+        ``overlay`` applies a :class:`ClosureOverlay` (or its wire
+        ``dict`` form) for this evaluation: the answer cache and the
+        per-endpoint entry are keyed by the overlay's canonical
+        identity, so overlaid and plain traffic interleave freely
+        without either ever seeing the other's cached state.
 
         ``trace`` is an optional :class:`repro.obs.EngineTrace`: the
         evaluation annotates it with the answer-cache outcome and the
@@ -608,10 +796,16 @@ class QueryService:
         the evaluation path and its answers are identical with or
         without it.
         """
+        overlay = ClosureOverlay.from_wire(overlay)
+        if overlay is not None and overlay.is_empty:
+            overlay = None
+        if overlay is not None:
+            overlay.validate(self.engine.space)
         cache_key = None
         if self.answer_cache_capacity:
             cache_key = (query, canonical_algorithm(algorithm),
-                         max_expansions, config)
+                         max_expansions, config,
+                         None if overlay is None else overlay.key())
             with self._lock:
                 cached = self._answer_cache.get(cache_key)
                 if cached is not None:
@@ -623,19 +817,24 @@ class QueryService:
                 self.stats.add(answer_misses=1)
         ctx = self.engine.context(
             query, workspace=self._workspace(),
-            qk=self._query_keywords(query), endpoint_caches=False)
-        entry = self._endpoint_entry(query.ps, query.pt)
+            qk=self._query_keywords(query), endpoint_caches=False,
+            overlay=overlay)
+        entry = self._endpoint_entry(query.ps, query.pt, overlay)
         ctx.share_caches(
             lb_from_ps=entry["lb_from_ps"],
             lb_to_pt=entry["lb_to_pt"],
-            door_iwords=self._door_iwords,
             start_map=entry["start_map"],
             terminal_attach=entry["terminal_attach"])
+        if overlay is None:
+            # Under an overlay the context already shares the overlay
+            # state's door-word caches; the engine-wide table belongs
+            # to the base topology only.
+            ctx.share_caches(door_iwords=self._door_iwords)
         if trace is not None and trace.fine:
             ctx.attach_stage_probe(trace.stages)
         answer = self.engine.search(
             query, algorithm, max_expansions=max_expansions,
-            config=config, context=ctx)
+            config=config, context=ctx, overlay=overlay)
         self.stats.add(queries_served=1)
         counters = self._stats_picks(answer.stats)
         with self._lock:
@@ -673,6 +872,7 @@ class QueryService:
                      max_expansions: Optional[int] = None,
                      config: Optional[SearchConfig] = None,
                      timings: Optional[List[float]] = None,
+                     overlay=None,
                      ) -> List[QueryAnswer]:
         """Evaluate many queries, preserving input order.
 
@@ -681,7 +881,8 @@ class QueryService:
         still benefiting from the shared caches.  ``timings``, when
         given, receives one per-query wall-clock duration (seconds)
         per evaluation, in completion order — the benches derive their
-        latency percentiles from it.
+        latency percentiles from it.  ``overlay`` applies one
+        :class:`ClosureOverlay` to every query in the batch.
         """
         batch = list(queries)
         pool_size = self.workers if workers is None else workers
@@ -690,11 +891,12 @@ class QueryService:
         self.stats.add(batches=1)
         if timings is None:
             evaluate = lambda q: self.search(  # noqa: E731
-                q, algorithm, max_expansions, config)
+                q, algorithm, max_expansions, config, overlay=overlay)
         else:
             def evaluate(q: IKRQ) -> QueryAnswer:
                 started = time.perf_counter()
-                answer = self.search(q, algorithm, max_expansions, config)
+                answer = self.search(q, algorithm, max_expansions, config,
+                                     overlay=overlay)
                 timings.append(time.perf_counter() - started)
                 return answer
         if pool_size == 1 or len(batch) <= 1:

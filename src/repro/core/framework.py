@@ -89,6 +89,13 @@ class ContinuationProvider:
     repeated calls allocate no per-node state); KoE* substitutes a
     precomputed matrix, and batched execution may serve start-point
     continuations from a shared attachment map.
+
+    A closure overlay (``ctx.closed_doors`` / ``ctx.sealed_partitions``)
+    joins the banned arguments here — the route-level ``banned`` set
+    keeps its own meaning (doors already on the route), including in
+    the start-map cache gate, which stays aligned with a from-scratch
+    engine because an overlay context's start map is itself computed
+    with the overlay's banned sets.
     """
 
     def nonloop(self,
@@ -99,11 +106,15 @@ class ContinuationProvider:
                 banned: FrozenSet[int],
                 budget: float) -> Dict[int, Continuation]:
         ctx = search.ctx
+        closed = ctx.closed_doors
+        sealed = ctx.sealed_partitions or None
         if isinstance(tail, int):
             search.stats.dijkstra_calls += 1
             return ctx.graph.multi_target_routes(
-                tail, first_via, targets, banned=banned, bound=budget,
-                workspace=ctx.workspace)
+                tail, first_via, targets,
+                banned=(banned | closed if closed else banned),
+                bound=budget, workspace=ctx.workspace,
+                banned_partitions=sealed)
         cached = ctx.cached_point_routes(
             tail, first_via, targets, banned, budget)
         if cached is not None:
@@ -111,8 +122,10 @@ class ContinuationProvider:
             return cached
         search.stats.dijkstra_calls += 1
         return ctx.graph.routes_from_point(
-            tail, first_via, targets, banned=banned, bound=budget,
-            workspace=ctx.workspace)
+            tail, first_via, targets,
+            banned=(banned | closed if closed else banned),
+            bound=budget, workspace=ctx.workspace,
+            banned_partitions=sealed)
 
 
 class ExpansionStrategy:

@@ -101,10 +101,20 @@ class QueryContext:
                  oracle: Optional[DistanceOracle] = None,
                  popularity: Optional[dict] = None,
                  workspace: Optional[DijkstraWorkspace] = None,
-                 qk: Optional[QueryKeywords] = None) -> None:
+                 qk: Optional[QueryKeywords] = None,
+                 closed_doors: FrozenSet[int] = frozenset(),
+                 sealed_partitions: FrozenSet[int] = frozenset()) -> None:
         self.space = space
         self.kindex = kindex
         self.query = query
+        #: Closure overlay sets (empty without an overlay).  Under an
+        #: overlay, ``space`` is the edited view (closed doors/sealed
+        #: partitions stripped from the topology mappings) while
+        #: ``graph`` stays the original CSR — these sets are what the
+        #: continuation provider adds to its banned arguments so the
+        #: shared graph routes exactly like the edited one.
+        self.closed_doors = closed_doors
+        self.sealed_partitions = sealed_partitions
         #: Optional partition-popularity map (values in [0, 1]) used by
         #: the γ-weighted ranking extension.
         self.popularity = popularity or {}
@@ -626,7 +636,7 @@ class QueryContext:
             else:
                 hs = skeleton.heads(source)
             return skeleton.lower_bound_via_partition_heads(
-                hs, pid, self._terminal_heads())
+                hs, pid, self._terminal_heads(), space=self.space)
         return self.skeleton.lower_bound_via_partition(
             source, pid, self.query.pt)
 

@@ -1,0 +1,54 @@
+"""Dynamic overlays: live-world routing over immutable generations.
+
+Real venues change under traffic — doors lock after hours, corridors
+close for incidents, shops rebrand their keywords — but the serving
+layer's generations (snapshots, CSR graphs, skeletons, door matrices)
+are deliberately immutable.  This package bridges the two with a
+query-time overlay layer:
+
+* :mod:`repro.dynamic.overlay` — :class:`ClosureOverlay`, the
+  first-class banned-door / banned-partition set threaded through
+  ``IKRQEngine.search``, ``QueryService``, the wire protocol and
+  ``POST /search``, plus :func:`apply_closures`, the physically-edited
+  venue every overlay answer is proven byte-identical to,
+* :mod:`repro.dynamic.schedule` — :class:`DoorSchedule` weekly open
+  windows, compiled against a query timestamp into closure sets
+  before dispatch,
+* :mod:`repro.dynamic.state` — :class:`DynamicView` /
+  :class:`DynamicStore`, the versioned per-venue delta layer behind
+  ``POST /delta``: door state flips and keyword edits applied over
+  the mmap'd snapshot with an atomic version flip and no rebuild.
+
+See ``docs/dynamic.md`` for the API, versioning semantics and cache
+invalidation rules, and ``tests/test_dynamic.py`` for the property
+suite holding the byte-identity contract.
+"""
+
+from repro.dynamic.overlay import (ClosureOverlay, EMPTY_OVERLAY,
+                                   apply_closures)
+from repro.dynamic.schedule import (DAY_S, WEEK_S, DoorSchedule,
+                                    compile_closed_doors, week_offset)
+from repro.dynamic.state import (DOOR_OPS, EMPTY_VIEW, KEYWORD_OPS,
+                                 DeltaError, DynamicStore, DynamicView,
+                                 apply_keyword_ops, is_keyword_op,
+                                 validate_ops)
+
+__all__ = [
+    "ClosureOverlay",
+    "DAY_S",
+    "DOOR_OPS",
+    "DeltaError",
+    "DoorSchedule",
+    "DynamicStore",
+    "DynamicView",
+    "EMPTY_OVERLAY",
+    "EMPTY_VIEW",
+    "KEYWORD_OPS",
+    "WEEK_S",
+    "apply_closures",
+    "apply_keyword_ops",
+    "compile_closed_doors",
+    "is_keyword_op",
+    "validate_ops",
+    "week_offset",
+]

@@ -1,0 +1,154 @@
+"""Closure overlays: banned doors/partitions as a first-class API.
+
+A :class:`ClosureOverlay` names doors and partitions that are *closed*
+for one query (an incident, an after-hours lockdown, a compiled time
+window).  The immutable generation — CSR door graph, skeleton, door
+matrix, snapshots — is never rebuilt; the overlay rides on the banned
+sets the Dijkstra core already honours, plus an *edited view* of the
+:class:`~repro.space.indoor_space.IndoorSpace` topology for the
+expansion strategies.
+
+The contract, enforced by ``tests/test_dynamic.py``: for every query,
+
+    ``engine.search(q, algo, overlay=ov)``
+
+is byte-identical to a from-scratch engine built on
+``apply_closures(space, ov)`` — the venue with the closed doors and
+sealed partitions physically removed from the topology mappings.
+
+Two facts make the equivalence exact rather than merely semantic:
+
+* the CSR graph keeps **all** doors in ``sorted(space.doors)`` order,
+  so dense indices, heap tie-breaks ``(weight, node)`` and adjacency
+  order are unchanged — banned-marking skips exactly the edges the
+  edited graph lacks, in the same relative order;
+* :func:`apply_closures` keeps every door and partition (closed doors
+  just lose their ``enters``/``leaves`` sets), so the position-derived
+  indexes (staircase floors, skeleton heads, δs2s) are identical and
+  the skeleton/oracle geometry can be evaluated against either space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.space.indoor_space import IndoorSpace
+
+
+def _frozen_ids(values: Optional[Iterable[int]], what: str) -> FrozenSet[int]:
+    if values is None:
+        return frozenset()
+    out = []
+    for value in values:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ValueError(f"{what} must be integer ids, got {value!r}")
+        out.append(value)
+    return frozenset(out)
+
+
+@dataclass(frozen=True)
+class ClosureOverlay:
+    """An immutable set of closed doors and sealed partitions.
+
+    Empty overlays are falsy and behave exactly like "no overlay";
+    ``key()`` is the canonical hashable identity used by every cache
+    that must not serve one overlay's rows to another.
+    """
+
+    closed_doors: FrozenSet[int] = frozenset()
+    sealed_partitions: FrozenSet[int] = frozenset()
+
+    def __bool__(self) -> bool:
+        return bool(self.closed_doors or self.sealed_partitions)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self
+
+    def key(self) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """Canonical cache identity (sorted, order-independent)."""
+        return (tuple(sorted(self.closed_doors)),
+                tuple(sorted(self.sealed_partitions)))
+
+    def merge(self, other: Optional["ClosureOverlay"]) -> "ClosureOverlay":
+        """The union overlay (closing is monotone, so union composes)."""
+        if not other:
+            return self
+        if not self:
+            return other
+        return ClosureOverlay(
+            self.closed_doors | other.closed_doors,
+            self.sealed_partitions | other.sealed_partitions)
+
+    def validate(self, space: IndoorSpace) -> None:
+        """Reject ids that do not exist in ``space``."""
+        unknown_doors = self.closed_doors - set(space.doors)
+        if unknown_doors:
+            raise ValueError(
+                f"overlay closes unknown doors {sorted(unknown_doors)}")
+        unknown_parts = self.sealed_partitions - set(space.partitions)
+        if unknown_parts:
+            raise ValueError(
+                f"overlay seals unknown partitions {sorted(unknown_parts)}")
+
+    # ------------------------------------------------------------------
+    # Wire codec (``POST /search`` ``closures`` field, shard payloads)
+    # ------------------------------------------------------------------
+    def to_wire(self) -> Dict[str, List[int]]:
+        doc: Dict[str, List[int]] = {}
+        if self.closed_doors:
+            doc["closed_doors"] = sorted(self.closed_doors)
+        if self.sealed_partitions:
+            doc["sealed_partitions"] = sorted(self.sealed_partitions)
+        return doc
+
+    @classmethod
+    def from_wire(cls, doc: Optional[Dict]) -> "ClosureOverlay":
+        if doc is None:
+            return EMPTY_OVERLAY
+        if isinstance(doc, ClosureOverlay):
+            return doc
+        if not isinstance(doc, dict):
+            raise ValueError("closures must be a JSON object with "
+                             "closed_doors / sealed_partitions lists")
+        unknown = set(doc) - {"closed_doors", "sealed_partitions"}
+        if unknown:
+            raise ValueError(f"unknown closure fields {sorted(unknown)}")
+        return cls(
+            _frozen_ids(doc.get("closed_doors"), "closed_doors"),
+            _frozen_ids(doc.get("sealed_partitions"), "sealed_partitions"))
+
+
+#: The shared "no closures" overlay.
+EMPTY_OVERLAY = ClosureOverlay()
+
+
+def apply_closures(space: IndoorSpace,
+                   overlay: ClosureOverlay) -> IndoorSpace:
+    """The physically-edited venue an overlay is equivalent to.
+
+    Every door and partition survives — a closed door keeps its id and
+    position but loses all ``enters``/``leaves`` memberships, and a
+    sealed partition is stripped from every door's sets — so dense CSR
+    indexing and the position-derived indexes line up with the
+    original space, which is what makes overlay answers *byte*-equal
+    to a rebuild instead of merely route-equal.
+    """
+    overlay.validate(space)
+    if not overlay:
+        return space
+    closed = overlay.closed_doors
+    sealed = overlay.sealed_partitions
+    doors = []
+    for door in space.doors.values():
+        if door.did in closed:
+            doors.append(replace(door, enters=frozenset(),
+                                 leaves=frozenset()))
+            continue
+        enters = door.enters - sealed
+        leaves = door.leaves - sealed
+        if enters != door.enters or leaves != door.leaves:
+            door = replace(door, enters=enters, leaves=leaves)
+        doors.append(door)
+    return IndoorSpace(space.partitions.values(), doors)

@@ -1,0 +1,118 @@
+"""Door open/close time windows compiled to closure overlays.
+
+A :class:`DoorSchedule` lists the weekly windows during which a door
+is *open*; outside every window the door is closed.  Schedules are
+evaluated against a query-supplied POSIX timestamp (``at``) and
+compiled — before dispatch, never inside the search — into the banned
+set of a :class:`~repro.dynamic.overlay.ClosureOverlay`, so the query
+core stays timestamp-free and the byte-identity contract reduces to
+the closure case.
+
+Windows are ``(start, end)`` second offsets into a week anchored at
+Monday 00:00 UTC (``0 <= start < WEEK_S``).  ``end`` may be smaller
+than ``start``, meaning the window wraps over the week boundary
+(e.g. a door open Sunday evening through Monday morning).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Tuple
+
+#: Seconds per week; schedules repeat on this cycle.
+WEEK_S = 7 * 24 * 3600
+#: Seconds per day, for the convenience constructors.
+DAY_S = 24 * 3600
+
+#: Unix epoch (1970-01-01) was a Thursday; shift so week offset 0 is
+#: Monday 00:00 UTC.
+_EPOCH_WEEKDAY_SHIFT = 3 * DAY_S
+
+
+def week_offset(at: float) -> float:
+    """Seconds into the schedule week for POSIX timestamp ``at``."""
+    return (float(at) + _EPOCH_WEEKDAY_SHIFT) % WEEK_S
+
+
+@dataclass(frozen=True)
+class DoorSchedule:
+    """Weekly open windows of one door.
+
+    ``windows`` is a normalised (sorted, deduplicated) tuple of
+    ``(start, end)`` week offsets.  An empty tuple means the door is
+    *never* open — a hard lockdown expressed as a schedule.
+    """
+
+    windows: Tuple[Tuple[float, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        seen = []
+        for window in self.windows:
+            try:
+                start, end = window
+                start, end = float(start), float(end)
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"schedule window must be a (start, end) pair of "
+                    f"week-second offsets, got {window!r}") from None
+            if not (0.0 <= start < WEEK_S) or not (0.0 <= end <= WEEK_S):
+                raise ValueError(
+                    f"window offsets must lie within one week "
+                    f"(0..{WEEK_S}), got {window!r}")
+            if start == end:
+                raise ValueError(
+                    f"zero-length window {window!r}; omit it or use a "
+                    f"wrapping window for always-open")
+            seen.append((start, end))
+        object.__setattr__(self, "windows", tuple(sorted(set(seen))))
+
+    # ------------------------------------------------------------------
+    def is_open(self, at: float) -> bool:
+        """Whether the door is open at POSIX timestamp ``at``."""
+        t = week_offset(at)
+        for start, end in self.windows:
+            if start < end:
+                if start <= t < end:
+                    return True
+            elif t >= start or t < end:  # wraps the week boundary
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def daily(cls, open_s: float, close_s: float) -> "DoorSchedule":
+        """Open every day between day offsets ``open_s``..``close_s``."""
+        if not (0.0 <= open_s < DAY_S) or not (0.0 <= close_s <= DAY_S):
+            raise ValueError("daily offsets must lie within one day")
+        return cls(tuple((day * DAY_S + open_s, day * DAY_S + close_s)
+                         for day in range(7)))
+
+    @classmethod
+    def always_closed(cls) -> "DoorSchedule":
+        return cls(())
+
+    # ------------------------------------------------------------------
+    # Wire codec
+    # ------------------------------------------------------------------
+    def to_wire(self) -> List[List[float]]:
+        return [[start, end] for start, end in self.windows]
+
+    @classmethod
+    def from_wire(cls, doc) -> "DoorSchedule":
+        if isinstance(doc, DoorSchedule):
+            return doc
+        if not isinstance(doc, (list, tuple)):
+            raise ValueError("schedule must be a list of [start, end] "
+                             "week-second windows")
+        return cls(tuple((w[0], w[1]) if isinstance(w, (list, tuple))
+                         and len(w) == 2 else (None,)
+                         for w in doc))
+
+
+def compile_closed_doors(schedules: Mapping[int, DoorSchedule],
+                         at: float) -> FrozenSet[int]:
+    """Doors whose schedule says *closed* at timestamp ``at``."""
+    return frozenset(did for did, schedule in schedules.items()
+                     if not schedule.is_open(at))

@@ -1,0 +1,277 @@
+"""Versioned per-venue dynamic state: deltas over immutable snapshots.
+
+A :class:`DynamicView` is an immutable value holding everything a
+venue's traffic needs beyond its snapshot generation: the persistent
+:class:`~repro.dynamic.overlay.ClosureOverlay`, the door
+:class:`~repro.dynamic.schedule.DoorSchedule` map, and the accumulated
+keyword edit operations.  A :class:`DynamicStore` maps venue ids to
+views and swaps them with a single reference assignment under a lock —
+concurrent readers see either the old or the new view, never a blend,
+and every view carries the monotonically increasing ``version`` that
+answers are stamped with.
+
+Delta operations (``POST /delta`` ``ops`` entries)::
+
+    {"op": "close_door",       "did": 3}
+    {"op": "open_door",        "did": 3}
+    {"op": "seal_partition",   "pid": 7}
+    {"op": "unseal_partition", "pid": 7}
+    {"op": "set_schedule",     "did": 3, "open": [[start, end], ...]}
+    {"op": "clear_schedule",   "did": 3}
+    {"op": "set_iword",        "pid": 7, "iword": "brand"}
+    {"op": "clear_iword",      "pid": 7}
+    {"op": "set_twords",       "iword": "brand", "twords": ["a", "b"]}
+    {"op": "add_twords",       "iword": "brand", "twords": ["c"]}
+
+Door-state and schedule ops only touch the store (closures ride on
+each request as compiled banned sets — shard workers stay stateless
+for door state); keyword ops are also replayed inside every shard
+worker, where :func:`apply_keyword_ops` derives a fresh
+:class:`~repro.keywords.mappings.KeywordIndex` and a sibling engine
+sharing the heavy immutable indexes, registered under the view's
+``keyword_version`` so each answer is attributable to exactly one
+version.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+from repro.dynamic.overlay import ClosureOverlay, EMPTY_OVERLAY
+from repro.dynamic.schedule import DoorSchedule, compile_closed_doors
+from repro.keywords.mappings import KeywordIndex
+
+#: Ops that edit the keyword index (replayed in shard workers).
+KEYWORD_OPS = frozenset(
+    {"set_iword", "clear_iword", "set_twords", "add_twords"})
+#: Ops that edit door/partition state (store-only; ride on requests).
+DOOR_OPS = frozenset(
+    {"close_door", "open_door", "seal_partition", "unseal_partition",
+     "set_schedule", "clear_schedule"})
+
+
+def is_keyword_op(op: Mapping) -> bool:
+    return op.get("op") in KEYWORD_OPS
+
+
+@dataclass(frozen=True)
+class DynamicView:
+    """One immutable version of a venue's dynamic state."""
+
+    version: int = 0
+    overlay: ClosureOverlay = EMPTY_OVERLAY
+    schedules: Tuple[Tuple[int, DoorSchedule], ...] = ()
+    keyword_version: int = 0
+    keyword_ops: Tuple[Mapping, ...] = ()
+
+    def schedule_map(self) -> Dict[int, DoorSchedule]:
+        return dict(self.schedules)
+
+    def effective_overlay(self,
+                          at: Optional[float] = None,
+                          extra: Optional[ClosureOverlay] = None,
+                          ) -> ClosureOverlay:
+        """Persistent closures ∪ compiled time windows ∪ per-query extra.
+
+        Schedules only participate when the query supplies a timestamp
+        — the compiled set is a pure function of ``(view, at)``, so
+        identical requests always see identical banned sets.
+        """
+        overlay = self.overlay
+        if at is not None and self.schedules:
+            scheduled = compile_closed_doors(dict(self.schedules), at)
+            if scheduled:
+                overlay = overlay.merge(ClosureOverlay(scheduled))
+        if extra:
+            overlay = overlay.merge(extra)
+        return overlay
+
+    def describe(self) -> Dict:
+        """The control-plane document (``GET /venues``)."""
+        return {
+            "version": self.version,
+            "keyword_version": self.keyword_version,
+            "closed_doors": sorted(self.overlay.closed_doors),
+            "sealed_partitions": sorted(self.overlay.sealed_partitions),
+            "scheduled_doors": sorted(did for did, _ in self.schedules),
+        }
+
+
+#: The shared version-0 view every venue starts from.
+EMPTY_VIEW = DynamicView()
+
+
+class DeltaError(ValueError):
+    """A malformed or inapplicable delta operation."""
+
+
+def _require(op: Mapping, key: str, kind, what: str):
+    value = op.get(key)
+    if not isinstance(value, kind) or isinstance(value, bool):
+        raise DeltaError(f"{op.get('op')!r} needs {what} {key!r}, "
+                         f"got {value!r}")
+    return value
+
+
+def validate_ops(ops) -> List[Mapping]:
+    """Validate a ``POST /delta`` ``ops`` payload; returns it as a list."""
+    if not isinstance(ops, (list, tuple)) or not ops:
+        raise DeltaError("delta needs a non-empty list of ops")
+    out: List[Mapping] = []
+    for op in ops:
+        if not isinstance(op, Mapping):
+            raise DeltaError(f"each op must be an object, got {op!r}")
+        name = op.get("op")
+        if name in ("close_door", "open_door"):
+            _require(op, "did", int, "a door id")
+        elif name in ("seal_partition", "unseal_partition"):
+            _require(op, "pid", int, "a partition id")
+        elif name == "set_schedule":
+            _require(op, "did", int, "a door id")
+            try:
+                DoorSchedule.from_wire(op.get("open", []))
+            except ValueError as exc:
+                raise DeltaError(str(exc)) from None
+        elif name == "clear_schedule":
+            _require(op, "did", int, "a door id")
+        elif name == "set_iword":
+            _require(op, "pid", int, "a partition id")
+            _require(op, "iword", str, "an i-word")
+        elif name == "clear_iword":
+            _require(op, "pid", int, "a partition id")
+        elif name in ("set_twords", "add_twords"):
+            _require(op, "iword", str, "an i-word")
+            twords = op.get("twords")
+            if (not isinstance(twords, (list, tuple))
+                    or not all(isinstance(t, str) for t in twords)):
+                raise DeltaError(f"{name!r} needs a list of t-word "
+                                 f"strings, got {twords!r}")
+        else:
+            raise DeltaError(f"unknown delta op {name!r}")
+        out.append(dict(op))
+    return out
+
+
+def apply_keyword_ops(kindex: KeywordIndex,
+                      ops: Iterable[Mapping]) -> KeywordIndex:
+    """A fresh :class:`KeywordIndex` with ``ops`` applied.
+
+    ``KeywordIndex`` interning is append-only (re-assigning a
+    partition raises), so edits derive a new index: the current
+    assignments and t-word sets are lifted into plain dicts, mutated,
+    and rebuilt in sorted order.  Answers depend only on the set
+    algebra (the bitmask layer is proven equivalent to it), so the
+    rebuilt interning order never shows in results.
+    """
+    assigned: Dict[int, str] = {
+        pid: kindex.p2i(pid) for pid in kindex.labelled_partitions()}
+    twords: Dict[str, set] = {
+        iword: set(kindex.i2t(iword)) for iword in kindex.iwords}
+    for op in ops:
+        name = op.get("op")
+        if name == "set_iword":
+            assigned[op["pid"]] = op["iword"]
+            twords.setdefault(op["iword"], set())
+        elif name == "clear_iword":
+            assigned.pop(op["pid"], None)
+        elif name == "set_twords":
+            twords[op["iword"]] = set(op["twords"])
+        elif name == "add_twords":
+            twords.setdefault(op["iword"], set()).update(op["twords"])
+        elif name in DOOR_OPS:
+            continue
+        else:
+            raise DeltaError(f"unknown keyword op {name!r}")
+    out = KeywordIndex()
+    for pid in sorted(assigned):
+        out.assign_iword(pid, assigned[pid])
+    for iword in sorted(twords):
+        out.add_twords(iword, sorted(twords[iword]))
+    return out
+
+
+class DynamicStore:
+    """Per-venue dynamic views behind one atomic reference swap.
+
+    Readers call :meth:`view` with no lock beyond the dict read (a
+    single reference load — concurrent queries see exactly one view);
+    writers serialise on the store lock, derive the next immutable
+    view, and publish it with one assignment.
+    """
+
+    def __init__(self) -> None:
+        self._views: Dict[str, DynamicView] = {}
+        self._lock = threading.Lock()
+
+    def view(self, venue: str) -> DynamicView:
+        return self._views.get(venue, EMPTY_VIEW)
+
+    def venues(self) -> List[str]:
+        with self._lock:
+            return sorted(self._views)
+
+    def apply(self, venue: str, ops) -> Tuple[DynamicView, DynamicView]:
+        """Derive and immediately publish; returns ``(old, new)``."""
+        old, new = self.derive(venue, ops)
+        self.publish(venue, new)
+        return old, new
+
+    def publish(self, venue: str, view: DynamicView) -> None:
+        """Atomically install ``view`` as the venue's current state.
+
+        The dispatcher derives first, broadcasts keyword edits into
+        every shard, and publishes only after the fleet holds the new
+        keyword version — so no admitted request is ever stamped with
+        a ``keyword_version`` its shard cannot serve.
+        """
+        with self._lock:
+            self._views[venue] = view
+
+    def derive(self, venue: str, ops) -> Tuple[DynamicView, DynamicView]:
+        """The next view ``ops`` would produce, without publishing."""
+        ops = validate_ops(ops)
+        with self._lock:
+            old = self._views.get(venue, EMPTY_VIEW)
+            closed = set(old.overlay.closed_doors)
+            sealed = set(old.overlay.sealed_partitions)
+            schedules = dict(old.schedules)
+            keyword_ops = list(old.keyword_ops)
+            keyword_edits = 0
+            for op in ops:
+                name = op["op"]
+                if name == "close_door":
+                    closed.add(op["did"])
+                elif name == "open_door":
+                    closed.discard(op["did"])
+                elif name == "seal_partition":
+                    sealed.add(op["pid"])
+                elif name == "unseal_partition":
+                    sealed.discard(op["pid"])
+                elif name == "set_schedule":
+                    schedules[op["did"]] = DoorSchedule.from_wire(
+                        op.get("open", []))
+                elif name == "clear_schedule":
+                    schedules.pop(op["did"], None)
+                else:
+                    keyword_ops.append(op)
+                    keyword_edits += 1
+            new = DynamicView(
+                version=old.version + 1,
+                overlay=ClosureOverlay(frozenset(closed), frozenset(sealed)),
+                schedules=tuple(sorted(schedules.items(),
+                                       key=lambda item: item[0])),
+                keyword_version=(old.keyword_version + 1 if keyword_edits
+                                 else old.keyword_version),
+                keyword_ops=tuple(keyword_ops))
+            return old, new
+
+    def drop(self, venue: str) -> None:
+        with self._lock:
+            self._views.pop(venue, None)
+
+    def describe(self) -> Dict[str, Dict]:
+        with self._lock:
+            return {venue: view.describe()
+                    for venue, view in self._views.items()}

@@ -27,10 +27,20 @@ venues** (malls, airports, hospitals) in one fleet:
 * :mod:`repro.serve.metrics` — counters and latency histograms
   rendered in Prometheus text format (venue-labelled),
 * :mod:`repro.serve.server` — a stdlib ``http.server`` surface
-  (``POST /search``, ``POST /ingest``, ``GET /venues``,
-  ``GET /healthz``, ``GET /metrics``, ``GET /debug/traces``) wired to
-  the dispatcher, reachable as ``python -m repro serve`` /
-  ``python -m repro ingest``.
+  (``POST /search``, ``POST /ingest``, ``POST /delta``,
+  ``GET /venues``, ``GET /healthz``, ``GET /metrics``,
+  ``GET /debug/traces``) wired to the dispatcher, reachable as
+  ``python -m repro serve`` / ``python -m repro ingest``.
+
+Dynamic state (:mod:`repro.dynamic`) rides on top: the dispatcher owns
+a per-venue :class:`~repro.dynamic.state.DynamicStore` of versioned
+immutable views (persistent door/partition closures, weekly door
+schedules, keyword edits).  ``POST /delta`` derives the next view,
+broadcasts keyword rewrites into every shard, and publishes it with
+one atomic reference flip — concurrent searches are each answered
+under exactly one ``dynamic_version``.  Closures reach workers as
+compiled banned sets on the request payload, so shard processes stay
+stateless for door state; see ``docs/dynamic.md``.
 
 Every request is traced end to end (:mod:`repro.obs`): the dispatcher
 records admission/generation/dispatch spans, the shard worker ships

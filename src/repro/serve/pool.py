@@ -58,6 +58,8 @@ import zlib
 from typing import (Callable, Dict, List, Mapping, Optional, Sequence,
                     Tuple, Union)
 
+from repro.dynamic.overlay import ClosureOverlay
+from repro.dynamic.state import DeltaError, DynamicStore
 from repro.obs.logging import log_event
 from repro.obs.trace import (STAGE_ADMISSION, STAGE_DECODE, STAGE_DISPATCH,
                              STAGE_ENGINE, STAGE_GENERATION,
@@ -182,16 +184,49 @@ def _shard_worker(shard_id: int,
     crash-path tests; see :mod:`repro.serve.faults`.
     """
     from repro.core.engine import QueryService
+    from repro.dynamic.state import apply_keyword_ops
     from repro.serve.snapshot import _UNSET, load_snapshot, warm_mapped
     from repro.space.graph import DoorGraph
     from repro.space.skeleton import SkeletonIndex
 
     services: Dict[Tuple[str, int], "QueryService"] = {}
+    #: venue -> (keyword_version, cumulative keyword ops) — the last
+    #: delta broadcast this worker saw, replayed onto every generation
+    #: of the venue it loads later (an ingest after a delta).
+    kw_ops: Dict[str, Tuple[int, List[Dict]]] = {}
+    #: (venue, generation, keyword_version) -> sibling QueryService.
+    kw_services: Dict[Tuple[str, int, int], "QueryService"] = {}
     use_mmap = bool(options.get("mmap"))
     spill_dir = options.get("matrix_spill_dir")
     matrix_max_rows = options.get("matrix_max_rows", _UNSET)
     kernel = options.get("kernel")
     injector = FaultInjector(options.get("fault_plan"), shard_id, boot)
+
+    def _service_for(engine) -> "QueryService":
+        return QueryService(
+            engine, workers=1,
+            point_map_capacity=options.get("point_map_capacity", 128),
+            keyword_cache_capacity=options.get("keyword_cache_capacity", 512),
+            answer_cache_capacity=options.get("answer_cache_capacity", 1024))
+
+    def _build_kw_variant(venue: str, generation: int,
+                          kw_version: int, ops: List[Dict]) -> None:
+        """A sibling service whose engine replays the venue's keyword
+        ops onto the pristine snapshot index.  Replay is always from
+        the snapshot (ops are cumulative), so any two workers at the
+        same keyword version hold identical indexes.  Only the two
+        newest versions per ``(venue, generation)`` stay resident —
+        the dispatcher never stamps requests with older ones."""
+        base = services.get((venue, generation))
+        key = (venue, generation, kw_version)
+        if base is None or key in kw_services:
+            return
+        kindex = apply_keyword_ops(base.engine.kindex, ops)
+        kw_services[key] = _service_for(base.engine.keyword_sibling(kindex))
+        stale = sorted(v for (ven, gen, v) in kw_services
+                       if ven == venue and gen == generation)[:-2]
+        for v in stale:
+            kw_services.pop((venue, generation, v), None)
 
     def _load(venue: str, generation: int, path: str) -> float:
         rule = FaultInjector.apply(injector.fire("load"))
@@ -212,11 +247,12 @@ def _shard_worker(shard_id: int,
         # first-touch page-ins off the request path (covers both the
         # initial load and every hot-swap ingest, which land here).
         warm_mapped(engine)
-        services[(venue, generation)] = QueryService(
-            engine, workers=1,
-            point_map_capacity=options.get("point_map_capacity", 128),
-            keyword_cache_capacity=options.get("keyword_cache_capacity", 512),
-            answer_cache_capacity=options.get("answer_cache_capacity", 1024))
+        services[(venue, generation)] = _service_for(engine)
+        recorded = kw_ops.get(venue)
+        if recorded is not None:
+            # A generation ingested after a keyword delta must serve
+            # the venue's current keyword version from its first query.
+            _build_kw_variant(venue, generation, recorded[0], recorded[1])
         return time.perf_counter() - started
 
     FaultInjector.apply(injector.fire("start"))
@@ -292,8 +328,58 @@ def _shard_worker(shard_id: int,
                     # The spill file is per-(engine, shard) scratch —
                     # recomputable rows, deleted with the generation.
                     matrix.close_spill()
+                for key in [k for k in kw_services
+                            if k[:2] == (msg.get("venue"),
+                                         msg.get("generation"))]:
+                    kw_services.pop(key, None)
             responses.put({**base, "status": "ok",
                            "evicted": dropped is not None})
+            continue
+        if kind == "validate":
+            # Id check for door-state deltas: the dispatcher holds no
+            # venue model, so it asks one live shard whether the ids
+            # exist before publishing a persistent overlay (a bogus id
+            # published unchecked would fail every later search).
+            venue = str(msg.get("venue"))
+            engine = next((svc.engine
+                           for (ven, gen), svc in sorted(services.items())
+                           if ven == venue), None)
+            if engine is None:
+                responses.put({**base, "status": "unknown_venue",
+                               "venue": venue})
+                continue
+            responses.put({
+                **base, "status": "ok", "venue": venue,
+                "unknown_doors": sorted(
+                    d for d in (msg.get("doors") or [])
+                    if d not in engine.space.doors),
+                "unknown_partitions": sorted(
+                    p for p in (msg.get("partitions") or [])
+                    if p not in engine.space.partitions)})
+            continue
+        if kind == "delta":
+            # Keyword-delta broadcast: record the venue's cumulative
+            # ops and build the sibling engines for every loaded
+            # generation *before* replying — the dispatcher publishes
+            # the new keyword version only once the fleet has acked,
+            # so no search can arrive stamped with a version this
+            # worker does not hold.
+            venue = str(msg.get("venue"))
+            try:
+                kw_version = int(msg.get("kw_version", 0))
+                ops = [dict(op) for op in (msg.get("ops") or [])]
+                kw_ops[venue] = (kw_version, ops)
+                built = 0
+                for ven, gen in sorted(services):
+                    if ven == venue:
+                        _build_kw_variant(ven, gen, kw_version, ops)
+                        built += 1
+                responses.put({**base, "status": "ok", "venue": venue,
+                               "kw_version": kw_version,
+                               "generations": built})
+            except Exception as exc:
+                responses.put({**base, "status": "error", "venue": venue,
+                               "error": repr(exc)})
             continue
         # -------------------------------------------------- search
         rule = FaultInjector.apply(injector.fire("search"))
@@ -306,6 +392,25 @@ def _shard_worker(shard_id: int,
         if service is None:
             responses.put({**base, "status": "unknown_venue"})
             continue
+        kw_version = int(msg.get("kw_version") or 0)
+        if kw_version:
+            variant = kw_services.get((venue, generation, kw_version))
+            if variant is None:
+                recorded = kw_ops.get(venue)
+                if recorded is not None and recorded[0] == kw_version:
+                    _build_kw_variant(venue, generation, kw_version,
+                                      recorded[1])
+                    variant = kw_services.get(
+                        (venue, generation, kw_version))
+            if variant is None:
+                # Should not happen (publish waits for the fleet ack;
+                # warm restarts replay deltas before serving) — answer
+                # explicitly rather than serving the wrong index.
+                responses.put({**base, "status": "stale_delta",
+                               "kw_version": kw_version})
+                continue
+            service = variant
+        overlay_doc = msg.get("overlay")
         started = time.perf_counter()
         # Worker-side trace sub-tree.  Offsets are relative to the
         # request's *enqueue* instant (the dispatcher's dispatch-span
@@ -349,6 +454,7 @@ def _shard_worker(shard_id: int,
                 engine_trace = EngineTrace(fine=bool(trace_req.get("fine")))
                 engine_start = _offset()
                 answer = service.search(query, msg.get("algorithm", "ToE"),
+                                        overlay=overlay_doc,
                                         trace=engine_trace)
                 engine_ms = _offset() - engine_start
                 trace_spans.append(span_doc(
@@ -358,7 +464,8 @@ def _shard_worker(shard_id: int,
                     **engine_trace.annotations))
             else:
                 query = query_from_wire(msg["query"])
-                answer = service.search(query, msg.get("algorithm", "ToE"))
+                answer = service.search(query, msg.get("algorithm", "ToE"),
+                                        overlay=overlay_doc)
             doc = answer_to_wire(answer)
             doc.update(base)
             doc["status"] = "ok"
@@ -511,6 +618,10 @@ class ShardPool:
         self._assignments: Dict[Tuple[str, int], str] = {
             (venue, 1): path
             for venue, path in self.initial_venues.items()}
+        #: venue -> (keyword_version, cumulative keyword ops): the
+        #: delta manifest a replacement worker replays before serving
+        #: (recorded before each delta broadcast, like assignments).
+        self._dynamic_deltas: Dict[str, Tuple[int, List[Dict]]] = {}
         self._lock = threading.Lock()
         self._ready_cond = threading.Condition(self._lock)
         self._pending: Dict[int, _PendingSlot] = {}
@@ -718,6 +829,16 @@ class ShardPool:
                                          - set(current)):
                     st.queue.put({"kind": "evict", "venue": venue,
                                   "generation": gen})
+                    catch_up += 1
+                # Keyword-delta replay: a fresh worker booted from
+                # pristine snapshots; hand it every venue's recorded
+                # delta before it serves (same FIFO guarantee as the
+                # catch-up loads).  Idempotent on workers that already
+                # saw the broadcast.
+                for venue, (kw_version, ops) in sorted(
+                        self._dynamic_deltas.items()):
+                    st.queue.put({"kind": "delta", "venue": venue,
+                                  "kw_version": kw_version, "ops": ops})
                     catch_up += 1
                 st.state = "up"
                 st.backoff_exp = 0
@@ -989,6 +1110,15 @@ class ShardPool:
         return self.broadcast({"kind": "evict", "venue": str(venue),
                                "generation": int(generation)},
                               timeout=timeout)
+
+    def record_delta(self, venue: str, kw_version: int,
+                     ops: Sequence[Dict]) -> None:
+        """Record a venue's cumulative keyword delta in the
+        warm-restart manifest (call *before* broadcasting it, so a
+        worker dying mid-broadcast is replaced by one that replays)."""
+        with self._lock:
+            self._dynamic_deltas[str(venue)] = (int(kw_version),
+                                                [dict(op) for op in ops])
 
     def stats(self, timeout: float = 30.0) -> List[Dict]:
         """One atomic stats snapshot per live shard (aggregate + per
@@ -1325,6 +1455,11 @@ class ShardDispatcher:
         #: when snapshot files are operator-managed.
         self.gc_keep_last = gc_keep_last
         self._ingest_lock = threading.Lock()
+        #: Per-venue dynamic state (closures, schedules, keyword
+        #: deltas), versioned and swapped atomically; see
+        #: :mod:`repro.dynamic.state` and :meth:`delta`.
+        self.dynamic = DynamicStore()
+        self._delta_lock = threading.Lock()
         pool.add_listener(self._on_pool_event)
 
     # ------------------------------------------------------------------
@@ -1424,9 +1559,20 @@ class ShardDispatcher:
                deadline_s: Optional[float] = None,
                sleep: Optional[float] = None,
                venue: Optional[str] = None,
-               trace: bool = False) -> Dict:
+               trace: bool = False,
+               closures: Optional[Dict] = None,
+               at: Optional[float] = None) -> Dict:
         """Evaluate one wire query through its venue's affinity shard
         (or, when that shard is down, a live sibling).
+
+        ``closures`` is a per-query closure overlay in wire form
+        (``{"closed_doors": [...], "sealed_partitions": [...]}``); it
+        is merged with the venue's persistent overlay and — when
+        ``at`` (a Unix timestamp) is supplied — with the doors whose
+        schedules are closed at that instant.  The effective overlay
+        and the venue's dynamic version are resolved exactly once, at
+        admission, and shipped with the request: every answer reflects
+        exactly one dynamic version, never a blend.
 
         ``trace=True`` forces retention of this request's span tree
         (and the fine engine-stage split) regardless of the sampling
@@ -1447,6 +1593,22 @@ class ShardDispatcher:
                 recorder, {"status": "bad_request", "venue": venue,
                            "error": "query must carry ps and pt"},
                 venue, sampled, forced)
+        try:
+            extra_overlay = ClosureOverlay.from_wire(closures)
+            at = None if at is None else float(at)
+        except (TypeError, ValueError) as exc:
+            self._record("bad_request", venue)
+            return self._finalise_trace(
+                recorder, {"status": "bad_request", "venue": venue,
+                           "error": str(exc)},
+                venue, sampled, forced)
+        # One atomic read of the venue's dynamic state: the effective
+        # overlay, keyword version and dynamic version all come from
+        # this single view reference.
+        dyn = self.dynamic.view(venue)
+        overlay = dyn.effective_overlay(at=at, extra=extra_overlay)
+        if dyn.version:
+            recorder.annotate(dynamic_version=dyn.version)
         with recorder.span(STAGE_ADMISSION) as admission_span:
             if not self.registry.has_venue(venue):
                 admission_span["annotations"]["decision"] = "unknown_venue"
@@ -1520,6 +1682,10 @@ class ShardDispatcher:
             payload: Dict = {"kind": "search", "query": query_doc,
                              "algorithm": algorithm, "venue": venue,
                              "generation": generation.generation}
+            if overlay:
+                payload["overlay"] = overlay.to_wire()
+            if dyn.keyword_version:
+                payload["kw_version"] = dyn.keyword_version
             if limit is not None:
                 payload["deadline"] = time.time() + limit
             if sleep is not None:
@@ -1576,6 +1742,10 @@ class ShardDispatcher:
                     self.metrics.observe("ikrq_shard_search_latency_seconds",
                                          elapsed_shard, shard=shard,
                                          venue=venue)
+            if isinstance(response, dict):
+                # Which dynamic state produced this answer — the
+                # sibling of the snapshot ``generation`` echo.
+                response["dynamic_version"] = dyn.version
             self._record(response.get("status", "error"), venue,
                          recorder.elapsed_ms() / 1000.0)
             return self._finalise_trace(recorder, response, venue,
@@ -1697,6 +1867,130 @@ class ShardDispatcher:
                 "shards_down": len(down),
                 "gc": gc_report,
             }
+
+    # ------------------------------------------------------------------
+    # Dynamic deltas
+    # ------------------------------------------------------------------
+    def delta(self,
+              venue: str,
+              ops: Sequence[Dict],
+              timeout: float = 60.0) -> Dict:
+        """Apply dynamic edit ``ops`` to a venue without re-ingesting.
+
+        Door-state and schedule ops (``close_door`` / ``open_door`` /
+        ``seal_partition`` / ``unseal_partition`` / ``set_schedule`` /
+        ``clear_schedule``) only touch the dispatcher's
+        :class:`~repro.dynamic.state.DynamicStore` — their closures
+        are compiled into each request's banned sets at admission, and
+        every shard cache is keyed by overlay identity, so no
+        invalidation is needed beyond the version bump.  Keyword ops
+        are additionally broadcast into every live shard, where a
+        sibling engine (sharing the mmap'd snapshot indexes) replays
+        them under the new ``keyword_version``.
+
+        Atomicity: the new view is *derived* first, the keyword
+        broadcast runs against the fleet, and only then is the view
+        *published* — a concurrent query sees either the old or the
+        new version in full, never a blend, and is never stamped with
+        a keyword version its shard cannot serve.  One delta at a
+        time; concurrent calls serialise.
+        """
+        venue = str(venue)
+        started = time.perf_counter()
+        if not self.registry.has_venue(venue):
+            return {"status": "unknown_venue", "venue": venue,
+                    "error": f"venue {venue!r} is not hosted here"}
+        with self._delta_lock:
+            try:
+                old, new = self.dynamic.derive(venue, ops)
+            except DeltaError as exc:
+                if self.metrics is not None:
+                    self.metrics.inc("ikrq_delta_total", venue=venue,
+                                     status="bad_request")
+                return {"status": "bad_request", "venue": venue,
+                        "error": str(exc)}
+            doors = sorted(new.overlay.closed_doors
+                           | {did for did, _ in new.schedules})
+            partitions = sorted(new.overlay.sealed_partitions)
+            if doors or partitions:
+                # Ask one live shard whether the ids exist before
+                # anything is published (the dispatcher holds no venue
+                # model); bogus ids must answer bad_request, not break
+                # the venue's traffic.
+                verdict: Optional[Dict] = None
+                for shard in self.pool.live_shards():
+                    verdict = self.pool.call(
+                        shard, {"kind": "validate", "venue": venue,
+                                "doors": doors, "partitions": partitions},
+                        timeout=timeout)
+                    if verdict.get("status") == "ok":
+                        break
+                if verdict is None or verdict.get("status") != "ok":
+                    return {"status": "error", "venue": venue,
+                            "error": "no live shard could validate the "
+                                     "delta ids"}
+                unknown = (list(verdict.get("unknown_doors") or [])
+                           + list(verdict.get("unknown_partitions") or []))
+                if unknown:
+                    if self.metrics is not None:
+                        self.metrics.inc("ikrq_delta_total", venue=venue,
+                                         status="bad_request")
+                    return {
+                        "status": "bad_request", "venue": venue,
+                        "error": (f"unknown ids in delta: doors "
+                                  f"{verdict.get('unknown_doors')}, "
+                                  f"partitions "
+                                  f"{verdict.get('unknown_partitions')}")}
+            reports: List[Dict] = []
+            if new.keyword_version != old.keyword_version:
+                kw_payload = [dict(op) for op in new.keyword_ops]
+                # Manifest first: a worker dying mid-broadcast is
+                # replaced by one that replays the delta before
+                # serving (same ordering as snapshot assignments).
+                self.pool.record_delta(venue, new.keyword_version,
+                                       kw_payload)
+                reports = self.pool.broadcast(
+                    {"kind": "delta", "venue": venue,
+                     "kw_version": new.keyword_version,
+                     "ops": kw_payload}, timeout=timeout)
+                failed = [doc for doc in reports
+                          if doc.get("status") not in ("ok", "shard_down")]
+                if failed:
+                    # Deterministic replay failure (bad op against this
+                    # snapshot): nothing was published, the venue stays
+                    # on the old version everywhere.
+                    self.pool.record_delta(
+                        venue, old.keyword_version,
+                        [dict(op) for op in old.keyword_ops])
+                    if self.metrics is not None:
+                        self.metrics.inc("ikrq_delta_total", venue=venue,
+                                         status="error")
+                    first = failed[0]
+                    return {"status": "error", "venue": venue,
+                            "error": (f"{len(failed)} shard(s) failed to "
+                                      f"apply: {first.get('error', first)}")}
+            self.dynamic.publish(venue, new)
+        log_event(_log, logging.INFO, "delta_applied", venue=venue,
+                  version=new.version,
+                  keyword_version=new.keyword_version,
+                  ops=len(list(ops)),
+                  keyword_broadcast=bool(reports),
+                  closed_doors=len(new.overlay.closed_doors),
+                  sealed_partitions=len(new.overlay.sealed_partitions))
+        if self.metrics is not None:
+            self.metrics.inc("ikrq_delta_total", venue=venue, status="ok")
+        return {
+            "status": "ok",
+            "venue": venue,
+            "version": new.version,
+            "keyword_version": new.keyword_version,
+            "overlay": new.overlay.to_wire(),
+            "scheduled_doors": sorted(did for did, _ in new.schedules),
+            "keyword_broadcast": bool(reports),
+            "shards_applied": sum(1 for doc in reports
+                                  if doc.get("status") == "ok"),
+            "elapsed": time.perf_counter() - started,
+        }
 
     def _collect_garbage(self, venue: str) -> List[Dict]:
         """Apply the ``gc_keep_last`` policy to ``venue``'s generations.

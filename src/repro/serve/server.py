@@ -14,6 +14,16 @@ Endpoints:
   venue's next generation and hot-swap it in (see
   :meth:`~repro.serve.pool.ShardDispatcher.ingest`).  ``wait: false``
   returns ``accepted`` immediately and swaps in a background thread.
+* ``POST /delta`` — body ``{"venue": "mall-a", "ops": [...]}``: apply
+  dynamic edits (door closures, partition seals, door schedules,
+  keyword rewrites — see :mod:`repro.dynamic.state` for the op
+  vocabulary) over the venue's immutable snapshot, without an ingest.
+  The new view is published atomically: every concurrent ``/search``
+  is answered under exactly one ``dynamic_version``, never a blend.
+  ``/search`` bodies may additionally carry per-query ``"closures"``
+  (a ``{"closed_doors": [...], "sealed_partitions": [...]}`` overlay
+  merged on top of the venue's persistent one) and ``"at"`` (a
+  timestamp, seconds; door schedules compile against it).
 * ``GET /venues`` — tenancy control plane: every hosted venue, its
   generations and their lifecycle states, plus per-venue admission
   counters and quotas.
@@ -60,6 +70,7 @@ _STATUS_HTTP = {
     "unknown_venue": 404,
     "overloaded": 503,
     "shard_down": 503,
+    "stale_delta": 503,
     "expired": 504,
     "timeout": 504,
     "error": 500,
@@ -144,6 +155,9 @@ class _Handler(BaseHTTPRequestHandler):
                                                    if quota is not None
                                                    else None)}
                 doc["admission"] = admission
+                dynamic = dispatcher.dynamic.view(doc["venue"])
+                if dynamic.version:
+                    doc["dynamic"] = dynamic.describe()
                 doc["generations"] = [
                     {**gen,
                      **({"memory": memory[(doc["venue"],
@@ -198,7 +212,9 @@ class _Handler(BaseHTTPRequestHandler):
                 algorithm=doc.get("algorithm", "ToE"),
                 deadline_s=doc.get("deadline_s"),
                 venue=doc.get("venue"),
-                trace=bool(doc.get("trace")))
+                trace=bool(doc.get("trace")),
+                closures=doc.get("closures"),
+                at=doc.get("at"))
             response.pop("kind", None)
             code = _STATUS_HTTP.get(response.get("status"), 500)
             self._send_json(code, response)
@@ -210,6 +226,20 @@ class _Handler(BaseHTTPRequestHandler):
             response = self.server.ikrq.ingest(
                 doc.get("venue"), doc.get("snapshot"),
                 wait=doc.get("wait", True))
+            code = _STATUS_HTTP.get(response.get("status"), 500)
+            self._send_json(code, response)
+            return
+        if self.path == "/delta":
+            doc = self._read_body()
+            if doc is None:
+                return
+            venue = doc.get("venue")
+            if not venue or not isinstance(venue, str):
+                self._send_json(400, {"status": "bad_request",
+                                      "error": "delta needs a venue id"})
+                return
+            response = self.server.ikrq.dispatcher.delta(
+                venue, doc.get("ops"))
             code = _STATUS_HTTP.get(response.get("status"), 500)
             self._send_json(code, response)
             return

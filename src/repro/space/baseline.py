@@ -193,12 +193,14 @@ class DictDoorGraph(DoorGraph):
                   banned: Set[int],
                   targets: Optional[Set[int]],
                   bound: float,
-                  forbid: Optional[int]) -> None:
+                  forbid: Optional[int],
+                  banned_partitions=None) -> None:
         adj = self._adj
         settled: Set[int] = set()
         remaining = set(targets) if targets is not None else None
         push = heapq.heappush
         pop = heapq.heappop
+        bp = banned_partitions
         while heap:
             d, u = pop(heap)
             if u in settled:
@@ -210,6 +212,8 @@ class DictDoorGraph(DoorGraph):
                     break
             for v, via, w in adj[u]:
                 if v in banned or v in settled or v == forbid:
+                    continue
+                if bp is not None and via in bp:
                     continue
                 nd = d + w
                 if nd > bound:
@@ -226,9 +230,13 @@ class DictDoorGraph(DoorGraph):
                    seeds: Iterable[Tuple[float, int, Optional[int], int]],
                    banned: Set[int],
                    bound: float,
-                   forbid: Optional[int]) -> None:
+                   forbid: Optional[int],
+                   banned_partitions=None) -> None:
+        bp = banned_partitions
         for w, node, prev, via in seeds:
             if w > bound or node in banned or node == forbid:
+                continue
+            if bp is not None and via in bp:
                 continue
             if w < dist.get(node, INF):
                 dist[node] = w
@@ -269,7 +277,8 @@ class DictDoorGraph(DoorGraph):
         self._dict_run(dist, pred, heap, banned_set, tset, bound, None)
         return dist, pred
 
-    def dijkstra_tree(self, source, bound=INF, workspace=None):
+    def dijkstra_tree(self, source, bound=INF, workspace=None,
+                      banned=None, banned_partitions=None):
         raise NotImplementedError(
             "the dict reference core has no flat-tree results; "
             "use DictDoorMatrix")
@@ -288,7 +297,8 @@ class DictDoorGraph(DoorGraph):
         return routes.get(target)
 
     def multi_target_routes(self, source, first_via, targets, banned=None,
-                            bound=INF, workspace=None):
+                            bound=INF, workspace=None,
+                            banned_partitions=None):
         space = self._space
         index = self._door_index
         tset = {t for t in targets if t in index}
@@ -301,14 +311,17 @@ class DictDoorGraph(DoorGraph):
         pred: Dict[int, Tuple[Optional[int], int]] = {}
         heap: List[Tuple[float, int]] = []
         banned_set = set(banned or ())
-        self._dict_seed(dist, pred, heap, seeds, banned_set, bound, source)
-        self._dict_run(dist, pred, heap, banned_set, tset, bound, source)
+        self._dict_seed(dist, pred, heap, seeds, banned_set, bound, source,
+                        banned_partitions)
+        self._dict_run(dist, pred, heap, banned_set, tset, bound, source,
+                       banned_partitions)
         return self._dict_routes(dist, pred, source, targets, bound)
 
     def _point_run(self, p: Point, host_pid: int,
                    banned: Set[int],
                    targets: Optional[Set[int]],
-                   bound: float):
+                   bound: float,
+                   banned_partitions=None):
         space = self._space
         seeds = [(p.distance_to(space.door(dj).position),
                   dj, None, host_pid)
@@ -316,16 +329,19 @@ class DictDoorGraph(DoorGraph):
         dist: Dict[int, float] = {}
         pred: Dict[int, Tuple[Optional[int], int]] = {}
         heap: List[Tuple[float, int]] = []
-        self._dict_seed(dist, pred, heap, seeds, banned, bound, None)
-        self._dict_run(dist, pred, heap, banned, targets, bound, None)
+        self._dict_seed(dist, pred, heap, seeds, banned, bound, None,
+                        banned_partitions)
+        self._dict_run(dist, pred, heap, banned, targets, bound, None,
+                       banned_partitions)
         return dist, pred
 
     def routes_from_point(self, p, host_pid, targets, banned=None,
-                          bound=INF, workspace=None):
+                          bound=INF, workspace=None,
+                          banned_partitions=None):
         index = self._door_index
         tset = {t for t in targets if t in index}
         dist, pred = self._point_run(p, host_pid, set(banned or ()),
-                                     tset, bound)
+                                     tset, bound, banned_partitions)
         return self._dict_routes(dist, pred, None, targets, bound)
 
     def distances_from_point(self, p, bound=INF, workspace=None):
@@ -333,9 +349,11 @@ class DictDoorGraph(DoorGraph):
         dist, _ = self._point_run(p, host.pid, set(), None, bound)
         return dist
 
-    def point_attachment_map(self, p, workspace=None):
+    def point_attachment_map(self, p, workspace=None,
+                             banned=None, banned_partitions=None):
         host = self._space.host_partition(p)
-        dist, pred = self._point_run(p, host.pid, set(), None, INF)
+        dist, pred = self._point_run(p, host.pid, set(banned or ()),
+                                     None, INF, banned_partitions)
         return host.pid, dist, pred
 
     def point_to_point_distance(self, ps, pt, bound=INF, workspace=None):

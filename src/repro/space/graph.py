@@ -819,17 +819,23 @@ class DoorGraph:
                       source: int,
                       bound: float = INF,
                       workspace: Optional[DijkstraWorkspace] = None,
+                      banned: Optional[FrozenSet[int]] = None,
+                      banned_partitions: Optional[FrozenSet[int]] = None,
                       ) -> FlatTree:
         """Full single-source shortest-path tree as a :class:`FlatTree`.
 
         The array-native sibling of :meth:`dijkstra` for callers that
         keep the result (the :class:`DoorMatrix` rows): the workspace
         run is frozen into flat buffers instead of being materialised
-        as two dicts.
+        as two dicts.  ``banned`` / ``banned_partitions`` scope the
+        tree to a closure overlay; a banned *source* yields an empty
+        tree (overlay-scoped matrices never consult such rows — route
+        tails are always open doors).
         """
         ws = workspace or self.workspace
         self._run_dijkstra(ws, ((0.0, self._door_index[source], _ROOT, -1),),
-                           (), None, bound)
+                           banned or (), None, bound,
+                           banned_partitions=banned_partitions)
         return FlatTree.from_workspace(ws, self)
 
     def shortest_route(self,
@@ -942,6 +948,8 @@ class DoorGraph:
     def point_attachment_map(self,
                              p: Point,
                              workspace: Optional[DijkstraWorkspace] = None,
+                             banned: Optional[FrozenSet[int]] = None,
+                             banned_partitions: Optional[FrozenSet[int]] = None,
                              ) -> Tuple[int, FlatDistMap, FlatPredMap]:
         """The full unbounded point-attachment tree of point ``p``.
 
@@ -956,11 +964,17 @@ class DoorGraph:
         from it without re-running Dijkstra — and the flat layout
         keeps a cached endpoint at ~24 bytes per door instead of two
         dict entries per reached door.
+
+        ``banned`` / ``banned_partitions`` scope the attachment tree
+        to a closure overlay; the caller's cache key must then carry
+        the overlay identity (a pre-closure map answers queries the
+        closure should have rerouted).
         """
         ws = workspace or self.workspace
         host = self._space.host_partition(p)
         self._run_dijkstra(ws, self._point_seeds(p, host.pid),
-                           (), None, INF)
+                           banned or (), None, INF,
+                           banned_partitions=banned_partitions)
         tree = FlatTree.from_workspace(ws, self)
         return host.pid, tree.dist_map(), tree.pred_map()
 
@@ -1040,10 +1054,26 @@ class DoorMatrix:
                  graph: DoorGraph,
                  eager: bool = False,
                  max_rows: Optional[int] = None,
-                 spill_path: Optional[str] = None) -> None:
+                 spill_path: Optional[str] = None,
+                 banned: Optional[FrozenSet[int]] = None,
+                 banned_partitions: Optional[FrozenSet[int]] = None) -> None:
         if max_rows is not None and max_rows < 1:
             raise ValueError("max_rows must be at least 1")
+        # Overlay-scoped matrices (non-empty banned sets) must not
+        # share a spill file: spilled rows are keyed by source door
+        # only, so a row computed under one overlay would be faulted
+        # back — silently wrong — under another.  Each overlay gets
+        # its own in-memory matrix instead (the engine keys them by
+        # overlay identity); refusing here makes the cross-overlay
+        # cache-poisoning bug unrepresentable.
+        if spill_path is not None and (banned or banned_partitions):
+            raise ValueError(
+                "overlay-scoped DoorMatrix cannot use a spill file "
+                "(spilled rows carry no banned-set identity)")
         self._graph = graph
+        self._banned = frozenset(banned) if banned else None
+        self._banned_partitions = (frozenset(banned_partitions)
+                                   if banned_partitions else None)
         self._rows: "OrderedDict[int, FlatTree]" = OrderedDict()
         self._lock = threading.Lock()
         self.max_rows = max_rows
@@ -1086,8 +1116,10 @@ class DoorMatrix:
                 with self._lock:
                     self.spill_misses += 1
         if row is None:
-            row = self._graph.dijkstra_tree(source,
-                                            workspace=self._graph.workspace)
+            row = self._graph.dijkstra_tree(
+                source, workspace=self._graph.workspace,
+                banned=self._banned,
+                banned_partitions=self._banned_partitions)
         with self._lock:
             row = self._rows.setdefault(source, row)
             if self.max_rows is not None:

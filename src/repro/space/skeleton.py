@@ -393,14 +393,23 @@ class SkeletonIndex:
             self,
             hs: Attachment,
             pid: int,
-            ht: Attachment) -> float:
+            ht: Attachment,
+            space=None) -> float:
         """Pruning Rule 3 from precomputed endpoint triples.
 
         The endpoint attachment arrays are computed once per query;
         only the (cached) door triples of the candidate partition vary
         inside the loop.
+
+        ``space`` overrides the topology the ``p2d`` sets are read
+        from — queries under a closure overlay pass their edited view
+        so the bound only considers doors that are actually open.  The
+        head attachments and the δs2s skeleton itself are pure
+        geometry over door positions (closures keep every door), so
+        the same index serves every overlay.
         """
-        space = self._space
+        if space is None:
+            space = self._space
         heads = self._heads
         lbh = self.lower_bound_heads
         best = INF
