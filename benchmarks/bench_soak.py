@@ -1,0 +1,31 @@
+#!/usr/bin/env python
+"""Shell entry point for the open-loop soak harness.
+
+Fixes a deterministic arrival schedule (Poisson or Markov-modulated
+bursty, zipfian tenant mix, ToE/KoE/KoE* query shapes) and fires it at
+the live HTTP fleet regardless of whether the fleet keeps up, so every
+latency is charged from the *intended* send time (no coordinated
+omission).  Runs a stepped SLO-gated saturation search plus a
+venue-wide ``POST /delta`` closure surge with overlay byte-identity,
+and appends one reproducible ``{"mode": "soak"}`` entry to
+``BENCH_throughput.json``::
+
+    PYTHONPATH=src python benchmarks/bench_soak.py --tenants 3 --floors 50
+    PYTHONPATH=src python benchmarks/bench_soak.py --smoke
+
+The harness lives in :mod:`repro.bench.soak` (also reachable as
+``python -m repro.bench soak``) so the CLI, the CI soak-smoke job and
+this script share one implementation.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench.soak import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

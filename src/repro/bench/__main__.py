@@ -76,6 +76,9 @@ EXTRA_DESCRIPTIONS = {
     "chaos": "fault tolerance under fire: SIGKILL live shard workers "
              "mid-stream on a deterministic schedule (zero non-shed "
              "failures, byte-identity, recovery, bounded p99)",
+    "soak": "open-loop arrival-process traffic (Poisson/bursty, zipf "
+            "tenant mix) with coordinated-omission-corrected latency, "
+            "SLO-gated saturation search, and a closure-surge scenario",
 }
 
 
@@ -156,6 +159,11 @@ def main(argv=None) -> int:
         # `python -m repro.bench chaos --shards 3`.
         from repro.bench import chaos as CH
         return CH.main(argv[1:])
+    if argv and argv[0] == "soak":
+        # And the open-loop soak harness (--tenants, --smoke, ...):
+        # `python -m repro.bench soak --tenants 3 --floors 50`.
+        from repro.bench import soak as SK
+        return SK.main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Reproduce the paper's evaluation figures.")
@@ -211,6 +219,9 @@ def main(argv=None) -> int:
     if "chaos" in figures:
         parser.error("run the chaos bench as its own command: "
                      "python -m repro.bench chaos [--kills ...]")
+    if "soak" in figures:
+        parser.error("run the soak harness as its own command: "
+                     "python -m repro.bench soak [--tenants ...]")
     unknown = [f for f in figures
                if f not in E.REGISTRY and f not in EXTRA_DESCRIPTIONS]
     if unknown:

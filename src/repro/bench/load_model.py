@@ -1,0 +1,320 @@
+"""Deterministic open-loop load models for the soak harness.
+
+A closed-loop bench (send, wait, send) hides *coordinated omission*:
+when the server stalls, the generator politely stops offering load, so
+the recorded latencies only describe the requests the server felt like
+accepting.  An **open-loop** generator fixes the send schedule ahead
+of time — arrivals happen when the arrival process says they happen,
+whether or not the fleet is keeping up — and measures every latency
+from the *intended* send time, so a stall is charged to every request
+it delayed.
+
+This module is the pure, unit-testable half of ``repro.bench soak``:
+
+* arrival processes — :func:`poisson_arrivals` (memoryless, the
+  classic open-loop baseline) and :func:`bursty_arrivals` (a
+  Markov-modulated on/off process: exponential ON/OFF dwell times,
+  arrivals only while ON, normalised to the same long-run rate — the
+  flash-crowd shape),
+* a zipfian tenant mix (:func:`zipf_weights`, :func:`pick_weighted`) —
+  a few venues take most of the traffic, the tail stays warm,
+* a query-shape mix over the paper's algorithms (ToE / KoE / KoE*),
+* :func:`build_schedule` — the fully deterministic product of a
+  :class:`LoadModelConfig`: same config → byte-identical schedule,
+  fingerprinted by :func:`schedule_digest` so a recorded trajectory
+  entry can be re-materialised and *verified* from its config alone,
+* coordinated-omission arithmetic — :func:`serialized_completions`
+  (the canonical single-file-server timeline) and
+  :func:`corrected_latencies` (latency from intended send time).
+
+Nothing here talks to a server; :mod:`repro.bench.soak` drives the
+live HTTP fleet with these schedules.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+#: The supported arrival processes.
+ARRIVAL_PROCESSES = ("poisson", "bursty")
+
+#: Default query-shape mix: mostly ToE (the paper's headline), a KoE
+#: share, and a KoE* share to keep the door matrix hot.
+DEFAULT_MIX: Tuple[Tuple[str, float], ...] = (
+    ("ToE", 0.5), ("KoE", 0.3), ("KoE*", 0.2))
+
+
+# ----------------------------------------------------------------------
+# Arrival processes
+# ----------------------------------------------------------------------
+def poisson_arrivals(rate_qps: float,
+                     duration_s: float,
+                     rng: random.Random) -> List[float]:
+    """Homogeneous Poisson arrival times in ``[0, duration_s)``.
+
+    Exponential inter-arrival gaps with mean ``1/rate_qps`` — the
+    memoryless open-loop baseline.
+    """
+    if rate_qps <= 0.0:
+        raise ValueError("rate_qps must be positive")
+    if duration_s <= 0.0:
+        raise ValueError("duration_s must be positive")
+    out: List[float] = []
+    t = rng.expovariate(rate_qps)
+    while t < duration_s:
+        out.append(t)
+        t += rng.expovariate(rate_qps)
+    return out
+
+
+def bursty_arrivals(rate_qps: float,
+                    duration_s: float,
+                    rng: random.Random,
+                    on_s: float = 1.0,
+                    off_s: float = 1.0,
+                    off_rate_fraction: float = 0.0) -> List[float]:
+    """Markov-modulated on/off (interrupted Poisson) arrivals.
+
+    The process alternates ON and OFF phases with exponential dwell
+    times (means ``on_s`` / ``off_s``, starting ON).  While ON,
+    arrivals are Poisson at a boosted rate; while OFF, at
+    ``off_rate_fraction`` of it (0 = silent).  The ON rate is solved
+    so the *long-run* mean offered rate equals ``rate_qps`` — the same
+    nominal load as the Poisson process, delivered in bursts::
+
+        duty    = on_s / (on_s + off_s)
+        rate_on = rate_qps / (duty + (1 - duty) * off_rate_fraction)
+    """
+    if rate_qps <= 0.0:
+        raise ValueError("rate_qps must be positive")
+    if duration_s <= 0.0:
+        raise ValueError("duration_s must be positive")
+    if on_s <= 0.0 or off_s <= 0.0:
+        raise ValueError("on_s and off_s must be positive")
+    if not (0.0 <= off_rate_fraction <= 1.0):
+        raise ValueError("off_rate_fraction must lie in [0, 1]")
+    duty = on_s / (on_s + off_s)
+    rate_on = rate_qps / (duty + (1.0 - duty) * off_rate_fraction)
+    out: List[float] = []
+    t = 0.0
+    on = True
+    while t < duration_s:
+        dwell = rng.expovariate(1.0 / (on_s if on else off_s))
+        end = min(t + dwell, duration_s)
+        rate = rate_on if on else rate_on * off_rate_fraction
+        if rate > 0.0:
+            at = t + rng.expovariate(rate)
+            while at < end:
+                out.append(at)
+                at += rng.expovariate(rate)
+        t = end
+        on = not on
+    return out
+
+
+# ----------------------------------------------------------------------
+# Weighted mixes (tenants, query shapes)
+# ----------------------------------------------------------------------
+def zipf_weights(count: int, s: float = 1.1) -> List[float]:
+    """Normalised zipfian weights ``1/rank^s`` for ranks ``1..count``."""
+    if count < 1:
+        raise ValueError("count must be at least 1")
+    if s < 0.0:
+        raise ValueError("the zipf exponent must be non-negative")
+    raw = [1.0 / ((rank + 1) ** s) for rank in range(count)]
+    total = sum(raw)
+    return [w / total for w in raw]
+
+
+def pick_weighted(choices: Sequence, weights: Sequence[float],
+                  rng: random.Random):
+    """One seeded draw from ``choices`` under ``weights``.
+
+    A plain cumulative scan (no bisect tables): the soak generator
+    draws a few thousand times per phase, and determinism across
+    Python versions matters more than nanoseconds here.
+    """
+    if len(choices) != len(weights) or not choices:
+        raise ValueError("choices and weights must be equal-length and "
+                         "non-empty")
+    point = rng.random() * sum(weights)
+    acc = 0.0
+    for choice, weight in zip(choices, weights):
+        acc += weight
+        if point < acc:
+            return choice
+    return choices[-1]
+
+
+# ----------------------------------------------------------------------
+# Schedules
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Arrival:
+    """One intended request: when, which tenant, what shape, which query.
+
+    ``query`` indexes the venue's distinct query pool — the harness
+    owns the pools; the schedule only names positions in them.
+    """
+
+    at_s: float
+    venue: str
+    algorithm: str
+    query: int
+
+
+@dataclass(frozen=True)
+class LoadModelConfig:
+    """Everything :func:`build_schedule` needs — and therefore
+    everything a trajectory entry must record for the schedule to be
+    reproducible (``same config → byte-identical schedule``).
+    """
+
+    rate_qps: float
+    duration_s: float
+    venues: Tuple[str, ...]
+    pool: int
+    seed: int
+    process: str = "poisson"
+    zipf_s: float = 1.1
+    mix: Tuple[Tuple[str, float], ...] = DEFAULT_MIX
+    on_s: float = 1.0
+    off_s: float = 1.0
+    off_rate_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.process not in ARRIVAL_PROCESSES:
+            raise ValueError(f"unknown arrival process {self.process!r}; "
+                             f"choose from {ARRIVAL_PROCESSES}")
+        if not self.venues:
+            raise ValueError("at least one venue is required")
+        if self.pool < 1:
+            raise ValueError("pool must be at least 1")
+        if not self.mix or not all(
+                isinstance(name, str) and weight > 0.0
+                for name, weight in self.mix):
+            raise ValueError("mix must be non-empty (algorithm, "
+                             "positive weight) pairs")
+        object.__setattr__(self, "venues", tuple(self.venues))
+        object.__setattr__(self, "mix",
+                           tuple((str(n), float(w)) for n, w in self.mix))
+
+    def to_doc(self) -> Dict:
+        """The JSON-safe form recorded in trajectory entries."""
+        return {
+            "rate_qps": self.rate_qps,
+            "duration_s": self.duration_s,
+            "venues": list(self.venues),
+            "pool": self.pool,
+            "seed": self.seed,
+            "process": self.process,
+            "zipf_s": self.zipf_s,
+            "mix": [[name, weight] for name, weight in self.mix],
+            "on_s": self.on_s,
+            "off_s": self.off_s,
+            "off_rate_fraction": self.off_rate_fraction,
+        }
+
+    @classmethod
+    def from_doc(cls, doc: Mapping) -> "LoadModelConfig":
+        """Re-materialise a config from a recorded trajectory entry."""
+        return cls(
+            rate_qps=doc["rate_qps"],
+            duration_s=doc["duration_s"],
+            venues=tuple(doc["venues"]),
+            pool=doc["pool"],
+            seed=doc["seed"],
+            process=doc.get("process", "poisson"),
+            zipf_s=doc.get("zipf_s", 1.1),
+            mix=tuple((name, weight) for name, weight in
+                      doc.get("mix", DEFAULT_MIX)),
+            on_s=doc.get("on_s", 1.0),
+            off_s=doc.get("off_s", 1.0),
+            off_rate_fraction=doc.get("off_rate_fraction", 0.0))
+
+
+def build_schedule(cfg: LoadModelConfig) -> List[Arrival]:
+    """The deterministic arrival schedule of ``cfg``.
+
+    One :class:`random.Random` seeded with ``cfg.seed`` drives the
+    arrival process first, then the per-arrival tenant / shape / query
+    draws — so two builds of the same config agree arrival by arrival.
+    """
+    rng = random.Random(cfg.seed)
+    if cfg.process == "poisson":
+        times = poisson_arrivals(cfg.rate_qps, cfg.duration_s, rng)
+    else:
+        times = bursty_arrivals(cfg.rate_qps, cfg.duration_s, rng,
+                                on_s=cfg.on_s, off_s=cfg.off_s,
+                                off_rate_fraction=cfg.off_rate_fraction)
+    venue_weights = zipf_weights(len(cfg.venues), cfg.zipf_s)
+    algorithms = [name for name, _ in cfg.mix]
+    algo_weights = [weight for _, weight in cfg.mix]
+    return [Arrival(at_s=at,
+                    venue=pick_weighted(cfg.venues, venue_weights, rng),
+                    algorithm=pick_weighted(algorithms, algo_weights, rng),
+                    query=rng.randrange(cfg.pool))
+            for at in times]
+
+
+def schedule_digest(schedule: Sequence[Arrival]) -> str:
+    """A stable fingerprint of a schedule (sha256, hex).
+
+    Arrival times are rounded to the nanosecond before hashing so the
+    digest survives JSON round-trips of the recorded config.
+    """
+    doc = [[round(a.at_s, 9), a.venue, a.algorithm, a.query]
+           for a in schedule]
+    blob = json.dumps(doc, separators=(",", ":")).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Coordinated-omission arithmetic
+# ----------------------------------------------------------------------
+def serialized_completions(intended: Sequence[float],
+                           service_s: Sequence[float]) -> List[float]:
+    """Completion times of a single-file server — the canonical
+    coordinated-omission scenario.
+
+    Request ``i`` *starts* at ``max(intended[i], previous completion)``
+    and finishes ``service_s[i]`` later.  A closed-loop bench would
+    report each request's bare service time; the corrected view
+    (:func:`corrected_latencies`) charges the queueing delay a stalled
+    server imposed on every request behind it.
+    """
+    if len(intended) != len(service_s):
+        raise ValueError("intended and service_s must be equal length")
+    out: List[float] = []
+    free = 0.0
+    for at, service in zip(intended, service_s):
+        if service < 0.0:
+            raise ValueError("service times must be non-negative")
+        start = max(at, free)
+        free = start + service
+        out.append(free)
+    return out
+
+
+def corrected_latencies(intended: Sequence[float],
+                        completions: Sequence[float]) -> List[float]:
+    """Latency from *intended* send time: ``completion - intended``.
+
+    This is the coordinated-omission-corrected latency: if the
+    generator (or the server's accept queue) delayed the actual send,
+    the wait still counts, because the user who asked at ``intended``
+    experienced it.
+    """
+    if len(intended) != len(completions):
+        raise ValueError("intended and completions must be equal length")
+    out: List[float] = []
+    for at, done in zip(intended, completions):
+        if done < at:
+            raise ValueError(f"completion {done} precedes its intended "
+                             f"send time {at}")
+        out.append(done - at)
+    return out

@@ -1,0 +1,708 @@
+"""Open-loop soak harness: SLO-gated saturation search over the HTTP fleet.
+
+``repro.bench soak`` is the traffic-scale proving ground the closed-
+loop benches cannot be: it fixes an arrival schedule ahead of time
+(:mod:`repro.bench.load_model`) and fires it at a live
+:class:`~repro.serve.server.IKRQServer` over real HTTP, whether or not
+the fleet keeps up — so every latency is measured from the *intended*
+send time and coordinated omission cannot hide a stall.
+
+One run:
+
+1. builds ``--tenants`` synthetic malls (default **50 floors** each),
+   bakes binary snapshots, and computes every distinct query's answer
+   per algorithm shape with sequential per-venue engines — the
+   byte-identity spot-check reference,
+2. starts the sharded HTTP fleet (``repro serve``'s server class) and
+   drives a **stepped saturation search**: each step replays a
+   deterministic open-loop schedule (Poisson or bursty arrivals, a
+   zipfian tenant mix, ToE/KoE/KoE* query shapes) at a higher offered
+   qps for ``--step-duration`` seconds, measuring offered vs. achieved
+   qps, shed rate, and p50/p95/p99 latency from intended send time,
+3. gates each step on the **SLOs** — corrected p99 ≤ budget, shed
+   rate ≤ budget, zero non-shed failures, byte-identity spot checks —
+   and records the max offered qps that passed (the fleet's honest
+   saturation point),
+4. runs a **surge scenario**: a venue-wide ``POST /delta`` closure
+   event against the zipf-hottest tenant, followed by a bursty mass
+   re-query storm through the overlay path; every ``ok`` answer must
+   be byte-identical to a from-scratch reference engine built on the
+   physically-edited venue (``apply_closures``), and the phase is
+   gated on recovery time — the first post-delta second from which the
+   SLOs hold again,
+5. appends one ``{"mode": "soak"}`` entry to ``BENCH_throughput.json``
+   with the full config (seeds, arrival process, mixes, SLO budgets)
+   and each phase's schedule digest, so any run can be re-materialised
+   and verified from the trajectory alone.
+
+Run it from the shell::
+
+    python -m repro.bench soak --tenants 3 --floors 50
+    python -m repro.bench soak --smoke        # seconds-scale CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.bench.load_model import (DEFAULT_MIX, Arrival, LoadModelConfig,
+                                    build_schedule, schedule_digest,
+                                    zipf_weights)
+from repro.bench.throughput import (DEFAULT_ARTIFACT, append_trajectory,
+                                    build_stream, latency_percentiles)
+from repro.core.engine import IKRQEngine, canonical_algorithm
+from repro.datasets.synth import (build_synth_mall, mall_stats,
+                                  tenant_mall_configs)
+from repro.dynamic import ClosureOverlay, apply_closures
+from repro.obs import setup_serve_logging
+from repro.serve import (answer_to_wire, canonical_json, query_to_wire,
+                         save_snapshot)
+from repro.serve.server import IKRQServer
+
+#: Statuses that are not failures: answered, or deliberately shed.
+_ACCEPTABLE = ("ok", "overloaded")
+
+
+# ----------------------------------------------------------------------
+# SLO gates
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SLOGates:
+    """The pass/fail budgets a phase is judged against.
+
+    ``p99_ms`` applies to the coordinated-omission-corrected p99 (from
+    intended send time) of ``ok`` answers; ``max_shed_rate`` to the
+    fraction of arrivals shed by admission control; non-shed failures
+    and identity mismatches are never tolerated.
+    """
+
+    p99_ms: float = 1500.0
+    max_shed_rate: float = 0.01
+
+    def evaluate(self, phase: Mapping) -> Dict:
+        """Judge one phase record; returns the per-gate verdicts."""
+        corrected = phase.get("latency_from_intended_ms") or {}
+        gates = {
+            "p99_within_budget": (corrected.get("p99_ms", float("inf"))
+                                  <= self.p99_ms),
+            "shed_within_budget": phase.get("shed_rate", 1.0)
+                                  <= self.max_shed_rate,
+            "zero_non_shed_failures": phase.get("failed", 1) == 0,
+            "spot_checks_identical": (phase.get("spot_checks", {})
+                                      .get("mismatches", 1) == 0),
+        }
+        gates["passed"] = all(gates.values())
+        return gates
+
+    def to_doc(self) -> Dict:
+        return {"p99_ms": self.p99_ms,
+                "max_shed_rate": self.max_shed_rate}
+
+
+# ----------------------------------------------------------------------
+# Tenants
+# ----------------------------------------------------------------------
+class _Tenant:
+    """One venue's local truth: engine, query pool, expected answers."""
+
+    def __init__(self, venue: str, engine: IKRQEngine,
+                 queries: Sequence, algorithms: Sequence[str]) -> None:
+        self.venue = venue
+        self.engine = engine
+        self.queries = list(queries)
+        self.wire = [query_to_wire(q) for q in self.queries]
+        #: ``(algorithm, query index) -> canonical answer JSON``.
+        self.expected: Dict[Tuple[str, int], str] = {}
+        for algorithm in algorithms:
+            for i, query in enumerate(self.queries):
+                answer = engine.search(query, algorithm)
+                self.expected[(algorithm, i)] = canonical_json(
+                    answer_to_wire(answer))
+
+    def surge_expected(self, overlay: ClosureOverlay,
+                       algorithms: Sequence[str],
+                       ) -> Dict[Tuple[str, int], str]:
+        """Expected answers on the physically-edited venue.
+
+        A from-scratch engine on ``apply_closures`` — the PR 9
+        byte-identity reference for the overlay path; nothing is
+        shared with the serving fleet.
+        """
+        edited = apply_closures(self.engine.space, overlay)
+        reference = IKRQEngine(edited, self.engine.kindex,
+                               door_matrix_eager=False)
+        out: Dict[Tuple[str, int], str] = {}
+        for algorithm in algorithms:
+            for i, query in enumerate(self.queries):
+                answer = reference.search(query, algorithm)
+                out[(algorithm, i)] = canonical_json(
+                    answer_to_wire(answer))
+        return out
+
+
+# ----------------------------------------------------------------------
+# HTTP plumbing
+# ----------------------------------------------------------------------
+def _post_json(base: str, path: str, doc: Dict,
+               timeout: float = 30.0) -> Dict:
+    body = json.dumps(doc).encode("utf-8")
+    request = urllib.request.Request(
+        base + path, data=body,
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as resp:
+            return json.loads(resp.read())
+    except urllib.error.HTTPError as err:
+        try:
+            return json.loads(err.read())
+        except (ValueError, OSError):
+            return {"status": "error", "error": f"HTTP {err.code}"}
+    except (urllib.error.URLError, OSError, ValueError) as exc:
+        # A transport-level drop is a hard failure, never a shed.
+        return {"status": "transport_error", "error": repr(exc)}
+
+
+# ----------------------------------------------------------------------
+# Open-loop phase execution
+# ----------------------------------------------------------------------
+def _run_phase(base: str,
+               tenants: Mapping[str, _Tenant],
+               schedule: Sequence[Arrival],
+               concurrency: int,
+               spot_check_every: int = 4,
+               expected_override: Optional[Mapping] = None,
+               request_timeout: float = 30.0) -> List[Dict]:
+    """Fire one schedule open-loop; returns one sample per arrival.
+
+    The pacing loop sleeps until each arrival's intended time and
+    hands the request to a worker pool *without waiting for earlier
+    requests* — when the fleet falls behind, requests queue and their
+    latency-from-intended grows, exactly as a real user would see.
+    Every ``spot_check_every``-th ``ok`` answer is byte-compared
+    against the tenant's sequential reference.
+    """
+    samples: List[Dict] = []
+    lock = threading.Lock()
+
+    def fire(arrival: Arrival, t0: float) -> None:
+        started = time.perf_counter() - t0
+        tenant = tenants[arrival.venue]
+        response = _post_json(base, "/search", {
+            "venue": arrival.venue,
+            "query": tenant.wire[arrival.query],
+            "algorithm": arrival.algorithm,
+        }, timeout=request_timeout)
+        ended = time.perf_counter() - t0
+        status = response.get("status", "error")
+        sample = {"intended": arrival.at_s, "started": started,
+                  "ended": ended, "status": status,
+                  "venue": arrival.venue,
+                  "algorithm": arrival.algorithm,
+                  "checked": False, "identical": None}
+        if status == "ok":
+            index = len(samples)  # benign race: sampling cadence only
+            if spot_check_every > 0 and index % spot_check_every == 0:
+                expected = (expected_override if expected_override
+                            is not None else tenant.expected)
+                got = canonical_json(
+                    {"algorithm": response.get("algorithm"),
+                     "routes": response.get("routes")})
+                key = (canonical_algorithm(arrival.algorithm),
+                       arrival.query)
+                sample["checked"] = True
+                sample["identical"] = got == expected[key]
+        with lock:
+            samples.append(sample)
+
+    with ThreadPoolExecutor(max_workers=concurrency,
+                            thread_name_prefix="soak") as executor:
+        t0 = time.perf_counter()
+        futures = []
+        for arrival in schedule:
+            delay = arrival.at_s - (time.perf_counter() - t0)
+            if delay > 0.0:
+                time.sleep(delay)
+            futures.append(executor.submit(fire, arrival, t0))
+        for future in futures:
+            future.result()
+    return samples
+
+
+def _phase_stats(schedule: Sequence[Arrival],
+                 samples: Sequence[Dict],
+                 duration_s: float) -> Dict:
+    """Offered vs. achieved qps, shed rate, corrected percentiles."""
+    statuses: Dict[str, int] = {}
+    for sample in samples:
+        statuses[sample["status"]] = statuses.get(sample["status"], 0) + 1
+    answered = statuses.get("ok", 0)
+    shed = statuses.get("overloaded", 0)
+    failed = sum(count for status, count in statuses.items()
+                 if status not in _ACCEPTABLE)
+    wall = max([duration_s] + [s["ended"] for s in samples])
+    ok = [s for s in samples if s["status"] == "ok"]
+    checked = [s for s in samples if s["checked"]]
+    return {
+        "arrivals": len(schedule),
+        "duration_s": duration_s,
+        "offered_qps": len(schedule) / duration_s if duration_s else 0.0,
+        "achieved_qps": answered / wall if wall else 0.0,
+        "statuses": dict(sorted(statuses.items())),
+        "shed": shed,
+        "shed_rate": shed / len(samples) if samples else 0.0,
+        "failed": failed,
+        # The headline numbers: latency charged from the *intended*
+        # send time (coordinated-omission-corrected) next to the
+        # conventional from-actual-send view, so the gap itself is
+        # visible in the trajectory.
+        "latency_from_intended_ms": latency_percentiles(
+            [s["ended"] - s["intended"] for s in ok]),
+        "latency_from_send_ms": latency_percentiles(
+            [s["ended"] - s["started"] for s in ok]),
+        "send_lag_ms": latency_percentiles(
+            [s["started"] - s["intended"] for s in samples]),
+        "spot_checks": {
+            "checked": len(checked),
+            "mismatches": sum(1 for s in checked if not s["identical"]),
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# Surge scenario
+# ----------------------------------------------------------------------
+def _surge_overlay(tenant: _Tenant, close_fraction: float,
+                   ) -> Tuple[ClosureOverlay, List[Dict]]:
+    """A venue-wide closure event: every k-th door closes at once.
+
+    Deterministic (sorted door ids, evenly strided) so the recorded
+    config reproduces the exact overlay; hallway-spread closures are
+    the evacuation shape — many routes lose a leg simultaneously.
+    """
+    doors = sorted(tenant.engine.space.doors)
+    count = max(1, int(len(doors) * close_fraction))
+    stride = max(1, len(doors) // count)
+    closed = doors[::stride][:count]
+    ops = [{"op": "close_door", "did": did} for did in closed]
+    return ClosureOverlay(frozenset(closed)), ops
+
+
+def _recovery_seconds(samples: Sequence[Dict],
+                      gates: SLOGates,
+                      duration_s: float) -> Optional[float]:
+    """The first post-delta second from which the SLOs hold for good.
+
+    Samples are bucketed by intended send second; recovery is the
+    earliest bucket such that every bucket from it on meets the
+    corrected-p99 budget with zero non-shed failures.  ``None`` means
+    the fleet never stabilised inside the surge window.
+    """
+    buckets: Dict[int, List[Dict]] = {}
+    for sample in samples:
+        buckets.setdefault(int(sample["intended"]), []).append(sample)
+    if not buckets:
+        return None
+    healthy: Dict[int, bool] = {}
+    # Only real seconds of the window: a zero-width trailing bucket
+    # must not "recover" a failure in the last occupied second.
+    last = max(int(duration_s - 1e-9), max(buckets))
+    for second in range(last + 1):
+        members = buckets.get(second)
+        if not members:
+            healthy[second] = True  # an idle second is a healthy one
+            continue
+        ok = [s for s in members if s["status"] == "ok"]
+        failed = sum(1 for s in members
+                     if s["status"] not in _ACCEPTABLE)
+        pct = latency_percentiles(
+            [s["ended"] - s["intended"] for s in ok])
+        healthy[second] = (failed == 0
+                           and pct.get("p99_ms", float("inf"))
+                           <= gates.p99_ms)
+    recovery = None
+    for second in sorted(healthy, reverse=True):
+        if not healthy[second]:
+            break
+        recovery = float(second)
+    return recovery
+
+
+# ----------------------------------------------------------------------
+# The harness
+# ----------------------------------------------------------------------
+def run_soak(tenants: int = 3,
+             floors: int = 50,
+             rooms_per_floor: int = 16,
+             words_per_room: int = 3,
+             shards: int = 2,
+             pool: int = 6,
+             endpoints: int = 4,
+             process: str = "poisson",
+             zipf_s: float = 1.1,
+             mix: Tuple[Tuple[str, float], ...] = DEFAULT_MIX,
+             start_qps: float = 8.0,
+             qps_step: float = 2.0,
+             max_steps: int = 5,
+             step_duration_s: float = 10.0,
+             concurrency: int = 32,
+             max_pending: int = 64,
+             slo: Optional[SLOGates] = None,
+             spot_check_every: int = 4,
+             surge: bool = True,
+             surge_duration_s: float = 8.0,
+             surge_rate_factor: float = 1.5,
+             surge_close_fraction: float = 0.15,
+             seed: int = 11) -> Dict:
+    """The soak workload; returns one trajectory entry."""
+    if qps_step <= 1.0:
+        raise ValueError("qps_step must be > 1 (each step raises the "
+                         "offered rate)")
+    slo = slo or SLOGates()
+    mix = tuple((canonical_algorithm(name), float(weight))
+                for name, weight in mix)
+    algorithms = [name for name, _ in mix]
+    configs = tenant_mall_configs(
+        tenants, floors=floors, rooms_per_floor=rooms_per_floor,
+        words_per_room=words_per_room, seed=seed)
+
+    fleet: Dict[str, _Tenant] = {}
+    phases: List[Dict] = []
+    surge_doc: Optional[Dict] = None
+    with tempfile.TemporaryDirectory(prefix="repro-soak-") as tmp:
+        snapshot_paths: Dict[str, str] = {}
+        for i, (venue, cfg) in enumerate(sorted(configs.items())):
+            space, kindex = build_synth_mall(cfg)
+            engine = IKRQEngine(space, kindex, door_matrix_eager=False)
+            queries = build_stream(engine, pool=pool, repeat=1,
+                                   endpoints=endpoints, seed=seed + i)
+            fleet[venue] = _Tenant(venue, engine, queries, algorithms)
+            path = os.path.join(tmp, f"{venue}.snap.bin")
+            save_snapshot(path, engine, binary=True)
+            snapshot_paths[venue] = path
+        venue_names = tuple(sorted(fleet))
+
+        with IKRQServer(venues=snapshot_paths, workers=shards,
+                        max_pending=max_pending) as server:
+            host, port = server.start()
+            base = f"http://{host}:{port}"
+
+            # Warm every (venue, algorithm, query) outside the timed
+            # phases — caches, attachment maps, matrix rows.
+            for venue, tenant in fleet.items():
+                for algorithm in algorithms:
+                    for doc in tenant.wire:
+                        _post_json(base, "/search",
+                                   {"venue": venue, "query": doc,
+                                    "algorithm": algorithm})
+
+            # ----------------------------------------------------------
+            # Stepped saturation search
+            # ----------------------------------------------------------
+            saturation_qps = 0.0
+            for step in range(max_steps):
+                rate = start_qps * (qps_step ** step)
+                cfg = LoadModelConfig(
+                    rate_qps=rate, duration_s=step_duration_s,
+                    venues=venue_names, pool=pool,
+                    seed=seed + 1000 * (step + 1),
+                    process=process, zipf_s=zipf_s, mix=mix)
+                schedule = build_schedule(cfg)
+                samples = _run_phase(base, fleet, schedule, concurrency,
+                                     spot_check_every=spot_check_every)
+                phase = {"phase": f"step-{step + 1}",
+                         "config": cfg.to_doc(),
+                         "schedule_sha256": schedule_digest(schedule),
+                         **_phase_stats(schedule, samples,
+                                        step_duration_s)}
+                phase["gates"] = slo.evaluate(phase)
+                phase["passed"] = phase["gates"]["passed"]
+                phases.append(phase)
+                if phase["passed"]:
+                    saturation_qps = max(saturation_qps,
+                                         phase["offered_qps"])
+                else:
+                    break  # past saturation: record the failure, stop
+
+            # ----------------------------------------------------------
+            # Surge: venue-wide closure event + mass re-queries
+            # ----------------------------------------------------------
+            if surge:
+                surge_venue = venue_names[0]  # the zipf-hottest tenant
+                tenant = fleet[surge_venue]
+                overlay, ops = _surge_overlay(tenant,
+                                              surge_close_fraction)
+                expected = tenant.surge_expected(overlay, algorithms)
+                surge_rate = max(start_qps,
+                                 saturation_qps) * surge_rate_factor
+                cfg = LoadModelConfig(
+                    rate_qps=surge_rate, duration_s=surge_duration_s,
+                    venues=(surge_venue,), pool=pool,
+                    seed=seed + 777_000, process="bursty",
+                    zipf_s=zipf_s, mix=mix,
+                    on_s=max(0.5, surge_duration_s / 8.0),
+                    off_s=max(0.25, surge_duration_s / 16.0))
+                schedule = build_schedule(cfg)
+                applied = _post_json(base, "/delta",
+                                     {"venue": surge_venue, "ops": ops})
+                samples = _run_phase(
+                    base, fleet, schedule, concurrency,
+                    spot_check_every=1,  # every answer is identity-gated
+                    expected_override=expected)
+                recovery_s = _recovery_seconds(samples, slo,
+                                               surge_duration_s)
+                surge_doc = {
+                    "phase": "surge",
+                    "venue": surge_venue,
+                    "closed_doors": len(overlay.closed_doors),
+                    "close_fraction": surge_close_fraction,
+                    "delta_status": applied.get("status"),
+                    "dynamic_version": applied.get("version"),
+                    "config": cfg.to_doc(),
+                    "schedule_sha256": schedule_digest(schedule),
+                    **_phase_stats(schedule, samples, surge_duration_s),
+                    "recovery_s": recovery_s,
+                }
+                surge_doc["overlay_identical"] = (
+                    applied.get("status") == "ok"
+                    and surge_doc["spot_checks"]["mismatches"] == 0
+                    and surge_doc["spot_checks"]["checked"] > 0)
+                surge_doc["recovered"] = recovery_s is not None
+
+    # ------------------------------------------------------------------
+    # Verdicts + entry
+    # ------------------------------------------------------------------
+    total_failed = (sum(p["failed"] for p in phases)
+                    + (surge_doc["failed"] if surge_doc else 0))
+    total_mismatches = (
+        sum(p["spot_checks"]["mismatches"] for p in phases)
+        + (surge_doc["spot_checks"]["mismatches"] if surge_doc else 0))
+    entry = {
+        "mode": "soak",
+        "config": {
+            "seed": seed,
+            "tenants": tenants,
+            "floors": floors,
+            "rooms_per_floor": rooms_per_floor,
+            "words_per_room": words_per_room,
+            "shards": shards,
+            "pool": pool,
+            "endpoints": endpoints,
+            "process": process,
+            "zipf_s": zipf_s,
+            "mix": [[name, weight] for name, weight in mix],
+            "start_qps": start_qps,
+            "qps_step": qps_step,
+            "max_steps": max_steps,
+            "step_duration_s": step_duration_s,
+            "concurrency": concurrency,
+            "max_pending": max_pending,
+            "spot_check_every": spot_check_every,
+            "surge_duration_s": surge_duration_s,
+            "surge_rate_factor": surge_rate_factor,
+            "surge_close_fraction": surge_close_fraction,
+        },
+        "slo": slo.to_doc(),
+        "tenant_weights": dict(zip(
+            sorted(fleet), zipf_weights(len(fleet), zipf_s))),
+        "venues": {venue: mall_stats(t.engine.space, t.engine.kindex)
+                   for venue, t in fleet.items()},
+        "phases": phases,
+        "saturation_qps": saturation_qps,
+        "surge": surge_doc,
+        "slo_gates_met": bool(phases) and phases[0]["passed"],
+        "zero_non_shed_failures": total_failed == 0,
+        "verified_identical": total_mismatches > -1
+                              and total_mismatches == 0,
+        "surge_recovered": (surge_doc is None
+                            or bool(surge_doc["recovered"])),
+        "surge_overlay_identical": (surge_doc is None
+                                    or bool(
+                                        surge_doc["overlay_identical"])),
+    }
+    return entry
+
+
+def soak_verdict(entry: Mapping) -> bool:
+    """The overall pass/fail of a soak entry (the exit-code gate)."""
+    return bool(entry["slo_gates_met"]
+                and entry["zero_non_shed_failures"]
+                and entry["verified_identical"]
+                and entry["surge_recovered"]
+                and entry["surge_overlay_identical"])
+
+
+def format_soak_report(entry: Mapping) -> str:
+    config = entry["config"]
+    lines = [
+        f"tenants={config['tenants']} floors={config['floors']} "
+        f"shards={config['shards']} process={config['process']} "
+        f"zipf_s={config['zipf_s']} seed={config['seed']}",
+    ]
+    for phase in entry["phases"]:
+        corrected = phase["latency_from_intended_ms"] or {}
+        raw = phase["latency_from_send_ms"] or {}
+        lines.append(
+            f"  {phase['phase']:8s}: offered {phase['offered_qps']:7.1f}"
+            f" q/s, achieved {phase['achieved_qps']:7.1f} q/s, shed "
+            f"{phase['shed_rate'] * 100.0:4.1f}%, corrected p99 "
+            f"{corrected.get('p99_ms', float('nan')):8.2f} ms (send-"
+            f"relative {raw.get('p99_ms', float('nan')):8.2f} ms) -> "
+            f"{'PASS' if phase['passed'] else 'FAIL'}")
+    lines.append(f"  saturation: {entry['saturation_qps']:.1f} q/s "
+                 f"offered within SLO (p99 <= "
+                 f"{entry['slo']['p99_ms']:.0f} ms, shed <= "
+                 f"{entry['slo']['max_shed_rate'] * 100.0:.1f}%)")
+    surge_doc = entry.get("surge")
+    if surge_doc:
+        corrected = surge_doc["latency_from_intended_ms"] or {}
+        lines.append(
+            f"  surge     : {surge_doc['closed_doors']} doors closed on "
+            f"{surge_doc['venue']}, offered "
+            f"{surge_doc['offered_qps']:.1f} q/s bursty, corrected p99 "
+            f"{corrected.get('p99_ms', float('nan')):.2f} ms, recovery "
+            f"{surge_doc['recovery_s']}s, overlay answers identical: "
+            f"{surge_doc['overlay_identical']} "
+            f"({surge_doc['spot_checks']['checked']} checked)")
+    lines.append(
+        f"  verdicts  : slo_gates_met={entry['slo_gates_met']} "
+        f"zero_non_shed_failures={entry['zero_non_shed_failures']} "
+        f"byte-identical={entry['verified_identical']} "
+        f"surge_recovered={entry['surge_recovered']} "
+        f"surge_overlay_identical={entry['surge_overlay_identical']}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Open-loop soak: arrival-process traffic against "
+                    "the live HTTP fleet, SLO-gated saturation search "
+                    "plus a venue-wide closure surge.")
+    parser.add_argument("--tenants", type=int, default=3,
+                        help="co-hosted synthetic venues (default 3)")
+    parser.add_argument("--floors", type=int, default=50,
+                        help="floors per venue (default 50)")
+    parser.add_argument("--rooms-per-floor", type=int, default=16)
+    parser.add_argument("--words-per-room", type=int, default=3)
+    parser.add_argument("--shards", type=int, default=2,
+                        help="shard worker processes (default 2)")
+    parser.add_argument("--pool", type=int, default=6,
+                        help="distinct queries per venue")
+    parser.add_argument("--endpoints", type=int, default=4)
+    parser.add_argument("--process", default="poisson",
+                        choices=("poisson", "bursty"),
+                        help="arrival process for the saturation steps")
+    parser.add_argument("--zipf-s", type=float, default=1.1,
+                        help="zipf exponent of the tenant mix")
+    parser.add_argument("--start-qps", type=float, default=8.0,
+                        help="offered rate of the first step")
+    parser.add_argument("--qps-step", type=float, default=2.0,
+                        help="multiplicative rate step (> 1)")
+    parser.add_argument("--max-steps", type=int, default=5)
+    parser.add_argument("--step-duration", type=float, default=10.0,
+                        help="seconds per saturation step")
+    parser.add_argument("--concurrency", type=int, default=32,
+                        help="max in-flight open-loop requests")
+    parser.add_argument("--max-pending", type=int, default=64,
+                        help="pool-wide admission queue depth")
+    parser.add_argument("--p99-budget-ms", type=float, default=1500.0,
+                        help="SLO: corrected p99 budget (default 1500)")
+    parser.add_argument("--max-shed-rate", type=float, default=0.01,
+                        help="SLO: shed-rate budget (default 0.01)")
+    parser.add_argument("--spot-check-every", type=int, default=4,
+                        help="byte-check every Nth ok answer "
+                             "(surge checks every answer)")
+    parser.add_argument("--no-surge", action="store_true",
+                        help="skip the closure-surge scenario")
+    parser.add_argument("--surge-duration", type=float, default=8.0)
+    parser.add_argument("--surge-rate-factor", type=float, default=1.5)
+    parser.add_argument("--surge-close-fraction", type=float,
+                        default=0.15)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--artifact", default=DEFAULT_ARTIFACT,
+                        help="trajectory JSON to append results to "
+                             "('' disables)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="seconds-scale CI gate: tiny malls, two "
+                             "low-rate steps + a surge; fails on any "
+                             "SLO breach, identity mismatch, non-shed "
+                             "failure, unrecovered surge or missing "
+                             "trajectory append")
+    args = parser.parse_args(argv)
+
+    setup_serve_logging()
+
+    if args.smoke:
+        entry = run_soak(
+            tenants=2, floors=1, rooms_per_floor=16, words_per_room=3,
+            shards=2, pool=4, endpoints=3,
+            process=args.process, zipf_s=args.zipf_s,
+            start_qps=6.0, qps_step=2.0, max_steps=2,
+            step_duration_s=1.5, concurrency=16,
+            max_pending=args.max_pending,
+            slo=SLOGates(p99_ms=3000.0, max_shed_rate=0.01),
+            spot_check_every=1, surge=True, surge_duration_s=2.5,
+            surge_rate_factor=1.5, surge_close_fraction=0.2,
+            seed=args.seed)
+    else:
+        entry = run_soak(
+            tenants=args.tenants, floors=args.floors,
+            rooms_per_floor=args.rooms_per_floor,
+            words_per_room=args.words_per_room, shards=args.shards,
+            pool=args.pool, endpoints=args.endpoints,
+            process=args.process, zipf_s=args.zipf_s,
+            start_qps=args.start_qps, qps_step=args.qps_step,
+            max_steps=args.max_steps,
+            step_duration_s=args.step_duration,
+            concurrency=args.concurrency, max_pending=args.max_pending,
+            slo=SLOGates(p99_ms=args.p99_budget_ms,
+                         max_shed_rate=args.max_shed_rate),
+            spot_check_every=args.spot_check_every,
+            surge=not args.no_surge,
+            surge_duration_s=args.surge_duration,
+            surge_rate_factor=args.surge_rate_factor,
+            surge_close_fraction=args.surge_close_fraction,
+            seed=args.seed)
+    print(format_soak_report(entry))
+    if args.artifact:
+        append_trajectory(args.artifact, entry)
+        print(f"trajectory appended to {args.artifact}")
+    ok = soak_verdict(entry)
+    if args.smoke:
+        if not ok:
+            print("soak smoke FAILED: "
+                  f"slo_gates_met={entry['slo_gates_met']} "
+                  f"zero_non_shed_failures="
+                  f"{entry['zero_non_shed_failures']} "
+                  f"identical={entry['verified_identical']} "
+                  f"surge_recovered={entry['surge_recovered']} "
+                  f"surge_overlay_identical="
+                  f"{entry['surge_overlay_identical']}")
+            return 1
+        if not args.artifact:
+            print("soak smoke FAILED: --smoke verifies the trajectory "
+                  "append; do not pass --artifact ''")
+            return 1
+        print(f"soak smoke ok: saturation {entry['saturation_qps']:.1f} "
+              f"q/s within SLO, surge recovered in "
+              f"{entry['surge']['recovery_s']}s with "
+              f"{entry['surge']['spot_checks']['checked']} overlay "
+              f"answers byte-identical, trajectory at {args.artifact}")
+        return 0
+    # SLO and identity verdicts gate the exit code in every mode;
+    # absolute qps is recorded, never judged.
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via wrapper
+    import sys
+    sys.exit(main())

@@ -251,6 +251,10 @@ class _Handler(BaseHTTPRequestHandler):
 
 class _HTTPServer(ThreadingHTTPServer):
     daemon_threads = True
+    # socketserver's default listen backlog (5) drops connections under
+    # open-loop burst arrivals — admission control must be the only
+    # thing that sheds, so size the accept queue for traffic spikes.
+    request_queue_size = 128
     ikrq: "IKRQServer"
 
 

@@ -198,6 +198,48 @@ class TestDoorSchedule:
         assert compile_closed_doors(
             schedules, monday + 10 * 3600.0) == {2}
 
+    def test_week_boundary_wrap_edges(self):
+        # Open Sunday 22:00 through Monday 02:00 — the window crosses
+        # the schedule anchor (Monday 00:00 UTC), so membership is
+        # "t >= start or t < end" and every edge matters exactly.
+        start = WEEK_S - 2 * 3600.0
+        end = 4 * 3600.0
+        s = DoorSchedule(((start, end),))
+        monday = 4 * DAY_S  # 1970-01-05: week offset 0
+        sunday_2200 = monday - 2 * 3600.0
+        assert week_offset(sunday_2200) == start
+        assert s.is_open(sunday_2200)          # open AT the start edge
+        assert not s.is_open(sunday_2200 - 1)  # closed just before it
+        assert s.is_open(monday)               # the anchor instant
+        assert week_offset(monday) == 0.0
+        assert s.is_open(monday + 4 * 3600.0 - 1)  # last open second
+        assert not s.is_open(monday + 4 * 3600.0)  # closed AT the end
+        # The wrap repeats weekly in both directions.
+        assert s.is_open(monday + WEEK_S)
+        assert s.is_open(monday - WEEK_S)
+        assert s.is_open(sunday_2200 + WEEK_S)
+        assert not s.is_open(sunday_2200 - 1 + WEEK_S)
+
+    def test_compile_closed_doors_at_exact_window_edges(self):
+        monday = 4 * DAY_S
+        plain = DoorSchedule(((3600.0, 7200.0),))           # Mon 01-02
+        wrapped = DoorSchedule(((WEEK_S - 3600.0, 3600.0),))  # Sun 23-Mon 01
+        schedules = {1: plain, 2: wrapped}
+        # At the wrapped window's start edge only door 2 is open.
+        assert compile_closed_doors(
+            schedules, monday - 3600.0) == {1}
+        # At Monday 00:00 (the anchor) still only door 2.
+        assert compile_closed_doors(schedules, monday) == {1}
+        # At 01:00 the wrapped window ends exactly as the plain one
+        # begins: half-open intervals hand over with no overlap gap.
+        assert compile_closed_doors(
+            schedules, monday + 3600.0) == {2}
+        assert compile_closed_doors(
+            schedules, monday + 3600.0 - 1) == {1}
+        # At the plain window's end edge both are closed.
+        assert compile_closed_doors(
+            schedules, monday + 7200.0) == {1, 2}
+
 
 # ----------------------------------------------------------------------
 # DynamicStore / DynamicView unit behaviour
@@ -574,6 +616,7 @@ def serve_snapshot(tmp_path_factory):
     return str(path), fixture
 
 
+@pytest.mark.slow
 class TestServeDeltas:
     def test_delta_is_atomic_under_concurrent_search(self, serve_snapshot):
         """Hammer ``submit`` from threads while door and keyword deltas

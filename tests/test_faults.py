@@ -65,6 +65,7 @@ def _fast_pool(snapshot_path, plan, **kwargs):
     return ShardPool(snapshot_path, fault_plan=plan, **kwargs)
 
 
+@pytest.mark.slow
 class TestCrashFailover:
     def test_crash_mid_request_fails_fast_and_fails_over(
             self, snapshot_path, engine, query_doc):
@@ -135,6 +136,7 @@ class TestCrashFailover:
             pool.close()
 
 
+@pytest.mark.slow
 class TestQuarantine:
     def test_crash_loop_exhausts_budget_and_quarantines(
             self, snapshot_path, engine, query_doc):
@@ -165,6 +167,7 @@ class TestQuarantine:
             pool.close()
 
 
+@pytest.mark.slow
 class TestIngestUnderFailure:
     def test_worker_death_mid_ingest_keeps_venue_consistent(
             self, snapshot_path, engine, query_doc):
@@ -224,6 +227,7 @@ class TestIngestUnderFailure:
             pool.close()
 
 
+@pytest.mark.slow
 class TestTeardownAndLateResponses:
     def test_close_escalates_past_a_stuck_worker(self, snapshot_path,
                                                  query_doc):
@@ -281,6 +285,90 @@ class TestDegradedAdmission:
         assert admission.try_acquire("b", capacity_fraction=0.25)
         admission.release("a")
         admission.release("b")
+
+    def test_tiny_fraction_floors_at_one_slot(self):
+        # Even with one live shard in a huge fleet, the pool must
+        # admit *something* — max(1, ceil(...)) never reaches zero.
+        admission = AdmissionController(max_pending=100)
+        assert admission.try_acquire("v", capacity_fraction=0.001)
+        assert not admission.try_acquire("v", capacity_fraction=0.001)
+        admission.release("v")
+
+    def test_zero_fraction_still_admits_one(self):
+        admission = AdmissionController(
+            max_pending=4, default_quota=TenantQuota(max_in_flight=2))
+        assert admission.try_acquire("v", capacity_fraction=0.0)
+        assert not admission.try_acquire("v", capacity_fraction=0.0)
+        admission.release("v")
+
+    def test_fraction_clamps_above_one(self):
+        # A fraction > 1 (more live shards reported than configured)
+        # must not inflate the queue depth past max_pending.
+        admission = AdmissionController(max_pending=2)
+        assert admission.try_acquire("v", capacity_fraction=5.0)
+        assert admission.try_acquire("v", capacity_fraction=5.0)
+        assert not admission.try_acquire("v", capacity_fraction=5.0)
+        admission.release("v")
+        admission.release("v")
+
+    def test_negative_fraction_clamps_to_the_floor(self):
+        admission = AdmissionController(max_pending=8)
+        assert admission.try_acquire("v", capacity_fraction=-1.0)
+        assert not admission.try_acquire("v", capacity_fraction=-1.0)
+        admission.release("v")
+
+    def test_quota_scaling_uses_ceil_not_floor(self):
+        # quota 3 at fraction 0.4: ceil(1.2) = 2 slots, not floor's 1.
+        admission = AdmissionController(
+            max_pending=16, default_quota=TenantQuota(max_in_flight=3))
+        assert admission.try_acquire("v", capacity_fraction=0.4)
+        assert admission.try_acquire("v", capacity_fraction=0.4)
+        assert not admission.try_acquire("v", capacity_fraction=0.4)
+        admission.release("v")
+        admission.release("v")
+
+    def test_degraded_pool_bound_caps_tenants_jointly(self):
+        # Per-venue quotas of 4 would allow 2+2 at fraction 0.5, but
+        # the pool bound ceil(6 * 0.5) = 3 is the binding constraint:
+        # the fourth concurrent request sheds on the *pool*, not the
+        # venue, and the shed is charged to the venue that sent it.
+        admission = AdmissionController(
+            max_pending=6, default_quota=TenantQuota(max_in_flight=4))
+        assert admission.try_acquire("a", capacity_fraction=0.5)
+        assert admission.try_acquire("a", capacity_fraction=0.5)
+        assert admission.try_acquire("b", capacity_fraction=0.5)
+        assert not admission.try_acquire("b", capacity_fraction=0.5)
+        counters = admission.venue_counters()
+        assert counters["b"]["shed"] == 1
+        assert counters["a"]["shed"] == 0
+        for venue in ("a", "a", "b"):
+            admission.release(venue)
+
+    def test_per_venue_quota_binds_before_the_pool_under_degradation(self):
+        # The mirror case: plenty of pool depth, but the noisy venue's
+        # scaled quota (ceil(2 * 0.5) = 1) sheds its second request
+        # while a quiet venue is still admitted.
+        admission = AdmissionController(
+            max_pending=32, default_quota=TenantQuota(max_in_flight=2))
+        assert admission.try_acquire("noisy", capacity_fraction=0.5)
+        assert not admission.try_acquire("noisy", capacity_fraction=0.5)
+        assert admission.try_acquire("quiet", capacity_fraction=0.5)
+        counters = admission.venue_counters()
+        assert counters["noisy"]["shed"] == 1
+        assert counters["quiet"]["shed"] == 0
+        admission.release("noisy")
+        admission.release("quiet")
+
+    def test_recovery_restores_full_depth(self):
+        admission = AdmissionController(max_pending=3)
+        assert admission.try_acquire("v", capacity_fraction=1.0 / 3.0)
+        assert not admission.try_acquire("v", capacity_fraction=1.0 / 3.0)
+        # All shards back: the remaining depth opens up immediately.
+        assert admission.try_acquire("v", capacity_fraction=1.0)
+        assert admission.try_acquire("v", capacity_fraction=1.0)
+        assert not admission.try_acquire("v", capacity_fraction=1.0)
+        for _ in range(3):
+            admission.release("v")
 
 
 class TestFaultPlanWire:

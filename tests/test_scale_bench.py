@@ -70,6 +70,7 @@ class TestLatencyPercentiles:
         assert pct["p50_ms"] == pct["p99_ms"] == pytest.approx(2.0)
 
 
+@pytest.mark.slow
 class TestScaleBench:
     @pytest.fixture(scope="class")
     def result(self):

@@ -259,6 +259,7 @@ class TestServiceStats:
 # ----------------------------------------------------------------------
 # Shard pool + dispatcher (process level)
 # ----------------------------------------------------------------------
+@pytest.mark.slow
 class TestShardPool:
     def test_answers_byte_identical_and_affine(self, snapshot_path,
                                                fig1_engine, queries):
@@ -369,6 +370,7 @@ class TestShardPool:
 # ----------------------------------------------------------------------
 # HTTP surface
 # ----------------------------------------------------------------------
+@pytest.mark.slow
 class TestHTTPServer:
     @pytest.fixture()
     def server(self, snapshot_path):
@@ -449,6 +451,7 @@ class TestHTTPServer:
 # ----------------------------------------------------------------------
 # Serve throughput bench
 # ----------------------------------------------------------------------
+@pytest.mark.slow
 class TestServeBench:
     def test_smoke_run_verifies_identity(self, tmp_path, monkeypatch):
         from repro.bench.throughput import (append_trajectory,

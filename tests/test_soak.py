@@ -1,0 +1,329 @@
+"""The open-loop load model behind ``repro.bench soak``.
+
+Everything here is pure and seeded — no servers, no sleeping.  The
+statistical assertions use generous bounds (several standard
+deviations wide at the chosen sample sizes) so they are deterministic
+for the pinned seeds and would stay stable across reseeding.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import statistics
+
+import pytest
+
+from repro.bench.load_model import (ARRIVAL_PROCESSES, DEFAULT_MIX,
+                                    Arrival, LoadModelConfig,
+                                    bursty_arrivals, build_schedule,
+                                    corrected_latencies, pick_weighted,
+                                    poisson_arrivals, schedule_digest,
+                                    serialized_completions, zipf_weights)
+from repro.bench.soak import SLOGates, _recovery_seconds
+
+
+class TestPoissonArrivals:
+    def test_count_matches_rate(self):
+        # 50 q/s for 40 s: expect 2000 arrivals, sd ~45; a +/-10%
+        # band is ~4.4 sigma wide.
+        out = poisson_arrivals(50.0, 40.0, random.Random(7))
+        assert 1800 <= len(out) <= 2200
+
+    def test_sorted_and_in_window(self):
+        out = poisson_arrivals(20.0, 10.0, random.Random(3))
+        assert out == sorted(out)
+        assert all(0.0 <= t < 10.0 for t in out)
+
+    def test_mean_gap_is_inverse_rate(self):
+        out = poisson_arrivals(100.0, 60.0, random.Random(5))
+        gaps = [b - a for a, b in zip(out, out[1:])]
+        assert statistics.mean(gaps) == pytest.approx(0.01, rel=0.15)
+
+    def test_gap_memorylessness_cv(self):
+        # Exponential gaps have coefficient of variation 1.
+        out = poisson_arrivals(100.0, 60.0, random.Random(5))
+        gaps = [b - a for a, b in zip(out, out[1:])]
+        cv = statistics.pstdev(gaps) / statistics.mean(gaps)
+        assert cv == pytest.approx(1.0, abs=0.15)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(0.0, 10.0, random.Random(1))
+        with pytest.raises(ValueError):
+            poisson_arrivals(5.0, 0.0, random.Random(1))
+
+
+class TestBurstyArrivals:
+    def test_long_run_rate_is_normalised(self):
+        # The ON rate is boosted so the long-run mean matches the
+        # nominal rate despite the silent OFF phases.
+        out = bursty_arrivals(50.0, 120.0, random.Random(11),
+                              on_s=1.0, off_s=1.0)
+        assert len(out) / 120.0 == pytest.approx(50.0, rel=0.15)
+
+    def test_burstier_than_poisson(self):
+        # Per-second counts: the on/off modulation must add variance
+        # over the memoryless baseline at the same nominal rate.
+        def per_second_var(times):
+            counts = [0] * 120
+            for t in times:
+                counts[int(t)] += 1
+            return statistics.pvariance(counts)
+
+        rng = random.Random(13)
+        bursty = bursty_arrivals(40.0, 120.0, rng, on_s=0.5, off_s=0.5)
+        poisson = poisson_arrivals(40.0, 120.0, random.Random(13))
+        assert per_second_var(bursty) > 2.0 * per_second_var(poisson)
+
+    def test_off_phases_are_silent_by_default(self):
+        out = bursty_arrivals(30.0, 60.0, random.Random(17),
+                              on_s=0.5, off_s=2.0)
+        gaps = [b - a for a, b in zip(out, out[1:])]
+        # With mean OFF dwell 2 s, some inter-arrival gaps must be
+        # OFF-phase sized - far beyond anything Poisson at the
+        # boosted ON rate would produce.
+        assert max(gaps) > 1.0
+
+    def test_off_rate_fraction_keeps_the_tail_warm(self):
+        out = bursty_arrivals(30.0, 120.0, random.Random(19),
+                              on_s=0.5, off_s=2.0,
+                              off_rate_fraction=0.25)
+        assert len(out) / 120.0 == pytest.approx(30.0, rel=0.2)
+
+    def test_rejects_bad_inputs(self):
+        rng = random.Random(1)
+        with pytest.raises(ValueError):
+            bursty_arrivals(0.0, 10.0, rng)
+        with pytest.raises(ValueError):
+            bursty_arrivals(5.0, 10.0, rng, on_s=0.0)
+        with pytest.raises(ValueError):
+            bursty_arrivals(5.0, 10.0, rng, off_rate_fraction=1.5)
+
+
+class TestWeightedMixes:
+    def test_zipf_weights_normalised_and_decreasing(self):
+        weights = zipf_weights(8, s=1.1)
+        assert sum(weights) == pytest.approx(1.0)
+        assert weights == sorted(weights, reverse=True)
+
+    def test_zipf_zero_exponent_is_uniform(self):
+        weights = zipf_weights(4, s=0.0)
+        assert all(w == pytest.approx(0.25) for w in weights)
+
+    def test_zipf_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+        with pytest.raises(ValueError):
+            zipf_weights(3, s=-1.0)
+
+    def test_pick_weighted_frequencies(self):
+        rng = random.Random(23)
+        weights = zipf_weights(4, s=1.0)
+        counts = {name: 0 for name in "abcd"}
+        for _ in range(20_000):
+            counts[pick_weighted("abcd", weights, rng)] += 1
+        for name, weight in zip("abcd", weights):
+            assert counts[name] / 20_000 == pytest.approx(weight,
+                                                          rel=0.1)
+
+    def test_pick_weighted_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            pick_weighted(["a"], [0.5, 0.5], random.Random(1))
+        with pytest.raises(ValueError):
+            pick_weighted([], [], random.Random(1))
+
+
+class TestSchedules:
+    CFG = LoadModelConfig(rate_qps=40.0, duration_s=30.0,
+                          venues=("mall-00", "mall-01", "mall-02"),
+                          pool=6, seed=42)
+
+    def test_deterministic_and_digest_stable(self):
+        a = build_schedule(self.CFG)
+        b = build_schedule(self.CFG)
+        assert a == b
+        assert schedule_digest(a) == schedule_digest(b)
+
+    def test_seed_changes_the_schedule(self):
+        other = LoadModelConfig(rate_qps=40.0, duration_s=30.0,
+                                venues=self.CFG.venues, pool=6,
+                                seed=43)
+        assert (schedule_digest(build_schedule(self.CFG))
+                != schedule_digest(build_schedule(other)))
+
+    def test_zipf_tenant_frequencies(self):
+        schedule = build_schedule(self.CFG)
+        counts = {venue: 0 for venue in self.CFG.venues}
+        for arrival in schedule:
+            counts[arrival.venue] += 1
+        expected = zipf_weights(3, self.CFG.zipf_s)
+        total = len(schedule)
+        for venue, weight in zip(self.CFG.venues, expected):
+            assert counts[venue] / total == pytest.approx(weight,
+                                                          rel=0.2)
+
+    def test_algorithm_mix_frequencies(self):
+        schedule = build_schedule(self.CFG)
+        counts = {name: 0 for name, _ in DEFAULT_MIX}
+        for arrival in schedule:
+            counts[arrival.algorithm] += 1
+        for name, weight in DEFAULT_MIX:
+            assert counts[name] / len(schedule) == pytest.approx(
+                weight, rel=0.25)
+
+    def test_query_indices_stay_in_pool(self):
+        assert all(0 <= a.query < self.CFG.pool
+                   for a in build_schedule(self.CFG))
+
+    def test_bursty_process_is_reachable(self):
+        cfg = LoadModelConfig(rate_qps=40.0, duration_s=10.0,
+                              venues=("v",), pool=2, seed=1,
+                              process="bursty", on_s=0.5, off_s=0.5)
+        assert build_schedule(cfg)
+
+    def test_digest_survives_json_round_trip(self):
+        schedule = build_schedule(self.CFG)
+        wired = json.loads(json.dumps(
+            [[round(a.at_s, 9), a.venue, a.algorithm, a.query]
+             for a in schedule]))
+        again = [Arrival(at_s=at, venue=v, algorithm=alg, query=q)
+                 for at, v, alg, q in wired]
+        assert schedule_digest(again) == schedule_digest(schedule)
+
+
+class TestLoadModelConfig:
+    def test_round_trip(self):
+        cfg = LoadModelConfig(rate_qps=25.0, duration_s=8.0,
+                              venues=("a", "b"), pool=4, seed=9,
+                              process="bursty", zipf_s=0.9,
+                              mix=(("ToE", 0.7), ("KoE", 0.3)),
+                              on_s=0.5, off_s=0.25,
+                              off_rate_fraction=0.1)
+        assert LoadModelConfig.from_doc(cfg.to_doc()) == cfg
+
+    def test_round_trip_reproduces_the_schedule(self):
+        cfg = TestSchedules.CFG
+        doc = json.loads(json.dumps(cfg.to_doc()))
+        assert (schedule_digest(build_schedule(
+                    LoadModelConfig.from_doc(doc)))
+                == schedule_digest(build_schedule(cfg)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoadModelConfig(rate_qps=1.0, duration_s=1.0,
+                            venues=("a",), pool=1, seed=0,
+                            process="fractal")
+        with pytest.raises(ValueError):
+            LoadModelConfig(rate_qps=1.0, duration_s=1.0,
+                            venues=(), pool=1, seed=0)
+        with pytest.raises(ValueError):
+            LoadModelConfig(rate_qps=1.0, duration_s=1.0,
+                            venues=("a",), pool=0, seed=0)
+        with pytest.raises(ValueError):
+            LoadModelConfig(rate_qps=1.0, duration_s=1.0,
+                            venues=("a",), pool=1, seed=0,
+                            mix=(("ToE", 0.0),))
+
+    def test_known_processes(self):
+        assert ARRIVAL_PROCESSES == ("poisson", "bursty")
+
+
+class TestCoordinatedOmission:
+    def test_idle_server_adds_nothing(self):
+        intended = [0.0, 1.0, 2.0]
+        done = serialized_completions(intended, [0.1, 0.1, 0.1])
+        assert done == pytest.approx([0.1, 1.1, 2.1])
+        assert corrected_latencies(intended, done) == pytest.approx(
+            [0.1, 0.1, 0.1])
+
+    def test_stall_is_charged_to_everyone_behind_it(self):
+        # Request 0 stalls for 5 s; requests 1..4 arrive every 100 ms
+        # with 10 ms service.  Closed-loop accounting would report
+        # 10 ms for each of them; the corrected view charges the queue.
+        intended = [0.0, 0.1, 0.2, 0.3, 0.4]
+        service = [5.0, 0.01, 0.01, 0.01, 0.01]
+        done = serialized_completions(intended, service)
+        corrected = corrected_latencies(intended, done)
+        assert corrected[0] == pytest.approx(5.0)
+        assert corrected[1] == pytest.approx(5.0 + 0.01 - 0.1)
+        assert corrected[4] == pytest.approx(5.0 + 0.04 - 0.4)
+        assert min(corrected[1:]) > 100 * max(service[1:])
+
+    def test_serialized_completions_validation(self):
+        with pytest.raises(ValueError):
+            serialized_completions([0.0], [0.1, 0.2])
+        with pytest.raises(ValueError):
+            serialized_completions([0.0], [-0.1])
+
+    def test_corrected_latencies_validation(self):
+        with pytest.raises(ValueError):
+            corrected_latencies([0.0, 1.0], [0.5])
+        with pytest.raises(ValueError):
+            corrected_latencies([1.0], [0.5])
+
+
+class TestSLOGates:
+    PASSING = {
+        "latency_from_intended_ms": {"p99_ms": 120.0},
+        "shed_rate": 0.0,
+        "failed": 0,
+        "spot_checks": {"checked": 10, "mismatches": 0},
+    }
+
+    def test_passing_phase(self):
+        gates = SLOGates(p99_ms=500.0).evaluate(self.PASSING)
+        assert gates["passed"]
+
+    def test_each_gate_can_fail_alone(self):
+        slo = SLOGates(p99_ms=500.0, max_shed_rate=0.01)
+        for patch in ({"latency_from_intended_ms": {"p99_ms": 900.0}},
+                      {"shed_rate": 0.5},
+                      {"failed": 3},
+                      {"spot_checks": {"checked": 10, "mismatches": 1}}):
+            phase = {**self.PASSING, **patch}
+            gates = slo.evaluate(phase)
+            assert not gates["passed"], patch
+
+    def test_missing_latency_fails_closed(self):
+        phase = {**self.PASSING, "latency_from_intended_ms": {}}
+        assert not SLOGates().evaluate(phase)["passed"]
+
+    def test_to_doc(self):
+        assert SLOGates(p99_ms=250.0, max_shed_rate=0.05).to_doc() == {
+            "p99_ms": 250.0, "max_shed_rate": 0.05}
+
+
+class TestRecoverySeconds:
+    @staticmethod
+    def sample(intended, latency_s=0.01, status="ok"):
+        return {"intended": intended, "started": intended,
+                "ended": intended + latency_s, "status": status,
+                "venue": "v", "algorithm": "ToE",
+                "checked": False, "identical": None}
+
+    def test_immediate_recovery(self):
+        samples = [self.sample(0.1 * i) for i in range(40)]
+        assert _recovery_seconds(samples, SLOGates(p99_ms=100.0),
+                                 4.0) == 0.0
+
+    def test_recovery_after_a_slow_start(self):
+        slow = [self.sample(0.1 * i, latency_s=2.0) for i in range(10)]
+        fast = [self.sample(1.0 + 0.1 * i) for i in range(30)]
+        assert _recovery_seconds(slow + fast, SLOGates(p99_ms=100.0),
+                                 4.0) == 1.0
+
+    def test_failures_block_recovery(self):
+        samples = [self.sample(0.1 * i) for i in range(40)]
+        samples.append(self.sample(3.9, status="transport_error"))
+        assert _recovery_seconds(samples, SLOGates(p99_ms=100.0),
+                                 4.0) is None
+
+    def test_sheds_do_not_block_recovery(self):
+        samples = [self.sample(0.1 * i) for i in range(40)]
+        samples.append(self.sample(3.9, status="overloaded"))
+        assert _recovery_seconds(samples, SLOGates(p99_ms=100.0),
+                                 4.0) == 0.0
+
+    def test_no_samples_is_no_recovery(self):
+        assert _recovery_seconds([], SLOGates(), 4.0) is None

@@ -214,6 +214,7 @@ class TestTenantQuotas:
 # ----------------------------------------------------------------------
 # Multi-venue pool + dispatcher (process level)
 # ----------------------------------------------------------------------
+@pytest.mark.slow
 class TestMultiVenuePool:
     def test_routes_by_venue_and_stays_byte_identical(
             self, venue_snapshots, venue_queries, fig1, corridor_venue):
@@ -375,6 +376,7 @@ class TestMultiVenuePool:
 # ----------------------------------------------------------------------
 # HTTP control plane
 # ----------------------------------------------------------------------
+@pytest.mark.slow
 class TestHTTPTenancy:
     @pytest.fixture()
     def server(self, venue_snapshots):
@@ -496,6 +498,7 @@ class TestHTTPTenancy:
 # ----------------------------------------------------------------------
 # Tenancy bench
 # ----------------------------------------------------------------------
+@pytest.mark.slow
 class TestTenancyBench:
     def test_smoke_run_swaps_and_verifies(self, tmp_path):
         from repro.bench.tenancy import run_tenancy
